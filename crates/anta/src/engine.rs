@@ -1,0 +1,606 @@
+//! The deterministic discrete-event engine executing an Asynchronous
+//! Network of Timed Automata.
+//!
+//! Semantics follow §4 of the paper:
+//!
+//! * each process owns a drifting local clock; *all* protocol-visible time
+//!   is local (`Ctx::now`), while the engine itself runs on real time;
+//! * **white (input) states**: a process sits idle until a message delivery
+//!   or a local-clock timeout enables a transition — modelled by
+//!   `on_message` / `on_timer`;
+//! * **grey (output) states**: "an automaton spends a bounded amount of
+//!   time calculating in each grey state" — modelled by charging a
+//!   computation delay in `[0, σ_max]` (oracle-quantised) to every handler
+//!   invocation that sends messages;
+//! * message transit is decided by the pluggable [`NetModel`].
+//!
+//! Determinism: the priority queue orders events by `(real_time, seq)` where
+//! `seq` is a global monotone counter, so runs are bit-reproducible given
+//! the same oracle; all randomness flows through [`Oracle`].
+
+use crate::clock::DriftClock;
+use crate::net::{Delivery, EnvelopeMeta, NetModel};
+use crate::oracle::Oracle;
+use crate::process::{Ctx, Effect, Message, Pid, Process, TimerId};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceKind};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Hard horizon on real simulation time; runs stop at the first event
+    /// beyond it. "Eventually" in liveness properties is checked against
+    /// generous horizons.
+    pub max_real_time: SimTime,
+    /// Runaway guard: maximum number of dispatched events.
+    pub max_events: u64,
+    /// Maximum computation time charged to a sending handler (σ).
+    pub sigma_max: SimDuration,
+    /// Quantisation of the computation delay (1 ⇒ always σ_max).
+    pub sigma_buckets: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_real_time: SimTime::from_secs(3_600),
+            max_events: 5_000_000,
+            sigma_max: SimDuration::ZERO,
+            sigma_buckets: 1,
+        }
+    }
+}
+
+/// Why and how a run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Events dispatched.
+    pub events: u64,
+    /// Real time of the last dispatched event.
+    pub end_time: SimTime,
+    /// True if the event queue drained (nothing left to happen).
+    pub quiescent: bool,
+    /// True if every process halted.
+    pub all_halted: bool,
+    /// True if the run stopped at the time horizon or event cap instead of
+    /// draining.
+    pub truncated: bool,
+}
+
+struct ProcSlot<M> {
+    proc: Box<dyn Process<M>>,
+    clock: DriftClock,
+    halted: bool,
+}
+
+enum EventKind<M> {
+    Start(Pid),
+    Deliver { from: Pid, to: Pid, msg: M },
+    Timer { pid: Pid, id: TimerId },
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulator.
+pub struct Engine<M: Message> {
+    procs: Vec<ProcSlot<M>>,
+    net: Box<dyn NetModel<M>>,
+    oracle: Box<dyn Oracle>,
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    seq: u64,
+    now: SimTime,
+    trace: Trace<M>,
+    cfg: EngineConfig,
+    started: bool,
+}
+
+impl<M: Message> Engine<M> {
+    /// Creates an engine over a network model and an oracle.
+    pub fn new(net: Box<dyn NetModel<M>>, oracle: Box<dyn Oracle>, cfg: EngineConfig) -> Self {
+        Engine {
+            procs: Vec::new(),
+            net,
+            oracle,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            trace: Trace::new(),
+            cfg,
+            started: false,
+        }
+    }
+
+    /// Registers a process with its local clock; returns its [`Pid`]
+    /// (dense, in registration order).
+    pub fn add_process(&mut self, proc: Box<dyn Process<M>>, clock: DriftClock) -> Pid {
+        assert!(!self.started, "processes must be added before run()");
+        let pid = self.procs.len();
+        self.procs.push(ProcSlot { proc, clock, halted: false });
+        pid
+    }
+
+    /// Number of registered processes.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// True if no processes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// Current real simulation time.
+    pub fn real_now(&self) -> SimTime {
+        self.now
+    }
+
+    /// `pid`'s local clock reading at the current real time.
+    pub fn local_now(&self, pid: Pid) -> SimTime {
+        self.procs[pid].clock.local_at(self.now)
+    }
+
+    /// Immutable access to a process, downcast to its concrete type.
+    /// Returns `None` for a wrong type; panics on a bad pid.
+    pub fn process_as<T: 'static>(&self, pid: Pid) -> Option<&T> {
+        self.procs[pid].proc.as_any().downcast_ref::<T>()
+    }
+
+    /// Whether `pid` has halted.
+    pub fn is_halted(&self, pid: Pid) -> bool {
+        self.procs[pid].halted
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace<M> {
+        &self.trace
+    }
+
+    /// Consumes the engine, yielding the trace.
+    pub fn into_trace(self) -> Trace<M> {
+        self.trace
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { at, seq, kind }));
+    }
+
+    /// Runs to quiescence (or horizon / event cap).
+    pub fn run(&mut self) -> RunReport {
+        if !self.started {
+            self.started = true;
+            for pid in 0..self.procs.len() {
+                self.push_event(SimTime::ZERO, EventKind::Start(pid));
+            }
+        }
+        let mut events = 0u64;
+        let mut truncated = false;
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            if ev.at > self.cfg.max_real_time || events >= self.cfg.max_events {
+                truncated = true;
+                // Put it back conceptually; we simply stop (the queue keeps
+                // its contents so callers can resume with a larger horizon).
+                self.queue.push(Reverse(ev));
+                break;
+            }
+            debug_assert!(ev.at >= self.now, "time went backwards");
+            self.now = ev.at;
+            events += 1;
+            self.dispatch(ev.kind);
+        }
+        let all_halted = self.procs.iter().all(|p| p.halted);
+        RunReport {
+            events,
+            end_time: self.now,
+            quiescent: self.queue.is_empty(),
+            all_halted,
+            truncated,
+        }
+    }
+
+    /// Extends the horizon and continues the run — used to distinguish
+    /// "terminated" from "would have kept going" in liveness checks.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunReport {
+        self.cfg.max_real_time = horizon;
+        self.run()
+    }
+
+    fn dispatch(&mut self, kind: EventKind<M>) {
+        match kind {
+            EventKind::Start(pid) => {
+                if self.procs[pid].halted {
+                    return;
+                }
+                let local = self.procs[pid].clock.local_at(self.now);
+                let mut ctx = Ctx::new(pid, local);
+                self.procs[pid].proc.on_start(&mut ctx);
+                self.apply_effects(pid, ctx.into_effects());
+            }
+            EventKind::Deliver { from, to, msg } => {
+                if self.procs[to].halted {
+                    return;
+                }
+                self.trace.push(
+                    self.now,
+                    TraceKind::Delivered { from, to, msg: msg.clone() },
+                );
+                let local = self.procs[to].clock.local_at(self.now);
+                let mut ctx = Ctx::new(to, local);
+                self.procs[to].proc.on_message(from, msg, &mut ctx);
+                self.apply_effects(to, ctx.into_effects());
+            }
+            EventKind::Timer { pid, id } => {
+                if self.procs[pid].halted {
+                    return;
+                }
+                self.trace.push(self.now, TraceKind::TimerFired { pid, id });
+                let local = self.procs[pid].clock.local_at(self.now);
+                let mut ctx = Ctx::new(pid, local);
+                self.procs[pid].proc.on_timer(id, &mut ctx);
+                self.apply_effects(pid, ctx.into_effects());
+            }
+        }
+    }
+
+    fn apply_effects(&mut self, pid: Pid, effects: Vec<Effect<M>>) {
+        // Charge the grey-state computation time once per handler that
+        // sends; timers and marks are bookkeeping on the transition itself.
+        let has_sends = effects.iter().any(|e| matches!(e, Effect::Send { .. }));
+        let compute = if has_sends && !self.cfg.sigma_max.is_zero() {
+            let idx = self.oracle.choose(self.cfg.sigma_buckets.max(1)) as u64;
+            let buckets = self.cfg.sigma_buckets.max(1) as u64;
+            if buckets == 1 {
+                self.cfg.sigma_max
+            } else {
+                SimDuration::from_ticks(self.cfg.sigma_max.ticks() * idx / (buckets - 1))
+            }
+        } else {
+            SimDuration::ZERO
+        };
+        for eff in effects {
+            match eff {
+                Effect::Send { to, msg } => {
+                    let sent_at = self.now + compute;
+                    let seq = self.seq;
+                    let meta = EnvelopeMeta { from: pid, to, sent_at, seq };
+                    self.trace.push(sent_at, TraceKind::Sent { from: pid, to, msg: msg.clone() });
+                    match self.net.route(&meta, &msg, self.oracle.as_mut()) {
+                        Delivery::At(t) => {
+                            let at = t.max(sent_at);
+                            self.push_event(at, EventKind::Deliver { from: pid, to, msg });
+                        }
+                        Delivery::Never => {
+                            self.trace.push(sent_at, TraceKind::Dropped { from: pid, to, msg });
+                        }
+                    }
+                }
+                Effect::SetTimer { id, at_local } => {
+                    let real = match self.procs[pid].clock.real_when_local(at_local) {
+                        Some(r) => r.max(self.now),
+                        None => self.now, // deadline already passed locally
+                    };
+                    self.push_event(real, EventKind::Timer { pid, id });
+                }
+                Effect::Halt => {
+                    if !self.procs[pid].halted {
+                        self.procs[pid].halted = true;
+                        let local = self.procs[pid].clock.local_at(self.now);
+                        self.trace.push(self.now, TraceKind::Halted { pid, local });
+                    }
+                }
+                Effect::Mark { label, value } => {
+                    let local = self.procs[pid].clock.local_at(self.now);
+                    self.trace.push(self.now, TraceKind::Mark { pid, local, label, value });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impl_process_boilerplate;
+    use crate::net::SyncNet;
+    use crate::oracle::RandomOracle;
+
+    /// Ping-pong: A sends counter to B, B returns counter+1, until limit.
+    #[derive(Debug, Clone)]
+    struct Pinger {
+        peer: Pid,
+        limit: u32,
+        last_seen: u32,
+        serve_first: bool,
+    }
+
+    impl Process<u32> for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+            if self.serve_first {
+                ctx.send(self.peer, 0);
+            }
+        }
+        fn on_message(&mut self, from: Pid, msg: u32, ctx: &mut Ctx<u32>) {
+            self.last_seen = msg;
+            if msg >= self.limit {
+                ctx.mark("done", msg as i64);
+                ctx.halt();
+            } else {
+                ctx.send(from, msg + 1);
+            }
+        }
+        fn on_timer(&mut self, _id: TimerId, _ctx: &mut Ctx<u32>) {}
+        impl_process_boilerplate!(u32);
+    }
+
+    fn ping_pong_engine(seed: u64, sigma: SimDuration) -> Engine<u32> {
+        let cfg = EngineConfig { sigma_max: sigma, sigma_buckets: 4, ..Default::default() };
+        let mut eng = Engine::new(
+            Box::new(SyncNet::new(SimDuration::from_ticks(100), 8)),
+            Box::new(RandomOracle::seeded(seed)),
+            cfg,
+        );
+        eng.add_process(
+            Box::new(Pinger { peer: 1, limit: 10, last_seen: 0, serve_first: true }),
+            DriftClock::perfect(),
+        );
+        eng.add_process(
+            Box::new(Pinger { peer: 0, limit: 10, last_seen: 0, serve_first: false }),
+            DriftClock::perfect(),
+        );
+        eng
+    }
+
+    #[test]
+    fn ping_pong_completes() {
+        let mut eng = ping_pong_engine(1, SimDuration::ZERO);
+        let report = eng.run();
+        assert!(report.quiescent);
+        assert!(!report.truncated);
+        // Message values 0..=10 → eleven sends.
+        assert_eq!(eng.trace().sent_count(), 11);
+        let p1 = eng.process_as::<Pinger>(1).unwrap();
+        let p0 = eng.process_as::<Pinger>(0).unwrap();
+        assert_eq!(p0.last_seen.max(p1.last_seen), 10);
+        // Whoever saw 10 halted and marked.
+        assert!(eng.trace().marks("done").count() == 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut eng = ping_pong_engine(seed, SimDuration::from_ticks(7));
+            let r = eng.run();
+            (r.end_time, r.events, eng.trace().events.len())
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5).0, run(6).0, "different seeds explore different delays");
+    }
+
+    #[test]
+    fn compute_delay_shifts_sends() {
+        // With σ > 0 and worst-case delays the run takes strictly longer.
+        let mut fast = ping_pong_engine(2, SimDuration::ZERO);
+        let mut slow = ping_pong_engine(2, SimDuration::from_ticks(1_000));
+        let t_fast = fast.run().end_time;
+        let t_slow = slow.run().end_time;
+        assert!(t_slow > t_fast);
+    }
+
+    /// A process that sets three timers and records firing order.
+    #[derive(Debug, Clone, Default)]
+    struct TimerBox {
+        fired: Vec<TimerId>,
+    }
+
+    impl Process<u32> for TimerBox {
+        fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+            ctx.set_timer_at(3, SimTime::from_ticks(300));
+            ctx.set_timer_at(1, SimTime::from_ticks(100));
+            ctx.set_timer_at(2, SimTime::from_ticks(200));
+        }
+        fn on_message(&mut self, _f: Pid, _m: u32, _c: &mut Ctx<u32>) {}
+        fn on_timer(&mut self, id: TimerId, ctx: &mut Ctx<u32>) {
+            self.fired.push(id);
+            if self.fired.len() == 3 {
+                ctx.halt();
+            }
+        }
+        impl_process_boilerplate!(u32);
+    }
+
+    #[test]
+    fn timers_fire_in_local_deadline_order() {
+        let mut eng = Engine::<u32>::new(
+            Box::new(SyncNet::new(SimDuration::ZERO, 1)),
+            Box::new(RandomOracle::seeded(0)),
+            EngineConfig::default(),
+        );
+        let pid = eng.add_process(Box::new(TimerBox::default()), DriftClock::perfect());
+        let report = eng.run();
+        assert!(report.all_halted);
+        assert_eq!(eng.process_as::<TimerBox>(pid).unwrap().fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fast_clock_reaches_deadline_sooner_in_real_time() {
+        // Two processes set a timer for local time 1000; the +10% clock
+        // fires earlier in real time than the −10% clock.
+        let run_one = |drift_ppm: i64| {
+            let mut eng = Engine::<u32>::new(
+                Box::new(SyncNet::new(SimDuration::ZERO, 1)),
+                Box::new(RandomOracle::seeded(0)),
+                EngineConfig::default(),
+            );
+            let clock = DriftClock::with_drift_ppm(drift_ppm, SimDuration::ZERO);
+            #[derive(Debug, Clone, Default)]
+            struct OneTimer;
+            impl Process<u32> for OneTimer {
+                fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                    ctx.set_timer_at(1, SimTime::from_ticks(1_000));
+                }
+                fn on_message(&mut self, _f: Pid, _m: u32, _c: &mut Ctx<u32>) {}
+                fn on_timer(&mut self, _id: TimerId, ctx: &mut Ctx<u32>) {
+                    ctx.mark("fired", 0);
+                    ctx.halt();
+                }
+                impl_process_boilerplate!(u32);
+            }
+            let pid = eng.add_process(Box::new(OneTimer), clock);
+            eng.run();
+            eng.trace().first_mark(pid, "fired").unwrap()
+        };
+        let fast = run_one(100_000);
+        let slow = run_one(-100_000);
+        assert!(fast < slow, "fast {fast:?} vs slow {slow:?}");
+    }
+
+    #[test]
+    fn horizon_truncates() {
+        #[derive(Debug, Clone, Default)]
+        struct Babbler;
+        impl Process<u32> for Babbler {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                ctx.set_timer_after(0, SimDuration::from_ticks(10));
+            }
+            fn on_message(&mut self, _f: Pid, _m: u32, _c: &mut Ctx<u32>) {}
+            fn on_timer(&mut self, _id: TimerId, ctx: &mut Ctx<u32>) {
+                ctx.set_timer_after(0, SimDuration::from_ticks(10));
+            }
+            impl_process_boilerplate!(u32);
+        }
+        let mut eng = Engine::<u32>::new(
+            Box::new(SyncNet::new(SimDuration::ZERO, 1)),
+            Box::new(RandomOracle::seeded(0)),
+            EngineConfig { max_real_time: SimTime::from_ticks(1_000), ..Default::default() },
+        );
+        eng.add_process(Box::new(Babbler), DriftClock::perfect());
+        let report = eng.run();
+        assert!(report.truncated);
+        assert!(!report.quiescent);
+        assert!(report.end_time <= SimTime::from_ticks(1_000));
+        // Resuming with a larger horizon continues the same run.
+        let report2 = eng.run_until(SimTime::from_ticks(2_000));
+        assert!(report2.truncated);
+        assert!(report2.end_time > SimTime::from_ticks(900));
+    }
+
+    #[test]
+    fn event_cap_guards_runaway() {
+        #[derive(Debug, Clone, Default)]
+        struct Flood;
+        impl Process<u32> for Flood {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                ctx.send(0, 0); // self-message storm
+            }
+            fn on_message(&mut self, _f: Pid, m: u32, ctx: &mut Ctx<u32>) {
+                ctx.send(0, m + 1);
+            }
+            fn on_timer(&mut self, _id: TimerId, _ctx: &mut Ctx<u32>) {}
+            impl_process_boilerplate!(u32);
+        }
+        let mut eng = Engine::<u32>::new(
+            Box::new(SyncNet::new(SimDuration::ZERO, 1)),
+            Box::new(RandomOracle::seeded(0)),
+            EngineConfig { max_events: 500, ..Default::default() },
+        );
+        eng.add_process(Box::new(Flood), DriftClock::perfect());
+        let report = eng.run();
+        assert!(report.truncated);
+        assert_eq!(report.events, 500);
+    }
+
+    #[test]
+    fn halted_processes_receive_nothing() {
+        #[derive(Debug, Clone, Default)]
+        struct QuitsEarly {
+            got_after_halt: bool,
+        }
+        impl Process<u32> for QuitsEarly {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                ctx.halt();
+            }
+            fn on_message(&mut self, _f: Pid, _m: u32, _c: &mut Ctx<u32>) {
+                self.got_after_halt = true;
+            }
+            fn on_timer(&mut self, _id: TimerId, _c: &mut Ctx<u32>) {}
+            impl_process_boilerplate!(u32);
+        }
+        #[derive(Debug, Clone, Default)]
+        struct Sender;
+        impl Process<u32> for Sender {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                ctx.send(0, 1);
+            }
+            fn on_message(&mut self, _f: Pid, _m: u32, _c: &mut Ctx<u32>) {}
+            fn on_timer(&mut self, _id: TimerId, _c: &mut Ctx<u32>) {}
+            impl_process_boilerplate!(u32);
+        }
+        let mut eng = Engine::<u32>::new(
+            Box::new(SyncNet::new(SimDuration::from_ticks(10), 1)),
+            Box::new(RandomOracle::seeded(0)),
+            EngineConfig::default(),
+        );
+        let quitter = eng.add_process(Box::new(QuitsEarly::default()), DriftClock::perfect());
+        eng.add_process(Box::new(Sender), DriftClock::perfect());
+        eng.run();
+        assert!(eng.is_halted(quitter));
+        assert!(!eng.process_as::<QuitsEarly>(quitter).unwrap().got_after_halt);
+    }
+
+    #[test]
+    fn past_local_deadline_fires_immediately() {
+        #[derive(Debug, Clone, Default)]
+        struct PastTimer {
+            fired_at: Option<SimTime>,
+        }
+        impl Process<u32> for PastTimer {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                // Clock offset is 500: local deadline 100 is already past.
+                ctx.set_timer_at(1, SimTime::from_ticks(100));
+            }
+            fn on_message(&mut self, _f: Pid, _m: u32, _c: &mut Ctx<u32>) {}
+            fn on_timer(&mut self, _id: TimerId, ctx: &mut Ctx<u32>) {
+                self.fired_at = Some(ctx.now());
+                ctx.halt();
+            }
+            impl_process_boilerplate!(u32);
+        }
+        let mut eng = Engine::<u32>::new(
+            Box::new(SyncNet::new(SimDuration::ZERO, 1)),
+            Box::new(RandomOracle::seeded(0)),
+            EngineConfig::default(),
+        );
+        let pid = eng.add_process(
+            Box::new(PastTimer::default()),
+            DriftClock::with_drift_ppm(0, SimDuration::from_ticks(500)),
+        );
+        let report = eng.run();
+        assert!(report.all_halted);
+        let p = eng.process_as::<PastTimer>(pid).unwrap();
+        assert_eq!(p.fired_at, Some(SimTime::from_ticks(500)), "fired at once, local now");
+    }
+}

@@ -1,0 +1,249 @@
+//! Exhaustive schedule exploration (systematic concurrency testing).
+//!
+//! For small protocol instances the space of scheduler choices — which
+//! delay bucket each message takes, how long each grey state computes — is
+//! finite once quantised. This module enumerates *every* path of that choice
+//! tree (depth-first, lexicographic) and checks a safety predicate on each
+//! complete run. It is the executable counterpart of the paper's "for every
+//! execution" quantifier over the safety clauses ES and CS1–CS3, applied to
+//! bounded instances, and is used by experiment E4 to cross-check the
+//! Figure 2 automata against the theorems on all schedules of small chains.
+//!
+//! The mechanism: the engine draws every nondeterministic choice from an
+//! [`Oracle`]; a [`ReplayOracle`] replays a prescribed prefix and records the
+//! branching degree at each step; [`explore`] re-runs the simulation with
+//! successive prefixes until the whole tree is covered (or a run budget is
+//! hit). Because runs are deterministic given the oracle, path enumeration
+//! is exactly schedule enumeration — no state snapshotting is needed.
+
+use crate::engine::{Engine, RunReport};
+use crate::oracle::{Oracle, ReplayOracle};
+use crate::process::Message;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Budget for an exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreLimits {
+    /// Maximum number of complete runs (tree leaves) to execute.
+    pub max_runs: usize,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        ExploreLimits { max_runs: 1_000_000 }
+    }
+}
+
+/// A safety violation found on one schedule.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The oracle choice path reproducing the failing schedule.
+    pub path: Vec<usize>,
+    /// Checker-provided description.
+    pub message: String,
+}
+
+/// Outcome of an exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Complete runs executed.
+    pub runs: usize,
+    /// True when the entire choice tree was covered within budget.
+    pub exhausted: bool,
+    /// All violations found (one per failing schedule).
+    pub violations: Vec<Violation>,
+}
+
+impl ExploreReport {
+    /// True when every explored schedule satisfied the checker.
+    pub fn all_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Shares a [`ReplayOracle`] between the engine (which consumes choices) and
+/// the explorer (which reads the log afterwards).
+struct SharedOracle(Rc<RefCell<ReplayOracle>>);
+
+impl Oracle for SharedOracle {
+    fn choose(&mut self, options: usize) -> usize {
+        self.0.borrow_mut().choose(options)
+    }
+}
+
+/// Exhaustively explores the schedule tree of a simulation.
+///
+/// * `build` — constructs a fresh engine wired to the given oracle; it must
+///   be deterministic (same oracle behaviour ⇒ same run).
+/// * `check` — inspects the completed engine and its [`RunReport`]; returns
+///   `Err(description)` to record a violation for that schedule.
+pub fn explore<M: Message>(
+    mut build: impl FnMut(Box<dyn Oracle>) -> Engine<M>,
+    mut check: impl FnMut(&Engine<M>, &RunReport) -> Result<(), String>,
+    limits: ExploreLimits,
+) -> ExploreReport {
+    let mut path: Vec<usize> = Vec::new();
+    let mut runs = 0usize;
+    let mut violations = Vec::new();
+    loop {
+        let oracle = Rc::new(RefCell::new(ReplayOracle::new(path.clone())));
+        let mut engine = build(Box::new(SharedOracle(oracle.clone())));
+        let report = engine.run();
+        runs += 1;
+        if let Err(message) = check(&engine, &report) {
+            let taken: Vec<usize> = oracle.borrow().log.iter().map(|&(c, _)| c).collect();
+            violations.push(Violation { path: taken, message });
+        }
+        if runs >= limits.max_runs {
+            return ExploreReport { runs, exhausted: false, violations };
+        }
+        let next = oracle.borrow().next_path();
+        match next {
+            Some(p) => path = p,
+            None => return ExploreReport { runs, exhausted: true, violations },
+        }
+    }
+}
+
+/// Re-runs a single schedule (e.g. a violating path from a previous
+/// exploration) and returns the engine for inspection.
+pub fn replay<M: Message>(
+    mut build: impl FnMut(Box<dyn Oracle>) -> Engine<M>,
+    path: &[usize],
+) -> (Engine<M>, RunReport) {
+    let oracle = Rc::new(RefCell::new(ReplayOracle::new(path.to_vec())));
+    let mut engine = build(Box::new(SharedOracle(oracle)));
+    let report = engine.run();
+    (engine, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::DriftClock;
+    use crate::engine::EngineConfig;
+    use crate::impl_process_boilerplate;
+    use crate::net::SyncNet;
+    use crate::process::{Ctx, Pid, Process, TimerId};
+    use crate::time::SimDuration;
+
+    /// Two racers send to a judge; the judge records who arrived first.
+    #[derive(Debug, Clone, Default)]
+    struct Judge {
+        first: Option<Pid>,
+    }
+    impl Process<u32> for Judge {
+        fn on_start(&mut self, _ctx: &mut Ctx<u32>) {}
+        fn on_message(&mut self, from: Pid, _m: u32, ctx: &mut Ctx<u32>) {
+            if self.first.is_none() {
+                self.first = Some(from);
+                ctx.mark("winner", from as i64);
+            }
+        }
+        fn on_timer(&mut self, _i: TimerId, _c: &mut Ctx<u32>) {}
+        impl_process_boilerplate!(u32);
+    }
+
+    #[derive(Debug, Clone)]
+    struct Racer {
+        judge: Pid,
+    }
+    impl Process<u32> for Racer {
+        fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+            ctx.send(self.judge, 1);
+        }
+        fn on_message(&mut self, _f: Pid, _m: u32, _c: &mut Ctx<u32>) {}
+        fn on_timer(&mut self, _i: TimerId, _c: &mut Ctx<u32>) {}
+        impl_process_boilerplate!(u32);
+    }
+
+    fn build_race(oracle: Box<dyn Oracle>) -> Engine<u32> {
+        let mut eng = Engine::new(
+            Box::new(SyncNet::new(SimDuration::from_ticks(100), 2)), // 2 buckets
+            oracle,
+            EngineConfig::default(),
+        );
+        eng.add_process(Box::new(Judge::default()), DriftClock::perfect()); // pid 0
+        eng.add_process(Box::new(Racer { judge: 0 }), DriftClock::perfect()); // pid 1
+        eng.add_process(Box::new(Racer { judge: 0 }), DriftClock::perfect()); // pid 2
+        eng
+    }
+
+    #[test]
+    fn explorer_finds_both_race_outcomes() {
+        let mut winners = std::collections::HashSet::new();
+        let report = explore(
+            build_race,
+            |eng, _| {
+                let judge = eng.process_as::<Judge>(0).unwrap();
+                winners.insert(judge.first);
+                Ok(())
+            },
+            ExploreLimits::default(),
+        );
+        assert!(report.exhausted);
+        assert!(report.all_ok());
+        // 2 racers × 2 delay buckets → 4 schedules.
+        assert_eq!(report.runs, 4);
+        assert!(winners.contains(&Some(1)));
+        assert!(winners.contains(&Some(2)));
+    }
+
+    #[test]
+    fn explorer_reports_violations_with_replayable_paths() {
+        let report = explore(
+            build_race,
+            |eng, _| {
+                let judge = eng.process_as::<Judge>(0).unwrap();
+                if judge.first == Some(2) {
+                    Err("racer 2 won".to_owned())
+                } else {
+                    Ok(())
+                }
+            },
+            ExploreLimits::default(),
+        );
+        assert!(report.exhausted);
+        assert!(!report.all_ok());
+        assert!(!report.violations.is_empty());
+        // Every reported path replays to the same violation.
+        for v in &report.violations {
+            let (eng, _) = replay(build_race, &v.path);
+            let judge = eng.process_as::<Judge>(0).unwrap();
+            assert_eq!(judge.first, Some(2), "replay must reproduce the violation");
+        }
+    }
+
+    #[test]
+    fn run_budget_respected() {
+        let report = explore(
+            build_race,
+            |_, _| Ok(()),
+            ExploreLimits { max_runs: 2 },
+        );
+        assert_eq!(report.runs, 2);
+        assert!(!report.exhausted);
+    }
+
+    #[test]
+    fn deterministic_system_explores_single_path() {
+        // With 1 bucket there is no choice anywhere: exactly one schedule.
+        let report = explore(
+            |oracle| {
+                let mut eng = Engine::new(
+                    Box::new(SyncNet::worst_case(SimDuration::from_ticks(10))),
+                    oracle,
+                    EngineConfig::default(),
+                );
+                eng.add_process(Box::new(Judge::default()), DriftClock::perfect());
+                eng.add_process(Box::new(Racer { judge: 0 }), DriftClock::perfect());
+                eng
+            },
+            |_, _| Ok(()),
+            ExploreLimits::default(),
+        );
+        assert!(report.exhausted);
+        assert_eq!(report.runs, 1);
+    }
+}

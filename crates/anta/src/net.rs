@@ -1,0 +1,390 @@
+//! Network timing models and adversaries.
+//!
+//! The paper's results split exactly along network assumptions \[1\]:
+//!
+//! * **Synchrony** ([`SyncNet`]) — every message arrives within a known
+//!   bound δ. Theorem 1: time-bounded cross-chain payment is solvable.
+//! * **Partial synchrony** ([`PartialSyncNet`]) — there is an *unknown*
+//!   Global Stabilisation Time (GST); messages sent at `t` arrive by
+//!   `max(t, GST) + δ`, but before GST the adversary controls delays.
+//!   Theorem 2: no eventually terminating protocol exists. Theorem 3: the
+//!   weak-liveness variant is solvable.
+//! * **Adversarial** ([`AdversarialNet`]) — a programmable model used to
+//!   build the Theorem 2 witness schedules and failure-injection tests;
+//!   it may delay arbitrarily and (unlike partial synchrony) drop messages,
+//!   modelling crashed links or a fully asynchronous adversary.
+//!
+//! Delays are quantised into `buckets` equal steps so that the same model
+//! serves Monte-Carlo runs (many buckets, random oracle) and exhaustive
+//! schedule exploration (two or three buckets, replay oracle).
+
+use crate::oracle::Oracle;
+use crate::process::Pid;
+use crate::time::{SimDuration, SimTime};
+
+/// Metadata of an in-flight message (payload is passed separately so models
+/// that don't inspect contents stay monomorphisation-friendly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnvelopeMeta {
+    /// Sender process id.
+    pub from: Pid,
+    /// Recipient process id.
+    pub to: Pid,
+    /// Real simulation time at which the send effect executed.
+    pub sent_at: SimTime,
+    /// Global sequence number of the send (unique, monotone).
+    pub seq: u64,
+}
+
+/// A delivery decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Deliver at the given real time (≥ send time).
+    At(SimTime),
+    /// Never deliver (dropped). Only adversarial models may do this.
+    Never,
+}
+
+/// A network timing model. `M` is the message type; models may inspect
+/// payloads (an adversary sees everything on the wire — signatures, not
+/// secrecy, protect the protocols).
+pub trait NetModel<M>: 'static {
+    /// Decides when (if ever) the message in `meta` is delivered.
+    fn route(&mut self, meta: &EnvelopeMeta, msg: &M, oracle: &mut dyn Oracle) -> Delivery;
+
+    /// Clone into a box (the schedule explorer forks simulations).
+    fn box_clone(&self) -> Box<dyn NetModel<M>>;
+}
+
+impl<M: 'static> Clone for Box<dyn NetModel<M>> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+/// Picks a delay in `[min, max]` quantised into `buckets` steps via the
+/// oracle. `buckets = 1` always yields `max` (the worst case — pessimistic
+/// by default).
+fn quantised_delay(
+    min: SimDuration,
+    max: SimDuration,
+    buckets: usize,
+    oracle: &mut dyn Oracle,
+) -> SimDuration {
+    debug_assert!(min <= max);
+    if min == max || buckets <= 1 {
+        return max;
+    }
+    let span = max - min;
+    let idx = oracle.choose(buckets) as u64;
+    // idx = buckets-1 ⇒ exactly max; idx = 0 ⇒ exactly min.
+    min + SimDuration::from_ticks(span.ticks() * idx / (buckets as u64 - 1))
+}
+
+/// Synchronous network: delivery within `[delta_min, delta_max]`, always.
+#[derive(Debug, Clone)]
+pub struct SyncNet {
+    /// Minimum delivery delay.
+    pub delta_min: SimDuration,
+    /// Maximum delivery delay.
+    pub delta_max: SimDuration,
+    /// Delay quantisation (1 means always the maximum).
+    pub buckets: usize,
+}
+
+impl SyncNet {
+    /// Uniform-ish delays in `[0, delta]` at the given resolution.
+    pub fn new(delta: SimDuration, buckets: usize) -> Self {
+        SyncNet { delta_min: SimDuration::ZERO, delta_max: delta, buckets }
+    }
+
+    /// Every message takes exactly δ (deterministic worst case).
+    pub fn worst_case(delta: SimDuration) -> Self {
+        SyncNet { delta_min: delta, delta_max: delta, buckets: 1 }
+    }
+}
+
+impl<M: 'static> NetModel<M> for SyncNet {
+    fn route(&mut self, meta: &EnvelopeMeta, _msg: &M, oracle: &mut dyn Oracle) -> Delivery {
+        let d = quantised_delay(self.delta_min, self.delta_max, self.buckets, oracle);
+        Delivery::At(meta.sent_at + d)
+    }
+
+    fn box_clone(&self) -> Box<dyn NetModel<M>> {
+        Box::new(self.clone())
+    }
+}
+
+/// What the adversary does with a message sent before GST.
+#[derive(Debug, Clone)]
+pub enum PreGstPolicy {
+    /// Hold every pre-GST message until the last permitted moment
+    /// (`max(sent, GST) + δ`) — the canonical DLS adversary.
+    MaxDelay,
+    /// Choose a delay bucket in `[0, (GST − sent) + δ]` per message.
+    Quantised {
+        /// Delay quantisation (1 means always the maximum).
+        buckets: usize,
+    },
+    /// Delay only messages between the given ordered pairs to the maximum;
+    /// everything else behaves synchronously. Used for targeted partition
+    /// witnesses (e.g. "cut Bob off until GST").
+    TargetPairs {
+        /// Directed (from, to) pairs the adversary targets.
+        pairs: Vec<(Pid, Pid)>,
+    },
+}
+
+/// Partially synchronous network in the DLS "unknown GST" formulation:
+/// a message sent at `t` is delivered no later than `max(t, GST) + δ`.
+#[derive(Debug, Clone)]
+pub struct PartialSyncNet {
+    /// Global Stabilisation Time: from here on, delays are bounded.
+    pub gst: SimTime,
+    /// Post-GST delivery bound.
+    pub delta: SimDuration,
+    /// What the adversary does with pre-GST messages.
+    pub policy: PreGstPolicy,
+    /// Resolution for post-GST delays.
+    pub buckets: usize,
+}
+
+impl PartialSyncNet {
+    /// Canonical worst-case adversary: everything pre-GST held to the limit.
+    pub fn new(gst: SimTime, delta: SimDuration) -> Self {
+        PartialSyncNet { gst, delta, policy: PreGstPolicy::MaxDelay, buckets: 1 }
+    }
+
+    /// Randomised pre- and post-GST delays at the given resolution.
+    pub fn randomized(gst: SimTime, delta: SimDuration, buckets: usize) -> Self {
+        PartialSyncNet { gst, delta, policy: PreGstPolicy::Quantised { buckets }, buckets }
+    }
+
+    /// Targeted partition of specific directed pairs until GST.
+    pub fn partition(gst: SimTime, delta: SimDuration, pairs: Vec<(Pid, Pid)>) -> Self {
+        PartialSyncNet { gst, delta, policy: PreGstPolicy::TargetPairs { pairs }, buckets: 1 }
+    }
+
+    /// The DLS delivery deadline for a message sent at `t`.
+    pub fn deadline(&self, sent_at: SimTime) -> SimTime {
+        sent_at.max(self.gst) + self.delta
+    }
+}
+
+impl<M: 'static> NetModel<M> for PartialSyncNet {
+    fn route(&mut self, meta: &EnvelopeMeta, _msg: &M, oracle: &mut dyn Oracle) -> Delivery {
+        let deadline = self.deadline(meta.sent_at);
+        if meta.sent_at >= self.gst {
+            // After GST the network is synchronous with bound δ.
+            let d = quantised_delay(SimDuration::ZERO, self.delta, self.buckets, oracle);
+            return Delivery::At(meta.sent_at + d);
+        }
+        let at = match &self.policy {
+            PreGstPolicy::MaxDelay => deadline,
+            PreGstPolicy::Quantised { buckets } => {
+                let span = deadline - meta.sent_at;
+                meta.sent_at + quantised_delay(SimDuration::ZERO, span, *buckets, oracle)
+            }
+            PreGstPolicy::TargetPairs { pairs } => {
+                if pairs.contains(&(meta.from, meta.to)) {
+                    deadline
+                } else {
+                    let d = quantised_delay(SimDuration::ZERO, self.delta, self.buckets, oracle);
+                    meta.sent_at + d
+                }
+            }
+        };
+        Delivery::At(at)
+    }
+
+    fn box_clone(&self) -> Box<dyn NetModel<M>> {
+        Box::new(self.clone())
+    }
+}
+
+/// Fully programmable adversary; used for impossibility witnesses and
+/// failure injection. The rule may delay arbitrarily or drop.
+pub struct AdversarialNet<M> {
+    #[allow(clippy::type_complexity)]
+    rule: std::sync::Arc<dyn Fn(&EnvelopeMeta, &M, &mut dyn Oracle) -> Delivery + Send + Sync>,
+}
+
+impl<M> Clone for AdversarialNet<M> {
+    fn clone(&self) -> Self {
+        AdversarialNet { rule: self.rule.clone() }
+    }
+}
+
+impl<M> AdversarialNet<M> {
+    /// Builds an adversary from a routing rule.
+    pub fn new(
+        rule: impl Fn(&EnvelopeMeta, &M, &mut dyn Oracle) -> Delivery + Send + Sync + 'static,
+    ) -> Self {
+        AdversarialNet { rule: std::sync::Arc::new(rule) }
+    }
+
+    /// Drops every message matching `pred`; the rest behave synchronously
+    /// with bound `delta`.
+    pub fn dropping(
+        delta: SimDuration,
+        pred: impl Fn(&EnvelopeMeta, &M) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Self::new(move |meta, msg, _o| {
+            if pred(meta, msg) {
+                Delivery::Never
+            } else {
+                Delivery::At(meta.sent_at + delta)
+            }
+        })
+    }
+
+    /// Delays every message matching `pred` by `extra` beyond `delta`.
+    pub fn delaying(
+        delta: SimDuration,
+        extra: SimDuration,
+        pred: impl Fn(&EnvelopeMeta, &M) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Self::new(move |meta, msg, _o| {
+            let d = if pred(meta, msg) { delta + extra } else { delta };
+            Delivery::At(meta.sent_at + d)
+        })
+    }
+}
+
+impl<M: 'static> NetModel<M> for AdversarialNet<M> {
+    fn route(&mut self, meta: &EnvelopeMeta, msg: &M, oracle: &mut dyn Oracle) -> Delivery {
+        (self.rule)(meta, msg, oracle)
+    }
+
+    fn box_clone(&self) -> Box<dyn NetModel<M>> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{FixedOracle, RandomOracle};
+
+    fn meta(sent: u64) -> EnvelopeMeta {
+        EnvelopeMeta { from: 0, to: 1, sent_at: SimTime::from_ticks(sent), seq: 0 }
+    }
+
+    #[test]
+    fn sync_respects_bounds() {
+        let mut net = SyncNet::new(SimDuration::from_ticks(100), 16);
+        let mut o = RandomOracle::seeded(1);
+        for i in 0..200 {
+            match NetModel::<u32>::route(&mut net, &meta(i), &0u32, &mut o) {
+                Delivery::At(t) => {
+                    assert!(t >= SimTime::from_ticks(i));
+                    assert!(t <= SimTime::from_ticks(i + 100));
+                }
+                Delivery::Never => panic!("sync net never drops"),
+            }
+        }
+    }
+
+    #[test]
+    fn sync_worst_case_is_exactly_delta() {
+        let mut net = SyncNet::worst_case(SimDuration::from_ticks(70));
+        let mut o = RandomOracle::seeded(1);
+        match NetModel::<u32>::route(&mut net, &meta(5), &0u32, &mut o) {
+            Delivery::At(t) => assert_eq!(t, SimTime::from_ticks(75)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn quantised_delay_hits_extremes() {
+        let min = SimDuration::from_ticks(10);
+        let max = SimDuration::from_ticks(20);
+        let mut lo = FixedOracle::minimal();
+        let mut hi = FixedOracle::maximal();
+        assert_eq!(quantised_delay(min, max, 3, &mut lo), min);
+        assert_eq!(quantised_delay(min, max, 3, &mut hi), max);
+        // Middle bucket of 3 is the midpoint.
+        let mut mid = FixedOracle::new(1);
+        assert_eq!(quantised_delay(min, max, 3, &mut mid), SimDuration::from_ticks(15));
+    }
+
+    #[test]
+    fn partial_sync_pre_gst_held_to_deadline() {
+        let gst = SimTime::from_ticks(1_000);
+        let delta = SimDuration::from_ticks(50);
+        let mut net = PartialSyncNet::new(gst, delta);
+        let mut o = RandomOracle::seeded(2);
+        match NetModel::<u32>::route(&mut net, &meta(10), &0u32, &mut o) {
+            Delivery::At(t) => assert_eq!(t, SimTime::from_ticks(1_050)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn partial_sync_post_gst_is_synchronous() {
+        let gst = SimTime::from_ticks(1_000);
+        let delta = SimDuration::from_ticks(50);
+        let mut net = PartialSyncNet::new(gst, delta);
+        let mut o = RandomOracle::seeded(2);
+        match NetModel::<u32>::route(&mut net, &meta(2_000), &0u32, &mut o) {
+            Delivery::At(t) => {
+                assert!(t >= SimTime::from_ticks(2_000) && t <= SimTime::from_ticks(2_050))
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn partial_sync_never_violates_dls_bound() {
+        let gst = SimTime::from_ticks(500);
+        let delta = SimDuration::from_ticks(30);
+        let mut net = PartialSyncNet::randomized(gst, delta, 8);
+        let mut o = RandomOracle::seeded(3);
+        for i in (0..1_000).step_by(37) {
+            let m = meta(i);
+            match NetModel::<u32>::route(&mut net, &m, &0u32, &mut o) {
+                Delivery::At(t) => assert!(t <= net.deadline(m.sent_at), "sent {i}"),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn partial_sync_partition_targets_only_pairs() {
+        let gst = SimTime::from_ticks(1_000);
+        let delta = SimDuration::from_ticks(10);
+        let mut net = PartialSyncNet::partition(gst, delta, vec![(0, 1)]);
+        let mut o = RandomOracle::seeded(4);
+        // Targeted pair: held until GST + δ.
+        match NetModel::<u32>::route(&mut net, &meta(0), &0u32, &mut o) {
+            Delivery::At(t) => assert_eq!(t, SimTime::from_ticks(1_010)),
+            _ => unreachable!(),
+        }
+        // Other direction: prompt.
+        let back = EnvelopeMeta { from: 1, to: 0, sent_at: SimTime::ZERO, seq: 1 };
+        match NetModel::<u32>::route(&mut net, &back, &0u32, &mut o) {
+            Delivery::At(t) => assert!(t <= SimTime::from_ticks(10)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn adversarial_drop_and_delay() {
+        let mut dropper =
+            AdversarialNet::dropping(SimDuration::from_ticks(5), |m: &EnvelopeMeta, _: &u32| {
+                m.to == 9
+            });
+        let mut o = RandomOracle::seeded(5);
+        let victim = EnvelopeMeta { from: 0, to: 9, sent_at: SimTime::ZERO, seq: 0 };
+        assert_eq!(dropper.route(&victim, &0u32, &mut o), Delivery::Never);
+        assert_eq!(dropper.route(&meta(0), &0u32, &mut o), Delivery::At(SimTime::from_ticks(5)));
+
+        let mut delayer = AdversarialNet::delaying(
+            SimDuration::from_ticks(5),
+            SimDuration::from_ticks(100),
+            |_m: &EnvelopeMeta, msg: &u32| *msg == 7,
+        );
+        assert_eq!(delayer.route(&meta(0), &7u32, &mut o), Delivery::At(SimTime::from_ticks(105)));
+        assert_eq!(delayer.route(&meta(0), &8u32, &mut o), Delivery::At(SimTime::from_ticks(5)));
+    }
+}

@@ -1,0 +1,216 @@
+//! The process interface between protocol code and the simulation engine.
+//!
+//! A [`Process`] sees the world exactly as an ANTA automaton does:
+//!
+//! * its **local clock** (`ctx.now()`), never real simulation time;
+//! * incoming messages (`on_message`) — the `r(id, m)` transitions;
+//! * its own timers (`on_timer`) — the `now ≥ x + d` time-out transitions;
+//! * the ability to send (`ctx.send`) — the `s(id, m)` transitions.
+//!
+//! Protocol implementations (the Figure 2 automata, the weak-liveness
+//! participants, the consensus notaries, Byzantine strategies) all implement
+//! this trait; the data-driven [`crate::automaton`] interpreter is itself
+//! just one more `Process`.
+
+use crate::time::{SimDuration, SimTime};
+use std::any::Any;
+
+/// Index of a process within an engine. Dense, assigned in registration
+/// order — used directly as an arena index (perf-book idiom: no hashing on
+/// the hot path).
+pub type Pid = usize;
+
+/// Identifier for a timer registered by a process (process-local meaning).
+pub type TimerId = u64;
+
+/// Messages must be cheaply clonable values.
+pub trait Message: Clone + std::fmt::Debug + 'static {}
+impl<T: Clone + std::fmt::Debug + 'static> Message for T {}
+
+/// Effects a process can request during a handler invocation. Collected by
+/// the [`Ctx`] and applied by the engine after the handler returns, so
+/// handlers never re-enter the engine.
+#[derive(Debug)]
+pub enum Effect<M> {
+    /// Send `msg` to `to` (the `s(to, msg)` action).
+    Send {
+        /// Recipient process id.
+        to: Pid,
+        /// The message payload.
+        msg: M,
+    },
+    /// Request `on_timer(id)` once the local clock reads ≥ `at_local`.
+    SetTimer {
+        /// Identifier (contract/timer id, per context).
+        id: TimerId,
+        /// Local-clock deadline.
+        at_local: SimTime,
+    },
+    /// Stop participating: no further handlers run for this process.
+    Halt,
+    /// Trace annotation (protocol-level observation, e.g. "got_money").
+    Mark {
+        /// Static annotation label.
+        label: &'static str,
+        /// Annotation value / voted value, per context.
+        value: i64,
+    },
+}
+
+/// Handler context: the process's window onto the engine.
+pub struct Ctx<M> {
+    pid: Pid,
+    now_local: SimTime,
+    effects: Vec<Effect<M>>,
+}
+
+impl<M> Ctx<M> {
+    pub(crate) fn new(pid: Pid, now_local: SimTime) -> Self {
+        Ctx { pid, now_local, effects: Vec::new() }
+    }
+
+    pub(crate) fn into_effects(self) -> Vec<Effect<M>> {
+        self.effects
+    }
+
+    /// This process's id.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The local clock reading (`now` in the paper's automata).
+    pub fn now(&self) -> SimTime {
+        self.now_local
+    }
+
+    /// Sends `msg` to `to`.
+    pub fn send(&mut self, to: Pid, msg: M) {
+        self.effects.push(Effect::Send { to, msg });
+    }
+
+    /// Fires `on_timer(id)` when the local clock reaches `at_local`.
+    /// Deadlines already in the past fire immediately (next event).
+    pub fn set_timer_at(&mut self, id: TimerId, at_local: SimTime) {
+        self.effects.push(Effect::SetTimer { id, at_local });
+    }
+
+    /// Fires `on_timer(id)` after `d` of *local* time.
+    pub fn set_timer_after(&mut self, id: TimerId, d: SimDuration) {
+        let at = self.now_local.saturating_add(d);
+        self.set_timer_at(id, at);
+    }
+
+    /// Halts this process (terminal states of the automata).
+    pub fn halt(&mut self) {
+        self.effects.push(Effect::Halt);
+    }
+
+    /// Records a protocol-level observation in the trace, with local
+    /// timestamp. Used by the property checkers (termination times, money
+    /// received, certificates issued…).
+    pub fn mark(&mut self, label: &'static str, value: i64) {
+        self.effects.push(Effect::Mark { label, value });
+    }
+}
+
+/// A participant in the simulated network.
+pub trait Process<M>: 'static {
+    /// Invoked once at simulation start (time 0 on the local clock modulo
+    /// offset). ANTA automata use this to leave their initial grey states.
+    fn on_start(&mut self, ctx: &mut Ctx<M>);
+
+    /// A message has been delivered to this process.
+    fn on_message(&mut self, from: Pid, msg: M, ctx: &mut Ctx<M>);
+
+    /// A timer set earlier has fired (local clock ≥ its deadline).
+    fn on_timer(&mut self, id: TimerId, ctx: &mut Ctx<M>);
+
+    /// Downcasting hook so property checkers can inspect final states.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Clones the process into a fresh box — required by the schedule
+    /// explorer, which forks simulations at choice points.
+    fn box_clone(&self) -> Box<dyn Process<M>>;
+}
+
+impl<M: 'static> Clone for Box<dyn Process<M>> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+/// Implements the `as_any`/`box_clone` boilerplate for a `Process` impl that
+/// is `Clone`.
+#[macro_export]
+macro_rules! impl_process_boilerplate {
+    ($msg:ty) => {
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn box_clone(&self) -> Box<dyn $crate::process::Process<$msg>> {
+            Box::new(self.clone())
+        }
+    };
+}
+
+/// A process that does nothing — useful as a crash-from-start fault and in
+/// engine tests.
+#[derive(Debug, Clone, Default)]
+pub struct InertProcess;
+
+impl<M: Message> Process<M> for InertProcess {
+    fn on_start(&mut self, _ctx: &mut Ctx<M>) {}
+    fn on_message(&mut self, _from: Pid, _msg: M, _ctx: &mut Ctx<M>) {}
+    fn on_timer(&mut self, _id: TimerId, _ctx: &mut Ctx<M>) {}
+    impl_process_boilerplate!(M);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_collects_effects_in_order() {
+        let mut ctx: Ctx<u32> = Ctx::new(3, SimTime::from_ticks(50));
+        assert_eq!(ctx.pid(), 3);
+        assert_eq!(ctx.now(), SimTime::from_ticks(50));
+        ctx.send(1, 42);
+        ctx.set_timer_after(7, SimDuration::from_ticks(10));
+        ctx.mark("m", -1);
+        ctx.halt();
+        let fx = ctx.into_effects();
+        assert_eq!(fx.len(), 4);
+        match &fx[0] {
+            Effect::Send { to, msg } => {
+                assert_eq!(*to, 1);
+                assert_eq!(*msg, 42);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &fx[1] {
+            Effect::SetTimer { id, at_local } => {
+                assert_eq!(*id, 7);
+                assert_eq!(*at_local, SimTime::from_ticks(60));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(fx[2], Effect::Mark { label: "m", value: -1 }));
+        assert!(matches!(fx[3], Effect::Halt));
+    }
+
+    #[test]
+    fn timer_after_saturates() {
+        let mut ctx: Ctx<u32> = Ctx::new(0, SimTime::MAX);
+        ctx.set_timer_after(1, SimDuration::MAX);
+        match &ctx.into_effects()[0] {
+            Effect::SetTimer { at_local, .. } => assert_eq!(*at_local, SimTime::MAX),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boxed_process_clone_works() {
+        let p: Box<dyn Process<u32>> = Box::new(InertProcess);
+        let _q = p.clone();
+    }
+}

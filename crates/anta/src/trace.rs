@@ -1,0 +1,282 @@
+//! Execution traces.
+//!
+//! Every run records a totally ordered sequence of [`TraceEvent`]s. The
+//! property checkers in the payment crate (C, T, ES, CS1–CS3, L, CC of
+//! Definitions 1 and 2) are functions over these traces plus final ledger
+//! and process states; the trace is the executable counterpart of the
+//! paper's "upon termination / eventually" quantifiers.
+
+use crate::process::Pid;
+use crate::time::SimTime;
+
+/// One observable step of a run. `real` is global simulation time (for
+/// engine-level analysis); `local` is the acting process's clock reading
+/// (what the process itself could know).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent<M> {
+    /// Real (global) simulation time of the event.
+    pub real: SimTime,
+    /// The event payload / input kind, per context.
+    pub kind: TraceKind<M>,
+}
+
+/// Event payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceKind<M> {
+    /// `from` executed a send of `msg` to `to`.
+    Sent {
+        /// Sender process id.
+        from: Pid,
+        /// Recipient process id.
+        to: Pid,
+        /// The message payload.
+        msg: M,
+    },
+    /// `msg` from `from` was handed to `to`'s handler.
+    Delivered {
+        /// Sender process id.
+        from: Pid,
+        /// Recipient process id.
+        to: Pid,
+        /// The message payload.
+        msg: M,
+    },
+    /// Message dropped by the network model.
+    Dropped {
+        /// Sender process id.
+        from: Pid,
+        /// Recipient process id.
+        to: Pid,
+        /// The message payload.
+        msg: M,
+    },
+    /// Timer `id` fired at `pid`.
+    TimerFired {
+        /// The acting process.
+        pid: Pid,
+        /// Identifier (contract/timer id, per context).
+        id: u64,
+    },
+    /// `pid` halted (terminated its protocol role).
+    Halted {
+        /// The acting process.
+        pid: Pid,
+        /// Local-clock reading at the event.
+        local: SimTime,
+    },
+    /// Protocol-level annotation from `pid` (see `Ctx::mark`).
+    Mark {
+        /// The acting process.
+        pid: Pid,
+        /// Local-clock reading at the event.
+        local: SimTime,
+        /// Static annotation label.
+        label: &'static str,
+        /// Annotation value / voted value, per context.
+        value: i64,
+    },
+}
+
+/// A full run trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace<M> {
+    /// The events, in dispatch order.
+    pub events: Vec<TraceEvent<M>>,
+}
+
+impl<M> Trace<M> {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Trace { events: Vec::new() }
+    }
+
+    pub(crate) fn push(&mut self, real: SimTime, kind: TraceKind<M>) {
+        self.events.push(TraceEvent { real, kind });
+    }
+
+    /// All `Mark` events with the given label, as `(pid, real, local, value)`.
+    pub fn marks(&self, label: &str) -> impl Iterator<Item = (Pid, SimTime, SimTime, i64)> + '_ {
+        let want = label.to_owned();
+        self.events.iter().filter_map(move |e| match &e.kind {
+            TraceKind::Mark { pid, local, label, value } if *label == want => {
+                Some((*pid, e.real, *local, *value))
+            }
+            _ => None,
+        })
+    }
+
+    /// First real time a mark with `label` was emitted by `pid`.
+    pub fn first_mark(&self, pid: Pid, label: &str) -> Option<SimTime> {
+        self.marks(label).find(|(p, _, _, _)| *p == pid).map(|(_, real, _, _)| real)
+    }
+
+    /// Real halt time of `pid`, if it halted.
+    pub fn halt_time(&self, pid: Pid) -> Option<SimTime> {
+        self.events.iter().find_map(|e| match e.kind {
+            TraceKind::Halted { pid: p, .. } if p == pid => Some(e.real),
+            _ => None,
+        })
+    }
+
+    /// Local clock reading at which `pid` halted.
+    pub fn halt_local_time(&self, pid: Pid) -> Option<SimTime> {
+        self.events.iter().find_map(|e| match e.kind {
+            TraceKind::Halted { pid: p, local } if p == pid => Some(local),
+            _ => None,
+        })
+    }
+
+    /// Number of messages delivered to `to` (any sender).
+    pub fn delivered_count(&self, to: Pid) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Delivered { to: t, .. } if t == to))
+            .count()
+    }
+
+    /// Total messages sent in the run.
+    pub fn sent_count(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e.kind, TraceKind::Sent { .. })).count()
+    }
+
+    /// Total messages dropped by the network.
+    pub fn dropped_count(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e.kind, TraceKind::Dropped { .. })).count()
+    }
+
+    /// The real time of the last event, or zero for an empty trace.
+    pub fn end_time(&self) -> SimTime {
+        self.events.last().map(|e| e.real).unwrap_or(SimTime::ZERO)
+    }
+}
+
+impl<M: std::fmt::Debug> Trace<M> {
+    /// Renders the run as an ASCII message-sequence chart: one column per
+    /// process, one row per delivery/halt/timer event, in dispatch order.
+    /// `names[p]` labels process `p`; message payloads are shown via a
+    /// caller-supplied formatter so domain crates can print `G`/`P`/`$`/χ
+    /// instead of debug dumps.
+    pub fn render_msc(
+        &self,
+        names: &[&str],
+        mut label: impl FnMut(&M) -> String,
+    ) -> String {
+        use std::fmt::Write as _;
+        let width = 14usize;
+        let cols = names.len();
+        let mut out = String::new();
+        for name in names {
+            let _ = write!(out, "{name:^width$}");
+        }
+        out.push('\n');
+        for _ in 0..cols {
+            let _ = write!(out, "{:^width$}", "|");
+        }
+        out.push('\n');
+        for ev in &self.events {
+            match &ev.kind {
+                TraceKind::Delivered { from, to, msg } => {
+                    let (a, b) = (*from.min(to), *from.max(to));
+                    if a >= cols || b >= cols {
+                        continue;
+                    }
+                    let text = label(msg);
+                    let mut line = String::new();
+                    for c in 0..cols {
+                        if c < a || c > b || a == b {
+                            let _ = write!(line, "{:^width$}", "|");
+                        } else if c == a {
+                            let arrow = if *from == a { "+--" } else { "<--" };
+                            let _ = write!(line, "{arrow:-<width$}");
+                        } else if c == b {
+                            let arrow = if *to == b { format!("->{text}") } else { format!("--+{text}") };
+                            let _ = write!(line, "{arrow:<width$}");
+                        } else {
+                            let _ = write!(line, "{:-<width$}", "-");
+                        }
+                    }
+                    let _ = writeln!(out, "{}  t={}", line.trim_end(), ev.real);
+                }
+                TraceKind::Halted { pid, .. } if *pid < cols => {
+                    let mut line = String::new();
+                    for c in 0..cols {
+                        let cell = if c == *pid { "X" } else { "|" };
+                        let _ = write!(line, "{cell:^width$}");
+                    }
+                    let _ = writeln!(out, "{}  t={} (halt)", line.trim_end(), ev.real);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ticks: u64) -> SimTime {
+        SimTime::from_ticks(ticks)
+    }
+
+    #[test]
+    fn mark_queries() {
+        let mut tr: Trace<u32> = Trace::new();
+        tr.push(t(5), TraceKind::Mark { pid: 1, local: t(6), label: "paid", value: 10 });
+        tr.push(t(9), TraceKind::Mark { pid: 2, local: t(9), label: "paid", value: 20 });
+        tr.push(t(11), TraceKind::Mark { pid: 1, local: t(12), label: "refund", value: 10 });
+        assert_eq!(tr.marks("paid").count(), 2);
+        assert_eq!(tr.first_mark(1, "paid"), Some(t(5)));
+        assert_eq!(tr.first_mark(1, "refund"), Some(t(11)));
+        assert_eq!(tr.first_mark(3, "paid"), None);
+    }
+
+    #[test]
+    fn halt_and_counts() {
+        let mut tr: Trace<u32> = Trace::new();
+        tr.push(t(1), TraceKind::Sent { from: 0, to: 1, msg: 7 });
+        tr.push(t(2), TraceKind::Delivered { from: 0, to: 1, msg: 7 });
+        tr.push(t(2), TraceKind::Dropped { from: 1, to: 0, msg: 8 });
+        tr.push(t(3), TraceKind::Halted { pid: 1, local: t(4) });
+        assert_eq!(tr.sent_count(), 1);
+        assert_eq!(tr.delivered_count(1), 1);
+        assert_eq!(tr.delivered_count(0), 0);
+        assert_eq!(tr.dropped_count(), 1);
+        assert_eq!(tr.halt_time(1), Some(t(3)));
+        assert_eq!(tr.halt_local_time(1), Some(t(4)));
+        assert_eq!(tr.halt_time(0), None);
+        assert_eq!(tr.end_time(), t(3));
+    }
+
+    #[test]
+    fn msc_renders_deliveries_and_halts() {
+        let mut tr: Trace<u32> = Trace::new();
+        tr.push(t(5), TraceKind::Delivered { from: 0, to: 2, msg: 7 });
+        tr.push(t(9), TraceKind::Delivered { from: 2, to: 1, msg: 8 });
+        tr.push(t(12), TraceKind::Halted { pid: 1, local: t(12) });
+        tr.push(t(13), TraceKind::TimerFired { pid: 0, id: 1 }); // not drawn
+        let msc = tr.render_msc(&["alice", "escrow", "bob"], |m| format!("m{m}"));
+        assert!(msc.contains("alice"));
+        assert!(msc.contains("->m7"));
+        assert!(msc.contains("m8"));
+        assert!(msc.contains("(halt)"));
+        // Right number of event rows: header(2) + 3 drawn events.
+        assert_eq!(msc.trim_end().lines().count(), 5, "{msc}");
+    }
+
+    #[test]
+    fn msc_ignores_out_of_range_pids() {
+        let mut tr: Trace<u32> = Trace::new();
+        tr.push(t(1), TraceKind::Delivered { from: 0, to: 9, msg: 1 });
+        let msc = tr.render_msc(&["a", "b"], |m| m.to_string());
+        assert_eq!(msc.trim_end().lines().count(), 2, "only the header: {msc}");
+    }
+
+    #[test]
+    fn empty_trace() {
+        let tr: Trace<u32> = Trace::new();
+        assert_eq!(tr.end_time(), SimTime::ZERO);
+        assert_eq!(tr.sent_count(), 0);
+    }
+}

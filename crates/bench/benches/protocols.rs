@@ -1,0 +1,247 @@
+//! Criterion benches for every paper artefact (DESIGN.md §6).
+//!
+//! One group per experiment id. Each benchmark measures the wall-clock
+//! cost of regenerating the corresponding artefact at a small but
+//! representative scale; the *shape* results (who wins, where crossovers
+//! sit) live in the experiment binaries — these benches track that the
+//! simulator stays fast enough to run them at scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use anta::net::SyncNet;
+use anta::oracle::RandomOracle;
+use payment::timebounded::{ChainOutcome, ChainSetup, ClockPlan};
+use payment::{SyncParams, TimeoutSchedule, ValuePlan};
+
+/// E1 — full time-bounded payment runs vs chain length.
+fn bench_e1_timebounded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_timebounded");
+    g.sample_size(20);
+    for n in [1usize, 2, 4, 8] {
+        let setup = ChainSetup::new(n, ValuePlan::uniform(n, 100), SyncParams::baseline(), 1);
+        g.bench_with_input(BenchmarkId::new("chain", n), &setup, |b, setup| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut eng = setup.build_engine(
+                    Box::new(SyncNet::new(setup.params.delta, 16)),
+                    Box::new(RandomOracle::seeded(seed)),
+                    ClockPlan::Sampled { seed },
+                );
+                let report = eng.run();
+                let o = ChainOutcome::extract(&eng, setup, report.quiescent);
+                assert!(o.bob_paid());
+                black_box(o)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// E2 — impossibility witness construction.
+fn bench_e2_impossibility(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_impossibility");
+    g.sample_size(20);
+    g.bench_function("cs2_witness", |b| {
+        b.iter(|| black_box(payment::impossibility::cs2_violation_under_partial_synchrony(2, 100)))
+    });
+    g.bench_function("indistinguishability_pair", |b| {
+        b.iter(|| black_box(payment::impossibility::indistinguishability_pair(2, 100)))
+    });
+    g.finish();
+}
+
+/// E3 — weak protocol runs per transaction-manager kind.
+fn bench_e3_weak(c: &mut Criterion) {
+    use payment::weak::{TmKind, WeakOutcome, WeakSetup};
+    let mut g = c.benchmark_group("e3_weak");
+    g.sample_size(20);
+    for (label, kind) in [
+        ("trusted", TmKind::Trusted),
+        ("contract", TmKind::Contract),
+        ("committee4", TmKind::Committee { k: 4 }),
+    ] {
+        g.bench_function(label, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let setup = WeakSetup::new(2, ValuePlan::uniform(2, 100), kind, seed);
+                let mut eng = setup.build_engine(
+                    Box::new(SyncNet::new(anta::time::SimDuration::from_millis(4), 8)),
+                    Box::new(RandomOracle::seeded(seed)),
+                );
+                eng.run();
+                let o = WeakOutcome::extract(&eng, &setup);
+                assert!(o.cc_ok);
+                black_box(o)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// E4 — exhaustive schedule exploration of the small instance.
+fn bench_e4_explore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_explore");
+    g.sample_size(10);
+    g.bench_function("exhaustive_n1", |b| {
+        b.iter(|| {
+            let r = experiments::e4::explore_small_instance();
+            assert!(r.exhausted && r.all_ok());
+            black_box(r.runs)
+        })
+    });
+    g.bench_function("fig2_cross_check_n2", |b| {
+        b.iter(|| {
+            let (e, d) = experiments::e4::cross_check(2);
+            assert_eq!(e, d);
+            black_box(e.len())
+        })
+    });
+    g.finish();
+}
+
+/// E5 — baseline runs: tuned vs untuned schedules, HTLC swap.
+fn bench_e5_baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_baselines");
+    g.sample_size(20);
+    let params = SyncParams { rho_ppm: 150_000, ..SyncParams::baseline() };
+    for (label, untuned) in [("tuned", false), ("untuned", true)] {
+        g.bench_function(label, |b| {
+            let mut setup = ChainSetup::new(3, ValuePlan::uniform(3, 100), params, 7);
+            if untuned {
+                setup = setup.with_schedule(interledger::untuned_schedule(3, &params));
+            }
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut eng = setup.build_engine(
+                    Box::new(SyncNet::worst_case(params.delta)),
+                    Box::new(RandomOracle::seeded(seed)),
+                    ClockPlan::Extremes,
+                );
+                let report = eng.run();
+                black_box(ChainOutcome::extract(&eng, &setup, report.quiescent))
+            });
+        });
+    }
+    g.bench_function("htlc_griefing_window", |b| {
+        b.iter(|| black_box(experiments::e5::htlc_comparison()))
+    });
+    g.finish();
+}
+
+/// E6 — the timeout calculus itself (pure arithmetic).
+fn bench_e6_timing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_timing");
+    for n in [2usize, 8, 32, 128] {
+        g.bench_with_input(BenchmarkId::new("derive_validate", n), &n, |b, &n| {
+            let p = SyncParams::baseline();
+            b.iter(|| {
+                let s = TimeoutSchedule::derive(n, &p);
+                assert!(s.validate(&p).is_ok());
+                black_box(s)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// E7 — the deal protocols.
+fn bench_e7_deals(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_deals");
+    g.sample_size(20);
+    g.bench_function("timelock_commit_sync", |b| {
+        b.iter(|| {
+            let o = experiments::e2::timelock_deal_control();
+            assert!(o.is_full_commit());
+            black_box(o)
+        })
+    });
+    g.bench_function("certified_commit_psync", |b| {
+        b.iter(|| {
+            let (o, _) = experiments::e7::run_certified(true, false);
+            assert!(o.is_full_commit());
+            black_box(o)
+        })
+    });
+    g.finish();
+}
+
+/// P — substrate micro-benches: engine throughput, consensus, crypto.
+fn bench_perf(c: &mut Criterion) {
+    use anta::clock::DriftClock;
+    use anta::engine::{Engine, EngineConfig};
+    use anta::process::{Ctx, Pid, Process, TimerId};
+    use anta::time::SimDuration;
+
+    // Engine event throughput: a two-process ping-pong of 10k messages.
+    #[derive(Debug, Clone)]
+    struct Pinger {
+        peer: Pid,
+        limit: u32,
+        first: bool,
+    }
+    impl Process<u32> for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+            if self.first {
+                ctx.send(self.peer, 0);
+            }
+        }
+        fn on_message(&mut self, from: Pid, m: u32, ctx: &mut Ctx<u32>) {
+            if m < self.limit {
+                ctx.send(from, m + 1);
+            } else {
+                ctx.halt();
+            }
+        }
+        fn on_timer(&mut self, _i: TimerId, _c: &mut Ctx<u32>) {}
+        anta::impl_process_boilerplate!(u32);
+    }
+
+    let mut g = c.benchmark_group("perf_substrate");
+    g.bench_function("engine_10k_messages", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u32> = Engine::new(
+                Box::new(SyncNet::new(SimDuration::from_ticks(50), 16)),
+                Box::new(RandomOracle::seeded(3)),
+                EngineConfig::default(),
+            );
+            eng.add_process(Box::new(Pinger { peer: 1, limit: 10_000, first: true }), DriftClock::perfect());
+            eng.add_process(Box::new(Pinger { peer: 0, limit: 10_000, first: false }), DriftClock::perfect());
+            let report = eng.run();
+            black_box(report.events)
+        })
+    });
+    g.bench_function("consensus_committee7", |b| {
+        b.iter(|| black_box(experiments::perf::consensus_cost(7)))
+    });
+    g.bench_function("sha256_4kib", |b| {
+        let data = vec![0xA5u8; 4096];
+        b.iter(|| black_box(xcrypto::sha256(black_box(&data))))
+    });
+    g.bench_function("sign_verify", |b| {
+        let mut pki = xcrypto::Pki::new(9);
+        let (_, signer) = pki.register();
+        b.iter(|| {
+            let sig = signer.sign(b"bench", b"message");
+            assert!(pki.verify(&sig, b"bench", b"message"));
+            black_box(sig)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_e1_timebounded,
+    bench_e2_impossibility,
+    bench_e3_weak,
+    bench_e4_explore,
+    bench_e5_baselines,
+    bench_e6_timing,
+    bench_e7_deals,
+    bench_perf,
+);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! # xchain-bench — criterion benchmarks
+//!
+//! One benchmark group per paper artefact (see `benches/protocols.rs` and
+//! DESIGN.md §6): E1 protocol runs vs chain length, E2 witness
+//! construction, E3 weak-protocol runs per manager kind, E4 exhaustive
+//! exploration, E5 baselines, E6 the timeout calculus, E7 the deal
+//! protocols, and substrate micro-benches (engine throughput, consensus,
+//! SHA-256, sign/verify).

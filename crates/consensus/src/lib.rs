@@ -1,0 +1,30 @@
+//! # xchain-consensus — partial-synchrony Byzantine consensus
+//!
+//! Theorem 3's transaction manager "can also be a collection of notaries
+//! appointed by the participants in the protocol, of which less than
+//! one-third is assumed to be unreliable. They would run a consensus
+//! algorithm for partial synchrony such as the one from Dwork, Lynch &
+//! Stockmeyer." This crate is that component:
+//!
+//! * [`msg`] — signed votes, proposals with proofs-of-lock, decision
+//!   certificates (quorums of precommit signatures);
+//! * [`core`] — the sans-IO notary state machine: rotating leaders, growing
+//!   round timeouts (the DLS recipe for unknown GST), value locking with
+//!   verifiable proof-of-lock re-proposals; safety for `f < n/3` under any
+//!   timing, liveness once the network stabilises;
+//! * [`process`] — the ANTA engine adapter plus Byzantine test doubles
+//!   (silent and equivocating notaries).
+//!
+//! The same [`core::NotaryCore`] is embedded by the payment crate's
+//! notary-committee transaction manager; here it is exercised in isolation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod core;
+pub mod msg;
+pub mod process;
+
+pub use crate::core::{Config, NotaryCore, Output};
+pub use msg::{ConsMsg, ConsensusValue, ProofOfLock, VoteKind};
+pub use process::{EquivocatorNotary, NotaryProcess, SilentNotary};

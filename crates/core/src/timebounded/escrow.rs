@@ -1,0 +1,501 @@
+//! Escrow `e_i` of the time-bounded protocol — the executable counterpart
+//! of Figure 2's escrow automaton, with the real ledger attached.
+//!
+//! The paper's description (§4): *"An escrow e_i first sends promise G(d_i)
+//! to its (upstream) customer c_i. … Then it awaits receipt of the
+//! money/value from customer c_i. If the money does arrive, the escrow
+//! issues promise P(a_i) to its downstream customer c_{i+1}. It remembers
+//! the time this promise was issued as u. Then it awaits receipt of the
+//! certificate χ from customer c_{i+1}. If χ does not arrive by time
+//! u + a_i, a time-out occurs, and the escrow refunds the money to customer
+//! c_i. If it does arrive in time, the escrow reacts by forwarding the
+//! certificate to customer c_i, and forwarding the money to customer
+//! c_{i+1}."*
+//!
+//! The control structure is mirrored one-for-one by the declarative
+//! automaton in [`super::fig2`]; the integration tests cross-check the two.
+
+use crate::msg::{PMsg, PromiseKind, SignedPromise};
+use anta::process::{Ctx, Pid, Process, TimerId};
+use anta::time::SimTime;
+use ledger::{Asset, DealId, Ledger};
+use std::sync::Arc;
+use xcrypto::{KeyId, PaymentId, Pki, Signer};
+
+use crate::timing::TimeoutSchedule;
+
+/// Escrow control states (Figure 2's white states; the grey states are
+/// transient within a single handler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EscrowState {
+    /// Waiting for $ from the upstream customer (after sending `G(d_i)`).
+    AwaitMoney,
+    /// Waiting for χ from the downstream customer (after sending `P(a_i)`),
+    /// racing the timeout `now ≥ u + a_i`.
+    AwaitChi,
+    /// χ arrived in time: certificate forwarded upstream, money released
+    /// downstream.
+    Paid,
+    /// Timed out: money refunded upstream.
+    Refunded,
+}
+
+const TIMER_CHI: TimerId = 1;
+
+/// The executable escrow.
+#[derive(Clone)]
+pub struct EscrowProcess {
+    /// Chain index `i` of this escrow `e_i`.
+    index: usize,
+    /// Engine pid of upstream customer `c_i`.
+    up: Pid,
+    /// Engine pid of downstream customer `c_{i+1}`.
+    down: Pid,
+    /// Account keys of the two customers.
+    up_key: KeyId,
+    down_key: KeyId,
+    bob_key: KeyId,
+    signer: Signer,
+    pki: Arc<Pki>,
+    payment: PaymentId,
+    /// The value this hop carries.
+    asset: Asset,
+    /// Promise bounds from the timeout calculus.
+    a_i: anta::time::SimDuration,
+    d_i: anta::time::SimDuration,
+    /// The escrow's book (funded with the upstream customer's capital).
+    ledger: Ledger,
+    state: EscrowState,
+    deal: Option<DealId>,
+    /// `u := now` — local issuance time of `P(a_i)`.
+    u: Option<SimTime>,
+}
+
+impl EscrowProcess {
+    /// Builds escrow `e_i`. `ledger` must already hold accounts for both
+    /// customers, with the upstream customer funded to cover `asset`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        index: usize,
+        up: Pid,
+        down: Pid,
+        up_key: KeyId,
+        down_key: KeyId,
+        bob_key: KeyId,
+        signer: Signer,
+        pki: Arc<Pki>,
+        payment: PaymentId,
+        asset: Asset,
+        schedule: &TimeoutSchedule,
+        ledger: Ledger,
+    ) -> Self {
+        EscrowProcess {
+            index,
+            up,
+            down,
+            up_key,
+            down_key,
+            bob_key,
+            signer,
+            pki,
+            payment,
+            asset,
+            a_i: schedule.a[index],
+            d_i: schedule.d[index],
+            ledger,
+            state: EscrowState::AwaitMoney,
+            deal: None,
+            u: None,
+        }
+    }
+
+    /// Current control state.
+    pub fn state(&self) -> EscrowState {
+        self.state
+    }
+
+    /// The escrow's book (for conservation audits and balance assertions).
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Chain index of this escrow.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    fn resolve_paid(&mut self, chi: xcrypto::Receipt, ctx: &mut Ctx<PMsg>) {
+        // Grey-state chain of Figure 2: s(c_i, χ) then s(c_{i+1}, $).
+        ctx.send(self.up, PMsg::Receipt(chi));
+        let deal = self.deal.expect("AwaitChi implies a locked deal");
+        self.ledger.release(deal).expect("locked deal releases exactly once");
+        ctx.send(self.down, PMsg::Money { payment: self.payment, asset: self.asset });
+        self.state = EscrowState::Paid;
+        ctx.mark("escrow_released", self.index as i64);
+        ctx.halt();
+    }
+
+    fn resolve_refund(&mut self, ctx: &mut Ctx<PMsg>) {
+        let deal = self.deal.expect("AwaitChi implies a locked deal");
+        self.ledger.refund(deal).expect("locked deal refunds exactly once");
+        ctx.send(self.up, PMsg::Money { payment: self.payment, asset: self.asset });
+        self.state = EscrowState::Refunded;
+        ctx.mark("escrow_refunded", self.index as i64);
+        ctx.halt();
+    }
+}
+
+impl Process<PMsg> for EscrowProcess {
+    fn on_start(&mut self, ctx: &mut Ctx<PMsg>) {
+        // Grey state: issue G(d_i) to the upstream customer.
+        let g = SignedPromise::issue(
+            &self.signer,
+            PromiseKind::Guarantee,
+            self.payment,
+            self.index,
+            self.d_i,
+        );
+        ctx.send(self.up, PMsg::Promise(g));
+        ctx.mark("escrow_sent_g", self.index as i64);
+    }
+
+    fn on_message(&mut self, from: Pid, msg: PMsg, ctx: &mut Ctx<PMsg>) {
+        match (self.state, msg) {
+            (EscrowState::AwaitMoney, PMsg::Money { payment, asset }) => {
+                if from != self.up || payment != self.payment || asset != self.asset {
+                    return; // wrong party or wrong deal: an abiding escrow ignores it
+                }
+                // Lock the value. A customer without cover is not abiding;
+                // the escrow simply does not proceed (and owes nothing).
+                match self.ledger.lock(self.up_key, self.down_key, asset) {
+                    Ok(deal) => {
+                        self.deal = Some(deal);
+                        ctx.mark("escrow_locked", self.index as i64);
+                    }
+                    Err(_) => {
+                        ctx.mark("escrow_lock_rejected", self.index as i64);
+                        return;
+                    }
+                }
+                // Grey state: issue P(a_i) downstream; u := now.
+                let u = ctx.now();
+                self.u = Some(u);
+                let p = SignedPromise::issue(
+                    &self.signer,
+                    PromiseKind::Promise,
+                    self.payment,
+                    self.index,
+                    self.a_i,
+                );
+                ctx.send(self.down, PMsg::Promise(p));
+                ctx.mark("escrow_sent_p", self.index as i64);
+                // Arm the time-out `now ≥ u + a_i`.
+                ctx.set_timer_at(TIMER_CHI, u + self.a_i);
+                self.state = EscrowState::AwaitChi;
+            }
+            (EscrowState::AwaitChi, PMsg::Receipt(chi)) => {
+                if from != self.down {
+                    return;
+                }
+                // Authenticity: χ must be Bob's signature over this payment.
+                if chi.payment != self.payment || !chi.verify(&self.pki, self.bob_key) {
+                    ctx.mark("escrow_bad_chi", self.index as i64);
+                    return;
+                }
+                // Timeliness: the P(a) promise covers χ received at local
+                // time v < u + a_i only.
+                let u = self.u.expect("AwaitChi implies P was issued");
+                if ctx.now() >= u + self.a_i {
+                    ctx.mark("escrow_late_chi", self.index as i64);
+                    return; // the timer will refund
+                }
+                self.resolve_paid(chi, ctx);
+            }
+            _ => {} // anything else is out of protocol; an abiding escrow ignores it
+        }
+    }
+
+    fn on_timer(&mut self, id: TimerId, ctx: &mut Ctx<PMsg>) {
+        if id == TIMER_CHI && self.state == EscrowState::AwaitChi {
+            self.resolve_refund(ctx);
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn box_clone(&self) -> Box<dyn Process<PMsg>> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::SyncParams;
+    use anta::clock::DriftClock;
+    use anta::engine::{Engine, EngineConfig};
+    use anta::net::SyncNet;
+    use anta::oracle::RandomOracle;
+    use anta::process::InertProcess;
+    use anta::time::SimDuration;
+    use ledger::CurrencyId;
+    use xcrypto::Receipt;
+
+    /// Harness: escrow at pid 2, scripted customers at pids 0 (up) and
+    /// 1 (down).
+    struct Rig {
+        pki: Arc<Pki>,
+        escrow_signer: Signer,
+        up_signer: Signer,
+        down_signer: Signer,
+        payment: PaymentId,
+        asset: Asset,
+        schedule: TimeoutSchedule,
+    }
+
+    fn rig() -> Rig {
+        let mut pki = Pki::new(11);
+        let (_, up_signer) = pki.register();
+        let (_, down_signer) = pki.register();
+        let (_, escrow_signer) = pki.register();
+        let payment = PaymentId::derive(3, &[up_signer.id(), down_signer.id()]);
+        Rig {
+            pki: Arc::new(pki),
+            escrow_signer,
+            up_signer,
+            down_signer,
+            payment,
+            asset: Asset::new(CurrencyId(0), 50),
+            schedule: TimeoutSchedule::derive(1, &SyncParams::baseline()),
+        }
+    }
+
+    fn escrow_of(r: &Rig) -> EscrowProcess {
+        let mut book = Ledger::new();
+        book.open_account(r.up_signer.id()).unwrap();
+        book.open_account(r.down_signer.id()).unwrap();
+        book.mint(r.up_signer.id(), r.asset).unwrap();
+        EscrowProcess::new(
+            0,
+            0,
+            1,
+            r.up_signer.id(),
+            r.down_signer.id(),
+            r.down_signer.id(), // downstream customer doubles as Bob here
+            r.escrow_signer.clone(),
+            r.pki.clone(),
+            r.payment,
+            r.asset,
+            &r.schedule,
+            book,
+        )
+    }
+
+    /// A scripted customer that sends a canned sequence of messages at
+    /// fixed local times and records everything it receives.
+    #[derive(Clone)]
+    struct Script {
+        sends: Vec<(u64 /*local µs*/, Pid, PMsg)>,
+        received: Vec<PMsg>,
+    }
+
+    impl Script {
+        fn new(sends: Vec<(u64, Pid, PMsg)>) -> Self {
+            Script { sends, received: Vec::new() }
+        }
+    }
+
+    impl Process<PMsg> for Script {
+        fn on_start(&mut self, ctx: &mut Ctx<PMsg>) {
+            for (i, (at, _, _)) in self.sends.iter().enumerate() {
+                ctx.set_timer_at(i as u64, SimTime::from_ticks(*at));
+            }
+        }
+        fn on_message(&mut self, _f: Pid, m: PMsg, _c: &mut Ctx<PMsg>) {
+            self.received.push(m);
+        }
+        fn on_timer(&mut self, id: TimerId, ctx: &mut Ctx<PMsg>) {
+            let (_, to, msg) = self.sends[id as usize].clone();
+            ctx.send(to, msg);
+        }
+        anta::impl_process_boilerplate!(PMsg);
+    }
+
+    fn run(r: &Rig, up: Script, down: Script) -> Engine<PMsg> {
+        let mut eng = Engine::new(
+            Box::new(SyncNet::worst_case(SimDuration::from_millis(1))),
+            Box::new(RandomOracle::seeded(0)),
+            EngineConfig::default(),
+        );
+        eng.add_process(Box::new(up), DriftClock::perfect());
+        eng.add_process(Box::new(down), DriftClock::perfect());
+        eng.add_process(Box::new(escrow_of(r)), DriftClock::perfect());
+        eng.run_until(SimTime::from_secs(600));
+        eng
+    }
+
+    #[test]
+    fn happy_path_releases_downstream() {
+        let r = rig();
+        let chi = Receipt::issue(&r.down_signer, r.payment);
+        let up = Script::new(vec![(
+            5_000,
+            2,
+            PMsg::Money { payment: r.payment, asset: r.asset },
+        )]);
+        // Down replies with χ shortly after the P promise would arrive.
+        let down = Script::new(vec![(10_000, 2, PMsg::Receipt(chi))]);
+        let eng = run(&r, up, down);
+        let e = eng.process_as::<EscrowProcess>(2).unwrap();
+        assert_eq!(e.state(), EscrowState::Paid);
+        assert_eq!(e.ledger().balance(r.down_signer.id(), CurrencyId(0)), 50);
+        assert_eq!(e.ledger().balance(r.up_signer.id(), CurrencyId(0)), 0);
+        e.ledger().check_conservation().unwrap();
+        // χ was forwarded upstream.
+        let up_proc = eng.process_as::<Script>(0).unwrap();
+        assert!(up_proc.received.iter().any(|m| matches!(m, PMsg::Receipt(_))));
+    }
+
+    #[test]
+    fn timeout_refunds_upstream() {
+        let r = rig();
+        let up = Script::new(vec![(
+            5_000,
+            2,
+            PMsg::Money { payment: r.payment, asset: r.asset },
+        )]);
+        let down = Script::new(vec![]); // never sends χ
+        let eng = run(&r, up, down);
+        let e = eng.process_as::<EscrowProcess>(2).unwrap();
+        assert_eq!(e.state(), EscrowState::Refunded);
+        assert_eq!(e.ledger().balance(r.up_signer.id(), CurrencyId(0)), 50);
+        e.ledger().check_conservation().unwrap();
+        // Refund notification went up.
+        let up_proc = eng.process_as::<Script>(0).unwrap();
+        assert!(up_proc.received.iter().any(|m| matches!(m, PMsg::Money { .. })));
+    }
+
+    #[test]
+    fn late_chi_is_refused() {
+        let r = rig();
+        let chi = Receipt::issue(&r.down_signer, r.payment);
+        let a0 = r.schedule.a[0].ticks();
+        let up = Script::new(vec![(
+            0,
+            2,
+            PMsg::Money { payment: r.payment, asset: r.asset },
+        )]);
+        // χ sent well after u + a_0.
+        let down = Script::new(vec![(a0 + 50_000, 2, PMsg::Receipt(chi))]);
+        let eng = run(&r, up, down);
+        let e = eng.process_as::<EscrowProcess>(2).unwrap();
+        assert_eq!(e.state(), EscrowState::Refunded, "late χ must not pay out");
+        assert_eq!(e.ledger().balance(r.up_signer.id(), CurrencyId(0)), 50);
+    }
+
+    #[test]
+    fn forged_chi_rejected() {
+        let r = rig();
+        // χ signed by the WRONG key (the upstream customer, not Bob).
+        let forged = Receipt::issue(&r.up_signer, r.payment);
+        let up = Script::new(vec![(
+            0,
+            2,
+            PMsg::Money { payment: r.payment, asset: r.asset },
+        )]);
+        let down = Script::new(vec![(5_000, 2, PMsg::Receipt(forged))]);
+        let eng = run(&r, up, down);
+        let e = eng.process_as::<EscrowProcess>(2).unwrap();
+        assert_eq!(e.state(), EscrowState::Refunded);
+        assert!(eng.trace().marks("escrow_bad_chi").count() == 1);
+    }
+
+    #[test]
+    fn wrong_payment_chi_rejected() {
+        let r = rig();
+        let other_payment = PaymentId::derive(999, &[r.up_signer.id()]);
+        let chi = Receipt::issue(&r.down_signer, other_payment);
+        let up = Script::new(vec![(
+            0,
+            2,
+            PMsg::Money { payment: r.payment, asset: r.asset },
+        )]);
+        let down = Script::new(vec![(5_000, 2, PMsg::Receipt(chi))]);
+        let eng = run(&r, up, down);
+        let e = eng.process_as::<EscrowProcess>(2).unwrap();
+        assert_eq!(e.state(), EscrowState::Refunded);
+    }
+
+    #[test]
+    fn money_from_wrong_party_ignored() {
+        let r = rig();
+        let up = Script::new(vec![]);
+        // The DOWNSTREAM party tries to inject money.
+        let down = Script::new(vec![(
+            0,
+            2,
+            PMsg::Money { payment: r.payment, asset: r.asset },
+        )]);
+        let eng = run(&r, up, down);
+        let e = eng.process_as::<EscrowProcess>(2).unwrap();
+        assert_eq!(e.state(), EscrowState::AwaitMoney, "still waiting");
+        assert_eq!(e.deal, None);
+    }
+
+    #[test]
+    fn wrong_amount_ignored() {
+        let r = rig();
+        let up = Script::new(vec![(
+            0,
+            2,
+            PMsg::Money { payment: r.payment, asset: Asset::new(CurrencyId(0), 49) },
+        )]);
+        let down = Script::new(vec![]);
+        let eng = run(&r, up, down);
+        let e = eng.process_as::<EscrowProcess>(2).unwrap();
+        assert_eq!(e.state(), EscrowState::AwaitMoney);
+    }
+
+    #[test]
+    fn unfunded_customer_cannot_lock() {
+        let r = rig();
+        // Build an escrow whose book has no funds for the upstream party.
+        let mut book = Ledger::new();
+        book.open_account(r.up_signer.id()).unwrap();
+        book.open_account(r.down_signer.id()).unwrap();
+        let escrow = EscrowProcess::new(
+            0,
+            0,
+            1,
+            r.up_signer.id(),
+            r.down_signer.id(),
+            r.down_signer.id(),
+            r.escrow_signer.clone(),
+            r.pki.clone(),
+            r.payment,
+            r.asset,
+            &r.schedule,
+            book,
+        );
+        let mut eng = Engine::new(
+            Box::new(SyncNet::worst_case(SimDuration::from_millis(1))),
+            Box::new(RandomOracle::seeded(0)),
+            EngineConfig::default(),
+        );
+        let up = Script::new(vec![(
+            0,
+            2,
+            PMsg::Money { payment: r.payment, asset: r.asset },
+        )]);
+        eng.add_process(Box::new(up), DriftClock::perfect());
+        eng.add_process(Box::new(InertProcess), DriftClock::perfect());
+        eng.add_process(Box::new(escrow), DriftClock::perfect());
+        eng.run();
+        let e = eng.process_as::<EscrowProcess>(2).unwrap();
+        assert_eq!(e.state(), EscrowState::AwaitMoney);
+        assert_eq!(eng.trace().marks("escrow_lock_rejected").count(), 1);
+        e.ledger().check_conservation().unwrap();
+    }
+}

@@ -1,0 +1,19 @@
+//! The time-bounded cross-chain payment protocol (Theorem 1, Figure 2).
+//!
+//! Two faithful implementations of the same protocol:
+//!
+//! * [`escrow`] / [`customers`] — the executable processes, with real
+//!   ledgers, signature checking and promise validation;
+//! * [`fig2`] — the declarative ANTA automata exactly as drawn in
+//!   Figure 2, used for diagram regeneration and cross-checking;
+//!
+//! plus [`scenario`] — engine assembly, clock plans and outcome extraction.
+
+pub mod customers;
+pub mod escrow;
+pub mod fig2;
+pub mod scenario;
+
+pub use customers::{AliceProcess, BobProcess, ChloeProcess, CustomerOutcome};
+pub use escrow::{EscrowProcess, EscrowState};
+pub use scenario::{ChainOutcome, ChainSetup, ClockPlan, CustomerView};

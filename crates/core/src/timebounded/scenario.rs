@@ -1,0 +1,467 @@
+//! Assembly of complete time-bounded protocol instances, and outcome
+//! extraction for the property checkers.
+//!
+//! A [`ChainSetup`] owns everything a run needs — topology, keys, value
+//! plan, synchrony parameters, derived timeout schedule — and builds
+//! engines under any network model, clock plan, and set of Byzantine
+//! substitutions. Runs are pure functions of `(setup, net, oracle, clocks)`.
+
+use crate::msg::PMsg;
+use crate::timebounded::customers::{AliceProcess, BobProcess, ChloeProcess, CustomerOutcome};
+use crate::timebounded::escrow::{EscrowProcess, EscrowState};
+use crate::timing::{SyncParams, TimeoutSchedule};
+use crate::topology::{ChainKeys, ChainTopology, Role, ValuePlan};
+use anta::clock::DriftClock;
+use anta::engine::{Engine, EngineConfig};
+use anta::net::NetModel;
+use anta::oracle::Oracle;
+use anta::process::{Pid, Process};
+use anta::time::{SimDuration, SimTime};
+use ledger::Ledger;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use xcrypto::{PaymentId, Pki};
+
+/// How local clocks are assigned to participants.
+#[derive(Debug, Clone, Copy)]
+pub enum ClockPlan {
+    /// Everybody keeps perfect time (ρ = 0).
+    Perfect,
+    /// Each clock sampled uniformly within the drift envelope, offsets up
+    /// to one hop.
+    Sampled {
+        /// Deterministic sampling seed.
+        seed: u64,
+    },
+    /// Adversarial extremes: escrows run maximally fast clocks and
+    /// customers maximally slow ones — the worst case for premature
+    /// timeouts.
+    Extremes,
+}
+
+impl ClockPlan {
+    fn clock_for(&self, pid: Pid, topo: &ChainTopology, p: &SyncParams) -> DriftClock {
+        match self {
+            ClockPlan::Perfect => DriftClock::perfect(),
+            ClockPlan::Sampled { seed } => {
+                // Derive per-pid deterministically so runs are reproducible
+                // regardless of construction order.
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(pid as u64));
+                DriftClock::sample(p.rho_ppm, p.hop(), &mut rng)
+            }
+            ClockPlan::Extremes => match topo.role_of(pid) {
+                Some(Role::Escrow(_)) => DriftClock::fastest(p.rho_ppm),
+                _ => DriftClock::slowest(p.rho_ppm),
+            },
+        }
+    }
+}
+
+/// One complete payment-instance configuration.
+pub struct ChainSetup {
+    /// The Figure 1 chain topology.
+    pub topo: ChainTopology,
+    /// The value plan / patience plan, per context.
+    pub plan: ValuePlan,
+    /// The cell's parameters.
+    pub params: SyncParams,
+    /// The derived timeout schedule.
+    pub schedule: TimeoutSchedule,
+    /// The payment instance this belongs to.
+    pub payment: PaymentId,
+    /// Shared verification registry.
+    pub pki: Arc<Pki>,
+    keys: ChainKeysLite,
+}
+
+/// Keys kept after PKI is frozen behind an `Arc`.
+struct ChainKeysLite {
+    customers: Vec<xcrypto::Signer>,
+    escrows: Vec<xcrypto::Signer>,
+}
+
+impl ChainSetup {
+    /// Creates a setup for `n` escrows. The schedule is derived from
+    /// `params`; use [`ChainSetup::with_schedule`] to override it (e.g. the
+    /// E6 ablations run deliberately broken schedules).
+    pub fn new(n: usize, plan: ValuePlan, params: SyncParams, seed: u64) -> Self {
+        assert_eq!(plan.hops(), n, "value plan must cover every escrow");
+        let topo = ChainTopology::new(n);
+        let keys = ChainKeys::generate(&topo, seed);
+        let schedule = TimeoutSchedule::derive(n, &params);
+        ChainSetup {
+            topo,
+            plan,
+            params,
+            schedule,
+            payment: keys.payment,
+            pki: Arc::new(keys.pki),
+            keys: ChainKeysLite { customers: keys.customers, escrows: keys.escrows },
+        }
+    }
+
+    /// Replaces the timeout schedule (ablation experiments).
+    pub fn with_schedule(mut self, schedule: TimeoutSchedule) -> Self {
+        assert_eq!(schedule.n(), self.topo.n);
+        self.schedule = schedule;
+        self
+    }
+
+    /// Number of escrows.
+    pub fn n(&self) -> usize {
+        self.topo.n
+    }
+
+    /// Bob's key.
+    pub fn bob_key(&self) -> xcrypto::KeyId {
+        self.keys.customers[self.topo.n].id()
+    }
+
+    /// Signer of customer `c_i` (used by Byzantine strategies that need an
+    /// authentic identity).
+    pub fn customer_signer(&self, i: usize) -> &xcrypto::Signer {
+        &self.keys.customers[i]
+    }
+
+    /// Signer of escrow `e_i`.
+    pub fn escrow_signer(&self, i: usize) -> &xcrypto::Signer {
+        &self.keys.escrows[i]
+    }
+
+    /// The default (compliant) process for a role.
+    pub fn default_process(&self, role: Role) -> Box<dyn Process<PMsg>> {
+        let n = self.topo.n;
+        let bob_key = self.bob_key();
+        match role {
+            Role::Alice => Box::new(AliceProcess::new(
+                self.topo.escrow_pid(0),
+                self.keys.escrows[0].id(),
+                bob_key,
+                self.pki.clone(),
+                self.payment,
+                self.plan.amounts[0],
+                self.schedule.d[0],
+            )),
+            Role::Chloe(i) => Box::new(ChloeProcess::new(
+                i,
+                self.topo.escrow_pid(i - 1),
+                self.topo.escrow_pid(i),
+                self.keys.escrows[i - 1].id(),
+                self.keys.escrows[i].id(),
+                bob_key,
+                self.pki.clone(),
+                self.payment,
+                self.plan.amounts[i],
+                self.plan.amounts[i - 1],
+                self.schedule.d[i],
+                self.schedule.a[i - 1],
+            )),
+            Role::Bob => Box::new(BobProcess::new(
+                self.topo.escrow_pid(n - 1),
+                self.keys.escrows[n - 1].id(),
+                self.keys.customers[n].clone(),
+                self.pki.clone(),
+                self.payment,
+                self.plan.amounts[n - 1],
+                self.schedule.a[n - 1],
+            )),
+            Role::Escrow(i) => {
+                let up_key = self.keys.customers[i].id();
+                let down_key = self.keys.customers[i + 1].id();
+                let mut book = Ledger::new();
+                book.open_account(up_key).expect("fresh ledger");
+                book.open_account(down_key).expect("fresh ledger");
+                // The upstream customer's working capital lives here.
+                book.mint(up_key, self.plan.amounts[i]).expect("fresh ledger");
+                Box::new(EscrowProcess::new(
+                    i,
+                    self.topo.customer_pid(i),
+                    self.topo.customer_pid(i + 1),
+                    up_key,
+                    down_key,
+                    bob_key,
+                    self.keys.escrows[i].clone(),
+                    self.pki.clone(),
+                    self.payment,
+                    self.plan.amounts[i],
+                    &self.schedule,
+                    book,
+                ))
+            }
+        }
+    }
+
+    /// Builds an engine with compliant participants everywhere.
+    pub fn build_engine(
+        &self,
+        net: Box<dyn NetModel<PMsg>>,
+        oracle: Box<dyn Oracle>,
+        clocks: ClockPlan,
+    ) -> Engine<PMsg> {
+        self.build_engine_with(net, oracle, clocks, |_| None)
+    }
+
+    /// Builds an engine, substituting the processes for which `override_for`
+    /// returns `Some` (Byzantine strategies, crash faults, baseline
+    /// variants).
+    pub fn build_engine_with(
+        &self,
+        net: Box<dyn NetModel<PMsg>>,
+        oracle: Box<dyn Oracle>,
+        clocks: ClockPlan,
+        mut override_for: impl FnMut(Role) -> Option<Box<dyn Process<PMsg>>>,
+    ) -> Engine<PMsg> {
+        let mut cfg = EngineConfig::default();
+        cfg.sigma_max = self.params.sigma;
+        cfg.sigma_buckets = 4;
+        // Horizon: generously beyond every deadline in the schedule.
+        let worst = self
+            .schedule
+            .d
+            .first()
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
+            .saturating_mul(8)
+            .saturating_add(SimDuration::from_secs(10));
+        cfg.max_real_time = SimTime::ZERO + worst;
+        let mut eng = Engine::new(net, oracle, cfg);
+        for pid in 0..self.topo.participants() {
+            let role = self.topo.role_of(pid).expect("chain pid");
+            let proc = override_for(role).unwrap_or_else(|| self.default_process(role));
+            let clock = clocks.clock_for(pid, &self.topo, &self.params);
+            let got = eng.add_process(proc, clock);
+            debug_assert_eq!(got, pid);
+        }
+        eng
+    }
+}
+
+/// A customer's extracted end-of-run state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CustomerView {
+    /// Terminal protocol outcome.
+    pub outcome: CustomerOutcome,
+    /// Whether the customer parted with her money.
+    pub sent_money: bool,
+    /// Real halt time, if halted.
+    pub halted_at: Option<SimTime>,
+    /// Halt time on the customer's own clock, if halted.
+    pub halted_local: Option<SimTime>,
+}
+
+/// Everything the property checkers need from a finished run.
+#[derive(Debug, Clone)]
+pub struct ChainOutcome {
+    /// Number of escrows in the chain / sample size, per context.
+    pub n: usize,
+    /// Views for customers `c_0..=c_n`; `None` where the process was
+    /// substituted (Byzantine) and exposes no compliant view.
+    pub customers: Vec<Option<CustomerView>>,
+    /// Final escrow control states (`None` for substituted escrows).
+    pub escrow_states: Vec<Option<EscrowState>>,
+    /// Per-escrow conservation audit (`None` for substituted escrows).
+    pub conservation: Vec<Option<bool>>,
+    /// Net value change per customer, summed across both adjacent escrows
+    /// in currency units (only meaningful for single-currency plans).
+    pub net_positions: Vec<Option<i64>>,
+    /// Whether Bob issued χ (also `Some` only for a compliant Bob).
+    pub bob_issued_chi: Option<bool>,
+    /// Local time at which Alice sent her money (start of her T-bound
+    /// clock), when a compliant Alice did.
+    pub alice_sent_local: Option<SimTime>,
+    /// True when the run ended because the event queue drained.
+    pub quiescent: bool,
+}
+
+impl ChainOutcome {
+    /// Extracts the outcome from a finished engine.
+    pub fn extract(eng: &Engine<PMsg>, setup: &ChainSetup, quiescent: bool) -> Self {
+        let n = setup.n();
+        let topo = &setup.topo;
+        let mut customers = Vec::with_capacity(n + 1);
+        let mut bob_issued_chi = None;
+        let mut alice_sent_local = None;
+        for i in 0..=n {
+            let pid = topo.customer_pid(i);
+            let halted_at = eng.trace().halt_time(pid);
+            let halted_local = eng.trace().halt_local_time(pid);
+            let view = if i == 0 {
+                eng.process_as::<AliceProcess>(pid).map(|a| {
+                    alice_sent_local = a.sent_money_at();
+                    CustomerView {
+                        outcome: a.outcome(),
+                        sent_money: a.sent_money(),
+                        halted_at,
+                        halted_local,
+                    }
+                })
+            } else if i == n {
+                eng.process_as::<BobProcess>(pid).map(|b| {
+                    bob_issued_chi = Some(b.issued_chi());
+                    CustomerView {
+                        outcome: b.outcome(),
+                        sent_money: false,
+                        halted_at,
+                        halted_local,
+                    }
+                })
+            } else {
+                eng.process_as::<ChloeProcess>(pid).map(|c| CustomerView {
+                    outcome: c.outcome(),
+                    sent_money: c.sent_money(),
+                    halted_at,
+                    halted_local,
+                })
+            };
+            customers.push(view);
+        }
+        let mut escrow_states = Vec::with_capacity(n);
+        let mut conservation = Vec::with_capacity(n);
+        for i in 0..n {
+            let pid = topo.escrow_pid(i);
+            match eng.process_as::<EscrowProcess>(pid) {
+                Some(e) => {
+                    escrow_states.push(Some(e.state()));
+                    conservation.push(Some(e.ledger().check_conservation().is_ok()));
+                }
+                None => {
+                    escrow_states.push(None);
+                    conservation.push(None);
+                }
+            }
+        }
+        // Net positions: initial capital is plan.amounts[i] minted for c_i
+        // at e_i (i < n); final worth is c_i's balances at e_{i-1} and e_i.
+        let mut net_positions = Vec::with_capacity(n + 1);
+        for i in 0..=n {
+            let key = setup.keys.customers[i].id();
+            let mut known = true;
+            let mut worth: i64 = 0;
+            if i < n {
+                match eng.process_as::<EscrowProcess>(topo.escrow_pid(i)) {
+                    Some(e) => {
+                        let cur = setup.plan.amounts[i].currency;
+                        worth += e.ledger().balance(key, cur) as i64;
+                        worth -= setup.plan.amounts[i].amount as i64; // initial capital
+                    }
+                    None => known = false,
+                }
+            }
+            if i > 0 {
+                match eng.process_as::<EscrowProcess>(topo.escrow_pid(i - 1)) {
+                    Some(e) => {
+                        let cur = setup.plan.amounts[i - 1].currency;
+                        worth += e.ledger().balance(key, cur) as i64;
+                    }
+                    None => known = false,
+                }
+            }
+            net_positions.push(known.then_some(worth));
+        }
+        ChainOutcome {
+            n,
+            customers,
+            escrow_states,
+            conservation,
+            net_positions,
+            bob_issued_chi,
+            alice_sent_local,
+            quiescent,
+        }
+    }
+
+    /// True when Bob terminated paid.
+    pub fn bob_paid(&self) -> bool {
+        matches!(
+            self.customers.last().and_then(|v| *v),
+            Some(CustomerView { outcome: CustomerOutcome::Paid, .. })
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anta::net::SyncNet;
+    use anta::oracle::RandomOracle;
+
+    fn setup(n: usize) -> ChainSetup {
+        ChainSetup::new(n, ValuePlan::uniform(n, 100), SyncParams::baseline(), 42)
+    }
+
+    fn run(setup: &ChainSetup, seed: u64, clocks: ClockPlan) -> ChainOutcome {
+        let mut eng = setup.build_engine(
+            Box::new(SyncNet::new(setup.params.delta, 16)),
+            Box::new(RandomOracle::seeded(seed)),
+            clocks,
+        );
+        let report = eng.run();
+        ChainOutcome::extract(&eng, setup, report.quiescent)
+    }
+
+    #[test]
+    fn single_hop_payment_succeeds() {
+        let s = setup(1);
+        let o = run(&s, 1, ClockPlan::Perfect);
+        assert!(o.bob_paid(), "{o:?}");
+        assert_eq!(o.customers[0].unwrap().outcome, CustomerOutcome::GotReceipt);
+        assert_eq!(o.escrow_states[0], Some(EscrowState::Paid));
+        assert_eq!(o.conservation[0], Some(true));
+        // Alice down 100, Bob up 100.
+        assert_eq!(o.net_positions[0], Some(-100));
+        assert_eq!(o.net_positions[1], Some(100));
+    }
+
+    #[test]
+    fn five_hop_payment_succeeds_with_drift() {
+        let s = setup(5);
+        for seed in 0..5 {
+            let o = run(&s, seed, ClockPlan::Sampled { seed });
+            assert!(o.bob_paid(), "seed {seed}: {o:?}");
+            for i in 1..5 {
+                assert_eq!(
+                    o.customers[i].unwrap().outcome,
+                    CustomerOutcome::Reimbursed,
+                    "Chloe{i} (seed {seed})"
+                );
+                assert_eq!(o.net_positions[i], Some(0), "uniform plan: zero commission");
+            }
+            assert!(o.conservation.iter().all(|c| *c == Some(true)));
+        }
+    }
+
+    #[test]
+    fn extreme_clocks_still_succeed() {
+        // The whole point of the fine-tuned schedule: adversarial drift
+        // within the envelope cannot break Theorem 1.
+        let s = setup(4);
+        let o = run(&s, 7, ClockPlan::Extremes);
+        assert!(o.bob_paid(), "{o:?}");
+    }
+
+    #[test]
+    fn commission_plan_pays_connectors() {
+        let n = 3;
+        let s = ChainSetup::new(
+            n,
+            ValuePlan::with_commission(n, 100, 5),
+            SyncParams::baseline(),
+            9,
+        );
+        let o = run(&s, 3, ClockPlan::Perfect);
+        assert!(o.bob_paid());
+        // Chloe1 net +5, Chloe2 net +5; Alice −100; Bob +90.
+        assert_eq!(o.net_positions, vec![Some(-100), Some(5), Some(5), Some(90)]);
+    }
+
+    #[test]
+    fn all_customers_terminate() {
+        let s = setup(3);
+        let o = run(&s, 11, ClockPlan::Sampled { seed: 2 });
+        for (i, c) in o.customers.iter().enumerate() {
+            assert!(c.unwrap().halted_at.is_some(), "customer {i} did not terminate");
+        }
+        assert!(o.quiescent);
+    }
+}

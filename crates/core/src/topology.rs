@@ -1,0 +1,327 @@
+//! The Figure 1 topology: `n` escrows, `n+1` customers.
+//!
+//! ```text
+//! c0 --- e0 --- c1 --- e1 --- … --- c_{n-1} --- e_{n-1} --- c_n
+//! ```
+//!
+//! Customer `c_0` is Alice, `c_n` is Bob, the `c_i` in between are the
+//! connectors ("Chloe_i"). Customers `c_i` and `c_{i+1}` have accounts at
+//! escrow `e_i` and trust that escrow; there are no other trust relations,
+//! and value moves only between customers of the same escrow.
+//!
+//! This module fixes the engine pid layout, the key assignments, and the
+//! value vector (Alice pays `v_0`, each Chloe forwards `v_i ≤ v_{i-1}`,
+//! keeping her commission), and can render the figure for any `n`
+//! (experiment E4).
+
+use anta::process::Pid;
+use ledger::{Asset, CurrencyId};
+use xcrypto::{KeyId, PaymentId, Pki, Signer};
+
+/// A participant role in the chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Customer `c_0`.
+    Alice,
+    /// Connector `c_i`, `0 < i < n`.
+    Chloe(usize),
+    /// Customer `c_n`.
+    Bob,
+    /// Escrow `e_i`.
+    Escrow(usize),
+}
+
+impl std::fmt::Display for Role {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Role::Alice => write!(f, "c0 (Alice)"),
+            Role::Chloe(i) => write!(f, "c{i} (Chloe{i})"),
+            Role::Bob => write!(f, "cn (Bob)"),
+            Role::Escrow(i) => write!(f, "e{i}"),
+        }
+    }
+}
+
+/// The chain topology and pid/key layout for one payment instance.
+///
+/// Engine pid convention: customers `c_0..c_n` occupy pids `0..=n`;
+/// escrows `e_0..e_{n-1}` occupy pids `n+1..=2n`. A transaction manager
+/// (weak protocol) and notaries, when present, follow after.
+#[derive(Debug, Clone)]
+pub struct ChainTopology {
+    /// Number of escrows (`n ≥ 1`); there are `n+1` customers.
+    pub n: usize,
+}
+
+impl ChainTopology {
+    /// A chain with `n` escrows. Panics if `n = 0` (no payment without an
+    /// escrow).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "a payment chain needs at least one escrow");
+        ChainTopology { n }
+    }
+
+    /// Total number of chain participants (`2n + 1`).
+    pub fn participants(&self) -> usize {
+        2 * self.n + 1
+    }
+
+    /// Engine pid of customer `c_i` (`i ≤ n`).
+    pub fn customer_pid(&self, i: usize) -> Pid {
+        assert!(i <= self.n, "customer index {i} out of range (n = {})", self.n);
+        i
+    }
+
+    /// Engine pid of escrow `e_i` (`i < n`).
+    pub fn escrow_pid(&self, i: usize) -> Pid {
+        assert!(i < self.n, "escrow index {i} out of range (n = {})", self.n);
+        self.n + 1 + i
+    }
+
+    /// First free pid after the chain (TM, notaries, observers).
+    pub fn next_free_pid(&self) -> Pid {
+        2 * self.n + 1
+    }
+
+    /// The role of a chain pid.
+    pub fn role_of(&self, pid: Pid) -> Option<Role> {
+        if pid == 0 {
+            Some(Role::Alice)
+        } else if pid < self.n {
+            Some(Role::Chloe(pid))
+        } else if pid == self.n {
+            Some(Role::Bob)
+        } else if pid <= 2 * self.n {
+            Some(Role::Escrow(pid - self.n - 1))
+        } else {
+            None
+        }
+    }
+
+    /// Renders Figure 1 for this chain as ASCII.
+    pub fn render_figure1(&self) -> String {
+        let mut top = String::new();
+        for i in 0..=self.n {
+            if i > 0 {
+                top.push_str(" --- ");
+            }
+            top.push_str(&format!("c{i}"));
+            if i < self.n {
+                top.push_str(&format!(" --- e{i}"));
+            }
+        }
+        format!("{top}\n(c0 = Alice, c{} = Bob; c_i trusts e_{{i-1}} and e_i)\n", self.n)
+    }
+
+    /// Renders Figure 1 as Graphviz DOT.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("graph chain {\n  rankdir=LR;\n");
+        for i in 0..=self.n {
+            let label = if i == 0 {
+                "c0\\nAlice".to_owned()
+            } else if i == self.n {
+                format!("c{i}\\nBob")
+            } else {
+                format!("c{i}\\nChloe{i}")
+            };
+            let _ = writeln!(out, "  c{i} [label=\"{label}\", shape=circle];");
+        }
+        for i in 0..self.n {
+            let _ = writeln!(out, "  e{i} [label=\"e{i}\", shape=box];");
+            let _ = writeln!(out, "  c{i} -- e{i};");
+            let _ = writeln!(out, "  e{i} -- c{};", i + 1);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// The agreed value vector: what each escrow's deal carries. The paper
+/// assumes values were agreed beforehand; commissions mean
+/// `v_0 ≥ v_1 ≥ … ≥ v_{n-1}`, possibly in different currencies.
+#[derive(Debug, Clone)]
+pub struct ValuePlan {
+    /// `amounts[i]` is the asset locked at escrow `e_i` (from `c_i`, for
+    /// `c_{i+1}`).
+    pub amounts: Vec<Asset>,
+}
+
+impl ValuePlan {
+    /// Uniform plan: the same amount at every hop, single currency, zero
+    /// commission.
+    pub fn uniform(n: usize, amount: u64) -> Self {
+        ValuePlan { amounts: vec![Asset::new(CurrencyId(0), amount); n] }
+    }
+
+    /// A plan where each connector keeps `commission` per hop:
+    /// `v_i = v_0 − i·commission` (single currency). Panics if the
+    /// commission exhausts the value.
+    pub fn with_commission(n: usize, v0: u64, commission: u64) -> Self {
+        let amounts = (0..n)
+            .map(|i| {
+                let cut = commission.checked_mul(i as u64).expect("commission overflow");
+                let v = v0.checked_sub(cut).expect("commission exceeds value");
+                assert!(v > 0, "hop {i} would carry zero value");
+                Asset::new(CurrencyId(0), v)
+            })
+            .collect();
+        ValuePlan { amounts }
+    }
+
+    /// A multi-currency plan (one currency per escrow, same magnitude) —
+    /// exercising the "different currencies" remark of §2.
+    pub fn multi_currency(n: usize, amount: u64) -> Self {
+        ValuePlan {
+            amounts: (0..n).map(|i| Asset::new(CurrencyId(i as u32), amount)).collect(),
+        }
+    }
+
+    /// Number of hops (escrows).
+    pub fn hops(&self) -> usize {
+        self.amounts.len()
+    }
+}
+
+/// Keys and identities for one payment instance: a PKI universe with one
+/// key per participant (plus optional TM/notary keys added by scenarios).
+pub struct ChainKeys {
+    /// Shared verification registry.
+    pub pki: Pki,
+    /// Customer signers, index `0..=n` (Alice … Bob).
+    pub customers: Vec<Signer>,
+    /// Escrow signers, index `0..n`.
+    pub escrows: Vec<Signer>,
+    /// The derived payment identifier.
+    pub payment: PaymentId,
+}
+
+impl ChainKeys {
+    /// Registers keys for every participant of `topo`, deterministically
+    /// from `seed`.
+    pub fn generate(topo: &ChainTopology, seed: u64) -> Self {
+        let mut pki = Pki::new(seed);
+        let customers: Vec<Signer> =
+            (0..=topo.n).map(|_| pki.register().1).collect();
+        let escrows: Vec<Signer> = (0..topo.n).map(|_| pki.register().1).collect();
+        let all: Vec<KeyId> = customers
+            .iter()
+            .map(|s| s.id())
+            .chain(escrows.iter().map(|s| s.id()))
+            .collect();
+        let payment = PaymentId::derive(seed, &all);
+        ChainKeys { pki, customers, escrows, payment }
+    }
+
+    /// Key of customer `c_i`.
+    pub fn customer_key(&self, i: usize) -> KeyId {
+        self.customers[i].id()
+    }
+
+    /// Key of escrow `e_i`.
+    pub fn escrow_key(&self, i: usize) -> KeyId {
+        self.escrows[i].id()
+    }
+
+    /// Bob's key (`c_n`).
+    pub fn bob_key(&self) -> KeyId {
+        self.customers.last().expect("n ≥ 1").id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_layout() {
+        let t = ChainTopology::new(3);
+        assert_eq!(t.participants(), 7);
+        assert_eq!(t.customer_pid(0), 0);
+        assert_eq!(t.customer_pid(3), 3);
+        assert_eq!(t.escrow_pid(0), 4);
+        assert_eq!(t.escrow_pid(2), 6);
+        assert_eq!(t.next_free_pid(), 7);
+    }
+
+    #[test]
+    fn roles() {
+        let t = ChainTopology::new(3);
+        assert_eq!(t.role_of(0), Some(Role::Alice));
+        assert_eq!(t.role_of(1), Some(Role::Chloe(1)));
+        assert_eq!(t.role_of(2), Some(Role::Chloe(2)));
+        assert_eq!(t.role_of(3), Some(Role::Bob));
+        assert_eq!(t.role_of(4), Some(Role::Escrow(0)));
+        assert_eq!(t.role_of(6), Some(Role::Escrow(2)));
+        assert_eq!(t.role_of(7), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one escrow")]
+    fn zero_escrows_rejected() {
+        let _ = ChainTopology::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_customer_index_panics() {
+        let t = ChainTopology::new(2);
+        let _ = t.customer_pid(3);
+    }
+
+    #[test]
+    fn figure1_rendering() {
+        let t = ChainTopology::new(2);
+        let fig = t.render_figure1();
+        assert!(fig.contains("c0 --- e0 --- c1 --- e1 --- c2"));
+        let dot = t.to_dot();
+        assert!(dot.contains("Alice"));
+        assert!(dot.contains("Bob"));
+        assert!(dot.contains("Chloe1"));
+        assert!(dot.contains("e1"));
+    }
+
+    #[test]
+    fn value_plans() {
+        let u = ValuePlan::uniform(3, 100);
+        assert_eq!(u.hops(), 3);
+        assert!(u.amounts.iter().all(|a| a.amount == 100));
+
+        let c = ValuePlan::with_commission(3, 100, 5);
+        assert_eq!(
+            c.amounts.iter().map(|a| a.amount).collect::<Vec<_>>(),
+            vec![100, 95, 90]
+        );
+
+        let m = ValuePlan::multi_currency(3, 10);
+        assert_eq!(m.amounts[0].currency, CurrencyId(0));
+        assert_eq!(m.amounts[2].currency, CurrencyId(2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn commission_exhausting_value_panics() {
+        let _ = ValuePlan::with_commission(5, 10, 3);
+    }
+
+    #[test]
+    fn keys_are_deterministic_and_distinct() {
+        let t = ChainTopology::new(2);
+        let k1 = ChainKeys::generate(&t, 9);
+        let k2 = ChainKeys::generate(&t, 9);
+        assert_eq!(k1.payment, k2.payment);
+        assert_eq!(k1.bob_key(), k2.bob_key());
+        let k3 = ChainKeys::generate(&t, 10);
+        assert_ne!(k1.payment, k3.payment);
+        // All keys distinct.
+        let mut all: Vec<KeyId> = k1
+            .customers
+            .iter()
+            .chain(k1.escrows.iter())
+            .map(|s| s.id())
+            .collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 5);
+    }
+}

@@ -1,0 +1,21 @@
+//! The weak-liveness cross-chain payment protocol (Definition 2,
+//! Theorem 3).
+//!
+//! Solvable under partial synchrony with Byzantine failures: no step
+//! depends on a wall-clock deadline; instead an external transaction
+//! manager issues a single commit (χc) or abort (χa) certificate, and
+//! every customer may lose patience at any time without risking her funds.
+//!
+//! * [`participants`] — customers with patience policies, escrows that
+//!   settle on certificates, and the certificate-share collector;
+//! * [`tm`] — the three manager instantiations: trusted party, smart
+//!   contract on a public log, notary committee over consensus;
+//! * [`scenario`] — assembly and outcome extraction.
+
+pub mod participants;
+pub mod scenario;
+pub mod tm;
+
+pub use participants::{CertCollector, Patience, WeakCustomer, WeakEscrow};
+pub use scenario::{TmKind, WeakOutcome, WeakSetup};
+pub use tm::{Evidence, NotaryTm, TrustedTm};

@@ -1,0 +1,585 @@
+//! Assembly and outcome extraction for weak-liveness protocol instances.
+
+use crate::msg::PMsg;
+use crate::timing::SyncParams;
+use crate::topology::{ChainKeys, ChainTopology, Role, ValuePlan};
+use crate::weak::participants::{Patience, WeakCustomer, WeakEscrow};
+use crate::weak::tm::{Evidence, NotaryTm, TrustedTm};
+use anta::clock::DriftClock;
+use anta::engine::{Engine, EngineConfig};
+use anta::net::NetModel;
+use anta::oracle::Oracle;
+use anta::process::{Pid, Process};
+use anta::time::{SimDuration, SimTime};
+use consensus::Config as ConsConfig;
+use ledger::Ledger;
+use std::sync::Arc;
+use xcrypto::{Authority, KeyId, PaymentId, Pki, Signer, Verdict};
+
+/// Which transaction manager to deploy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TmKind {
+    /// A single trusted external party.
+    Trusted,
+    /// A smart contract on a public chain log (same trust, plus a
+    /// verifiable record).
+    Contract,
+    /// A committee of `k` notaries running consensus; tolerates
+    /// `f = ⌊(k−1)/3⌋` unreliable members.
+    Committee {
+        /// Committee size.
+        k: usize,
+    },
+}
+
+/// One complete weak-protocol configuration.
+pub struct WeakSetup {
+    /// The Figure 1 chain topology.
+    pub topo: ChainTopology,
+    /// The value plan / patience plan, per context.
+    pub plan: ValuePlan,
+    /// The payment instance this belongs to.
+    pub payment: PaymentId,
+    /// Shared verification registry.
+    pub pki: Arc<Pki>,
+    /// Which transaction manager is deployed.
+    pub tm_kind: TmKind,
+    /// Who vouches for decision certificates.
+    pub authority: Authority,
+    /// Per-customer patience, index `0..=n`.
+    pub patience: Vec<Patience>,
+    /// Base consensus timeout (committee manager).
+    pub cons_base_timeout: SimDuration,
+    customers: Vec<Signer>,
+    escrows: Vec<Signer>,
+    tms: Vec<Signer>,
+}
+
+impl WeakSetup {
+    /// Creates a setup with all customers fully patient.
+    pub fn new(n: usize, plan: ValuePlan, tm_kind: TmKind, seed: u64) -> Self {
+        assert_eq!(plan.hops(), n);
+        let topo = ChainTopology::new(n);
+        let keys = ChainKeys::generate(&topo, seed);
+        let mut pki = keys.pki;
+        let tm_count = match tm_kind {
+            TmKind::Trusted | TmKind::Contract => 1,
+            TmKind::Committee { k } => {
+                assert!(k >= 1, "empty committee");
+                k
+            }
+        };
+        let tms: Vec<Signer> = (0..tm_count).map(|_| pki.register().1).collect();
+        let authority = match tm_kind {
+            TmKind::Trusted | TmKind::Contract => Authority::Single(tms[0].id()),
+            TmKind::Committee { .. } => {
+                Authority::committee(tms.iter().map(|s| s.id()).collect())
+            }
+        };
+        WeakSetup {
+            topo,
+            plan,
+            payment: keys.payment,
+            pki: Arc::new(pki),
+            tm_kind,
+            authority,
+            patience: vec![Patience::patient(); n + 1],
+            cons_base_timeout: SimDuration::from_millis(50),
+            customers: keys.customers,
+            escrows: keys.escrows,
+            tms,
+        }
+    }
+
+    /// Overrides one customer's patience.
+    pub fn with_patience(mut self, customer: usize, p: Patience) -> Self {
+        self.patience[customer] = p;
+        self
+    }
+
+    /// Number of escrows.
+    pub fn n(&self) -> usize {
+        self.topo.n
+    }
+
+    /// Number of manager processes.
+    pub fn tm_count(&self) -> usize {
+        self.tms.len()
+    }
+
+    /// Engine pids of the manager processes.
+    pub fn tm_pids(&self) -> Vec<Pid> {
+        let base = self.topo.next_free_pid();
+        (0..self.tm_count()).map(|i| base + i).collect()
+    }
+
+    /// Signer of customer `c_i` (for Byzantine strategies).
+    pub fn customer_signer(&self, i: usize) -> &Signer {
+        &self.customers[i]
+    }
+
+    /// Signer of manager process `i` — exposed so baseline variants (e.g.
+    /// the Interledger atomic manager) can substitute a manager that
+    /// still signs under the authority this setup's participants verify.
+    pub fn tm_signer_for_tests(&self, i: usize) -> &Signer {
+        &self.tms[i]
+    }
+
+    /// Keys of all escrows, in index order.
+    pub fn escrow_keys(&self) -> Vec<KeyId> {
+        self.escrows.iter().map(|s| s.id()).collect()
+    }
+
+    /// Keys of all customers, in index order.
+    pub fn customer_keys(&self) -> Vec<KeyId> {
+        self.customers.iter().map(|s| s.id()).collect()
+    }
+
+    fn evidence(&self) -> Evidence {
+        Evidence::new(self.payment, self.escrow_keys(), self.customer_keys())
+    }
+
+    /// Everyone who must learn the decision.
+    fn participant_pids(&self) -> Vec<Pid> {
+        (0..self.topo.participants()).collect()
+    }
+
+    /// The default (compliant) process for a chain role.
+    pub fn default_process(&self, role: Role) -> Box<dyn Process<PMsg>> {
+        let n = self.topo.n;
+        let tm_pids = self.tm_pids();
+        match role {
+            Role::Alice | Role::Chloe(_) | Role::Bob => {
+                let i = match role {
+                    Role::Alice => 0,
+                    Role::Chloe(i) => i,
+                    Role::Bob => n,
+                    Role::Escrow(_) => unreachable!(),
+                };
+                // Bob stages nothing; his escrow pid is unused.
+                let own_escrow =
+                    if i < n { self.topo.escrow_pid(i) } else { self.topo.escrow_pid(n - 1) };
+                let asset =
+                    if i < n { self.plan.amounts[i] } else { self.plan.amounts[n - 1] };
+                Box::new(WeakCustomer::new(
+                    i,
+                    n,
+                    own_escrow,
+                    tm_pids,
+                    self.customers[i].clone(),
+                    self.pki.clone(),
+                    self.payment,
+                    asset,
+                    self.authority.clone(),
+                    self.patience[i],
+                ))
+            }
+            Role::Escrow(i) => {
+                let up_key = self.customers[i].id();
+                let down_key = self.customers[i + 1].id();
+                let mut book = Ledger::new();
+                book.open_account(up_key).expect("fresh ledger");
+                book.open_account(down_key).expect("fresh ledger");
+                book.mint(up_key, self.plan.amounts[i]).expect("fresh ledger");
+                Box::new(WeakEscrow::new(
+                    i,
+                    self.topo.customer_pid(i),
+                    self.topo.customer_pid(i + 1),
+                    up_key,
+                    down_key,
+                    tm_pids,
+                    self.escrows[i].clone(),
+                    self.pki.clone(),
+                    self.payment,
+                    self.plan.amounts[i],
+                    self.authority.clone(),
+                    book,
+                ))
+            }
+        }
+    }
+
+    /// The manager process(es).
+    pub fn tm_processes(&self) -> Vec<Box<dyn Process<PMsg>>> {
+        let participants = self.participant_pids();
+        match self.tm_kind {
+            TmKind::Trusted => vec![Box::new(TrustedTm::new(
+                self.tms[0].clone(),
+                self.pki.clone(),
+                self.evidence(),
+                participants,
+            ))],
+            TmKind::Contract => vec![Box::new(TrustedTm::contract(
+                self.tms[0].clone(),
+                self.pki.clone(),
+                self.evidence(),
+                participants,
+            ))],
+            TmKind::Committee { k } => {
+                let members: Vec<KeyId> = self.tms.iter().map(|s| s.id()).collect();
+                let f = k.saturating_sub(1) / 3;
+                let pids = self.tm_pids();
+                (0..k)
+                    .map(|i| {
+                        let peers: Vec<Pid> =
+                            pids.iter().copied().filter(|&p| p != pids[i]).collect();
+                        let cfg = ConsConfig {
+                            instance: 0,
+                            members: members.clone(),
+                            f,
+                            base_timeout: self.cons_base_timeout,
+                            validity: Arc::new(|_: &Verdict| true),
+                        };
+                        Box::new(NotaryTm::new(
+                            self.tms[i].clone(),
+                            self.pki.clone(),
+                            self.evidence(),
+                            self.participant_pids(),
+                            peers,
+                            cfg,
+                        )) as Box<dyn Process<PMsg>>
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Builds the engine with compliant participants, substituting where
+    /// `override_for` returns `Some`. Managers cannot be overridden here —
+    /// unreliable notaries are modelled by substituting pids in the
+    /// returned engine order via `override_tm`.
+    pub fn build_engine_with(
+        &self,
+        net: Box<dyn NetModel<PMsg>>,
+        oracle: Box<dyn Oracle>,
+        mut override_for: impl FnMut(Role) -> Option<Box<dyn Process<PMsg>>>,
+        mut override_tm: impl FnMut(usize) -> Option<Box<dyn Process<PMsg>>>,
+    ) -> Engine<PMsg> {
+        let cfg = EngineConfig {
+            max_real_time: SimTime::from_secs(3_600),
+            sigma_max: SyncParams::baseline().sigma,
+            sigma_buckets: 4,
+            ..Default::default()
+        };
+        let mut eng = Engine::new(net, oracle, cfg);
+        for pid in 0..self.topo.participants() {
+            let role = self.topo.role_of(pid).expect("chain pid");
+            let proc = override_for(role).unwrap_or_else(|| self.default_process(role));
+            eng.add_process(proc, DriftClock::perfect());
+        }
+        for (i, proc) in self.tm_processes().into_iter().enumerate() {
+            let proc = override_tm(i).unwrap_or(proc);
+            eng.add_process(proc, DriftClock::perfect());
+        }
+        eng
+    }
+
+    /// Builds the engine with compliant participants everywhere.
+    pub fn build_engine(
+        &self,
+        net: Box<dyn NetModel<PMsg>>,
+        oracle: Box<dyn Oracle>,
+    ) -> Engine<PMsg> {
+        self.build_engine_with(net, oracle, |_| None, |_| None)
+    }
+}
+
+/// End-of-run extraction for the weak protocol.
+#[derive(Debug, Clone)]
+pub struct WeakOutcome {
+    /// Number of escrows in the chain / sample size, per context.
+    pub n: usize,
+    /// Verdict each compliant customer accepted (outer `None`: substituted
+    /// process; inner `None`: no verdict accepted).
+    pub customer_verdicts: Vec<Option<Option<Verdict>>>,
+    /// Same for escrows.
+    pub escrow_verdicts: Vec<Option<Option<Verdict>>>,
+    /// Per-escrow conservation audit.
+    pub conservation: Vec<Option<bool>>,
+    /// Net value change per customer (single-currency plans).
+    pub net_positions: Vec<Option<i64>>,
+    /// Which customers requested aborts.
+    pub abort_requested: Vec<Option<bool>>,
+    /// True iff Bob's account at `e_{n-1}` received the payment.
+    pub bob_paid: bool,
+    /// Certificate consistency: no two compliant participants accepted
+    /// different verdicts.
+    pub cc_ok: bool,
+    /// All compliant customers halted (they terminate on the decision).
+    pub all_customers_terminated: bool,
+    /// For the contract manager: chain log integrity check result.
+    pub chain_integrity: Option<bool>,
+}
+
+impl WeakOutcome {
+    /// Extracts the outcome from a finished engine.
+    pub fn extract(eng: &Engine<PMsg>, setup: &WeakSetup) -> Self {
+        let n = setup.n();
+        let topo = &setup.topo;
+        let mut customer_verdicts = Vec::with_capacity(n + 1);
+        let mut abort_requested = Vec::with_capacity(n + 1);
+        let mut all_terminated = true;
+        for i in 0..=n {
+            let pid = topo.customer_pid(i);
+            match eng.process_as::<WeakCustomer>(pid) {
+                Some(c) => {
+                    customer_verdicts.push(Some(c.verdict()));
+                    abort_requested.push(Some(c.abort_requested()));
+                    if eng.trace().halt_time(pid).is_none() {
+                        all_terminated = false;
+                    }
+                }
+                None => {
+                    customer_verdicts.push(None);
+                    abort_requested.push(None);
+                }
+            }
+        }
+        let mut escrow_verdicts = Vec::with_capacity(n);
+        let mut conservation = Vec::with_capacity(n);
+        for i in 0..n {
+            match eng.process_as::<WeakEscrow>(topo.escrow_pid(i)) {
+                Some(e) => {
+                    escrow_verdicts.push(Some(e.verdict()));
+                    conservation.push(Some(e.ledger().check_conservation().is_ok()));
+                }
+                None => {
+                    escrow_verdicts.push(None);
+                    conservation.push(None);
+                }
+            }
+        }
+        // Net positions, as in the time-bounded scenario.
+        let mut net_positions = Vec::with_capacity(n + 1);
+        for i in 0..=n {
+            let key = setup.customers[i].id();
+            let mut known = true;
+            let mut worth: i64 = 0;
+            if i < n {
+                match eng.process_as::<WeakEscrow>(topo.escrow_pid(i)) {
+                    Some(e) => {
+                        let cur = setup.plan.amounts[i].currency;
+                        worth += e.ledger().balance(key, cur) as i64;
+                        worth -= setup.plan.amounts[i].amount as i64;
+                    }
+                    None => known = false,
+                }
+            }
+            if i > 0 {
+                match eng.process_as::<WeakEscrow>(topo.escrow_pid(i - 1)) {
+                    Some(e) => {
+                        let cur = setup.plan.amounts[i - 1].currency;
+                        worth += e.ledger().balance(key, cur) as i64;
+                    }
+                    None => known = false,
+                }
+            }
+            net_positions.push(known.then_some(worth));
+        }
+        let bob_paid = eng
+            .process_as::<WeakEscrow>(topo.escrow_pid(n - 1))
+            .map(|e| {
+                e.ledger().balance(setup.customers[n].id(), setup.plan.amounts[n - 1].currency)
+                    == setup.plan.amounts[n - 1].amount
+            })
+            .unwrap_or(false);
+        // CC: gather every accepted verdict; all must agree.
+        let mut verdicts: Vec<Verdict> = customer_verdicts
+            .iter()
+            .flatten()
+            .flatten()
+            .copied()
+            .chain(escrow_verdicts.iter().flatten().flatten().copied())
+            .collect();
+        verdicts.dedup();
+        verdicts.sort_by_key(|v| matches!(v, Verdict::Abort));
+        verdicts.dedup();
+        let cc_ok = verdicts.len() <= 1;
+        // Contract chain integrity.
+        let chain_integrity = setup.tm_pids().first().and_then(|&pid| {
+            eng.process_as::<TrustedTm>(pid)
+                .and_then(|tm| tm.chain())
+                .map(|c| c.verify_integrity().is_ok())
+        });
+        WeakOutcome {
+            n,
+            customer_verdicts,
+            escrow_verdicts,
+            conservation,
+            net_positions,
+            abort_requested,
+            bob_paid,
+            cc_ok,
+            all_customers_terminated: all_terminated,
+            chain_integrity,
+        }
+    }
+
+    /// The single verdict of the run, if any compliant participant
+    /// accepted one.
+    pub fn verdict(&self) -> Option<Verdict> {
+        self.customer_verdicts
+            .iter()
+            .flatten()
+            .flatten()
+            .copied()
+            .next()
+            .or_else(|| self.escrow_verdicts.iter().flatten().flatten().copied().next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anta::net::{PartialSyncNet, SyncNet};
+    use anta::oracle::RandomOracle;
+
+    fn run(setup: &WeakSetup, seed: u64) -> WeakOutcome {
+        let mut eng = setup.build_engine(
+            Box::new(SyncNet::new(SimDuration::from_millis(5), 8)),
+            Box::new(RandomOracle::seeded(seed)),
+        );
+        eng.run();
+        WeakOutcome::extract(&eng, setup)
+    }
+
+    #[test]
+    fn trusted_tm_all_patient_commits() {
+        let s = WeakSetup::new(3, ValuePlan::uniform(3, 100), TmKind::Trusted, 1);
+        let o = run(&s, 1);
+        assert_eq!(o.verdict(), Some(Verdict::Commit), "{o:?}");
+        assert!(o.bob_paid);
+        assert!(o.cc_ok);
+        assert!(o.all_customers_terminated);
+        assert!(o.conservation.iter().all(|c| *c == Some(true)));
+        assert_eq!(o.net_positions, vec![Some(-100), Some(0), Some(0), Some(100)]);
+    }
+
+    #[test]
+    fn impatient_alice_aborts_safely() {
+        // Alice aborts before even staging money.
+        let s = WeakSetup::new(2, ValuePlan::uniform(2, 50), TmKind::Trusted, 2)
+            .with_patience(0, Patience { act_at: None, abort_at: Some(SimDuration::from_millis(1)) });
+        let o = run(&s, 2);
+        assert_eq!(o.verdict(), Some(Verdict::Abort), "{o:?}");
+        assert!(!o.bob_paid);
+        assert!(o.cc_ok);
+        // Nobody lost anything.
+        for (i, npos) in o.net_positions.iter().enumerate() {
+            assert_eq!(*npos, Some(0), "customer {i} must be whole");
+        }
+        assert!(o.all_customers_terminated, "abort certificate terminates everyone");
+    }
+
+    #[test]
+    fn impatient_after_staging_gets_refund() {
+        // Chloe stages money, then loses patience while Bob never accepts.
+        let s = WeakSetup::new(2, ValuePlan::uniform(2, 50), TmKind::Trusted, 3)
+            .with_patience(2, Patience::absent()) // Bob never accepts
+            .with_patience(1, Patience::until(SimDuration::from_millis(200)));
+        let o = run(&s, 3);
+        assert_eq!(o.verdict(), Some(Verdict::Abort));
+        assert_eq!(o.net_positions[1], Some(0), "Chloe refunded after abort");
+        assert_eq!(o.net_positions[0], Some(0), "Alice refunded after abort");
+        assert!(o.cc_ok);
+    }
+
+    #[test]
+    fn contract_tm_produces_verifiable_log() {
+        let s = WeakSetup::new(2, ValuePlan::uniform(2, 10), TmKind::Contract, 4);
+        let o = run(&s, 4);
+        assert_eq!(o.verdict(), Some(Verdict::Commit));
+        assert_eq!(o.chain_integrity, Some(true), "chain log must verify");
+    }
+
+    #[test]
+    fn committee_tm_all_honest_commits() {
+        let s = WeakSetup::new(2, ValuePlan::uniform(2, 75), TmKind::Committee { k: 4 }, 5);
+        let o = run(&s, 5);
+        assert_eq!(o.verdict(), Some(Verdict::Commit), "{o:?}");
+        assert!(o.bob_paid);
+        assert!(o.cc_ok);
+        assert!(o.all_customers_terminated);
+    }
+
+    #[test]
+    fn committee_tm_with_silent_notary_still_commits() {
+        let s = WeakSetup::new(2, ValuePlan::uniform(2, 75), TmKind::Committee { k: 4 }, 6);
+        let mut eng = s.build_engine_with(
+            Box::new(SyncNet::new(SimDuration::from_millis(5), 8)),
+            Box::new(RandomOracle::seeded(6)),
+            |_| None,
+            // Notary 3 has crashed.
+            |i| (i == 3).then(|| Box::new(anta::process::InertProcess) as Box<dyn Process<PMsg>>),
+        );
+        eng.run();
+        let o = WeakOutcome::extract(&eng, &s);
+        assert_eq!(o.verdict(), Some(Verdict::Commit), "{o:?}");
+        assert!(o.bob_paid);
+        assert!(o.cc_ok);
+    }
+
+    #[test]
+    fn committee_tm_abort_race_keeps_cc() {
+        // Bob accepts but Alice aborts at nearly the same moment: whatever
+        // the committee decides, everyone must agree (CC) and money must be
+        // conserved.
+        for seed in 0..10u64 {
+            let s = WeakSetup::new(2, ValuePlan::uniform(2, 75), TmKind::Committee { k: 4 }, 7)
+                .with_patience(0, Patience {
+                    act_at: Some(SimDuration::ZERO),
+                    abort_at: Some(SimDuration::from_millis(30)),
+                });
+            let o = run(&s, seed);
+            assert!(o.cc_ok, "seed {seed}: CC violated: {o:?}");
+            assert!(o.verdict().is_some(), "seed {seed}: no decision");
+            assert!(o.conservation.iter().all(|c| *c == Some(true)));
+            match o.verdict().unwrap() {
+                Verdict::Commit => assert!(o.bob_paid, "seed {seed}"),
+                Verdict::Abort => {
+                    assert!(!o.bob_paid, "seed {seed}");
+                    assert!(o.net_positions.iter().all(|p| *p == Some(0)), "seed {seed}: {o:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_synchrony_still_decides() {
+        // The whole point of Theorem 3: the weak protocol needs no
+        // synchrony bound. A GST adversary delays everything pre-GST.
+        let s = WeakSetup::new(2, ValuePlan::uniform(2, 40), TmKind::Trusted, 8);
+        let mut eng = s.build_engine(
+            Box::new(PartialSyncNet::new(
+                SimTime::from_millis(500),
+                SimDuration::from_millis(5),
+            )),
+            Box::new(RandomOracle::seeded(8)),
+        );
+        eng.run();
+        let o = WeakOutcome::extract(&eng, &s);
+        assert_eq!(o.verdict(), Some(Verdict::Commit));
+        assert!(o.bob_paid);
+
+        let s2 = WeakSetup::new(2, ValuePlan::uniform(2, 40), TmKind::Committee { k: 4 }, 9);
+        let mut eng2 = s2.build_engine(
+            Box::new(PartialSyncNet::new(
+                SimTime::from_millis(500),
+                SimDuration::from_millis(5),
+            )),
+            Box::new(RandomOracle::seeded(9)),
+        );
+        eng2.run();
+        let o2 = WeakOutcome::extract(&eng2, &s2);
+        assert_eq!(o2.verdict(), Some(Verdict::Commit), "{o2:?}");
+        assert!(o2.cc_ok);
+    }
+
+    #[test]
+    fn commission_preserved_in_weak_commit() {
+        let s = WeakSetup::new(3, ValuePlan::with_commission(3, 100, 10), TmKind::Trusted, 10);
+        let o = run(&s, 10);
+        assert_eq!(o.verdict(), Some(Verdict::Commit));
+        assert_eq!(o.net_positions, vec![Some(-100), Some(10), Some(10), Some(80)]);
+    }
+}

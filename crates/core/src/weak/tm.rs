@@ -1,0 +1,480 @@
+//! The transaction manager of the weak-liveness protocol — all three
+//! instantiations the paper lists: *"a single external party trusted by
+//! all, or a smart contract running on a permissionless blockchain shared
+//! by every customer. It can also be a collection of notaries … of which
+//! less than one-third is assumed to be unreliable … running a consensus
+//! algorithm for partial synchrony."*
+//!
+//! All variants implement the same decision rule over *signed evidence*:
+//!
+//! * **χc (commit)** — once all `n` lock reports (one per escrow) and
+//!   Bob's signed acceptance are verified;
+//! * **χa (abort)** — as soon as any customer's signed abort request
+//!   arrives before a commit;
+//! * at most one certificate is ever issued (property **CC**).
+
+use crate::msg::{PMsg, TmInput, TmInputKind};
+use anta::process::{Ctx, Pid, Process, TimerId};
+use consensus::{Config as ConsConfig, ConsMsg, NotaryCore, Output as ConsOutput};
+use ledger::SimChain;
+use std::sync::Arc;
+use xcrypto::{DecisionCert, KeyId, PaymentId, Pki, Receipt, Signer, Verdict};
+
+/// Verified evidence gathered from the participants.
+#[derive(Debug, Clone)]
+pub struct Evidence {
+    payment: PaymentId,
+    escrow_keys: Vec<KeyId>,
+    customer_keys: Vec<KeyId>,
+    bob_key: KeyId,
+    locks: Vec<bool>,
+    accept: bool,
+    abort: bool,
+}
+
+impl Evidence {
+    /// Fresh evidence tracker for a chain of `escrow_keys.len()` hops.
+    pub fn new(
+        payment: PaymentId,
+        escrow_keys: Vec<KeyId>,
+        customer_keys: Vec<KeyId>,
+    ) -> Self {
+        let bob_key = *customer_keys.last().expect("n+1 customers");
+        let n = escrow_keys.len();
+        Evidence {
+            payment,
+            escrow_keys,
+            customer_keys,
+            bob_key,
+            locks: vec![false; n],
+            accept: false,
+            abort: false,
+        }
+    }
+
+    /// The payment this evidence is about.
+    pub fn payment(&self) -> PaymentId {
+        self.payment
+    }
+
+    /// Ingests a signed TM input; ignores anything that fails verification.
+    pub fn ingest_input(&mut self, input: &TmInput, pki: &Pki) {
+        if input.payment != self.payment {
+            return;
+        }
+        match input.kind {
+            TmInputKind::Locked => {
+                let i = input.index as usize;
+                if i < self.escrow_keys.len() && input.verify(pki, self.escrow_keys[i]) {
+                    self.locks[i] = true;
+                }
+            }
+            TmInputKind::AbortRequest => {
+                let i = input.index as usize;
+                if i < self.customer_keys.len() && input.verify(pki, self.customer_keys[i]) {
+                    self.abort = true;
+                }
+            }
+        }
+    }
+
+    /// Ingests Bob's acceptance.
+    pub fn ingest_accept(&mut self, chi: &Receipt, pki: &Pki) {
+        if chi.payment == self.payment && chi.verify(pki, self.bob_key) {
+            self.accept = true;
+        }
+    }
+
+    /// All locks plus Bob's acceptance.
+    pub fn commit_ready(&self) -> bool {
+        self.accept && self.locks.iter().all(|&l| l)
+    }
+
+    /// Some verified abort request exists.
+    pub fn abort_ready(&self) -> bool {
+        self.abort
+    }
+
+    /// The verdict this evidence justifies right now, preferring the abort
+    /// (a customer already asked out) — either order would be correct.
+    pub fn verdict(&self) -> Option<Verdict> {
+        if self.abort_ready() {
+            Some(Verdict::Abort)
+        } else if self.commit_ready() {
+            Some(Verdict::Commit)
+        } else {
+            None
+        }
+    }
+}
+
+/// A single trusted transaction manager.
+#[derive(Clone)]
+pub struct TrustedTm {
+    signer: Signer,
+    pki: Arc<Pki>,
+    evidence: Evidence,
+    /// Everyone who must learn the decision (customers + escrows).
+    participants: Vec<Pid>,
+    decided: Option<Verdict>,
+    /// Optional hash-linked public log (the "smart contract on a
+    /// blockchain" variant records everything here).
+    chain: Option<SimChain>,
+}
+
+impl TrustedTm {
+    /// A plain trusted party.
+    pub fn new(signer: Signer, pki: Arc<Pki>, evidence: Evidence, participants: Vec<Pid>) -> Self {
+        TrustedTm { signer, pki, evidence, participants, decided: None, chain: None }
+    }
+
+    /// The smart-contract variant: identical logic, but every input and
+    /// the decision are published on a verifiable chain log.
+    pub fn contract(
+        signer: Signer,
+        pki: Arc<Pki>,
+        evidence: Evidence,
+        participants: Vec<Pid>,
+    ) -> Self {
+        TrustedTm {
+            signer,
+            pki,
+            evidence,
+            participants,
+            decided: None,
+            chain: Some(SimChain::new()),
+        }
+    }
+
+    /// The decision, if made.
+    pub fn decided(&self) -> Option<Verdict> {
+        self.decided
+    }
+
+    /// The contract's public log (contract variant only).
+    pub fn chain(&self) -> Option<&SimChain> {
+        self.chain.as_ref()
+    }
+
+    fn record(&mut self, payload: Vec<u8>) {
+        if let Some(chain) = &mut self.chain {
+            chain.append(payload);
+        }
+    }
+
+    fn try_decide(&mut self, ctx: &mut Ctx<PMsg>) {
+        if self.decided.is_some() {
+            return;
+        }
+        let Some(v) = self.evidence.verdict() else { return };
+        self.decided = Some(v);
+        let cert = DecisionCert::issue_single(&self.signer, self.evidence.payment, v);
+        self.record(DecisionCert::payload(&self.evidence.payment, v));
+        ctx.mark(
+            match v {
+                Verdict::Commit => "tm_commit",
+                Verdict::Abort => "tm_abort",
+            },
+            0,
+        );
+        for &p in &self.participants {
+            ctx.send(p, PMsg::Decision(cert.clone()));
+        }
+        ctx.halt();
+    }
+}
+
+impl Process<PMsg> for TrustedTm {
+    fn on_start(&mut self, _ctx: &mut Ctx<PMsg>) {}
+
+    fn on_message(&mut self, _from: Pid, msg: PMsg, ctx: &mut Ctx<PMsg>) {
+        match msg {
+            PMsg::TmInput(input) => {
+                self.evidence.ingest_input(&input, &self.pki);
+                self.record(vec![
+                    match input.kind {
+                        TmInputKind::Locked => 1u8,
+                        TmInputKind::AbortRequest => 2,
+                    },
+                    input.index as u8,
+                ]);
+            }
+            PMsg::Accept(chi) => {
+                self.evidence.ingest_accept(&chi, &self.pki);
+                self.record(vec![3u8]);
+            }
+            _ => return,
+        }
+        self.try_decide(ctx);
+    }
+
+    fn on_timer(&mut self, _id: TimerId, _ctx: &mut Ctx<PMsg>) {}
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn box_clone(&self) -> Box<dyn Process<PMsg>> {
+        Box::new(self.clone())
+    }
+}
+
+/// One member of the notary-committee transaction manager. Gathers the
+/// same evidence as [`TrustedTm`]; once its evidence justifies a verdict it
+/// activates an embedded [`NotaryCore`] consensus instance with that
+/// verdict as input. When consensus decides, the notary signs a decision
+/// certificate *share*; participants accept once `2f+1` distinct shares
+/// verify (see `CertCollector`).
+#[derive(Clone)]
+pub struct NotaryTm {
+    signer: Signer,
+    pki: Arc<Pki>,
+    evidence: Evidence,
+    participants: Vec<Pid>,
+    /// Other notaries (engine pids).
+    peers: Vec<Pid>,
+    cons_cfg: ConsConfig<Verdict>,
+    core: Option<NotaryCore<Verdict>>,
+    /// Consensus traffic received before activation.
+    buffered: Vec<ConsMsg<Verdict>>,
+    /// Proposals withheld pending local evidence (validity gating).
+    pending_props: Vec<ConsMsg<Verdict>>,
+    decided: Option<Verdict>,
+}
+
+impl NotaryTm {
+    /// Builds one notary of the committee.
+    pub fn new(
+        signer: Signer,
+        pki: Arc<Pki>,
+        evidence: Evidence,
+        participants: Vec<Pid>,
+        peers: Vec<Pid>,
+        cons_cfg: ConsConfig<Verdict>,
+    ) -> Self {
+        NotaryTm {
+            signer,
+            pki,
+            evidence,
+            participants,
+            peers,
+            cons_cfg,
+            core: None,
+            buffered: Vec::new(),
+            pending_props: Vec::new(),
+            decided: None,
+        }
+    }
+
+    /// The verdict this notary's consensus instance decided, if any.
+    pub fn decided(&self) -> Option<Verdict> {
+        self.decided
+    }
+
+    fn maybe_activate(&mut self, ctx: &mut Ctx<PMsg>) {
+        if self.core.is_some() {
+            return;
+        }
+        let Some(input) = self.evidence.verdict() else { return };
+        let mut core =
+            NotaryCore::new(self.cons_cfg.clone(), self.signer.clone(), self.pki.clone(), input);
+        let mut outputs = core.start();
+        for msg in std::mem::take(&mut self.buffered) {
+            if Self::admissible_static(&self.evidence, &msg) {
+                outputs.extend(core.on_message(msg));
+            } else {
+                self.pending_props.push(msg);
+            }
+        }
+        self.core = Some(core);
+        self.apply(outputs, ctx);
+    }
+
+    fn admissible_static(evidence: &Evidence, msg: &ConsMsg<Verdict>) -> bool {
+        match msg {
+            ConsMsg::Propose { value, pol, .. } => {
+                pol.is_some()
+                    || match value {
+                        Verdict::Commit => evidence.commit_ready(),
+                        Verdict::Abort => evidence.abort_ready(),
+                    }
+            }
+            _ => true,
+        }
+    }
+
+    /// Re-offers gated proposals after evidence improved.
+    fn retry_pending(&mut self, ctx: &mut Ctx<PMsg>) {
+        if self.core.is_none() || self.pending_props.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending_props);
+        let mut outputs = Vec::new();
+        for msg in pending {
+            if Self::admissible_static(&self.evidence, &msg) {
+                if let Some(core) = self.core.as_mut() {
+                    outputs.extend(core.on_message(msg));
+                }
+            } else {
+                self.pending_props.push(msg);
+            }
+        }
+        self.apply(outputs, ctx);
+    }
+
+    fn apply(&mut self, outputs: Vec<ConsOutput<Verdict>>, ctx: &mut Ctx<PMsg>) {
+        for o in outputs {
+            match o {
+                ConsOutput::Broadcast(m) => {
+                    for &p in &self.peers {
+                        ctx.send(p, PMsg::Cons(m.clone()));
+                    }
+                }
+                ConsOutput::Schedule { token, after } => ctx.set_timer_after(token, after),
+                ConsOutput::Decide { value, .. } => {
+                    if self.decided.is_none() {
+                        self.decided = Some(value);
+                        ctx.mark(
+                            match value {
+                                Verdict::Commit => "notary_commit",
+                                Verdict::Abort => "notary_abort",
+                            },
+                            0,
+                        );
+                        // Sign a certificate share for the participants.
+                        let payload = DecisionCert::payload(&self.evidence.payment, value);
+                        let share = DecisionCert::assemble(
+                            self.evidence.payment,
+                            value,
+                            vec![self.signer.sign(xcrypto::cert::DOM_DECISION, &payload)],
+                        );
+                        for &p in &self.participants {
+                            ctx.send(p, PMsg::Decision(share.clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Process<PMsg> for NotaryTm {
+    fn on_start(&mut self, _ctx: &mut Ctx<PMsg>) {}
+
+    fn on_message(&mut self, _from: Pid, msg: PMsg, ctx: &mut Ctx<PMsg>) {
+        match msg {
+            PMsg::TmInput(input) => {
+                self.evidence.ingest_input(&input, &self.pki);
+                self.maybe_activate(ctx);
+                self.retry_pending(ctx);
+            }
+            PMsg::Accept(chi) => {
+                self.evidence.ingest_accept(&chi, &self.pki);
+                self.maybe_activate(ctx);
+                self.retry_pending(ctx);
+            }
+            PMsg::Cons(m) => match self.core.as_mut() {
+                Some(core) => {
+                    if Self::admissible_static(&self.evidence, &m) {
+                        let out = core.on_message(m);
+                        self.apply(out, ctx);
+                    } else {
+                        self.pending_props.push(m);
+                    }
+                }
+                None => self.buffered.push(m),
+            },
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, id: TimerId, ctx: &mut Ctx<PMsg>) {
+        if let Some(core) = self.core.as_mut() {
+            let out = core.on_timeout(id);
+            self.apply(out, ctx);
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn box_clone(&self) -> Box<dyn Process<PMsg>> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn evidence_rig() -> (Pki, Vec<Signer>, Vec<Signer>, Evidence) {
+        let mut pki = Pki::new(4);
+        let customers: Vec<Signer> = pki.register_many(3).into_iter().map(|(_, s)| s).collect();
+        let escrows: Vec<Signer> = pki.register_many(2).into_iter().map(|(_, s)| s).collect();
+        let payment =
+            PaymentId::derive(1, &customers.iter().map(|s| s.id()).collect::<Vec<_>>());
+        let ev = Evidence::new(
+            payment,
+            escrows.iter().map(|s| s.id()).collect(),
+            customers.iter().map(|s| s.id()).collect(),
+        );
+        (pki, customers, escrows, ev)
+    }
+
+    #[test]
+    fn evidence_commit_requires_all_locks_and_accept() {
+        let (pki, customers, escrows, mut ev) = evidence_rig();
+        assert_eq!(ev.verdict(), None);
+        let payment = ev.payment();
+        ev.ingest_input(&TmInput::issue(&escrows[0], TmInputKind::Locked, payment, 0), &pki);
+        assert!(!ev.commit_ready());
+        ev.ingest_input(&TmInput::issue(&escrows[1], TmInputKind::Locked, payment, 1), &pki);
+        assert!(!ev.commit_ready(), "needs Bob's acceptance too");
+        ev.ingest_accept(&Receipt::issue(&customers[2], payment), &pki);
+        assert!(ev.commit_ready());
+        assert_eq!(ev.verdict(), Some(Verdict::Commit));
+    }
+
+    #[test]
+    fn evidence_rejects_forged_inputs() {
+        let (pki, customers, escrows, mut ev) = evidence_rig();
+        let payment = ev.payment();
+        // A customer signing a Locked notice is not an escrow.
+        ev.ingest_input(&TmInput::issue(&customers[0], TmInputKind::Locked, payment, 0), &pki);
+        assert!(!ev.commit_ready());
+        // Wrong escrow index.
+        ev.ingest_input(&TmInput::issue(&escrows[1], TmInputKind::Locked, payment, 0), &pki);
+        assert_eq!(ev.verdict(), None);
+        // Accept signed by a non-Bob key.
+        ev.ingest_accept(&Receipt::issue(&customers[0], payment), &pki);
+        assert!(!ev.accept);
+        // Out-of-range indices are ignored.
+        ev.ingest_input(&TmInput::issue(&escrows[0], TmInputKind::Locked, payment, 99), &pki);
+        assert_eq!(ev.verdict(), None);
+    }
+
+    #[test]
+    fn evidence_abort_from_any_customer() {
+        let (pki, customers, _escrows, mut ev) = evidence_rig();
+        let payment = ev.payment();
+        ev.ingest_input(
+            &TmInput::issue(&customers[1], TmInputKind::AbortRequest, payment, 1),
+            &pki,
+        );
+        assert!(ev.abort_ready());
+        assert_eq!(ev.verdict(), Some(Verdict::Abort));
+    }
+
+    #[test]
+    fn evidence_prefers_abort_when_both_ready() {
+        let (pki, customers, escrows, mut ev) = evidence_rig();
+        let payment = ev.payment();
+        ev.ingest_input(&TmInput::issue(&escrows[0], TmInputKind::Locked, payment, 0), &pki);
+        ev.ingest_input(&TmInput::issue(&escrows[1], TmInputKind::Locked, payment, 1), &pki);
+        ev.ingest_accept(&Receipt::issue(&customers[2], payment), &pki);
+        ev.ingest_input(
+            &TmInput::issue(&customers[0], TmInputKind::AbortRequest, payment, 0),
+            &pki,
+        );
+        assert_eq!(ev.verdict(), Some(Verdict::Abort));
+    }
+}

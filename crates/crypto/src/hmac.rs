@@ -1,0 +1,180 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1), built on [`crate::sha256`](mod@crate::sha256).
+//!
+//! Used as the MAC underlying the simulated signature scheme in
+//! [`crate::sig`]: within the simulation, a signature by key `k` over message
+//! `m` is `HMAC(secret_k, m)`, with the secret held exclusively by the PKI
+//! (see `sig.rs` for the unforgeability argument).
+
+use crate::sha256::{Digest, Sha256, DIGEST_LEN};
+
+const BLOCK_LEN: usize = 64;
+const IPAD: u8 = 0x36;
+const OPAD: u8 = 0x5c;
+
+/// Incremental HMAC-SHA256.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    /// Key XOR opad, retained for the outer pass.
+    outer_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC instance keyed with `key` (any length; keys longer
+    /// than one block are hashed first, per the RFC).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let d = crate::sha256::sha256(key);
+            k[..DIGEST_LEN].copy_from_slice(&d);
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ikey = [0u8; BLOCK_LEN];
+        let mut okey = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ikey[i] = k[i] ^ IPAD;
+            okey[i] = k[i] ^ OPAD;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ikey);
+        HmacSha256 { inner, outer_key: okey }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Completes the MAC computation.
+    pub fn finalize(self) -> Digest {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.outer_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
+/// One-shot HMAC-SHA256.
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> Digest {
+    let mut h = HmacSha256::new(key);
+    h.update(msg);
+    h.finalize()
+}
+
+/// Constant-time comparison of two digests.
+///
+/// Inside a simulation timing attacks are not modelled, but the checker is
+/// branch-free anyway so the primitive is honest about its contract.
+pub fn verify_tag(expected: &Digest, actual: &Digest) -> bool {
+    let mut acc = 0u8;
+    for i in 0..DIGEST_LEN {
+        acc |= expected[i] ^ actual[i];
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::to_hex;
+
+    // RFC 4231 test vectors for HMAC-SHA-256.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0b; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            to_hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            to_hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaa; 20];
+        let msg = [0xdd; 50];
+        let tag = hmac_sha256(&key, &msg);
+        assert_eq!(
+            to_hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaa; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            to_hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_7_long_key_long_data() {
+        let key = [0xaa; 131];
+        let msg = b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.";
+        let tag = hmac_sha256(&key, msg);
+        assert_eq!(
+            to_hex(&tag),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let key = b"incremental-key";
+        let msg = b"part one / part two / part three";
+        let oneshot = hmac_sha256(key, msg);
+        let mut h = HmacSha256::new(key);
+        h.update(b"part one / ");
+        h.update(b"part two / ");
+        h.update(b"part three");
+        assert_eq!(h.finalize(), oneshot);
+    }
+
+    #[test]
+    fn key_sensitivity() {
+        let a = hmac_sha256(b"key-a", b"msg");
+        let b = hmac_sha256(b"key-b", b"msg");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn message_sensitivity() {
+        let a = hmac_sha256(b"key", b"msg-1");
+        let b = hmac_sha256(b"key", b"msg-2");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn verify_tag_matches_and_rejects() {
+        let t = hmac_sha256(b"k", b"m");
+        assert!(verify_tag(&t, &t));
+        let mut bad = t;
+        bad[31] ^= 1;
+        assert!(!verify_tag(&t, &bad));
+    }
+
+    #[test]
+    fn exact_block_length_key() {
+        // A 64-byte key exercises the "no hashing, no padding" path.
+        let key = [0x42u8; 64];
+        let t1 = hmac_sha256(&key, b"x");
+        let t2 = hmac_sha256(&key, b"x");
+        assert_eq!(t1, t2);
+        let t3 = hmac_sha256(&key[..63], b"x");
+        assert_ne!(t1, t3);
+    }
+}

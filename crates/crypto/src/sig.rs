@@ -1,0 +1,273 @@
+//! Simulated digital signatures for the "Byzantine model with authentication".
+//!
+//! The paper's proofs rely on exactly one cryptographic property:
+//! **unforgeability** — a Byzantine participant cannot fabricate a message
+//! that verifies as signed by a compliant participant. Inside a closed
+//! simulation we obtain that property *structurally* rather than
+//! computationally:
+//!
+//! * every key's secret lives only inside the [`Pki`] (private fields, no
+//!   accessor) and inside the [`Signer`] capability handed to its owner;
+//! * a signature is `HMAC-SHA256(secret, domain ‖ message)`;
+//! * [`Pki::verify`] recomputes the tag and returns only a boolean.
+//!
+//! Byzantine process implementations in this workspace receive a `Signer`
+//! for *their own* identity and a shared `&Pki` for verification; the type
+//! system therefore enforces EUF-CMA within the simulation. This models the
+//! authenticated Byzantine setting of the paper faithfully: adversaries may
+//! lie, replay, reorder and collude, but not forge.
+//!
+//! Real deployments would substitute Ed25519/ECDSA; nothing in the protocol
+//! logic depends on the scheme beyond `sign`/`verify`.
+
+use crate::hmac::{hmac_sha256, verify_tag};
+use crate::sha256::{sha256_concat, Digest};
+
+/// Identifies a registered key (and thereby a participant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyId(pub u32);
+
+impl std::fmt::Display for KeyId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "key#{}", self.0)
+    }
+}
+
+/// A signature: the claimed signer plus the authentication tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    /// The claimed signing key.
+    pub signer: KeyId,
+    /// The authentication tag.
+    pub tag: Digest,
+}
+
+/// Signing capability for one identity. Handed to the owning participant
+/// only; cloning is allowed (a participant may run several automata) but the
+/// secret never leaves the crypto crate.
+#[derive(Clone)]
+pub struct Signer {
+    id: KeyId,
+    secret: Digest,
+}
+
+impl std::fmt::Debug for Signer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the secret.
+        f.debug_struct("Signer").field("id", &self.id).finish_non_exhaustive()
+    }
+}
+
+impl Signer {
+    /// The identity this capability signs for.
+    pub fn id(&self) -> KeyId {
+        self.id
+    }
+
+    /// Signs `msg` under domain-separation label `domain`.
+    ///
+    /// Domain separation prevents cross-protocol replay: a tag produced for
+    /// `b"xchain/receipt"` never verifies under `b"xchain/promise"`.
+    pub fn sign(&self, domain: &[u8], msg: &[u8]) -> Signature {
+        Signature { signer: self.id, tag: tag_for(&self.secret, domain, msg) }
+    }
+}
+
+fn tag_for(secret: &Digest, domain: &[u8], msg: &[u8]) -> Digest {
+    // HMAC over length-prefixed domain ‖ message so (d, m) pairs are
+    // unambiguous ("ab","c" vs "a","bc").
+    let dlen = (domain.len() as u64).to_be_bytes();
+    let mlen = (msg.len() as u64).to_be_bytes();
+    let framed = sha256_concat(&[&dlen, domain, &mlen, msg]);
+    hmac_sha256(secret, &framed)
+}
+
+/// The simulated public-key infrastructure: registry of all key secrets.
+///
+/// Shared immutably (`&Pki`) among all participants for verification.
+pub struct Pki {
+    secrets: Vec<Digest>,
+    /// Separates independent simulation universes: per-key secrets derive
+    /// from this seed, so runs with different seeds never cross-verify.
+    base_seed: u64,
+}
+
+impl Pki {
+    /// Creates an empty PKI seeded deterministically; `seed` separates
+    /// independent simulation universes so signatures from one run cannot
+    /// collide with another's.
+    pub fn new(seed: u64) -> Self {
+        Pki { secrets: Vec::with_capacity(16), base_seed: seed }
+    }
+
+    /// Registers a new identity, returning its id and signing capability.
+    pub fn register(&mut self) -> (KeyId, Signer) {
+        let id = KeyId(self.secrets.len() as u32);
+        let secret = sha256_concat(&[
+            b"xchain/pki/secret",
+            &self.base_seed.to_be_bytes(),
+            &id.0.to_be_bytes(),
+        ]);
+        self.secrets.push(secret);
+        (id, Signer { id, secret })
+    }
+
+    /// Registers `n` identities at once.
+    pub fn register_many(&mut self, n: usize) -> Vec<(KeyId, Signer)> {
+        (0..n).map(|_| self.register()).collect()
+    }
+
+    /// Number of registered keys.
+    pub fn len(&self) -> usize {
+        self.secrets.len()
+    }
+
+    /// True when no keys are registered.
+    pub fn is_empty(&self) -> bool {
+        self.secrets.is_empty()
+    }
+
+    /// Verifies that `sig` is a valid signature over (`domain`, `msg`) by
+    /// `sig.signer`. Unknown signers verify as false.
+    pub fn verify(&self, sig: &Signature, domain: &[u8], msg: &[u8]) -> bool {
+        match self.secrets.get(sig.signer.0 as usize) {
+            None => false,
+            Some(secret) => verify_tag(&tag_for(secret, domain, msg), &sig.tag),
+        }
+    }
+
+    /// Verifies a quorum of signatures over the same (`domain`, `msg`):
+    /// at least `threshold` *distinct* signers, all drawn from `eligible`,
+    /// every tag valid. Used for notary-committee certificates.
+    pub fn verify_quorum(
+        &self,
+        sigs: &[Signature],
+        domain: &[u8],
+        msg: &[u8],
+        eligible: &[KeyId],
+        threshold: usize,
+    ) -> bool {
+        let mut seen: Vec<KeyId> = Vec::with_capacity(sigs.len());
+        let mut valid = 0usize;
+        for sig in sigs {
+            if seen.contains(&sig.signer) {
+                continue; // duplicates never count twice
+            }
+            if !eligible.contains(&sig.signer) {
+                continue; // outsiders never count
+            }
+            if self.verify(sig, domain, msg) {
+                seen.push(sig.signer);
+                valid += 1;
+            }
+        }
+        valid >= threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize) -> (Pki, Vec<Signer>) {
+        let mut pki = Pki::new(7);
+        let pairs = pki.register_many(n);
+        let signers = pairs.into_iter().map(|(_, s)| s).collect();
+        (pki, signers)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let (pki, signers) = setup(2);
+        let sig = signers[0].sign(b"dom", b"hello");
+        assert!(pki.verify(&sig, b"dom", b"hello"));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let (pki, signers) = setup(1);
+        let sig = signers[0].sign(b"dom", b"hello");
+        assert!(!pki.verify(&sig, b"dom", b"hullo"));
+    }
+
+    #[test]
+    fn wrong_domain_rejected() {
+        let (pki, signers) = setup(1);
+        let sig = signers[0].sign(b"dom-a", b"hello");
+        assert!(!pki.verify(&sig, b"dom-b", b"hello"));
+    }
+
+    #[test]
+    fn domain_framing_unambiguous() {
+        let (pki, signers) = setup(1);
+        // ("ab", "c") must not verify as ("a", "bc").
+        let sig = signers[0].sign(b"ab", b"c");
+        assert!(!pki.verify(&sig, b"a", b"bc"));
+    }
+
+    #[test]
+    fn impersonation_rejected() {
+        let (pki, signers) = setup(2);
+        // Signer 1 signs, then claims to be signer 0.
+        let mut sig = signers[1].sign(b"dom", b"msg");
+        sig.signer = signers[0].id();
+        assert!(!pki.verify(&sig, b"dom", b"msg"));
+    }
+
+    #[test]
+    fn unknown_signer_rejected() {
+        let (pki, signers) = setup(1);
+        let mut sig = signers[0].sign(b"dom", b"msg");
+        sig.signer = KeyId(999);
+        assert!(!pki.verify(&sig, b"dom", b"msg"));
+    }
+
+    #[test]
+    fn distinct_universes_do_not_cross_verify() {
+        let mut pki_a = Pki::new(1);
+        let mut pki_b = Pki::new(2);
+        let (_, sa) = pki_a.register();
+        let (_, _sb) = pki_b.register();
+        let sig = sa.sign(b"dom", b"msg");
+        assert!(pki_a.verify(&sig, b"dom", b"msg"));
+        assert!(!pki_b.verify(&sig, b"dom", b"msg"));
+    }
+
+    #[test]
+    fn quorum_accepts_at_threshold() {
+        let (pki, signers) = setup(4);
+        let ids: Vec<KeyId> = signers.iter().map(|s| s.id()).collect();
+        let sigs: Vec<Signature> = signers.iter().take(3).map(|s| s.sign(b"q", b"m")).collect();
+        assert!(pki.verify_quorum(&sigs, b"q", b"m", &ids, 3));
+        assert!(!pki.verify_quorum(&sigs, b"q", b"m", &ids, 4));
+    }
+
+    #[test]
+    fn quorum_ignores_duplicates() {
+        let (pki, signers) = setup(3);
+        let ids: Vec<KeyId> = signers.iter().map(|s| s.id()).collect();
+        let one = signers[0].sign(b"q", b"m");
+        let sigs = vec![one, one, one];
+        assert!(!pki.verify_quorum(&sigs, b"q", b"m", &ids, 2));
+        assert!(pki.verify_quorum(&sigs, b"q", b"m", &ids, 1));
+    }
+
+    #[test]
+    fn quorum_ignores_outsiders_and_bad_tags() {
+        let (pki, signers) = setup(4);
+        let eligible: Vec<KeyId> = signers.iter().take(2).map(|s| s.id()).collect();
+        let outsider = signers[3].sign(b"q", b"m"); // valid tag, not eligible
+        let mut forged = signers[0].sign(b"q", b"m");
+        forged.tag[0] ^= 1; // eligible, invalid tag
+        let good = signers[1].sign(b"q", b"m");
+        assert!(!pki.verify_quorum(&[outsider, forged, good], b"q", b"m", &eligible, 2));
+        assert!(pki.verify_quorum(&[outsider, forged, good], b"q", b"m", &eligible, 1));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (_, s1) = setup(1);
+        let (_, s2) = setup(1);
+        assert_eq!(s1[0].sign(b"d", b"m"), s2[0].sign(b"d", b"m"));
+    }
+}

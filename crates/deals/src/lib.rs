@@ -1,0 +1,26 @@
+//! # xchain-deals — cross-chain deals (Herlihy, Liskov, Shrira \[3\])
+//!
+//! §5 of the paper relates cross-chain *payments* to cross-chain *deals*.
+//! This crate implements the deal side so the comparison is executable:
+//!
+//! * [`matrix`] — the deal matrix / digraph model, Tarjan well-formedness
+//!   (strong connectivity), and the acceptable-payoff predicate;
+//! * [`timelock`] — the timelock commit protocol (requires synchrony;
+//!   Safety + Termination + Strong liveness);
+//! * [`certified`] — the certified-blockchain commit protocol (partial
+//!   synchrony; Safety + Termination, no strong liveness);
+//! * [`relation`] — §5 itself: payment↔deal encodings and the executable
+//!   counterexamples showing neither subsumes the other.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod certified;
+pub mod matrix;
+pub mod relation;
+pub mod timelock;
+
+pub use certified::{CertifiedChain, CertifiedEscrow, CertifiedParty};
+pub use matrix::{Arc, DealMatrix, DealOutcome, Party};
+pub use relation::{deal_as_payment, payment_as_deal, NotAPayment};
+pub use timelock::{DMsg, DealInstance, TimelockEscrow, TimelockParty};

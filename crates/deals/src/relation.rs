@@ -1,0 +1,177 @@
+//! §5: the relation between cross-chain payments and cross-chain deals.
+//!
+//! The paper observes (with proofs in \[5\]) that *"the cross-chain payment
+//! cannot be seen as a special kind of cross-chain deal, nor vice versa."*
+//! This module makes both directions executable:
+//!
+//! * **payments ⊄ deals** — encoding a payment chain as a deal matrix
+//!   yields a digraph that is a simple path: every vertex is its own
+//!   strongly connected component, so the deal is not *well-formed* and
+//!   the HLS correctness theorems do not apply to it. Worse, deal
+//!   acceptability cannot even express the connectors' commission
+//!   semantics: in the all-or-nothing reading, a connector "parting with
+//!   all assets M_{i,j}" while "receiving all M_{j,i}" nets her
+//!   commission, but a *path* deal lets the all-return outcome strand her
+//!   mid-chain only because acceptability for path endpoints is trivial —
+//!   and the payment-specific certificate χ (Alice's transferable proof
+//!   that Bob was paid) has no deal counterpart at all.
+//! * **deals ⊄ payments** — a two-party swap (the minimal well-formed
+//!   deal) has two sources of value flowing in opposite directions; the
+//!   payment problem's Figure 1 topology is a single directed chain from
+//!   Alice to Bob with one value flow, so no assignment of
+//!   Alice/Chloes/Bob reproduces the swap's transfer relation.
+
+use crate::matrix::{DealMatrix, Party};
+use ledger::Asset;
+
+/// Encodes an `n`-hop payment chain (amounts per hop) as a deal matrix:
+/// party `i` transfers `amounts[i]` to party `i+1`.
+pub fn payment_as_deal(amounts: &[Asset]) -> DealMatrix {
+    let n = amounts.len();
+    let mut d = DealMatrix::new(n + 1);
+    for (i, &a) in amounts.iter().enumerate() {
+        d.add(i, i + 1, a);
+    }
+    d
+}
+
+/// Why a deal fails to be expressible as a cross-chain payment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NotAPayment {
+    /// Some party sends to (or receives from) more than one counterparty —
+    /// a payment chain is a path.
+    NotAPath,
+    /// The transfer relation contains a cycle (e.g. a swap) — payment
+    /// value flows one way, from Alice to Bob.
+    HasCycle,
+    /// Amounts increase along the chain — connectors charge commissions,
+    /// they do not subsidise.
+    IncreasingAmounts,
+}
+
+/// Attempts to read a deal as a cross-chain payment: a single directed
+/// path `p_0 → p_1 → … → p_n` with non-increasing, same-currency amounts.
+/// Returns the hop amounts on success.
+pub fn deal_as_payment(deal: &DealMatrix) -> Result<Vec<Asset>, NotAPayment> {
+    let m = deal.parties();
+    // Each party: at most one outgoing and one incoming arc.
+    for p in 0..m {
+        if deal.outgoing(p).count() > 1 || deal.incoming(p).count() > 1 {
+            return Err(NotAPayment::NotAPath);
+        }
+    }
+    // Exactly one source (Alice) and one sink (Bob) with everyone covered.
+    let sources: Vec<Party> =
+        (0..m).filter(|&p| deal.incoming(p).count() == 0 && deal.outgoing(p).count() == 1).collect();
+    if deal.arcs().len() != m.saturating_sub(1) || sources.len() != 1 {
+        return Err(NotAPayment::HasCycle);
+    }
+    // Walk the path, collecting amounts.
+    let mut amounts = Vec::with_capacity(m - 1);
+    let mut at = sources[0];
+    for _ in 0..m - 1 {
+        let arc_idx = deal.outgoing(at).next().ok_or(NotAPayment::HasCycle)?;
+        let arc = deal.arcs()[arc_idx];
+        amounts.push(arc.asset);
+        at = arc.to;
+    }
+    // Commissions only shrink the value (within one currency).
+    for w in amounts.windows(2) {
+        if w[0].currency == w[1].currency && w[1].amount > w[0].amount {
+            return Err(NotAPayment::IncreasingAmounts);
+        }
+    }
+    Ok(amounts)
+}
+
+/// The §5 vocabulary mapping between the two papers' properties — used by
+/// experiment E7 to print the side-by-side table.
+pub fn property_correspondence() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("Termination [3] (\"weak liveness\" there)", "T — termination (Def. 1/2)"),
+        ("Safety [3] (acceptable payoffs)", "CS — customer security"),
+        ("(implicit: blockchains own nothing)", "ES — escrow security"),
+        ("Strong liveness [3]", "L — strong liveness"),
+        ("(no counterpart)", "CC — certificate consistency (Def. 2)"),
+        ("(no counterpart)", "χ — Alice's transferable receipt"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ledger::CurrencyId;
+
+    fn asset(v: u64) -> Asset {
+        Asset::new(CurrencyId(0), v)
+    }
+
+    #[test]
+    fn payment_encodes_to_ill_formed_deal() {
+        for n in 1..=6 {
+            let amounts: Vec<Asset> = (0..n).map(|i| asset(100 - i as u64)).collect();
+            let deal = payment_as_deal(&amounts);
+            assert!(!deal.is_well_formed(), "n = {n}: payments are not well-formed deals");
+            // …so the HLS correctness theorems simply do not cover them.
+        }
+    }
+
+    #[test]
+    fn payment_roundtrips_through_deal_encoding() {
+        let amounts = vec![asset(100), asset(95), asset(90)];
+        let deal = payment_as_deal(&amounts);
+        assert_eq!(deal_as_payment(&deal), Ok(amounts));
+    }
+
+    #[test]
+    fn swap_is_not_a_payment() {
+        let mut swap = DealMatrix::new(2);
+        swap.add(0, 1, asset(5)).add(1, 0, asset(7));
+        assert!(swap.is_well_formed(), "the swap IS a fine deal");
+        // A two-party swap is a 2-cycle: value flows both ways, which the
+        // one-way Figure 1 chain cannot express.
+        assert_eq!(deal_as_payment(&swap), Err(NotAPayment::HasCycle));
+    }
+
+    #[test]
+    fn three_cycle_is_not_a_payment() {
+        let mut d = DealMatrix::new(3);
+        d.add(0, 1, asset(1)).add(1, 2, asset(1)).add(2, 0, asset(1));
+        assert!(d.is_well_formed());
+        // Every vertex has in=out=1, so the path test passes per-vertex;
+        // the cycle is caught by the source/arc-count analysis.
+        assert_eq!(deal_as_payment(&d), Err(NotAPayment::HasCycle));
+    }
+
+    #[test]
+    fn fan_out_is_not_a_payment() {
+        let mut d = DealMatrix::new(3);
+        d.add(0, 1, asset(1)).add(0, 2, asset(1));
+        assert_eq!(deal_as_payment(&d), Err(NotAPayment::NotAPath));
+    }
+
+    #[test]
+    fn subsidising_chain_is_not_a_payment() {
+        let mut d = DealMatrix::new(3);
+        d.add(0, 1, asset(50)).add(1, 2, asset(80)); // value grows: no commission model
+        assert_eq!(deal_as_payment(&d), Err(NotAPayment::IncreasingAmounts));
+    }
+
+    #[test]
+    fn multi_currency_chain_is_a_payment() {
+        // Different currencies per hop are fine (§2 allows them); the
+        // monotonicity check applies within a currency only.
+        let mut d = DealMatrix::new(3);
+        d.add(0, 1, Asset::new(CurrencyId(0), 50));
+        d.add(1, 2, Asset::new(CurrencyId(1), 9_000));
+        assert!(deal_as_payment(&d).is_ok());
+    }
+
+    #[test]
+    fn correspondence_table_covers_both_sides() {
+        let t = property_correspondence();
+        assert!(t.iter().any(|(hls, _)| hls.contains("Strong liveness")));
+        assert!(t.iter().any(|(_, ours)| ours.contains("CC")));
+        assert_eq!(t.len(), 6);
+    }
+}

@@ -1,0 +1,4 @@
+//! E2 — Theorem 2 impossibility witnesses.
+fn main() {
+    print!("{}", experiments::e2::run().render());
+}

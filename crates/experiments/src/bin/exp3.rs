@@ -1,0 +1,5 @@
+//! E3 — Theorem 3 weak-protocol sweep.
+fn main() {
+    let seeds = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    print!("{}", experiments::e3::run(seeds, 0).render());
+}

@@ -1,0 +1,11 @@
+//! E4 — Figures 1 & 2 regeneration; pass --dot to dump Graphviz sources.
+fn main() {
+    let r = experiments::e4::run(3);
+    print!("{}", r.render());
+    if std::env::args().any(|a| a == "--dot") {
+        println!("{}", r.figure1_dot);
+        for (name, dot) in &r.figure2_dots {
+            println!("// {name}\n{dot}");
+        }
+    }
+}

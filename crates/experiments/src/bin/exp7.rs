@@ -1,0 +1,4 @@
+//! E7 — relation with cross-chain deals.
+fn main() {
+    print!("{}", experiments::e7::run().render());
+}

@@ -1,0 +1,12 @@
+//! Runs every experiment at a moderate seed budget (EXPERIMENTS.md data).
+fn main() {
+    let seeds = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    println!("{}", experiments::e1::run(seeds, 0).render());
+    println!("{}", experiments::e2::run().render());
+    println!("{}", experiments::e3::run(seeds, 0).render());
+    println!("{}", experiments::e4::run(3).render());
+    println!("{}", experiments::e5::run(seeds.min(10), 0).render());
+    println!("{}", experiments::e6::run(seeds.min(10), 0).render());
+    println!("{}", experiments::e7::run().render());
+    println!("{}", experiments::perf::run().render());
+}

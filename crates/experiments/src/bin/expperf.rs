@@ -1,0 +1,4 @@
+//! P — performance measurements.
+fn main() {
+    print!("{}", experiments::perf::run().render());
+}

@@ -1,0 +1,22 @@
+//! # xchain-htlc — hashed-timelock contracts and atomic swaps
+//!
+//! The deployed open-source baseline the paper's introduction situates
+//! itself against: HTLC atomic swaps give *safety* (nobody can steal) but
+//! no success guarantees — either side can walk away and grief the other
+//! into waiting out a timelock with capital frozen, and the payer ends
+//! with no transferable receipt. The comparison experiments quantify both
+//! defects against the paper's protocols.
+//!
+//! * [`contract`] — HTLC semantics over the ledger substrate
+//!   (hashlock + timelock + claim/reclaim);
+//! * [`swap`] — the two-chain atomic-swap protocol as engine processes,
+//!   with griefing strategies for the E5 measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contract;
+pub mod swap;
+
+pub use contract::{Htlc, HtlcChain, HtlcError, HtlcState};
+pub use swap::{ChainProcess, HMsg, SwapInitiator, SwapResponder};

@@ -1,0 +1,218 @@
+//! The Interledger **atomic** protocol baseline.
+//!
+//! In atomic mode \[4\], participants appoint notaries; transfers commit or
+//! roll back based on whether the receiver's receipt reached the notaries
+//! *before a deadline on the notaries' clock*. Unlike the paper's weak
+//! protocol (Definition 2), the deadline is baked in: nobody "waits as
+//! long as they like", so under partial synchrony an honest run whose
+//! receipt is slow simply aborts — safety holds, but there are **no
+//! success guarantees** (the criticism in §1).
+//!
+//! Implementation: the weak-protocol participants are reused unchanged;
+//! only the transaction manager differs — [`DeadlineTm`] commits iff the
+//! full evidence (all locks + acceptance) arrives before its local
+//! deadline, and aborts at the deadline otherwise. The structural
+//! difference to Theorem 3's manager is exactly one line of semantics:
+//! a clock in the decision rule.
+
+use anta::process::{Ctx, Pid, Process, TimerId};
+use anta::time::SimDuration;
+use payment::msg::PMsg;
+use payment::weak::Evidence;
+use std::sync::Arc;
+use xcrypto::{DecisionCert, Pki, Signer, Verdict};
+
+const DEADLINE_TIMER: TimerId = 99;
+
+/// A transaction manager with a receipt deadline (the atomic-mode notary,
+/// collapsed to a single trusted process; the committee version composes
+/// the same rule with the consensus crate exactly as `NotaryTm` does).
+#[derive(Clone)]
+pub struct DeadlineTm {
+    signer: Signer,
+    pki: Arc<Pki>,
+    evidence: Evidence,
+    participants: Vec<Pid>,
+    /// Local-clock deadline for the complete evidence.
+    deadline: SimDuration,
+    decided: Option<Verdict>,
+}
+
+impl DeadlineTm {
+    /// Builds the deadline manager.
+    pub fn new(
+        signer: Signer,
+        pki: Arc<Pki>,
+        evidence: Evidence,
+        participants: Vec<Pid>,
+        deadline: SimDuration,
+    ) -> Self {
+        DeadlineTm { signer, pki, evidence, participants, deadline, decided: None }
+    }
+
+    /// The decision, if made.
+    pub fn decided(&self) -> Option<Verdict> {
+        self.decided
+    }
+
+    fn decide(&mut self, v: Verdict, ctx: &mut Ctx<PMsg>) {
+        if self.decided.is_some() {
+            return;
+        }
+        self.decided = Some(v);
+        let cert = DecisionCert::issue_single(&self.signer, self.evidence.payment(), v);
+        ctx.mark(
+            match v {
+                Verdict::Commit => "atomic_tm_commit",
+                Verdict::Abort => "atomic_tm_abort",
+            },
+            0,
+        );
+        for &p in &self.participants {
+            ctx.send(p, PMsg::Decision(cert.clone()));
+        }
+        ctx.halt();
+    }
+}
+
+impl Process<PMsg> for DeadlineTm {
+    fn on_start(&mut self, ctx: &mut Ctx<PMsg>) {
+        ctx.set_timer_after(DEADLINE_TIMER, self.deadline);
+    }
+
+    fn on_message(&mut self, _from: Pid, msg: PMsg, ctx: &mut Ctx<PMsg>) {
+        match msg {
+            PMsg::TmInput(input) => self.evidence.ingest_input(&input, &self.pki),
+            PMsg::Accept(chi) => self.evidence.ingest_accept(&chi, &self.pki),
+            _ => return,
+        }
+        if self.evidence.commit_ready() {
+            self.decide(Verdict::Commit, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, id: TimerId, ctx: &mut Ctx<PMsg>) {
+        if id == DEADLINE_TIMER {
+            // Deadline passed without complete evidence: roll back.
+            self.decide(Verdict::Abort, ctx);
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn box_clone(&self) -> Box<dyn Process<PMsg>> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anta::net::{PartialSyncNet, SyncNet};
+    use anta::oracle::RandomOracle;
+    use anta::time::SimTime;
+    use payment::weak::{TmKind, WeakOutcome, WeakSetup};
+    use payment::ValuePlan;
+
+    /// Builds a weak-protocol chain but swaps the manager for a
+    /// DeadlineTm with the given deadline.
+    fn run_atomic(
+        n: usize,
+        deadline: SimDuration,
+        net: Box<dyn anta::net::NetModel<PMsg>>,
+        seed: u64,
+    ) -> (WeakOutcome, WeakSetup) {
+        let s = WeakSetup::new(n, ValuePlan::uniform(n, 100), TmKind::Trusted, 50 + seed);
+        let signerless = s.tm_pids();
+        let _ = signerless;
+        let evidence = Evidence::new(s.payment, s.escrow_keys(), s.customer_keys());
+        let pki = s.pki.clone();
+        // Reuse the trusted TM's registered signer key by rebuilding the
+        // authority's signer — WeakSetup keeps it private, so we
+        // re-register a TM on the same seed is not possible; instead use
+        // override_tm with a DeadlineTm signed by a fresh key and rebuild
+        // the setup authority around it. Simpler: pull the signer from
+        // the default TrustedTm by constructing our own with the same
+        // authority — WeakSetup exposes nothing, so we go through
+        // the public path: swap the process and keep the authority by
+        // signing with the same key is impossible; hence WeakSetup for
+        // atomic runs is built with TmKind::Trusted and the DeadlineTm
+        // must sign with that key. The setup exposes it via
+        // `tm_signer_for_tests`.
+        let tm_signer = s.tm_signer_for_tests(0).clone();
+        let participants: Vec<Pid> = (0..s.topo.participants()).collect();
+        let mut eng = s.build_engine_with(net, Box::new(RandomOracle::seeded(seed)), |_| None, |i| {
+            (i == 0).then(|| {
+                Box::new(DeadlineTm::new(
+                    tm_signer.clone(),
+                    pki.clone(),
+                    evidence.clone(),
+                    participants.clone(),
+                    deadline,
+                )) as Box<dyn Process<PMsg>>
+            })
+        });
+        eng.run();
+        let o = WeakOutcome::extract(&eng, &s);
+        (o, s)
+    }
+
+    #[test]
+    fn atomic_commits_when_network_is_fast() {
+        let (o, _) = run_atomic(
+            2,
+            SimDuration::from_millis(500),
+            Box::new(SyncNet::new(SimDuration::from_millis(2), 8)),
+            1,
+        );
+        assert_eq!(o.verdict(), Some(Verdict::Commit), "{o:?}");
+        assert!(o.bob_paid);
+        assert!(o.cc_ok);
+    }
+
+    #[test]
+    fn atomic_aborts_spuriously_under_partial_synchrony() {
+        // GST after the deadline: every message is held back, the
+        // deadline fires, the run aborts — although every party was
+        // honest and willing. This is "no success guarantees".
+        let (o, _) = run_atomic(
+            2,
+            SimDuration::from_millis(100),
+            Box::new(PartialSyncNet::new(
+                SimTime::from_millis(5_000),
+                SimDuration::from_millis(2),
+            )),
+            2,
+        );
+        assert_eq!(o.verdict(), Some(Verdict::Abort), "{o:?}");
+        assert!(!o.bob_paid);
+        // …but nobody lost anything: safety holds.
+        assert!(o.cc_ok);
+        for p in o.net_positions.iter().flatten() {
+            assert_eq!(*p, 0);
+        }
+    }
+
+    #[test]
+    fn atomic_safety_is_preserved_in_both_outcomes() {
+        for seed in 0..6u64 {
+            let gst = SimTime::from_millis(if seed % 2 == 0 { 10 } else { 2_000 });
+            let (o, _) = run_atomic(
+                3,
+                SimDuration::from_millis(300),
+                Box::new(PartialSyncNet::randomized(gst, SimDuration::from_millis(3), 8)),
+                seed,
+            );
+            assert!(o.cc_ok, "seed {seed}: {o:?}");
+            assert!(o.conservation.iter().all(|c| *c == Some(true)));
+            match o.verdict() {
+                Some(Verdict::Commit) => assert!(o.bob_paid, "seed {seed}"),
+                Some(Verdict::Abort) => {
+                    assert!(o.net_positions.iter().flatten().all(|p| *p == 0), "seed {seed}")
+                }
+                None => panic!("seed {seed}: deadline TM always decides"),
+            }
+        }
+    }
+}

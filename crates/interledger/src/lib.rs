@@ -1,0 +1,26 @@
+//! # xchain-interledger — the Thomas–Schwartz baselines \[4\]
+//!
+//! The paper's Theorem 1 protocol *is* the Interledger **universal**
+//! protocol "fine-tuned to work correctly in the presence of clock drift";
+//! §1 criticises \[4\] because "the synchronous solutions … do not consider
+//! clock drift, and for their partially synchronous solutions no success
+//! guarantees are established". This crate provides both baselines so the
+//! experiments can reproduce those two criticisms quantitatively:
+//!
+//! * [`untuned`] — the universal protocol with its drift-oblivious timeout
+//!   schedule (`ρ = 0`, no safety margin). Experiment E5 sweeps drift ×
+//!   chain length and exhibits the failure region that the paper's
+//!   fine-tuning removes.
+//! * [`atomic`] — the atomic protocol: transfers commit or roll back on
+//!   the say-so of a notary set holding a receipt-before-deadline rule.
+//!   It is safe under partial synchrony but aborts spuriously — "no
+//!   success guarantees".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod untuned;
+
+pub use atomic::DeadlineTm;
+pub use untuned::untuned_schedule;

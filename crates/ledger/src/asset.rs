@@ -1,0 +1,102 @@
+//! Currencies and asset amounts.
+//!
+//! The paper notes that the values transferred along the chain "may be
+//! expressed in different currencies, or they may be objects", and that the
+//! value Alice sends Chloe may exceed what Chloe sends Bob (her commission).
+//! Amounts are integers in the currency's smallest unit; all arithmetic is
+//! checked — an escrow that silently overflows a balance would void the
+//! Escrow-security analysis.
+
+use std::fmt;
+
+/// A currency (or asset class). Each escrow may denominate deals in any mix
+/// of currencies; conservation audits are per-currency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CurrencyId(pub u32);
+
+impl fmt::Display for CurrencyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cur{}", self.0)
+    }
+}
+
+/// A quantity of one currency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Asset {
+    /// The asset class.
+    pub currency: CurrencyId,
+    /// Quantity in the currency's smallest unit.
+    pub amount: u64,
+}
+
+impl Asset {
+    /// Convenience constructor.
+    pub const fn new(currency: CurrencyId, amount: u64) -> Self {
+        Asset { currency, amount }
+    }
+
+    /// Zero of a currency.
+    pub const fn zero(currency: CurrencyId) -> Self {
+        Asset { currency, amount: 0 }
+    }
+
+    /// Checked addition within one currency; `None` on mismatch/overflow.
+    pub fn checked_add(self, other: Asset) -> Option<Asset> {
+        if self.currency != other.currency {
+            return None;
+        }
+        Some(Asset { currency: self.currency, amount: self.amount.checked_add(other.amount)? })
+    }
+
+    /// Checked subtraction within one currency; `None` on mismatch or
+    /// underflow.
+    pub fn checked_sub(self, other: Asset) -> Option<Asset> {
+        if self.currency != other.currency {
+            return None;
+        }
+        Some(Asset { currency: self.currency, amount: self.amount.checked_sub(other.amount)? })
+    }
+}
+
+impl fmt::Display for Asset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.amount, self.currency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_same_currency() {
+        let a = Asset::new(CurrencyId(0), 5);
+        let b = Asset::new(CurrencyId(0), 7);
+        assert_eq!(a.checked_add(b), Some(Asset::new(CurrencyId(0), 12)));
+    }
+
+    #[test]
+    fn add_currency_mismatch() {
+        let a = Asset::new(CurrencyId(0), 5);
+        let b = Asset::new(CurrencyId(1), 7);
+        assert_eq!(a.checked_add(b), None);
+        assert_eq!(a.checked_sub(b), None);
+    }
+
+    #[test]
+    fn overflow_and_underflow() {
+        let a = Asset::new(CurrencyId(0), u64::MAX);
+        assert_eq!(a.checked_add(Asset::new(CurrencyId(0), 1)), None);
+        let b = Asset::new(CurrencyId(0), 3);
+        assert_eq!(b.checked_sub(Asset::new(CurrencyId(0), 4)), None);
+        assert_eq!(
+            b.checked_sub(Asset::new(CurrencyId(0), 3)),
+            Some(Asset::zero(CurrencyId(0)))
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Asset::new(CurrencyId(2), 41).to_string(), "41 cur2");
+    }
+}

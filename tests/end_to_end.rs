@@ -1,0 +1,124 @@
+//! Cross-crate integration: the full stack (crypto → ledger → anta →
+//! consensus → payment) exercised end to end, with property checks from
+//! `payment::properties` on every run.
+
+use crosschain::anta::net::{PartialSyncNet, SyncNet};
+use crosschain::anta::oracle::RandomOracle;
+use crosschain::anta::time::{SimDuration, SimTime};
+use crosschain::payment::properties::{
+    check_definition1, check_definition2, Compliance, PropCheck,
+};
+use crosschain::payment::timebounded::{ChainOutcome, ChainSetup, ClockPlan};
+use crosschain::payment::weak::{Patience, TmKind, WeakOutcome, WeakSetup};
+use crosschain::payment::{SyncParams, ValuePlan};
+use crosschain::xcrypto::Verdict;
+
+#[test]
+fn time_bounded_protocol_many_seeds_many_sizes() {
+    for n in [1usize, 3, 6] {
+        let setup =
+            ChainSetup::new(n, ValuePlan::with_commission(n, 10_000, 11), SyncParams::baseline(), 17);
+        for seed in 0..8u64 {
+            let mut eng = setup.build_engine(
+                Box::new(SyncNet::new(setup.params.delta, 32)),
+                Box::new(RandomOracle::seeded(seed)),
+                ClockPlan::Sampled { seed },
+            );
+            let report = eng.run();
+            assert!(report.quiescent, "n={n} seed={seed}");
+            let o = ChainOutcome::extract(&eng, &setup, report.quiescent);
+            let v = check_definition1(&o, &setup, &Compliance::all_compliant());
+            assert!(v.all_ok(), "n={n} seed={seed}: {:?}", v.violations());
+            assert_eq!(v.l, PropCheck::Holds);
+            // Money conservation story: Alice pays 10000, Bob receives
+            // 10000 − 11(n−1), each connector keeps 11.
+            let bob_gain = *o.net_positions.last().unwrap().as_ref().unwrap();
+            assert_eq!(bob_gain, 10_000 - 11 * (n as i64 - 1));
+        }
+    }
+}
+
+#[test]
+fn weak_protocol_all_tm_kinds_under_partial_synchrony() {
+    for kind in [TmKind::Trusted, TmKind::Contract, TmKind::Committee { k: 4 }] {
+        for seed in 0..5u64 {
+            let setup = WeakSetup::new(3, ValuePlan::uniform(3, 777), kind, 23 + seed);
+            let gst = SimTime::from_millis(100 + 50 * seed);
+            let mut eng = setup.build_engine(
+                Box::new(PartialSyncNet::randomized(gst, SimDuration::from_millis(5), 8)),
+                Box::new(RandomOracle::seeded(seed)),
+            );
+            eng.run();
+            let o = WeakOutcome::extract(&eng, &setup);
+            assert_eq!(o.verdict(), Some(Verdict::Commit), "{kind:?} seed={seed}: {o:?}");
+            assert!(o.bob_paid, "{kind:?} seed={seed}");
+            let v = check_definition2(&o, &Compliance::all_compliant(), true);
+            assert!(v.all_ok(), "{kind:?} seed={seed}: {:?}", v.violations());
+        }
+    }
+}
+
+#[test]
+fn weak_protocol_abort_path_is_lossless_everywhere() {
+    for kind in [TmKind::Trusted, TmKind::Committee { k: 4 }] {
+        let setup = WeakSetup::new(4, ValuePlan::uniform(4, 321), kind, 31)
+            .with_patience(4, Patience::absent())
+            .with_patience(2, Patience::until(SimDuration::from_millis(250)));
+        let mut eng = setup.build_engine(
+            Box::new(SyncNet::new(SimDuration::from_millis(3), 8)),
+            Box::new(RandomOracle::seeded(9)),
+        );
+        eng.run();
+        let o = WeakOutcome::extract(&eng, &setup);
+        assert_eq!(o.verdict(), Some(Verdict::Abort), "{kind:?}: {o:?}");
+        for (i, p) in o.net_positions.iter().enumerate() {
+            assert_eq!(*p, Some(0), "{kind:?}: customer {i} must end whole");
+        }
+        assert!(o.cc_ok);
+    }
+}
+
+#[test]
+fn identical_seeds_identical_runs() {
+    let run = |seed: u64| {
+        let setup = ChainSetup::new(4, ValuePlan::uniform(4, 50), SyncParams::baseline(), 3);
+        let mut eng = setup.build_engine(
+            Box::new(SyncNet::new(setup.params.delta, 16)),
+            Box::new(RandomOracle::seeded(seed)),
+            ClockPlan::Sampled { seed },
+        );
+        let report = eng.run();
+        (report.events, report.end_time, eng.trace().events.len(), eng.trace().sent_count())
+    };
+    assert_eq!(run(5), run(5), "bit-reproducibility");
+    assert_ne!(run(5), run(6), "seeds matter");
+}
+
+#[test]
+fn the_paper_in_one_test() {
+    // Theorem 1: synchrony ⇒ success.
+    let setup = ChainSetup::new(2, ValuePlan::uniform(2, 100), SyncParams::baseline(), 1);
+    let mut eng = setup.build_engine(
+        Box::new(SyncNet::new(setup.params.delta, 8)),
+        Box::new(RandomOracle::seeded(1)),
+        ClockPlan::Sampled { seed: 1 },
+    );
+    let report = eng.run();
+    let o = ChainOutcome::extract(&eng, &setup, report.quiescent);
+    assert!(o.bob_paid(), "Theorem 1");
+
+    // Theorem 2: partial synchrony defeats the same protocol.
+    let w = crosschain::payment::impossibility::indistinguishability_pair(2, 100);
+    assert!(w.run_a_refund_correct && w.run_b_cs2_violated, "Theorem 2");
+
+    // Theorem 3: the weak variant survives partial synchrony.
+    let wsetup = WeakSetup::new(2, ValuePlan::uniform(2, 100), TmKind::Committee { k: 4 }, 2);
+    let mut weng = wsetup.build_engine(
+        Box::new(PartialSyncNet::new(SimTime::from_millis(400), SimDuration::from_millis(5))),
+        Box::new(RandomOracle::seeded(2)),
+    );
+    weng.run();
+    let wo = WeakOutcome::extract(&weng, &wsetup);
+    assert_eq!(wo.verdict(), Some(Verdict::Commit), "Theorem 3");
+    assert!(wo.bob_paid && wo.cc_ok);
+}
