@@ -149,7 +149,10 @@ impl std::fmt::Display for AutomatonError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AutomatonError::BadOutputState(s) => {
-                write!(f, "output state `{s}` must have exactly one send transition")
+                write!(
+                    f,
+                    "output state `{s}` must have exactly one send transition"
+                )
             }
             AutomatonError::SendFromInputState(s) => {
                 write!(f, "input state `{s}` has a send transition")
@@ -232,7 +235,10 @@ impl<M> AutomatonBuilder<M> {
         self.transitions.push(Transition {
             from: from_state,
             to: to_state,
-            action: Action::Receive { from: sender, guard: Arc::new(guard) },
+            action: Action::Receive {
+                from: sender,
+                guard: Arc::new(guard),
+            },
             assign,
         });
         self
@@ -268,7 +274,10 @@ impl<M> AutomatonBuilder<M> {
         self.transitions.push(Transition {
             from: from_state,
             to: to_state,
-            action: Action::Send { to, make: Arc::new(make) },
+            action: Action::Send {
+                to,
+                make: Arc::new(make),
+            },
             assign,
         });
         self
@@ -333,7 +342,10 @@ impl<M> AutomatonBuilder<M> {
 impl<M> AutomatonSpec<M> {
     /// The automaton's states as `(name, kind)` pairs, in declaration order.
     pub fn states(&self) -> impl Iterator<Item = (&str, StateKind)> + '_ {
-        self.state_names.iter().map(|s| s.as_str()).zip(self.state_kinds.iter().copied())
+        self.state_names
+            .iter()
+            .map(|s| s.as_str())
+            .zip(self.state_kinds.iter().copied())
     }
 
     /// Number of states.
@@ -401,7 +413,14 @@ impl<M: Message> AutomatonProcess<M> {
             regs: vec![0; spec.n_regs],
         };
         let initial = spec.initial;
-        AutomatonProcess { spec, state: initial, store, pending: VecDeque::new(), epoch: 0, halted: false }
+        AutomatonProcess {
+            spec,
+            state: initial,
+            store,
+            pending: VecDeque::new(),
+            epoch: 0,
+            halted: false,
+        }
     }
 
     /// Current control state.
@@ -495,9 +514,7 @@ impl<M: Message> AutomatonProcess<M> {
             .iter()
             .copied()
             .find(|&ti| match &self.spec.transitions[ti].action {
-                Action::Receive { from: want, guard } => {
-                    *want == from && guard(msg, &self.store)
-                }
+                Action::Receive { from: want, guard } => *want == from && guard(msg, &self.store),
                 _ => false,
             })
     }
@@ -602,10 +619,7 @@ mod tests {
         b.build().unwrap()
     }
 
-    fn run_pair(
-        delta: SimDuration,
-        patience: SimDuration,
-    ) -> (Engine<TMsg>, Pid, Pid) {
+    fn run_pair(delta: SimDuration, patience: SimDuration) -> (Engine<TMsg>, Pid, Pid) {
         let mut eng = Engine::new(
             Box::new(SyncNet::worst_case(delta)),
             Box::new(RandomOracle::seeded(0)),
@@ -625,8 +639,7 @@ mod tests {
 
     #[test]
     fn happy_path_reaches_done() {
-        let (eng, req, rsp) =
-            run_pair(SimDuration::from_ticks(10), SimDuration::from_ticks(1_000));
+        let (eng, req, rsp) = run_pair(SimDuration::from_ticks(10), SimDuration::from_ticks(1_000));
         let r = eng.process_as::<AutomatonProcess<TMsg>>(req).unwrap();
         assert_eq!(r.state_name(), "done");
         assert!(r.is_terminal());
@@ -654,8 +667,7 @@ mod tests {
         let r = eng.process_as::<AutomatonProcess<TMsg>>(req).unwrap();
         assert_eq!(r.state_name(), "gave_up");
         // One tick of slack flips the outcome.
-        let (eng2, req2, _) =
-            run_pair(SimDuration::from_ticks(100), SimDuration::from_ticks(201));
+        let (eng2, req2, _) = run_pair(SimDuration::from_ticks(100), SimDuration::from_ticks(201));
         let r2 = eng2.process_as::<AutomatonProcess<TMsg>>(req2).unwrap();
         assert_eq!(r2.state_name(), "done");
     }
@@ -714,13 +726,16 @@ mod tests {
         eng.run();
         let a = eng.process_as::<AutomatonProcess<TMsg>>(orderly).unwrap();
         assert_eq!(a.state_name(), "done");
-        assert_eq!(a.store().regs[0], 2, "assignment captured the message value");
+        assert_eq!(
+            a.store().regs[0],
+            2,
+            "assignment captured the message value"
+        );
     }
 
     #[test]
     fn clock_assignment_remembers_transition_time() {
-        let (eng, req, _) =
-            run_pair(SimDuration::from_ticks(10), SimDuration::from_ticks(1_000));
+        let (eng, req, _) = run_pair(SimDuration::from_ticks(10), SimDuration::from_ticks(1_000));
         let r = eng.process_as::<AutomatonProcess<TMsg>>(req).unwrap();
         // x0 := now fired when Ping was sent, at local time 0.
         assert_eq!(r.store().clocks[0], SimTime::ZERO);
@@ -749,7 +764,10 @@ mod tests {
         let w = b2.input_state("white_with_send");
         let w2 = b2.input_state("white2");
         b2.send(w, w2, 0, |_| TMsg::Ping, None);
-        assert!(matches!(b2.build(), Err(AutomatonError::SendFromInputState(_))));
+        assert!(matches!(
+            b2.build(),
+            Err(AutomatonError::SendFromInputState(_))
+        ));
 
         let mut b3 = AutomatonBuilder::<TMsg>::new("bad3");
         let w = b3.input_state("w");

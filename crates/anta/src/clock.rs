@@ -46,7 +46,11 @@ impl Default for DriftClock {
 impl DriftClock {
     /// A perfect clock: `C(t) = t`.
     pub fn perfect() -> Self {
-        DriftClock { rate_num: 1, rate_den: 1, offset: SimDuration::ZERO }
+        DriftClock {
+            rate_num: 1,
+            rate_den: 1,
+            offset: SimDuration::ZERO,
+        }
     }
 
     /// A clock running at `(PPM + drift_ppm) / PPM` real speed with a start
@@ -58,7 +62,11 @@ impl DriftClock {
             "clock rate must stay positive (drift_ppm = {drift_ppm})"
         );
         let rate_num = (PPM as i64 + drift_ppm) as u64;
-        DriftClock { rate_num, rate_den: PPM, offset }
+        DriftClock {
+            rate_num,
+            rate_den: PPM,
+            offset,
+        }
     }
 
     /// Samples a clock uniformly within the drift envelope `ρ` (given in
@@ -89,7 +97,8 @@ impl DriftClock {
 
     /// Local clock reading at real time `t` (rounded down).
     pub fn local_at(&self, real: SimTime) -> SimTime {
-        let scaled = SimDuration::from_ticks(real.ticks()).scale_floor(self.rate_num, self.rate_den);
+        let scaled =
+            SimDuration::from_ticks(real.ticks()).scale_floor(self.rate_num, self.rate_den);
         SimTime::ZERO + scaled + self.offset
     }
 
@@ -133,14 +142,20 @@ mod tests {
         let c = DriftClock::perfect();
         for t in [0u64, 1, 17, 1_000_000] {
             assert_eq!(c.local_at(SimTime::from_ticks(t)), SimTime::from_ticks(t));
-            assert_eq!(c.real_when_local(SimTime::from_ticks(t)), Some(SimTime::from_ticks(t)));
+            assert_eq!(
+                c.real_when_local(SimTime::from_ticks(t)),
+                Some(SimTime::from_ticks(t))
+            );
         }
     }
 
     #[test]
     fn fast_clock_reads_ahead() {
         let c = DriftClock::with_drift_ppm(100_000, SimDuration::ZERO); // +10%
-        assert_eq!(c.local_at(SimTime::from_ticks(1_000_000)), SimTime::from_ticks(1_100_000));
+        assert_eq!(
+            c.local_at(SimTime::from_ticks(1_000_000)),
+            SimTime::from_ticks(1_100_000)
+        );
         // A fast clock reaches a local deadline sooner in real time.
         let real = c.real_when_local(SimTime::from_ticks(1_100_000)).unwrap();
         assert_eq!(real, SimTime::from_ticks(1_000_000));
@@ -149,7 +164,10 @@ mod tests {
     #[test]
     fn slow_clock_reads_behind() {
         let c = DriftClock::with_drift_ppm(-200_000, SimDuration::ZERO); // −20%
-        assert_eq!(c.local_at(SimTime::from_ticks(1_000_000)), SimTime::from_ticks(800_000));
+        assert_eq!(
+            c.local_at(SimTime::from_ticks(1_000_000)),
+            SimTime::from_ticks(800_000)
+        );
         let real = c.real_when_local(SimTime::from_ticks(800_000)).unwrap();
         assert_eq!(real, SimTime::from_ticks(1_000_000));
     }
@@ -158,7 +176,10 @@ mod tests {
     fn offset_applies() {
         let c = DriftClock::with_drift_ppm(0, SimDuration::from_ticks(500));
         assert_eq!(c.local_at(SimTime::ZERO), SimTime::from_ticks(500));
-        assert_eq!(c.real_when_local(SimTime::from_ticks(700)), Some(SimTime::from_ticks(200)));
+        assert_eq!(
+            c.real_when_local(SimTime::from_ticks(700)),
+            Some(SimTime::from_ticks(200))
+        );
         // Local time before the offset was already passed at real zero.
         assert_eq!(c.real_when_local(SimTime::from_ticks(400)), None);
     }

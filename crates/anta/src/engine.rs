@@ -138,7 +138,11 @@ impl<M: Message> Engine<M> {
     pub fn add_process(&mut self, proc: Box<dyn Process<M>>, clock: DriftClock) -> Pid {
         assert!(!self.started, "processes must be added before run()");
         let pid = self.procs.len();
-        self.procs.push(ProcSlot { proc, clock, halted: false });
+        self.procs.push(ProcSlot {
+            proc,
+            clock,
+            halted: false,
+        });
         pid
     }
 
@@ -246,7 +250,11 @@ impl<M: Message> Engine<M> {
                 }
                 self.trace.push(
                     self.now,
-                    TraceKind::Delivered { from, to, msg: msg.clone() },
+                    TraceKind::Delivered {
+                        from,
+                        to,
+                        msg: msg.clone(),
+                    },
                 );
                 let local = self.procs[to].clock.local_at(self.now);
                 let mut ctx = Ctx::new(to, local);
@@ -286,15 +294,28 @@ impl<M: Message> Engine<M> {
                 Effect::Send { to, msg } => {
                     let sent_at = self.now + compute;
                     let seq = self.seq;
-                    let meta = EnvelopeMeta { from: pid, to, sent_at, seq };
-                    self.trace.push(sent_at, TraceKind::Sent { from: pid, to, msg: msg.clone() });
+                    let meta = EnvelopeMeta {
+                        from: pid,
+                        to,
+                        sent_at,
+                        seq,
+                    };
+                    self.trace.push(
+                        sent_at,
+                        TraceKind::Sent {
+                            from: pid,
+                            to,
+                            msg: msg.clone(),
+                        },
+                    );
                     match self.net.route(&meta, &msg, self.oracle.as_mut()) {
                         Delivery::At(t) => {
                             let at = t.max(sent_at);
                             self.push_event(at, EventKind::Deliver { from: pid, to, msg });
                         }
                         Delivery::Never => {
-                            self.trace.push(sent_at, TraceKind::Dropped { from: pid, to, msg });
+                            self.trace
+                                .push(sent_at, TraceKind::Dropped { from: pid, to, msg });
                         }
                     }
                 }
@@ -314,7 +335,15 @@ impl<M: Message> Engine<M> {
                 }
                 Effect::Mark { label, value } => {
                     let local = self.procs[pid].clock.local_at(self.now);
-                    self.trace.push(self.now, TraceKind::Mark { pid, local, label, value });
+                    self.trace.push(
+                        self.now,
+                        TraceKind::Mark {
+                            pid,
+                            local,
+                            label,
+                            value,
+                        },
+                    );
                 }
             }
         }
@@ -357,18 +386,32 @@ mod tests {
     }
 
     fn ping_pong_engine(seed: u64, sigma: SimDuration) -> Engine<u32> {
-        let cfg = EngineConfig { sigma_max: sigma, sigma_buckets: 4, ..Default::default() };
+        let cfg = EngineConfig {
+            sigma_max: sigma,
+            sigma_buckets: 4,
+            ..Default::default()
+        };
         let mut eng = Engine::new(
             Box::new(SyncNet::new(SimDuration::from_ticks(100), 8)),
             Box::new(RandomOracle::seeded(seed)),
             cfg,
         );
         eng.add_process(
-            Box::new(Pinger { peer: 1, limit: 10, last_seen: 0, serve_first: true }),
+            Box::new(Pinger {
+                peer: 1,
+                limit: 10,
+                last_seen: 0,
+                serve_first: true,
+            }),
             DriftClock::perfect(),
         );
         eng.add_process(
-            Box::new(Pinger { peer: 0, limit: 10, last_seen: 0, serve_first: false }),
+            Box::new(Pinger {
+                peer: 0,
+                limit: 10,
+                last_seen: 0,
+                serve_first: false,
+            }),
             DriftClock::perfect(),
         );
         eng
@@ -397,7 +440,11 @@ mod tests {
             (r.end_time, r.events, eng.trace().events.len())
         };
         assert_eq!(run(5), run(5));
-        assert_ne!(run(5).0, run(6).0, "different seeds explore different delays");
+        assert_ne!(
+            run(5).0,
+            run(6).0,
+            "different seeds explore different delays"
+        );
     }
 
     #[test]
@@ -442,7 +489,10 @@ mod tests {
         let pid = eng.add_process(Box::new(TimerBox::default()), DriftClock::perfect());
         let report = eng.run();
         assert!(report.all_halted);
-        assert_eq!(eng.process_as::<TimerBox>(pid).unwrap().fired, vec![1, 2, 3]);
+        assert_eq!(
+            eng.process_as::<TimerBox>(pid).unwrap().fired,
+            vec![1, 2, 3]
+        );
     }
 
     #[test]
@@ -495,7 +545,10 @@ mod tests {
         let mut eng = Engine::<u32>::new(
             Box::new(SyncNet::new(SimDuration::ZERO, 1)),
             Box::new(RandomOracle::seeded(0)),
-            EngineConfig { max_real_time: SimTime::from_ticks(1_000), ..Default::default() },
+            EngineConfig {
+                max_real_time: SimTime::from_ticks(1_000),
+                ..Default::default()
+            },
         );
         eng.add_process(Box::new(Babbler), DriftClock::perfect());
         let report = eng.run();
@@ -525,7 +578,10 @@ mod tests {
         let mut eng = Engine::<u32>::new(
             Box::new(SyncNet::new(SimDuration::ZERO, 1)),
             Box::new(RandomOracle::seeded(0)),
-            EngineConfig { max_events: 500, ..Default::default() },
+            EngineConfig {
+                max_events: 500,
+                ..Default::default()
+            },
         );
         eng.add_process(Box::new(Flood), DriftClock::perfect());
         let report = eng.run();
@@ -568,7 +624,11 @@ mod tests {
         eng.add_process(Box::new(Sender), DriftClock::perfect());
         eng.run();
         assert!(eng.is_halted(quitter));
-        assert!(!eng.process_as::<QuitsEarly>(quitter).unwrap().got_after_halt);
+        assert!(
+            !eng.process_as::<QuitsEarly>(quitter)
+                .unwrap()
+                .got_after_halt
+        );
     }
 
     #[test]
@@ -601,6 +661,10 @@ mod tests {
         let report = eng.run();
         assert!(report.all_halted);
         let p = eng.process_as::<PastTimer>(pid).unwrap();
-        assert_eq!(p.fired_at, Some(SimTime::from_ticks(500)), "fired at once, local now");
+        assert_eq!(
+            p.fired_at,
+            Some(SimTime::from_ticks(500)),
+            "fired at once, local now"
+        );
     }
 }

@@ -31,7 +31,9 @@ pub struct ExploreLimits {
 
 impl Default for ExploreLimits {
     fn default() -> Self {
-        ExploreLimits { max_runs: 1_000_000 }
+        ExploreLimits {
+            max_runs: 1_000_000,
+        }
     }
 }
 
@@ -93,15 +95,28 @@ pub fn explore<M: Message>(
         runs += 1;
         if let Err(message) = check(&engine, &report) {
             let taken: Vec<usize> = oracle.borrow().log.iter().map(|&(c, _)| c).collect();
-            violations.push(Violation { path: taken, message });
+            violations.push(Violation {
+                path: taken,
+                message,
+            });
         }
         if runs >= limits.max_runs {
-            return ExploreReport { runs, exhausted: false, violations };
+            return ExploreReport {
+                runs,
+                exhausted: false,
+                violations,
+            };
         }
         let next = oracle.borrow().next_path();
         match next {
             Some(p) => path = p,
-            None => return ExploreReport { runs, exhausted: true, violations },
+            None => {
+                return ExploreReport {
+                    runs,
+                    exhausted: true,
+                    violations,
+                }
+            }
         }
     }
 }
@@ -217,11 +232,7 @@ mod tests {
 
     #[test]
     fn run_budget_respected() {
-        let report = explore(
-            build_race,
-            |_, _| Ok(()),
-            ExploreLimits { max_runs: 2 },
-        );
+        let report = explore(build_race, |_, _| Ok(()), ExploreLimits { max_runs: 2 });
         assert_eq!(report.runs, 2);
         assert!(!report.exhausted);
     }

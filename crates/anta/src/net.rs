@@ -95,12 +95,20 @@ pub struct SyncNet {
 impl SyncNet {
     /// Uniform-ish delays in `[0, delta]` at the given resolution.
     pub fn new(delta: SimDuration, buckets: usize) -> Self {
-        SyncNet { delta_min: SimDuration::ZERO, delta_max: delta, buckets }
+        SyncNet {
+            delta_min: SimDuration::ZERO,
+            delta_max: delta,
+            buckets,
+        }
     }
 
     /// Every message takes exactly δ (deterministic worst case).
     pub fn worst_case(delta: SimDuration) -> Self {
-        SyncNet { delta_min: delta, delta_max: delta, buckets: 1 }
+        SyncNet {
+            delta_min: delta,
+            delta_max: delta,
+            buckets: 1,
+        }
     }
 }
 
@@ -152,17 +160,32 @@ pub struct PartialSyncNet {
 impl PartialSyncNet {
     /// Canonical worst-case adversary: everything pre-GST held to the limit.
     pub fn new(gst: SimTime, delta: SimDuration) -> Self {
-        PartialSyncNet { gst, delta, policy: PreGstPolicy::MaxDelay, buckets: 1 }
+        PartialSyncNet {
+            gst,
+            delta,
+            policy: PreGstPolicy::MaxDelay,
+            buckets: 1,
+        }
     }
 
     /// Randomised pre- and post-GST delays at the given resolution.
     pub fn randomized(gst: SimTime, delta: SimDuration, buckets: usize) -> Self {
-        PartialSyncNet { gst, delta, policy: PreGstPolicy::Quantised { buckets }, buckets }
+        PartialSyncNet {
+            gst,
+            delta,
+            policy: PreGstPolicy::Quantised { buckets },
+            buckets,
+        }
     }
 
     /// Targeted partition of specific directed pairs until GST.
     pub fn partition(gst: SimTime, delta: SimDuration, pairs: Vec<(Pid, Pid)>) -> Self {
-        PartialSyncNet { gst, delta, policy: PreGstPolicy::TargetPairs { pairs }, buckets: 1 }
+        PartialSyncNet {
+            gst,
+            delta,
+            policy: PreGstPolicy::TargetPairs { pairs },
+            buckets: 1,
+        }
     }
 
     /// The DLS delivery deadline for a message sent at `t`.
@@ -211,7 +234,9 @@ pub struct AdversarialNet<M> {
 
 impl<M> Clone for AdversarialNet<M> {
     fn clone(&self) -> Self {
-        AdversarialNet { rule: self.rule.clone() }
+        AdversarialNet {
+            rule: self.rule.clone(),
+        }
     }
 }
 
@@ -220,7 +245,9 @@ impl<M> AdversarialNet<M> {
     pub fn new(
         rule: impl Fn(&EnvelopeMeta, &M, &mut dyn Oracle) -> Delivery + Send + Sync + 'static,
     ) -> Self {
-        AdversarialNet { rule: std::sync::Arc::new(rule) }
+        AdversarialNet {
+            rule: std::sync::Arc::new(rule),
+        }
     }
 
     /// Drops every message matching `pred`; the rest behave synchronously
@@ -245,7 +272,11 @@ impl<M> AdversarialNet<M> {
         pred: impl Fn(&EnvelopeMeta, &M) -> bool + Send + Sync + 'static,
     ) -> Self {
         Self::new(move |meta, msg, _o| {
-            let d = if pred(meta, msg) { delta + extra } else { delta };
+            let d = if pred(meta, msg) {
+                delta + extra
+            } else {
+                delta
+            };
             Delivery::At(meta.sent_at + d)
         })
     }
@@ -267,7 +298,12 @@ mod tests {
     use crate::oracle::{FixedOracle, RandomOracle};
 
     fn meta(sent: u64) -> EnvelopeMeta {
-        EnvelopeMeta { from: 0, to: 1, sent_at: SimTime::from_ticks(sent), seq: 0 }
+        EnvelopeMeta {
+            from: 0,
+            to: 1,
+            sent_at: SimTime::from_ticks(sent),
+            seq: 0,
+        }
     }
 
     #[test]
@@ -305,7 +341,10 @@ mod tests {
         assert_eq!(quantised_delay(min, max, 3, &mut hi), max);
         // Middle bucket of 3 is the midpoint.
         let mut mid = FixedOracle::new(1);
-        assert_eq!(quantised_delay(min, max, 3, &mut mid), SimDuration::from_ticks(15));
+        assert_eq!(
+            quantised_delay(min, max, 3, &mut mid),
+            SimDuration::from_ticks(15)
+        );
     }
 
     #[test]
@@ -361,7 +400,12 @@ mod tests {
             _ => unreachable!(),
         }
         // Other direction: prompt.
-        let back = EnvelopeMeta { from: 1, to: 0, sent_at: SimTime::ZERO, seq: 1 };
+        let back = EnvelopeMeta {
+            from: 1,
+            to: 0,
+            sent_at: SimTime::ZERO,
+            seq: 1,
+        };
         match NetModel::<u32>::route(&mut net, &back, &0u32, &mut o) {
             Delivery::At(t) => assert!(t <= SimTime::from_ticks(10)),
             _ => unreachable!(),
@@ -375,16 +419,30 @@ mod tests {
                 m.to == 9
             });
         let mut o = RandomOracle::seeded(5);
-        let victim = EnvelopeMeta { from: 0, to: 9, sent_at: SimTime::ZERO, seq: 0 };
+        let victim = EnvelopeMeta {
+            from: 0,
+            to: 9,
+            sent_at: SimTime::ZERO,
+            seq: 0,
+        };
         assert_eq!(dropper.route(&victim, &0u32, &mut o), Delivery::Never);
-        assert_eq!(dropper.route(&meta(0), &0u32, &mut o), Delivery::At(SimTime::from_ticks(5)));
+        assert_eq!(
+            dropper.route(&meta(0), &0u32, &mut o),
+            Delivery::At(SimTime::from_ticks(5))
+        );
 
         let mut delayer = AdversarialNet::delaying(
             SimDuration::from_ticks(5),
             SimDuration::from_ticks(100),
             |_m: &EnvelopeMeta, msg: &u32| *msg == 7,
         );
-        assert_eq!(delayer.route(&meta(0), &7u32, &mut o), Delivery::At(SimTime::from_ticks(105)));
-        assert_eq!(delayer.route(&meta(0), &8u32, &mut o), Delivery::At(SimTime::from_ticks(5)));
+        assert_eq!(
+            delayer.route(&meta(0), &7u32, &mut o),
+            Delivery::At(SimTime::from_ticks(105))
+        );
+        assert_eq!(
+            delayer.route(&meta(0), &8u32, &mut o),
+            Delivery::At(SimTime::from_ticks(5))
+        );
     }
 }

@@ -33,7 +33,9 @@ pub struct RandomOracle {
 impl RandomOracle {
     /// Creates an oracle from a seed; equal seeds give equal runs.
     pub fn seeded(seed: u64) -> Self {
-        RandomOracle { rng: StdRng::seed_from_u64(seed) }
+        RandomOracle {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -90,7 +92,10 @@ pub struct ReplayOracle {
 impl ReplayOracle {
     /// Replays `prefix`, then chooses 0.
     pub fn new(prefix: Vec<usize>) -> Self {
-        ReplayOracle { log: Vec::with_capacity(prefix.len() + 16), prefix }
+        ReplayOracle {
+            log: Vec::with_capacity(prefix.len() + 16),
+            prefix,
+        }
     }
 
     /// Computes the lexicographically next path after this run's log, or

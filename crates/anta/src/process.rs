@@ -66,7 +66,11 @@ pub struct Ctx<M> {
 
 impl<M> Ctx<M> {
     pub(crate) fn new(pid: Pid, now_local: SimTime) -> Self {
-        Ctx { pid, now_local, effects: Vec::new() }
+        Ctx {
+            pid,
+            now_local,
+            effects: Vec::new(),
+        }
     }
 
     pub(crate) fn into_effects(self) -> Vec<Effect<M>> {
@@ -194,7 +198,13 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        assert!(matches!(fx[2], Effect::Mark { label: "m", value: -1 }));
+        assert!(matches!(
+            fx[2],
+            Effect::Mark {
+                label: "m",
+                value: -1
+            }
+        ));
         assert!(matches!(fx[3], Effect::Halt));
     }
 

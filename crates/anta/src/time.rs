@@ -249,11 +249,23 @@ mod tests {
             SimTime::from_ticks(5).saturating_since(SimTime::from_ticks(9)),
             SimDuration::ZERO
         );
-        assert_eq!(SimTime::from_ticks(9).checked_since(SimTime::from_ticks(5)), Some(SimDuration(4)));
-        assert_eq!(SimTime::from_ticks(5).checked_since(SimTime::from_ticks(9)), None);
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_ticks(10)), SimTime::MAX);
+        assert_eq!(
+            SimTime::from_ticks(9).checked_since(SimTime::from_ticks(5)),
+            Some(SimDuration(4))
+        );
+        assert_eq!(
+            SimTime::from_ticks(5).checked_since(SimTime::from_ticks(9)),
+            None
+        );
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_ticks(10)),
+            SimTime::MAX
+        );
         assert_eq!(SimDuration::MAX.saturating_mul(3), SimDuration::MAX);
-        assert_eq!(SimDuration::MAX.saturating_add(SimDuration(1)), SimDuration::MAX);
+        assert_eq!(
+            SimDuration::MAX.saturating_add(SimDuration(1)),
+            SimDuration::MAX
+        );
     }
 
     #[test]

@@ -98,16 +98,21 @@ impl<M> Trace<M> {
     pub fn marks(&self, label: &str) -> impl Iterator<Item = (Pid, SimTime, SimTime, i64)> + '_ {
         let want = label.to_owned();
         self.events.iter().filter_map(move |e| match &e.kind {
-            TraceKind::Mark { pid, local, label, value } if *label == want => {
-                Some((*pid, e.real, *local, *value))
-            }
+            TraceKind::Mark {
+                pid,
+                local,
+                label,
+                value,
+            } if *label == want => Some((*pid, e.real, *local, *value)),
             _ => None,
         })
     }
 
     /// First real time a mark with `label` was emitted by `pid`.
     pub fn first_mark(&self, pid: Pid, label: &str) -> Option<SimTime> {
-        self.marks(label).find(|(p, _, _, _)| *p == pid).map(|(_, real, _, _)| real)
+        self.marks(label)
+            .find(|(p, _, _, _)| *p == pid)
+            .map(|(_, real, _, _)| real)
     }
 
     /// Real halt time of `pid`, if it halted.
@@ -136,12 +141,18 @@ impl<M> Trace<M> {
 
     /// Total messages sent in the run.
     pub fn sent_count(&self) -> usize {
-        self.events.iter().filter(|e| matches!(e.kind, TraceKind::Sent { .. })).count()
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Sent { .. }))
+            .count()
     }
 
     /// Total messages dropped by the network.
     pub fn dropped_count(&self) -> usize {
-        self.events.iter().filter(|e| matches!(e.kind, TraceKind::Dropped { .. })).count()
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Dropped { .. }))
+            .count()
     }
 
     /// The real time of the last event, or zero for an empty trace.
@@ -156,11 +167,7 @@ impl<M: std::fmt::Debug> Trace<M> {
     /// `names[p]` labels process `p`; message payloads are shown via a
     /// caller-supplied formatter so domain crates can print `G`/`P`/`$`/χ
     /// instead of debug dumps.
-    pub fn render_msc(
-        &self,
-        names: &[&str],
-        mut label: impl FnMut(&M) -> String,
-    ) -> String {
+    pub fn render_msc(&self, names: &[&str], mut label: impl FnMut(&M) -> String) -> String {
         use std::fmt::Write as _;
         let width = 14usize;
         let cols = names.len();
@@ -189,7 +196,11 @@ impl<M: std::fmt::Debug> Trace<M> {
                             let arrow = if *from == a { "+--" } else { "<--" };
                             let _ = write!(line, "{arrow:-<width$}");
                         } else if c == b {
-                            let arrow = if *to == b { format!("->{text}") } else { format!("--+{text}") };
+                            let arrow = if *to == b {
+                                format!("->{text}")
+                            } else {
+                                format!("--+{text}")
+                            };
                             let _ = write!(line, "{arrow:<width$}");
                         } else {
                             let _ = write!(line, "{:-<width$}", "-");
@@ -223,9 +234,33 @@ mod tests {
     #[test]
     fn mark_queries() {
         let mut tr: Trace<u32> = Trace::new();
-        tr.push(t(5), TraceKind::Mark { pid: 1, local: t(6), label: "paid", value: 10 });
-        tr.push(t(9), TraceKind::Mark { pid: 2, local: t(9), label: "paid", value: 20 });
-        tr.push(t(11), TraceKind::Mark { pid: 1, local: t(12), label: "refund", value: 10 });
+        tr.push(
+            t(5),
+            TraceKind::Mark {
+                pid: 1,
+                local: t(6),
+                label: "paid",
+                value: 10,
+            },
+        );
+        tr.push(
+            t(9),
+            TraceKind::Mark {
+                pid: 2,
+                local: t(9),
+                label: "paid",
+                value: 20,
+            },
+        );
+        tr.push(
+            t(11),
+            TraceKind::Mark {
+                pid: 1,
+                local: t(12),
+                label: "refund",
+                value: 10,
+            },
+        );
         assert_eq!(tr.marks("paid").count(), 2);
         assert_eq!(tr.first_mark(1, "paid"), Some(t(5)));
         assert_eq!(tr.first_mark(1, "refund"), Some(t(11)));
@@ -235,10 +270,37 @@ mod tests {
     #[test]
     fn halt_and_counts() {
         let mut tr: Trace<u32> = Trace::new();
-        tr.push(t(1), TraceKind::Sent { from: 0, to: 1, msg: 7 });
-        tr.push(t(2), TraceKind::Delivered { from: 0, to: 1, msg: 7 });
-        tr.push(t(2), TraceKind::Dropped { from: 1, to: 0, msg: 8 });
-        tr.push(t(3), TraceKind::Halted { pid: 1, local: t(4) });
+        tr.push(
+            t(1),
+            TraceKind::Sent {
+                from: 0,
+                to: 1,
+                msg: 7,
+            },
+        );
+        tr.push(
+            t(2),
+            TraceKind::Delivered {
+                from: 0,
+                to: 1,
+                msg: 7,
+            },
+        );
+        tr.push(
+            t(2),
+            TraceKind::Dropped {
+                from: 1,
+                to: 0,
+                msg: 8,
+            },
+        );
+        tr.push(
+            t(3),
+            TraceKind::Halted {
+                pid: 1,
+                local: t(4),
+            },
+        );
         assert_eq!(tr.sent_count(), 1);
         assert_eq!(tr.delivered_count(1), 1);
         assert_eq!(tr.delivered_count(0), 0);
@@ -252,9 +314,29 @@ mod tests {
     #[test]
     fn msc_renders_deliveries_and_halts() {
         let mut tr: Trace<u32> = Trace::new();
-        tr.push(t(5), TraceKind::Delivered { from: 0, to: 2, msg: 7 });
-        tr.push(t(9), TraceKind::Delivered { from: 2, to: 1, msg: 8 });
-        tr.push(t(12), TraceKind::Halted { pid: 1, local: t(12) });
+        tr.push(
+            t(5),
+            TraceKind::Delivered {
+                from: 0,
+                to: 2,
+                msg: 7,
+            },
+        );
+        tr.push(
+            t(9),
+            TraceKind::Delivered {
+                from: 2,
+                to: 1,
+                msg: 8,
+            },
+        );
+        tr.push(
+            t(12),
+            TraceKind::Halted {
+                pid: 1,
+                local: t(12),
+            },
+        );
         tr.push(t(13), TraceKind::TimerFired { pid: 0, id: 1 }); // not drawn
         let msc = tr.render_msc(&["alice", "escrow", "bob"], |m| format!("m{m}"));
         assert!(msc.contains("alice"));
@@ -268,7 +350,14 @@ mod tests {
     #[test]
     fn msc_ignores_out_of_range_pids() {
         let mut tr: Trace<u32> = Trace::new();
-        tr.push(t(1), TraceKind::Delivered { from: 0, to: 9, msg: 1 });
+        tr.push(
+            t(1),
+            TraceKind::Delivered {
+                from: 0,
+                to: 9,
+                msg: 1,
+            },
+        );
         let msc = tr.render_msc(&["a", "b"], |m| m.to_string());
         assert_eq!(msc.trim_end().lines().count(), 2, "only the header: {msc}");
     }

@@ -106,7 +106,10 @@ fn bench_e4_explore(c: &mut Criterion) {
 fn bench_e5_baselines(c: &mut Criterion) {
     let mut g = c.benchmark_group("e5_baselines");
     g.sample_size(20);
-    let params = SyncParams { rho_ppm: 150_000, ..SyncParams::baseline() };
+    let params = SyncParams {
+        rho_ppm: 150_000,
+        ..SyncParams::baseline()
+    };
     for (label, untuned) in [("tuned", false), ("untuned", true)] {
         g.bench_function(label, |b| {
             let mut setup = ChainSetup::new(3, ValuePlan::uniform(3, 100), params, 7);
@@ -208,8 +211,22 @@ fn bench_perf(c: &mut Criterion) {
                 Box::new(RandomOracle::seeded(3)),
                 EngineConfig::default(),
             );
-            eng.add_process(Box::new(Pinger { peer: 1, limit: 10_000, first: true }), DriftClock::perfect());
-            eng.add_process(Box::new(Pinger { peer: 0, limit: 10_000, first: false }), DriftClock::perfect());
+            eng.add_process(
+                Box::new(Pinger {
+                    peer: 1,
+                    limit: 10_000,
+                    first: true,
+                }),
+                DriftClock::perfect(),
+            );
+            eng.add_process(
+                Box::new(Pinger {
+                    peer: 0,
+                    limit: 10_000,
+                    first: false,
+                }),
+                DriftClock::perfect(),
+            );
             let report = eng.run();
             black_box(report.events)
         })

@@ -152,7 +152,7 @@ impl<V: ConsensusValue> NotaryCore<V> {
     /// locked yet).
     pub fn new(cfg: Config<V>, signer: Signer, pki: Arc<Pki>, input: V) -> Self {
         assert!(
-            cfg.n() >= 3 * cfg.f + 1,
+            cfg.n() > 3 * cfg.f,
             "committee of {} cannot tolerate f = {}",
             cfg.n(),
             cfg.f
@@ -252,7 +252,9 @@ impl<V: ConsensusValue> NotaryCore<V> {
     fn phase_timeout(&self, round: u32, phase: u64) -> SimDuration {
         // Linearly growing timeouts: phase k of round r expires after
         // (k+1)·(r+1)·base — eventually exceeding any post-GST δ.
-        self.cfg.base_timeout.saturating_mul((phase + 1) * (round as u64 + 1))
+        self.cfg
+            .base_timeout
+            .saturating_mul((phase + 1) * (round as u64 + 1))
     }
 
     fn enter_round(&mut self, round: u32, out: &mut Vec<Output<V>>) {
@@ -268,7 +270,11 @@ impl<V: ConsensusValue> NotaryCore<V> {
             let (value, pol) = match &self.locked {
                 Some(l) => (
                     l.value.clone(),
-                    Some(ProofOfLock { round: l.round, value: l.value.clone(), sigs: l.sigs.clone() }),
+                    Some(ProofOfLock {
+                        round: l.round,
+                        value: l.value.clone(),
+                        sigs: l.sigs.clone(),
+                    }),
                 ),
                 None => (self.input.clone(), None),
             };
@@ -279,7 +285,15 @@ impl<V: ConsensusValue> NotaryCore<V> {
                 &value,
                 pol.as_ref().map(|p| p.round),
             );
-            self.emit(ConsMsg::Propose { round, value, pol, sig }, out);
+            self.emit(
+                ConsMsg::Propose {
+                    round,
+                    value,
+                    pol,
+                    sig,
+                },
+                out,
+            );
         }
         // A proposal for this round may have arrived while we were in an
         // earlier round — buffered in `proposals`; prevote for it now.
@@ -296,9 +310,12 @@ impl<V: ConsensusValue> NotaryCore<V> {
 
     fn handle(&mut self, msg: ConsMsg<V>, out: &mut Vec<Output<V>>) {
         match msg {
-            ConsMsg::Propose { round, value, pol, sig } => {
-                self.on_propose(round, value, pol, sig, out)
-            }
+            ConsMsg::Propose {
+                round,
+                value,
+                pol,
+                sig,
+            } => self.on_propose(round, value, pol, sig, out),
             ConsMsg::Prevote { round, value, sig } => {
                 self.on_vote(VoteKind::Prevote, round, value, sig, out)
             }
@@ -324,8 +341,12 @@ impl<V: ConsensusValue> NotaryCore<V> {
         if sig.signer != self.cfg.leader(round) {
             return;
         }
-        let payload =
-            propose_payload(self.cfg.instance, round, &value, pol.as_ref().map(|p| p.round));
+        let payload = propose_payload(
+            self.cfg.instance,
+            round,
+            &value,
+            pol.as_ref().map(|p| p.round),
+        );
         if !self.pki.verify(&sig, DOM_VOTE, &payload) {
             return;
         }
@@ -366,21 +387,42 @@ impl<V: ConsensusValue> NotaryCore<V> {
         if pol.value != *proposed {
             return false;
         }
-        let payload =
-            vote_payload(self.cfg.instance, VoteKind::Prevote, pol.round, Some(&pol.value));
-        self.pki.verify_quorum(&pol.sigs, DOM_VOTE, &payload, &self.cfg.members, self.cfg.quorum())
+        let payload = vote_payload(
+            self.cfg.instance,
+            VoteKind::Prevote,
+            pol.round,
+            Some(&pol.value),
+        );
+        self.pki.verify_quorum(
+            &pol.sigs,
+            DOM_VOTE,
+            &payload,
+            &self.cfg.members,
+            self.cfg.quorum(),
+        )
     }
 
     fn cast_prevote(&mut self, round: u32, value: Option<V>, out: &mut Vec<Output<V>>) {
         self.prevoted_rounds.push(round);
-        let sig = sign_vote(&self.signer, self.cfg.instance, VoteKind::Prevote, round, value.as_ref());
+        let sig = sign_vote(
+            &self.signer,
+            self.cfg.instance,
+            VoteKind::Prevote,
+            round,
+            value.as_ref(),
+        );
         self.emit(ConsMsg::Prevote { round, value, sig }, out);
     }
 
     fn cast_precommit(&mut self, round: u32, value: Option<V>, out: &mut Vec<Output<V>>) {
         self.precommitted_rounds.push(round);
-        let sig =
-            sign_vote(&self.signer, self.cfg.instance, VoteKind::Precommit, round, value.as_ref());
+        let sig = sign_vote(
+            &self.signer,
+            self.cfg.instance,
+            VoteKind::Precommit,
+            round,
+            value.as_ref(),
+        );
         self.emit(ConsMsg::Precommit { round, value, sig }, out);
     }
 
@@ -404,14 +446,22 @@ impl<V: ConsensusValue> NotaryCore<V> {
         };
         // One vote per (kind, round, signer): equivocation is simply not
         // double-counted (first vote wins; cheap Byzantine containment).
-        if store.iter().any(|v| v.round == round && v.signer == sig.signer) {
+        if store
+            .iter()
+            .any(|v| v.round == round && v.signer == sig.signer)
+        {
             return;
         }
         let payload = vote_payload(self.cfg.instance, kind, round, value.as_ref());
         if !self.pki.verify(&sig, DOM_VOTE, &payload) {
             return;
         }
-        let rec = VoteRec { round, signer: sig.signer, value, sig };
+        let rec = VoteRec {
+            round,
+            signer: sig.signer,
+            value,
+            sig,
+        };
         match kind {
             VoteKind::Prevote => self.prevotes.push(rec),
             VoteKind::Precommit => self.precommits.push(rec),
@@ -424,10 +474,13 @@ impl<V: ConsensusValue> NotaryCore<V> {
             return;
         }
         let payload = vote_payload(self.cfg.instance, VoteKind::Precommit, round, Some(&value));
-        if self
-            .pki
-            .verify_quorum(&sigs, DOM_VOTE, &payload, &self.cfg.members, self.cfg.quorum())
-        {
+        if self.pki.verify_quorum(
+            &sigs,
+            DOM_VOTE,
+            &payload,
+            &self.cfg.members,
+            self.cfg.quorum(),
+        ) {
             self.decide(round, value, sigs, out);
         }
     }
@@ -448,7 +501,11 @@ impl<V: ConsensusValue> NotaryCore<V> {
             if let Some((r, v, sigs)) = self.find_value_quorum_at(&self.prevotes, self.round) {
                 let better = self.locked.as_ref().map_or(true, |l| r >= l.round);
                 if better {
-                    self.locked = Some(Lock { round: r, value: v.clone(), sigs });
+                    self.locked = Some(Lock {
+                        round: r,
+                        value: v.clone(),
+                        sigs,
+                    });
                 }
                 let round = self.round;
                 self.cast_precommit(round, Some(v), out);
@@ -501,8 +558,10 @@ impl<V: ConsensusValue> NotaryCore<V> {
         votes: &[VoteRec<V>],
         round: u32,
     ) -> Option<(u32, V, Vec<Signature>)> {
-        let at: Vec<&VoteRec<V>> =
-            votes.iter().filter(|v| v.round == round && v.value.is_some()).collect();
+        let at: Vec<&VoteRec<V>> = votes
+            .iter()
+            .filter(|v| v.round == round && v.value.is_some())
+            .collect();
         for candidate in &at {
             let v = candidate.value.as_ref().expect("filtered");
             let sigs: Vec<Signature> = at
@@ -519,7 +578,11 @@ impl<V: ConsensusValue> NotaryCore<V> {
 
     fn decide(&mut self, round: u32, value: V, sigs: Vec<Signature>, out: &mut Vec<Output<V>>) {
         self.decided = Some((round, value.clone()));
-        out.push(Output::Decide { round, value: value.clone(), sigs: sigs.clone() });
+        out.push(Output::Decide {
+            round,
+            value: value.clone(),
+            sigs: sigs.clone(),
+        });
         if !self.decision_broadcast {
             self.decision_broadcast = true;
             out.push(Output::Broadcast(ConsMsg::Decided { round, value, sigs }));
@@ -673,7 +736,10 @@ mod tests {
         };
         let _ = core.on_message(v1);
         let _ = core.on_message(v2);
-        assert_eq!(core.prevotes.iter().filter(|v| v.signer == s0.id()).count(), 1);
+        assert_eq!(
+            core.prevotes.iter().filter(|v| v.signer == s0.id()).count(),
+            1
+        );
     }
 
     #[test]
@@ -712,9 +778,15 @@ mod tests {
             .take(3)
             .map(|s| sign_vote(s, cfg.instance, VoteKind::Precommit, 5, Some(&payload_val)))
             .collect();
-        let out = core.on_message(ConsMsg::Decided { round: 5, value: payload_val, sigs });
+        let out = core.on_message(ConsMsg::Decided {
+            round: 5,
+            value: payload_val,
+            sigs,
+        });
         assert_eq!(core.decided(), Some(&42));
-        assert!(out.iter().any(|o| matches!(o, Output::Decide { value: 42, .. })));
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, Output::Decide { value: 42, .. })));
     }
 
     #[test]
@@ -727,7 +799,11 @@ mod tests {
             .take(2) // below 2f+1 = 3
             .map(|s| sign_vote(s, cfg.instance, VoteKind::Precommit, 5, Some(&42u64)))
             .collect();
-        let _ = core.on_message(ConsMsg::Decided { round: 5, value: 42u64, sigs });
+        let _ = core.on_message(ConsMsg::Decided {
+            round: 5,
+            value: 42u64,
+            sigs,
+        });
         assert_eq!(core.decided(), None);
     }
 
@@ -761,10 +837,21 @@ mod tests {
         let bogus_pol = crate::msg::ProofOfLock {
             round: 2,
             value: 9u64,
-            sigs: vec![sign_vote(&signers[0], cfg.instance, VoteKind::Prevote, 2, Some(&8u64))],
+            sigs: vec![sign_vote(
+                &signers[0],
+                cfg.instance,
+                VoteKind::Prevote,
+                2,
+                Some(&8u64),
+            )],
         };
         let sig = crate::msg::sign_propose(&signers[1], cfg.instance, 1, &9u64, Some(2));
-        let _ = core.on_message(ConsMsg::Propose { round: 1, value: 9, pol: Some(bogus_pol), sig });
+        let _ = core.on_message(ConsMsg::Propose {
+            round: 1,
+            value: 9,
+            pol: Some(bogus_pol),
+            sig,
+        });
         assert!(
             core.proposals.iter().all(|(r, _)| *r != 1),
             "proposal with forged PoL must be rejected"
@@ -775,11 +862,20 @@ mod tests {
             .take(3)
             .map(|s| sign_vote(s, cfg.instance, VoteKind::Prevote, 2, Some(&9u64)))
             .collect();
-        let good_pol = crate::msg::ProofOfLock { round: 2, value: 9u64, sigs: payload_sigs };
+        let good_pol = crate::msg::ProofOfLock {
+            round: 2,
+            value: 9u64,
+            sigs: payload_sigs,
+        };
         // Jump the core to round 3 so member 3 leads… simpler: leader of
         // round 1 re-proposes with the valid PoL.
         let sig2 = crate::msg::sign_propose(&signers[1], cfg.instance, 1, &9u64, Some(2));
-        let _ = core.on_message(ConsMsg::Propose { round: 1, value: 9, pol: Some(good_pol), sig: sig2 });
+        let _ = core.on_message(ConsMsg::Propose {
+            round: 1,
+            value: 9,
+            pol: Some(good_pol),
+            sig: sig2,
+        });
         assert!(
             core.proposals.iter().any(|(r, v)| *r == 1 && *v == 9),
             "valid higher-round PoL must unlock acceptance"

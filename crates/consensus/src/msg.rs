@@ -125,7 +125,10 @@ pub fn sign_propose<V: ConsensusValue>(
     value: &V,
     pol_round: Option<u32>,
 ) -> Signature {
-    signer.sign(DOM_VOTE, &propose_payload(instance, round, value, pol_round))
+    signer.sign(
+        DOM_VOTE,
+        &propose_payload(instance, round, value, pol_round),
+    )
 }
 
 /// A proof-of-lock: `2f+1` prevote signatures for `value` at `round`.

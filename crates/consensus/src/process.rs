@@ -23,7 +23,11 @@ pub struct NotaryProcess<V> {
 impl<V: ConsensusValue> NotaryProcess<V> {
     /// Wraps a core; `peers` are the engine pids of the other members.
     pub fn new(core: NotaryCore<V>, peers: Vec<Pid>) -> Self {
-        NotaryProcess { core, peers, decision: None }
+        NotaryProcess {
+            core,
+            peers,
+            decision: None,
+        }
     }
 
     /// The decided value, if any.
@@ -128,7 +132,14 @@ impl<V: ConsensusValue> EquivocatorNotary<V> {
         value_b: V,
         rounds: u32,
     ) -> Self {
-        EquivocatorNotary { signer, instance, peers, value_a, value_b, rounds }
+        EquivocatorNotary {
+            signer,
+            instance,
+            peers,
+            value_a,
+            value_b,
+            rounds,
+        }
     }
 }
 
@@ -137,11 +148,21 @@ impl<V: ConsensusValue> Process<ConsMsg<V>> for EquivocatorNotary<V> {
         use crate::msg::{sign_vote, VoteKind};
         for round in 0..self.rounds {
             for (i, &p) in self.peers.iter().enumerate() {
-                let v = if i % 2 == 0 { self.value_a.clone() } else { self.value_b.clone() };
+                let v = if i % 2 == 0 {
+                    self.value_a.clone()
+                } else {
+                    self.value_b.clone()
+                };
                 let pv = ConsMsg::Prevote {
                     round,
                     value: Some(v.clone()),
-                    sig: sign_vote(&self.signer, self.instance, VoteKind::Prevote, round, Some(&v)),
+                    sig: sign_vote(
+                        &self.signer,
+                        self.instance,
+                        VoteKind::Prevote,
+                        round,
+                        Some(&v),
+                    ),
                 };
                 ctx.send(p, pv);
                 let pc = ConsMsg::Precommit {
@@ -192,7 +213,11 @@ mod tests {
         let pairs = pki.register_many(n);
         let members = pairs.iter().map(|(k, _)| *k).collect();
         let signers = pairs.into_iter().map(|(_, s)| s).collect();
-        Committee { pki: Arc::new(pki), signers, members }
+        Committee {
+            pki: Arc::new(pki),
+            signers,
+            members,
+        }
     }
 
     fn config(c: &Committee, f: usize) -> Config<u64> {
@@ -220,8 +245,16 @@ mod tests {
             EngineConfig::default(),
         );
         for i in 0..4 {
-            let core = NotaryCore::new(cfg.clone(), c.signers[i].clone(), c.pki.clone(), 100 + i as u64);
-            eng.add_process(Box::new(NotaryProcess::new(core, peers(4, i))), DriftClock::perfect());
+            let core = NotaryCore::new(
+                cfg.clone(),
+                c.signers[i].clone(),
+                c.pki.clone(),
+                100 + i as u64,
+            );
+            eng.add_process(
+                Box::new(NotaryProcess::new(core, peers(4, i))),
+                DriftClock::perfect(),
+            );
         }
         let report = eng.run();
         assert!(report.quiescent || report.truncated);
@@ -243,8 +276,16 @@ mod tests {
         // pid 0 (round-0 leader) is crashed.
         eng.add_process(Box::new(SilentNotary), DriftClock::perfect());
         for i in 1..4 {
-            let core = NotaryCore::new(cfg.clone(), c.signers[i].clone(), c.pki.clone(), 100 + i as u64);
-            eng.add_process(Box::new(NotaryProcess::new(core, peers(4, i))), DriftClock::perfect());
+            let core = NotaryCore::new(
+                cfg.clone(),
+                c.signers[i].clone(),
+                c.pki.clone(),
+                100 + i as u64,
+            );
+            eng.add_process(
+                Box::new(NotaryProcess::new(core, peers(4, i))),
+                DriftClock::perfect(),
+            );
         }
         eng.run();
         let mut decisions = Vec::new();
@@ -268,8 +309,7 @@ mod tests {
             );
             // pid 3 (committee member 3) equivocates between 666 and 667.
             for i in 0..3 {
-                let core =
-                    NotaryCore::new(cfg.clone(), c.signers[i].clone(), c.pki.clone(), 7);
+                let core = NotaryCore::new(cfg.clone(), c.signers[i].clone(), c.pki.clone(), 7);
                 eng.add_process(
                     Box::new(NotaryProcess::new(core, peers(4, i))),
                     DriftClock::perfect(),
@@ -314,7 +354,10 @@ mod tests {
         );
         for i in 0..4 {
             let core = NotaryCore::new(cfg.clone(), c.signers[i].clone(), c.pki.clone(), 9);
-            eng.add_process(Box::new(NotaryProcess::new(core, peers(4, i))), DriftClock::perfect());
+            eng.add_process(
+                Box::new(NotaryProcess::new(core, peers(4, i))),
+                DriftClock::perfect(),
+            );
         }
         eng.run_until(SimTime::from_secs(60));
         for i in 0..4 {
@@ -328,7 +371,10 @@ mod tests {
             .map(|(_, real, _, _)| real)
             .max()
             .expect("decided marks exist");
-        assert!(any_decide_mark >= gst, "pre-GST decision under MaxDelay adversary?");
+        assert!(
+            any_decide_mark >= gst,
+            "pre-GST decision under MaxDelay adversary?"
+        );
     }
 
     #[test]
@@ -357,7 +403,10 @@ mod tests {
             let mut decided = Vec::new();
             for i in 0..4 {
                 let p = eng.process_as::<NotaryProcess<u64>>(i).unwrap();
-                decided.push(*p.decided().unwrap_or_else(|| panic!("seed {seed}: notary {i} stalled")));
+                decided.push(
+                    *p.decided()
+                        .unwrap_or_else(|| panic!("seed {seed}: notary {i} stalled")),
+                );
             }
             assert!(
                 decided.windows(2).all(|w| w[0] == w[1]),

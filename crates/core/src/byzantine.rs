@@ -32,13 +32,21 @@ const CRASH_TIMER: TimerId = u64::MAX;
 impl CrashAfter {
     /// Crashes `inner` at local time `at`.
     pub fn new(inner: Box<dyn Process<PMsg>>, at: SimDuration) -> Self {
-        CrashAfter { inner, at, crashed: false }
+        CrashAfter {
+            inner,
+            at,
+            crashed: false,
+        }
     }
 }
 
 impl Clone for CrashAfter {
     fn clone(&self) -> Self {
-        CrashAfter { inner: self.inner.box_clone(), at: self.at, crashed: self.crashed }
+        CrashAfter {
+            inner: self.inner.box_clone(),
+            at: self.at,
+            crashed: self.crashed,
+        }
     }
 }
 
@@ -91,7 +99,13 @@ const LATE_TIMER: TimerId = 7;
 impl LateBob {
     /// Builds a Bob who sits on χ for `delay`.
     pub fn new(escrow: Pid, signer: Signer, payment: PaymentId, delay: SimDuration) -> Self {
-        LateBob { escrow, signer, payment, delay, issued: false }
+        LateBob {
+            escrow,
+            signer,
+            payment,
+            delay,
+            issued: false,
+        }
     }
 }
 
@@ -135,7 +149,12 @@ pub struct ForgingChloe {
 impl ForgingChloe {
     /// Builds the forger (she targets her upstream escrow directly).
     pub fn new(up_escrow: Pid, signer: Signer, payment: PaymentId) -> Self {
-        ForgingChloe { up_escrow, signer, payment, fired: false }
+        ForgingChloe {
+            up_escrow,
+            signer,
+            payment,
+            fired: false,
+        }
     }
 }
 
@@ -186,7 +205,13 @@ impl ThievingEscrow {
         index: usize,
         d_bound: SimDuration,
     ) -> Self {
-        ThievingEscrow { up, signer, payment, index, d_bound }
+        ThievingEscrow {
+            up,
+            signer,
+            payment,
+            index,
+            d_bound,
+        }
     }
 }
 
@@ -241,15 +266,21 @@ impl ImpersonatingAborter {
         payment: PaymentId,
         victim_index: u64,
     ) -> Self {
-        ImpersonatingAborter { tm_pids, signer, pki, payment, victim_index }
+        ImpersonatingAborter {
+            tm_pids,
+            signer,
+            pki,
+            payment,
+            victim_index,
+        }
     }
 }
 
 impl Process<PMsg> for ImpersonatingAborter {
     fn on_start(&mut self, ctx: &mut Ctx<PMsg>) {
         let _ = &self.pki; // kept: a real attacker could probe it too
-        // Signed with HER key but claiming the victim's index: the
-        // evidence verifier checks index-vs-key binding and drops it.
+                           // Signed with HER key but claiming the victim's index: the
+                           // evidence verifier checks index-vs-key binding and drops it.
         let forged = TmInput::issue(
             &self.signer,
             TmInputKind::AbortRequest,
@@ -293,13 +324,13 @@ mod tests {
         setup: &ChainSetup,
         seed: u64,
         byz: Vec<Role>,
-        mut make: impl FnMut(Role) -> Option<Box<dyn Process<PMsg>>>,
+        make: impl FnMut(Role) -> Option<Box<dyn Process<PMsg>>>,
     ) -> (ChainOutcome, Compliance) {
         let mut eng = setup.build_engine_with(
             Box::new(SyncNet::new(setup.params.delta, 8)),
             Box::new(RandomOracle::seeded(seed)),
             ClockPlan::Sampled { seed },
-            |role| make(role),
+            make,
         );
         let report = eng.run();
         (
@@ -317,12 +348,21 @@ mod tests {
         let v = check_definition1(&outcome, &setup, &compliance);
         assert!(v.all_ok(), "{:?}", v.violations());
         // Everyone got refunded.
-        assert_eq!(outcome.customers[0].unwrap().outcome, CustomerOutcome::Refunded);
+        assert_eq!(
+            outcome.customers[0].unwrap().outcome,
+            CustomerOutcome::Refunded
+        );
         for i in 1..3 {
-            assert_eq!(outcome.customers[i].unwrap().outcome, CustomerOutcome::Refunded);
+            assert_eq!(
+                outcome.customers[i].unwrap().outcome,
+                CustomerOutcome::Refunded
+            );
             assert_eq!(outcome.net_positions[i], Some(0));
         }
-        assert!(outcome.escrow_states.iter().all(|s| *s == Some(EscrowState::Refunded)));
+        assert!(outcome
+            .escrow_states
+            .iter()
+            .all(|s| *s == Some(EscrowState::Refunded)));
     }
 
     #[test]
@@ -341,7 +381,10 @@ mod tests {
         let v = check_definition1(&outcome, &setup, &compliance);
         assert!(v.all_ok(), "{:?}", v.violations());
         // The money went back up the chain; Bob's late χ bought nothing.
-        assert_eq!(outcome.customers[0].unwrap().outcome, CustomerOutcome::Refunded);
+        assert_eq!(
+            outcome.customers[0].unwrap().outcome,
+            CustomerOutcome::Refunded
+        );
         assert_eq!(outcome.net_positions[1], Some(0));
     }
 
@@ -374,7 +417,10 @@ mod tests {
         let v = check_definition1(&outcome, &setup, &compliance);
         assert!(v.all_ok(), "{:?}", v.violations());
         // Alice refunded (chain stalled at the forger), forger gained 0.
-        assert_eq!(outcome.customers[0].unwrap().outcome, CustomerOutcome::Refunded);
+        assert_eq!(
+            outcome.customers[0].unwrap().outcome,
+            CustomerOutcome::Refunded
+        );
         assert_eq!(outcome.net_positions[1], Some(0), "forgery must not pay");
     }
 
@@ -400,7 +446,10 @@ mod tests {
         // her position is unobservable — the thief controls the only book
         // that knows where her stake went:
         assert_eq!(v.cs3, PropCheck::NotApplicable);
-        assert_eq!(outcome.net_positions[1], None, "victim's position is with the thief");
+        assert_eq!(
+            outcome.net_positions[1], None,
+            "victim's position is with the thief"
+        );
         // What compliant processes do show: she is left hanging, never
         // refunded nor reimbursed.
         assert_eq!(
@@ -413,8 +462,14 @@ mod tests {
         // (her aggregate position also touches the thief's book, hence
         // None). Bob, whose position involves only the honest e_2, is
         // exactly whole.
-        assert_eq!(outcome.customers[0].unwrap().outcome, CustomerOutcome::Refunded);
-        assert!(!outcome.customers[2].unwrap().sent_money, "Chloe2 never engaged");
+        assert_eq!(
+            outcome.customers[0].unwrap().outcome,
+            CustomerOutcome::Refunded
+        );
+        assert!(
+            !outcome.customers[2].unwrap().sent_money,
+            "Chloe2 never engaged"
+        );
         assert_eq!(outcome.net_positions[3], Some(0));
     }
 

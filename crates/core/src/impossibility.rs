@@ -64,7 +64,10 @@ pub fn cs2_violation_under_partial_synchrony(n: usize, value: u64) -> WitnessRep
     let outcome = ChainOutcome::extract(&eng, &setup, report.quiescent);
     let issued = outcome.bob_issued_chi == Some(true);
     let paid = outcome.bob_paid();
-    assert!(issued && !paid, "witness failed to materialise: {outcome:?}");
+    assert!(
+        issued && !paid,
+        "witness failed to materialise: {outcome:?}"
+    );
     WitnessReport {
         candidate: "time-bounded protocol (any finite schedule)",
         violated: "CS2",
@@ -130,8 +133,7 @@ pub fn no_timeout_never_terminates(n: usize, value: u64) -> WitnessReport {
         epsilon: SimDuration::from_secs(1),
         alice_bound: SimDuration::from_secs(10_000_002),
     };
-    let setup = ChainSetup::new(n, ValuePlan::uniform(n, value), params, 79)
-        .with_schedule(forever);
+    let setup = ChainSetup::new(n, ValuePlan::uniform(n, value), params, 79).with_schedule(forever);
     let mut eng = setup.build_engine_with(
         Box::new(SyncNet::worst_case(setup.params.delta)),
         Box::new(FixedOracle::maximal()),
@@ -231,7 +233,8 @@ pub fn indistinguishability_pair(n: usize, value: u64) -> IndistinguishabilityWi
     let prefix_a = prefix_of(&eng_a, t_a);
     let prefix_b = prefix_of(&eng_b, t_b);
     assert_eq!(
-        prefix_a, prefix_b,
+        prefix_a,
+        prefix_b,
         "the two runs must be indistinguishable at e_{} up to its deadline",
         n - 1
     );

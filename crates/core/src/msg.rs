@@ -76,7 +76,13 @@ impl SignedPromise {
         bound: SimDuration,
     ) -> Self {
         let payload = promise_payload(kind, &payment, escrow_index, bound);
-        SignedPromise { kind, payment, escrow_index, bound, sig: signer.sign(DOM_PROMISE, &payload) }
+        SignedPromise {
+            kind,
+            payment,
+            escrow_index,
+            bound,
+            sig: signer.sign(DOM_PROMISE, &payload),
+        }
     }
 
     /// Verifies the promise against the expected escrow key.
@@ -128,7 +134,12 @@ impl TmInput {
     /// Signs a TM input.
     pub fn issue(signer: &Signer, kind: TmInputKind, payment: PaymentId, index: u64) -> Self {
         let payload = tm_input_payload(kind, &payment, index);
-        TmInput { kind, payment, index, sig: signer.sign(DOM_TM_INPUT, &payload) }
+        TmInput {
+            kind,
+            payment,
+            index,
+            sig: signer.sign(DOM_TM_INPUT, &payload),
+        }
     }
 
     /// Verifies origin authenticity against the expected signer.
@@ -266,7 +277,10 @@ mod tests {
             SimDuration::ZERO,
         ));
         assert_eq!(g.kind(), "G");
-        let m = PMsg::Money { payment, asset: Asset::new(ledger::CurrencyId(0), 5) };
+        let m = PMsg::Money {
+            payment,
+            asset: Asset::new(ledger::CurrencyId(0), 5),
+        };
         assert_eq!(m.kind(), "$");
         let chi = PMsg::Receipt(Receipt::issue(&s[3], payment));
         assert_eq!(chi.kind(), "chi");

@@ -94,7 +94,12 @@ pub struct Definition1Verdicts {
 impl Definition1Verdicts {
     /// True when no clause is violated.
     pub fn all_ok(&self) -> bool {
-        self.es.ok() && self.cs1.ok() && self.cs2.ok() && self.cs3.ok() && self.t.ok() && self.l.ok()
+        self.es.ok()
+            && self.cs1.ok()
+            && self.cs2.ok()
+            && self.cs3.ok()
+            && self.t.ok()
+            && self.l.ok()
     }
 
     /// All violations, labelled.
@@ -190,9 +195,9 @@ pub fn check_definition1(
                 (false, _, _) => PropCheck::Holds,
                 (true, true, CustomerOutcome::Refunded | CustomerOutcome::Reimbursed) => {
                     match outcome.net_positions[i] {
-                        Some(net) if net < 0 => PropCheck::Violated(format!(
-                            "Chloe{i} terminated {net} out of pocket"
-                        )),
+                        Some(net) if net < 0 => {
+                            PropCheck::Violated(format!("Chloe{i} terminated {net} out of pocket"))
+                        }
                         _ => PropCheck::Holds,
                     }
                 }
@@ -281,7 +286,14 @@ pub fn check_definition1(
         PropCheck::NotApplicable
     };
 
-    Definition1Verdicts { es, cs1, cs2, cs3, t, l }
+    Definition1Verdicts {
+        es,
+        cs1,
+        cs2,
+        cs3,
+        t,
+        l,
+    }
 }
 
 /// Verdicts for every clause of Definition 2 (weak problem).
@@ -463,7 +475,15 @@ pub fn check_definition2(
         PropCheck::NotApplicable
     };
 
-    Definition2Verdicts { cc, es, cs1, cs2, cs3, t, weak_l }
+    Definition2Verdicts {
+        cc,
+        es,
+        cs1,
+        cs2,
+        cs3,
+        t,
+        weak_l,
+    }
 }
 
 #[cfg(test)]
@@ -538,8 +558,7 @@ mod tests {
         // Pretend Alice halted far beyond the bound.
         outcome.alice_sent_local = Some(anta::time::SimTime::ZERO);
         if let Some(view) = outcome.customers[0].as_mut() {
-            view.halted_local =
-                Some(anta::time::SimTime::ZERO + setup.schedule.alice_bound * 3);
+            view.halted_local = Some(anta::time::SimTime::ZERO + setup.schedule.alice_bound * 3);
         }
         let v = check_definition1(&outcome, &setup, &Compliance::all_compliant());
         assert!(!v.t.ok());
@@ -556,7 +575,11 @@ mod tests {
 
     #[test]
     fn definition2_holds_on_patient_runs() {
-        for kind in [TmKind::Trusted, TmKind::Contract, TmKind::Committee { k: 4 }] {
+        for kind in [
+            TmKind::Trusted,
+            TmKind::Contract,
+            TmKind::Committee { k: 4 },
+        ] {
             let s = WeakSetup::new(2, ValuePlan::uniform(2, 100), kind, 11);
             let o = run_weak(&s, 1);
             let v = check_definition2(&o, &Compliance::all_compliant(), true);

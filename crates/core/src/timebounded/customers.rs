@@ -128,7 +128,13 @@ impl Process<PMsg> for AliceProcess {
                 }
                 self.sent_money = true;
                 self.sent_money_at = Some(ctx.now());
-                ctx.send(self.escrow, PMsg::Money { payment: self.payment, asset: self.asset });
+                ctx.send(
+                    self.escrow,
+                    PMsg::Money {
+                        payment: self.payment,
+                        asset: self.asset,
+                    },
+                );
                 ctx.mark("alice_paid_out", self.asset.amount as i64);
             }
             PMsg::Money { payment, asset } if self.sent_money => {
@@ -245,7 +251,10 @@ impl ChloeProcess {
             self.sent_money = true;
             ctx.send(
                 self.down_escrow,
-                PMsg::Money { payment: self.payment, asset: self.send_asset },
+                PMsg::Money {
+                    payment: self.payment,
+                    asset: self.send_asset,
+                },
             );
             ctx.mark("chloe_paid_out", self.index as i64);
         }
@@ -256,18 +265,14 @@ impl Process<PMsg> for ChloeProcess {
     fn on_start(&mut self, _ctx: &mut Ctx<PMsg>) {}
 
     fn on_message(&mut self, from: Pid, msg: PMsg, ctx: &mut Ctx<PMsg>) {
-        if self.outcome != CustomerOutcome::Pending
-            && self.outcome != CustomerOutcome::Refused
-        {
+        if self.outcome != CustomerOutcome::Pending && self.outcome != CustomerOutcome::Refused {
             return;
         }
         match msg {
             PMsg::Promise(p) => {
                 match p.kind {
                     PromiseKind::Guarantee if from == self.down_escrow && !self.got_g => {
-                        if p.payment != self.payment
-                            || !p.verify(&self.pki, self.down_escrow_key)
-                        {
+                        if p.payment != self.payment || !p.verify(&self.pki, self.down_escrow_key) {
                             return;
                         }
                         if p.bound != self.expected_d {
@@ -279,9 +284,7 @@ impl Process<PMsg> for ChloeProcess {
                         self.got_g = true;
                     }
                     PromiseKind::Promise if from == self.up_escrow && !self.got_p => {
-                        if p.payment != self.payment
-                            || !p.verify(&self.pki, self.up_escrow_key)
-                        {
+                        if p.payment != self.payment || !p.verify(&self.pki, self.up_escrow_key) {
                             return;
                         }
                         if p.bound != self.expected_a_up {

@@ -128,8 +128,16 @@ impl EscrowProcess {
         // Grey-state chain of Figure 2: s(c_i, χ) then s(c_{i+1}, $).
         ctx.send(self.up, PMsg::Receipt(chi));
         let deal = self.deal.expect("AwaitChi implies a locked deal");
-        self.ledger.release(deal).expect("locked deal releases exactly once");
-        ctx.send(self.down, PMsg::Money { payment: self.payment, asset: self.asset });
+        self.ledger
+            .release(deal)
+            .expect("locked deal releases exactly once");
+        ctx.send(
+            self.down,
+            PMsg::Money {
+                payment: self.payment,
+                asset: self.asset,
+            },
+        );
         self.state = EscrowState::Paid;
         ctx.mark("escrow_released", self.index as i64);
         ctx.halt();
@@ -137,8 +145,16 @@ impl EscrowProcess {
 
     fn resolve_refund(&mut self, ctx: &mut Ctx<PMsg>) {
         let deal = self.deal.expect("AwaitChi implies a locked deal");
-        self.ledger.refund(deal).expect("locked deal refunds exactly once");
-        ctx.send(self.up, PMsg::Money { payment: self.payment, asset: self.asset });
+        self.ledger
+            .refund(deal)
+            .expect("locked deal refunds exactly once");
+        ctx.send(
+            self.up,
+            PMsg::Money {
+                payment: self.payment,
+                asset: self.asset,
+            },
+        );
         self.state = EscrowState::Refunded;
         ctx.mark("escrow_refunded", self.index as i64);
         ctx.halt();
@@ -303,7 +319,10 @@ mod tests {
 
     impl Script {
         fn new(sends: Vec<(u64, Pid, PMsg)>) -> Self {
-            Script { sends, received: Vec::new() }
+            Script {
+                sends,
+                received: Vec::new(),
+            }
         }
     }
 
@@ -343,7 +362,10 @@ mod tests {
         let up = Script::new(vec![(
             5_000,
             2,
-            PMsg::Money { payment: r.payment, asset: r.asset },
+            PMsg::Money {
+                payment: r.payment,
+                asset: r.asset,
+            },
         )]);
         // Down replies with χ shortly after the P promise would arrive.
         let down = Script::new(vec![(10_000, 2, PMsg::Receipt(chi))]);
@@ -355,7 +377,10 @@ mod tests {
         e.ledger().check_conservation().unwrap();
         // χ was forwarded upstream.
         let up_proc = eng.process_as::<Script>(0).unwrap();
-        assert!(up_proc.received.iter().any(|m| matches!(m, PMsg::Receipt(_))));
+        assert!(up_proc
+            .received
+            .iter()
+            .any(|m| matches!(m, PMsg::Receipt(_))));
     }
 
     #[test]
@@ -364,7 +389,10 @@ mod tests {
         let up = Script::new(vec![(
             5_000,
             2,
-            PMsg::Money { payment: r.payment, asset: r.asset },
+            PMsg::Money {
+                payment: r.payment,
+                asset: r.asset,
+            },
         )]);
         let down = Script::new(vec![]); // never sends χ
         let eng = run(&r, up, down);
@@ -374,7 +402,10 @@ mod tests {
         e.ledger().check_conservation().unwrap();
         // Refund notification went up.
         let up_proc = eng.process_as::<Script>(0).unwrap();
-        assert!(up_proc.received.iter().any(|m| matches!(m, PMsg::Money { .. })));
+        assert!(up_proc
+            .received
+            .iter()
+            .any(|m| matches!(m, PMsg::Money { .. })));
     }
 
     #[test]
@@ -385,7 +416,10 @@ mod tests {
         let up = Script::new(vec![(
             0,
             2,
-            PMsg::Money { payment: r.payment, asset: r.asset },
+            PMsg::Money {
+                payment: r.payment,
+                asset: r.asset,
+            },
         )]);
         // χ sent well after u + a_0.
         let down = Script::new(vec![(a0 + 50_000, 2, PMsg::Receipt(chi))]);
@@ -403,7 +437,10 @@ mod tests {
         let up = Script::new(vec![(
             0,
             2,
-            PMsg::Money { payment: r.payment, asset: r.asset },
+            PMsg::Money {
+                payment: r.payment,
+                asset: r.asset,
+            },
         )]);
         let down = Script::new(vec![(5_000, 2, PMsg::Receipt(forged))]);
         let eng = run(&r, up, down);
@@ -420,7 +457,10 @@ mod tests {
         let up = Script::new(vec![(
             0,
             2,
-            PMsg::Money { payment: r.payment, asset: r.asset },
+            PMsg::Money {
+                payment: r.payment,
+                asset: r.asset,
+            },
         )]);
         let down = Script::new(vec![(5_000, 2, PMsg::Receipt(chi))]);
         let eng = run(&r, up, down);
@@ -436,7 +476,10 @@ mod tests {
         let down = Script::new(vec![(
             0,
             2,
-            PMsg::Money { payment: r.payment, asset: r.asset },
+            PMsg::Money {
+                payment: r.payment,
+                asset: r.asset,
+            },
         )]);
         let eng = run(&r, up, down);
         let e = eng.process_as::<EscrowProcess>(2).unwrap();
@@ -450,7 +493,10 @@ mod tests {
         let up = Script::new(vec![(
             0,
             2,
-            PMsg::Money { payment: r.payment, asset: Asset::new(CurrencyId(0), 49) },
+            PMsg::Money {
+                payment: r.payment,
+                asset: Asset::new(CurrencyId(0), 49),
+            },
         )]);
         let down = Script::new(vec![]);
         let eng = run(&r, up, down);
@@ -487,7 +533,10 @@ mod tests {
         let up = Script::new(vec![(
             0,
             2,
-            PMsg::Money { payment: r.payment, asset: r.asset },
+            PMsg::Money {
+                payment: r.payment,
+                asset: r.asset,
+            },
         )]);
         eng.add_process(Box::new(up), DriftClock::perfect());
         eng.add_process(Box::new(InertProcess), DriftClock::perfect());

@@ -85,16 +85,40 @@ pub fn escrow_spec(p: &Fig2Params, i: usize) -> AutomatonSpec<PMsg> {
     b.clock_vars(1); // u
     b.initial(send_g);
 
-    b.send(send_g, await_money, up, move |_| {
-        PMsg::Promise(SignedPromise::issue(&signer, PromiseKind::Guarantee, payment, i, d_i))
-    }, None);
-    b.receive(await_money, send_p, up, move |m, _| is_money(m, payment, asset), None);
+    b.send(
+        send_g,
+        await_money,
+        up,
+        move |_| {
+            PMsg::Promise(SignedPromise::issue(
+                &signer,
+                PromiseKind::Guarantee,
+                payment,
+                i,
+                d_i,
+            ))
+        },
+        None,
+    );
+    b.receive(
+        await_money,
+        send_p,
+        up,
+        move |m, _| is_money(m, payment, asset),
+        None,
+    );
     b.send(
         send_p,
         await_chi,
         down,
         move |_| {
-            PMsg::Promise(SignedPromise::issue(&signer2, PromiseKind::Promise, payment, i, a_i))
+            PMsg::Promise(SignedPromise::issue(
+                &signer2,
+                PromiseKind::Promise,
+                payment,
+                i,
+                a_i,
+            ))
         },
         // u := now — on leaving the grey state, per Figure 2.
         Some(Arc::new(|st: &mut VarStore, now, _| st.clocks[0] = now)),
@@ -121,10 +145,28 @@ pub fn escrow_spec(p: &Fig2Params, i: usize) -> AutomatonSpec<PMsg> {
     // fresh `Receipt` value signed by Bob's key, which is byte-identical to
     // the real one (deterministic signature over the same payload).
     let bob_signer = p.bob_signer.clone();
-    b.send(fwd_chi, pay_down, up, move |_| PMsg::Receipt(Receipt::issue(&bob_signer, payment)), None);
-    b.send(pay_down, done, down, move |_| PMsg::Money { payment, asset }, None);
+    b.send(
+        fwd_chi,
+        pay_down,
+        up,
+        move |_| PMsg::Receipt(Receipt::issue(&bob_signer, payment)),
+        None,
+    );
+    b.send(
+        pay_down,
+        done,
+        down,
+        move |_| PMsg::Money { payment, asset },
+        None,
+    );
     b.timeout(await_chi, refund, 0, a_i, None);
-    b.send(refund, refunded, up, move |_| PMsg::Money { payment, asset }, None);
+    b.send(
+        refund,
+        refunded,
+        up,
+        move |_| PMsg::Money { payment, asset },
+        None,
+    );
     b.build().expect("escrow spec is well-formed")
 }
 
@@ -155,8 +197,20 @@ pub fn alice_spec(p: &Fig2Params) -> AutomatonSpec<PMsg> {
         },
         None,
     );
-    b.send(pay, await_outcome, escrow, move |_| PMsg::Money { payment, asset }, None);
-    b.receive(await_outcome, got_refund, escrow, move |m, _| is_money(m, payment, asset), None);
+    b.send(
+        pay,
+        await_outcome,
+        escrow,
+        move |_| PMsg::Money { payment, asset },
+        None,
+    );
+    b.receive(
+        await_outcome,
+        got_refund,
+        escrow,
+        move |m, _| is_money(m, payment, asset),
+        None,
+    );
     b.receive(
         await_outcome,
         got_chi,
@@ -196,7 +250,16 @@ pub fn chloe_spec(p: &Fig2Params, i: usize) -> AutomatonSpec<PMsg> {
     b.receive(start, has_p, up_escrow, p_guard, None);
     b.receive(has_g, pay, up_escrow, p_guard, None);
     b.receive(has_p, pay, down_escrow, g_guard, None);
-    b.send(pay, await_outcome, down_escrow, move |_| PMsg::Money { payment, asset: send_asset }, None);
+    b.send(
+        pay,
+        await_outcome,
+        down_escrow,
+        move |_| PMsg::Money {
+            payment,
+            asset: send_asset,
+        },
+        None,
+    );
     b.receive(
         await_outcome,
         refunded,
@@ -213,7 +276,13 @@ pub fn chloe_spec(p: &Fig2Params, i: usize) -> AutomatonSpec<PMsg> {
         None,
     );
     let bob_signer = p.bob_signer.clone();
-    b.send(fwd, await_reimb, up_escrow, move |_| PMsg::Receipt(Receipt::issue(&bob_signer, payment)), None);
+    b.send(
+        fwd,
+        await_reimb,
+        up_escrow,
+        move |_| PMsg::Receipt(Receipt::issue(&bob_signer, payment)),
+        None,
+    );
     b.receive(
         await_reimb,
         reimbursed,
@@ -245,8 +314,20 @@ pub fn bob_spec(p: &Fig2Params) -> AutomatonSpec<PMsg> {
         move |m, _| is_promise(m, PromiseKind::Promise, payment),
         None,
     );
-    b.send(send_chi, await_money, escrow, move |_| PMsg::Receipt(Receipt::issue(&bob_signer, payment)), None);
-    b.receive(await_money, paid, escrow, move |m, _| is_money(m, payment, asset), None);
+    b.send(
+        send_chi,
+        await_money,
+        escrow,
+        move |_| PMsg::Receipt(Receipt::issue(&bob_signer, payment)),
+        None,
+    );
+    b.receive(
+        await_money,
+        paid,
+        escrow,
+        move |m, _| is_money(m, payment, asset),
+        None,
+    );
     b.build().expect("bob spec is well-formed")
 }
 
@@ -318,7 +399,9 @@ mod tests {
             // Alice ends in got_chi, Bob in paid, escrows in done.
             let alice = eng.process_as::<AutomatonProcess<PMsg>>(0).unwrap();
             assert_eq!(alice.state_name(), "got_chi", "n = {n}");
-            let bob = eng.process_as::<AutomatonProcess<PMsg>>(p.topo.customer_pid(n)).unwrap();
+            let bob = eng
+                .process_as::<AutomatonProcess<PMsg>>(p.topo.customer_pid(n))
+                .unwrap();
             assert_eq!(bob.state_name(), "paid", "n = {n}");
             for i in 0..n {
                 let e = eng
@@ -341,7 +424,11 @@ mod tests {
         for spec in all_specs(&p) {
             let dot = spec.to_dot();
             assert!(dot.contains("digraph"));
-            assert!(dot.contains("fillcolor=grey"), "{} has grey states", spec.name);
+            assert!(
+                dot.contains("fillcolor=grey"),
+                "{} has grey states",
+                spec.name
+            );
         }
         // The escrow automaton has the paper's 9 states and 8 transitions.
         let e = escrow_spec(&p, 0);
@@ -377,7 +464,9 @@ mod tests {
         let chloe = eng.process_as::<AutomatonProcess<PMsg>>(1).unwrap();
         assert_eq!(chloe.state_name(), "refunded");
         for i in 0..2 {
-            let e = eng.process_as::<AutomatonProcess<PMsg>>(p.topo.escrow_pid(i)).unwrap();
+            let e = eng
+                .process_as::<AutomatonProcess<PMsg>>(p.topo.escrow_pid(i))
+                .unwrap();
             assert_eq!(e.state_name(), "refunded", "escrow {i}");
         }
     }

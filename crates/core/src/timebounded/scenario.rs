@@ -47,7 +47,8 @@ impl ClockPlan {
             ClockPlan::Sampled { seed } => {
                 // Derive per-pid deterministically so runs are reproducible
                 // regardless of construction order.
-                let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(pid as u64));
+                let mut rng =
+                    StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(pid as u64));
                 DriftClock::sample(p.rho_ppm, p.hop(), &mut rng)
             }
             ClockPlan::Extremes => match topo.role_of(pid) {
@@ -97,7 +98,10 @@ impl ChainSetup {
             schedule,
             payment: keys.payment,
             pki: Arc::new(keys.pki),
-            keys: ChainKeysLite { customers: keys.customers, escrows: keys.escrows },
+            keys: ChainKeysLite {
+                customers: keys.customers,
+                escrows: keys.escrows,
+            },
         }
     }
 
@@ -173,7 +177,8 @@ impl ChainSetup {
                 book.open_account(up_key).expect("fresh ledger");
                 book.open_account(down_key).expect("fresh ledger");
                 // The upstream customer's working capital lives here.
-                book.mint(up_key, self.plan.amounts[i]).expect("fresh ledger");
+                book.mint(up_key, self.plan.amounts[i])
+                    .expect("fresh ledger");
                 Box::new(EscrowProcess::new(
                     i,
                     self.topo.customer_pid(i),
@@ -212,9 +217,6 @@ impl ChainSetup {
         clocks: ClockPlan,
         mut override_for: impl FnMut(Role) -> Option<Box<dyn Process<PMsg>>>,
     ) -> Engine<PMsg> {
-        let mut cfg = EngineConfig::default();
-        cfg.sigma_max = self.params.sigma;
-        cfg.sigma_buckets = 4;
         // Horizon: generously beyond every deadline in the schedule.
         let worst = self
             .schedule
@@ -224,7 +226,12 @@ impl ChainSetup {
             .unwrap_or(SimDuration::ZERO)
             .saturating_mul(8)
             .saturating_add(SimDuration::from_secs(10));
-        cfg.max_real_time = SimTime::ZERO + worst;
+        let cfg = EngineConfig {
+            sigma_max: self.params.sigma,
+            sigma_buckets: 4,
+            max_real_time: SimTime::ZERO + worst,
+            ..EngineConfig::default()
+        };
         let mut eng = Engine::new(net, oracle, cfg);
         for pid in 0..self.topo.participants() {
             let role = self.topo.role_of(pid).expect("chain pid");
@@ -375,7 +382,10 @@ impl ChainOutcome {
     pub fn bob_paid(&self) -> bool {
         matches!(
             self.customers.last().and_then(|v| *v),
-            Some(CustomerView { outcome: CustomerOutcome::Paid, .. })
+            Some(CustomerView {
+                outcome: CustomerOutcome::Paid,
+                ..
+            })
         )
     }
 }
@@ -452,7 +462,10 @@ mod tests {
         let o = run(&s, 3, ClockPlan::Perfect);
         assert!(o.bob_paid());
         // Chloe1 net +5, Chloe2 net +5; Alice −100; Bob +90.
-        assert_eq!(o.net_positions, vec![Some(-100), Some(5), Some(5), Some(90)]);
+        assert_eq!(
+            o.net_positions,
+            vec![Some(-100), Some(5), Some(5), Some(90)]
+        );
     }
 
     #[test]
@@ -460,7 +473,10 @@ mod tests {
         let s = setup(3);
         let o = run(&s, 11, ClockPlan::Sampled { seed: 2 });
         for (i, c) in o.customers.iter().enumerate() {
-            assert!(c.unwrap().halted_at.is_some(), "customer {i} did not terminate");
+            assert!(
+                c.unwrap().halted_at.is_some(),
+                "customer {i} did not terminate"
+            );
         }
         assert!(o.quiescent);
     }

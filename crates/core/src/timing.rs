@@ -60,7 +60,12 @@ impl SyncParams {
     pub fn baseline() -> Self {
         let delta = SimDuration::from_millis(10);
         let sigma = SimDuration::from_millis(1);
-        SyncParams { delta, sigma, rho_ppm: 100, margin: delta + sigma }
+        SyncParams {
+            delta,
+            sigma,
+            rho_ppm: 100,
+            margin: delta + sigma,
+        }
     }
 
     /// One hop: `h = δ + σ`.
@@ -108,14 +113,21 @@ impl TimeoutSchedule {
             let inner = p.inflate(a[i + 1]) + four_h;
             a[i] = p.inflate(inner) + p.margin;
         }
-        let d: Vec<SimDuration> =
-            a.iter().map(|&ai| ai + p.inflate(two_h) + p.margin).collect();
+        let d: Vec<SimDuration> = a
+            .iter()
+            .map(|&ai| ai + p.inflate(two_h) + p.margin)
+            .collect();
         let epsilon = p.inflate(h) + p.margin;
         // Alice sends $, e_0 resolves within d_0 on ITS clock — up to
         // (1+ρ)²·d_0 on Alice's clock (both drifting apart) — plus one
         // delivery hop.
         let alice_bound = p.inflate(p.inflate(d[0])) + p.inflate(h) + p.margin;
-        TimeoutSchedule { a, d, epsilon, alice_bound }
+        TimeoutSchedule {
+            a,
+            d,
+            epsilon,
+            alice_bound,
+        }
     }
 
     /// Number of escrows covered.
@@ -125,13 +137,15 @@ impl TimeoutSchedule {
 
     /// The CS3 chaining inequality: a χ accepted at the last admissible
     /// moment by `e_{i+1}` must still be acceptable at `e_i`:
-    /// `a_i ≥ (1+ρ)·((1+ρ)·a_{i+1} + 4h)`. Returns the first violating
-    /// index, if any.
+    /// `a_i > (1+ρ)·((1+ρ)·a_{i+1} + 4h)`. Strict, because an escrow
+    /// accepts χ only at local times `v < u + a_i` — a χ whose worst-case
+    /// local arrival lands exactly on the deadline loses the race against
+    /// the refund timer. Returns the first violating index, if any.
     pub fn check_chaining(&self, p: &SyncParams) -> Result<(), usize> {
         let four_h = p.hop() * 4;
         for i in 0..self.n().saturating_sub(1) {
             let need = p.inflate(p.inflate(self.a[i + 1]) + four_h);
-            if self.a[i] < need {
+            if self.a[i] <= need {
                 return Err(i);
             }
         }
@@ -140,14 +154,18 @@ impl TimeoutSchedule {
 
     /// The forward condition: `e_i`'s patience must cover the remaining
     /// money descent and χ's full climb back:
-    /// `a_i ≥ (1+ρ)·2h·(2(n−1−i)+1)`. Returns the first violating index.
+    /// `a_i > (1+ρ)·2h·(2(n−1−i)+1)`. Strict for the same reason as
+    /// [`Self::check_chaining`]: acceptance is `v < u + a_i`, so a χ whose
+    /// worst-case local arrival equals `a_i` is refused (the E6 ablation
+    /// exhibits exactly this boundary when the margin is cut to zero).
+    /// Returns the first violating index.
     pub fn check_forward(&self, p: &SyncParams) -> Result<(), usize> {
         let two_h = p.hop() * 2;
         let n = self.n();
         for i in 0..n {
             let k = 2 * (n - 1 - i) as u64 + 1;
             let need = p.inflate(two_h.saturating_mul(k));
-            if self.a[i] < need {
+            if self.a[i] <= need {
                 return Err(i);
             }
         }
@@ -168,9 +186,12 @@ impl TimeoutSchedule {
 
     /// Runs every static validity check.
     pub fn validate(&self, p: &SyncParams) -> Result<(), String> {
-        self.check_chaining(p).map_err(|i| format!("chaining violated at a[{i}]"))?;
-        self.check_forward(p).map_err(|i| format!("forward condition violated at a[{i}]"))?;
-        self.check_guarantee(p).map_err(|i| format!("guarantee condition violated at d[{i}]"))?;
+        self.check_chaining(p)
+            .map_err(|i| format!("chaining violated at a[{i}]"))?;
+        self.check_forward(p)
+            .map_err(|i| format!("forward condition violated at a[{i}]"))?;
+        self.check_guarantee(p)
+            .map_err(|i| format!("guarantee condition violated at d[{i}]"))?;
         Ok(())
     }
 
@@ -199,7 +220,12 @@ mod tests {
     fn params(delta_ms: u64, sigma_ms: u64, rho_ppm: u64) -> SyncParams {
         let delta = SimDuration::from_millis(delta_ms);
         let sigma = SimDuration::from_millis(sigma_ms);
-        SyncParams { delta, sigma, rho_ppm, margin: delta + sigma }
+        SyncParams {
+            delta,
+            sigma,
+            rho_ppm,
+            margin: delta + sigma,
+        }
     }
 
     #[test]

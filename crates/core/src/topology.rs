@@ -68,7 +68,11 @@ impl ChainTopology {
 
     /// Engine pid of customer `c_i` (`i ≤ n`).
     pub fn customer_pid(&self, i: usize) -> Pid {
-        assert!(i <= self.n, "customer index {i} out of range (n = {})", self.n);
+        assert!(
+            i <= self.n,
+            "customer index {i} out of range (n = {})",
+            self.n
+        );
         i
     }
 
@@ -110,7 +114,10 @@ impl ChainTopology {
                 top.push_str(&format!(" --- e{i}"));
             }
         }
-        format!("{top}\n(c0 = Alice, c{} = Bob; c_i trusts e_{{i-1}} and e_i)\n", self.n)
+        format!(
+            "{top}\n(c0 = Alice, c{} = Bob; c_i trusts e_{{i-1}} and e_i)\n",
+            self.n
+        )
     }
 
     /// Renders Figure 1 as Graphviz DOT.
@@ -151,7 +158,9 @@ impl ValuePlan {
     /// Uniform plan: the same amount at every hop, single currency, zero
     /// commission.
     pub fn uniform(n: usize, amount: u64) -> Self {
-        ValuePlan { amounts: vec![Asset::new(CurrencyId(0), amount); n] }
+        ValuePlan {
+            amounts: vec![Asset::new(CurrencyId(0), amount); n],
+        }
     }
 
     /// A plan where each connector keeps `commission` per hop:
@@ -160,7 +169,9 @@ impl ValuePlan {
     pub fn with_commission(n: usize, v0: u64, commission: u64) -> Self {
         let amounts = (0..n)
             .map(|i| {
-                let cut = commission.checked_mul(i as u64).expect("commission overflow");
+                let cut = commission
+                    .checked_mul(i as u64)
+                    .expect("commission overflow");
                 let v = v0.checked_sub(cut).expect("commission exceeds value");
                 assert!(v > 0, "hop {i} would carry zero value");
                 Asset::new(CurrencyId(0), v)
@@ -173,7 +184,9 @@ impl ValuePlan {
     /// exercising the "different currencies" remark of §2.
     pub fn multi_currency(n: usize, amount: u64) -> Self {
         ValuePlan {
-            amounts: (0..n).map(|i| Asset::new(CurrencyId(i as u32), amount)).collect(),
+            amounts: (0..n)
+                .map(|i| Asset::new(CurrencyId(i as u32), amount))
+                .collect(),
         }
     }
 
@@ -201,8 +214,7 @@ impl ChainKeys {
     /// from `seed`.
     pub fn generate(topo: &ChainTopology, seed: u64) -> Self {
         let mut pki = Pki::new(seed);
-        let customers: Vec<Signer> =
-            (0..=topo.n).map(|_| pki.register().1).collect();
+        let customers: Vec<Signer> = (0..=topo.n).map(|_| pki.register().1).collect();
         let escrows: Vec<Signer> = (0..topo.n).map(|_| pki.register().1).collect();
         let all: Vec<KeyId> = customers
             .iter()
@@ -210,7 +222,12 @@ impl ChainKeys {
             .chain(escrows.iter().map(|s| s.id()))
             .collect();
         let payment = PaymentId::derive(seed, &all);
-        ChainKeys { pki, customers, escrows, payment }
+        ChainKeys {
+            pki,
+            customers,
+            escrows,
+            payment,
+        }
     }
 
     /// Key of customer `c_i`.

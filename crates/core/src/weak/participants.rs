@@ -26,7 +26,9 @@ use anta::process::{Ctx, Pid, Process, TimerId};
 use anta::time::SimDuration;
 use ledger::{Asset, DealId, Ledger};
 use std::sync::Arc;
-use xcrypto::{Authority, DecisionCert, KeyId, PaymentId, Pki, Receipt, Signature, Signer, Verdict};
+use xcrypto::{
+    Authority, DecisionCert, KeyId, PaymentId, Pki, Receipt, Signature, Signer, Verdict,
+};
 
 /// Accumulates decision-certificate shares until one verdict verifies
 /// against the authority (a single-signer authority verifies on the first
@@ -90,17 +92,26 @@ pub struct Patience {
 impl Patience {
     /// Acts immediately, never aborts — the fully patient customer.
     pub fn patient() -> Self {
-        Patience { act_at: Some(SimDuration::ZERO), abort_at: None }
+        Patience {
+            act_at: Some(SimDuration::ZERO),
+            abort_at: None,
+        }
     }
 
     /// Acts immediately but aborts if unresolved by `after`.
     pub fn until(after: SimDuration) -> Self {
-        Patience { act_at: Some(SimDuration::ZERO), abort_at: Some(after) }
+        Patience {
+            act_at: Some(SimDuration::ZERO),
+            abort_at: Some(after),
+        }
     }
 
     /// Never acts (crash-by-omission), never aborts.
     pub fn absent() -> Self {
-        Patience { act_at: None, abort_at: None }
+        Patience {
+            act_at: None,
+            abort_at: None,
+        }
     }
 }
 
@@ -192,7 +203,13 @@ impl WeakCustomer {
             }
             ctx.mark("weak_bob_accept", 0);
         } else {
-            ctx.send(self.own_escrow, PMsg::Money { payment: self.payment, asset: self.asset });
+            ctx.send(
+                self.own_escrow,
+                PMsg::Money {
+                    payment: self.payment,
+                    asset: self.asset,
+                },
+            );
             ctx.mark("weak_staged", self.index as i64);
         }
     }
@@ -210,8 +227,9 @@ impl Process<PMsg> for WeakCustomer {
 
     fn on_message(&mut self, _from: Pid, msg: PMsg, ctx: &mut Ctx<PMsg>) {
         if let PMsg::Decision(cert) = msg {
-            if let Some(v) =
-                self.certs.offer(&cert, self.payment, &self.pki, &self.authority)
+            if let Some(v) = self
+                .certs
+                .offer(&cert, self.payment, &self.pki, &self.authority)
             {
                 ctx.mark(
                     match v {
@@ -228,20 +246,18 @@ impl Process<PMsg> for WeakCustomer {
     fn on_timer(&mut self, id: TimerId, ctx: &mut Ctx<PMsg>) {
         match id {
             TIMER_ACT => self.act(ctx),
-            TIMER_ABORT => {
-                if self.certs.accepted().is_none() && !self.abort_requested {
-                    self.abort_requested = true;
-                    let req = TmInput::issue(
-                        &self.signer,
-                        TmInputKind::AbortRequest,
-                        self.payment,
-                        self.index as u64,
-                    );
-                    for &tm in &self.tm_pids {
-                        ctx.send(tm, PMsg::TmInput(req));
-                    }
-                    ctx.mark("weak_abort_requested", self.index as i64);
+            TIMER_ABORT if self.certs.accepted().is_none() && !self.abort_requested => {
+                self.abort_requested = true;
+                let req = TmInput::issue(
+                    &self.signer,
+                    TmInputKind::AbortRequest,
+                    self.payment,
+                    self.index as u64,
+                );
+                for &tm in &self.tm_pids {
+                    ctx.send(tm, PMsg::TmInput(req));
                 }
+                ctx.mark("weak_abort_requested", self.index as i64);
             }
             _ => {}
         }
@@ -363,16 +379,23 @@ impl Process<PMsg> for WeakEscrow {
                 }
             }
             PMsg::Decision(cert) => {
-                let Some(v) = self.certs.offer(&cert, self.payment, &self.pki, &self.authority)
+                let Some(v) = self
+                    .certs
+                    .offer(&cert, self.payment, &self.pki, &self.authority)
                 else {
                     return;
                 };
                 match (v, self.deal) {
                     (Verdict::Commit, Some(deal)) => {
-                        self.ledger.release(deal).expect("locked deal releases once");
+                        self.ledger
+                            .release(deal)
+                            .expect("locked deal releases once");
                         ctx.send(
                             self.down,
-                            PMsg::Money { payment: self.payment, asset: self.asset },
+                            PMsg::Money {
+                                payment: self.payment,
+                                asset: self.asset,
+                            },
                         );
                         ctx.mark("weak_escrow_released", self.index as i64);
                     }
@@ -380,7 +403,10 @@ impl Process<PMsg> for WeakEscrow {
                         self.ledger.refund(deal).expect("locked deal refunds once");
                         ctx.send(
                             self.up,
-                            PMsg::Money { payment: self.payment, asset: self.asset },
+                            PMsg::Money {
+                                payment: self.payment,
+                                asset: self.asset,
+                            },
                         );
                         ctx.mark("weak_escrow_refunded", self.index as i64);
                     }
@@ -418,7 +444,10 @@ mod tests {
         let auth = Authority::Single(tm_id);
         let mut col = CertCollector::default();
         let cert = DecisionCert::issue_single(&tm, payment, Verdict::Commit);
-        assert_eq!(col.offer(&cert, payment, &pki, &auth), Some(Verdict::Commit));
+        assert_eq!(
+            col.offer(&cert, payment, &pki, &auth),
+            Some(Verdict::Commit)
+        );
         // Second offer is idempotent.
         assert_eq!(col.offer(&cert, payment, &pki, &auth), None);
         assert_eq!(col.accepted(), Some(Verdict::Commit));

@@ -72,9 +72,7 @@ impl WeakSetup {
         let tms: Vec<Signer> = (0..tm_count).map(|_| pki.register().1).collect();
         let authority = match tm_kind {
             TmKind::Trusted | TmKind::Contract => Authority::Single(tms[0].id()),
-            TmKind::Committee { .. } => {
-                Authority::committee(tms.iter().map(|s| s.id()).collect())
-            }
+            TmKind::Committee { .. } => Authority::committee(tms.iter().map(|s| s.id()).collect()),
         };
         WeakSetup {
             topo,
@@ -157,10 +155,16 @@ impl WeakSetup {
                     Role::Escrow(_) => unreachable!(),
                 };
                 // Bob stages nothing; his escrow pid is unused.
-                let own_escrow =
-                    if i < n { self.topo.escrow_pid(i) } else { self.topo.escrow_pid(n - 1) };
-                let asset =
-                    if i < n { self.plan.amounts[i] } else { self.plan.amounts[n - 1] };
+                let own_escrow = if i < n {
+                    self.topo.escrow_pid(i)
+                } else {
+                    self.topo.escrow_pid(n - 1)
+                };
+                let asset = if i < n {
+                    self.plan.amounts[i]
+                } else {
+                    self.plan.amounts[n - 1]
+                };
                 Box::new(WeakCustomer::new(
                     i,
                     n,
@@ -180,7 +184,8 @@ impl WeakSetup {
                 let mut book = Ledger::new();
                 book.open_account(up_key).expect("fresh ledger");
                 book.open_account(down_key).expect("fresh ledger");
-                book.mint(up_key, self.plan.amounts[i]).expect("fresh ledger");
+                book.mint(up_key, self.plan.amounts[i])
+                    .expect("fresh ledger");
                 Box::new(WeakEscrow::new(
                     i,
                     self.topo.customer_pid(i),
@@ -379,7 +384,8 @@ impl WeakOutcome {
         let bob_paid = eng
             .process_as::<WeakEscrow>(topo.escrow_pid(n - 1))
             .map(|e| {
-                e.ledger().balance(setup.customers[n].id(), setup.plan.amounts[n - 1].currency)
+                e.ledger()
+                    .balance(setup.customers[n].id(), setup.plan.amounts[n - 1].currency)
                     == setup.plan.amounts[n - 1].amount
             })
             .unwrap_or(false);
@@ -424,7 +430,14 @@ impl WeakOutcome {
             .flatten()
             .copied()
             .next()
-            .or_else(|| self.escrow_verdicts.iter().flatten().flatten().copied().next())
+            .or_else(|| {
+                self.escrow_verdicts
+                    .iter()
+                    .flatten()
+                    .flatten()
+                    .copied()
+                    .next()
+            })
     }
 }
 
@@ -452,14 +465,22 @@ mod tests {
         assert!(o.cc_ok);
         assert!(o.all_customers_terminated);
         assert!(o.conservation.iter().all(|c| *c == Some(true)));
-        assert_eq!(o.net_positions, vec![Some(-100), Some(0), Some(0), Some(100)]);
+        assert_eq!(
+            o.net_positions,
+            vec![Some(-100), Some(0), Some(0), Some(100)]
+        );
     }
 
     #[test]
     fn impatient_alice_aborts_safely() {
         // Alice aborts before even staging money.
-        let s = WeakSetup::new(2, ValuePlan::uniform(2, 50), TmKind::Trusted, 2)
-            .with_patience(0, Patience { act_at: None, abort_at: Some(SimDuration::from_millis(1)) });
+        let s = WeakSetup::new(2, ValuePlan::uniform(2, 50), TmKind::Trusted, 2).with_patience(
+            0,
+            Patience {
+                act_at: None,
+                abort_at: Some(SimDuration::from_millis(1)),
+            },
+        );
         let o = run(&s, 2);
         assert_eq!(o.verdict(), Some(Verdict::Abort), "{o:?}");
         assert!(!o.bob_paid);
@@ -468,7 +489,10 @@ mod tests {
         for (i, npos) in o.net_positions.iter().enumerate() {
             assert_eq!(*npos, Some(0), "customer {i} must be whole");
         }
-        assert!(o.all_customers_terminated, "abort certificate terminates everyone");
+        assert!(
+            o.all_customers_terminated,
+            "abort certificate terminates everyone"
+        );
     }
 
     #[test]
@@ -526,10 +550,13 @@ mod tests {
         // conserved.
         for seed in 0..10u64 {
             let s = WeakSetup::new(2, ValuePlan::uniform(2, 75), TmKind::Committee { k: 4 }, 7)
-                .with_patience(0, Patience {
-                    act_at: Some(SimDuration::ZERO),
-                    abort_at: Some(SimDuration::from_millis(30)),
-                });
+                .with_patience(
+                    0,
+                    Patience {
+                        act_at: Some(SimDuration::ZERO),
+                        abort_at: Some(SimDuration::from_millis(30)),
+                    },
+                );
             let o = run(&s, seed);
             assert!(o.cc_ok, "seed {seed}: CC violated: {o:?}");
             assert!(o.verdict().is_some(), "seed {seed}: no decision");
@@ -538,7 +565,10 @@ mod tests {
                 Verdict::Commit => assert!(o.bob_paid, "seed {seed}"),
                 Verdict::Abort => {
                     assert!(!o.bob_paid, "seed {seed}");
-                    assert!(o.net_positions.iter().all(|p| *p == Some(0)), "seed {seed}: {o:?}");
+                    assert!(
+                        o.net_positions.iter().all(|p| *p == Some(0)),
+                        "seed {seed}: {o:?}"
+                    );
                 }
             }
         }
@@ -577,9 +607,17 @@ mod tests {
 
     #[test]
     fn commission_preserved_in_weak_commit() {
-        let s = WeakSetup::new(3, ValuePlan::with_commission(3, 100, 10), TmKind::Trusted, 10);
+        let s = WeakSetup::new(
+            3,
+            ValuePlan::with_commission(3, 100, 10),
+            TmKind::Trusted,
+            10,
+        );
         let o = run(&s, 10);
         assert_eq!(o.verdict(), Some(Verdict::Commit));
-        assert_eq!(o.net_positions, vec![Some(-100), Some(10), Some(10), Some(80)]);
+        assert_eq!(
+            o.net_positions,
+            vec![Some(-100), Some(10), Some(10), Some(80)]
+        );
     }
 }

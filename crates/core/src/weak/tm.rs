@@ -34,11 +34,7 @@ pub struct Evidence {
 
 impl Evidence {
     /// Fresh evidence tracker for a chain of `escrow_keys.len()` hops.
-    pub fn new(
-        payment: PaymentId,
-        escrow_keys: Vec<KeyId>,
-        customer_keys: Vec<KeyId>,
-    ) -> Self {
+    pub fn new(payment: PaymentId, escrow_keys: Vec<KeyId>, customer_keys: Vec<KeyId>) -> Self {
         let bob_key = *customer_keys.last().expect("n+1 customers");
         let n = escrow_keys.len();
         Evidence {
@@ -125,7 +121,14 @@ pub struct TrustedTm {
 impl TrustedTm {
     /// A plain trusted party.
     pub fn new(signer: Signer, pki: Arc<Pki>, evidence: Evidence, participants: Vec<Pid>) -> Self {
-        TrustedTm { signer, pki, evidence, participants, decided: None, chain: None }
+        TrustedTm {
+            signer,
+            pki,
+            evidence,
+            participants,
+            decided: None,
+            chain: None,
+        }
     }
 
     /// The smart-contract variant: identical logic, but every input and
@@ -166,7 +169,9 @@ impl TrustedTm {
         if self.decided.is_some() {
             return;
         }
-        let Some(v) = self.evidence.verdict() else { return };
+        let Some(v) = self.evidence.verdict() else {
+            return;
+        };
         self.decided = Some(v);
         let cert = DecisionCert::issue_single(&self.signer, self.evidence.payment, v);
         self.record(DecisionCert::payload(&self.evidence.payment, v));
@@ -274,9 +279,15 @@ impl NotaryTm {
         if self.core.is_some() {
             return;
         }
-        let Some(input) = self.evidence.verdict() else { return };
-        let mut core =
-            NotaryCore::new(self.cons_cfg.clone(), self.signer.clone(), self.pki.clone(), input);
+        let Some(input) = self.evidence.verdict() else {
+            return;
+        };
+        let mut core = NotaryCore::new(
+            self.cons_cfg.clone(),
+            self.signer.clone(),
+            self.pki.clone(),
+            input,
+        );
         let mut outputs = core.start();
         for msg in std::mem::take(&mut self.buffered) {
             if Self::admissible_static(&self.evidence, &msg) {
@@ -410,8 +421,7 @@ mod tests {
         let mut pki = Pki::new(4);
         let customers: Vec<Signer> = pki.register_many(3).into_iter().map(|(_, s)| s).collect();
         let escrows: Vec<Signer> = pki.register_many(2).into_iter().map(|(_, s)| s).collect();
-        let payment =
-            PaymentId::derive(1, &customers.iter().map(|s| s.id()).collect::<Vec<_>>());
+        let payment = PaymentId::derive(1, &customers.iter().map(|s| s.id()).collect::<Vec<_>>());
         let ev = Evidence::new(
             payment,
             escrows.iter().map(|s| s.id()).collect(),
@@ -425,9 +435,15 @@ mod tests {
         let (pki, customers, escrows, mut ev) = evidence_rig();
         assert_eq!(ev.verdict(), None);
         let payment = ev.payment();
-        ev.ingest_input(&TmInput::issue(&escrows[0], TmInputKind::Locked, payment, 0), &pki);
+        ev.ingest_input(
+            &TmInput::issue(&escrows[0], TmInputKind::Locked, payment, 0),
+            &pki,
+        );
         assert!(!ev.commit_ready());
-        ev.ingest_input(&TmInput::issue(&escrows[1], TmInputKind::Locked, payment, 1), &pki);
+        ev.ingest_input(
+            &TmInput::issue(&escrows[1], TmInputKind::Locked, payment, 1),
+            &pki,
+        );
         assert!(!ev.commit_ready(), "needs Bob's acceptance too");
         ev.ingest_accept(&Receipt::issue(&customers[2], payment), &pki);
         assert!(ev.commit_ready());
@@ -439,16 +455,25 @@ mod tests {
         let (pki, customers, escrows, mut ev) = evidence_rig();
         let payment = ev.payment();
         // A customer signing a Locked notice is not an escrow.
-        ev.ingest_input(&TmInput::issue(&customers[0], TmInputKind::Locked, payment, 0), &pki);
+        ev.ingest_input(
+            &TmInput::issue(&customers[0], TmInputKind::Locked, payment, 0),
+            &pki,
+        );
         assert!(!ev.commit_ready());
         // Wrong escrow index.
-        ev.ingest_input(&TmInput::issue(&escrows[1], TmInputKind::Locked, payment, 0), &pki);
+        ev.ingest_input(
+            &TmInput::issue(&escrows[1], TmInputKind::Locked, payment, 0),
+            &pki,
+        );
         assert_eq!(ev.verdict(), None);
         // Accept signed by a non-Bob key.
         ev.ingest_accept(&Receipt::issue(&customers[0], payment), &pki);
         assert!(!ev.accept);
         // Out-of-range indices are ignored.
-        ev.ingest_input(&TmInput::issue(&escrows[0], TmInputKind::Locked, payment, 99), &pki);
+        ev.ingest_input(
+            &TmInput::issue(&escrows[0], TmInputKind::Locked, payment, 99),
+            &pki,
+        );
         assert_eq!(ev.verdict(), None);
     }
 
@@ -468,8 +493,14 @@ mod tests {
     fn evidence_prefers_abort_when_both_ready() {
         let (pki, customers, escrows, mut ev) = evidence_rig();
         let payment = ev.payment();
-        ev.ingest_input(&TmInput::issue(&escrows[0], TmInputKind::Locked, payment, 0), &pki);
-        ev.ingest_input(&TmInput::issue(&escrows[1], TmInputKind::Locked, payment, 1), &pki);
+        ev.ingest_input(
+            &TmInput::issue(&escrows[0], TmInputKind::Locked, payment, 0),
+            &pki,
+        );
+        ev.ingest_input(
+            &TmInput::issue(&escrows[1], TmInputKind::Locked, payment, 1),
+            &pki,
+        );
         ev.ingest_accept(&Receipt::issue(&customers[2], payment), &pki);
         ev.ingest_input(
             &TmInput::issue(&customers[0], TmInputKind::AbortRequest, payment, 0),

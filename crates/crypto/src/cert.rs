@@ -67,7 +67,10 @@ impl Receipt {
     /// Bob issues χ for `payment`.
     pub fn issue(bob: &Signer, payment: PaymentId) -> Self {
         let payload = Self::payload(&payment);
-        Receipt { payment, sig: bob.sign(DOM_RECEIPT, &payload) }
+        Receipt {
+            payment,
+            sig: bob.sign(DOM_RECEIPT, &payload),
+        }
     }
 
     /// Verifies χ against the expected issuer (Bob's key).
@@ -127,7 +130,10 @@ impl Authority {
     pub fn committee(members: Vec<KeyId>) -> Self {
         let k = members.len();
         let f = k.saturating_sub(1) / 3;
-        Authority::Committee { members, threshold: 2 * f + 1 }
+        Authority::Committee {
+            members,
+            threshold: 2 * f + 1,
+        }
     }
 }
 
@@ -154,14 +160,22 @@ impl DecisionCert {
     /// A single-authority certificate (trusted TM / smart contract).
     pub fn issue_single(tm: &Signer, payment: PaymentId, verdict: Verdict) -> Self {
         let payload = Self::payload(&payment, verdict);
-        DecisionCert { payment, verdict, sigs: vec![tm.sign(DOM_DECISION, &payload)] }
+        DecisionCert {
+            payment,
+            verdict,
+            sigs: vec![tm.sign(DOM_DECISION, &payload)],
+        }
     }
 
     /// Assembles a committee certificate from collected votes. The caller is
     /// responsible for having gathered enough signatures; verification is
     /// what enforces the threshold.
     pub fn assemble(payment: PaymentId, verdict: Verdict, sigs: Vec<Signature>) -> Self {
-        DecisionCert { payment, verdict, sigs }
+        DecisionCert {
+            payment,
+            verdict,
+            sigs,
+        }
     }
 
     /// Verifies the certificate against an authority spec.
@@ -201,7 +215,11 @@ impl DecisionLog {
                 return Err(*v);
             }
         }
-        if !self.seen.iter().any(|(p, v)| *p == cert.payment && *v == cert.verdict) {
+        if !self
+            .seen
+            .iter()
+            .any(|(p, v)| *p == cert.payment && *v == cert.verdict)
+        {
             self.seen.push((cert.payment, cert.verdict));
         }
         Ok(())
@@ -209,7 +227,10 @@ impl DecisionLog {
 
     /// The verdict recorded for `payment`, if any.
     pub fn verdict_for(&self, payment: PaymentId) -> Option<Verdict> {
-        self.seen.iter().find(|(p, _)| *p == payment).map(|(_, v)| *v)
+        self.seen
+            .iter()
+            .find(|(p, _)| *p == payment)
+            .map(|(_, v)| *v)
     }
 
     /// Number of distinct (payment, verdict) records.
@@ -249,7 +270,10 @@ mod tests {
     fn receipt_wrong_issuer_rejected() {
         let (pki, s) = setup();
         let r = Receipt::issue(&s[2], pid(1));
-        assert!(!r.verify(&pki, s[1].id()), "χ must be signed by Bob specifically");
+        assert!(
+            !r.verify(&pki, s[1].id()),
+            "χ must be signed by Bob specifically"
+        );
     }
 
     #[test]
@@ -307,8 +331,11 @@ mod tests {
         let members: Vec<KeyId> = s.iter().take(4).map(|x| x.id()).collect();
         let auth = Authority::committee(members); // threshold 3
         let payload = DecisionCert::payload(&pid(3), Verdict::Abort);
-        let votes: Vec<Signature> =
-            s.iter().take(2).map(|x| x.sign(DOM_DECISION, &payload)).collect();
+        let votes: Vec<Signature> = s
+            .iter()
+            .take(2)
+            .map(|x| x.sign(DOM_DECISION, &payload))
+            .collect();
         let c2 = DecisionCert::assemble(pid(3), Verdict::Abort, votes.clone());
         assert!(!c2.verify(&pki, &auth), "2 of 4 is below threshold 3");
         let mut votes3 = votes;
@@ -321,7 +348,10 @@ mod tests {
     fn committee_cert_rejects_nonmembers() {
         let (pki, s) = setup();
         let members: Vec<KeyId> = s.iter().take(3).map(|x| x.id()).collect();
-        let auth = Authority::Committee { members, threshold: 2 };
+        let auth = Authority::Committee {
+            members,
+            threshold: 2,
+        };
         let payload = DecisionCert::payload(&pid(3), Verdict::Commit);
         // One member + two outsiders: below threshold.
         let sigs = vec![

@@ -54,7 +54,9 @@ pub struct Signer {
 impl std::fmt::Debug for Signer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print the secret.
-        f.debug_struct("Signer").field("id", &self.id).finish_non_exhaustive()
+        f.debug_struct("Signer")
+            .field("id", &self.id)
+            .finish_non_exhaustive()
     }
 }
 
@@ -69,7 +71,10 @@ impl Signer {
     /// Domain separation prevents cross-protocol replay: a tag produced for
     /// `b"xchain/receipt"` never verifies under `b"xchain/promise"`.
     pub fn sign(&self, domain: &[u8], msg: &[u8]) -> Signature {
-        Signature { signer: self.id, tag: tag_for(&self.secret, domain, msg) }
+        Signature {
+            signer: self.id,
+            tag: tag_for(&self.secret, domain, msg),
+        }
     }
 }
 
@@ -97,7 +102,10 @@ impl Pki {
     /// independent simulation universes so signatures from one run cannot
     /// collide with another's.
     pub fn new(seed: u64) -> Self {
-        Pki { secrets: Vec::with_capacity(16), base_seed: seed }
+        Pki {
+            secrets: Vec::with_capacity(16),
+            base_seed: seed,
+        }
     }
 
     /// Registers a new identity, returning its id and signing capability.

@@ -16,7 +16,9 @@ pub struct WireWriter {
 impl WireWriter {
     /// Starts an encoding under a domain label (e.g. `b"xchain/receipt"`).
     pub fn new(domain: &[u8]) -> Self {
-        let mut w = WireWriter { buf: Vec::with_capacity(64 + domain.len()) };
+        let mut w = WireWriter {
+            buf: Vec::with_capacity(64 + domain.len()),
+        };
         w.put_bytes(domain);
         w
     }

@@ -12,7 +12,7 @@
 //! which is why §5 calls the two lines of work related.
 
 use crate::matrix::{DealOutcome, Party};
-use crate::timelock::{commit_payload, DealInstance, DMsg, DOM_DEAL_COMMIT};
+use crate::timelock::{commit_payload, DMsg, DealInstance, DOM_DEAL_COMMIT};
 use anta::process::{Ctx, Pid, Process, TimerId};
 use anta::time::SimDuration;
 use ledger::{DealId, Ledger, SimChain};
@@ -91,7 +91,9 @@ impl Process<DMsg> for CertifiedChain {
                 if self.verdict.is_some()
                     || !self.party_keys.contains(&sig.signer)
                     || self.votes.contains(&sig.signer)
-                    || !self.pki.verify(&sig, DOM_DEAL_COMMIT, &commit_payload(&self.deal_id))
+                    || !self
+                        .pki
+                        .verify(&sig, DOM_DEAL_COMMIT, &commit_payload(&self.deal_id))
                 {
                     return;
                 }
@@ -104,7 +106,9 @@ impl Process<DMsg> for CertifiedChain {
             DMsg::AbortVote { sig } => {
                 if self.verdict.is_some()
                     || !self.party_keys.contains(&sig.signer)
-                    || !self.pki.verify(&sig, DOM_DEAL_ABORT, &abort_payload(&self.deal_id))
+                    || !self
+                        .pki
+                        .verify(&sig, DOM_DEAL_ABORT, &abort_payload(&self.deal_id))
                 {
                     return;
                 }
@@ -178,7 +182,10 @@ impl Process<DMsg> for CertifiedEscrow {
                 if from != self.depositor_pid {
                     return;
                 }
-                match self.ledger.lock(self.depositor_key, self.beneficiary_key, self.asset) {
+                match self
+                    .ledger
+                    .lock(self.depositor_key, self.beneficiary_key, self.asset)
+                {
                     Ok(deal) => {
                         self.deal = Some(deal);
                         ctx.mark("arc_escrowed", self.arc as i64);
@@ -245,8 +252,11 @@ pub struct CertifiedParty {
 impl CertifiedParty {
     /// Builds party `me`; `cbc` is the certified chain's pid.
     pub fn new(inst: &DealInstance, me: Party, signer: Signer, cbc: Pid) -> Self {
-        let my_deposits: Vec<(usize, Pid)> =
-            inst.deal.outgoing(me).map(|k| (k, inst.escrow_pid(k))).collect();
+        let my_deposits: Vec<(usize, Pid)> = inst
+            .deal
+            .outgoing(me)
+            .map(|k| (k, inst.escrow_pid(k)))
+            .collect();
         CertifiedParty {
             me,
             signer,
@@ -281,17 +291,16 @@ impl Process<DMsg> for CertifiedParty {
                 self.escrowed_seen[arc] = true;
                 if !self.voted && self.escrowed_seen.iter().all(|&e| e) {
                     self.voted = true;
-                    let sig =
-                        self.signer.sign(DOM_DEAL_COMMIT, &commit_payload(&self.deal_id));
+                    let sig = self
+                        .signer
+                        .sign(DOM_DEAL_COMMIT, &commit_payload(&self.deal_id));
                     ctx.send(self.cbc, DMsg::CommitVote { sig });
                     ctx.mark("party_voted", self.me as i64);
                 }
             }
-            DMsg::CbcDecision { .. } => {
-                if !self.decided {
-                    self.decided = true;
-                    ctx.halt();
-                }
+            DMsg::CbcDecision { .. } if !self.decided => {
+                self.decided = true;
+                ctx.halt();
             }
             _ => {}
         }
@@ -299,7 +308,9 @@ impl Process<DMsg> for CertifiedParty {
 
     fn on_timer(&mut self, id: TimerId, ctx: &mut Ctx<DMsg>) {
         if id == TIMER_PATIENCE && !self.decided {
-            let sig = self.signer.sign(DOM_DEAL_ABORT, &abort_payload(&self.deal_id));
+            let sig = self
+                .signer
+                .sign(DOM_DEAL_ABORT, &abort_payload(&self.deal_id));
             ctx.send(self.cbc, DMsg::AbortVote { sig });
             ctx.mark("party_aborted", self.me as i64);
         }
@@ -353,17 +364,27 @@ mod tests {
     ) -> (Engine<DMsg>, DealInstance) {
         let (inst, signers) = DealInstance::generate(deal, 17);
         let cbc_pid = inst.next_free_pid();
-        let mut eng = Engine::new(net, Box::new(RandomOracle::seeded(2)), EngineConfig::default());
+        let mut eng = Engine::new(
+            net,
+            Box::new(RandomOracle::seeded(2)),
+            EngineConfig::default(),
+        );
         for (p, s) in signers.iter().enumerate() {
             let mut party = CertifiedParty::new(&inst, p, s.clone(), cbc_pid);
             tweak(p, &mut party);
             eng.add_process(Box::new(party), DriftClock::perfect());
         }
         for k in 0..inst.deal.arcs().len() {
-            eng.add_process(Box::new(CertifiedEscrow::new(&inst, k)), DriftClock::perfect());
+            eng.add_process(
+                Box::new(CertifiedEscrow::new(&inst, k)),
+                DriftClock::perfect(),
+            );
         }
         let subscribers: Vec<Pid> = (0..cbc_pid).collect();
-        eng.add_process(Box::new(CertifiedChain::new(&inst, subscribers)), DriftClock::perfect());
+        eng.add_process(
+            Box::new(CertifiedChain::new(&inst, subscribers)),
+            DriftClock::perfect(),
+        );
         eng.run_until(SimTime::from_secs(120));
         (eng, inst)
     }
@@ -377,7 +398,9 @@ mod tests {
         );
         let o = extract_certified_outcome(&eng, &inst);
         assert!(o.is_full_commit(), "{o:?}");
-        let cbc = eng.process_as::<CertifiedChain>(inst.next_free_pid()).unwrap();
+        let cbc = eng
+            .process_as::<CertifiedChain>(inst.next_free_pid())
+            .unwrap();
         assert_eq!(cbc.verdict(), Some(true));
         assert!(cbc.log().verify_integrity().is_ok());
     }
@@ -420,7 +443,9 @@ mod tests {
         let o = extract_certified_outcome(&eng, &inst);
         assert!(o.is_full_abort(), "{o:?}");
         assert!(o.safe_for(&inst.deal, &[0, 1]));
-        let cbc = eng.process_as::<CertifiedChain>(inst.next_free_pid()).unwrap();
+        let cbc = eng
+            .process_as::<CertifiedChain>(inst.next_free_pid())
+            .unwrap();
         assert_eq!(cbc.verdict(), Some(false));
     }
 
@@ -455,7 +480,9 @@ mod tests {
                 },
             );
             for k in 0..2 {
-                let e = eng.process_as::<CertifiedEscrow>(inst.escrow_pid(k)).unwrap();
+                let e = eng
+                    .process_as::<CertifiedEscrow>(inst.escrow_pid(k))
+                    .unwrap();
                 e.ledger().check_conservation().unwrap();
             }
         }

@@ -44,13 +44,19 @@ pub struct DealMatrix {
 impl DealMatrix {
     /// An empty deal over `parties` parties.
     pub fn new(parties: usize) -> Self {
-        DealMatrix { parties, arcs: Vec::new() }
+        DealMatrix {
+            parties,
+            arcs: Vec::new(),
+        }
     }
 
     /// Adds `M_{from,to} = asset`. Panics on self-loops, out-of-range
     /// parties, or duplicate entries (the matrix has one cell per pair).
     pub fn add(&mut self, from: Party, to: Party, asset: Asset) -> &mut Self {
-        assert!(from < self.parties && to < self.parties, "party out of range");
+        assert!(
+            from < self.parties && to < self.parties,
+            "party out of range"
+        );
         assert_ne!(from, to, "no self-transfers");
         assert!(
             !self.arcs.iter().any(|a| a.from == from && a.to == to),
@@ -72,12 +78,20 @@ impl DealMatrix {
 
     /// Indices of arcs leaving `p`.
     pub fn outgoing(&self, p: Party) -> impl Iterator<Item = usize> + '_ {
-        self.arcs.iter().enumerate().filter(move |(_, a)| a.from == p).map(|(i, _)| i)
+        self.arcs
+            .iter()
+            .enumerate()
+            .filter(move |(_, a)| a.from == p)
+            .map(|(i, _)| i)
     }
 
     /// Indices of arcs entering `p`.
     pub fn incoming(&self, p: Party) -> impl Iterator<Item = usize> + '_ {
-        self.arcs.iter().enumerate().filter(move |(_, a)| a.to == p).map(|(i, _)| i)
+        self.arcs
+            .iter()
+            .enumerate()
+            .filter(move |(_, a)| a.to == p)
+            .map(|(i, _)| i)
     }
 
     /// Well-formedness per \[3\]: the digraph is strongly connected (every
@@ -180,12 +194,16 @@ pub struct DealOutcome {
 impl DealOutcome {
     /// All arcs transferred.
     pub fn all_executed(n_arcs: usize) -> Self {
-        DealOutcome { executed: vec![true; n_arcs] }
+        DealOutcome {
+            executed: vec![true; n_arcs],
+        }
     }
 
     /// No arc transferred.
     pub fn none_executed(n_arcs: usize) -> Self {
-        DealOutcome { executed: vec![false; n_arcs] }
+        DealOutcome {
+            executed: vec![false; n_arcs],
+        }
     }
 
     /// The acceptability predicate of \[3\] for `party` (see module docs):
@@ -245,7 +263,9 @@ mod tests {
     #[test]
     fn three_cycle_is_well_formed() {
         let mut d = DealMatrix::new(3);
-        d.add(0, 1, asset(1)).add(1, 2, asset(2)).add(2, 0, asset(3));
+        d.add(0, 1, asset(1))
+            .add(1, 2, asset(2))
+            .add(2, 0, asset(3));
         assert!(d.is_well_formed());
         assert_eq!(d.strongly_connected_components(), vec![vec![0, 1, 2]]);
     }
@@ -257,7 +277,11 @@ mod tests {
         for n in 1..=5 {
             let d = chain(n);
             assert!(!d.is_well_formed(), "chain of {n} hops must be ill-formed");
-            assert_eq!(d.strongly_connected_components().len(), n + 1, "all singletons");
+            assert_eq!(
+                d.strongly_connected_components().len(),
+                n + 1,
+                "all singletons"
+            );
         }
     }
 
@@ -291,7 +315,10 @@ mod tests {
         let none = DealOutcome::none_executed(2);
         for p in 0..2 {
             assert!(full.acceptable_for(&d, p), "full deal acceptable for {p}");
-            assert!(none.acceptable_for(&d, p), "nothing-happened acceptable for {p}");
+            assert!(
+                none.acceptable_for(&d, p),
+                "nothing-happened acceptable for {p}"
+            );
         }
         assert!(full.is_full_commit());
         assert!(none.is_full_abort());
@@ -300,7 +327,9 @@ mod tests {
     #[test]
     fn acceptability_mixed_outcome() {
         let d = swap(); // arc0: 0→1, arc1: 1→0
-        let only_first = DealOutcome { executed: vec![true, false] };
+        let only_first = DealOutcome {
+            executed: vec![true, false],
+        };
         // Party 0 sent but did not receive: unacceptable.
         assert!(!only_first.acceptable_for(&d, 0));
         // Party 1 received without sending: strictly better, acceptable.
@@ -315,10 +344,13 @@ mod tests {
         // collapsed predicate against the first-principles dominance
         // definition of [3].
         let mut d = DealMatrix::new(3);
-        d.add(0, 1, asset(1)).add(1, 2, asset(2)).add(2, 0, asset(3));
+        d.add(0, 1, asset(1))
+            .add(1, 2, asset(2))
+            .add(2, 0, asset(3));
         for mask in 0u32..8 {
-            let outcome =
-                DealOutcome { executed: (0..3).map(|i| mask & (1 << i) != 0).collect() };
+            let outcome = DealOutcome {
+                executed: (0..3).map(|i| mask & (1 << i) != 0).collect(),
+            };
             for p in 0..3usize {
                 // First principles: acceptable iff the outcome dominates
                 // "full deal" (receive all in(p), send all out(p)) or

@@ -61,8 +61,9 @@ pub fn deal_as_payment(deal: &DealMatrix) -> Result<Vec<Asset>, NotAPayment> {
         }
     }
     // Exactly one source (Alice) and one sink (Bob) with everyone covered.
-    let sources: Vec<Party> =
-        (0..m).filter(|&p| deal.incoming(p).count() == 0 && deal.outgoing(p).count() == 1).collect();
+    let sources: Vec<Party> = (0..m)
+        .filter(|&p| deal.incoming(p).count() == 0 && deal.outgoing(p).count() == 1)
+        .collect();
     if deal.arcs().len() != m.saturating_sub(1) || sources.len() != 1 {
         return Err(NotAPayment::HasCycle);
     }
@@ -88,9 +89,15 @@ pub fn deal_as_payment(deal: &DealMatrix) -> Result<Vec<Asset>, NotAPayment> {
 /// experiment E7 to print the side-by-side table.
 pub fn property_correspondence() -> Vec<(&'static str, &'static str)> {
     vec![
-        ("Termination [3] (\"weak liveness\" there)", "T — termination (Def. 1/2)"),
+        (
+            "Termination [3] (\"weak liveness\" there)",
+            "T — termination (Def. 1/2)",
+        ),
         ("Safety [3] (acceptable payoffs)", "CS — customer security"),
-        ("(implicit: blockchains own nothing)", "ES — escrow security"),
+        (
+            "(implicit: blockchains own nothing)",
+            "ES — escrow security",
+        ),
         ("Strong liveness [3]", "L — strong liveness"),
         ("(no counterpart)", "CC — certificate consistency (Def. 2)"),
         ("(no counterpart)", "χ — Alice's transferable receipt"),
@@ -111,7 +118,10 @@ mod tests {
         for n in 1..=6 {
             let amounts: Vec<Asset> = (0..n).map(|i| asset(100 - i as u64)).collect();
             let deal = payment_as_deal(&amounts);
-            assert!(!deal.is_well_formed(), "n = {n}: payments are not well-formed deals");
+            assert!(
+                !deal.is_well_formed(),
+                "n = {n}: payments are not well-formed deals"
+            );
             // …so the HLS correctness theorems simply do not cover them.
         }
     }
@@ -136,7 +146,9 @@ mod tests {
     #[test]
     fn three_cycle_is_not_a_payment() {
         let mut d = DealMatrix::new(3);
-        d.add(0, 1, asset(1)).add(1, 2, asset(1)).add(2, 0, asset(1));
+        d.add(0, 1, asset(1))
+            .add(1, 2, asset(1))
+            .add(2, 0, asset(1));
         assert!(d.is_well_formed());
         // Every vertex has in=out=1, so the path test passes per-vertex;
         // the cycle is caught by the source/arc-count analysis.

@@ -84,11 +84,18 @@ impl DealInstance {
     /// Builds keys and an id for `deal`, deterministically from `seed`.
     pub fn generate(deal: DealMatrix, seed: u64) -> (Self, Vec<Signer>) {
         let mut pki = Pki::new(seed);
-        let signers: Vec<Signer> =
-            (0..deal.parties()).map(|_| pki.register().1).collect();
+        let signers: Vec<Signer> = (0..deal.parties()).map(|_| pki.register().1).collect();
         let party_keys: Vec<KeyId> = signers.iter().map(|s| s.id()).collect();
         let deal_id = PaymentId::derive(seed, &party_keys);
-        (DealInstance { deal, deal_id, pki: StdArc::new(pki), party_keys }, signers)
+        (
+            DealInstance {
+                deal,
+                deal_id,
+                pki: StdArc::new(pki),
+                party_keys,
+            },
+            signers,
+        )
     }
 
     /// Engine pid of party `p` (parties come first).
@@ -166,7 +173,9 @@ impl TimelockEscrow {
             return;
         }
         if self.votes.len() == self.party_keys.len() {
-            self.ledger.release(self.deal.expect("checked")).expect("locked releases once");
+            self.ledger
+                .release(self.deal.expect("checked"))
+                .expect("locked releases once");
             self.settled = Some(true);
             ctx.mark("arc_released", self.arc as i64);
             ctx.halt();
@@ -189,7 +198,10 @@ impl Process<DMsg> for TimelockEscrow {
                 if from != self.party_pids[depositor_pid] {
                     return;
                 }
-                match self.ledger.lock(self.depositor_key, self.beneficiary_key, self.asset) {
+                match self
+                    .ledger
+                    .lock(self.depositor_key, self.beneficiary_key, self.asset)
+                {
                     Ok(deal) => {
                         self.deal = Some(deal);
                         ctx.set_timer_after(TIMER_DEADLINE, self.timelock);
@@ -208,7 +220,10 @@ impl Process<DMsg> for TimelockEscrow {
                 if !self.party_keys.contains(&sig.signer) || self.votes.contains(&sig.signer) {
                     return;
                 }
-                if !self.pki.verify(&sig, DOM_DEAL_COMMIT, &commit_payload(&self.deal_id)) {
+                if !self
+                    .pki
+                    .verify(&sig, DOM_DEAL_COMMIT, &commit_payload(&self.deal_id))
+                {
                     return;
                 }
                 self.votes.push(sig.signer);
@@ -259,10 +274,14 @@ pub struct TimelockParty {
 impl TimelockParty {
     /// Builds party `me` of `inst`.
     pub fn new(inst: &DealInstance, me: Party, signer: Signer) -> Self {
-        let my_deposits: Vec<(usize, Pid)> =
-            inst.deal.outgoing(me).map(|k| (k, inst.escrow_pid(k))).collect();
-        let all_escrows: Vec<Pid> =
-            (0..inst.deal.arcs().len()).map(|k| inst.escrow_pid(k)).collect();
+        let my_deposits: Vec<(usize, Pid)> = inst
+            .deal
+            .outgoing(me)
+            .map(|k| (k, inst.escrow_pid(k)))
+            .collect();
+        let all_escrows: Vec<Pid> = (0..inst.deal.arcs().len())
+            .map(|k| inst.escrow_pid(k))
+            .collect();
         TimelockParty {
             me,
             signer,
@@ -297,7 +316,9 @@ impl Process<DMsg> for TimelockParty {
             self.escrowed_seen[arc] = true;
             if !self.voted && self.vote && self.escrowed_seen.iter().all(|&e| e) {
                 self.voted = true;
-                let sig = self.signer.sign(DOM_DEAL_COMMIT, &commit_payload(&self.deal_id));
+                let sig = self
+                    .signer
+                    .sign(DOM_DEAL_COMMIT, &commit_payload(&self.deal_id));
                 for &e in &self.all_escrows {
                     ctx.send(e, DMsg::CommitVote { sig });
                 }
@@ -334,11 +355,11 @@ pub fn extract_timelock_outcome(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use anta::time::SimTime;
     use anta::clock::DriftClock;
     use anta::engine::{Engine, EngineConfig};
     use anta::net::{AdversarialNet, Delivery, EnvelopeMeta, SyncNet};
     use anta::oracle::RandomOracle;
+    use anta::time::SimTime;
     use ledger::{Asset, CurrencyId};
 
     fn swap_deal() -> DealMatrix {
@@ -375,7 +396,11 @@ mod tests {
         }
         for k in 0..inst.deal.arcs().len() {
             eng.add_process(
-                Box::new(TimelockEscrow::new(&inst, k, SimDuration::from_millis(timelock_ms))),
+                Box::new(TimelockEscrow::new(
+                    &inst,
+                    k,
+                    SimDuration::from_millis(timelock_ms),
+                )),
                 DriftClock::perfect(),
             );
         }
@@ -457,16 +482,17 @@ mod tests {
             let base = SimDuration::from_millis(2);
             let late = SimDuration::from_millis(100_000);
             match msg {
-                DMsg::CommitVote { .. } if m.to == target_escrow => {
-                    Delivery::At(m.sent_at + late)
-                }
+                DMsg::CommitVote { .. } if m.to == target_escrow => Delivery::At(m.sent_at + late),
                 _ => Delivery::At(m.sent_at + base),
             }
         });
         let (eng, inst) = build(swap_deal(), 200, Box::new(net), |_, _| {});
         let o = extract_timelock_outcome(&eng, &inst);
         assert_eq!(o.executed, vec![true, false], "{o:?}");
-        assert!(!o.acceptable_for(&inst.deal, 0), "compliant party 0 was robbed");
+        assert!(
+            !o.acceptable_for(&inst.deal, 0),
+            "compliant party 0 was robbed"
+        );
         assert!(!o.safe_for(&inst.deal, &[0, 1]));
     }
 
@@ -479,7 +505,9 @@ mod tests {
             |_, _| {},
         );
         for k in 0..3 {
-            let e = eng.process_as::<TimelockEscrow>(inst.escrow_pid(k)).unwrap();
+            let e = eng
+                .process_as::<TimelockEscrow>(inst.escrow_pid(k))
+                .unwrap();
             e.ledger().check_conservation().unwrap();
         }
     }

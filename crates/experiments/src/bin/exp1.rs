@@ -1,5 +1,8 @@
 //! E1 — Theorem 1 validation sweep.
 fn main() {
-    let seeds = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50);
+    let seeds = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
     print!("{}", experiments::e1::run(seeds, 0).render());
 }

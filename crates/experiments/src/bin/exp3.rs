@@ -1,5 +1,8 @@
 //! E3 — Theorem 3 weak-protocol sweep.
 fn main() {
-    let seeds = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let seeds = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
     print!("{}", experiments::e3::run(seeds, 0).render());
 }

@@ -1,5 +1,8 @@
 //! E6 — timeout-calculus ablation.
 fn main() {
-    let seeds = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let seeds = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
     print!("{}", experiments::e6::run(seeds, 0).render());
 }

@@ -1,6 +1,9 @@
 //! Runs every experiment at a moderate seed budget (EXPERIMENTS.md data).
 fn main() {
-    let seeds = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let seeds = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
     println!("{}", experiments::e1::run(seeds, 0).render());
     println!("{}", experiments::e2::run().render());
     println!("{}", experiments::e3::run(seeds, 0).render());

@@ -42,7 +42,10 @@ pub struct E1Cell {
 
 /// Runs one cell.
 pub fn run_cell(p: &E1Params) -> E1Cell {
-    let params = SyncParams { rho_ppm: p.rho_ppm, ..SyncParams::baseline() };
+    let params = SyncParams {
+        rho_ppm: p.rho_ppm,
+        ..SyncParams::baseline()
+    };
     let setup = ChainSetup::new(p.n, ValuePlan::with_commission(p.n, 1_000, 7), params, 0xE1);
     let mut success = Rate::default();
     let mut props_ok = Rate::default();
@@ -95,9 +98,7 @@ impl E1Report {
     /// True iff the theorem's claims held in every cell.
     pub fn theorem_holds(&self) -> bool {
         self.cells.iter().all(|c| {
-            c.success.is_perfect()
-                && c.props_ok.is_perfect()
-                && c.bound_usage_permille.max <= 1_000
+            c.success.is_perfect() && c.props_ok.is_perfect() && c.bound_usage_permille.max <= 1_000
         })
     }
 
@@ -105,7 +106,14 @@ impl E1Report {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "E1 — Theorem 1: time-bounded protocol under synchrony",
-            &["n", "rho(ppm)", "runs", "Bob paid", "Def.1 holds", "T-bound use p50/p99/max (‰)"],
+            &[
+                "n",
+                "rho(ppm)",
+                "runs",
+                "Bob paid",
+                "Def.1 holds",
+                "T-bound use p50/p99/max (‰)",
+            ],
         );
         for c in &self.cells {
             t.push(&[
@@ -116,7 +124,9 @@ impl E1Report {
                 c.props_ok.render(),
                 format!(
                     "{}/{}/{}",
-                    c.bound_usage_permille.p50, c.bound_usage_permille.p99, c.bound_usage_permille.max
+                    c.bound_usage_permille.p50,
+                    c.bound_usage_permille.p99,
+                    c.bound_usage_permille.max
                 ),
             ]);
         }
@@ -134,7 +144,11 @@ mod tests {
 
     #[test]
     fn single_cell_perfect() {
-        let cell = run_cell(&E1Params { n: 3, rho_ppm: 100_000, seeds: 10 });
+        let cell = run_cell(&E1Params {
+            n: 3,
+            rho_ppm: 100_000,
+            seeds: 10,
+        });
         assert!(cell.success.is_perfect(), "{:?}", cell.success);
         assert!(cell.props_ok.is_perfect());
         assert!(cell.bound_usage_permille.max <= 1_000, "bound exceeded");
@@ -145,8 +159,16 @@ mod tests {
         let report = E1Report {
             cells: parallel_map(
                 &[
-                    E1Params { n: 1, rho_ppm: 0, seeds: 5 },
-                    E1Params { n: 4, rho_ppm: 150_000, seeds: 5 },
+                    E1Params {
+                        n: 1,
+                        rho_ppm: 0,
+                        seeds: 5,
+                    },
+                    E1Params {
+                        n: 4,
+                        rho_ppm: 150_000,
+                        seeds: 5,
+                    },
                 ],
                 0,
                 run_cell,

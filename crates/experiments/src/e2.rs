@@ -9,7 +9,7 @@ use crate::table::{check, Table};
 use anta::net::{AdversarialNet, Delivery, EnvelopeMeta, SyncNet};
 use anta::oracle::RandomOracle;
 use anta::time::{SimDuration, SimTime};
-use deals::timelock::{DealInstance, DMsg, TimelockEscrow, TimelockParty};
+use deals::timelock::{DMsg, DealInstance, TimelockEscrow, TimelockParty};
 use deals::{DealMatrix, DealOutcome};
 use ledger::{Asset, CurrencyId};
 use payment::impossibility::{
@@ -30,7 +30,11 @@ pub struct ViolationRow {
 
 impl From<WitnessReport> for ViolationRow {
     fn from(w: WitnessReport) -> Self {
-        ViolationRow { candidate: w.candidate, violated: w.violated, description: w.description }
+        ViolationRow {
+            candidate: w.candidate,
+            violated: w.violated,
+            description: w.description,
+        }
     }
 }
 
@@ -75,7 +79,9 @@ pub fn timelock_deal_violation() -> ViolationRow {
         !outcome.safe_for(&inst.deal, &[0, 1]),
         "expected a safety violation: {outcome:?}"
     );
-    let victim = (0..2).find(|&p| !outcome.acceptable_for(&inst.deal, p)).expect("victim");
+    let victim = (0..2)
+        .find(|&p| !outcome.acceptable_for(&inst.deal, p))
+        .expect("victim");
     ViolationRow {
         candidate: "HLS timelock commit (deal protocol)",
         violated: "Safety [3]",
@@ -148,7 +154,11 @@ impl E2Report {
             &["candidate", "violated", "witness"],
         );
         for r in &self.rows {
-            t.push(&[r.candidate.to_string(), r.violated.to_string(), r.description.clone()]);
+            t.push(&[
+                r.candidate.to_string(),
+                r.violated.to_string(),
+                r.description.clone(),
+            ]);
         }
         format!(
             "{}\nIndistinguishability pair (e_(n-1)'s view up to its deadline: {:?}):\n  run A (Bob crashed): refund correct — {}\n  run B (χ merely delayed): identical prefix forces the same refund, violating CS2 — {}\n",

@@ -49,8 +49,7 @@ impl PatiencePlan {
             PatiencePlan::WithholderPlusGuard => {
                 let n = setup.n();
                 setup = setup.with_patience(n, Patience::absent()); // Bob never accepts
-                setup =
-                    setup.with_patience(0, Patience::until(SimDuration::from_millis(400)));
+                setup = setup.with_patience(0, Patience::until(SimDuration::from_millis(400)));
                 setup
             }
         }
@@ -108,8 +107,7 @@ pub fn run_cell(p: &E3Params) -> E3Cell {
             Box::new(RandomOracle::seeded(seed)),
             |_| None,
             |i| {
-                (p.silent_notary && i == 1)
-                    .then(|| Box::new(anta::process::InertProcess) as Box<_>)
+                (p.silent_notary && i == 1).then(|| Box::new(anta::process::InertProcess) as Box<_>)
             },
         );
         eng.run();
@@ -128,7 +126,14 @@ pub fn run_cell(p: &E3Params) -> E3Cell {
             None => undecided += 1,
         }
     }
-    E3Cell { params: *p, def2_ok, cc_ok, commits, aborts, undecided }
+    E3Cell {
+        params: *p,
+        def2_ok,
+        cc_ok,
+        commits,
+        aborts,
+        undecided,
+    }
 }
 
 /// The full E3 report.
@@ -140,11 +145,23 @@ pub struct E3Report {
 /// Runs the default grid.
 pub fn run(seeds: u64, threads: usize) -> E3Report {
     let mut grid = Vec::new();
-    for tm in [TmKind::Trusted, TmKind::Contract, TmKind::Committee { k: 4 }] {
-        for plan in
-            [PatiencePlan::AllPatient, PatiencePlan::OneImpatient, PatiencePlan::WithholderPlusGuard]
-        {
-            grid.push(E3Params { n: 3, tm, plan, silent_notary: false, seeds });
+    for tm in [
+        TmKind::Trusted,
+        TmKind::Contract,
+        TmKind::Committee { k: 4 },
+    ] {
+        for plan in [
+            PatiencePlan::AllPatient,
+            PatiencePlan::OneImpatient,
+            PatiencePlan::WithholderPlusGuard,
+        ] {
+            grid.push(E3Params {
+                n: 3,
+                tm,
+                plan,
+                silent_notary: false,
+                seeds,
+            });
         }
     }
     // Committee resilience: one crashed notary, everyone patient.
@@ -175,7 +192,15 @@ impl E3Report {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "E3 — Theorem 3: weak protocol with a transaction manager",
-            &["TM", "patience", "faulty notary", "runs", "Def.2 holds", "CC", "commit/abort/none"],
+            &[
+                "TM",
+                "patience",
+                "faulty notary",
+                "runs",
+                "Def.2 holds",
+                "CC",
+                "commit/abort/none",
+            ],
         );
         for c in &self.cells {
             t.push(&[

@@ -41,9 +41,13 @@ fn fig2_params(n: usize, seed: u64) -> Fig2Params {
     }
 }
 
+/// A trace's `(from, to, kind)` send sequence — the protocol's observable
+/// communication skeleton.
+pub type Skeleton = Vec<(usize, usize, &'static str)>;
+
 /// The sequence of `(from, to, kind)` sends in a trace — the protocol's
 /// observable communication skeleton.
-fn message_skeleton(eng: &Engine<PMsg>) -> Vec<(usize, usize, &'static str)> {
+fn message_skeleton(eng: &Engine<PMsg>) -> Skeleton {
     eng.trace()
         .events
         .iter()
@@ -56,7 +60,7 @@ fn message_skeleton(eng: &Engine<PMsg>) -> Vec<(usize, usize, &'static str)> {
 
 /// Cross-check: executable vs declarative protocol under the identical
 /// deterministic schedule. Returns both skeletons.
-pub fn cross_check(n: usize) -> (Vec<(usize, usize, &'static str)>, Vec<(usize, usize, &'static str)>) {
+pub fn cross_check(n: usize) -> (Skeleton, Skeleton) {
     // Executable chain.
     let setup = ChainSetup::new(n, ValuePlan::uniform(n, 100), SyncParams::baseline(), 0xE4);
     let mut exec_eng = setup.build_engine(
@@ -73,7 +77,10 @@ pub fn cross_check(n: usize) -> (Vec<(usize, usize, &'static str)>, Vec<(usize, 
         EngineConfig::default(),
     );
     for spec in all_specs(&p) {
-        decl_eng.add_process(Box::new(AutomatonProcess::new(Arc::new(spec))), DriftClock::perfect());
+        decl_eng.add_process(
+            Box::new(AutomatonProcess::new(Arc::new(spec))),
+            DriftClock::perfect(),
+        );
     }
     decl_eng.run_until(anta::time::SimTime::from_secs(3_600));
     (message_skeleton(&exec_eng), message_skeleton(&decl_eng))
@@ -94,7 +101,11 @@ pub fn explore_small_instance() -> anta::explore::ExploreReport {
     explore(
         move |oracle: Box<dyn Oracle>| {
             build_setup.build_engine(
-                Box::new(SyncNet { delta_min: anta::time::SimDuration::ZERO, delta_max: SyncParams::baseline().delta, buckets: 2 }),
+                Box::new(SyncNet {
+                    delta_min: anta::time::SimDuration::ZERO,
+                    delta_max: SyncParams::baseline().delta,
+                    buckets: 2,
+                }),
                 oracle,
                 ClockPlan::Perfect,
             )
@@ -143,8 +154,10 @@ pub struct E4Report {
 pub fn run(n: usize) -> E4Report {
     let topo = ChainTopology::new(n);
     let p = fig2_params(n, 0xE4);
-    let figure2_dots: Vec<(String, String)> =
-        all_specs(&p).into_iter().map(|s| (s.name.clone(), s.to_dot())).collect();
+    let figure2_dots: Vec<(String, String)> = all_specs(&p)
+        .into_iter()
+        .map(|s| (s.name.clone(), s.to_dot()))
+        .collect();
     let (exec_skel, decl_skel) = cross_check(n);
     let exploration = explore_small_instance();
     E4Report {
@@ -162,28 +175,43 @@ pub fn run(n: usize) -> E4Report {
 impl E4Report {
     /// Renders the report.
     pub fn render(&self) -> String {
-        let mut t = Table::new("E4 — Figures 1 & 2 regeneration and cross-validation", &["check", "result"]);
+        let mut t = Table::new(
+            "E4 — Figures 1 & 2 regeneration and cross-validation",
+            &["check", "result"],
+        );
         t.push(&[
             "Figure 2 automata rendered (DOT)".to_string(),
             self.figure2_dots.len().to_string(),
         ]);
         t.push(&[
             "executable ≡ declarative message skeleton".to_string(),
-            format!("{} ({} sends)", check(self.skeletons_match), self.exec_skeleton_len),
+            format!(
+                "{} ({} sends)",
+                check(self.skeletons_match),
+                self.exec_skeleton_len
+            ),
         ]);
         t.push(&[
             "exhaustive schedules explored (n = 1)".to_string(),
             format!(
                 "{}{}",
                 self.explored_runs,
-                if self.exploration_exhausted { " (complete)" } else { " (budget hit)" }
+                if self.exploration_exhausted {
+                    " (complete)"
+                } else {
+                    " (budget hit)"
+                }
             ),
         ]);
         t.push(&[
             "schedules violating Def. 1 safety".to_string(),
             self.exploration_violations.to_string(),
         ]);
-        format!("{}\nFigure 1 (n as configured):\n{}\n", t.render(), self.figure1_ascii)
+        format!(
+            "{}\nFigure 1 (n as configured):\n{}\n",
+            t.render(),
+            self.figure1_ascii
+        )
     }
 }
 

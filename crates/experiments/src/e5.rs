@@ -42,23 +42,25 @@ pub struct E5Cell {
 
 /// Runs one cell: same seeds, same clocks, both schedules.
 pub fn run_cell(p: &E5Params) -> E5Cell {
-    let params = SyncParams { rho_ppm: p.rho_ppm, ..SyncParams::baseline() };
+    let params = SyncParams {
+        rho_ppm: p.rho_ppm,
+        ..SyncParams::baseline()
+    };
     let mut tuned = Rate::default();
     let mut untuned = Rate::default();
     for seed in 0..p.seeds {
-        for (which, schedule) in [
-            (0, None),
-            (1, Some(untuned_schedule(p.n, &params))),
-        ] {
-            let mut setup =
-                ChainSetup::new(p.n, ValuePlan::uniform(p.n, 500), params, 0xE5);
+        for (which, schedule) in [(0, None), (1, Some(untuned_schedule(p.n, &params)))] {
+            let mut setup = ChainSetup::new(p.n, ValuePlan::uniform(p.n, 500), params, 0xE5);
             if let Some(s) = schedule {
                 setup = setup.with_schedule(s);
             }
             // Adversarial-extreme clocks make failure deterministic once
             // the margin is gone; sampled clocks also fail, just later.
-            let clocks =
-                if seed % 2 == 0 { ClockPlan::Extremes } else { ClockPlan::Sampled { seed } };
+            let clocks = if seed % 2 == 0 {
+                ClockPlan::Extremes
+            } else {
+                ClockPlan::Sampled { seed }
+            };
             let mut eng = setup.build_engine(
                 Box::new(SyncNet::worst_case(params.delta)),
                 Box::new(RandomOracle::seeded(seed)),
@@ -73,7 +75,11 @@ pub fn run_cell(p: &E5Params) -> E5Cell {
             }
         }
     }
-    E5Cell { params: *p, tuned, untuned }
+    E5Cell {
+        params: *p,
+        tuned,
+        untuned,
+    }
 }
 
 /// HTLC comparison figures.
@@ -101,11 +107,17 @@ pub fn htlc_comparison() -> HtlcComparison {
     let mut chain_a = HtlcChain::new();
     chain_a.ledger_mut().open_account(KeyId(0)).unwrap();
     chain_a.ledger_mut().open_account(KeyId(1)).unwrap();
-    chain_a.ledger_mut().mint(KeyId(0), Asset::new(CurrencyId(0), 100)).unwrap();
+    chain_a
+        .ledger_mut()
+        .mint(KeyId(0), Asset::new(CurrencyId(0), 100))
+        .unwrap();
     let mut chain_b = HtlcChain::new();
     chain_b.ledger_mut().open_account(KeyId(0)).unwrap();
     chain_b.ledger_mut().open_account(KeyId(1)).unwrap();
-    chain_b.ledger_mut().mint(KeyId(1), Asset::new(CurrencyId(1), 100)).unwrap();
+    chain_b
+        .ledger_mut()
+        .mint(KeyId(1), Asset::new(CurrencyId(1), 100))
+        .unwrap();
     let mut eng = anta::engine::Engine::new(
         Box::new(SyncNet::worst_case(SimDuration::from_millis(2))),
         Box::new(RandomOracle::seeded(5)),
@@ -133,8 +145,14 @@ pub fn htlc_comparison() -> HtlcComparison {
     );
     bob.participate = false; // the griefer
     eng.add_process(Box::new(bob), anta::clock::DriftClock::perfect());
-    eng.add_process(Box::new(ChainProcess::new(chain_a, vec![0, 1])), anta::clock::DriftClock::perfect());
-    eng.add_process(Box::new(ChainProcess::new(chain_b, vec![0, 1])), anta::clock::DriftClock::perfect());
+    eng.add_process(
+        Box::new(ChainProcess::new(chain_a, vec![0, 1])),
+        anta::clock::DriftClock::perfect(),
+    );
+    eng.add_process(
+        Box::new(ChainProcess::new(chain_b, vec![0, 1])),
+        anta::clock::DriftClock::perfect(),
+    );
     eng.run_until(SimTime::from_secs(30));
     let reclaim = eng
         .trace()
@@ -163,7 +181,10 @@ pub fn htlc_comparison() -> HtlcComparison {
         .map(|(_, real, _, _)| real)
         .max()
         .expect("refund happened");
-    HtlcComparison { griefing_lock_ms, weak_abort_ms: abort_done.ticks() / 1_000 }
+    HtlcComparison {
+        griefing_lock_ms,
+        weak_abort_ms: abort_done.ticks() / 1_000,
+    }
 }
 
 /// The E5 report.
@@ -189,7 +210,11 @@ pub fn run(seeds: u64, threads: usize) -> E5Report {
         .iter()
         .map(|&n| (n, predicted_failure_drift_ppm(n, &SyncParams::baseline())))
         .collect();
-    E5Report { cells, predicted_failure, htlc: htlc_comparison() }
+    E5Report {
+        cells,
+        predicted_failure,
+        htlc: htlc_comparison(),
+    }
 }
 
 impl E5Report {
@@ -242,14 +267,22 @@ mod tests {
 
     #[test]
     fn tuned_beats_untuned_at_high_drift() {
-        let cell = run_cell(&E5Params { n: 4, rho_ppm: 200_000, seeds: 4 });
+        let cell = run_cell(&E5Params {
+            n: 4,
+            rho_ppm: 200_000,
+            seeds: 4,
+        });
         assert!(cell.tuned.is_perfect(), "{:?}", cell.tuned);
         assert!(!cell.untuned.is_perfect(), "{:?}", cell.untuned);
     }
 
     #[test]
     fn both_perfect_without_drift() {
-        let cell = run_cell(&E5Params { n: 3, rho_ppm: 0, seeds: 3 });
+        let cell = run_cell(&E5Params {
+            n: 3,
+            rho_ppm: 0,
+            seeds: 3,
+        });
         assert!(cell.tuned.is_perfect());
         assert!(cell.untuned.is_perfect());
     }
@@ -257,7 +290,10 @@ mod tests {
     #[test]
     fn htlc_comparison_shows_the_gap() {
         let h = htlc_comparison();
-        assert!(h.griefing_lock_ms >= 1_000, "locked for 2T = 1000 ms: {h:?}");
+        assert!(
+            h.griefing_lock_ms >= 1_000,
+            "locked for 2T = 1000 ms: {h:?}"
+        );
         assert!(h.weak_abort_ms < 200, "weak abort is quick: {h:?}");
     }
 }

@@ -46,7 +46,10 @@ pub struct E6Cell {
 
 /// Runs one cell under adversarial clocks and worst-case delays.
 pub fn run_cell(p: &E6Params) -> E6Cell {
-    let params = SyncParams { rho_ppm: 100_000, ..SyncParams::baseline() };
+    let params = SyncParams {
+        rho_ppm: 100_000,
+        ..SyncParams::baseline()
+    };
     let base = TimeoutSchedule::derive(p.n, &params);
     let schedule = base.shortened(p.cut);
     let statically_valid = schedule.validate(&params).is_ok();
@@ -63,7 +66,11 @@ pub fn run_cell(p: &E6Params) -> E6Cell {
         let o = ChainOutcome::extract(&eng, &setup, report.quiescent);
         success.record(o.bob_paid());
     }
-    E6Cell { params: *p, statically_valid, success }
+    E6Cell {
+        params: *p,
+        statically_valid,
+        success,
+    }
 }
 
 /// The full E6 report.
@@ -74,12 +81,19 @@ pub struct E6Report {
 
 /// Runs the default ablation grid.
 pub fn run(seeds: u64, threads: usize) -> E6Report {
-    let params = SyncParams { rho_ppm: 100_000, ..SyncParams::baseline() };
+    let params = SyncParams {
+        rho_ppm: 100_000,
+        ..SyncParams::baseline()
+    };
     let h = params.hop();
     let mut grid = Vec::new();
     for n in [2usize, 4] {
         for cut_hops in [0u64, 1, 2, 3, 4, 6, 8, 12] {
-            grid.push(E6Params { n, cut: SimDuration::from_ticks(h.ticks() * cut_hops / 2), seeds });
+            grid.push(E6Params {
+                n,
+                cut: SimDuration::from_ticks(h.ticks() * cut_hops / 2),
+                seeds,
+            });
         }
     }
     let cells = parallel_map(&grid, threads, run_cell);
@@ -89,12 +103,16 @@ pub fn run(seeds: u64, threads: usize) -> E6Report {
 impl E6Report {
     /// Soundness: every statically valid schedule succeeded always.
     pub fn calculus_sound(&self) -> bool {
-        self.cells.iter().all(|c| !c.statically_valid || c.success.is_perfect())
+        self.cells
+            .iter()
+            .all(|c| !c.statically_valid || c.success.is_perfect())
     }
 
     /// Usefulness: some rejected schedule indeed failed empirically.
     pub fn calculus_tight(&self) -> bool {
-        self.cells.iter().any(|c| !c.statically_valid && !c.success.is_perfect())
+        self.cells
+            .iter()
+            .any(|c| !c.statically_valid && !c.success.is_perfect())
     }
 
     /// Renders the crossover table.
@@ -126,16 +144,27 @@ mod tests {
 
     #[test]
     fn zero_cut_valid_and_perfect() {
-        let c = run_cell(&E6Params { n: 3, cut: SimDuration::ZERO, seeds: 3 });
+        let c = run_cell(&E6Params {
+            n: 3,
+            cut: SimDuration::ZERO,
+            seeds: 3,
+        });
         assert!(c.statically_valid);
         assert!(c.success.is_perfect(), "{:?}", c.success);
     }
 
     #[test]
     fn huge_cut_invalid_and_failing() {
-        let params = SyncParams { rho_ppm: 100_000, ..SyncParams::baseline() };
+        let params = SyncParams {
+            rho_ppm: 100_000,
+            ..SyncParams::baseline()
+        };
         let big = TimeoutSchedule::derive(3, &params).a[2] * 2;
-        let c = run_cell(&E6Params { n: 3, cut: big, seeds: 3 });
+        let c = run_cell(&E6Params {
+            n: 3,
+            cut: big,
+            seeds: 3,
+        });
         assert!(!c.statically_valid);
         assert!(!c.success.is_perfect(), "{:?}", c.success);
     }

@@ -13,7 +13,9 @@ use crate::table::{check, Table};
 use anta::net::{PartialSyncNet, SyncNet};
 use anta::oracle::RandomOracle;
 use anta::time::{SimDuration, SimTime};
-use deals::certified::{extract_certified_outcome, CertifiedChain, CertifiedEscrow, CertifiedParty};
+use deals::certified::{
+    extract_certified_outcome, CertifiedChain, CertifiedEscrow, CertifiedParty,
+};
 use deals::relation::{deal_as_payment, payment_as_deal, property_correspondence, NotAPayment};
 use deals::timelock::DealInstance;
 use deals::{DealMatrix, DealOutcome};
@@ -35,7 +37,10 @@ pub fn run_certified(
     let (inst, signers) = DealInstance::generate(swap_deal(), 0xE7);
     let cbc_pid = inst.next_free_pid();
     let net: Box<dyn anta::net::NetModel<deals::DMsg>> = if partial_sync {
-        Box::new(PartialSyncNet::new(SimTime::from_millis(1_500), SimDuration::from_millis(2)))
+        Box::new(PartialSyncNet::new(
+            SimTime::from_millis(1_500),
+            SimDuration::from_millis(2),
+        ))
     } else {
         Box::new(SyncNet::new(SimDuration::from_millis(2), 8))
     };
@@ -52,10 +57,16 @@ pub fn run_certified(
         eng.add_process(Box::new(party), anta::clock::DriftClock::perfect());
     }
     for k in 0..inst.deal.arcs().len() {
-        eng.add_process(Box::new(CertifiedEscrow::new(&inst, k)), anta::clock::DriftClock::perfect());
+        eng.add_process(
+            Box::new(CertifiedEscrow::new(&inst, k)),
+            anta::clock::DriftClock::perfect(),
+        );
     }
     let subscribers: Vec<usize> = (0..cbc_pid).collect();
-    eng.add_process(Box::new(CertifiedChain::new(&inst, subscribers)), anta::clock::DriftClock::perfect());
+    eng.add_process(
+        Box::new(CertifiedChain::new(&inst, subscribers)),
+        anta::clock::DriftClock::perfect(),
+    );
     eng.run_until(SimTime::from_secs(120));
     let outcome = extract_certified_outcome(&eng, &inst);
     let integrity = eng
@@ -164,10 +175,12 @@ pub fn run() -> E7Report {
 impl E7Report {
     /// The §5 claims, empirically.
     pub fn claims_hold(&self) -> bool {
-        let timelock_sync_full = self
-            .matrix
-            .iter()
-            .any(|r| r.protocol.starts_with("timelock") && r.network == "synchronous" && r.strong_liveness && r.safety);
+        let timelock_sync_full = self.matrix.iter().any(|r| {
+            r.protocol.starts_with("timelock")
+                && r.network == "synchronous"
+                && r.strong_liveness
+                && r.safety
+        });
         let timelock_psync_broken = self
             .matrix
             .iter()
@@ -193,7 +206,14 @@ impl E7Report {
     pub fn render(&self) -> String {
         let mut m = Table::new(
             "E7 — measured property matrix of the HLS deal protocols",
-            &["protocol", "network", "scenario", "Safety", "Termination", "StrongLiveness"],
+            &[
+                "protocol",
+                "network",
+                "scenario",
+                "Safety",
+                "Termination",
+                "StrongLiveness",
+            ],
         );
         for r in &self.matrix {
             m.push(&[
@@ -205,7 +225,10 @@ impl E7Report {
                 check(r.strong_liveness),
             ]);
         }
-        let mut c = Table::new("E7 — §5 property correspondence", &["deals [3]", "payments (this paper)"]);
+        let mut c = Table::new(
+            "E7 — §5 property correspondence",
+            &["deals [3]", "payments (this paper)"],
+        );
         for (a, b) in property_correspondence() {
             c.push(&[a.to_string(), b.to_string()]);
         }

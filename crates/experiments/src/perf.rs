@@ -84,7 +84,10 @@ pub fn consensus_cost(k: usize) -> ConsensusCost {
     for (i, (_, signer)) in pairs.iter().enumerate() {
         let peers: Vec<usize> = (0..k).filter(|&p| p != i).collect();
         let core = NotaryCore::new(cfg.clone(), signer.clone(), pki.clone(), 42u64);
-        eng.add_process(Box::new(NotaryProcess::new(core, peers)), DriftClock::perfect());
+        eng.add_process(
+            Box::new(NotaryProcess::new(core, peers)),
+            DriftClock::perfect(),
+        );
     }
     let report = eng.run();
     let mut round = 0;
@@ -96,7 +99,11 @@ pub fn consensus_cost(k: usize) -> ConsensusCost {
         }
     }
     let _ = report;
-    ConsensusCost { k, decision_round: round, messages: eng.trace().sent_count() }
+    ConsensusCost {
+        k,
+        decision_round: round,
+        messages: eng.trace().sent_count(),
+    }
 }
 
 /// The perf report.
@@ -110,8 +117,14 @@ pub struct PerfReport {
 /// Runs all perf measurements.
 pub fn run() -> PerfReport {
     PerfReport {
-        chain: [1usize, 2, 4, 8, 16, 32].iter().map(|&n| chain_cost(n)).collect(),
-        consensus: [4usize, 7, 10, 13].iter().map(|&k| consensus_cost(k)).collect(),
+        chain: [1usize, 2, 4, 8, 16, 32]
+            .iter()
+            .map(|&n| chain_cost(n))
+            .collect(),
+        consensus: [4usize, 7, 10, 13]
+            .iter()
+            .map(|&k| consensus_cost(k))
+            .collect(),
     }
 }
 
@@ -135,7 +148,11 @@ impl PerfReport {
             &["k", "decision round", "messages"],
         );
         for c in &self.consensus {
-            u.push(&[c.k.to_string(), c.decision_round.to_string(), c.messages.to_string()]);
+            u.push(&[
+                c.k.to_string(),
+                c.decision_round.to_string(),
+                c.messages.to_string(),
+            ]);
         }
         format!("{}\n{}", t.render(), u.render())
     }

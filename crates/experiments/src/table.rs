@@ -59,12 +59,12 @@ impl Table {
         }
         let fmt_row = |cells: &[String]| -> String {
             let mut line = String::new();
-            for i in 0..cols {
+            for (i, width) in widths.iter().enumerate() {
                 if i > 0 {
                     line.push_str("  ");
                 }
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                line.push_str(&format!("{cell:<width$}", width = widths[i]));
+                line.push_str(&format!("{cell:<width$}"));
             }
             line.trim_end().to_string()
         };
@@ -90,7 +90,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
@@ -111,7 +118,11 @@ pub fn pct(num: usize, den: usize) -> String {
 
 /// Formats a boolean as a check-mark cell.
 pub fn check(b: bool) -> String {
-    if b { "yes".to_owned() } else { "NO".to_owned() }
+    if b {
+        "yes".to_owned()
+    } else {
+        "NO".to_owned()
+    }
 }
 
 #[cfg(test)]

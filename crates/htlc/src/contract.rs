@@ -197,7 +197,9 @@ mod tests {
         let (a, b) = (KeyId(0), KeyId(1));
         let mut chain = chain_with(a, b, 100);
         let secret = b"s3cret";
-        let id = chain.open(a, b, Asset::new(CUR, 60), sha256(secret), t(1_000)).unwrap();
+        let id = chain
+            .open(a, b, Asset::new(CUR, 60), sha256(secret), t(1_000))
+            .unwrap();
         chain.claim(id, secret, t(500)).unwrap();
         assert_eq!(chain.contract(id).unwrap().state, HtlcState::Claimed);
         assert_eq!(chain.ledger().balance(b, CUR), 60);
@@ -209,8 +211,13 @@ mod tests {
     fn wrong_preimage_rejected() {
         let (a, b) = (KeyId(0), KeyId(1));
         let mut chain = chain_with(a, b, 100);
-        let id = chain.open(a, b, Asset::new(CUR, 60), sha256(b"right"), t(1_000)).unwrap();
-        assert_eq!(chain.claim(id, b"wrong", t(500)), Err(HtlcError::WrongPreimage));
+        let id = chain
+            .open(a, b, Asset::new(CUR, 60), sha256(b"right"), t(1_000))
+            .unwrap();
+        assert_eq!(
+            chain.claim(id, b"wrong", t(500)),
+            Err(HtlcError::WrongPreimage)
+        );
         assert_eq!(chain.contract(id).unwrap().state, HtlcState::Open);
         assert_eq!(chain.ledger().balance(b, CUR), 0);
     }
@@ -220,7 +227,9 @@ mod tests {
         let (a, b) = (KeyId(0), KeyId(1));
         let mut chain = chain_with(a, b, 100);
         let secret = b"s";
-        let id = chain.open(a, b, Asset::new(CUR, 60), sha256(secret), t(1_000)).unwrap();
+        let id = chain
+            .open(a, b, Asset::new(CUR, 60), sha256(secret), t(1_000))
+            .unwrap();
         assert_eq!(chain.claim(id, secret, t(1_000)), Err(HtlcError::Expired));
         assert_eq!(chain.claim(id, secret, t(2_000)), Err(HtlcError::Expired));
         chain.reclaim(id, t(1_000)).unwrap();
@@ -231,7 +240,9 @@ mod tests {
     fn early_reclaim_rejected() {
         let (a, b) = (KeyId(0), KeyId(1));
         let mut chain = chain_with(a, b, 100);
-        let id = chain.open(a, b, Asset::new(CUR, 60), sha256(b"x"), t(1_000)).unwrap();
+        let id = chain
+            .open(a, b, Asset::new(CUR, 60), sha256(b"x"), t(1_000))
+            .unwrap();
         assert_eq!(chain.reclaim(id, t(999)), Err(HtlcError::NotYetExpired));
         chain.reclaim(id, t(1_000)).unwrap();
         assert_eq!(chain.contract(id).unwrap().state, HtlcState::Reclaimed);
@@ -242,7 +253,9 @@ mod tests {
         let (a, b) = (KeyId(0), KeyId(1));
         let mut chain = chain_with(a, b, 100);
         let secret = b"s";
-        let id = chain.open(a, b, Asset::new(CUR, 60), sha256(secret), t(1_000)).unwrap();
+        let id = chain
+            .open(a, b, Asset::new(CUR, 60), sha256(secret), t(1_000))
+            .unwrap();
         chain.claim(id, secret, t(10)).unwrap();
         assert_eq!(chain.claim(id, secret, t(20)), Err(HtlcError::NotOpen));
         assert_eq!(chain.reclaim(id, t(5_000)), Err(HtlcError::NotOpen));

@@ -97,17 +97,38 @@ impl ChainProcess {
 impl Process<HMsg> for ChainProcess {
     fn on_start(&mut self, _ctx: &mut Ctx<HMsg>) {}
 
+    // Collapsing these ifs into match guards would put the funds-moving
+    // claim/reclaim calls inside pattern dispatch; guards must stay
+    // side-effect-free.
+    #[allow(clippy::collapsible_match)]
     fn on_message(&mut self, _from: Pid, msg: HMsg, ctx: &mut Ctx<HMsg>) {
         let now = ctx.now();
         match msg {
-            HMsg::Open { depositor, beneficiary, asset, hashlock, timelock } => {
-                if let Ok(id) = self.chain.open(depositor, beneficiary, asset, hashlock, timelock)
+            HMsg::Open {
+                depositor,
+                beneficiary,
+                asset,
+                hashlock,
+                timelock,
+            } => {
+                if let Ok(id) = self
+                    .chain
+                    .open(depositor, beneficiary, asset, hashlock, timelock)
                 {
                     ctx.mark("htlc_opened", id as i64);
-                    self.broadcast(HMsg::Opened { id, hashlock, timelock }, ctx);
+                    self.broadcast(
+                        HMsg::Opened {
+                            id,
+                            hashlock,
+                            timelock,
+                        },
+                        ctx,
+                    );
                 }
             }
             HMsg::Claim { id, preimage } => {
+                // The ledger mutation stays in the arm body: guards must
+                // remain side-effect-free around funds movement.
                 if self.chain.claim(id, &preimage, now).is_ok() {
                     ctx.mark("htlc_claimed", id as i64);
                     self.broadcast(HMsg::Claimed { id, preimage }, ctx);
@@ -200,18 +221,27 @@ impl Process<HMsg> for SwapInitiator {
 
     fn on_message(&mut self, from: Pid, msg: HMsg, ctx: &mut Ctx<HMsg>) {
         match msg {
-            HMsg::Opened { id, hashlock, .. } if from == self.chain_a => {
-                if self.my_contract.is_none() && hashlock == self.hashlock() {
-                    self.my_contract = Some(id);
-                }
+            HMsg::Opened { id, hashlock, .. }
+                if from == self.chain_a
+                    && self.my_contract.is_none()
+                    && hashlock == self.hashlock() =>
+            {
+                self.my_contract = Some(id);
             }
-            HMsg::Opened { id, hashlock, .. } if from == self.chain_b => {
+            HMsg::Opened { id, hashlock, .. }
+                if from == self.chain_b
                 // Bob's counter-lock under my hash: claim it (revealing s).
-                if !self.claimed_b && hashlock == self.hashlock() {
-                    self.claimed_b = true;
-                    ctx.send(self.chain_b, HMsg::Claim { id, preimage: self.secret.clone() });
-                    ctx.mark("alice_claimed_b", id as i64);
-                }
+                && !self.claimed_b && hashlock == self.hashlock() =>
+            {
+                self.claimed_b = true;
+                ctx.send(
+                    self.chain_b,
+                    HMsg::Claim {
+                        id,
+                        preimage: self.secret.clone(),
+                    },
+                );
+                ctx.mark("alice_claimed_b", id as i64);
             }
             HMsg::Claimed { .. } if from == self.chain_b && !self.done => {
                 self.done = true;
@@ -292,32 +322,37 @@ impl Process<HMsg> for SwapResponder {
 
     fn on_message(&mut self, from: Pid, msg: HMsg, ctx: &mut Ctx<HMsg>) {
         match msg {
-            HMsg::Opened { id, hashlock, .. } if from == self.chain_a => {
+            HMsg::Opened { id, hashlock, .. }
+                if from == self.chain_a
                 // Alice's lock appeared: counter-lock under the same hash.
-                if self.their_contract.is_none() && self.participate {
-                    self.their_contract = Some(id);
-                    ctx.send(
-                        self.chain_b,
-                        HMsg::Open {
-                            depositor: self.key,
-                            beneficiary: self.counterparty,
-                            asset: self.offer,
-                            hashlock,
-                            timelock: self.timelock_b,
-                        },
-                    );
-                }
+                && self.their_contract.is_none() && self.participate =>
+            {
+                self.their_contract = Some(id);
+                ctx.send(
+                    self.chain_b,
+                    HMsg::Open {
+                        depositor: self.key,
+                        beneficiary: self.counterparty,
+                        asset: self.offer,
+                        hashlock,
+                        timelock: self.timelock_b,
+                    },
+                );
             }
-            HMsg::Opened { id, .. } if from == self.chain_b => {
-                if self.my_contract.is_none() {
-                    self.my_contract = Some(id);
-                }
+            HMsg::Opened { id, .. } if from == self.chain_b && self.my_contract.is_none() => {
+                self.my_contract = Some(id);
             }
             HMsg::Claimed { preimage, .. } if from == self.chain_b && !self.claimed_a => {
                 // Alice revealed s: replay it on chain A.
                 if let Some(their) = self.their_contract {
                     self.claimed_a = true;
-                    ctx.send(self.chain_a, HMsg::Claim { id: their, preimage });
+                    ctx.send(
+                        self.chain_a,
+                        HMsg::Claim {
+                            id: their,
+                            preimage,
+                        },
+                    );
                     ctx.mark("bob_claimed_a", their as i64);
                 }
             }
@@ -366,19 +401,21 @@ mod tests {
     const BOB: KeyId = KeyId(1);
 
     /// pids: 0 = Alice, 1 = Bob, 2 = chain A, 3 = chain B.
-    fn build(
-        t: u64,
-        participate: bool,
-        alice_secret: Option<Vec<u8>>,
-    ) -> Engine<HMsg> {
+    fn build(t: u64, participate: bool, alice_secret: Option<Vec<u8>>) -> Engine<HMsg> {
         let mut chain_a = HtlcChain::new();
         chain_a.ledger_mut().open_account(ALICE).unwrap();
         chain_a.ledger_mut().open_account(BOB).unwrap();
-        chain_a.ledger_mut().mint(ALICE, Asset::new(CUR_A, 100)).unwrap();
+        chain_a
+            .ledger_mut()
+            .mint(ALICE, Asset::new(CUR_A, 100))
+            .unwrap();
         let mut chain_b = HtlcChain::new();
         chain_b.ledger_mut().open_account(ALICE).unwrap();
         chain_b.ledger_mut().open_account(BOB).unwrap();
-        chain_b.ledger_mut().mint(BOB, Asset::new(CUR_B, 200)).unwrap();
+        chain_b
+            .ledger_mut()
+            .mint(BOB, Asset::new(CUR_B, 200))
+            .unwrap();
 
         let mut eng = Engine::new(
             Box::new(SyncNet::worst_case(SimDuration::from_millis(2))),
@@ -455,8 +492,14 @@ mod tests {
         );
         bob.participate = participate;
         eng.add_process(Box::new(bob), DriftClock::perfect());
-        eng.add_process(Box::new(ChainProcess::new(chain_a, vec![0, 1])), DriftClock::perfect());
-        eng.add_process(Box::new(ChainProcess::new(chain_b, vec![0, 1])), DriftClock::perfect());
+        eng.add_process(
+            Box::new(ChainProcess::new(chain_a, vec![0, 1])),
+            DriftClock::perfect(),
+        );
+        eng.add_process(
+            Box::new(ChainProcess::new(chain_b, vec![0, 1])),
+            DriftClock::perfect(),
+        );
         eng
     }
 
@@ -467,7 +510,11 @@ mod tests {
         let a = eng.process_as::<ChainProcess>(2).unwrap().chain();
         let b = eng.process_as::<ChainProcess>(3).unwrap().chain();
         assert_eq!(a.ledger().balance(BOB, CUR_A), 100, "Bob got Alice's asset");
-        assert_eq!(b.ledger().balance(ALICE, CUR_B), 200, "Alice got Bob's asset");
+        assert_eq!(
+            b.ledger().balance(ALICE, CUR_B),
+            200,
+            "Alice got Bob's asset"
+        );
         a.ledger().check_conservation().unwrap();
         b.ledger().check_conservation().unwrap();
         assert_eq!(a.contract(0).unwrap().state, HtlcState::Claimed);

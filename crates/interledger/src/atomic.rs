@@ -47,7 +47,14 @@ impl DeadlineTm {
         participants: Vec<Pid>,
         deadline: SimDuration,
     ) -> Self {
-        DeadlineTm { signer, pki, evidence, participants, deadline, decided: None }
+        DeadlineTm {
+            signer,
+            pki,
+            evidence,
+            participants,
+            deadline,
+            decided: None,
+        }
     }
 
     /// The decision, if made.
@@ -142,17 +149,22 @@ mod tests {
         // `tm_signer_for_tests`.
         let tm_signer = s.tm_signer_for_tests(0).clone();
         let participants: Vec<Pid> = (0..s.topo.participants()).collect();
-        let mut eng = s.build_engine_with(net, Box::new(RandomOracle::seeded(seed)), |_| None, |i| {
-            (i == 0).then(|| {
-                Box::new(DeadlineTm::new(
-                    tm_signer.clone(),
-                    pki.clone(),
-                    evidence.clone(),
-                    participants.clone(),
-                    deadline,
-                )) as Box<dyn Process<PMsg>>
-            })
-        });
+        let mut eng = s.build_engine_with(
+            net,
+            Box::new(RandomOracle::seeded(seed)),
+            |_| None,
+            |i| {
+                (i == 0).then(|| {
+                    Box::new(DeadlineTm::new(
+                        tm_signer.clone(),
+                        pki.clone(),
+                        evidence.clone(),
+                        participants.clone(),
+                        deadline,
+                    )) as Box<dyn Process<PMsg>>
+                })
+            },
+        );
         eng.run();
         let o = WeakOutcome::extract(&eng, &s);
         (o, s)
@@ -201,7 +213,11 @@ mod tests {
             let (o, _) = run_atomic(
                 3,
                 SimDuration::from_millis(300),
-                Box::new(PartialSyncNet::randomized(gst, SimDuration::from_millis(3), 8)),
+                Box::new(PartialSyncNet::randomized(
+                    gst,
+                    SimDuration::from_millis(3),
+                    8,
+                )),
                 seed,
             );
             assert!(o.cc_ok, "seed {seed}: {o:?}");
@@ -209,7 +225,10 @@ mod tests {
             match o.verdict() {
                 Some(Verdict::Commit) => assert!(o.bob_paid, "seed {seed}"),
                 Some(Verdict::Abort) => {
-                    assert!(o.net_positions.iter().flatten().all(|p| *p == 0), "seed {seed}")
+                    assert!(
+                        o.net_positions.iter().flatten().all(|p| *p == 0),
+                        "seed {seed}"
+                    )
                 }
                 None => panic!("seed {seed}: deadline TM always decides"),
             }

@@ -17,7 +17,11 @@ use payment::{SyncParams, TimeoutSchedule};
 /// `ρ = 0` and zero margin, i.e. bounds that are only correct on perfect
 /// clocks.
 pub fn untuned_schedule(n: usize, p: &SyncParams) -> TimeoutSchedule {
-    let naive = SyncParams { rho_ppm: 0, margin: SimDuration::from_ticks(1), ..*p };
+    let naive = SyncParams {
+        rho_ppm: 0,
+        margin: SimDuration::from_ticks(1),
+        ..*p
+    };
     TimeoutSchedule::derive(n, &naive)
 }
 
@@ -66,7 +70,10 @@ mod tests {
             let setup = ChainSetup::new(n, ValuePlan::uniform(n, 100), p, 3)
                 .with_schedule(untuned_schedule(n, &p));
             let o = run(&setup, 1, ClockPlan::Perfect);
-            assert!(o.bob_paid(), "n = {n}: untuned must work without drift: {o:?}");
+            assert!(
+                o.bob_paid(),
+                "n = {n}: untuned must work without drift: {o:?}"
+            );
         }
     }
 
@@ -75,21 +82,33 @@ mod tests {
         // Large drift + worst-case delays: the drift-oblivious deadlines
         // fire early somewhere along the chain and the payment collapses,
         // exactly the defect §1 attributes to [4].
-        let p = SyncParams { rho_ppm: 150_000, ..SyncParams::baseline() }; // 15%
+        let p = SyncParams {
+            rho_ppm: 150_000,
+            ..SyncParams::baseline()
+        }; // 15%
         let n = 4;
         let setup = ChainSetup::new(n, ValuePlan::uniform(n, 100), p, 4)
             .with_schedule(untuned_schedule(n, &p));
         let o = run(&setup, 2, ClockPlan::Extremes);
-        assert!(!o.bob_paid(), "drift must break the untuned schedule: {o:?}");
+        assert!(
+            !o.bob_paid(),
+            "drift must break the untuned schedule: {o:?}"
+        );
     }
 
     #[test]
     fn tuned_schedule_survives_the_same_drift() {
-        let p = SyncParams { rho_ppm: 150_000, ..SyncParams::baseline() };
+        let p = SyncParams {
+            rho_ppm: 150_000,
+            ..SyncParams::baseline()
+        };
         let n = 4;
         let setup = ChainSetup::new(n, ValuePlan::uniform(n, 100), p, 4);
         let o = run(&setup, 2, ClockPlan::Extremes);
-        assert!(o.bob_paid(), "the fine-tuned schedule is exactly the fix: {o:?}");
+        assert!(
+            o.bob_paid(),
+            "the fine-tuned schedule is exactly the fix: {o:?}"
+        );
     }
 
     #[test]
@@ -97,7 +116,10 @@ mod tests {
         // The failure is not graceful: with money in flight and a
         // premature refund, a compliant party ends short. Find a seed
         // where Bob issued χ but was not paid or a connector lost out.
-        let p = SyncParams { rho_ppm: 200_000, ..SyncParams::baseline() };
+        let p = SyncParams {
+            rho_ppm: 200_000,
+            ..SyncParams::baseline()
+        };
         let n = 3;
         let setup = ChainSetup::new(n, ValuePlan::uniform(n, 100), p, 5)
             .with_schedule(untuned_schedule(n, &p));
@@ -117,7 +139,10 @@ mod tests {
                 break;
             }
         }
-        assert!(stranded, "expected at least one stranding failure across seeds");
+        assert!(
+            stranded,
+            "expected at least one stranding failure across seeds"
+        );
     }
 
     #[test]
@@ -126,7 +151,10 @@ mod tests {
         let g2 = tuning_gap(2, &p);
         let g6 = tuning_gap(6, &p);
         assert!(g6 > g2, "longer chains need more slack: {g2} vs {g6}");
-        let p_hi = SyncParams { rho_ppm: 10_000, ..p };
+        let p_hi = SyncParams {
+            rho_ppm: 10_000,
+            ..p
+        };
         assert!(tuning_gap(4, &p_hi) > tuning_gap(4, &p));
     }
 

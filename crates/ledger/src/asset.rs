@@ -37,7 +37,10 @@ impl Asset {
 
     /// Zero of a currency.
     pub const fn zero(currency: CurrencyId) -> Self {
-        Asset { currency, amount: 0 }
+        Asset {
+            currency,
+            amount: 0,
+        }
     }
 
     /// Checked addition within one currency; `None` on mismatch/overflow.
@@ -45,7 +48,10 @@ impl Asset {
         if self.currency != other.currency {
             return None;
         }
-        Some(Asset { currency: self.currency, amount: self.amount.checked_add(other.amount)? })
+        Some(Asset {
+            currency: self.currency,
+            amount: self.amount.checked_add(other.amount)?,
+        })
     }
 
     /// Checked subtraction within one currency; `None` on mismatch or
@@ -54,7 +60,10 @@ impl Asset {
         if self.currency != other.currency {
             return None;
         }
-        Some(Asset { currency: self.currency, amount: self.amount.checked_sub(other.amount)? })
+        Some(Asset {
+            currency: self.currency,
+            amount: self.amount.checked_sub(other.amount)?,
+        })
     }
 }
 

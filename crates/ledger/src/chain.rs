@@ -48,7 +48,12 @@ impl SimChain {
         let index = self.entries.len() as u64;
         let prev_hash = self.entries.last().map(|e| e.hash).unwrap_or([0u8; 32]);
         let hash = entry_hash(index, &prev_hash, &payload);
-        self.entries.push(ChainEntry { index, prev_hash, payload, hash });
+        self.entries.push(ChainEntry {
+            index,
+            prev_hash,
+            payload,
+            hash,
+        });
         self.entries.last().expect("just pushed")
     }
 

@@ -193,7 +193,9 @@ impl Ledger {
         let bal = self.balances.entry((to, asset.currency)).or_insert(0);
         *bal = bal.checked_add(asset.amount).ok_or(LedgerError::Overflow)?;
         let total = self.minted.entry(asset.currency).or_insert(0);
-        *total = total.checked_add(asset.amount).ok_or(LedgerError::Overflow)?;
+        *total = total
+            .checked_add(asset.amount)
+            .ok_or(LedgerError::Overflow)?;
         self.log.push(AuditEntry::Mint { to, asset });
         Ok(())
     }
@@ -235,7 +237,12 @@ impl Ledger {
             asset,
             state: DealState::Locked,
         });
-        self.log.push(AuditEntry::Lock { deal: id, depositor, beneficiary, asset });
+        self.log.push(AuditEntry::Lock {
+            deal: id,
+            depositor,
+            beneficiary,
+            asset,
+        });
         Ok(id)
     }
 
@@ -310,7 +317,9 @@ impl Ledger {
         for (&currency, &minted) in &self.minted {
             let circ = self.circulating_total(currency);
             let locked = self.locked_total(currency);
-            let have = circ.checked_add(locked).ok_or("conservation sum overflow")?;
+            let have = circ
+                .checked_add(locked)
+                .ok_or("conservation sum overflow")?;
             if have != minted {
                 return Err(format!(
                     "currency {currency}: minted {minted} ≠ circulating {circ} + locked {locked}"
@@ -321,13 +330,19 @@ impl Ledger {
     }
 
     fn deal_mut(&mut self, deal: DealId) -> Result<&mut EscrowDeal, LedgerError> {
-        self.deals.get_mut(deal.0 as usize).ok_or(LedgerError::UnknownDeal(deal))
+        self.deals
+            .get_mut(deal.0 as usize)
+            .ok_or(LedgerError::UnknownDeal(deal))
     }
 
     fn debit(&mut self, who: KeyId, asset: Asset) -> Result<(), LedgerError> {
         let bal = self.balances.entry((who, asset.currency)).or_insert(0);
         if *bal < asset.amount {
-            return Err(LedgerError::InsufficientFunds { who, need: asset, have: *bal });
+            return Err(LedgerError::InsufficientFunds {
+                who,
+                need: asset,
+                have: *bal,
+            });
         }
         *bal -= asset.amount;
         Ok(())
@@ -370,7 +385,10 @@ mod tests {
     #[test]
     fn duplicate_account_rejected() {
         let (mut l, alice, _) = setup();
-        assert_eq!(l.open_account(alice), Err(LedgerError::DuplicateAccount(alice)));
+        assert_eq!(
+            l.open_account(alice),
+            Err(LedgerError::DuplicateAccount(alice))
+        );
     }
 
     #[test]
@@ -476,8 +494,14 @@ mod tests {
     #[test]
     fn unknown_deal() {
         let (mut l, _, _) = setup();
-        assert_eq!(l.release(DealId(5)), Err(LedgerError::UnknownDeal(DealId(5))));
-        assert_eq!(l.refund(DealId(5)), Err(LedgerError::UnknownDeal(DealId(5))));
+        assert_eq!(
+            l.release(DealId(5)),
+            Err(LedgerError::UnknownDeal(DealId(5)))
+        );
+        assert_eq!(
+            l.refund(DealId(5)),
+            Err(LedgerError::UnknownDeal(DealId(5)))
+        );
     }
 
     #[test]

@@ -31,9 +31,8 @@ fn main() {
         Box::new(RandomOracle::seeded(2)),
         ClockPlan::Sampled { seed: 2 },
         |role| {
-            (role == Role::Chloe(1)).then(|| {
-                Box::new(ForgingChloe::new(up_escrow, signer.clone(), payment)) as Box<_>
-            })
+            (role == Role::Chloe(1))
+                .then(|| Box::new(ForgingChloe::new(up_escrow, signer.clone(), payment)) as Box<_>)
         },
     );
     let report = engine.run();
@@ -43,16 +42,20 @@ fn main() {
 
     println!("Forged certificates sent:    {forgeries}");
     println!("Rejected by escrow e0:       {rejections}");
-    println!("Alice's outcome:             {:?}", outcome.customers[0].unwrap().outcome);
     println!(
-        "Net positions (known):       {:?}",
-        outcome.net_positions
+        "Alice's outcome:             {:?}",
+        outcome.customers[0].unwrap().outcome
     );
+    println!("Net positions (known):       {:?}", outcome.net_positions);
 
     let compliance = Compliance::with_byzantine(vec![Role::Chloe(1)]);
     let verdicts = check_definition1(&outcome, &setup, &compliance);
     assert!(verdicts.all_ok(), "{:?}", verdicts.violations());
-    assert_eq!(outcome.net_positions[1], Some(0), "the thief gained nothing");
+    assert_eq!(
+        outcome.net_positions[1],
+        Some(0),
+        "the thief gained nothing"
+    );
     println!(
         "\nEvery compliant participant kept every guarantee; the forgery bought nothing. \
          (\"…no matter how malicious the other participants turn out to be.\")"

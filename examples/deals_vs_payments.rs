@@ -43,7 +43,10 @@ fn main() {
 
     // 3. Run the two HLS protocols on the swap.
     let tl = timelock_deal_control();
-    println!("timelock commit under synchrony:        executed = {:?}", tl.executed);
+    println!(
+        "timelock commit under synchrony:        executed = {:?}",
+        tl.executed
+    );
     assert!(tl.is_full_commit());
     let (cert, integrity) = run_certified(true, false);
     println!(

@@ -21,11 +21,16 @@ use crosschain::xcrypto::Verdict;
 
 fn main() {
     let n = 3;
-    let setup = WeakSetup::new(n, ValuePlan::uniform(n, 250), TmKind::Committee { k: 4 }, 99)
-        // Bob never accepts (crashed wallet, gone fishing, …).
-        .with_patience(n, Patience::absent())
-        // Alice gives it 300 simulated ms, then asks out.
-        .with_patience(0, Patience::until(SimDuration::from_millis(300)));
+    let setup = WeakSetup::new(
+        n,
+        ValuePlan::uniform(n, 250),
+        TmKind::Committee { k: 4 },
+        99,
+    )
+    // Bob never accepts (crashed wallet, gone fishing, …).
+    .with_patience(n, Patience::absent())
+    // Alice gives it 300 simulated ms, then asks out.
+    .with_patience(0, Patience::until(SimDuration::from_millis(300)));
 
     println!(
         "Weak protocol: {n}-hop chain, 4-notary committee manager, GST at 2s,\n\
@@ -37,13 +42,20 @@ fn main() {
     let report = engine.run();
     let outcome = WeakOutcome::extract(&engine, &setup);
 
-    println!("Run ended at {} ({} events).", report.end_time, report.events);
+    println!(
+        "Run ended at {} ({} events).",
+        report.end_time, report.events
+    );
     println!("  decision:        {:?}", outcome.verdict());
     println!("  Bob paid:        {}", outcome.bob_paid);
     println!("  CC (single cert): {}", outcome.cc_ok);
     println!(
         "  net positions:   {:?}",
-        outcome.net_positions.iter().map(|p| p.unwrap()).collect::<Vec<_>>()
+        outcome
+            .net_positions
+            .iter()
+            .map(|p| p.unwrap())
+            .collect::<Vec<_>>()
     );
     println!(
         "  abort requested by: {:?}",
@@ -57,14 +69,21 @@ fn main() {
     );
 
     assert_eq!(outcome.verdict(), Some(Verdict::Abort));
-    assert!(outcome.net_positions.iter().all(|p| *p == Some(0)), "nobody loses a cent");
+    assert!(
+        outcome.net_positions.iter().all(|p| *p == Some(0)),
+        "nobody loses a cent"
+    );
 
     // Bob "abides" trivially here (he did nothing and issued nothing), so
     // we can even check Definition 2 with everyone compliant.
     let verdicts = check_definition2(&outcome, &Compliance::all_compliant(), false);
-    println!("\nDefinition 2 verdicts: CC {:?}, ES {:?}, CS1w {:?}, CS2w {:?}, CS3 {:?}, T {:?}",
-        verdicts.cc, verdicts.es, verdicts.cs1, verdicts.cs2, verdicts.cs3, verdicts.t);
+    println!(
+        "\nDefinition 2 verdicts: CC {:?}, ES {:?}, CS1w {:?}, CS2w {:?}, CS3 {:?}, T {:?}",
+        verdicts.cc, verdicts.es, verdicts.cs1, verdicts.cs2, verdicts.cs3, verdicts.t
+    );
     assert!(verdicts.all_ok());
-    println!("\nAbort certificate χa issued by the committee; everyone refunded. \
-              Patience was the only thing lost.");
+    println!(
+        "\nAbort certificate χa issued by the committee; everyone refunded. \
+              Patience was the only thing lost."
+    );
 }

@@ -37,7 +37,10 @@ fn run(label: &str, setup: &ChainSetup) -> ChainOutcome {
 
 fn main() {
     let n = 4;
-    let params = SyncParams { rho_ppm: 150_000, ..SyncParams::baseline() }; // 15% drift
+    let params = SyncParams {
+        rho_ppm: 150_000,
+        ..SyncParams::baseline()
+    }; // 15% drift
     println!(
         "4-hop payment, worst-case delays, adversarial clocks (ρ = {} ppm)\n",
         params.rho_ppm
@@ -46,25 +49,26 @@ fn main() {
     // 1. The paper's protocol: schedule inflated for drift.
     let tuned = ChainSetup::new(n, ValuePlan::uniform(n, 100), params, 3);
     let tuned_outcome = run("fine-tuned (Theorem 1)", &tuned);
-    assert!(tuned_outcome.bob_paid(), "the tuned schedule must survive drift");
+    assert!(
+        tuned_outcome.bob_paid(),
+        "the tuned schedule must survive drift"
+    );
 
     // 2. The Interledger universal baseline: same automata, naive timeouts.
     let untuned = ChainSetup::new(n, ValuePlan::uniform(n, 100), params, 3)
         .with_schedule(untuned_schedule(n, &params));
     let untuned_outcome = run("untuned Interledger universal [4]", &untuned);
-    assert!(!untuned_outcome.bob_paid(), "the naive schedule must fail under this drift");
+    assert!(
+        !untuned_outcome.bob_paid(),
+        "the naive schedule must fail under this drift"
+    );
 
     // Who got hurt in the untuned run?
     let stranded: Vec<usize> = untuned_outcome
         .customers
         .iter()
         .enumerate()
-        .filter(|(_, c)| {
-            matches!(
-                c.map(|v| v.outcome),
-                Some(CustomerOutcome::Pending)
-            )
-        })
+        .filter(|(_, c)| matches!(c.map(|v| v.outcome), Some(CustomerOutcome::Pending)))
         .map(|(i, _)| i)
         .collect();
     println!(

@@ -24,9 +24,15 @@ fn main() {
     println!("{}", setup.topo.render_figure1());
     println!("Derived timeout schedule (Theorem 1 calculus):");
     for i in 0..n {
-        println!("  e{i}: a_{i} = {}, d_{i} = {}", setup.schedule.a[i], setup.schedule.d[i]);
+        println!(
+            "  e{i}: a_{i} = {}, d_{i} = {}",
+            setup.schedule.a[i], setup.schedule.d[i]
+        );
     }
-    println!("  Alice's a-priori termination bound: {}\n", setup.schedule.alice_bound);
+    println!(
+        "  Alice's a-priori termination bound: {}\n",
+        setup.schedule.alice_bound
+    );
 
     // Random message delays within δ, random clock drift within ρ.
     let mut engine = setup.build_engine(
@@ -37,12 +43,22 @@ fn main() {
     let report = engine.run();
     let outcome = ChainOutcome::extract(&engine, &setup, report.quiescent);
 
-    println!("Run finished at simulated time {} after {} events.", report.end_time, report.events);
+    println!(
+        "Run finished at simulated time {} after {} events.",
+        report.end_time, report.events
+    );
     println!("  Bob paid:        {}", outcome.bob_paid());
-    println!("  Alice's outcome: {:?}", outcome.customers[0].unwrap().outcome);
+    println!(
+        "  Alice's outcome: {:?}",
+        outcome.customers[0].unwrap().outcome
+    );
     println!(
         "  Net positions (Alice, Chloe1, Bob): {:?}",
-        outcome.net_positions.iter().map(|p| p.unwrap()).collect::<Vec<_>>()
+        outcome
+            .net_positions
+            .iter()
+            .map(|p| p.unwrap())
+            .collect::<Vec<_>>()
     );
 
     // Message-sequence chart of the whole run (one column per process).
@@ -51,7 +67,12 @@ fn main() {
         .collect();
     let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
     println!("\nMessage sequence chart:");
-    print!("{}", engine.trace().render_msc(&name_refs, |m| m.kind().to_string()));
+    print!(
+        "{}",
+        engine
+            .trace()
+            .render_msc(&name_refs, |m| m.kind().to_string())
+    );
 
     let verdicts = check_definition1(&outcome, &setup, &Compliance::all_compliant());
     println!("\nDefinition 1 verdicts:");

@@ -1,0 +1,198 @@
+//! Offline stand-in for the subset of `criterion` 0.5 this workspace uses.
+//!
+//! The build environment has no access to crates.io, so `cargo bench`
+//! links against this minimal harness instead. It keeps criterion's
+//! registration API (`criterion_group!`/`criterion_main!`, benchmark
+//! groups, `Bencher::iter`) and performs a simple warmup + timed-batch
+//! measurement, printing mean time per iteration. There is no statistical
+//! analysis, HTML report, or regression store — the workspace benches are
+//! tracked by reading the printed numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Label for a parameterised benchmark (`BenchmarkId::new("chain", n)`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter into `name/param`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Drives the timing loop of one benchmark.
+pub struct Bencher {
+    samples: usize,
+    /// Mean wall-clock time per iteration measured by the last `iter`.
+    last_mean: Duration,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly: a short warmup, then `samples` timed
+    /// batches, recording the mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..3 {
+            std::hint::black_box(routine());
+        }
+        // Size batches so one sample is at least ~1ms or 1 iteration.
+        let probe = Instant::now();
+        std::hint::black_box(routine());
+        let per_iter = probe.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / per_iter.as_nanos()).max(1) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.last_mean = total / (iters.max(1) as u32);
+        self.total_iters = iters;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_mean: Duration::ZERO,
+            total_iters: 0,
+        };
+        f(&mut b);
+        println!(
+            "{}/{:<32} {:>12.3?}/iter ({} iters)",
+            self.name, id, b.last_mean, b.total_iters
+        );
+    }
+
+    /// Registers and runs a benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    /// Registers and runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report flushing in real criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver handed to every `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let mut g = self.benchmark_group("bench");
+        g.run(id.to_string(), f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching `criterion::black_box` imports.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("test_group");
+        g.sample_size(2);
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, trivial);
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut ran = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+}

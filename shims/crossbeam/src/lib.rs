@@ -1,0 +1,84 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses:
+//! [`scope`] with spawned workers borrowing from the enclosing stack frame.
+//!
+//! Implemented on `std::thread::scope` (stable since 1.63), which provides
+//! the same borrow-checked guarantee crossbeam pioneered. As in crossbeam,
+//! [`scope`] returns `Err` if any spawned thread panicked instead of
+//! propagating the panic directly.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A scope handle; workers receive `&Scope` so they can spawn siblings.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a worker that may borrow from the enclosing frame. The
+    /// closure receives the scope itself (crossbeam's signature), letting
+    /// workers spawn further workers.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Creates a scope: all threads spawned within are joined before `scope`
+/// returns. Returns `Err` (with the panic payload of the scope body or a
+/// worker) instead of unwinding, like crossbeam.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_borrow_stack_data() {
+        let items = [1u64, 2, 3, 4];
+        let total = AtomicUsize::new(0);
+        scope(|s| {
+            for chunk in items.chunks(2) {
+                s.spawn(|_| {
+                    total.fetch_add(chunk.iter().sum::<u64>() as usize, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner(), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.into_inner(), 2);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("worker died"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -74,7 +74,11 @@ fn message_dropping_network_cannot_break_safety() {
         // be legitimately violated because a dropping network is outside
         // even partial synchrony — but money never appears or vanishes:
         for (i, c) in o.conservation.iter().enumerate() {
-            assert_eq!(*c, Some(true), "escrow {i} conservation, drop_mod {drop_mod}");
+            assert_eq!(
+                *c,
+                Some(true),
+                "escrow {i} conservation, drop_mod {drop_mod}"
+            );
         }
     }
 }
@@ -91,9 +95,8 @@ fn late_bob_plus_drift_still_safe_for_chain() {
         Box::new(RandomOracle::seeded(4)),
         ClockPlan::Extremes,
         move |r| {
-            (r == Role::Bob).then(|| {
-                Box::new(LateBob::new(escrow, signer.clone(), payment, delay)) as Box<_>
-            })
+            (r == Role::Bob)
+                .then(|| Box::new(LateBob::new(escrow, signer.clone(), payment, delay)) as Box<_>)
         },
     );
     let report = eng.run();
@@ -125,7 +128,10 @@ fn two_simultaneous_byzantine_customers() {
     );
     assert!(v.all_ok(), "{:?}", v.violations());
     for i in 1..3 {
-        assert!(!o.customers[i].unwrap().sent_money, "Chloe{i} never engaged");
+        assert!(
+            !o.customers[i].unwrap().sent_money,
+            "Chloe{i} never engaged"
+        );
         assert_eq!(o.net_positions[i], Some(0));
     }
 }

@@ -16,8 +16,12 @@ use crosschain::xcrypto::Verdict;
 #[test]
 fn time_bounded_protocol_many_seeds_many_sizes() {
     for n in [1usize, 3, 6] {
-        let setup =
-            ChainSetup::new(n, ValuePlan::with_commission(n, 10_000, 11), SyncParams::baseline(), 17);
+        let setup = ChainSetup::new(
+            n,
+            ValuePlan::with_commission(n, 10_000, 11),
+            SyncParams::baseline(),
+            17,
+        );
         for seed in 0..8u64 {
             let mut eng = setup.build_engine(
                 Box::new(SyncNet::new(setup.params.delta, 32)),
@@ -40,17 +44,29 @@ fn time_bounded_protocol_many_seeds_many_sizes() {
 
 #[test]
 fn weak_protocol_all_tm_kinds_under_partial_synchrony() {
-    for kind in [TmKind::Trusted, TmKind::Contract, TmKind::Committee { k: 4 }] {
+    for kind in [
+        TmKind::Trusted,
+        TmKind::Contract,
+        TmKind::Committee { k: 4 },
+    ] {
         for seed in 0..5u64 {
             let setup = WeakSetup::new(3, ValuePlan::uniform(3, 777), kind, 23 + seed);
             let gst = SimTime::from_millis(100 + 50 * seed);
             let mut eng = setup.build_engine(
-                Box::new(PartialSyncNet::randomized(gst, SimDuration::from_millis(5), 8)),
+                Box::new(PartialSyncNet::randomized(
+                    gst,
+                    SimDuration::from_millis(5),
+                    8,
+                )),
                 Box::new(RandomOracle::seeded(seed)),
             );
             eng.run();
             let o = WeakOutcome::extract(&eng, &setup);
-            assert_eq!(o.verdict(), Some(Verdict::Commit), "{kind:?} seed={seed}: {o:?}");
+            assert_eq!(
+                o.verdict(),
+                Some(Verdict::Commit),
+                "{kind:?} seed={seed}: {o:?}"
+            );
             assert!(o.bob_paid, "{kind:?} seed={seed}");
             let v = check_definition2(&o, &Compliance::all_compliant(), true);
             assert!(v.all_ok(), "{kind:?} seed={seed}: {:?}", v.violations());
@@ -88,7 +104,12 @@ fn identical_seeds_identical_runs() {
             ClockPlan::Sampled { seed },
         );
         let report = eng.run();
-        (report.events, report.end_time, eng.trace().events.len(), eng.trace().sent_count())
+        (
+            report.events,
+            report.end_time,
+            eng.trace().events.len(),
+            eng.trace().sent_count(),
+        )
     };
     assert_eq!(run(5), run(5), "bit-reproducibility");
     assert_ne!(run(5), run(6), "seeds matter");
@@ -114,7 +135,10 @@ fn the_paper_in_one_test() {
     // Theorem 3: the weak variant survives partial synchrony.
     let wsetup = WeakSetup::new(2, ValuePlan::uniform(2, 100), TmKind::Committee { k: 4 }, 2);
     let mut weng = wsetup.build_engine(
-        Box::new(PartialSyncNet::new(SimTime::from_millis(400), SimDuration::from_millis(5))),
+        Box::new(PartialSyncNet::new(
+            SimTime::from_millis(400),
+            SimDuration::from_millis(5),
+        )),
         Box::new(RandomOracle::seeded(2)),
     );
     weng.run();

@@ -47,7 +47,11 @@ fn every_schedule_of_small_timebounded_chain_is_safe_and_live() {
         ExploreLimits { max_runs: 200_000 },
     );
     assert!(report.exhausted, "only ran {} schedules", report.runs);
-    assert!(report.all_ok(), "first violation: {:?}", report.violations.first());
+    assert!(
+        report.all_ok(),
+        "first violation: {:?}",
+        report.violations.first()
+    );
     assert!(report.runs > 1_000, "nontrivial space: {}", report.runs);
 }
 
@@ -56,7 +60,12 @@ fn every_schedule_of_small_weak_instance_keeps_cc_and_conservation() {
     // n = 1 chain (Alice, Bob, one escrow) with the trusted manager; two
     // delay buckets per message. The weak protocol's safety clauses must
     // hold on every interleaving of locks, acceptance and decisions.
-    let setup = Arc::new(WeakSetup::new(1, ValuePlan::uniform(1, 77), TmKind::Trusted, 6));
+    let setup = Arc::new(WeakSetup::new(
+        1,
+        ValuePlan::uniform(1, 77),
+        TmKind::Trusted,
+        6,
+    ));
     let s1 = setup.clone();
     let s2 = setup.clone();
     let report = explore(
@@ -87,7 +96,11 @@ fn every_schedule_of_small_weak_instance_keeps_cc_and_conservation() {
         ExploreLimits { max_runs: 200_000 },
     );
     assert!(report.exhausted, "only ran {} schedules", report.runs);
-    assert!(report.all_ok(), "first violation: {:?}", report.violations.first());
+    assert!(
+        report.all_ok(),
+        "first violation: {:?}",
+        report.violations.first()
+    );
 }
 
 #[test]

@@ -18,7 +18,10 @@ use crosschain::payment::{Role, SyncParams, ValuePlan};
 use proptest::prelude::*;
 
 fn cases(n: u32) -> ProptestConfig {
-    ProptestConfig { cases: n, ..ProptestConfig::default() }
+    ProptestConfig {
+        cases: n,
+        ..ProptestConfig::default()
+    }
 }
 
 proptest! {
