@@ -23,7 +23,7 @@ use crate::net::{Delivery, EnvelopeMeta, NetModel};
 use crate::oracle::Oracle;
 use crate::process::{Ctx, Effect, Message, Pid, Process, TimerId};
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{Trace, TraceKind};
+use crate::trace::{Trace, TraceKind, TraceMode};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -40,6 +40,11 @@ pub struct EngineConfig {
     pub sigma_max: SimDuration,
     /// Quantisation of the computation delay (1 ⇒ always σ_max).
     pub sigma_buckets: usize,
+    /// How much of the run the trace records. [`TraceMode::CountersOnly`]
+    /// skips storing (and cloning) message payloads — the right choice for
+    /// exhaustive exploration and sweeps, where only counters, marks and
+    /// halts are read back.
+    pub trace_mode: TraceMode,
 }
 
 impl Default for EngineConfig {
@@ -49,6 +54,7 @@ impl Default for EngineConfig {
             max_events: 5_000_000,
             sigma_max: SimDuration::ZERO,
             sigma_buckets: 1,
+            trace_mode: TraceMode::Full,
         }
     }
 }
@@ -115,11 +121,17 @@ pub struct Engine<M: Message> {
     trace: Trace<M>,
     cfg: EngineConfig,
     started: bool,
+    /// Recycled effects buffer, handed to each handler's `Ctx` and taken
+    /// back after dispatch — one allocation per run, not per handler.
+    fx_buf: Vec<Effect<M>>,
+    /// High-water mark of the event queue, for pre-sizing repeated runs.
+    queue_high: usize,
 }
 
 impl<M: Message> Engine<M> {
     /// Creates an engine over a network model and an oracle.
     pub fn new(net: Box<dyn NetModel<M>>, oracle: Box<dyn Oracle>, cfg: EngineConfig) -> Self {
+        let trace = Trace::with_mode(cfg.trace_mode);
         Engine {
             procs: Vec::new(),
             net,
@@ -127,9 +139,11 @@ impl<M: Message> Engine<M> {
             queue: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
-            trace: Trace::new(),
+            trace,
             cfg,
             started: false,
+            fx_buf: Vec::new(),
+            queue_high: 0,
         }
     }
 
@@ -187,10 +201,27 @@ impl<M: Message> Engine<M> {
         self.trace
     }
 
+    /// Largest number of events the queue held at any point so far — the
+    /// capacity a repeat of a comparable run needs.
+    pub fn queue_high_water(&self) -> usize {
+        self.queue_high
+    }
+
+    /// Pre-sizes the event queue and (in [`TraceMode::Full`]) the trace
+    /// buffer. The schedule explorer calls this between runs with the
+    /// previous run's high-water marks so rebuilt engines skip the
+    /// grow-by-doubling phase.
+    pub fn reserve_capacity(&mut self, queue_events: usize, trace_events: usize) {
+        self.queue
+            .reserve(queue_events.saturating_sub(self.queue.len()));
+        self.trace.reserve(trace_events);
+    }
+
     fn push_event(&mut self, at: SimTime, kind: EventKind<M>) {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(Event { at, seq, kind }));
+        self.queue_high = self.queue_high.max(self.queue.len());
     }
 
     /// Runs to quiescence (or horizon / event cap).
@@ -240,7 +271,7 @@ impl<M: Message> Engine<M> {
                     return;
                 }
                 let local = self.procs[pid].clock.local_at(self.now);
-                let mut ctx = Ctx::new(pid, local);
+                let mut ctx = Ctx::recycled(pid, local, std::mem::take(&mut self.fx_buf));
                 self.procs[pid].proc.on_start(&mut ctx);
                 self.apply_effects(pid, ctx.into_effects());
             }
@@ -248,16 +279,9 @@ impl<M: Message> Engine<M> {
                 if self.procs[to].halted {
                     return;
                 }
-                self.trace.push(
-                    self.now,
-                    TraceKind::Delivered {
-                        from,
-                        to,
-                        msg: msg.clone(),
-                    },
-                );
+                self.trace.record_delivered(self.now, from, to, &msg);
                 let local = self.procs[to].clock.local_at(self.now);
-                let mut ctx = Ctx::new(to, local);
+                let mut ctx = Ctx::recycled(to, local, std::mem::take(&mut self.fx_buf));
                 self.procs[to].proc.on_message(from, msg, &mut ctx);
                 self.apply_effects(to, ctx.into_effects());
             }
@@ -267,14 +291,14 @@ impl<M: Message> Engine<M> {
                 }
                 self.trace.push(self.now, TraceKind::TimerFired { pid, id });
                 let local = self.procs[pid].clock.local_at(self.now);
-                let mut ctx = Ctx::new(pid, local);
+                let mut ctx = Ctx::recycled(pid, local, std::mem::take(&mut self.fx_buf));
                 self.procs[pid].proc.on_timer(id, &mut ctx);
                 self.apply_effects(pid, ctx.into_effects());
             }
         }
     }
 
-    fn apply_effects(&mut self, pid: Pid, effects: Vec<Effect<M>>) {
+    fn apply_effects(&mut self, pid: Pid, mut effects: Vec<Effect<M>>) {
         // Charge the grey-state computation time once per handler that
         // sends; timers and marks are bookkeeping on the transition itself.
         let has_sends = effects.iter().any(|e| matches!(e, Effect::Send { .. }));
@@ -289,7 +313,7 @@ impl<M: Message> Engine<M> {
         } else {
             SimDuration::ZERO
         };
-        for eff in effects {
+        for eff in effects.drain(..) {
             match eff {
                 Effect::Send { to, msg } => {
                     let sent_at = self.now + compute;
@@ -300,22 +324,14 @@ impl<M: Message> Engine<M> {
                         sent_at,
                         seq,
                     };
-                    self.trace.push(
-                        sent_at,
-                        TraceKind::Sent {
-                            from: pid,
-                            to,
-                            msg: msg.clone(),
-                        },
-                    );
+                    self.trace.record_sent(sent_at, pid, to, &msg);
                     match self.net.route(&meta, &msg, self.oracle.as_mut()) {
                         Delivery::At(t) => {
                             let at = t.max(sent_at);
                             self.push_event(at, EventKind::Deliver { from: pid, to, msg });
                         }
                         Delivery::Never => {
-                            self.trace
-                                .push(sent_at, TraceKind::Dropped { from: pid, to, msg });
+                            self.trace.record_dropped(sent_at, pid, to, msg);
                         }
                     }
                 }
@@ -347,6 +363,8 @@ impl<M: Message> Engine<M> {
                 }
             }
         }
+        // Hand the (now empty) buffer back for the next dispatch.
+        self.fx_buf = effects;
     }
 }
 
@@ -385,10 +403,11 @@ mod tests {
         impl_process_boilerplate!(u32);
     }
 
-    fn ping_pong_engine(seed: u64, sigma: SimDuration) -> Engine<u32> {
+    fn ping_pong_engine_mode(seed: u64, sigma: SimDuration, trace_mode: TraceMode) -> Engine<u32> {
         let cfg = EngineConfig {
             sigma_max: sigma,
             sigma_buckets: 4,
+            trace_mode,
             ..Default::default()
         };
         let mut eng = Engine::new(
@@ -415,6 +434,10 @@ mod tests {
             DriftClock::perfect(),
         );
         eng
+    }
+
+    fn ping_pong_engine(seed: u64, sigma: SimDuration) -> Engine<u32> {
+        ping_pong_engine_mode(seed, sigma, TraceMode::Full)
     }
 
     #[test]
@@ -455,6 +478,50 @@ mod tests {
         let t_fast = fast.run().end_time;
         let t_slow = slow.run().end_time;
         assert!(t_slow > t_fast);
+    }
+
+    #[test]
+    fn counters_only_runs_bit_identically_to_full() {
+        // Same oracle, same schedule: the run report and all counters must
+        // coincide; only the stored message events differ.
+        let mut full = ping_pong_engine_mode(4, SimDuration::from_ticks(7), TraceMode::Full);
+        let mut lean =
+            ping_pong_engine_mode(4, SimDuration::from_ticks(7), TraceMode::CountersOnly);
+        let rf = full.run();
+        let rl = lean.run();
+        assert_eq!(rf, rl);
+        assert_eq!(full.trace().sent_count(), lean.trace().sent_count());
+        assert_eq!(
+            full.trace().delivered_total(),
+            lean.trace().delivered_total()
+        );
+        assert_eq!(
+            full.trace().delivered_count(0),
+            lean.trace().delivered_count(0)
+        );
+        assert_eq!(full.trace().dropped_count(), lean.trace().dropped_count());
+        assert_eq!(full.trace().marks("done").count() as u64, 1);
+        assert_eq!(lean.trace().marks("done").count() as u64, 1);
+        // The lean trace holds no message payloads.
+        assert!(lean.trace().events.iter().all(|e| !matches!(
+            e.kind,
+            TraceKind::Sent { .. } | TraceKind::Delivered { .. } | TraceKind::Dropped { .. }
+        )));
+        assert!(full.trace().events.len() > lean.trace().events.len());
+    }
+
+    #[test]
+    fn queue_high_water_and_reserve() {
+        let mut eng = ping_pong_engine(1, SimDuration::ZERO);
+        eng.run();
+        let high = eng.queue_high_water();
+        assert!(high >= 1, "ping-pong keeps at least one event in flight");
+        // Pre-sizing a fresh engine is accepted and harmless.
+        let mut eng2 = ping_pong_engine(1, SimDuration::ZERO);
+        eng2.reserve_capacity(high, eng.trace().events.len());
+        let r = eng2.run();
+        assert!(r.quiescent);
+        assert_eq!(eng2.trace().events.len(), eng.trace().events.len());
     }
 
     /// A process that sets three timers and records firing order.

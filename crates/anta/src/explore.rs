@@ -15,12 +15,27 @@
 //! successive prefixes until the whole tree is covered (or a run budget is
 //! hit). Because runs are deterministic given the oracle, path enumeration
 //! is exactly schedule enumeration — no state snapshotting is needed.
+//!
+//! ## Parallel exploration
+//!
+//! Schedules are independent runs, so the tree is embarrassingly parallel
+//! once partitioned. [`explore_parallel`] first enumerates the choice tree
+//! down to a configurable *split depth* (each frontier node discovered with
+//! one run, its leftmost leaf), then farms the resulting disjoint subtree
+//! prefixes to scoped worker threads over a work-stealing cursor — the same
+//! no-unsafe pattern as the experiment sweeps. Every worker runs the plain
+//! serial DFS restricted to its prefix, so when the tree is exhausted the
+//! result is **bit-identical** to the serial explorer: same run count, same
+//! violations, merged back in lexicographic (serial DFS) order. When the
+//! run budget intervenes, the run *count* still matches the serial explorer
+//! but which schedules got visited may differ between thread counts.
 
 use crate::engine::{Engine, RunReport};
 use crate::oracle::{Oracle, ReplayOracle};
 use crate::process::Message;
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Budget for an exploration.
 #[derive(Debug, Clone, Copy)]
@@ -33,6 +48,43 @@ impl Default for ExploreLimits {
     fn default() -> Self {
         ExploreLimits {
             max_runs: 1_000_000,
+        }
+    }
+}
+
+/// Configuration for [`explore_parallel`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreConfig {
+    /// Maximum number of complete runs (tree leaves) to execute, across
+    /// all threads.
+    pub max_runs: usize,
+    /// Worker threads. `0` ⇒ all available cores; `1` ⇒ the serial
+    /// explorer, unchanged.
+    pub threads: usize,
+    /// Choice-tree depth at which the tree is split into per-worker
+    /// subtrees. Small depths give few, large subtrees (poor balance);
+    /// large depths make the serial discovery phase enumerate more
+    /// frontier nodes (one run each). With `b`-way branching expect about
+    /// `b^split_depth` subtrees; the default suits 2-bucket instances.
+    pub split_depth: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_runs: ExploreLimits::default().max_runs,
+            threads: 1,
+            split_depth: 4,
+        }
+    }
+}
+
+impl ExploreConfig {
+    /// Default limits with the given worker-thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        ExploreConfig {
+            threads,
+            ..Self::default()
         }
     }
 }
@@ -74,23 +126,56 @@ impl Oracle for SharedOracle {
     }
 }
 
-/// Exhaustively explores the schedule tree of a simulation.
-///
-/// * `build` — constructs a fresh engine wired to the given oracle; it must
-///   be deterministic (same oracle behaviour ⇒ same run).
-/// * `check` — inspects the completed engine and its [`RunReport`]; returns
-///   `Err(description)` to record a violation for that schedule.
-pub fn explore<M: Message>(
-    mut build: impl FnMut(Box<dyn Oracle>) -> Engine<M>,
-    mut check: impl FnMut(&Engine<M>, &RunReport) -> Result<(), String>,
-    limits: ExploreLimits,
-) -> ExploreReport {
-    let mut path: Vec<usize> = Vec::new();
+/// Result of exploring one subtree (or, for the serial explorer, the whole
+/// tree).
+struct SubtreeOutcome {
+    runs: usize,
+    violations: Vec<Violation>,
+    exhausted: bool,
+}
+
+/// Tracks engine scaffolding sizes across runs so rebuilt engines can be
+/// pre-sized (queue and trace skip their grow-by-doubling phase).
+#[derive(Default, Clone, Copy)]
+struct Sizing {
+    queue: usize,
+    trace: usize,
+}
+
+impl Sizing {
+    fn observe<M: Message>(&mut self, eng: &Engine<M>) {
+        self.queue = self.queue.max(eng.queue_high_water());
+        self.trace = self.trace.max(eng.trace().events.len());
+    }
+}
+
+/// Serial DFS over the subtree of schedules whose choice paths start with
+/// `prefix` (the whole tree for an empty prefix). `budget` is the shared
+/// run counter; a slot index at or past `max_runs` aborts with
+/// `exhausted = false`.
+fn explore_subtree<M: Message>(
+    build: &mut impl FnMut(Box<dyn Oracle>) -> Engine<M>,
+    check: &mut impl FnMut(&Engine<M>, &RunReport) -> Result<(), String>,
+    prefix: &[usize],
+    budget: &AtomicUsize,
+    max_runs: usize,
+) -> SubtreeOutcome {
+    let mut path: Vec<usize> = prefix.to_vec();
     let mut runs = 0usize;
     let mut violations = Vec::new();
+    let mut sizing = Sizing::default();
     loop {
+        let slot = budget.fetch_add(1, Ordering::Relaxed);
+        if slot >= max_runs {
+            return SubtreeOutcome {
+                runs,
+                violations,
+                exhausted: false,
+            };
+        }
         let oracle = Rc::new(RefCell::new(ReplayOracle::new(path.clone())));
         let mut engine = build(Box::new(SharedOracle(oracle.clone())));
+        engine.reserve_capacity(sizing.queue, sizing.trace);
         let report = engine.run();
         runs += 1;
         if let Err(message) = check(&engine, &report) {
@@ -100,24 +185,208 @@ pub fn explore<M: Message>(
                 message,
             });
         }
-        if runs >= limits.max_runs {
-            return ExploreReport {
+        sizing.observe(&engine);
+        if slot + 1 >= max_runs {
+            return SubtreeOutcome {
                 runs,
-                exhausted: false,
                 violations,
+                exhausted: false,
             };
         }
         let next = oracle.borrow().next_path();
         match next {
-            Some(p) => path = p,
-            None => {
-                return ExploreReport {
+            // A longer next path cannot have bumped a choice inside the
+            // prefix, so it still starts with it: stay in the subtree.
+            Some(p) if p.len() > prefix.len() => path = p,
+            _ => {
+                return SubtreeOutcome {
                     runs,
-                    exhausted: true,
                     violations,
+                    exhausted: true,
                 }
             }
         }
+    }
+}
+
+/// Exhaustively explores the schedule tree of a simulation, serially.
+///
+/// * `build` — constructs a fresh engine wired to the given oracle; it must
+///   be deterministic (same oracle behaviour ⇒ same run).
+/// * `check` — inspects the completed engine and its [`RunReport`]; returns
+///   `Err(description)` to record a violation for that schedule.
+///
+/// See [`explore_parallel`] for the multi-threaded variant; this function
+/// remains the `threads = 1` reference it is checked against.
+pub fn explore<M: Message>(
+    mut build: impl FnMut(Box<dyn Oracle>) -> Engine<M>,
+    mut check: impl FnMut(&Engine<M>, &RunReport) -> Result<(), String>,
+    limits: ExploreLimits,
+) -> ExploreReport {
+    let budget = AtomicUsize::new(0);
+    let out = explore_subtree(&mut build, &mut check, &[], &budget, limits.max_runs);
+    ExploreReport {
+        runs: out.runs,
+        exhausted: out.exhausted,
+        violations: out.violations,
+    }
+}
+
+/// One frontier node of the split tree: either a complete schedule shorter
+/// than the split depth (explored during discovery), or the prefix of a
+/// subtree handed to a worker.
+enum FrontierItem {
+    Leaf(Option<Violation>),
+    Subtree(Vec<usize>),
+}
+
+/// Exhaustively explores the schedule tree using `cfg.threads` worker
+/// threads (see the module docs for the partitioning scheme).
+///
+/// Identical in observable behaviour to [`explore`] whenever the tree is
+/// exhausted within budget: same `runs`, same `exhausted`, and the same
+/// violations in the same (serial DFS) order, regardless of thread count.
+/// `build` and `check` must be thread-safe (`Sync`) because workers invoke
+/// them concurrently; runs themselves stay single-threaded and
+/// deterministic.
+pub fn explore_parallel<M, B, C>(build: B, check: C, cfg: ExploreConfig) -> ExploreReport
+where
+    M: Message,
+    B: Fn(Box<dyn Oracle>) -> Engine<M> + Sync,
+    C: Fn(&Engine<M>, &RunReport) -> Result<(), String> + Sync,
+{
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        cfg.threads
+    };
+    let budget = AtomicUsize::new(0);
+    if threads <= 1 {
+        let mut b = &build;
+        let mut c = &check;
+        let out = explore_subtree(&mut b, &mut c, &[], &budget, cfg.max_runs);
+        return ExploreReport {
+            runs: out.runs,
+            exhausted: out.exhausted,
+            violations: out.violations,
+        };
+    }
+
+    // Phase 1 — serial frontier discovery: enumerate the tree truncated at
+    // `split_depth`. Each iteration executes one run (the leftmost leaf of
+    // the frontier node); complete runs at depth ≤ split_depth are leaves
+    // and count immediately, deeper ones yield a subtree work item whose
+    // leftmost leaf the owning worker re-runs (the only duplicated work).
+    let mut items: Vec<FrontierItem> = Vec::new();
+    let mut discovery_complete = true;
+    let mut sizing = Sizing::default();
+    let mut path: Vec<usize> = Vec::new();
+    loop {
+        if items.len() >= cfg.max_runs {
+            // Every item costs ≥ 1 run: the budget is already committed.
+            discovery_complete = false;
+            break;
+        }
+        let oracle = Rc::new(RefCell::new(ReplayOracle::new(path.clone())));
+        let mut engine = build(Box::new(SharedOracle(oracle.clone())));
+        engine.reserve_capacity(sizing.queue, sizing.trace);
+        let report = engine.run();
+        sizing.observe(&engine);
+        let taken: Vec<usize> = oracle.borrow().log.iter().map(|&(c, _)| c).collect();
+        if taken.len() <= cfg.split_depth {
+            let slot = budget.fetch_add(1, Ordering::Relaxed);
+            if slot >= cfg.max_runs {
+                discovery_complete = false;
+                break;
+            }
+            let violation = check(&engine, &report).err().map(|message| Violation {
+                path: taken.clone(),
+                message,
+            });
+            items.push(FrontierItem::Leaf(violation));
+            if slot + 1 >= cfg.max_runs {
+                discovery_complete = false;
+                break;
+            }
+        } else {
+            items.push(FrontierItem::Subtree(taken[..cfg.split_depth].to_vec()));
+        }
+        let next = oracle.borrow().next_path_bounded(cfg.split_depth);
+        match next {
+            Some(p) => path = p,
+            None => break,
+        }
+    }
+
+    // Phase 2 — workers drain the subtree items via a work-stealing cursor,
+    // each writing into its own buffer (no shared locks on the hot path).
+    let subtrees: Vec<(usize, &[usize])> = items
+        .iter()
+        .enumerate()
+        .filter_map(|(i, it)| match it {
+            FrontierItem::Subtree(p) => Some((i, p.as_slice())),
+            FrontierItem::Leaf(_) => None,
+        })
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(subtrees.len().max(1));
+    let gathered: Vec<(usize, SubtreeOutcome)> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut local: Vec<(usize, SubtreeOutcome)> = Vec::new();
+                    let mut b = &build;
+                    let mut c = &check;
+                    loop {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        if k >= subtrees.len() {
+                            break;
+                        }
+                        let (idx, prefix) = subtrees[k];
+                        local.push((
+                            idx,
+                            explore_subtree(&mut b, &mut c, prefix, &budget, cfg.max_runs),
+                        ));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("explorer worker panicked"))
+            .collect()
+    })
+    .expect("explorer worker panicked");
+
+    // Phase 3 — deterministic merge in frontier (= serial DFS) order.
+    let mut per_item: Vec<Option<SubtreeOutcome>> = items.iter().map(|_| None).collect();
+    for (idx, out) in gathered {
+        per_item[idx] = Some(out);
+    }
+    let mut runs = 0usize;
+    let mut exhausted = discovery_complete;
+    let mut violations = Vec::new();
+    for (i, item) in items.into_iter().enumerate() {
+        match item {
+            FrontierItem::Leaf(violation) => {
+                runs += 1;
+                violations.extend(violation);
+            }
+            FrontierItem::Subtree(_) => {
+                let out = per_item[i].take().expect("every subtree visited");
+                runs += out.runs;
+                violations.extend(out.violations);
+                exhausted &= out.exhausted;
+            }
+        }
+    }
+    ExploreReport {
+        runs,
+        exhausted,
+        violations,
     }
 }
 
@@ -235,6 +504,81 @@ mod tests {
         let report = explore(build_race, |_, _| Ok(()), ExploreLimits { max_runs: 2 });
         assert_eq!(report.runs, 2);
         assert!(!report.exhausted);
+    }
+
+    /// Serial vs parallel equivalence on the race example, across thread
+    /// counts and split depths (including the degenerate 0 and a depth far
+    /// beyond the tree).
+    #[test]
+    fn parallel_matches_serial_on_race() {
+        let serial = explore(
+            build_race,
+            |eng, _| {
+                let judge = eng.process_as::<Judge>(0).unwrap();
+                if judge.first == Some(2) {
+                    Err("racer 2 won".to_owned())
+                } else {
+                    Ok(())
+                }
+            },
+            ExploreLimits::default(),
+        );
+        assert!(serial.exhausted);
+        for threads in [2usize, 4, 8] {
+            for split_depth in [0usize, 1, 2, 16] {
+                let par = explore_parallel(
+                    build_race,
+                    |eng, _| {
+                        let judge = eng.process_as::<Judge>(0).unwrap();
+                        if judge.first == Some(2) {
+                            Err("racer 2 won".to_owned())
+                        } else {
+                            Ok(())
+                        }
+                    },
+                    ExploreConfig {
+                        threads,
+                        split_depth,
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(par.runs, serial.runs, "t={threads} d={split_depth}");
+                assert_eq!(par.exhausted, serial.exhausted);
+                let paths = |r: &ExploreReport| {
+                    r.violations
+                        .iter()
+                        .map(|v| (v.path.clone(), v.message.clone()))
+                        .collect::<Vec<_>>()
+                };
+                assert_eq!(
+                    paths(&par),
+                    paths(&serial),
+                    "violations in serial DFS order, t={threads} d={split_depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_respects_run_budget() {
+        let par = explore_parallel(
+            build_race,
+            |_, _| Ok(()),
+            ExploreConfig {
+                max_runs: 2,
+                threads: 4,
+                split_depth: 1,
+            },
+        );
+        assert_eq!(par.runs, 2);
+        assert!(!par.exhausted);
+    }
+
+    #[test]
+    fn parallel_zero_threads_uses_all_cores() {
+        let par = explore_parallel(build_race, |_, _| Ok(()), ExploreConfig::with_threads(0));
+        assert!(par.exhausted);
+        assert_eq!(par.runs, 4);
     }
 
     #[test]

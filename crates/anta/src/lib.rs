@@ -86,12 +86,14 @@ pub mod prelude {
     };
     pub use crate::clock::DriftClock;
     pub use crate::engine::{Engine, EngineConfig, RunReport};
-    pub use crate::explore::{explore, replay, ExploreLimits, ExploreReport};
+    pub use crate::explore::{
+        explore, explore_parallel, replay, ExploreConfig, ExploreLimits, ExploreReport,
+    };
     pub use crate::net::{
         AdversarialNet, Delivery, EnvelopeMeta, NetModel, PartialSyncNet, PreGstPolicy, SyncNet,
     };
     pub use crate::oracle::{FixedOracle, Oracle, RandomOracle, ReplayOracle};
     pub use crate::process::{Ctx, Effect, Message, Pid, Process, TimerId};
     pub use crate::time::{SimDuration, SimTime, MILLI, SECOND};
-    pub use crate::trace::{Trace, TraceEvent, TraceKind};
+    pub use crate::trace::{Trace, TraceEvent, TraceKind, TraceMode};
 }

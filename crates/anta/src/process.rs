@@ -65,11 +65,20 @@ pub struct Ctx<M> {
 }
 
 impl<M> Ctx<M> {
+    #[cfg(test)]
     pub(crate) fn new(pid: Pid, now_local: SimTime) -> Self {
+        Self::recycled(pid, now_local, Vec::new())
+    }
+
+    /// Builds a context over a recycled effects buffer, so the engine pays
+    /// for the effects allocation once per run instead of once per handler
+    /// dispatch. The buffer is cleared; its capacity is kept.
+    pub(crate) fn recycled(pid: Pid, now_local: SimTime, mut effects: Vec<Effect<M>>) -> Self {
+        effects.clear();
         Ctx {
             pid,
             now_local,
-            effects: Vec::new(),
+            effects,
         }
     }
 

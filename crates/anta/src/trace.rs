@@ -9,6 +9,26 @@
 use crate::process::Pid;
 use crate::time::SimTime;
 
+/// How much of a run the engine records.
+///
+/// Exhaustive exploration and Monte-Carlo sweeps execute millions of runs
+/// whose traces are read only through aggregate counters and the
+/// payload-free events (halts, timers, marks). [`TraceMode::CountersOnly`]
+/// skips storing the message events entirely — no payload is ever cloned
+/// into the trace — while keeping every query of [`Trace`] answerable in
+/// O(1) where it used to be O(events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Record every event including full message payloads (the default;
+    /// required by trace-structural checkers and the MSC renderer).
+    #[default]
+    Full,
+    /// Keep only sent/delivered/dropped counters for message traffic, plus
+    /// the payload-free events (timers, halts, marks) the outcome
+    /// extractors need. Message payloads are never cloned.
+    CountersOnly,
+}
+
 /// One observable step of a run. `real` is global simulation time (for
 /// engine-level analysis); `local` is the acting process's clock reading
 /// (what the process itself could know).
@@ -78,32 +98,148 @@ pub enum TraceKind<M> {
 }
 
 /// A full run trace.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Trace<M> {
-    /// The events, in dispatch order.
+    /// The events, in dispatch order. Empty of message events in
+    /// [`TraceMode::CountersOnly`].
     pub events: Vec<TraceEvent<M>>,
+    mode: TraceMode,
+    sent: usize,
+    delivered: usize,
+    dropped: usize,
+    /// Deliveries per recipient pid (grown on demand).
+    delivered_to: Vec<usize>,
+    /// Real time of the most recently recorded event (including events
+    /// skipped by `CountersOnly`).
+    end: SimTime,
+}
+
+impl<M> Default for Trace<M> {
+    fn default() -> Self {
+        Trace {
+            events: Vec::new(),
+            mode: TraceMode::Full,
+            sent: 0,
+            delivered: 0,
+            dropped: 0,
+            delivered_to: Vec::new(),
+            end: SimTime::ZERO,
+        }
+    }
 }
 
 impl<M> Trace<M> {
-    /// Empty trace.
+    /// Empty trace recording everything.
     pub fn new() -> Self {
-        Trace { events: Vec::new() }
+        Self::default()
+    }
+
+    /// Empty trace with the given recording mode.
+    pub fn with_mode(mode: TraceMode) -> Self {
+        Trace {
+            mode,
+            ..Self::default()
+        }
+    }
+
+    /// The recording mode.
+    pub fn mode(&self) -> TraceMode {
+        self.mode
+    }
+
+    /// Pre-sizes the event buffer (a no-op gain in `CountersOnly` mode).
+    pub(crate) fn reserve(&mut self, events: usize) {
+        if self.mode == TraceMode::Full {
+            self.events
+                .reserve(events.saturating_sub(self.events.len()));
+        }
     }
 
     pub(crate) fn push(&mut self, real: SimTime, kind: TraceKind<M>) {
+        match &kind {
+            TraceKind::Sent { .. } => self.sent += 1,
+            TraceKind::Delivered { to, .. } => self.count_delivery(*to),
+            TraceKind::Dropped { .. } => self.dropped += 1,
+            _ => {}
+        }
+        self.end = real;
         self.events.push(TraceEvent { real, kind });
     }
 
+    fn count_delivery(&mut self, to: Pid) {
+        self.delivered += 1;
+        if to >= self.delivered_to.len() {
+            self.delivered_to.resize(to + 1, 0);
+        }
+        self.delivered_to[to] += 1;
+    }
+
+    /// Records a send; clones the payload into the trace only in
+    /// [`TraceMode::Full`].
+    pub(crate) fn record_sent(&mut self, real: SimTime, from: Pid, to: Pid, msg: &M)
+    where
+        M: Clone,
+    {
+        match self.mode {
+            TraceMode::Full => self.push(
+                real,
+                TraceKind::Sent {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                },
+            ),
+            TraceMode::CountersOnly => {
+                self.sent += 1;
+                self.end = real;
+            }
+        }
+    }
+
+    /// Records a delivery; clones the payload only in [`TraceMode::Full`].
+    pub(crate) fn record_delivered(&mut self, real: SimTime, from: Pid, to: Pid, msg: &M)
+    where
+        M: Clone,
+    {
+        match self.mode {
+            TraceMode::Full => self.push(
+                real,
+                TraceKind::Delivered {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                },
+            ),
+            TraceMode::CountersOnly => {
+                self.count_delivery(to);
+                self.end = real;
+            }
+        }
+    }
+
+    /// Records a drop, storing the payload only in [`TraceMode::Full`].
+    pub(crate) fn record_dropped(&mut self, real: SimTime, from: Pid, to: Pid, msg: M) {
+        match self.mode {
+            TraceMode::Full => self.push(real, TraceKind::Dropped { from, to, msg }),
+            TraceMode::CountersOnly => {
+                self.dropped += 1;
+                self.end = real;
+            }
+        }
+    }
+
     /// All `Mark` events with the given label, as `(pid, real, local, value)`.
-    pub fn marks(&self, label: &str) -> impl Iterator<Item = (Pid, SimTime, SimTime, i64)> + '_ {
-        let want = label.to_owned();
+    pub fn marks<'a>(
+        &'a self,
+        label: &'a str,
+    ) -> impl Iterator<Item = (Pid, SimTime, SimTime, i64)> + 'a {
         self.events.iter().filter_map(move |e| match &e.kind {
             TraceKind::Mark {
                 pid,
                 local,
-                label,
+                label: l,
                 value,
-            } if *label == want => Some((*pid, e.real, *local, *value)),
+            } if *l == label => Some((*pid, e.real, *local, *value)),
             _ => None,
         })
     }
@@ -131,33 +267,31 @@ impl<M> Trace<M> {
         })
     }
 
-    /// Number of messages delivered to `to` (any sender).
+    /// Number of messages delivered to `to` (any sender). O(1): maintained
+    /// as a per-recipient counter.
     pub fn delivered_count(&self, to: Pid) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e.kind, TraceKind::Delivered { to: t, .. } if t == to))
-            .count()
+        self.delivered_to.get(to).copied().unwrap_or(0)
     }
 
-    /// Total messages sent in the run.
+    /// Total messages delivered in the run (any recipient). O(1).
+    pub fn delivered_total(&self) -> usize {
+        self.delivered
+    }
+
+    /// Total messages sent in the run. O(1): maintained as a counter.
     pub fn sent_count(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e.kind, TraceKind::Sent { .. }))
-            .count()
+        self.sent
     }
 
-    /// Total messages dropped by the network.
+    /// Total messages dropped by the network. O(1).
     pub fn dropped_count(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e.kind, TraceKind::Dropped { .. }))
-            .count()
+        self.dropped
     }
 
-    /// The real time of the last event, or zero for an empty trace.
+    /// The real time of the last recorded event (including events elided by
+    /// [`TraceMode::CountersOnly`]), or zero for an empty trace.
     pub fn end_time(&self) -> SimTime {
-        self.events.last().map(|e| e.real).unwrap_or(SimTime::ZERO)
+        self.end
     }
 }
 
@@ -367,5 +501,55 @@ mod tests {
         let tr: Trace<u32> = Trace::new();
         assert_eq!(tr.end_time(), SimTime::ZERO);
         assert_eq!(tr.sent_count(), 0);
+    }
+
+    #[test]
+    fn counters_only_elides_message_events_but_keeps_counts() {
+        let mut tr: Trace<u32> = Trace::with_mode(TraceMode::CountersOnly);
+        tr.record_sent(t(1), 0, 1, &7);
+        tr.record_delivered(t(2), 0, 1, &7);
+        tr.record_sent(t(2), 1, 0, &8);
+        tr.record_dropped(t(3), 1, 0, 8);
+        tr.push(
+            t(4),
+            TraceKind::Mark {
+                pid: 1,
+                local: t(4),
+                label: "paid",
+                value: 1,
+            },
+        );
+        tr.push(
+            t(5),
+            TraceKind::Halted {
+                pid: 1,
+                local: t(5),
+            },
+        );
+        // Message events elided, payload-free events retained.
+        assert_eq!(tr.events.len(), 2);
+        // Counters identical to what Full mode would report.
+        assert_eq!(tr.sent_count(), 2);
+        assert_eq!(tr.delivered_total(), 1);
+        assert_eq!(tr.delivered_count(1), 1);
+        assert_eq!(tr.delivered_count(0), 0);
+        assert_eq!(tr.dropped_count(), 1);
+        assert_eq!(tr.end_time(), t(5));
+        assert_eq!(tr.marks("paid").count(), 1);
+        assert_eq!(tr.halt_time(1), Some(t(5)));
+    }
+
+    #[test]
+    fn full_mode_counters_match_event_scan() {
+        let mut tr: Trace<u32> = Trace::new();
+        assert_eq!(tr.mode(), TraceMode::Full);
+        tr.record_sent(t(1), 0, 1, &7);
+        tr.record_delivered(t(2), 0, 1, &7);
+        tr.record_dropped(t(3), 1, 0, 9);
+        assert_eq!(tr.events.len(), 3);
+        assert_eq!(tr.sent_count(), 1);
+        assert_eq!(tr.delivered_count(1), 1);
+        assert_eq!(tr.dropped_count(), 1);
+        assert_eq!(tr.end_time(), t(3));
     }
 }

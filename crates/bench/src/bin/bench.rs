@@ -1,0 +1,203 @@
+//! `bench` — machine-readable performance measurements.
+//!
+//! Complements the criterion benches with a fast, scriptable runner that
+//! emits one `BENCH_perf.json` per invocation, so CI can track a perf
+//! trajectory per PR without full criterion runs. Two workload families:
+//!
+//! * **explorer** — exhaustive schedule exploration of E4 instances at
+//!   several worker-thread counts (wall time, schedules/sec); the reports
+//!   are bit-identical across thread counts, only the wall time moves;
+//! * **engine** — the `engine_10k_messages` ping-pong throughput in both
+//!   trace modes (wall time, events/sec), isolating the cost of cloning
+//!   payloads into the trace.
+//!
+//! Usage: `cargo run --release -p xchain-bench --bin bench -- [--quick]
+//! [--out DIR] [--threads 1,2,4]`.
+
+use anta::trace::TraceMode;
+use std::time::Instant;
+
+/// One explorer measurement row.
+struct ExplorerRow {
+    instance: &'static str,
+    threads: usize,
+    runs: usize,
+    exhausted: bool,
+    violations: usize,
+    wall_ms: f64,
+    schedules_per_sec: f64,
+}
+
+/// One engine-throughput measurement row.
+struct EngineRow {
+    workload: &'static str,
+    trace_mode: &'static str,
+    events: u64,
+    wall_ms: f64,
+    events_per_sec: f64,
+}
+
+struct Args {
+    quick: bool,
+    out: String,
+    threads: Vec<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out: ".".to_string(),
+        threads: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = it.next().expect("--out needs a directory"),
+            "--threads" => {
+                let list = it.next().expect("--threads needs a comma-separated list");
+                args.threads = list
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("thread count"))
+                    .collect();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench [--quick] [--out DIR] [--threads 1,2,4]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.threads.is_empty() {
+        args.threads = if args.quick {
+            vec![1, 4]
+        } else {
+            vec![1, 2, 4, 8]
+        };
+    }
+    args
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Explorer instances: (label, n, sigma_buckets, max_runs). The lean
+    // (σ-pinned) instances keep the tree exhaustible; see e4 module docs.
+    let mut instances: Vec<(&'static str, usize, usize, usize)> =
+        vec![("e4_n1", 1, 4, 200_000), ("e4_n2_lean", 2, 1, 200_000)];
+    if !args.quick {
+        instances.push(("e4_n3_lean", 3, 1, 1_000_000));
+    }
+
+    let mut explorer_rows: Vec<ExplorerRow> = Vec::new();
+    for &(label, n, sigma_buckets, max_runs) in &instances {
+        for &threads in &args.threads {
+            let t0 = Instant::now();
+            let r = experiments::e4::explore_instance_opts(n, threads, max_runs, sigma_buckets);
+            let wall = t0.elapsed();
+            let row = ExplorerRow {
+                instance: label,
+                threads,
+                runs: r.runs,
+                exhausted: r.exhausted,
+                violations: r.violations.len(),
+                wall_ms: ms(wall),
+                schedules_per_sec: r.runs as f64 / wall.as_secs_f64().max(1e-9),
+            };
+            eprintln!(
+                "explorer {label:<11} threads={threads} runs={} exhausted={} {:.1} ms ({:.0} schedules/s)",
+                row.runs, row.exhausted, row.wall_ms, row.schedules_per_sec
+            );
+            explorer_rows.push(row);
+        }
+    }
+
+    // Engine throughput: best-of-N to damp scheduler noise.
+    let reps = if args.quick { 3 } else { 7 };
+    let mut engine_rows: Vec<EngineRow> = Vec::new();
+    for (mode, mode_label) in [
+        (TraceMode::Full, "full"),
+        (TraceMode::CountersOnly, "counters_only"),
+    ] {
+        let mut best: Option<(std::time::Duration, u64)> = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let events = experiments::perf::engine_events_workload(10_000, mode);
+            let wall = t0.elapsed();
+            if best.map(|(b, _)| wall < b).unwrap_or(true) {
+                best = Some((wall, events));
+            }
+        }
+        let (wall, events) = best.expect("reps >= 1");
+        let row = EngineRow {
+            workload: "engine_10k_messages",
+            trace_mode: mode_label,
+            events,
+            wall_ms: ms(wall),
+            events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+        };
+        eprintln!(
+            "engine   {:<11} trace_mode={mode_label} events={events} {:.2} ms ({:.0} events/s)",
+            row.workload, row.wall_ms, row.events_per_sec
+        );
+        engine_rows.push(row);
+    }
+
+    // Hand-rolled JSON (no serde in the offline workspace).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": 1,\n");
+    json.push_str(&format!("  \"quick\": {},\n", args.quick));
+    json.push_str(&format!(
+        "  \"threads_available\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    json.push_str(&format!(
+        "  \"unix_epoch_secs\": {},\n",
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    ));
+    json.push_str("  \"explorer\": [\n");
+    for (i, r) in explorer_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"instance\": \"{}\", \"threads\": {}, \"runs\": {}, \"exhausted\": {}, \
+             \"violations\": {}, \"wall_ms\": {:.3}, \"schedules_per_sec\": {:.1}}}{}\n",
+            r.instance,
+            r.threads,
+            r.runs,
+            r.exhausted,
+            r.violations,
+            r.wall_ms,
+            r.schedules_per_sec,
+            if i + 1 < explorer_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"engine\": [\n");
+    for (i, r) in engine_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"trace_mode\": \"{}\", \"events\": {}, \
+             \"wall_ms\": {:.3}, \"events_per_sec\": {:.1}}}{}\n",
+            r.workload,
+            r.trace_mode,
+            r.events,
+            r.wall_ms,
+            r.events_per_sec,
+            if i + 1 < engine_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::create_dir_all(&args.out).expect("create --out directory");
+    let path = std::path::Path::new(&args.out).join("BENCH_perf.json");
+    std::fs::write(&path, &json).expect("write BENCH_perf.json");
+    println!("{}", path.display());
+}

@@ -1,4 +1,4 @@
-//! # xchain-bench — criterion benchmarks
+//! # xchain-bench — criterion benchmarks and the `bench` binary
 //!
 //! One benchmark group per paper artefact (see `benches/protocols.rs` and
 //! DESIGN.md §6): E1 protocol runs vs chain length, E2 witness
@@ -6,3 +6,9 @@
 //! exploration, E5 baselines, E6 the timeout calculus, E7 the deal
 //! protocols, and substrate micro-benches (engine throughput, consensus,
 //! SHA-256, sign/verify).
+//!
+//! The `bench` binary (`src/bin/bench.rs`) is the machine-readable
+//! counterpart: it runs the explorer and engine-throughput workloads and
+//! writes `BENCH_perf.json` (schedules/sec per thread count, events/sec
+//! per trace mode) so CI tracks a perf trajectory per PR. See the
+//! "Performance" section of the repository README.

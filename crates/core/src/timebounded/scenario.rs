@@ -207,17 +207,12 @@ impl ChainSetup {
         self.build_engine_with(net, oracle, clocks, |_| None)
     }
 
-    /// Builds an engine, substituting the processes for which `override_for`
-    /// returns `Some` (Byzantine strategies, crash faults, baseline
-    /// variants).
-    pub fn build_engine_with(
-        &self,
-        net: Box<dyn NetModel<PMsg>>,
-        oracle: Box<dyn Oracle>,
-        clocks: ClockPlan,
-        mut override_for: impl FnMut(Role) -> Option<Box<dyn Process<PMsg>>>,
-    ) -> Engine<PMsg> {
-        // Horizon: generously beyond every deadline in the schedule.
+    /// The engine configuration this setup derives: σ from the cell's
+    /// parameters, horizon generously beyond every deadline in the
+    /// schedule. Callers may tweak it (e.g. counters-only tracing for
+    /// exhaustive exploration) and pass it to
+    /// [`ChainSetup::build_engine_cfg`].
+    pub fn engine_config(&self) -> EngineConfig {
         let worst = self
             .schedule
             .d
@@ -226,12 +221,38 @@ impl ChainSetup {
             .unwrap_or(SimDuration::ZERO)
             .saturating_mul(8)
             .saturating_add(SimDuration::from_secs(10));
-        let cfg = EngineConfig {
+        EngineConfig {
             sigma_max: self.params.sigma,
             sigma_buckets: 4,
             max_real_time: SimTime::ZERO + worst,
             ..EngineConfig::default()
-        };
+        }
+    }
+
+    /// Builds an engine, substituting the processes for which `override_for`
+    /// returns `Some` (Byzantine strategies, crash faults, baseline
+    /// variants).
+    pub fn build_engine_with(
+        &self,
+        net: Box<dyn NetModel<PMsg>>,
+        oracle: Box<dyn Oracle>,
+        clocks: ClockPlan,
+        override_for: impl FnMut(Role) -> Option<Box<dyn Process<PMsg>>>,
+    ) -> Engine<PMsg> {
+        self.build_engine_cfg(net, oracle, clocks, self.engine_config(), override_for)
+    }
+
+    /// Builds an engine under an explicit engine configuration. Changing
+    /// anything that affects scheduling choices (σ quantisation, horizon)
+    /// changes the schedule tree; changing only `trace_mode` does not.
+    pub fn build_engine_cfg(
+        &self,
+        net: Box<dyn NetModel<PMsg>>,
+        oracle: Box<dyn Oracle>,
+        clocks: ClockPlan,
+        cfg: EngineConfig,
+        mut override_for: impl FnMut(Role) -> Option<Box<dyn Process<PMsg>>>,
+    ) -> Engine<PMsg> {
         let mut eng = Engine::new(net, oracle, cfg);
         for pid in 0..self.topo.participants() {
             let role = self.topo.role_of(pid).expect("chain pid");

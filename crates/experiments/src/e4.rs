@@ -13,10 +13,10 @@ use crate::table::{check, Table};
 use anta::automaton::AutomatonProcess;
 use anta::clock::DriftClock;
 use anta::engine::{Engine, EngineConfig};
-use anta::explore::{explore, ExploreLimits};
+use anta::explore::{explore_parallel, ExploreConfig};
 use anta::net::SyncNet;
 use anta::oracle::{FixedOracle, Oracle};
-use anta::trace::TraceKind;
+use anta::trace::{TraceKind, TraceMode};
 use payment::msg::PMsg;
 use payment::timebounded::fig2::{all_specs, Fig2Params};
 use payment::timebounded::{ChainOutcome, ChainSetup, ClockPlan};
@@ -86,21 +86,46 @@ pub fn cross_check(n: usize) -> (Skeleton, Skeleton) {
     (message_skeleton(&exec_eng), message_skeleton(&decl_eng))
 }
 
-/// Exhaustive schedule exploration of the n = 1 instance: every
-/// combination of 2-bucket delays for every message. Checks ES/CS safety
-/// clauses on each complete schedule.
-pub fn explore_small_instance() -> anta::explore::ExploreReport {
+/// Exhaustive schedule exploration of an `n`-escrow instance: every
+/// combination of 2-bucket delays for every message (and 4-bucket σ for
+/// every sending handler). Checks ES/CS safety clauses on each complete
+/// schedule. `threads` is the explorer's worker count (0 ⇒ all cores,
+/// 1 ⇒ serial); the report is bit-identical across thread counts whenever
+/// the tree is exhausted within `max_runs`.
+///
+/// Engines run with [`TraceMode::CountersOnly`]: the Definition 1 checkers
+/// read only halts, marks and final process/ledger states, so the trace
+/// never clones a message — this does not change the schedule tree.
+pub fn explore_instance(n: usize, threads: usize, max_runs: usize) -> anta::explore::ExploreReport {
+    explore_instance_opts(n, threads, max_runs, 4)
+}
+
+/// [`explore_instance`] with an explicit σ quantisation. `sigma_buckets = 1`
+/// pins every computation delay to σ_max, shrinking the tree to delay
+/// choices only — that is what makes the n = 2 instance exhaustible (the
+/// 4-bucket tree at n = 2 exceeds 10⁷ schedules).
+pub fn explore_instance_opts(
+    n: usize,
+    threads: usize,
+    max_runs: usize,
+    sigma_buckets: usize,
+) -> anta::explore::ExploreReport {
     let setup = Arc::new(ChainSetup::new(
-        1,
-        ValuePlan::uniform(1, 100),
+        n,
+        ValuePlan::uniform(n, 100),
         SyncParams::baseline(),
         0xE4,
     ));
     let build_setup = setup.clone();
     let check_setup = setup;
-    explore(
+    explore_parallel(
         move |oracle: Box<dyn Oracle>| {
-            build_setup.build_engine(
+            let cfg = EngineConfig {
+                trace_mode: TraceMode::CountersOnly,
+                sigma_buckets,
+                ..build_setup.engine_config()
+            };
+            build_setup.build_engine_cfg(
                 Box::new(SyncNet {
                     delta_min: anta::time::SimDuration::ZERO,
                     delta_max: SyncParams::baseline().delta,
@@ -108,6 +133,8 @@ pub fn explore_small_instance() -> anta::explore::ExploreReport {
                 }),
                 oracle,
                 ClockPlan::Perfect,
+                cfg,
+                |_| None,
             )
         },
         move |eng, report| {
@@ -125,8 +152,18 @@ pub fn explore_small_instance() -> anta::explore::ExploreReport {
             }
             Ok(())
         },
-        ExploreLimits { max_runs: 100_000 },
+        ExploreConfig {
+            max_runs,
+            threads,
+            split_depth: 4,
+        },
     )
+}
+
+/// Exhaustive schedule exploration of the n = 1 instance (serial), as
+/// reported by E4.
+pub fn explore_small_instance() -> anta::explore::ExploreReport {
+    explore_instance(1, 1, 100_000)
 }
 
 /// The E4 report.
@@ -159,7 +196,8 @@ pub fn run(n: usize) -> E4Report {
         .map(|s| (s.name.clone(), s.to_dot()))
         .collect();
     let (exec_skel, decl_skel) = cross_check(n);
-    let exploration = explore_small_instance();
+    // All cores: bit-identical to the serial exploration, just faster.
+    let exploration = explore_instance(1, 0, 100_000);
     E4Report {
         figure1_ascii: topo.render_figure1(),
         figure1_dot: topo.to_dot(),
@@ -237,6 +275,18 @@ mod tests {
         assert!(r.exhausted, "ran {} schedules", r.runs);
         assert!(r.all_ok(), "violations: {:?}", r.violations.first());
         assert!(r.runs > 16, "nontrivial schedule space, got {}", r.runs);
+    }
+
+    #[test]
+    fn parallel_exploration_is_bit_identical_to_serial() {
+        let serial = explore_instance(1, 1, 100_000);
+        assert!(serial.exhausted);
+        for threads in [2usize, 4] {
+            let par = explore_instance(1, threads, 100_000);
+            assert_eq!(par.runs, serial.runs, "threads = {threads}");
+            assert_eq!(par.exhausted, serial.exhausted);
+            assert_eq!(par.violations.len(), serial.violations.len());
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::table::Table;
 use anta::net::SyncNet;
 use anta::oracle::RandomOracle;
+use anta::trace::TraceMode;
 use payment::timebounded::{ChainOutcome, ChainSetup, ClockPlan};
 use payment::{SyncParams, ValuePlan};
 
@@ -44,6 +45,61 @@ pub fn chain_cost(n: usize) -> ChainCost {
         completion_ticks: report.end_time.ticks(),
         events: report.events,
     }
+}
+
+/// The engine-throughput workload behind the `engine_10k_messages`
+/// criterion bench and the `bench` binary: a two-process ping-pong of
+/// `messages` messages under a 16-bucket synchronous network. Returns the
+/// number of dispatched events (identical across trace modes — the mode
+/// affects only what the trace stores, never the schedule).
+pub fn engine_events_workload(messages: u32, trace_mode: TraceMode) -> u64 {
+    use anta::clock::DriftClock;
+    use anta::engine::{Engine, EngineConfig};
+    use anta::process::{Ctx, Pid, Process, TimerId};
+    use anta::time::SimDuration;
+
+    #[derive(Debug, Clone)]
+    struct Pinger {
+        peer: Pid,
+        limit: u32,
+        first: bool,
+    }
+    impl Process<u32> for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+            if self.first {
+                ctx.send(self.peer, 0);
+            }
+        }
+        fn on_message(&mut self, from: Pid, msg: u32, ctx: &mut Ctx<u32>) {
+            if msg >= self.limit {
+                ctx.halt();
+            } else {
+                ctx.send(from, msg + 1);
+            }
+        }
+        fn on_timer(&mut self, _i: TimerId, _c: &mut Ctx<u32>) {}
+        anta::impl_process_boilerplate!(u32);
+    }
+
+    let mut eng: Engine<u32> = Engine::new(
+        Box::new(SyncNet::new(SimDuration::from_ticks(50), 16)),
+        Box::new(RandomOracle::seeded(3)),
+        EngineConfig {
+            trace_mode,
+            ..EngineConfig::default()
+        },
+    );
+    for (peer, first) in [(1, true), (0, false)] {
+        eng.add_process(
+            Box::new(Pinger {
+                peer,
+                limit: messages,
+                first,
+            }),
+            DriftClock::perfect(),
+        );
+    }
+    eng.run().events
 }
 
 /// Consensus cost for one committee size.
@@ -170,6 +226,14 @@ mod tests {
         assert!(c8.messages > c2.messages * 3, "{c2:?} vs {c8:?}");
         assert!(c8.messages < c2.messages * 8, "{c2:?} vs {c8:?}");
         assert!(c8.completion_ticks > c2.completion_ticks);
+    }
+
+    #[test]
+    fn engine_workload_events_identical_across_trace_modes() {
+        let full = engine_events_workload(1_000, TraceMode::Full);
+        let lean = engine_events_workload(1_000, TraceMode::CountersOnly);
+        assert_eq!(full, lean);
+        assert!(full > 1_000, "two starts + one event per message: {full}");
     }
 
     #[test]

@@ -3,10 +3,10 @@
 //! Each simulation run is single-threaded and deterministic; sweeps over
 //! (parameters × seeds) are embarrassingly parallel. Following the
 //! workspace's concurrency guides, the executor uses scoped threads over a
-//! shared work counter (an atomic cursor) — no unsafe, no channels needed,
-//! results land in a pre-sized mutex-protected vector in input order.
+//! shared work counter (an atomic cursor) — no unsafe, no channels, no
+//! locks: every worker accumulates `(index, result)` pairs in its own
+//! buffer, and the buffers are merged into input order after the join.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Runs `f` over every item, using up to `threads` worker threads (0 ⇒
@@ -27,22 +27,35 @@ where
     };
     let threads = threads.min(items.len().max(1));
     let cursor = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<O>>> = Mutex::new((0..items.len()).map(|_| None).collect());
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let out = f(&items[i]);
-                results.lock()[i] = Some(out);
-            });
-        }
+    let gathered: Vec<(usize, O)> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|_| {
+                    // Disjoint per-worker buffer: no result-side contention,
+                    // items are claimed via the lock-free cursor only.
+                    let mut local: Vec<(usize, O)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
     })
     .expect("sweep worker panicked");
+    let mut results: Vec<Option<O>> = (0..items.len()).map(|_| None).collect();
+    for (i, o) in gathered {
+        results[i] = Some(o);
+    }
     results
-        .into_inner()
         .into_iter()
         .map(|o| o.expect("every index visited"))
         .collect()
@@ -99,6 +112,17 @@ mod tests {
         assert_eq!(g.len(), 6);
         assert_eq!(g[0], (1, "a"));
         assert_eq!(g[5], (2, "c"));
+    }
+
+    #[test]
+    fn contention_shaped_many_tiny_items() {
+        // Worst case for the old once-per-item results mutex: a large
+        // number of near-zero-cost items across many workers. Output must
+        // still be complete and in input order.
+        let items: Vec<u64> = (0..10_000).collect();
+        let out = parallel_map(&items, 8, |&x| x ^ 0xA5);
+        let expect: Vec<u64> = items.iter().map(|&x| x ^ 0xA5).collect();
+        assert_eq!(out, expect);
     }
 
     #[test]

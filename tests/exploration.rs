@@ -1,14 +1,20 @@
 //! Exhaustive schedule exploration across protocols — the "for every
 //! execution" quantifier on bounded instances, at workspace level.
 
-use crosschain::anta::explore::{explore, replay, ExploreLimits};
+use crosschain::anta::clock::DriftClock;
+use crosschain::anta::engine::{Engine, EngineConfig};
+use crosschain::anta::explore::{
+    explore, explore_parallel, replay, ExploreConfig, ExploreLimits, ExploreReport,
+};
 use crosschain::anta::net::SyncNet;
 use crosschain::anta::oracle::Oracle;
+use crosschain::anta::process::{Ctx, Pid, Process, TimerId};
 use crosschain::anta::time::SimDuration;
 use crosschain::payment::properties::{check_definition1, check_definition2, Compliance};
 use crosschain::payment::timebounded::{ChainOutcome, ChainSetup, ClockPlan};
 use crosschain::payment::weak::{TmKind, WeakOutcome, WeakSetup};
 use crosschain::payment::{SyncParams, ValuePlan};
+use proptest::prelude::*;
 use std::sync::Arc;
 
 #[test]
@@ -101,6 +107,116 @@ fn every_schedule_of_small_weak_instance_keeps_cc_and_conservation() {
         "first violation: {:?}",
         report.violations.first()
     );
+}
+
+/// Two racers send to a judge that records the first arrival — the smallest
+/// system with a real schedule race, parameterised by racer count and delay
+/// resolution so the property test can vary the tree shape.
+#[derive(Debug, Clone, Default)]
+struct Judge {
+    first: Option<Pid>,
+}
+impl Process<u32> for Judge {
+    fn on_start(&mut self, _ctx: &mut Ctx<u32>) {}
+    fn on_message(&mut self, from: Pid, _m: u32, ctx: &mut Ctx<u32>) {
+        if self.first.is_none() {
+            self.first = Some(from);
+            ctx.mark("winner", from as i64);
+        }
+    }
+    fn on_timer(&mut self, _i: TimerId, _c: &mut Ctx<u32>) {}
+    crosschain::anta::impl_process_boilerplate!(u32);
+}
+
+#[derive(Debug, Clone)]
+struct Racer;
+impl Process<u32> for Racer {
+    fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+        ctx.send(0, 1);
+    }
+    fn on_message(&mut self, _f: Pid, _m: u32, _c: &mut Ctx<u32>) {}
+    fn on_timer(&mut self, _i: TimerId, _c: &mut Ctx<u32>) {}
+    crosschain::anta::impl_process_boilerplate!(u32);
+}
+
+fn build_race(racers: usize, buckets: usize, oracle: Box<dyn Oracle>) -> Engine<u32> {
+    let mut eng = Engine::new(
+        Box::new(SyncNet::new(SimDuration::from_ticks(100), buckets)),
+        oracle,
+        EngineConfig::default(),
+    );
+    eng.add_process(Box::new(Judge::default()), DriftClock::perfect());
+    for _ in 0..racers {
+        eng.add_process(Box::new(Racer), DriftClock::perfect());
+    }
+    eng
+}
+
+/// `(runs, exhausted, violation (path, message) list)` — everything the
+/// equivalence properties compare.
+type ReportKey = (usize, bool, Vec<(Vec<usize>, String)>);
+
+fn key(r: &ExploreReport) -> ReportKey {
+    (
+        r.runs,
+        r.exhausted,
+        r.violations
+            .iter()
+            .map(|v| (v.path.clone(), v.message.clone()))
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Parallel exploration with 2/4/8 threads is bit-identical to serial
+    /// (runs, exhaustion, violation path set in DFS order) on race systems
+    /// of varying tree shape and at varying split depths.
+    #[test]
+    fn parallel_explorer_equivalent_to_serial_on_races(
+        racers in 2usize..4,
+        buckets in 1usize..4,
+        split_depth in 0usize..5,
+    ) {
+        let checker = |eng: &Engine<u32>, _: &crosschain::anta::engine::RunReport| {
+            let judge = eng.process_as::<Judge>(0).unwrap();
+            // Flag "the last racer won" so some schedules violate.
+            if judge.first == Some(racers) {
+                Err(format!("racer {racers} won"))
+            } else {
+                Ok(())
+            }
+        };
+        let serial = explore(
+            |oracle| build_race(racers, buckets, oracle),
+            checker,
+            ExploreLimits::default(),
+        );
+        prop_assert!(serial.exhausted);
+        for threads in [2usize, 4, 8] {
+            let par = explore_parallel(
+                |oracle| build_race(racers, buckets, oracle),
+                checker,
+                ExploreConfig { max_runs: 1_000_000, threads, split_depth },
+            );
+            prop_assert_eq!(key(&par), key(&serial));
+        }
+    }
+}
+
+#[test]
+fn parallel_explorer_equivalent_to_serial_on_e4_small_instance() {
+    let serial = crosschain::experiments::e4::explore_instance(1, 1, 200_000);
+    assert!(serial.exhausted);
+    assert!(serial.all_ok());
+    for threads in [2usize, 4, 8] {
+        let par = crosschain::experiments::e4::explore_instance(1, threads, 200_000);
+        assert_eq!(key(&par), key(&serial), "threads = {threads}");
+    }
 }
 
 #[test]
