@@ -90,7 +90,8 @@ pub mod prelude {
         explore, explore_parallel, replay, ExploreConfig, ExploreLimits, ExploreReport,
     };
     pub use crate::net::{
-        AdversarialNet, Delivery, EnvelopeMeta, NetModel, PartialSyncNet, PreGstPolicy, SyncNet,
+        AdversarialNet, Delivery, EnvelopeMeta, FaultyNet, NetFaults, NetModel, PartialSyncNet,
+        PreGstPolicy, SyncNet,
     };
     pub use crate::oracle::{FixedOracle, Oracle, RandomOracle, ReplayOracle};
     pub use crate::process::{Ctx, Effect, Message, Pid, Process, TimerId};

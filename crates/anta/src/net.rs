@@ -292,6 +292,118 @@ impl<M: 'static> NetModel<M> for AdversarialNet<M> {
     }
 }
 
+/// Message-level fault-injection parameters, layered over any inner model
+/// by [`FaultyNet`]. All probabilities are per-mille (‰, `0..=1000`) and
+/// drawn through the run's [`Oracle`], so fault patterns are deterministic
+/// per seed and reproducible across thread counts.
+///
+/// This is the network half of a simulation *fault plan*: the Monte-Carlo
+/// simulator composes it with Byzantine participant substitutions and
+/// clock-drift sampling. It is intended for seeded Monte-Carlo runs; under
+/// exhaustive exploration each fault draw multiplies the choice tree by
+/// 1000, so explorers should keep [`NetFaults::NONE`] (which draws
+/// nothing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetFaults {
+    /// Per-message drop probability in per-mille. Dropping violates the
+    /// synchrony assumption of Theorem 1 — protocols may lose liveness but
+    /// must keep every safety/conservation property.
+    pub drop_permille: u32,
+    /// Per-message probability (per-mille) of adding extra delay beyond
+    /// the inner model's delivery time.
+    pub delay_permille: u32,
+    /// Maximum extra delay added when the delay fault fires.
+    pub extra_delay: SimDuration,
+    /// Quantisation of the extra delay (≤ 1 ⇒ always the maximum).
+    pub delay_buckets: usize,
+}
+
+impl NetFaults {
+    /// No faults: [`FaultyNet`] becomes a transparent pass-through that
+    /// consumes no oracle choices.
+    pub const NONE: NetFaults = NetFaults {
+        drop_permille: 0,
+        delay_permille: 0,
+        extra_delay: SimDuration::ZERO,
+        delay_buckets: 1,
+    };
+
+    /// True when no fault can ever fire.
+    pub fn is_none(&self) -> bool {
+        self.drop_permille == 0 && (self.delay_permille == 0 || self.extra_delay.is_zero())
+    }
+
+    /// Per-mille resolution of the probability draws.
+    const RESOLUTION: usize = 1000;
+
+    /// Draws one per-mille event (true ⇒ the fault fires). No oracle
+    /// choice is consumed when the probability is 0.
+    fn fires(permille: u32, oracle: &mut dyn Oracle) -> bool {
+        permille > 0 && oracle.choose(Self::RESOLUTION) < permille as usize
+    }
+}
+
+/// Fault-injecting wrapper around any [`NetModel`]: first the inner model
+/// decides the nominal delivery, then bounded extra delay and message
+/// drops are applied on top, driven by the oracle per [`NetFaults`].
+pub struct FaultyNet<M> {
+    inner: Box<dyn NetModel<M>>,
+    faults: NetFaults,
+}
+
+impl<M: 'static> FaultyNet<M> {
+    /// Layers `faults` over `inner`. Panics if a probability exceeds
+    /// 1000‰ — a silent clamp would turn a per-cent/per-mille mix-up into
+    /// an always-firing fault.
+    pub fn new(inner: Box<dyn NetModel<M>>, faults: NetFaults) -> Self {
+        assert!(
+            faults.drop_permille <= 1000 && faults.delay_permille <= 1000,
+            "NetFaults probabilities are per-mille (0..=1000): {faults:?}"
+        );
+        FaultyNet { inner, faults }
+    }
+
+    /// The fault parameters.
+    pub fn faults(&self) -> NetFaults {
+        self.faults
+    }
+}
+
+impl<M: 'static> NetModel<M> for FaultyNet<M> {
+    fn route(&mut self, meta: &EnvelopeMeta, msg: &M, oracle: &mut dyn Oracle) -> Delivery {
+        let nominal = self.inner.route(meta, msg, oracle);
+        let at = match nominal {
+            Delivery::At(t) => t,
+            Delivery::Never => return Delivery::Never,
+        };
+        // Draw order is fixed (drop, then delay, then bucket) so a given
+        // oracle seed yields the same fault pattern regardless of which
+        // faults actually fire.
+        if NetFaults::fires(self.faults.drop_permille, oracle) {
+            return Delivery::Never;
+        }
+        if !self.faults.extra_delay.is_zero()
+            && NetFaults::fires(self.faults.delay_permille, oracle)
+        {
+            let extra = quantised_delay(
+                SimDuration::ZERO,
+                self.faults.extra_delay,
+                self.faults.delay_buckets.max(1),
+                oracle,
+            );
+            return Delivery::At(at + extra);
+        }
+        Delivery::At(at)
+    }
+
+    fn box_clone(&self) -> Box<dyn NetModel<M>> {
+        Box::new(FaultyNet {
+            inner: self.inner.clone(),
+            faults: self.faults,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,5 +556,114 @@ mod tests {
             delayer.route(&meta(0), &8u32, &mut o),
             Delivery::At(SimTime::from_ticks(5))
         );
+    }
+
+    #[test]
+    fn faulty_net_none_is_transparent() {
+        let delta = SimDuration::from_ticks(70);
+        let mut plain = SyncNet::worst_case(delta);
+        let mut wrapped = FaultyNet::new(Box::new(SyncNet::worst_case(delta)), NetFaults::NONE);
+        assert!(NetFaults::NONE.is_none());
+        let mut o1 = RandomOracle::seeded(1);
+        let mut o2 = RandomOracle::seeded(1);
+        for i in 0..50 {
+            let a = NetModel::<u32>::route(&mut plain, &meta(i), &0u32, &mut o1);
+            let b = wrapped.route(&meta(i), &0u32, &mut o2);
+            assert_eq!(a, b, "NONE must not perturb delivery or the oracle");
+        }
+    }
+
+    #[test]
+    fn faulty_net_drop_rate_and_delay_bounds() {
+        let delta = SimDuration::from_ticks(10);
+        let extra = SimDuration::from_ticks(400);
+        let faults = NetFaults {
+            drop_permille: 250,
+            delay_permille: 500,
+            extra_delay: extra,
+            delay_buckets: 8,
+        };
+        assert!(!faults.is_none());
+        let mut net = FaultyNet::new(Box::new(SyncNet::worst_case(delta)), faults);
+        let mut o = RandomOracle::seeded(7);
+        let (mut dropped, mut delayed, total) = (0usize, 0usize, 4_000u64);
+        for i in 0..total {
+            match net.route(&meta(i), &0u32, &mut o) {
+                Delivery::Never => dropped += 1,
+                Delivery::At(t) => {
+                    let nominal = SimTime::from_ticks(i) + delta;
+                    assert!(t >= nominal, "faults never deliver early");
+                    assert!(t <= nominal + extra, "extra delay is bounded");
+                    if t > nominal {
+                        delayed += 1;
+                    }
+                }
+            }
+        }
+        // 25% drop, 50% of survivors delayed (minus the zero bucket):
+        // generous windows keep this seed-stable without being vacuous.
+        assert!((700..=1_300).contains(&dropped), "dropped {dropped}");
+        assert!(delayed >= 800, "delayed {delayed}");
+    }
+
+    #[test]
+    fn faulty_net_deterministic_per_seed() {
+        let faults = NetFaults {
+            drop_permille: 100,
+            delay_permille: 300,
+            extra_delay: SimDuration::from_ticks(50),
+            delay_buckets: 4,
+        };
+        let run = |seed: u64| -> Vec<Delivery> {
+            let mut net = FaultyNet::new(
+                Box::new(SyncNet::new(SimDuration::from_ticks(20), 8)),
+                faults,
+            );
+            let mut o = RandomOracle::seeded(seed);
+            (0..200)
+                .map(|i| net.route(&meta(i), &0u32, &mut o))
+                .collect()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "per-mille")]
+    fn faulty_net_rejects_out_of_range_probabilities() {
+        let _ = FaultyNet::<u32>::new(
+            Box::new(SyncNet::worst_case(SimDuration::from_ticks(1))),
+            NetFaults {
+                drop_permille: 10_000,
+                ..NetFaults::NONE
+            },
+        );
+    }
+
+    #[test]
+    fn faulty_net_preserves_inner_drops() {
+        let faults = NetFaults {
+            delay_permille: 1_000,
+            extra_delay: SimDuration::from_ticks(9),
+            ..NetFaults::NONE
+        };
+        let inner =
+            AdversarialNet::dropping(SimDuration::from_ticks(5), |m: &EnvelopeMeta, _: &u32| {
+                m.to == 9
+            });
+        let mut net = FaultyNet::new(Box::new(inner), faults);
+        let mut o = RandomOracle::seeded(5);
+        let victim = EnvelopeMeta {
+            from: 0,
+            to: 9,
+            sent_at: SimTime::ZERO,
+            seq: 0,
+        };
+        assert_eq!(net.route(&victim, &0u32, &mut o), Delivery::Never);
+        // Non-victims survive but always pick up the (certain) extra delay.
+        match net.route(&meta(0), &0u32, &mut o) {
+            Delivery::At(t) => assert!(t > SimTime::from_ticks(5)),
+            Delivery::Never => panic!("inner model delivers this one"),
+        }
     }
 }

@@ -1,18 +1,24 @@
 //! `bench` — machine-readable performance measurements.
 //!
 //! Complements the criterion benches with a fast, scriptable runner that
-//! emits one `BENCH_perf.json` per invocation, so CI can track a perf
-//! trajectory per PR without full criterion runs. Two workload families:
+//! emits `BENCH_perf.json` and `BENCH_sim.json` per invocation, so CI can
+//! track a perf trajectory per PR without full criterion runs. Three
+//! workload families:
 //!
 //! * **explorer** — exhaustive schedule exploration of E4 instances at
 //!   several worker-thread counts (wall time, schedules/sec); the reports
 //!   are bit-identical across thread counts, only the wall time moves;
 //! * **engine** — the `engine_10k_messages` ping-pong throughput in both
 //!   trace modes (wall time, events/sec), isolating the cost of cloning
-//!   payloads into the trace.
+//!   payloads into the trace;
+//! * **sim** — the Monte-Carlo traffic simulator (`xchain-sim`) driving a
+//!   hub-and-spoke workload at 1/2/4(/8) worker threads (wall time,
+//!   payments/sec), written to its own `BENCH_sim.json`.
 //!
 //! Usage: `cargo run --release -p xchain-bench --bin bench -- [--quick]
-//! [--out DIR] [--threads 1,2,4]`.
+//! [--out DIR] [--threads 1,2,4] [--seed S]`. The seed makes every seeded
+//! workload (the sim section) reproducible; the explorer and engine
+//! workloads are deterministic by construction and unaffected.
 
 use anta::trace::TraceMode;
 use std::time::Instant;
@@ -37,10 +43,22 @@ struct EngineRow {
     events_per_sec: f64,
 }
 
+/// One simulator-throughput measurement row.
+struct SimRow {
+    workload: &'static str,
+    threads: usize,
+    payments: usize,
+    success: usize,
+    violations: usize,
+    wall_ms: f64,
+    payments_per_sec: f64,
+}
+
 struct Args {
     quick: bool,
     out: String,
     threads: Vec<usize>,
+    seed: u64,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +66,7 @@ fn parse_args() -> Args {
         quick: false,
         out: ".".to_string(),
         threads: Vec::new(),
+        seed: 0xBE_C4,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -61,9 +80,16 @@ fn parse_args() -> Args {
                     .map(|t| t.trim().parse().expect("thread count"))
                     .collect();
             }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("seed");
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench [--quick] [--out DIR] [--threads 1,2,4]");
+                eprintln!("usage: bench [--quick] [--out DIR] [--threads 1,2,4] [--seed S]");
                 std::process::exit(2);
             }
         }
@@ -147,6 +173,66 @@ fn main() {
         engine_rows.push(row);
     }
 
+    // Simulator throughput: one seeded hub-and-spoke workload with a
+    // light fault mix, re-run per thread count. The aggregate report is
+    // bit-identical across thread counts, so rows differ only in wall
+    // time — exactly the scaling signal CI should track. 1/2/4 are always
+    // measured (plus any extra counts from --threads).
+    let sim_payments = if args.quick { 2_000 } else { 10_000 };
+    let mut sim_threads: Vec<usize> = vec![1, 2, 4];
+    for &t in &args.threads {
+        if !sim_threads.contains(&t) {
+            sim_threads.push(t);
+        }
+    }
+    let sim_faults = sim::FaultPlan {
+        crash_permille: 50,
+        late_bob_permille: 25,
+        forging_chloe_permille: 25,
+        thieving_escrow_permille: 25,
+        net: anta::net::NetFaults {
+            drop_permille: 10,
+            delay_permille: 100,
+            extra_delay: anta::time::SimDuration::from_millis(2),
+            delay_buckets: 4,
+        },
+    };
+    // Generate the (identical) spec list once, outside the timed region:
+    // the rows measure the parallel runner, not serial workload generation.
+    let sim_workload = sim::WorkloadConfig::new(
+        sim::TopologyFamily::HubAndSpoke { spokes: 16 },
+        sim_payments,
+        args.seed,
+    );
+    let sim_specs = sim::workload::generate(&sim_workload);
+    let mut sim_rows: Vec<SimRow> = Vec::new();
+    for &threads in &sim_threads {
+        let cfg = sim::SimConfig {
+            faults: sim_faults,
+            threads,
+            lock_profile: false,
+            ..sim::SimConfig::new(sim_workload)
+        };
+        let t0 = Instant::now();
+        let report = sim::run_specs(&sim_specs, &cfg);
+        let wall = t0.elapsed();
+        let success = report.families.iter().map(|f| f.success.hits).sum();
+        let row = SimRow {
+            workload: "sim_hub_16spokes",
+            threads,
+            payments: report.instances,
+            success,
+            violations: report.violations,
+            wall_ms: ms(wall),
+            payments_per_sec: report.instances as f64 / wall.as_secs_f64().max(1e-9),
+        };
+        eprintln!(
+            "sim      {:<11} threads={threads} payments={} success={} {:.1} ms ({:.0} payments/s)",
+            row.workload, row.payments, row.success, row.wall_ms, row.payments_per_sec
+        );
+        sim_rows.push(row);
+    }
+
     // Hand-rolled JSON (no serde in the offline workspace).
     let mut json = String::new();
     json.push_str("{\n");
@@ -196,8 +282,41 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
 
+    // BENCH_sim.json: the simulator's own trajectory file, next to (not
+    // inside) BENCH_perf.json so both artifacts stay schema-stable.
+    let mut sim_json = String::new();
+    sim_json.push_str("{\n");
+    sim_json.push_str("  \"schema\": 1,\n");
+    sim_json.push_str(&format!("  \"quick\": {},\n", args.quick));
+    sim_json.push_str(&format!("  \"seed\": {},\n", args.seed));
+    sim_json.push_str(&format!(
+        "  \"threads_available\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    sim_json.push_str("  \"sim\": [\n");
+    for (i, r) in sim_rows.iter().enumerate() {
+        sim_json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"threads\": {}, \"payments\": {}, \"success\": {}, \
+             \"violations\": {}, \"wall_ms\": {:.3}, \"payments_per_sec\": {:.1}}}{}\n",
+            r.workload,
+            r.threads,
+            r.payments,
+            r.success,
+            r.violations,
+            r.wall_ms,
+            r.payments_per_sec,
+            if i + 1 < sim_rows.len() { "," } else { "" }
+        ));
+    }
+    sim_json.push_str("  ]\n}\n");
+
     std::fs::create_dir_all(&args.out).expect("create --out directory");
     let path = std::path::Path::new(&args.out).join("BENCH_perf.json");
     std::fs::write(&path, &json).expect("write BENCH_perf.json");
     println!("{}", path.display());
+    let sim_path = std::path::Path::new(&args.out).join("BENCH_sim.json");
+    std::fs::write(&sim_path, &sim_json).expect("write BENCH_sim.json");
+    println!("{}", sim_path.display());
 }

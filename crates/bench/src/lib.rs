@@ -8,7 +8,10 @@
 //! SHA-256, sign/verify).
 //!
 //! The `bench` binary (`src/bin/bench.rs`) is the machine-readable
-//! counterpart: it runs the explorer and engine-throughput workloads and
-//! writes `BENCH_perf.json` (schedules/sec per thread count, events/sec
-//! per trace mode) so CI tracks a perf trajectory per PR. See the
-//! "Performance" section of the repository README.
+//! counterpart: it runs the explorer and engine-throughput workloads into
+//! `BENCH_perf.json` (schedules/sec per thread count, events/sec per
+//! trace mode) and the `xchain-sim` Monte-Carlo workload into
+//! `BENCH_sim.json` (payments/sec at 1/2/4(/8) worker threads), so CI
+//! tracks a perf trajectory per PR. `--seed` pins the seeded sim
+//! workload. See the "Performance" and "Simulation" sections of the
+//! repository README.

@@ -194,6 +194,39 @@ impl ValuePlan {
     pub fn hops(&self) -> usize {
         self.amounts.len()
     }
+
+    /// Splits the plan into `k` parallel sub-plans carrying the same total
+    /// value per hop — packetized payments in the sense of Dubovitskaya et
+    /// al. (arXiv:2103.02056): one logical payment travels as `k`
+    /// independent sub-payments, each over its own escrow path, and the
+    /// packet completes when every sub-payment does. Hop `i`'s amount is
+    /// divided as evenly as integer division allows, with the remainder
+    /// spread over the first sub-plans one unit each.
+    ///
+    /// Panics if `k = 0` or any hop carries less than `k` units (a
+    /// sub-payment of zero value is not a payment).
+    pub fn split(&self, k: usize) -> Vec<ValuePlan> {
+        assert!(k >= 1, "cannot split into zero sub-payments");
+        for (i, a) in self.amounts.iter().enumerate() {
+            assert!(
+                a.amount >= k as u64,
+                "hop {i} carries {} units, too few for {k} sub-payments",
+                a.amount
+            );
+        }
+        (0..k as u64)
+            .map(|j| ValuePlan {
+                amounts: self
+                    .amounts
+                    .iter()
+                    .map(|a| {
+                        let share = a.amount / k as u64 + u64::from(j < a.amount % k as u64);
+                        Asset::new(a.currency, share)
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
 }
 
 /// Keys and identities for one payment instance: a PKI universe with one
@@ -319,6 +352,30 @@ mod tests {
     #[should_panic]
     fn commission_exhausting_value_panics() {
         let _ = ValuePlan::with_commission(5, 10, 3);
+    }
+
+    #[test]
+    fn split_conserves_value_per_hop() {
+        let plan = ValuePlan::with_commission(3, 103, 2); // 103, 101, 99
+        let parts = plan.split(4);
+        assert_eq!(parts.len(), 4);
+        for hop in 0..3 {
+            let total: u64 = parts.iter().map(|p| p.amounts[hop].amount).sum();
+            assert_eq!(total, plan.amounts[hop].amount, "hop {hop}");
+            assert_eq!(parts[0].amounts[hop].currency, plan.amounts[hop].currency);
+            // Even split: shares differ by at most one unit.
+            let lo = parts.iter().map(|p| p.amounts[hop].amount).min().unwrap();
+            let hi = parts.iter().map(|p| p.amounts[hop].amount).max().unwrap();
+            assert!(hi - lo <= 1);
+        }
+        // k = 1 is the identity.
+        assert_eq!(plan.split(1)[0].amounts[0].amount, 103);
+    }
+
+    #[test]
+    #[should_panic(expected = "too few")]
+    fn split_below_one_unit_per_path_panics() {
+        let _ = ValuePlan::uniform(2, 3).split(4);
     }
 
     #[test]

@@ -14,10 +14,13 @@
 //! | E6 | timeout-calculus ablation ("d_i calculated in \[5\]") | [`e6`] |
 //! | E7 | §5 relation with cross-chain deals \[3\] | [`e7`] |
 //! | P  | engineering performance | [`perf`] |
+//! | E8 | Monte-Carlo traffic simulation | `xchain-sim` (binary `exp8`) |
 //!
 //! Binaries `exp1`…`exp7`, `expperf` and `expall` print the tables that
-//! EXPERIMENTS.md records. Sweeps parallelise over seeds/parameters with
-//! crossbeam scoped threads ([`sweep`]).
+//! EXPERIMENTS.md records (E8 lives in the `xchain-sim` crate, which
+//! builds on this one). Sweeps parallelise over seeds/parameters with
+//! crossbeam scoped threads ([`sweep`]; re-exported as
+//! [`parallel_map`]/[`grid`] for downstream crates).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,3 +36,9 @@ pub mod perf;
 pub mod stats;
 pub mod sweep;
 pub mod table;
+
+// The parallel executor is this crate's public concurrency API: downstream
+// crates (`xchain-sim`'s Monte-Carlo runner, future sweep harnesses) depend
+// on it as a normal dependency rather than re-growing their own thread
+// pools or taking a dev-dependency cycle through the umbrella crate.
+pub use sweep::{grid, parallel_map};

@@ -1,0 +1,67 @@
+//! # xchain-sim — Monte Carlo cross-chain traffic simulator
+//!
+//! E4's exhaustive explorer answers "does *one* payment satisfy the
+//! theorem under *every* schedule?". This crate answers the operational
+//! question at scale: what success rate, end-to-end latency and
+//! locked-value cost does the time-bounded protocol deliver under
+//! realistic traffic, drift and adversaries? Three layers:
+//!
+//! * [`workload`] — parameterized topology families (the paper's linear
+//!   `n`-escrow path, Boros-style hub-and-spoke, random routing trees,
+//!   packetized payments split across parallel paths), arrival processes
+//!   (uniform / bursty), and per-instance [`payment::ValuePlan`] /
+//!   [`payment::SyncParams`] sampling from a seeded RNG;
+//! * [`faults`] — a [`faults::FaultPlan`] composing the
+//!   [`payment::byzantine`] strategies with clock-drift sampling and
+//!   bounded message delay/drop injected at the `anta` network layer
+//!   ([`anta::net::FaultyNet`]);
+//! * [`metrics`] — per-instance outcome (success / refund / stuck /
+//!   conservation **violation**), latency, peak locked value and
+//!   lock-concurrency profiles, aggregated contention-free across
+//!   crossbeam workers into percentile summaries.
+//!
+//! The driver is [`runner::run`]: instances are batched onto
+//! [`experiments::parallel_map`] workers, every engine runs in
+//! counters-only trace mode, and batch workers carry queue high-water
+//! marks forward so rebuilt engines skip reallocation. Reports are
+//! **bit-identical across thread counts**.
+//!
+//! The `exp8` binary sweeps success-rate × drift × faults across the
+//! families and is the E8 experiment; the workspace `bench` binary's
+//! `sim` section measures payments/sec per thread count into
+//! `BENCH_sim.json`.
+//!
+//! ```
+//! use sim::prelude::*;
+//!
+//! let workload = WorkloadConfig::new(TopologyFamily::HubAndSpoke { spokes: 8 }, 200, 42);
+//! let report = sim::run(&SimConfig::new(workload));
+//! let hub = report.family("hub").unwrap();
+//! assert!(hub.success.is_perfect());          // no faults ⇒ Theorem 1
+//! assert!(report.conserved());                // money conservation
+//! assert!(report.peak_in_flight > 1);         // genuinely concurrent
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod faults;
+pub mod metrics;
+pub mod runner;
+pub mod workload;
+
+pub use faults::{ByzFault, FaultPlan, InstanceFaults};
+pub use metrics::{FamilyStats, InstanceOutcome, InstanceResult, PacketStats, SimReport};
+pub use runner::{run, run_instance, run_specs, SimConfig};
+pub use workload::{ArrivalProcess, PaymentSpec, TopologyFamily, WorkloadConfig};
+
+/// One-stop imports for simulation campaigns.
+pub mod prelude {
+    pub use crate::faults::{ByzFault, FaultPlan, InstanceFaults};
+    pub use crate::metrics::{
+        FamilyStats, InstanceOutcome, InstanceResult, PacketStats, SimReport,
+    };
+    pub use crate::runner::{run, run_instance, run_specs, SimConfig};
+    pub use crate::workload::{ArrivalProcess, PaymentSpec, TopologyFamily, WorkloadConfig};
+    pub use anta::net::NetFaults;
+}

@@ -1,0 +1,452 @@
+//! The metrics pipeline: per-instance outcome extraction and workload-wide
+//! aggregation into percentile summaries.
+//!
+//! Per instance the pipeline records outcome (success / refund / stuck /
+//! **violation** — the money-conservation assertion), end-to-end latency,
+//! peak locked value, and the lock/unlock event profile. Aggregation is
+//! contention-free: each worker accumulates into its own [`BatchMetrics`]
+//! buffer and the buffers are merged deterministically (in input order)
+//! after the parallel phase — the same discipline as
+//! [`experiments::parallel_map`], which the runner drives.
+
+use crate::faults::{ByzFault, InstanceFaults};
+use anta::time::{SimDuration, SimTime};
+use experiments::stats::{Rate, Summary};
+use std::collections::BTreeMap;
+
+/// How one payment instance ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceOutcome {
+    /// Bob terminated paid.
+    Success,
+    /// The chain unwound: no compliant participant is left waiting and
+    /// Bob was not paid (refunds, refusals, or a payment that never
+    /// engaged).
+    Refund,
+    /// A compliant participant is still pending when the run drained, or
+    /// the run hit its horizon — liveness lost (expected under message
+    /// drops and some Byzantine faults, never under none).
+    Stuck,
+    /// Money conservation failed: an auditable escrow book is out of
+    /// balance or known net positions do not sum to zero. Must never
+    /// happen; the simulator counts these as protocol violations.
+    Violation,
+}
+
+/// The per-instance measurement record.
+#[derive(Debug, Clone)]
+pub struct InstanceResult {
+    /// The spec's instance id.
+    pub id: u64,
+    /// Family label.
+    pub family: &'static str,
+    /// Outcome class.
+    pub outcome: InstanceOutcome,
+    /// Faults that were injected.
+    pub faults: InstanceFaults,
+    /// End-to-end latency: Bob's payment time on success, otherwise the
+    /// time of the run's last event (when everything settled).
+    pub latency: SimDuration,
+    /// Peak value simultaneously locked across this instance's escrows.
+    pub peak_locked: u64,
+    /// Events the engine dispatched.
+    pub events: u64,
+    /// Packet membership, from the spec.
+    pub packet: Option<(u64, usize)>,
+    /// Hub spoke route `(sender, receiver)`, from the spec.
+    pub route: Option<(usize, usize)>,
+    /// Lock/unlock deltas in arrival-shifted real time, for the
+    /// workload-wide concurrency profile (empty unless profiling is on).
+    pub lock_profile: Vec<(SimTime, i64)>,
+}
+
+/// Per-worker metrics buffer: owned by exactly one worker while the
+/// parallel phase runs, merged afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct BatchMetrics {
+    /// The instance records, in spec order within the batch.
+    pub results: Vec<InstanceResult>,
+}
+
+impl BatchMetrics {
+    /// An empty buffer with room for `cap` instances.
+    pub fn with_capacity(cap: usize) -> Self {
+        BatchMetrics {
+            results: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Records one instance.
+    pub fn push(&mut self, r: InstanceResult) {
+        self.results.push(r);
+    }
+}
+
+/// Aggregated statistics for one topology family.
+#[derive(Debug, Clone)]
+pub struct FamilyStats {
+    /// Family label.
+    pub family: &'static str,
+    /// Instances simulated.
+    pub instances: usize,
+    /// Success rate (Bob paid).
+    pub success: Rate,
+    /// Refund count.
+    pub refunds: usize,
+    /// Stuck count.
+    pub stuck: usize,
+    /// Violation count — must be zero.
+    pub violations: usize,
+    /// Instances that had a Byzantine substitution.
+    pub byzantine: usize,
+    /// Latency summary over successful instances (ticks), if any succeeded.
+    pub latency: Option<Summary>,
+    /// Peak-locked-value summary across instances.
+    pub peak_locked: Option<Summary>,
+    /// Packet statistics (packetized families only).
+    pub packets: Option<PacketStats>,
+    /// Payments per **active** spoke gateway — each instance counts at
+    /// both its sender and receiver spoke (hub families only). Fewer
+    /// spokes for the same traffic ⇒ higher per-spoke load. Gateways no
+    /// payment touched have no entry, so `n` is the count of gateways
+    /// that actually served traffic and `min`/`max` span only those.
+    pub spoke_load: Option<Summary>,
+}
+
+/// Packet-level accounting for packetized payments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketStats {
+    /// Number of logical packets.
+    pub total: usize,
+    /// Packets in which every sub-payment succeeded.
+    pub complete: usize,
+    /// Packets in which some but not all sub-payments succeeded —
+    /// partial delivery, unwound on the failed paths only.
+    pub partial: usize,
+}
+
+/// The whole workload's aggregated report.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Per-family statistics, sorted by family label.
+    pub families: Vec<FamilyStats>,
+    /// Total instances.
+    pub instances: usize,
+    /// Total violations (sum over families) — the money-conservation
+    /// assertion for the whole run.
+    pub violations: usize,
+    /// Peak value locked simultaneously across *all* concurrent instances
+    /// (arrival-shifted), when lock profiling was enabled.
+    pub peak_locked_global: Option<u64>,
+    /// Largest number of instances simultaneously in flight.
+    pub peak_in_flight: usize,
+}
+
+impl SimReport {
+    /// Merges per-batch buffers (already in input order) into the report.
+    pub fn merge(batches: Vec<BatchMetrics>, with_lock_profile: bool) -> SimReport {
+        let mut by_family: BTreeMap<&'static str, Vec<&InstanceResult>> = BTreeMap::new();
+        let mut instances = 0usize;
+        for b in &batches {
+            for r in &b.results {
+                instances += 1;
+                by_family.entry(r.family).or_default().push(r);
+            }
+        }
+
+        let mut families = Vec::with_capacity(by_family.len());
+        let mut violations = 0usize;
+        for (family, rs) in by_family {
+            let mut success = Rate::default();
+            let (mut refunds, mut stuck, mut viols, mut byz) = (0usize, 0usize, 0usize, 0usize);
+            let mut latencies: Vec<u64> = Vec::new();
+            let mut peaks: Vec<u64> = Vec::with_capacity(rs.len());
+            let mut packets: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
+            let mut spokes: BTreeMap<usize, u64> = BTreeMap::new();
+            for r in &rs {
+                success.record(r.outcome == InstanceOutcome::Success);
+                match r.outcome {
+                    InstanceOutcome::Success => latencies.push(r.latency.ticks()),
+                    InstanceOutcome::Refund => refunds += 1,
+                    InstanceOutcome::Stuck => stuck += 1,
+                    InstanceOutcome::Violation => viols += 1,
+                }
+                if r.faults.byz != ByzFault::None {
+                    byz += 1;
+                }
+                peaks.push(r.peak_locked);
+                if let Some((pid, paths)) = r.packet {
+                    let e = packets.entry(pid).or_insert((0, paths));
+                    e.0 += usize::from(r.outcome == InstanceOutcome::Success);
+                }
+                if let Some((snd, rcv)) = r.route {
+                    *spokes.entry(snd).or_insert(0) += 1;
+                    *spokes.entry(rcv).or_insert(0) += 1;
+                }
+            }
+            violations += viols;
+            let packet_stats = (!packets.is_empty()).then(|| {
+                let mut complete = 0;
+                let mut partial = 0;
+                for (ok, paths) in packets.values() {
+                    if *ok == *paths {
+                        complete += 1;
+                    } else if *ok > 0 {
+                        partial += 1;
+                    }
+                }
+                PacketStats {
+                    total: packets.len(),
+                    complete,
+                    partial,
+                }
+            });
+            let spoke_counts: Vec<u64> = spokes.into_values().collect();
+            families.push(FamilyStats {
+                family,
+                instances: rs.len(),
+                success,
+                refunds,
+                stuck,
+                violations: viols,
+                byzantine: byz,
+                latency: Summary::of(&latencies),
+                peak_locked: Summary::of(&peaks),
+                packets: packet_stats,
+                spoke_load: Summary::of(&spoke_counts),
+            });
+        }
+
+        let (peak_locked_global, peak_in_flight) = if with_lock_profile {
+            let mut deltas: Vec<(SimTime, i64, i64)> = Vec::new();
+            for b in &batches {
+                for r in &b.results {
+                    for &(t, dv) in &r.lock_profile {
+                        deltas.push((t, dv, 0));
+                    }
+                    // In-flight interval: arrival-shifted [first, last] event.
+                    if let (Some(first), Some(last)) =
+                        (r.lock_profile.first(), r.lock_profile.last())
+                    {
+                        deltas.push((first.0, 0, 1));
+                        deltas.push((last.0, 0, -1));
+                    }
+                }
+            }
+            // Unlocks at the same instant settle before locks (never
+            // overstate the peak), and in-flight exits before entries.
+            deltas.sort_unstable_by_key(|&(t, dv, df)| (t, dv, df));
+            let (mut locked, mut peak) = (0i64, 0i64);
+            let (mut flight, mut peak_flight) = (0i64, 0i64);
+            for (_, dv, df) in deltas {
+                locked += dv;
+                peak = peak.max(locked);
+                flight += df;
+                peak_flight = peak_flight.max(flight);
+            }
+            (Some(peak.max(0) as u64), peak_flight.max(0) as usize)
+        } else {
+            (None, 0)
+        };
+
+        SimReport {
+            families,
+            instances,
+            violations,
+            peak_locked_global,
+            peak_in_flight,
+        }
+    }
+
+    /// The stats row for `family`, if the workload produced any.
+    pub fn family(&self, label: &str) -> Option<&FamilyStats> {
+        self.families.iter().find(|f| f.family == label)
+    }
+
+    /// True when the money-conservation assertion held everywhere.
+    pub fn conserved(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// Latency percentile helper over a success-latency summary: renders
+/// `p50/p99/max` in milliseconds.
+pub fn render_latency_ms(s: &Option<Summary>) -> String {
+    match s {
+        None => "-".to_owned(),
+        Some(s) => format!(
+            "{:.1}/{:.1}/{:.1}",
+            s.p50 as f64 / 1_000.0,
+            s.p99 as f64 / 1_000.0,
+            s.max as f64 / 1_000.0
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(
+        id: u64,
+        family: &'static str,
+        outcome: InstanceOutcome,
+        latency: u64,
+        peak: u64,
+        packet: Option<(u64, usize)>,
+    ) -> InstanceResult {
+        InstanceResult {
+            id,
+            family,
+            outcome,
+            faults: InstanceFaults::NONE,
+            latency: SimDuration::from_ticks(latency),
+            peak_locked: peak,
+            events: 10,
+            packet,
+            route: None,
+            lock_profile: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn merge_groups_by_family_and_counts() {
+        let mut a = BatchMetrics::with_capacity(2);
+        a.push(res(0, "linear", InstanceOutcome::Success, 100, 50, None));
+        a.push(res(1, "hub", InstanceOutcome::Refund, 200, 60, None));
+        let mut b = BatchMetrics::default();
+        b.push(res(2, "linear", InstanceOutcome::Stuck, 300, 70, None));
+        b.push(res(3, "linear", InstanceOutcome::Violation, 400, 80, None));
+        let report = SimReport::merge(vec![a, b], false);
+        assert_eq!(report.instances, 4);
+        assert_eq!(report.violations, 1);
+        assert!(!report.conserved());
+        let lin = report.family("linear").unwrap();
+        assert_eq!(lin.instances, 3);
+        assert_eq!(lin.success.hits, 1);
+        assert_eq!(lin.stuck, 1);
+        assert_eq!(lin.violations, 1);
+        assert_eq!(lin.latency.as_ref().unwrap().max, 100, "success only");
+        let hub = report.family("hub").unwrap();
+        assert_eq!(hub.refunds, 1);
+        assert!(report.family("tree").is_none());
+    }
+
+    #[test]
+    fn packet_accounting_complete_vs_partial() {
+        let mut m = BatchMetrics::default();
+        // Packet 0: both paths succeed; packet 1: one of two; packet 2: none.
+        m.push(res(
+            0,
+            "packetized",
+            InstanceOutcome::Success,
+            1,
+            1,
+            Some((0, 2)),
+        ));
+        m.push(res(
+            1,
+            "packetized",
+            InstanceOutcome::Success,
+            1,
+            1,
+            Some((0, 2)),
+        ));
+        m.push(res(
+            2,
+            "packetized",
+            InstanceOutcome::Success,
+            1,
+            1,
+            Some((1, 2)),
+        ));
+        m.push(res(
+            3,
+            "packetized",
+            InstanceOutcome::Refund,
+            1,
+            1,
+            Some((1, 2)),
+        ));
+        m.push(res(
+            4,
+            "packetized",
+            InstanceOutcome::Refund,
+            1,
+            1,
+            Some((2, 2)),
+        ));
+        m.push(res(
+            5,
+            "packetized",
+            InstanceOutcome::Stuck,
+            1,
+            1,
+            Some((2, 2)),
+        ));
+        let report = SimReport::merge(vec![m], false);
+        let p = report.family("packetized").unwrap().packets.unwrap();
+        assert_eq!(
+            p,
+            PacketStats {
+                total: 3,
+                complete: 1,
+                partial: 1
+            }
+        );
+    }
+
+    #[test]
+    fn global_lock_profile_peaks() {
+        let t = SimTime::from_ticks;
+        let mut m = BatchMetrics::default();
+        let mut r1 = res(0, "hub", InstanceOutcome::Success, 10, 100, None);
+        r1.lock_profile = vec![(t(0), 100), (t(10), -100)];
+        let mut r2 = res(1, "hub", InstanceOutcome::Success, 10, 70, None);
+        r2.lock_profile = vec![(t(5), 70), (t(15), -70)];
+        m.push(r1);
+        m.push(r2);
+        let report = SimReport::merge(vec![m], true);
+        assert_eq!(report.peak_locked_global, Some(170), "overlap at t=5..10");
+        assert_eq!(report.peak_in_flight, 2);
+        // Unlock-before-lock at equal instants: back-to-back runs don't
+        // double-count.
+        let mut m2 = BatchMetrics::default();
+        let mut r3 = res(0, "hub", InstanceOutcome::Success, 10, 100, None);
+        r3.lock_profile = vec![(t(0), 100), (t(10), -100)];
+        let mut r4 = res(1, "hub", InstanceOutcome::Success, 10, 100, None);
+        r4.lock_profile = vec![(t(10), 100), (t(20), -100)];
+        m2.push(r3);
+        m2.push(r4);
+        let report2 = SimReport::merge(vec![m2], true);
+        assert_eq!(report2.peak_locked_global, Some(100));
+    }
+
+    #[test]
+    fn spoke_load_counts_both_endpoints() {
+        let mut m = BatchMetrics::default();
+        let mut a = res(0, "hub", InstanceOutcome::Success, 1, 1, None);
+        a.route = Some((0, 1));
+        let mut b = res(1, "hub", InstanceOutcome::Success, 1, 1, None);
+        b.route = Some((1, 2));
+        m.push(a);
+        m.push(b);
+        let report = SimReport::merge(vec![m], false);
+        let load = report.family("hub").unwrap().spoke_load.clone().unwrap();
+        // Spoke 1 served both payments; spokes 0 and 2 one each.
+        assert_eq!((load.min, load.max, load.n), (1, 2, 3));
+        // Routeless families have no spoke summary.
+        let mut m2 = BatchMetrics::default();
+        m2.push(res(0, "linear", InstanceOutcome::Success, 1, 1, None));
+        assert!(SimReport::merge(vec![m2], false).families[0]
+            .spoke_load
+            .is_none());
+    }
+
+    #[test]
+    fn latency_rendering() {
+        assert!(render_latency_ms(&None).contains('-'));
+        let s = Summary::of(&[1_000, 2_000, 3_000]);
+        assert_eq!(render_latency_ms(&s), "2.0/3.0/3.0");
+    }
+}

@@ -1,0 +1,352 @@
+//! The Monte-Carlo driver: thousands-to-millions of concurrent payment
+//! instances, farmed to crossbeam workers in batches.
+//!
+//! Each instance is one deterministic engine run — a pure function of its
+//! [`PaymentSpec`] and the [`FaultPlan`] — so the aggregate report is
+//! **bit-identical across thread counts**; only the wall time moves.
+//! Batching matters for throughput: a worker runs its batch sequentially
+//! and carries the engine queue's high-water mark from instance to
+//! instance ([`anta::engine::Engine::reserve_capacity`]), so rebuilt
+//! engines skip the grow-by-doubling phase, and every run uses
+//! [`TraceMode::CountersOnly`] so no message payload is ever cloned into a
+//! trace.
+
+use crate::faults::FaultPlan;
+use crate::metrics::{BatchMetrics, InstanceOutcome, InstanceResult, SimReport};
+use crate::workload::{self, PaymentSpec, WorkloadConfig};
+use anta::engine::Engine;
+use anta::net::{FaultyNet, NetModel, SyncNet};
+use anta::oracle::RandomOracle;
+use anta::time::SimTime;
+use anta::trace::{TraceKind, TraceMode};
+use experiments::parallel_map;
+use payment::msg::PMsg;
+use payment::timebounded::{ChainOutcome, ChainSetup, ClockPlan, CustomerOutcome};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Domain-separation salt for the per-instance fault draw (the raw seed
+/// already drives keys, oracle and clocks).
+const FAULT_SALT: u64 = 0xFA17_1A57_C0FF_EE00;
+
+/// One simulation campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// The workload to generate.
+    pub workload: WorkloadConfig,
+    /// The fault distribution applied to every instance.
+    pub faults: FaultPlan,
+    /// Worker threads (0 ⇒ all available cores).
+    pub threads: usize,
+    /// Instances per work batch. Larger batches amortise engine
+    /// pre-sizing; smaller batches balance better across workers.
+    pub batch: usize,
+    /// Collect per-instance lock/unlock profiles and compute the
+    /// workload-wide concurrency peaks (small extra memory per instance).
+    pub lock_profile: bool,
+}
+
+impl SimConfig {
+    /// A campaign over `workload` with no faults, all cores, and lock
+    /// profiling on.
+    pub fn new(workload: WorkloadConfig) -> Self {
+        SimConfig {
+            workload,
+            faults: FaultPlan::NONE,
+            threads: 0,
+            batch: 64,
+            lock_profile: true,
+        }
+    }
+}
+
+/// Generates the workload and simulates every instance.
+pub fn run(cfg: &SimConfig) -> SimReport {
+    let specs = workload::generate(&cfg.workload);
+    run_specs(&specs, cfg)
+}
+
+/// Simulates pre-generated specs (callers that need the spec list too).
+pub fn run_specs(specs: &[PaymentSpec], cfg: &SimConfig) -> SimReport {
+    let batches: Vec<&[PaymentSpec]> = specs.chunks(cfg.batch.max(1)).collect();
+    let buffers: Vec<BatchMetrics> = parallel_map(&batches, cfg.threads, |chunk| {
+        let mut metrics = BatchMetrics::with_capacity(chunk.len());
+        let mut queue_high = 0usize;
+        for spec in *chunk {
+            metrics.push(run_instance(
+                spec,
+                &cfg.faults,
+                cfg.lock_profile,
+                &mut queue_high,
+            ));
+        }
+        metrics
+    });
+    SimReport::merge(buffers, cfg.lock_profile)
+}
+
+/// Runs one payment instance end to end and extracts its metrics.
+///
+/// `queue_high` carries the engine-queue high-water mark between
+/// consecutive instances of a batch (pass `&mut 0` for a one-off run).
+pub fn run_instance(
+    spec: &PaymentSpec,
+    plan: &FaultPlan,
+    lock_profile: bool,
+    queue_high: &mut usize,
+) -> InstanceResult {
+    let setup = ChainSetup::new(spec.n, spec.plan.clone(), spec.params, spec.seed);
+    let mut fault_rng = StdRng::seed_from_u64(spec.seed ^ FAULT_SALT);
+    let faults = plan.sample(spec.n, &mut fault_rng);
+
+    let base: Box<dyn NetModel<PMsg>> = Box::new(SyncNet::new(spec.params.delta, 16));
+    let net: Box<dyn NetModel<PMsg>> = if faults.net.is_none() {
+        base
+    } else {
+        Box::new(FaultyNet::new(base, faults.net))
+    };
+    let mut engine_cfg = setup.engine_config();
+    engine_cfg.trace_mode = TraceMode::CountersOnly;
+    let byz = faults.byz;
+    let mut eng = setup.build_engine_cfg(
+        net,
+        Box::new(RandomOracle::seeded(spec.seed)),
+        ClockPlan::Sampled { seed: spec.seed },
+        engine_cfg,
+        |role| byz.substitute(&setup, role),
+    );
+    eng.reserve_capacity(*queue_high, 0);
+    let report = eng.run();
+    *queue_high = (*queue_high).max(eng.queue_high_water());
+
+    let outcome = ChainOutcome::extract(&eng, &setup, report.quiescent);
+    let class = classify(&outcome, report.truncated);
+    let latency = match class {
+        InstanceOutcome::Success => eng
+            .trace()
+            .halt_time(setup.topo.customer_pid(spec.n))
+            .unwrap_or_else(|| eng.trace().end_time())
+            .saturating_since(SimTime::ZERO),
+        _ => eng.trace().end_time().saturating_since(SimTime::ZERO),
+    };
+    let (peak_locked, profile) = locked_value_profile(&eng, &setup, spec.arrival, lock_profile);
+
+    InstanceResult {
+        id: spec.id,
+        family: spec.family,
+        outcome: class,
+        faults,
+        latency,
+        peak_locked,
+        events: report.events,
+        packet: spec.packet,
+        route: spec.route,
+        lock_profile: profile,
+    }
+}
+
+/// Outcome classification; see [`InstanceOutcome`] for the semantics.
+fn classify(outcome: &ChainOutcome, truncated: bool) -> InstanceOutcome {
+    // Money conservation first: an unbalanced auditable book, or known
+    // net positions that do not sum to zero, is a violation no matter
+    // how the run ended.
+    if outcome.conservation.contains(&Some(false)) {
+        return InstanceOutcome::Violation;
+    }
+    if outcome.net_positions.iter().all(Option::is_some) {
+        let sum: i64 = outcome.net_positions.iter().flatten().sum();
+        if sum != 0 {
+            return InstanceOutcome::Violation;
+        }
+    }
+    if outcome.bob_paid() {
+        return InstanceOutcome::Success;
+    }
+    let pending = outcome
+        .customers
+        .iter()
+        .flatten()
+        .any(|v| v.outcome == CustomerOutcome::Pending);
+    if truncated || pending {
+        return InstanceOutcome::Stuck;
+    }
+    InstanceOutcome::Refund
+}
+
+/// Reconstructs the instance's locked-value time series from the escrow
+/// marks (`escrow_locked` / `escrow_released` / `escrow_refunded`, all
+/// retained in counters-only traces) and the value plan. Returns the peak
+/// and, when requested, the arrival-shifted delta profile.
+fn locked_value_profile(
+    eng: &Engine<PMsg>,
+    setup: &ChainSetup,
+    arrival: SimTime,
+    collect: bool,
+) -> (u64, Vec<(SimTime, i64)>) {
+    let mut locked = 0i64;
+    let mut peak = 0i64;
+    let mut profile = Vec::new();
+    for e in &eng.trace().events {
+        if let TraceKind::Mark { label, value, .. } = e.kind {
+            let delta = match label {
+                "escrow_locked" => setup.plan.amounts[value as usize].amount as i64,
+                "escrow_released" | "escrow_refunded" => {
+                    -(setup.plan.amounts[value as usize].amount as i64)
+                }
+                _ => continue,
+            };
+            locked += delta;
+            peak = peak.max(locked);
+            if collect {
+                profile.push((arrival + e.real.saturating_since(SimTime::ZERO), delta));
+            }
+        }
+    }
+    (peak.max(0) as u64, profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{ArrivalProcess, TopologyFamily};
+    use anta::net::NetFaults;
+    use anta::time::SimDuration;
+
+    fn small(family: TopologyFamily, payments: usize, seed: u64) -> SimConfig {
+        SimConfig {
+            batch: 16,
+            ..SimConfig::new(WorkloadConfig::new(family, payments, seed))
+        }
+    }
+
+    #[test]
+    fn faultless_linear_workload_all_succeed() {
+        let cfg = small(TopologyFamily::Linear { n: 3 }, 64, 1);
+        let report = run(&cfg);
+        assert_eq!(report.instances, 64);
+        let f = report.family("linear").unwrap();
+        assert!(f.success.is_perfect(), "{:?}", f.success);
+        assert_eq!(f.stuck + f.violations, 0);
+        assert!(report.conserved());
+        assert!(f.latency.is_some());
+        // Peak locked per instance: at least the first hop's value.
+        assert!(f.peak_locked.as_ref().unwrap().min >= 100);
+        assert!(report.peak_locked_global.unwrap() > 0);
+        assert!(report.peak_in_flight >= 1);
+    }
+
+    #[test]
+    fn report_is_identical_across_thread_counts() {
+        let base = small(TopologyFamily::RandomTree { nodes: 24 }, 96, 5);
+        let plan = FaultPlan {
+            crash_permille: 150,
+            thieving_escrow_permille: 50,
+            net: NetFaults {
+                drop_permille: 20,
+                delay_permille: 100,
+                extra_delay: SimDuration::from_millis(2),
+                delay_buckets: 4,
+            },
+            ..FaultPlan::NONE
+        };
+        let run_with = |threads: usize| {
+            let cfg = SimConfig {
+                threads,
+                faults: plan,
+                ..base
+            };
+            run(&cfg)
+        };
+        let a = run_with(1);
+        let b = run_with(4);
+        assert_eq!(a.instances, b.instances);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.peak_locked_global, b.peak_locked_global);
+        assert_eq!(a.peak_in_flight, b.peak_in_flight);
+        for (fa, fb) in a.families.iter().zip(&b.families) {
+            assert_eq!(fa.family, fb.family);
+            assert_eq!(fa.success.hits, fb.success.hits);
+            assert_eq!(
+                (fa.refunds, fa.stuck, fa.violations),
+                (fb.refunds, fb.stuck, fb.violations)
+            );
+            assert_eq!(fa.latency, fb.latency);
+            assert_eq!(fa.peak_locked, fb.peak_locked);
+        }
+    }
+
+    #[test]
+    fn packetized_packets_complete_without_faults() {
+        let cfg = small(TopologyFamily::Packetized { paths: 3, hops: 2 }, 30, 9);
+        let report = run(&cfg);
+        let f = report.family("packetized").unwrap();
+        assert!(f.success.is_perfect());
+        let p = f.packets.unwrap();
+        assert_eq!(p.complete, p.total);
+        assert_eq!(p.partial, 0);
+    }
+
+    #[test]
+    fn heavy_faults_degrade_liveness_never_conservation() {
+        let cfg = SimConfig {
+            faults: FaultPlan {
+                crash_permille: 200,
+                late_bob_permille: 100,
+                forging_chloe_permille: 100,
+                thieving_escrow_permille: 100,
+                net: NetFaults {
+                    drop_permille: 50,
+                    delay_permille: 200,
+                    extra_delay: SimDuration::from_millis(5),
+                    delay_buckets: 4,
+                },
+            },
+            ..small(TopologyFamily::HubAndSpoke { spokes: 6 }, 128, 3)
+        };
+        let report = run(&cfg);
+        let f = report.family("hub").unwrap();
+        assert!(f.byzantine > 0, "the mix must actually inject faults");
+        assert!(
+            f.success.hits < f.success.total,
+            "heavy faults must fail some payments"
+        );
+        assert!(report.conserved(), "violations: {}", report.violations);
+    }
+
+    #[test]
+    fn single_instance_runner_is_reusable() {
+        let specs =
+            workload::generate(&WorkloadConfig::new(TopologyFamily::Linear { n: 2 }, 4, 11));
+        let mut queue_high = 0;
+        for spec in &specs {
+            let r = run_instance(spec, &FaultPlan::NONE, false, &mut queue_high);
+            assert_eq!(r.outcome, InstanceOutcome::Success);
+            assert!(r.lock_profile.is_empty(), "profiling off");
+            assert!(r.events > 0);
+        }
+        assert!(queue_high > 0, "high-water mark carried across runs");
+    }
+
+    #[test]
+    fn bursty_arrivals_raise_concurrency() {
+        let mk = |arrivals| {
+            let mut cfg = small(TopologyFamily::Linear { n: 2 }, 64, 13);
+            cfg.workload.arrivals = arrivals;
+            cfg
+        };
+        let spread = run(&mk(ArrivalProcess::Uniform {
+            mean_gap: SimDuration::from_secs(5),
+        }));
+        let burst = run(&mk(ArrivalProcess::Bursty {
+            burst: 64,
+            gap: SimDuration::from_secs(5),
+        }));
+        assert!(
+            burst.peak_in_flight > spread.peak_in_flight,
+            "burst {} vs spread {}",
+            burst.peak_in_flight,
+            spread.peak_in_flight
+        );
+        assert!(burst.peak_locked_global.unwrap() > spread.peak_locked_global.unwrap());
+    }
+}

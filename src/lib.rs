@@ -18,6 +18,8 @@
 //! * [`htlc`] — hashed-timelock atomic swap baseline.
 //! * [`deals`] — Herlihy–Liskov–Shrira cross-chain deals.
 //! * [`experiments`] — the harness regenerating every paper artefact.
+//! * [`sim`] — Monte Carlo traffic simulator: workload generation, fault
+//!   injection, success/latency/locked-value metrics at scale.
 pub use anta;
 pub use consensus;
 pub use deals;
@@ -26,4 +28,5 @@ pub use htlc;
 pub use interledger;
 pub use ledger;
 pub use payment;
+pub use sim;
 pub use xcrypto;

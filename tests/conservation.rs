@@ -89,6 +89,68 @@ proptest! {
         assert_conserved(ValuePlan::with_commission(n, v0, commission), params, seed, false)?;
     }
 
+    /// Money conservation under **active fault injection**: Byzantine
+    /// escrows and customers (crashes, a late Bob, forged χ, a thieving
+    /// escrow) composed with message drops and delays at the network
+    /// layer. Whatever the fault mix does to liveness, no simulated
+    /// instance may be classified a conservation violation: every
+    /// auditable escrow book stays balanced, and whenever every net
+    /// position is observable they sum to zero (the thief's own book is
+    /// unobservable by construction and exempt).
+    #[test]
+    fn prop_conserves_under_fault_injection(
+        n in 1usize..5,
+        amount in 2u64..100_000,
+        seed in 0u64..1_000_000,
+        crash in 0u32..300,
+        late in 0u32..200,
+        forge in 0u32..200,
+        thieve in 0u32..300,
+        drop_pm in 0u32..200,
+        delay_pm in 0u32..300,
+    ) {
+        use crosschain::anta::net::NetFaults;
+        use crosschain::anta::time::SimDuration;
+        use crosschain::sim::{
+            workload, FaultPlan, InstanceOutcome, SimConfig, TopologyFamily, WorkloadConfig,
+        };
+        let faults = FaultPlan {
+            crash_permille: crash,
+            late_bob_permille: late,
+            forging_chloe_permille: forge,
+            thieving_escrow_permille: thieve,
+            net: NetFaults {
+                drop_permille: drop_pm,
+                delay_permille: delay_pm,
+                extra_delay: SimDuration::from_millis(3),
+                delay_buckets: 4,
+            },
+        };
+        let config = WorkloadConfig {
+            amount: (amount, amount),
+            ..WorkloadConfig::new(TopologyFamily::Linear { n }, 4, seed)
+        };
+        let specs = workload::generate(&config);
+        let mut queue_high = 0;
+        for spec in &specs {
+            let r = crosschain::sim::run_instance(spec, &faults, false, &mut queue_high);
+            prop_assert!(
+                r.outcome != InstanceOutcome::Violation,
+                "instance {} (faults {:?}) violated conservation",
+                spec.id,
+                r.faults
+            );
+        }
+        // The aggregated report agrees with the per-instance view.
+        let report = crosschain::sim::run_specs(&specs, &SimConfig {
+            faults,
+            threads: 1,
+            lock_profile: false,
+            ..SimConfig::new(config)
+        });
+        prop_assert!(report.conserved(), "violations: {}", report.violations);
+    }
+
     /// Deliberately broken schedules (margin cut away): runs may refund
     /// instead of paying, but no outcome may create or destroy value.
     #[test]
