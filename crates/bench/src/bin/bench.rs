@@ -13,7 +13,11 @@
 //!   payloads into the trace;
 //! * **sim** — the Monte-Carlo traffic simulator (`xchain-sim`) driving a
 //!   hub-and-spoke workload at 1/2/4(/8) worker threads (wall time,
-//!   payments/sec), written to its own `BENCH_sim.json`.
+//!   payments/sec), written to its own `BENCH_sim.json`;
+//! * **protocols** — the same linear workload through every protocol
+//!   harness at 1/2/4 worker threads (payments/sec per protocol), written
+//!   to `BENCH_protocols.json` so CI tracks the cross-protocol
+//!   throughput trajectory alongside the other artifacts.
 //!
 //! Usage: `cargo run --release -p xchain-bench --bin bench -- [--quick]
 //! [--out DIR] [--threads 1,2,4] [--seed S]`. The seed makes every seeded
@@ -46,6 +50,17 @@ struct EngineRow {
 /// One simulator-throughput measurement row.
 struct SimRow {
     workload: &'static str,
+    threads: usize,
+    payments: usize,
+    success: usize,
+    violations: usize,
+    wall_ms: f64,
+    payments_per_sec: f64,
+}
+
+/// One protocol-harness throughput measurement row.
+struct ProtocolRow {
+    protocol: &'static str,
     threads: usize,
     payments: usize,
     success: usize,
@@ -233,6 +248,65 @@ fn main() {
         sim_rows.push(row);
     }
 
+    // Protocol-harness throughput: one seeded linear workload through
+    // every harness, re-run at 1/2/4 worker threads. Reports are
+    // bit-identical across thread counts per harness; rows differ in wall
+    // time — the per-protocol scaling signal for BENCH_protocols.json.
+    let proto_payments = if args.quick { 1_000 } else { 5_000 };
+    let proto_workload = sim::WorkloadConfig::new(
+        sim::TopologyFamily::Linear { n: 3 },
+        proto_payments,
+        args.seed,
+    );
+    let proto_specs = sim::workload::generate(&proto_workload);
+    let mut protocol_rows: Vec<ProtocolRow> = Vec::new();
+    {
+        let mut bench_protocol =
+            |name: &'static str, run: &dyn Fn(&sim::SimConfig) -> sim::SimReport| {
+                for threads in [1usize, 2, 4] {
+                    let cfg = sim::SimConfig {
+                        faults: sim_faults,
+                        threads,
+                        lock_profile: false,
+                        ..sim::SimConfig::new(proto_workload)
+                    };
+                    let t0 = Instant::now();
+                    let report = run(&cfg);
+                    let wall = t0.elapsed();
+                    let row = ProtocolRow {
+                        protocol: name,
+                        threads,
+                        payments: report.instances,
+                        success: report.families.iter().map(|f| f.success.hits).sum(),
+                        violations: report.violations,
+                        wall_ms: ms(wall),
+                        payments_per_sec: report.instances as f64 / wall.as_secs_f64().max(1e-9),
+                    };
+                    eprintln!(
+                    "protocol {name:<12} threads={threads} payments={} success={} {:.1} ms ({:.0} payments/s)",
+                    row.payments, row.success, row.wall_ms, row.payments_per_sec
+                );
+                    protocol_rows.push(row);
+                }
+            };
+        let specs = &proto_specs;
+        bench_protocol("timebounded", &|cfg| {
+            sim::run_specs_with(&sim::TimeBoundedHarness, specs, cfg)
+        });
+        bench_protocol("htlc", &|cfg| {
+            sim::run_specs_with(&sim::HtlcHarness, specs, cfg)
+        });
+        bench_protocol("ilp-untuned", &|cfg| {
+            sim::run_specs_with(&sim::InterledgerHarness::untuned(), specs, cfg)
+        });
+        bench_protocol("ilp-atomic", &|cfg| {
+            sim::run_specs_with(&sim::InterledgerHarness::atomic(), specs, cfg)
+        });
+        bench_protocol("deals", &|cfg| {
+            sim::run_specs_with(&sim::DealsHarness, specs, cfg)
+        });
+    }
+
     // Hand-rolled JSON (no serde in the offline workspace).
     let mut json = String::new();
     json.push_str("{\n");
@@ -312,6 +386,36 @@ fn main() {
     }
     sim_json.push_str("  ]\n}\n");
 
+    // BENCH_protocols.json: per-protocol throughput trajectory, next to
+    // the other artifacts so each stays schema-stable.
+    let mut proto_json = String::new();
+    proto_json.push_str("{\n");
+    proto_json.push_str("  \"schema\": 1,\n");
+    proto_json.push_str(&format!("  \"quick\": {},\n", args.quick));
+    proto_json.push_str(&format!("  \"seed\": {},\n", args.seed));
+    proto_json.push_str(&format!(
+        "  \"threads_available\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    proto_json.push_str("  \"protocols\": [\n");
+    for (i, r) in protocol_rows.iter().enumerate() {
+        proto_json.push_str(&format!(
+            "    {{\"protocol\": \"{}\", \"threads\": {}, \"payments\": {}, \"success\": {}, \
+             \"violations\": {}, \"wall_ms\": {:.3}, \"payments_per_sec\": {:.1}}}{}\n",
+            r.protocol,
+            r.threads,
+            r.payments,
+            r.success,
+            r.violations,
+            r.wall_ms,
+            r.payments_per_sec,
+            if i + 1 < protocol_rows.len() { "," } else { "" }
+        ));
+    }
+    proto_json.push_str("  ]\n}\n");
+
     std::fs::create_dir_all(&args.out).expect("create --out directory");
     let path = std::path::Path::new(&args.out).join("BENCH_perf.json");
     std::fs::write(&path, &json).expect("write BENCH_perf.json");
@@ -319,4 +423,7 @@ fn main() {
     let sim_path = std::path::Path::new(&args.out).join("BENCH_sim.json");
     std::fs::write(&sim_path, &sim_json).expect("write BENCH_sim.json");
     println!("{}", sim_path.display());
+    let proto_path = std::path::Path::new(&args.out).join("BENCH_protocols.json");
+    std::fs::write(&proto_path, &proto_json).expect("write BENCH_protocols.json");
+    println!("{}", proto_path.display());
 }

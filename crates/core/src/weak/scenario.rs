@@ -120,6 +120,12 @@ impl WeakSetup {
     /// the Interledger atomic manager) can substitute a manager that
     /// still signs under the authority this setup's participants verify.
     pub fn tm_signer_for_tests(&self, i: usize) -> &Signer {
+        self.tm_signer(i)
+    }
+
+    /// Signer of manager process `i` (the production-facing name;
+    /// see [`WeakSetup::tm_signer_for_tests`]).
+    pub fn tm_signer(&self, i: usize) -> &Signer {
         &self.tms[i]
     }
 
@@ -249,6 +255,18 @@ impl WeakSetup {
         }
     }
 
+    /// The engine configuration this setup derives. Callers may tweak it
+    /// (e.g. counters-only tracing or a tighter horizon for Monte-Carlo
+    /// sweeps) and pass it to [`WeakSetup::build_engine_cfg`].
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            max_real_time: SimTime::from_secs(3_600),
+            sigma_max: SyncParams::baseline().sigma,
+            sigma_buckets: 4,
+            ..Default::default()
+        }
+    }
+
     /// Builds the engine with compliant participants, substituting where
     /// `override_for` returns `Some`. Managers cannot be overridden here —
     /// unreliable notaries are modelled by substituting pids in the
@@ -257,15 +275,22 @@ impl WeakSetup {
         &self,
         net: Box<dyn NetModel<PMsg>>,
         oracle: Box<dyn Oracle>,
+        override_for: impl FnMut(Role) -> Option<Box<dyn Process<PMsg>>>,
+        override_tm: impl FnMut(usize) -> Option<Box<dyn Process<PMsg>>>,
+    ) -> Engine<PMsg> {
+        self.build_engine_cfg(net, oracle, self.engine_config(), override_for, override_tm)
+    }
+
+    /// Builds the engine under an explicit engine configuration (see
+    /// [`WeakSetup::build_engine_with`] for the substitution semantics).
+    pub fn build_engine_cfg(
+        &self,
+        net: Box<dyn NetModel<PMsg>>,
+        oracle: Box<dyn Oracle>,
+        cfg: EngineConfig,
         mut override_for: impl FnMut(Role) -> Option<Box<dyn Process<PMsg>>>,
         mut override_tm: impl FnMut(usize) -> Option<Box<dyn Process<PMsg>>>,
     ) -> Engine<PMsg> {
-        let cfg = EngineConfig {
-            max_real_time: SimTime::from_secs(3_600),
-            sigma_max: SyncParams::baseline().sigma,
-            sigma_buckets: 4,
-            ..Default::default()
-        };
         let mut eng = Engine::new(net, oracle, cfg);
         for pid in 0..self.topo.participants() {
             let role = self.topo.role_of(pid).expect("chain pid");

@@ -51,12 +51,19 @@ impl Summary {
     }
 }
 
-/// Nearest-rank percentile over a pre-sorted slice.
+/// Nearest-rank percentile over a pre-sorted slice. Total: an empty
+/// sample yields 0 rather than panicking (aggregation layers represent
+/// "no samples" as `Option<Summary>`, but ad-hoc callers — e.g. a sweep
+/// cell whose success-latency vector is empty — must not be able to
+/// crash a report over it), and a single-sample slice yields that sample
+/// for every `p`.
 pub fn percentile(sorted: &[u64], p: u32) -> u64 {
-    assert!(!sorted.is_empty());
     assert!(p <= 100);
+    let Some(&first) = sorted.first() else {
+        return 0;
+    };
     if p == 0 {
-        return sorted[0];
+        return first;
     }
     let rank = (p as usize * sorted.len()).div_ceil(100);
     sorted[rank.saturating_sub(1)]
@@ -134,6 +141,18 @@ mod tests {
         assert_eq!(percentile(&v, 99), 99);
         assert_eq!(percentile(&v, 100), 100);
         assert_eq!(percentile(&v, 0), 1);
+    }
+
+    #[test]
+    fn percentile_edge_cases_empty_and_singleton() {
+        // Empty sample: total function, no panic, conventional 0.
+        assert_eq!(percentile(&[], 0), 0);
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[], 99), 0);
+        // Singleton: every percentile is the sample (nearest rank of 1).
+        for p in [0, 1, 50, 99, 100] {
+            assert_eq!(percentile(&[42], p), 42, "p{p}");
+        }
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! [`DealsHarness`] — the Herlihy–Liskov–Shrira certified commit protocol
+//! behind the unified harness interface.
+//!
+//! A payment spec becomes a linear *deal*: parties `0..=n` around the `n`
+//! escrowed arcs `i → i+1` carrying the value plan's amounts, with a
+//! certified blockchain (CBC) totally ordering the parties' votes. No
+//! clocks sit in the decision path, so safety and termination survive
+//! partial synchrony; what is lost is strong liveness — an impatient or
+//! withholding party pushes an honest run into a safe all-abort
+//! ([`ProtocolOutcome::Refund`]). Every party runs with a bounded patience
+//! here, so faulted runs abort instead of hanging forever; a run only
+//! counts [`ProtocolOutcome::Stuck`] when capital stays locked past the
+//! horizon (e.g. a dropped CBC decision).
+//!
+//! Byzantine degradation: crashes map to a withholding party, a late payee
+//! to an impatient one; forging and thieving have no counterpart against
+//! a CBC that verifies signatures, and are declared unsupported.
+
+use crate::faults::{ByzFault, InstanceFaults};
+use crate::harness::{layered_net, ByzSupport, ProtocolHarness};
+use crate::outcome::{LockProfile, ProtocolOutcome};
+use crate::workload::PaymentSpec;
+use anta::clock::DriftClock;
+use anta::engine::{Engine, EngineConfig};
+use anta::net::{NetFaults, SyncNet};
+use anta::oracle::Oracle;
+use anta::process::Pid;
+use anta::time::{SimDuration, SimTime};
+use anta::trace::{TraceKind, TraceMode};
+use deals::certified::{CertifiedChain, CertifiedEscrow, CertifiedParty};
+use deals::matrix::{DealMatrix, Party};
+use deals::timelock::DealInstance;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xcrypto::Signer;
+
+/// Per-instance deal context.
+pub struct DealCtx {
+    /// The generated instance (keys, pids, arcs).
+    pub inst: DealInstance,
+    /// Per-party signers, in party order.
+    pub signers: Vec<Signer>,
+    /// Network faults for this instance.
+    pub net: NetFaults,
+    /// Default per-party patience before voting abort.
+    pub patience: SimDuration,
+    /// Party that withholds entirely (never deposits nor votes), if any.
+    pub withholds: Option<Party>,
+    /// Party that aborts early (tiny patience), if any.
+    pub impatient: Option<Party>,
+    /// Engine horizon.
+    pub horizon: SimTime,
+}
+
+/// The certified deal protocol as a [`ProtocolHarness`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DealsHarness;
+
+impl ProtocolHarness for DealsHarness {
+    type Msg = deals::timelock::DMsg;
+    type Instance = DealCtx;
+
+    fn name(&self) -> &'static str {
+        "deals"
+    }
+
+    fn byz_support(&self) -> ByzSupport {
+        ByzSupport {
+            crash: true,
+            late_bob: true,
+            forging_chloe: false,
+            thieving_escrow: false,
+        }
+    }
+
+    fn instance(&self, spec: &PaymentSpec, faults: &InstanceFaults) -> DealCtx {
+        let parties = spec.n + 1;
+        let mut deal = DealMatrix::new(parties);
+        for (k, asset) in spec.plan.amounts.iter().enumerate() {
+            deal.add(k, k + 1, *asset);
+        }
+        let (inst, signers) = DealInstance::generate(deal, spec.seed);
+        let (withholds, impatient) = match faults.byz {
+            ByzFault::None => (None, None),
+            ByzFault::CrashCustomer(i) => (Some(i % parties), None),
+            // Escrows are reliable under the CBC model; degrade an escrow
+            // crash to its depositor withholding.
+            ByzFault::CrashEscrow(i) => (Some(i % parties), None),
+            ByzFault::LateBob => (None, Some(parties - 1)),
+            // Restricted away; interpret defensively if handed in anyway.
+            ByzFault::ForgingChloe(i) => (Some(i % parties), None),
+            ByzFault::ThievingEscrow(i) => (Some(i % parties), None),
+        };
+        let patience = spec.params.hop().saturating_mul(4 * spec.n as u64 + 16);
+        DealCtx {
+            inst,
+            signers,
+            net: faults.net,
+            patience,
+            withholds,
+            impatient,
+            horizon: SimTime::ZERO + patience.saturating_mul(8) + SimDuration::from_secs(10),
+        }
+    }
+
+    fn build_engine(
+        &self,
+        ctx: &DealCtx,
+        spec: &PaymentSpec,
+        oracle: Box<dyn Oracle>,
+        trace_mode: TraceMode,
+    ) -> Engine<Self::Msg> {
+        let net = layered_net(Box::new(SyncNet::new(spec.params.delta, 16)), ctx.net);
+        let cfg = EngineConfig {
+            max_real_time: ctx.horizon,
+            sigma_max: spec.params.sigma,
+            sigma_buckets: 4,
+            trace_mode,
+            ..EngineConfig::default()
+        };
+        let mut eng = Engine::new(net, oracle, cfg);
+        let cbc_pid = ctx.inst.next_free_pid();
+        // Parties keep drifting local clocks (patience is a local policy);
+        // escrows and the CBC settle on messages, not clocks.
+        for (p, signer) in ctx.signers.iter().enumerate() {
+            let mut rng =
+                StdRng::seed_from_u64(spec.seed.wrapping_mul(0x9E37_79B9).wrapping_add(p as u64));
+            let clock = DriftClock::sample(spec.params.rho_ppm, spec.params.hop(), &mut rng);
+            if ctx.withholds == Some(p) {
+                // A crashed party neither deposits nor votes — without its
+                // commit vote the CBC can only ever certify ABORT.
+                eng.add_process(Box::new(CrashedParty), clock);
+                continue;
+            }
+            let mut party = CertifiedParty::new(&ctx.inst, p, signer.clone(), cbc_pid);
+            party.patience = Some(if ctx.impatient == Some(p) {
+                spec.params.hop()
+            } else {
+                ctx.patience
+            });
+            eng.add_process(Box::new(party), clock);
+        }
+        for k in 0..ctx.inst.deal.arcs().len() {
+            eng.add_process(
+                Box::new(CertifiedEscrow::new(&ctx.inst, k)),
+                DriftClock::perfect(),
+            );
+        }
+        let subscribers: Vec<Pid> = (0..cbc_pid).collect();
+        eng.add_process(
+            Box::new(CertifiedChain::new(&ctx.inst, subscribers)),
+            DriftClock::perfect(),
+        );
+        eng
+    }
+
+    fn classify(
+        &self,
+        eng: &Engine<Self::Msg>,
+        ctx: &DealCtx,
+        _spec: &PaymentSpec,
+        _quiescent: bool,
+        truncated: bool,
+    ) -> ProtocolOutcome {
+        let arcs = ctx.inst.deal.arcs().len();
+        let mut any_released = false;
+        let mut any_returned = false;
+        let mut locked_unsettled = false;
+        for k in 0..arcs {
+            let escrow = eng
+                .process_as::<CertifiedEscrow>(ctx.inst.escrow_pid(k))
+                .expect("escrows are never substituted");
+            // Money conservation first.
+            if escrow.ledger().check_conservation().is_err() {
+                return ProtocolOutcome::Violation;
+            }
+            let escrowed = eng
+                .trace()
+                .marks("arc_escrowed")
+                .any(|(_, _, _, v)| v == k as i64);
+            match escrow.settled {
+                Some(true) => any_released = true,
+                Some(false) => {
+                    if escrowed {
+                        any_returned = true;
+                    }
+                }
+                None => {
+                    if escrowed {
+                        locked_unsettled = true;
+                    }
+                }
+            }
+        }
+        // Two different settlements among escrowed arcs means two CBC
+        // verdicts were acted on — atomicity broken.
+        if any_released && any_returned {
+            return ProtocolOutcome::Violation;
+        }
+        // Stuck only when capital actually stays locked (the module-doc
+        // contract): a fully-settled commit scores Success even if stray
+        // timers kept the engine busy to its horizon — the same
+        // settled-before-truncated ordering as the chain classifiers.
+        if locked_unsettled {
+            return ProtocolOutcome::Stuck;
+        }
+        if any_released {
+            // Single verdict ⇒ all escrowed arcs released.
+            return ProtocolOutcome::Success;
+        }
+        if truncated {
+            return ProtocolOutcome::Stuck;
+        }
+        ProtocolOutcome::Refund
+    }
+
+    fn latency(
+        &self,
+        eng: &Engine<Self::Msg>,
+        _ctx: &DealCtx,
+        _spec: &PaymentSpec,
+        outcome: ProtocolOutcome,
+    ) -> SimDuration {
+        let end = eng.trace().end_time();
+        let at = match outcome {
+            ProtocolOutcome::Success => eng
+                .trace()
+                .marks("arc_released")
+                .map(|(_, real, _, _)| real)
+                .max()
+                .unwrap_or(end),
+            _ => end,
+        };
+        at.saturating_since(SimTime::ZERO)
+    }
+
+    fn lock_events(
+        &self,
+        eng: &Engine<Self::Msg>,
+        ctx: &DealCtx,
+        _spec: &PaymentSpec,
+    ) -> LockProfile {
+        let arcs = ctx.inst.deal.arcs();
+        let mut profile = LockProfile::new();
+        for e in &eng.trace().events {
+            if let TraceKind::Mark { label, value, .. } = e.kind {
+                let sign = match label {
+                    "arc_escrowed" => 1,
+                    "arc_released" | "arc_returned" => -1,
+                    _ => continue,
+                };
+                profile.push(e.real, sign * arcs[value as usize].asset.amount as i64);
+            }
+        }
+        profile
+    }
+}
+
+/// A fail-stopped party: deposits nothing, votes for nothing, says
+/// nothing. (The stock `CertifiedParty::participate` flag only skips the
+/// deposits — it still votes commit once everything is escrowed, which is
+/// not what a crash means.)
+#[derive(Debug, Clone, Copy)]
+struct CrashedParty;
+
+impl anta::process::Process<deals::timelock::DMsg> for CrashedParty {
+    fn on_start(&mut self, _ctx: &mut anta::process::Ctx<deals::timelock::DMsg>) {}
+    fn on_message(
+        &mut self,
+        _from: Pid,
+        _msg: deals::timelock::DMsg,
+        _ctx: &mut anta::process::Ctx<deals::timelock::DMsg>,
+    ) {
+    }
+    fn on_timer(
+        &mut self,
+        _id: anta::process::TimerId,
+        _ctx: &mut anta::process::Ctx<deals::timelock::DMsg>,
+    ) {
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn box_clone(&self) -> Box<dyn anta::process::Process<deals::timelock::DMsg>> {
+        Box::new(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+    use crate::harness::run_harness_instance;
+    use crate::workload::{self, TopologyFamily, WorkloadConfig};
+
+    fn specs(n: usize, payments: usize, seed: u64) -> Vec<PaymentSpec> {
+        workload::generate(&WorkloadConfig::new(
+            TopologyFamily::Linear { n },
+            payments,
+            seed,
+        ))
+    }
+
+    #[test]
+    fn faultless_deals_fully_commit() {
+        let mut queue_high = 0;
+        for spec in &specs(3, 10, 21) {
+            let r =
+                run_harness_instance(&DealsHarness, spec, &FaultPlan::NONE, true, &mut queue_high);
+            assert_eq!(r.outcome, ProtocolOutcome::Success, "spec {}", spec.id);
+            assert!(!r.griefed, "deal aborts are patience-bounded");
+            let total: u64 = spec.plan.amounts.iter().map(|a| a.amount).sum();
+            assert_eq!(r.peak_locked, total, "all arcs locked simultaneously");
+        }
+    }
+
+    #[test]
+    fn withholding_party_forces_safe_abort() {
+        let plan = FaultPlan {
+            crash_permille: 1000,
+            ..FaultPlan::NONE
+        };
+        let mut queue_high = 0;
+        let mut refunds = 0usize;
+        for spec in &specs(2, 24, 22) {
+            let r = run_harness_instance(&DealsHarness, spec, &plan, false, &mut queue_high);
+            assert_ne!(
+                r.outcome,
+                ProtocolOutcome::Success,
+                "a crashed party blocks commit"
+            );
+            assert_ne!(r.outcome, ProtocolOutcome::Violation, "aborts stay atomic");
+            if r.outcome == ProtocolOutcome::Refund {
+                refunds += 1;
+            }
+        }
+        assert!(refunds > 0, "patience turns withholding into safe aborts");
+    }
+
+    #[test]
+    fn impatient_payee_aborts_cleanly() {
+        let plan = FaultPlan {
+            late_bob_permille: 1000,
+            ..FaultPlan::NONE
+        };
+        let mut queue_high = 0;
+        for spec in &specs(2, 8, 23) {
+            let r = run_harness_instance(&DealsHarness, spec, &plan, false, &mut queue_high);
+            assert!(
+                matches!(
+                    r.outcome,
+                    ProtocolOutcome::Refund | ProtocolOutcome::Success
+                ),
+                "an impatient party either races the commit or aborts safely: {:?}",
+                r.outcome
+            );
+        }
+    }
+}

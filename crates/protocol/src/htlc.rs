@@ -1,0 +1,439 @@
+//! [`HtlcHarness`] — the two-chain HTLC atomic swap behind the unified
+//! harness interface.
+//!
+//! A payment spec is executed as the classic swap: Alice locks her asset
+//! on chain A under `H = SHA-256(s)` with timelock `2T`, Bob counter-locks
+//! on chain B with timelock `T`, Alice claims on B (revealing `s`), Bob
+//! replays `s` on A. The harness exposes exactly the defects the paper's
+//! introduction attributes to deployed HTLC swaps:
+//!
+//! * **griefing** — either side can walk away and strand the other's
+//!   capital for a full timelock window ([`ProtocolHarness::griefed`]
+//!   reports these);
+//! * **asymmetric settlement** — under message loss, one leg can claim
+//!   while the other reclaims, leaving a compliant party strictly worse
+//!   off; the harness classifies that as a
+//!   [`ProtocolOutcome::Violation`].
+//!
+//! Byzantine degradation: crash-style faults map onto the two native
+//! abandonment strategies (an initiator who locks but never claims, a
+//! responder who never counter-locks); forging and thieving have no HTLC
+//! counterpart and are declared unsupported.
+
+use crate::faults::{ByzFault, InstanceFaults};
+use crate::harness::{layered_net, ByzSupport, ProtocolHarness};
+use crate::outcome::{LockProfile, ProtocolOutcome};
+use crate::workload::{PaymentSpec, TopologyFamily, WorkloadConfig};
+use anta::clock::DriftClock;
+use anta::engine::{Engine, EngineConfig};
+use anta::net::{NetFaults, SyncNet};
+use anta::oracle::Oracle;
+use anta::process::{Ctx, Pid, Process, TimerId};
+use anta::time::{SimDuration, SimTime};
+use anta::trace::{TraceKind, TraceMode};
+use htlc::contract::{HtlcChain, HtlcState};
+use htlc::swap::{ChainProcess, HMsg, SwapInitiator, SwapResponder};
+use ledger::Asset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xcrypto::KeyId;
+
+/// Alice's process id in every swap engine.
+pub const ALICE_PID: Pid = 0;
+/// Bob's process id.
+pub const BOB_PID: Pid = 1;
+/// Chain A's process id (holds Alice's lock).
+pub const CHAIN_A_PID: Pid = 2;
+/// Chain B's process id (holds Bob's counter-lock).
+pub const CHAIN_B_PID: Pid = 3;
+
+const ALICE_KEY: KeyId = KeyId(0);
+const BOB_KEY: KeyId = KeyId(1);
+
+/// How the sampled Byzantine fault manifests in a swap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapFault {
+    /// Everyone follows the protocol.
+    None,
+    /// Alice locks on chain A but never claims on chain B — both sides
+    /// wait out their timelocks.
+    AliceAbandons,
+    /// Bob never counter-locks — Alice's capital is stranded until `2T`.
+    BobGriefs,
+}
+
+impl SwapFault {
+    /// Maps a sampled chain fault onto the nearest swap behaviour.
+    pub fn from_byz(byz: ByzFault) -> SwapFault {
+        match byz {
+            ByzFault::None => SwapFault::None,
+            ByzFault::CrashCustomer(0) => SwapFault::AliceAbandons,
+            ByzFault::CrashCustomer(_) | ByzFault::LateBob | ByzFault::ForgingChloe(_) => {
+                SwapFault::BobGriefs
+            }
+            // Chains are reliable in the HTLC model; an escrow fault
+            // degrades to abandonment by the nearer party.
+            ByzFault::CrashEscrow(i) => {
+                if i % 2 == 0 {
+                    SwapFault::AliceAbandons
+                } else {
+                    SwapFault::BobGriefs
+                }
+            }
+            ByzFault::ThievingEscrow(_) => SwapFault::AliceAbandons,
+        }
+    }
+}
+
+/// Per-instance swap context.
+pub struct SwapInstance {
+    /// The interpreted fault.
+    pub fault: SwapFault,
+    /// Network faults for this instance.
+    pub net: NetFaults,
+    /// Alice's offer on chain A.
+    pub offer_a: Asset,
+    /// Bob's offer on chain B.
+    pub offer_b: Asset,
+    /// Bob's timelock `T` (chain-local).
+    pub timelock_b: SimTime,
+    /// Alice's timelock `2T` (chain-local).
+    pub timelock_a: SimTime,
+    /// Engine horizon.
+    pub horizon: SimTime,
+    secret: Vec<u8>,
+}
+
+/// The HTLC atomic swap as a [`ProtocolHarness`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HtlcHarness;
+
+impl ProtocolHarness for HtlcHarness {
+    type Msg = HMsg;
+    type Instance = SwapInstance;
+
+    fn name(&self) -> &'static str {
+        "htlc"
+    }
+
+    fn supports(&self, workload: &WorkloadConfig) -> bool {
+        // A packetized payment needs parallel multi-path routing; a
+        // two-party swap cannot model it faithfully.
+        !matches!(workload.family, TopologyFamily::Packetized { .. })
+    }
+
+    fn byz_support(&self) -> ByzSupport {
+        ByzSupport {
+            crash: true,
+            late_bob: true,
+            forging_chloe: false,
+            thieving_escrow: false,
+        }
+    }
+
+    fn instance(&self, spec: &PaymentSpec, faults: &InstanceFaults) -> SwapInstance {
+        // T covers many sequential worst-case hops; the swap itself needs
+        // about six messages end to end.
+        let t = spec.params.hop().saturating_mul(16);
+        let timelock_b = SimTime::ZERO + t;
+        let timelock_a = SimTime::ZERO + t.saturating_mul(2);
+        SwapInstance {
+            fault: SwapFault::from_byz(faults.byz),
+            net: faults.net,
+            offer_a: spec.plan.amounts[0],
+            offer_b: spec.plan.amounts[spec.plan.hops() - 1],
+            timelock_b,
+            timelock_a,
+            horizon: SimTime::ZERO + t.saturating_mul(12) + SimDuration::from_secs(10),
+            secret: spec.seed.to_le_bytes().to_vec(),
+        }
+    }
+
+    fn build_engine(
+        &self,
+        inst: &SwapInstance,
+        spec: &PaymentSpec,
+        oracle: Box<dyn Oracle>,
+        trace_mode: TraceMode,
+    ) -> Engine<HMsg> {
+        let net = layered_net(Box::new(SyncNet::new(spec.params.delta, 16)), inst.net);
+        let cfg = EngineConfig {
+            max_real_time: inst.horizon,
+            sigma_max: spec.params.sigma,
+            sigma_buckets: 4,
+            trace_mode,
+            ..EngineConfig::default()
+        };
+        let mut eng = Engine::new(net, oracle, cfg);
+
+        let mut chain_a = HtlcChain::new();
+        chain_a.ledger_mut().open_account(ALICE_KEY).expect("fresh");
+        chain_a.ledger_mut().open_account(BOB_KEY).expect("fresh");
+        chain_a
+            .ledger_mut()
+            .mint(ALICE_KEY, inst.offer_a)
+            .expect("fresh");
+        let mut chain_b = HtlcChain::new();
+        chain_b.ledger_mut().open_account(ALICE_KEY).expect("fresh");
+        chain_b.ledger_mut().open_account(BOB_KEY).expect("fresh");
+        chain_b
+            .ledger_mut()
+            .mint(BOB_KEY, inst.offer_b)
+            .expect("fresh");
+
+        let alice = SwapInitiator::new(
+            ALICE_KEY,
+            BOB_KEY,
+            CHAIN_A_PID,
+            CHAIN_B_PID,
+            inst.offer_a,
+            inst.secret.clone(),
+            inst.timelock_a,
+        );
+        let alice: Box<dyn Process<HMsg>> = if inst.fault == SwapFault::AliceAbandons {
+            Box::new(LockOnlyInitiator(alice))
+        } else {
+            Box::new(alice)
+        };
+        let mut bob = SwapResponder::new(
+            BOB_KEY,
+            ALICE_KEY,
+            CHAIN_A_PID,
+            CHAIN_B_PID,
+            inst.offer_b,
+            inst.timelock_b,
+        );
+        bob.participate = inst.fault != SwapFault::BobGriefs;
+
+        // One drifting clock shared by parties and chains, sampled from
+        // the instance seed: absolute time uncertainty within the drift
+        // envelope. (The stock swap processes never retry a rejected
+        // reclaim, so chains and parties disagreeing on *relative* time
+        // would manufacture stuck contracts that say nothing about the
+        // protocol — HTLC's defect under this model is griefing, not
+        // drift.)
+        let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_mul(0x9E37_79B9));
+        let clock = DriftClock::sample(spec.params.rho_ppm, spec.params.hop(), &mut rng);
+        eng.add_process(alice, clock);
+        eng.add_process(Box::new(bob), clock);
+        eng.add_process(
+            Box::new(ChainProcess::new(chain_a, vec![ALICE_PID, BOB_PID])),
+            clock,
+        );
+        eng.add_process(
+            Box::new(ChainProcess::new(chain_b, vec![ALICE_PID, BOB_PID])),
+            clock,
+        );
+        eng
+    }
+
+    fn classify(
+        &self,
+        eng: &Engine<HMsg>,
+        _inst: &SwapInstance,
+        _spec: &PaymentSpec,
+        _quiescent: bool,
+        truncated: bool,
+    ) -> ProtocolOutcome {
+        let a = eng
+            .process_as::<ChainProcess>(CHAIN_A_PID)
+            .expect("chain A present")
+            .chain();
+        let b = eng
+            .process_as::<ChainProcess>(CHAIN_B_PID)
+            .expect("chain B present")
+            .chain();
+        // Money conservation first: the chains' books must balance.
+        if a.ledger().check_conservation().is_err() || b.ledger().check_conservation().is_err() {
+            return ProtocolOutcome::Violation;
+        }
+        let sa = a.contract(0).map(|c| c.state);
+        let sb = b.contract(0).map(|c| c.state);
+        match (sa, sb) {
+            // Both legs claimed: the swap completed.
+            (Some(HtlcState::Claimed), Some(HtlcState::Claimed)) => ProtocolOutcome::Success,
+            // One leg claimed while the other unwound: somebody holds both
+            // assets and a compliant party lost out.
+            (Some(HtlcState::Claimed), Some(HtlcState::Reclaimed))
+            | (Some(HtlcState::Reclaimed), Some(HtlcState::Claimed)) => ProtocolOutcome::Violation,
+            // Capital still locked when the run ended.
+            (Some(HtlcState::Open), _) | (_, Some(HtlcState::Open)) => ProtocolOutcome::Stuck,
+            _ if truncated => ProtocolOutcome::Stuck,
+            // Both reclaimed, or the swap never (fully) engaged.
+            _ => ProtocolOutcome::Refund,
+        }
+    }
+
+    fn griefed(&self, eng: &Engine<HMsg>, _inst: &SwapInstance, outcome: ProtocolOutcome) -> bool {
+        // Any non-success after capital was locked means a party sat
+        // through (at least) a full timelock window to recover it — the
+        // HTLC griefing cost.
+        outcome != ProtocolOutcome::Success && eng.trace().marks("htlc_opened").next().is_some()
+    }
+
+    fn latency(
+        &self,
+        eng: &Engine<HMsg>,
+        _inst: &SwapInstance,
+        _spec: &PaymentSpec,
+        outcome: ProtocolOutcome,
+    ) -> SimDuration {
+        let end = eng.trace().end_time();
+        let at = match outcome {
+            ProtocolOutcome::Success => eng
+                .trace()
+                .halt_time(ALICE_PID)
+                .into_iter()
+                .chain(eng.trace().halt_time(BOB_PID))
+                .max()
+                .unwrap_or(end),
+            _ => end,
+        };
+        at.saturating_since(SimTime::ZERO)
+    }
+
+    fn lock_events(
+        &self,
+        eng: &Engine<HMsg>,
+        inst: &SwapInstance,
+        _spec: &PaymentSpec,
+    ) -> LockProfile {
+        let mut profile = LockProfile::new();
+        for e in &eng.trace().events {
+            if let TraceKind::Mark { pid, label, .. } = e.kind {
+                let amount = match pid {
+                    CHAIN_A_PID => inst.offer_a.amount as i64,
+                    CHAIN_B_PID => inst.offer_b.amount as i64,
+                    _ => continue,
+                };
+                let delta = match label {
+                    "htlc_opened" => amount,
+                    "htlc_claimed" | "htlc_reclaimed" => -amount,
+                    _ => continue,
+                };
+                profile.push(e.real, delta);
+            }
+        }
+        profile
+    }
+}
+
+/// An initiator who locks on chain A and then abandons the swap: she
+/// tracks her own contract (to reclaim at `2T`) but never claims Bob's
+/// counter-lock — the crash-fault interpretation for Alice.
+struct LockOnlyInitiator(SwapInitiator);
+
+impl Clone for LockOnlyInitiator {
+    fn clone(&self) -> Self {
+        LockOnlyInitiator(self.0.clone())
+    }
+}
+
+impl Process<HMsg> for LockOnlyInitiator {
+    fn on_start(&mut self, ctx: &mut Ctx<HMsg>) {
+        self.0.on_start(ctx);
+    }
+
+    fn on_message(&mut self, from: Pid, msg: HMsg, ctx: &mut Ctx<HMsg>) {
+        // Only observe her own chain (to learn the contract id); never
+        // react to chain B, so `s` is never revealed.
+        if from == CHAIN_A_PID {
+            if let HMsg::Opened { .. } = &msg {
+                self.0.on_message(from, msg, ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, id: TimerId, ctx: &mut Ctx<HMsg>) {
+        self.0.on_timer(id, ctx);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn box_clone(&self) -> Box<dyn Process<HMsg>> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+    use crate::harness::run_harness_instance;
+    use crate::workload::{self, WorkloadConfig};
+
+    fn specs(n: usize, payments: usize, seed: u64) -> Vec<PaymentSpec> {
+        workload::generate(&WorkloadConfig::new(
+            TopologyFamily::Linear { n },
+            payments,
+            seed,
+        ))
+    }
+
+    #[test]
+    fn faultless_swaps_succeed() {
+        let mut queue_high = 0;
+        for spec in &specs(3, 12, 5) {
+            let r =
+                run_harness_instance(&HtlcHarness, spec, &FaultPlan::NONE, false, &mut queue_high);
+            assert_eq!(r.outcome, ProtocolOutcome::Success, "spec {}", spec.id);
+            assert!(!r.griefed);
+            assert!(r.peak_locked >= spec.plan.amounts[0].amount);
+        }
+    }
+
+    #[test]
+    fn griefing_responder_shows_as_griefed_refund() {
+        let plan = FaultPlan {
+            late_bob_permille: 1000,
+            ..FaultPlan::NONE
+        };
+        let mut griefed = 0usize;
+        let mut queue_high = 0;
+        for spec in &specs(2, 16, 7) {
+            let r = run_harness_instance(&HtlcHarness, spec, &plan, false, &mut queue_high);
+            assert_ne!(
+                r.outcome,
+                ProtocolOutcome::Success,
+                "griefed swap cannot complete"
+            );
+            assert_ne!(
+                r.outcome,
+                ProtocolOutcome::Violation,
+                "griefing is not theft"
+            );
+            if r.griefed {
+                griefed += 1;
+            }
+        }
+        assert!(griefed > 0, "griefing must be visible in the metrics");
+    }
+
+    #[test]
+    fn abandoning_initiator_unwinds_both_legs() {
+        let plan = FaultPlan {
+            // Crash faults pick a uniformly random victim; filter to the
+            // Alice interpretation via the mapped fault.
+            crash_permille: 1000,
+            ..FaultPlan::NONE
+        };
+        let mut queue_high = 0;
+        let mut seen_abandon = false;
+        for spec in &specs(2, 32, 11) {
+            let r = run_harness_instance(&HtlcHarness, spec, &plan, false, &mut queue_high);
+            assert_ne!(r.outcome, ProtocolOutcome::Success);
+            if SwapFault::from_byz(r.faults.byz) == SwapFault::AliceAbandons {
+                seen_abandon = true;
+            }
+        }
+        assert!(seen_abandon, "the crash mix must hit Alice sometimes");
+    }
+
+    #[test]
+    fn packetized_workloads_are_unsupported() {
+        let w = WorkloadConfig::new(TopologyFamily::Packetized { paths: 4, hops: 2 }, 8, 1);
+        assert!(!HtlcHarness.supports(&w));
+        assert!(HtlcHarness.supports(&WorkloadConfig::new(TopologyFamily::Linear { n: 2 }, 8, 1)));
+    }
+}

@@ -1,0 +1,53 @@
+//! # xchain-protocol — the protocol abstraction layer
+//!
+//! The paper's headline claim is *comparative*: time-bounded cross-chain
+//! payments guarantee success where HTLC atomic swaps grief and the
+//! drift-oblivious Interledger schedule loses money. This crate makes the
+//! comparison executable at traffic scale by putting every protocol of the
+//! workspace behind one interface:
+//!
+//! * [`harness::ProtocolHarness`] — builds a deterministic engine for one
+//!   [`workload::PaymentSpec`], classifies the finished run into the shared
+//!   [`outcome::ProtocolOutcome`] vocabulary (Success / Refund / Stuck /
+//!   **Violation**), and reports latency and locked-value profiles;
+//! * [`workload`] / [`faults`] — the traffic model (topology families,
+//!   arrival processes, value/drift sampling) and the fault-injection plans,
+//!   shared by every protocol so the comparison is apples-to-apples: the
+//!   same seeded draw decides each instance's faults no matter which
+//!   protocol executes it;
+//! * four adapters: [`timebounded::TimeBoundedHarness`] (the paper's
+//!   Theorem 1 protocol), [`htlc::HtlcHarness`] (two-chain atomic swap),
+//!   [`interledger::InterledgerHarness`] (untuned universal and atomic
+//!   variants of Thomas–Schwartz), and [`deals::DealsHarness`] (the
+//!   Herlihy–Liskov–Shrira certified commit protocol);
+//! * [`explore`] — schedule exploration generic over the harness, so the
+//!   E4-style exhaustive checker applies to every protocol.
+//!
+//! Fault plans degrade gracefully: a harness declares which Byzantine
+//! strategies apply to it ([`harness::ByzSupport`]); inapplicable knobs are
+//! zeroed before sampling and the network-fault layer applies everywhere.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deals;
+pub mod explore;
+pub mod faults;
+pub mod harness;
+pub mod htlc;
+pub mod interledger;
+pub mod outcome;
+pub mod timebounded;
+pub mod workload;
+
+pub use deals::DealsHarness;
+pub use explore::explore_harness;
+pub use faults::{ByzFault, FaultPlan, InstanceFaults};
+pub use harness::{
+    run_harness_instance, sample_instance_faults, ByzSupport, HarnessRun, ProtocolHarness,
+};
+pub use htlc::HtlcHarness;
+pub use interledger::InterledgerHarness;
+pub use outcome::{LockProfile, ProtocolOutcome};
+pub use timebounded::TimeBoundedHarness;
+pub use workload::{ArrivalProcess, PaymentSpec, TopologyFamily, WorkloadConfig};

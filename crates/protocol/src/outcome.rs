@@ -1,0 +1,114 @@
+//! The shared outcome vocabulary every protocol harness reports in.
+//!
+//! [`ProtocolOutcome`] is the four-way classification the simulator
+//! aggregates (`sim::metrics::InstanceOutcome` is a re-export of it), and
+//! [`LockProfile`] is the locked-value time series each harness extracts
+//! from its protocol-specific escrow marks.
+
+use anta::time::SimTime;
+
+/// How one payment instance ended, in protocol-neutral terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolOutcome {
+    /// The payee terminated paid (Bob paid, both swap legs claimed, the
+    /// deal fully committed — per protocol).
+    Success,
+    /// The instance unwound cleanly: no compliant participant is left
+    /// waiting and nobody was paid (refunds, refusals, aborts, or a
+    /// payment that never engaged).
+    Refund,
+    /// A compliant participant is still pending when the run drained, or
+    /// the run hit its horizon — liveness lost (expected under message
+    /// drops and some Byzantine faults, never under none).
+    Stuck,
+    /// Money conservation failed: an auditable escrow book is out of
+    /// balance, known net positions do not sum to zero, or a compliant
+    /// participant ended strictly worse off than an honest refund would
+    /// leave them. Must never happen for the time-bounded protocol; the
+    /// baselines exhibit it under their documented defects.
+    Violation,
+}
+
+/// The locked-value event series of one run: `(time, delta)` pairs where
+/// `delta` is the signed change in simultaneously locked value. Times are
+/// run-relative; [`LockProfile::shifted`] rebases them onto the instance's
+/// arrival time for workload-wide concurrency accounting.
+#[derive(Debug, Clone, Default)]
+pub struct LockProfile {
+    /// Lock (+) and unlock (−) deltas in run-relative real time,
+    /// in event order.
+    pub deltas: Vec<(SimTime, i64)>,
+}
+
+impl LockProfile {
+    /// An empty profile (nothing was ever locked).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one signed locked-value change at run-relative time `at`.
+    pub fn push(&mut self, at: SimTime, delta: i64) {
+        self.deltas.push((at, delta));
+    }
+
+    /// Peak value simultaneously locked over the run.
+    pub fn peak(&self) -> u64 {
+        let mut locked = 0i64;
+        let mut peak = 0i64;
+        for &(_, delta) in &self.deltas {
+            locked += delta;
+            peak = peak.max(locked);
+        }
+        peak.max(0) as u64
+    }
+
+    /// The deltas rebased onto absolute time by the instance's `arrival`.
+    pub fn shifted(&self, arrival: SimTime) -> Vec<(SimTime, i64)> {
+        self.deltas
+            .iter()
+            .map(|&(t, delta)| (arrival + t.saturating_since(SimTime::ZERO), delta))
+            .collect()
+    }
+
+    /// True when nothing was ever locked.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anta::time::SimDuration;
+
+    fn t(ticks: u64) -> SimTime {
+        SimTime::from_ticks(ticks)
+    }
+
+    #[test]
+    fn peak_tracks_running_maximum() {
+        let mut p = LockProfile::new();
+        assert_eq!(p.peak(), 0);
+        p.push(t(0), 100);
+        p.push(t(5), 70);
+        p.push(t(10), -100);
+        p.push(t(20), -70);
+        assert_eq!(p.peak(), 170);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn peak_never_negative() {
+        let mut p = LockProfile::new();
+        p.push(t(0), -50);
+        assert_eq!(p.peak(), 0);
+    }
+
+    #[test]
+    fn shifted_rebases_times() {
+        let mut p = LockProfile::new();
+        p.push(t(3), 10);
+        let arrival = SimTime::ZERO + SimDuration::from_ticks(100);
+        assert_eq!(p.shifted(arrival), vec![(t(103), 10)]);
+    }
+}

@@ -1,0 +1,215 @@
+//! [`TimeBoundedHarness`] — the paper's Theorem 1 protocol behind the
+//! unified harness interface.
+//!
+//! Extracted verbatim from the previously hard-wired `sim::runner` path:
+//! engine construction, outcome classification and locked-value
+//! extraction are the same code, so a Monte-Carlo report produced through
+//! this harness is **bit-identical** to the pre-refactor simulator for the
+//! same seed — the refactor invariant the workspace tests pin down.
+
+use crate::faults::InstanceFaults;
+use crate::harness::{layered_net, ByzSupport, ProtocolHarness};
+use crate::outcome::{LockProfile, ProtocolOutcome};
+use crate::workload::PaymentSpec;
+use anta::engine::Engine;
+use anta::net::SyncNet;
+use anta::oracle::Oracle;
+use anta::time::{SimDuration, SimTime};
+use anta::trace::{TraceKind, TraceMode};
+use payment::msg::PMsg;
+use payment::timebounded::{ChainOutcome, ChainSetup, ClockPlan, CustomerOutcome};
+
+/// Per-instance context: the assembled chain plus the fault assignment.
+pub struct ChainInstance {
+    /// The Figure 1 chain this instance runs.
+    pub setup: ChainSetup,
+    /// The faults injected into it.
+    pub faults: InstanceFaults,
+}
+
+/// The time-bounded protocol (Theorem 1) as a [`ProtocolHarness`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimeBoundedHarness;
+
+impl ProtocolHarness for TimeBoundedHarness {
+    type Msg = PMsg;
+    type Instance = ChainInstance;
+
+    fn name(&self) -> &'static str {
+        "timebounded"
+    }
+
+    fn byz_support(&self) -> ByzSupport {
+        ByzSupport::ALL
+    }
+
+    fn instance(&self, spec: &PaymentSpec, faults: &InstanceFaults) -> ChainInstance {
+        ChainInstance {
+            setup: ChainSetup::new(spec.n, spec.plan.clone(), spec.params, spec.seed),
+            faults: *faults,
+        }
+    }
+
+    fn build_engine(
+        &self,
+        inst: &ChainInstance,
+        spec: &PaymentSpec,
+        oracle: Box<dyn Oracle>,
+        trace_mode: TraceMode,
+    ) -> Engine<PMsg> {
+        build_chain_engine(inst, spec, oracle, trace_mode)
+    }
+
+    fn classify(
+        &self,
+        eng: &Engine<PMsg>,
+        inst: &ChainInstance,
+        _spec: &PaymentSpec,
+        quiescent: bool,
+        truncated: bool,
+    ) -> ProtocolOutcome {
+        let outcome = ChainOutcome::extract(eng, &inst.setup, quiescent);
+        classify_chain(&outcome, truncated)
+    }
+
+    fn latency(
+        &self,
+        eng: &Engine<PMsg>,
+        inst: &ChainInstance,
+        spec: &PaymentSpec,
+        outcome: ProtocolOutcome,
+    ) -> SimDuration {
+        chain_latency(eng, &inst.setup, spec, outcome)
+    }
+
+    fn lock_events(
+        &self,
+        eng: &Engine<PMsg>,
+        inst: &ChainInstance,
+        _spec: &PaymentSpec,
+    ) -> LockProfile {
+        chain_lock_events(eng, &inst.setup)
+    }
+}
+
+/// Builds the chain engine exactly as the pre-refactor simulator did:
+/// synchronous base network (16 delay buckets), fault layer only when the
+/// instance carries network faults, counters-only-capable config derived
+/// from the setup, sampled clocks, Byzantine substitution per role.
+pub(crate) fn build_chain_engine(
+    inst: &ChainInstance,
+    spec: &PaymentSpec,
+    oracle: Box<dyn Oracle>,
+    trace_mode: TraceMode,
+) -> Engine<PMsg> {
+    let setup = &inst.setup;
+    let net = layered_net(
+        Box::new(SyncNet::new(spec.params.delta, 16)),
+        inst.faults.net,
+    );
+    let mut engine_cfg = setup.engine_config();
+    engine_cfg.trace_mode = trace_mode;
+    let byz = inst.faults.byz;
+    setup.build_engine_cfg(
+        net,
+        oracle,
+        ClockPlan::Sampled { seed: spec.seed },
+        engine_cfg,
+        |role| byz.substitute(setup, role),
+    )
+}
+
+/// Outcome classification; see [`ProtocolOutcome`] for the semantics.
+pub(crate) fn classify_chain(outcome: &ChainOutcome, truncated: bool) -> ProtocolOutcome {
+    // Money conservation first: an unbalanced auditable book, or known
+    // net positions that do not sum to zero, is a violation no matter
+    // how the run ended.
+    if outcome.conservation.contains(&Some(false)) {
+        return ProtocolOutcome::Violation;
+    }
+    if outcome.net_positions.iter().all(Option::is_some) {
+        let sum: i64 = outcome.net_positions.iter().flatten().sum();
+        if sum != 0 {
+            return ProtocolOutcome::Violation;
+        }
+    }
+    if outcome.bob_paid() {
+        return ProtocolOutcome::Success;
+    }
+    let pending = outcome
+        .customers
+        .iter()
+        .flatten()
+        .any(|v| v.outcome == CustomerOutcome::Pending);
+    if truncated || pending {
+        return ProtocolOutcome::Stuck;
+    }
+    ProtocolOutcome::Refund
+}
+
+/// End-to-end latency: Bob's halt time on success, otherwise the run's
+/// last event.
+pub(crate) fn chain_latency(
+    eng: &Engine<PMsg>,
+    setup: &ChainSetup,
+    spec: &PaymentSpec,
+    outcome: ProtocolOutcome,
+) -> SimDuration {
+    match outcome {
+        ProtocolOutcome::Success => eng
+            .trace()
+            .halt_time(setup.topo.customer_pid(spec.n))
+            .unwrap_or_else(|| eng.trace().end_time())
+            .saturating_since(SimTime::ZERO),
+        _ => eng.trace().end_time().saturating_since(SimTime::ZERO),
+    }
+}
+
+/// Reconstructs the instance's locked-value time series from the escrow
+/// marks (`escrow_locked` / `escrow_released` / `escrow_refunded`, all
+/// retained in counters-only traces) and the value plan.
+pub(crate) fn chain_lock_events(eng: &Engine<PMsg>, setup: &ChainSetup) -> LockProfile {
+    let mut profile = LockProfile::new();
+    for e in &eng.trace().events {
+        if let TraceKind::Mark { label, value, .. } = e.kind {
+            let delta = match label {
+                "escrow_locked" => setup.plan.amounts[value as usize].amount as i64,
+                "escrow_released" | "escrow_refunded" => {
+                    -(setup.plan.amounts[value as usize].amount as i64)
+                }
+                _ => continue,
+            };
+            profile.push(e.real, delta);
+        }
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+    use crate::harness::run_harness_instance;
+    use crate::workload::{self, TopologyFamily, WorkloadConfig};
+
+    #[test]
+    fn faultless_instances_succeed_with_zero_griefing() {
+        let specs = workload::generate(&WorkloadConfig::new(TopologyFamily::Linear { n: 3 }, 8, 2));
+        let mut queue_high = 0;
+        for spec in &specs {
+            let r = run_harness_instance(
+                &TimeBoundedHarness,
+                spec,
+                &FaultPlan::NONE,
+                true,
+                &mut queue_high,
+            );
+            assert_eq!(r.outcome, ProtocolOutcome::Success);
+            assert!(!r.griefed, "time-bounded never griefs");
+            assert!(r.peak_locked >= spec.plan.amounts[0].amount);
+            assert!(!r.lock_profile.is_empty());
+            assert!(r.latency > SimDuration::ZERO);
+        }
+        assert!(queue_high > 0, "high-water mark carried across runs");
+    }
+}

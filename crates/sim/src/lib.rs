@@ -2,34 +2,41 @@
 //!
 //! E4's exhaustive explorer answers "does *one* payment satisfy the
 //! theorem under *every* schedule?". This crate answers the operational
-//! question at scale: what success rate, end-to-end latency and
-//! locked-value cost does the time-bounded protocol deliver under
+//! question at scale — and, since the `protocol` abstraction layer,
+//! answers it for **every protocol in the workspace**: what success rate,
+//! end-to-end latency and locked-value cost does a protocol deliver under
 //! realistic traffic, drift and adversaries? Three layers:
 //!
 //! * [`workload`] — parameterized topology families (the paper's linear
 //!   `n`-escrow path, Boros-style hub-and-spoke, random routing trees,
 //!   packetized payments split across parallel paths), arrival processes
 //!   (uniform / bursty), and per-instance [`payment::ValuePlan`] /
-//!   [`payment::SyncParams`] sampling from a seeded RNG;
+//!   [`payment::SyncParams`] sampling from a seeded RNG (re-exported from
+//!   [`protocol::workload`]);
 //! * [`faults`] — a [`faults::FaultPlan`] composing the
 //!   [`payment::byzantine`] strategies with clock-drift sampling and
 //!   bounded message delay/drop injected at the `anta` network layer
-//!   ([`anta::net::FaultyNet`]);
+//!   (re-exported from [`protocol::faults`]);
 //! * [`metrics`] — per-instance outcome (success / refund / stuck /
-//!   conservation **violation**), latency, peak locked value and
-//!   lock-concurrency profiles, aggregated contention-free across
-//!   crossbeam workers into percentile summaries.
+//!   conservation **violation**, plus the HTLC-style *griefed* flag),
+//!   latency, peak locked value and lock-concurrency profiles, aggregated
+//!   contention-free across crossbeam workers into percentile summaries.
 //!
-//! The driver is [`runner::run`]: instances are batched onto
+//! The driver is [`runner::run_with`]: instances are batched onto
 //! [`experiments::parallel_map`] workers, every engine runs in
 //! counters-only trace mode, and batch workers carry queue high-water
 //! marks forward so rebuilt engines skip reallocation. Reports are
-//! **bit-identical across thread counts**.
+//! **bit-identical across thread counts**. [`runner::run`] is the
+//! historical time-bounded entry point (a [`TimeBoundedHarness`]
+//! campaign), bit-identical to the pre-refactor simulator.
 //!
 //! The `exp8` binary sweeps success-rate × drift × faults across the
-//! families and is the E8 experiment; the workspace `bench` binary's
-//! `sim` section measures payments/sec per thread count into
-//! `BENCH_sim.json`.
+//! families for the time-bounded protocol (E8); `exp9` runs the same grid
+//! through **all** protocol harnesses and prints the paper-style
+//! comparison table (E9). The workspace `bench` binary's `sim` section
+//! measures payments/sec per thread count into `BENCH_sim.json`, and its
+//! `protocols` section measures per-harness throughput into
+//! `BENCH_protocols.json`.
 //!
 //! ```
 //! use sim::prelude::*;
@@ -40,6 +47,10 @@
 //! assert!(hub.success.is_perfect());          // no faults ⇒ Theorem 1
 //! assert!(report.conserved());                // money conservation
 //! assert!(report.peak_in_flight > 1);         // genuinely concurrent
+//!
+//! // The same campaign through a baseline:
+//! let htlc = sim::run_with(&HtlcHarness, &SimConfig::new(workload));
+//! assert_eq!(htlc.instances, report.instances);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -52,8 +63,17 @@ pub mod workload;
 
 pub use faults::{ByzFault, FaultPlan, InstanceFaults};
 pub use metrics::{FamilyStats, InstanceOutcome, InstanceResult, PacketStats, SimReport};
-pub use runner::{run, run_instance, run_specs, SimConfig};
+pub use runner::{
+    run, run_instance, run_instance_with, run_specs, run_specs_with, run_with, SimConfig,
+};
 pub use workload::{ArrivalProcess, PaymentSpec, TopologyFamily, WorkloadConfig};
+
+// The protocol abstraction layer the runner is generic over, re-exported
+// so simulation campaigns can name harnesses without a separate import.
+pub use protocol;
+pub use protocol::{
+    DealsHarness, HtlcHarness, InterledgerHarness, ProtocolHarness, TimeBoundedHarness,
+};
 
 /// One-stop imports for simulation campaigns.
 pub mod prelude {
@@ -61,7 +81,12 @@ pub mod prelude {
     pub use crate::metrics::{
         FamilyStats, InstanceOutcome, InstanceResult, PacketStats, SimReport,
     };
-    pub use crate::runner::{run, run_instance, run_specs, SimConfig};
+    pub use crate::runner::{
+        run, run_instance, run_instance_with, run_specs, run_specs_with, run_with, SimConfig,
+    };
     pub use crate::workload::{ArrivalProcess, PaymentSpec, TopologyFamily, WorkloadConfig};
     pub use anta::net::NetFaults;
+    pub use protocol::{
+        DealsHarness, HtlcHarness, InterledgerHarness, ProtocolHarness, TimeBoundedHarness,
+    };
 }

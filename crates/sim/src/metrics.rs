@@ -3,35 +3,23 @@
 //!
 //! Per instance the pipeline records outcome (success / refund / stuck /
 //! **violation** — the money-conservation assertion), end-to-end latency,
-//! peak locked value, and the lock/unlock event profile. Aggregation is
-//! contention-free: each worker accumulates into its own [`BatchMetrics`]
-//! buffer and the buffers are merged deterministically (in input order)
-//! after the parallel phase — the same discipline as
-//! [`experiments::parallel_map`], which the runner drives.
+//! peak locked value, and the lock/unlock event profile. The outcome
+//! vocabulary is the protocol layer's [`protocol::ProtocolOutcome`]
+//! ([`InstanceOutcome`] is the same type), so the same aggregation serves
+//! every [`protocol::ProtocolHarness`]. Aggregation is contention-free:
+//! each worker accumulates into its own [`BatchMetrics`] buffer and the
+//! buffers are merged deterministically (in input order) after the
+//! parallel phase — the same discipline as [`experiments::parallel_map`],
+//! which the runner drives.
 
 use crate::faults::{ByzFault, InstanceFaults};
 use anta::time::{SimDuration, SimTime};
 use experiments::stats::{Rate, Summary};
 use std::collections::BTreeMap;
 
-/// How one payment instance ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum InstanceOutcome {
-    /// Bob terminated paid.
-    Success,
-    /// The chain unwound: no compliant participant is left waiting and
-    /// Bob was not paid (refunds, refusals, or a payment that never
-    /// engaged).
-    Refund,
-    /// A compliant participant is still pending when the run drained, or
-    /// the run hit its horizon — liveness lost (expected under message
-    /// drops and some Byzantine faults, never under none).
-    Stuck,
-    /// Money conservation failed: an auditable escrow book is out of
-    /// balance or known net positions do not sum to zero. Must never
-    /// happen; the simulator counts these as protocol violations.
-    Violation,
-}
+/// How one payment instance ended — the protocol layer's shared outcome
+/// vocabulary (see [`protocol::ProtocolOutcome`] for the semantics).
+pub use protocol::ProtocolOutcome as InstanceOutcome;
 
 /// The per-instance measurement record.
 #[derive(Debug, Clone)]
@@ -42,6 +30,10 @@ pub struct InstanceResult {
     pub family: &'static str,
     /// Outcome class.
     pub outcome: InstanceOutcome,
+    /// Whether the run griefed a compliant party (capital stranded for a
+    /// full timelock window by counterparty abandonment — see
+    /// [`protocol::ProtocolHarness::griefed`]).
+    pub griefed: bool,
     /// Faults that were injected.
     pub faults: InstanceFaults,
     /// End-to-end latency: Bob's payment time on success, otherwise the
@@ -97,6 +89,9 @@ pub struct FamilyStats {
     pub stuck: usize,
     /// Violation count — must be zero.
     pub violations: usize,
+    /// Instances that griefed a compliant party (HTLC-style full-window
+    /// capital stranding) — zero for the time-bounded protocol.
+    pub griefed: usize,
     /// Instances that had a Byzantine substitution.
     pub byzantine: usize,
     /// Latency summary over successful instances (ticks), if any succeeded.
@@ -135,6 +130,8 @@ pub struct SimReport {
     /// Total violations (sum over families) — the money-conservation
     /// assertion for the whole run.
     pub violations: usize,
+    /// Total griefed instances (sum over families).
+    pub griefed: usize,
     /// Peak value locked simultaneously across *all* concurrent instances
     /// (arrival-shifted), when lock profiling was enabled.
     pub peak_locked_global: Option<u64>,
@@ -156,9 +153,11 @@ impl SimReport {
 
         let mut families = Vec::with_capacity(by_family.len());
         let mut violations = 0usize;
+        let mut griefed_total = 0usize;
         for (family, rs) in by_family {
             let mut success = Rate::default();
             let (mut refunds, mut stuck, mut viols, mut byz) = (0usize, 0usize, 0usize, 0usize);
+            let mut griefed = 0usize;
             let mut latencies: Vec<u64> = Vec::new();
             let mut peaks: Vec<u64> = Vec::with_capacity(rs.len());
             let mut packets: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
@@ -170,6 +169,9 @@ impl SimReport {
                     InstanceOutcome::Refund => refunds += 1,
                     InstanceOutcome::Stuck => stuck += 1,
                     InstanceOutcome::Violation => viols += 1,
+                }
+                if r.griefed {
+                    griefed += 1;
                 }
                 if r.faults.byz != ByzFault::None {
                     byz += 1;
@@ -185,6 +187,7 @@ impl SimReport {
                 }
             }
             violations += viols;
+            griefed_total += griefed;
             let packet_stats = (!packets.is_empty()).then(|| {
                 let mut complete = 0;
                 let mut partial = 0;
@@ -209,6 +212,7 @@ impl SimReport {
                 refunds,
                 stuck,
                 violations: viols,
+                griefed,
                 byzantine: byz,
                 latency: Summary::of(&latencies),
                 peak_locked: Summary::of(&peaks),
@@ -253,6 +257,7 @@ impl SimReport {
             families,
             instances,
             violations,
+            griefed: griefed_total,
             peak_locked_global,
             peak_in_flight,
         }
@@ -299,6 +304,7 @@ mod tests {
             id,
             family,
             outcome,
+            griefed: false,
             faults: InstanceFaults::NONE,
             latency: SimDuration::from_ticks(latency),
             peak_locked: peak,
@@ -330,6 +336,48 @@ mod tests {
         let hub = report.family("hub").unwrap();
         assert_eq!(hub.refunds, 1);
         assert!(report.family("tree").is_none());
+    }
+
+    #[test]
+    fn griefed_instances_are_counted_per_family_and_globally() {
+        let mut m = BatchMetrics::default();
+        let mut a = res(0, "linear", InstanceOutcome::Refund, 100, 50, None);
+        a.griefed = true;
+        let mut b = res(1, "linear", InstanceOutcome::Stuck, 100, 50, None);
+        b.griefed = true;
+        m.push(a);
+        m.push(b);
+        m.push(res(2, "linear", InstanceOutcome::Success, 100, 50, None));
+        let report = SimReport::merge(vec![m], false);
+        assert_eq!(report.families[0].griefed, 2);
+        assert_eq!(report.griefed, 2);
+    }
+
+    #[test]
+    fn latency_summary_edge_cases_empty_and_single_sample() {
+        // A family with zero successes has no latency summary at all —
+        // the percentile pipeline must not be fed an empty vector.
+        let mut none = BatchMetrics::default();
+        none.push(res(0, "linear", InstanceOutcome::Refund, 500, 1, None));
+        none.push(res(1, "linear", InstanceOutcome::Stuck, 600, 1, None));
+        let report = SimReport::merge(vec![none], false);
+        let f = report.family("linear").unwrap();
+        assert!(f.latency.is_none());
+        assert_eq!(render_latency_ms(&f.latency), "-");
+
+        // Exactly one success: every percentile collapses onto the sample
+        // (nearest-rank p99 of a singleton is the sample, not a panic or
+        // an out-of-range index).
+        let mut one = BatchMetrics::default();
+        one.push(res(0, "hub", InstanceOutcome::Success, 7_000, 1, None));
+        one.push(res(1, "hub", InstanceOutcome::Refund, 9_000, 1, None));
+        let report = SimReport::merge(vec![one], false);
+        let s = report.family("hub").unwrap().latency.as_ref().unwrap();
+        assert_eq!(
+            (s.n, s.min, s.p50, s.p99, s.max),
+            (1, 7_000, 7_000, 7_000, 7_000)
+        );
+        assert_eq!(render_latency_ms(&Some(s.clone())), "7.0/7.0/7.0");
     }
 
     #[test]

@@ -1,33 +1,29 @@
 //! The Monte-Carlo driver: thousands-to-millions of concurrent payment
-//! instances, farmed to crossbeam workers in batches.
+//! instances, farmed to crossbeam workers in batches — generic over the
+//! protocol under test.
 //!
 //! Each instance is one deterministic engine run — a pure function of its
-//! [`PaymentSpec`] and the [`FaultPlan`] — so the aggregate report is
-//! **bit-identical across thread counts**; only the wall time moves.
-//! Batching matters for throughput: a worker runs its batch sequentially
-//! and carries the engine queue's high-water mark from instance to
-//! instance ([`anta::engine::Engine::reserve_capacity`]), so rebuilt
-//! engines skip the grow-by-doubling phase, and every run uses
-//! [`TraceMode::CountersOnly`] so no message payload is ever cloned into a
-//! trace.
+//! [`PaymentSpec`], the [`FaultPlan`] and the [`ProtocolHarness`] — so the
+//! aggregate report is **bit-identical across thread counts**; only the
+//! wall time moves. Batching matters for throughput: a worker runs its
+//! batch sequentially and carries the engine queue's high-water mark from
+//! instance to instance ([`anta::engine::Engine::reserve_capacity`]), so
+//! rebuilt engines skip the grow-by-doubling phase, and every run uses
+//! [`anta::trace::TraceMode::CountersOnly`] so no message payload is ever
+//! cloned into a trace.
+//!
+//! The protocol-agnostic entry points are [`run_with`] /
+//! [`run_specs_with`] / [`run_instance_with`]; the historical
+//! [`run`] / [`run_specs`] / [`run_instance`] functions drive the
+//! time-bounded protocol through its [`TimeBoundedHarness`] and produce
+//! the same reports the pre-refactor simulator did, bit for bit.
 
 use crate::faults::FaultPlan;
-use crate::metrics::{BatchMetrics, InstanceOutcome, InstanceResult, SimReport};
+use crate::metrics::{BatchMetrics, InstanceResult, SimReport};
 use crate::workload::{self, PaymentSpec, WorkloadConfig};
-use anta::engine::Engine;
-use anta::net::{FaultyNet, NetModel, SyncNet};
-use anta::oracle::RandomOracle;
-use anta::time::SimTime;
-use anta::trace::{TraceKind, TraceMode};
 use experiments::parallel_map;
-use payment::msg::PMsg;
-use payment::timebounded::{ChainOutcome, ChainSetup, ClockPlan, CustomerOutcome};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-/// Domain-separation salt for the per-instance fault draw (the raw seed
-/// already drives keys, oracle and clocks).
-const FAULT_SALT: u64 = 0xFA17_1A57_C0FF_EE00;
+use protocol::harness::{run_harness_instance, ProtocolHarness};
+use protocol::timebounded::TimeBoundedHarness;
 
 /// One simulation campaign.
 #[derive(Debug, Clone, Copy)]
@@ -60,20 +56,36 @@ impl SimConfig {
     }
 }
 
-/// Generates the workload and simulates every instance.
-pub fn run(cfg: &SimConfig) -> SimReport {
+/// Generates the workload and simulates every instance through `harness`.
+///
+/// Panics if the harness does not support the configured workload (check
+/// [`ProtocolHarness::supports`] first when sweeping protocol × workload
+/// grids).
+pub fn run_with<H: ProtocolHarness>(harness: &H, cfg: &SimConfig) -> SimReport {
     let specs = workload::generate(&cfg.workload);
-    run_specs(&specs, cfg)
+    run_specs_with(harness, &specs, cfg)
 }
 
-/// Simulates pre-generated specs (callers that need the spec list too).
-pub fn run_specs(specs: &[PaymentSpec], cfg: &SimConfig) -> SimReport {
+/// Simulates pre-generated specs through `harness` (callers that need the
+/// spec list too).
+pub fn run_specs_with<H: ProtocolHarness>(
+    harness: &H,
+    specs: &[PaymentSpec],
+    cfg: &SimConfig,
+) -> SimReport {
+    assert!(
+        harness.supports(&cfg.workload),
+        "{} does not support this workload ({:?}); gate on supports()",
+        harness.name(),
+        cfg.workload.family,
+    );
     let batches: Vec<&[PaymentSpec]> = specs.chunks(cfg.batch.max(1)).collect();
     let buffers: Vec<BatchMetrics> = parallel_map(&batches, cfg.threads, |chunk| {
         let mut metrics = BatchMetrics::with_capacity(chunk.len());
         let mut queue_high = 0usize;
         for spec in *chunk {
-            metrics.push(run_instance(
+            metrics.push(run_instance_with(
+                harness,
                 spec,
                 &cfg.faults,
                 cfg.lock_profile,
@@ -85,132 +97,64 @@ pub fn run_specs(specs: &[PaymentSpec], cfg: &SimConfig) -> SimReport {
     SimReport::merge(buffers, cfg.lock_profile)
 }
 
-/// Runs one payment instance end to end and extracts its metrics.
+/// Runs one payment instance end to end through `harness` and extracts its
+/// metrics.
 ///
 /// `queue_high` carries the engine-queue high-water mark between
 /// consecutive instances of a batch (pass `&mut 0` for a one-off run).
+pub fn run_instance_with<H: ProtocolHarness>(
+    harness: &H,
+    spec: &PaymentSpec,
+    plan: &FaultPlan,
+    lock_profile: bool,
+    queue_high: &mut usize,
+) -> InstanceResult {
+    let run = run_harness_instance(harness, spec, plan, lock_profile, queue_high);
+    InstanceResult {
+        id: spec.id,
+        family: spec.family,
+        outcome: run.outcome,
+        griefed: run.griefed,
+        faults: run.faults,
+        latency: run.latency,
+        peak_locked: run.peak_locked,
+        events: run.events,
+        packet: spec.packet,
+        route: spec.route,
+        lock_profile: run.lock_profile,
+    }
+}
+
+/// Generates the workload and simulates every instance of the time-bounded
+/// protocol (the historical entry point; equivalent to [`run_with`] with a
+/// [`TimeBoundedHarness`]).
+pub fn run(cfg: &SimConfig) -> SimReport {
+    run_with(&TimeBoundedHarness, cfg)
+}
+
+/// Simulates pre-generated specs of the time-bounded protocol.
+pub fn run_specs(specs: &[PaymentSpec], cfg: &SimConfig) -> SimReport {
+    run_specs_with(&TimeBoundedHarness, specs, cfg)
+}
+
+/// Runs one time-bounded payment instance end to end.
 pub fn run_instance(
     spec: &PaymentSpec,
     plan: &FaultPlan,
     lock_profile: bool,
     queue_high: &mut usize,
 ) -> InstanceResult {
-    let setup = ChainSetup::new(spec.n, spec.plan.clone(), spec.params, spec.seed);
-    let mut fault_rng = StdRng::seed_from_u64(spec.seed ^ FAULT_SALT);
-    let faults = plan.sample(spec.n, &mut fault_rng);
-
-    let base: Box<dyn NetModel<PMsg>> = Box::new(SyncNet::new(spec.params.delta, 16));
-    let net: Box<dyn NetModel<PMsg>> = if faults.net.is_none() {
-        base
-    } else {
-        Box::new(FaultyNet::new(base, faults.net))
-    };
-    let mut engine_cfg = setup.engine_config();
-    engine_cfg.trace_mode = TraceMode::CountersOnly;
-    let byz = faults.byz;
-    let mut eng = setup.build_engine_cfg(
-        net,
-        Box::new(RandomOracle::seeded(spec.seed)),
-        ClockPlan::Sampled { seed: spec.seed },
-        engine_cfg,
-        |role| byz.substitute(&setup, role),
-    );
-    eng.reserve_capacity(*queue_high, 0);
-    let report = eng.run();
-    *queue_high = (*queue_high).max(eng.queue_high_water());
-
-    let outcome = ChainOutcome::extract(&eng, &setup, report.quiescent);
-    let class = classify(&outcome, report.truncated);
-    let latency = match class {
-        InstanceOutcome::Success => eng
-            .trace()
-            .halt_time(setup.topo.customer_pid(spec.n))
-            .unwrap_or_else(|| eng.trace().end_time())
-            .saturating_since(SimTime::ZERO),
-        _ => eng.trace().end_time().saturating_since(SimTime::ZERO),
-    };
-    let (peak_locked, profile) = locked_value_profile(&eng, &setup, spec.arrival, lock_profile);
-
-    InstanceResult {
-        id: spec.id,
-        family: spec.family,
-        outcome: class,
-        faults,
-        latency,
-        peak_locked,
-        events: report.events,
-        packet: spec.packet,
-        route: spec.route,
-        lock_profile: profile,
-    }
-}
-
-/// Outcome classification; see [`InstanceOutcome`] for the semantics.
-fn classify(outcome: &ChainOutcome, truncated: bool) -> InstanceOutcome {
-    // Money conservation first: an unbalanced auditable book, or known
-    // net positions that do not sum to zero, is a violation no matter
-    // how the run ended.
-    if outcome.conservation.contains(&Some(false)) {
-        return InstanceOutcome::Violation;
-    }
-    if outcome.net_positions.iter().all(Option::is_some) {
-        let sum: i64 = outcome.net_positions.iter().flatten().sum();
-        if sum != 0 {
-            return InstanceOutcome::Violation;
-        }
-    }
-    if outcome.bob_paid() {
-        return InstanceOutcome::Success;
-    }
-    let pending = outcome
-        .customers
-        .iter()
-        .flatten()
-        .any(|v| v.outcome == CustomerOutcome::Pending);
-    if truncated || pending {
-        return InstanceOutcome::Stuck;
-    }
-    InstanceOutcome::Refund
-}
-
-/// Reconstructs the instance's locked-value time series from the escrow
-/// marks (`escrow_locked` / `escrow_released` / `escrow_refunded`, all
-/// retained in counters-only traces) and the value plan. Returns the peak
-/// and, when requested, the arrival-shifted delta profile.
-fn locked_value_profile(
-    eng: &Engine<PMsg>,
-    setup: &ChainSetup,
-    arrival: SimTime,
-    collect: bool,
-) -> (u64, Vec<(SimTime, i64)>) {
-    let mut locked = 0i64;
-    let mut peak = 0i64;
-    let mut profile = Vec::new();
-    for e in &eng.trace().events {
-        if let TraceKind::Mark { label, value, .. } = e.kind {
-            let delta = match label {
-                "escrow_locked" => setup.plan.amounts[value as usize].amount as i64,
-                "escrow_released" | "escrow_refunded" => {
-                    -(setup.plan.amounts[value as usize].amount as i64)
-                }
-                _ => continue,
-            };
-            locked += delta;
-            peak = peak.max(locked);
-            if collect {
-                profile.push((arrival + e.real.saturating_since(SimTime::ZERO), delta));
-            }
-        }
-    }
-    (peak.max(0) as u64, profile)
+    run_instance_with(&TimeBoundedHarness, spec, plan, lock_profile, queue_high)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::InstanceOutcome;
     use crate::workload::{ArrivalProcess, TopologyFamily};
     use anta::net::NetFaults;
     use anta::time::SimDuration;
+    use protocol::{DealsHarness, HtlcHarness, InterledgerHarness};
 
     fn small(family: TopologyFamily, payments: usize, seed: u64) -> SimConfig {
         SimConfig {
@@ -227,6 +171,7 @@ mod tests {
         let f = report.family("linear").unwrap();
         assert!(f.success.is_perfect(), "{:?}", f.success);
         assert_eq!(f.stuck + f.violations, 0);
+        assert_eq!(f.griefed, 0, "time-bounded refunds are deadline-bounded");
         assert!(report.conserved());
         assert!(f.latency.is_some());
         // Peak locked per instance: at least the first hop's value.
@@ -249,7 +194,7 @@ mod tests {
             },
             ..FaultPlan::NONE
         };
-        let run_with = |threads: usize| {
+        let run_with_threads = |threads: usize| {
             let cfg = SimConfig {
                 threads,
                 faults: plan,
@@ -257,10 +202,11 @@ mod tests {
             };
             run(&cfg)
         };
-        let a = run_with(1);
-        let b = run_with(4);
+        let a = run_with_threads(1);
+        let b = run_with_threads(4);
         assert_eq!(a.instances, b.instances);
         assert_eq!(a.violations, b.violations);
+        assert_eq!(a.griefed, b.griefed);
         assert_eq!(a.peak_locked_global, b.peak_locked_global);
         assert_eq!(a.peak_in_flight, b.peak_in_flight);
         for (fa, fb) in a.families.iter().zip(&b.families) {
@@ -348,5 +294,41 @@ mod tests {
             spread.peak_in_flight
         );
         assert!(burst.peak_locked_global.unwrap() > spread.peak_locked_global.unwrap());
+    }
+
+    #[test]
+    fn every_harness_drives_the_same_campaign() {
+        let mut cfg = small(TopologyFamily::Linear { n: 2 }, 24, 17);
+        // Zero drift: the untuned schedule is only correct on perfect
+        // clocks, and this test is about the shared driver, not the
+        // baselines' failure regions.
+        cfg.workload.max_rho_ppm = (0, 0);
+        let tb = run_with(&TimeBoundedHarness, &cfg);
+        let htlc = run_with(&HtlcHarness, &cfg);
+        let untuned = run_with(&InterledgerHarness::untuned(), &cfg);
+        let atomic = run_with(&InterledgerHarness::atomic(), &cfg);
+        let deals = run_with(&DealsHarness, &cfg);
+        for (name, report) in [
+            ("timebounded", &tb),
+            ("htlc", &htlc),
+            ("ilp-untuned", &untuned),
+            ("ilp-atomic", &atomic),
+            ("deals", &deals),
+        ] {
+            assert_eq!(report.instances, 24, "{name}");
+            assert!(
+                report.family("linear").unwrap().success.is_perfect(),
+                "{name} must succeed on a faultless drift-free-enough workload: {:?}",
+                report.family("linear").unwrap().success
+            );
+            assert!(report.conserved(), "{name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn unsupported_workload_panics_loudly() {
+        let cfg = small(TopologyFamily::Packetized { paths: 3, hops: 2 }, 6, 1);
+        let _ = run_with(&HtlcHarness, &cfg);
     }
 }

@@ -1,0 +1,72 @@
+//! Protocol shootout: the same 1,000-payment workload through every
+//! protocol harness — the paper's comparison in thirty lines.
+//!
+//! Each harness receives the *identical* spec list and the identical
+//! per-instance fault draws; the differences in the printout are
+//! differences between the protocols, nothing else.
+//!
+//! Run with: `cargo run --release --example protocol_shootout`
+
+use crosschain::anta::net::NetFaults;
+use crosschain::anta::time::SimDuration;
+use crosschain::protocol::{
+    DealsHarness, HtlcHarness, InterledgerHarness, ProtocolHarness, TimeBoundedHarness,
+};
+use crosschain::sim::prelude::*;
+
+fn shoot<H: ProtocolHarness>(harness: &H, cfg: &SimConfig) {
+    let report = crosschain::sim::run_with(harness, cfg);
+    let f = &report.families[0];
+    let lat = f
+        .latency
+        .as_ref()
+        .map(|s| format!("{:.1}/{:.1} ms", s.p50 as f64 / 1e3, s.p99 as f64 / 1e3))
+        .unwrap_or_else(|| "-".to_owned());
+    println!(
+        "{:<12} success {:>16}  griefed {:>4}  refund {:>4}  stuck {:>4}  viol {:>4}  latency p50/p99 {lat}",
+        harness.name(),
+        f.success.render(),
+        f.griefed,
+        f.refunds,
+        f.stuck,
+        f.violations,
+    );
+}
+
+fn main() {
+    // 1,000 payments over 4-hop chains, mixed drift up to 10%, a light
+    // Byzantine mix — the kind of traffic E9 sweeps at scale.
+    let mut workload = WorkloadConfig::new(TopologyFamily::Linear { n: 4 }, 1_000, 0x5807);
+    workload.max_rho_ppm = (0, 100_000);
+    let cfg = SimConfig {
+        faults: FaultPlan {
+            crash_permille: 40,
+            late_bob_permille: 20,
+            forging_chloe_permille: 20,
+            thieving_escrow_permille: 20,
+            net: NetFaults {
+                drop_permille: 10,
+                delay_permille: 100,
+                extra_delay: SimDuration::from_millis(3),
+                delay_buckets: 4,
+            },
+        },
+        lock_profile: false,
+        ..SimConfig::new(workload)
+    };
+
+    println!(
+        "protocol shootout — {} payments, 4-hop chains, drift ≤ 10%, light fault mix\n",
+        1_000
+    );
+    shoot(&TimeBoundedHarness, &cfg);
+    shoot(&HtlcHarness, &cfg);
+    shoot(&InterledgerHarness::untuned(), &cfg);
+    shoot(&InterledgerHarness::atomic(), &cfg);
+    shoot(&DealsHarness, &cfg);
+    println!(
+        "\nReading: only the time-bounded protocol combines high success with \
+         zero griefing and zero violations; HTLC griefs, the untuned schedule \
+         loses money under drift, and the always-safe baselines abort honest runs."
+    );
+}

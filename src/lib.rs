@@ -17,9 +17,14 @@
 //! * [`interledger`] — Thomas–Schwartz universal & atomic baselines.
 //! * [`htlc`] — hashed-timelock atomic swap baseline.
 //! * [`deals`] — Herlihy–Liskov–Shrira cross-chain deals.
+//! * [`protocol`] — the protocol abstraction layer: one
+//!   [`protocol::ProtocolHarness`] interface over the time-bounded
+//!   protocol and every baseline, with shared outcome vocabulary, shared
+//!   workload/fault models, and harness-generic schedule exploration.
 //! * [`experiments`] — the harness regenerating every paper artefact.
 //! * [`sim`] — Monte Carlo traffic simulator: workload generation, fault
-//!   injection, success/latency/locked-value metrics at scale.
+//!   injection, success/latency/locked-value metrics at scale, generic
+//!   over the protocol harness.
 pub use anta;
 pub use consensus;
 pub use deals;
@@ -28,5 +33,6 @@ pub use htlc;
 pub use interledger;
 pub use ledger;
 pub use payment;
+pub use protocol;
 pub use sim;
 pub use xcrypto;
