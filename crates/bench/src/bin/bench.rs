@@ -20,12 +20,23 @@
 //!   throughput trajectory alongside the other artifacts.
 //!
 //! Usage: `cargo run --release -p xchain-bench --bin bench -- [--quick]
-//! [--out DIR] [--threads 1,2,4] [--seed S]`. The seed makes every seeded
-//! workload (the sim section) reproducible; the explorer and engine
-//! workloads are deterministic by construction and unaffected.
+//! [--out DIR] [--threads 1,2,4] [--seed S] [--baseline-out FILE]
+//! [--check FILE] [--tolerance T] [--handicap F]`. The seed makes every
+//! seeded workload (the sim section) reproducible; the explorer and
+//! engine workloads are deterministic by construction and unaffected.
+//!
+//! `--baseline-out` captures the run's rates as a committable
+//! `BENCH_baseline.json`; `--check` re-measures and **fails (exit 1)**
+//! when any payments/sec, schedules/sec or events/sec rate drops more
+//! than `--tolerance` (default 0.25) below the committed baseline — the
+//! CI bench-regression gate. `--handicap F` divides every measured rate
+//! by `F` before baselining/checking: the self-test hook proving the
+//! gate trips on an artificial slowdown.
 
 use anta::trace::TraceMode;
+use std::collections::BTreeMap;
 use std::time::Instant;
+use xchain_bench::regression::{self, Baseline};
 
 /// One explorer measurement row.
 struct ExplorerRow {
@@ -74,6 +85,10 @@ struct Args {
     out: String,
     threads: Vec<usize>,
     seed: u64,
+    baseline_out: Option<String>,
+    check: Option<String>,
+    tolerance: f64,
+    handicap: f64,
 }
 
 fn parse_args() -> Args {
@@ -82,6 +97,10 @@ fn parse_args() -> Args {
         out: ".".to_string(),
         threads: Vec::new(),
         seed: 0xBE_C4,
+        baseline_out: None,
+        check: None,
+        tolerance: 0.25,
+        handicap: 1.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -102,9 +121,31 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("seed");
             }
+            "--baseline-out" => {
+                args.baseline_out = Some(it.next().expect("--baseline-out needs a file"));
+            }
+            "--check" => args.check = Some(it.next().expect("--check needs a baseline file")),
+            "--tolerance" => {
+                args.tolerance = it
+                    .next()
+                    .expect("--tolerance needs a fraction")
+                    .parse()
+                    .expect("tolerance");
+            }
+            "--handicap" => {
+                args.handicap = it
+                    .next()
+                    .expect("--handicap needs a factor")
+                    .parse()
+                    .expect("handicap");
+                assert!(args.handicap >= 1.0, "handicap slows down, never speeds up");
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench [--quick] [--out DIR] [--threads 1,2,4] [--seed S]");
+                eprintln!(
+                    "usage: bench [--quick] [--out DIR] [--threads 1,2,4] [--seed S] \
+                     [--baseline-out FILE] [--check FILE] [--tolerance T] [--handicap F]"
+                );
                 std::process::exit(2);
             }
         }
@@ -121,6 +162,14 @@ fn parse_args() -> Args {
 
 fn ms(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
+}
+
+/// Writes one artifact create-or-truncate ([`std::fs::write`] creates
+/// the file or entirely replaces its contents, so a stale file from
+/// another run never leaks into this run's JSON), with the path in the
+/// panic message so a bad `--out` target is diagnosable.
+fn write_json(path: &std::path::Path, contents: &str) {
+    std::fs::write(path, contents).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
 }
 
 fn main() {
@@ -310,7 +359,7 @@ fn main() {
     // Hand-rolled JSON (no serde in the offline workspace).
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": 1,\n");
+    json.push_str("  \"schema_version\": 2,\n");
     json.push_str(&format!("  \"quick\": {},\n", args.quick));
     json.push_str(&format!(
         "  \"threads_available\": {},\n",
@@ -360,7 +409,7 @@ fn main() {
     // inside) BENCH_perf.json so both artifacts stay schema-stable.
     let mut sim_json = String::new();
     sim_json.push_str("{\n");
-    sim_json.push_str("  \"schema\": 1,\n");
+    sim_json.push_str("  \"schema_version\": 2,\n");
     sim_json.push_str(&format!("  \"quick\": {},\n", args.quick));
     sim_json.push_str(&format!("  \"seed\": {},\n", args.seed));
     sim_json.push_str(&format!(
@@ -390,7 +439,7 @@ fn main() {
     // the other artifacts so each stays schema-stable.
     let mut proto_json = String::new();
     proto_json.push_str("{\n");
-    proto_json.push_str("  \"schema\": 1,\n");
+    proto_json.push_str("  \"schema_version\": 2,\n");
     proto_json.push_str(&format!("  \"quick\": {},\n", args.quick));
     proto_json.push_str(&format!("  \"seed\": {},\n", args.seed));
     proto_json.push_str(&format!(
@@ -418,12 +467,101 @@ fn main() {
 
     std::fs::create_dir_all(&args.out).expect("create --out directory");
     let path = std::path::Path::new(&args.out).join("BENCH_perf.json");
-    std::fs::write(&path, &json).expect("write BENCH_perf.json");
+    write_json(&path, &json);
     println!("{}", path.display());
     let sim_path = std::path::Path::new(&args.out).join("BENCH_sim.json");
-    std::fs::write(&sim_path, &sim_json).expect("write BENCH_sim.json");
+    write_json(&sim_path, &sim_json);
     println!("{}", sim_path.display());
     let proto_path = std::path::Path::new(&args.out).join("BENCH_protocols.json");
-    std::fs::write(&proto_path, &proto_json).expect("write BENCH_protocols.json");
+    write_json(&proto_path, &proto_json);
     println!("{}", proto_path.display());
+
+    // The flat rate map the regression gate runs on (higher is better
+    // everywhere). --handicap divides the rates here — and only here — so
+    // the gate can be demonstrated without corrupting the artifacts.
+    let mut rates: BTreeMap<String, f64> = BTreeMap::new();
+    for r in &explorer_rows {
+        rates.insert(
+            format!("explorer/{}/t{}/schedules_per_sec", r.instance, r.threads),
+            r.schedules_per_sec / args.handicap,
+        );
+    }
+    for r in &engine_rows {
+        rates.insert(
+            format!("engine/{}/{}/events_per_sec", r.workload, r.trace_mode),
+            r.events_per_sec / args.handicap,
+        );
+    }
+    for r in &sim_rows {
+        rates.insert(
+            format!("sim/{}/t{}/payments_per_sec", r.workload, r.threads),
+            r.payments_per_sec / args.handicap,
+        );
+    }
+    for r in &protocol_rows {
+        rates.insert(
+            format!("protocol/{}/t{}/payments_per_sec", r.protocol, r.threads),
+            r.payments_per_sec / args.handicap,
+        );
+    }
+
+    if let Some(baseline_out) = &args.baseline_out {
+        let baseline = Baseline {
+            quick: args.quick,
+            metrics: rates.clone(),
+        };
+        write_json(std::path::Path::new(baseline_out), &baseline.render());
+        println!("{baseline_out}");
+    }
+
+    if let Some(check_path) = &args.check {
+        let text = std::fs::read_to_string(check_path)
+            .unwrap_or_else(|e| panic!("read baseline {check_path}: {e}"));
+        let baseline = Baseline::parse(&text).unwrap_or_else(|e| {
+            eprintln!("bad baseline {check_path}: {e}");
+            eprintln!("{}", regression::refresh_instruction());
+            std::process::exit(1);
+        });
+        if baseline.quick != args.quick {
+            eprintln!(
+                "baseline {check_path} was captured with quick={}, this run has quick={} — \
+                 rates are not comparable across modes",
+                baseline.quick, args.quick
+            );
+            eprintln!("{}", regression::refresh_instruction());
+            std::process::exit(1);
+        }
+        let report = regression::check(&rates, &baseline.metrics, args.tolerance);
+        for r in &report.regressions {
+            eprintln!(
+                "REGRESSION {}: {:.0} -> {:.0} ({:.0}% of baseline, tolerance {:.0}%)",
+                r.key,
+                r.baseline,
+                r.current,
+                r.ratio * 100.0,
+                (1.0 - args.tolerance) * 100.0
+            );
+        }
+        for key in &report.missing {
+            eprintln!("STALE BASELINE: {key} is no longer measured");
+        }
+        for key in &report.unbaselined {
+            eprintln!("note: {key} has no baseline yet (not gated)");
+        }
+        if report.ok() {
+            eprintln!(
+                "bench-regression gate PASSED: {} rates within {:.0}% of baseline",
+                baseline.metrics.len(),
+                args.tolerance * 100.0
+            );
+        } else {
+            eprintln!(
+                "bench-regression gate FAILED ({} regressions, {} stale keys)",
+                report.regressions.len(),
+                report.missing.len()
+            );
+            eprintln!("{}", regression::refresh_instruction());
+            std::process::exit(1);
+        }
+    }
 }

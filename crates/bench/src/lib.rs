@@ -15,3 +15,10 @@
 //! tracks a perf trajectory per PR. `--seed` pins the seeded sim
 //! workload. See the "Performance" and "Simulation" sections of the
 //! repository README.
+//!
+//! The [`regression`] module is the CI gate behind `bench --check`: a
+//! committed `BENCH_baseline.json` of rate metrics, a tolerant parser for
+//! it, and the comparison that fails the build when a rate regresses
+//! beyond tolerance.
+
+pub mod regression;

@@ -1,0 +1,253 @@
+//! The bench-regression gate: baseline serialization, parsing and the
+//! rate comparison CI runs on every PR.
+//!
+//! A baseline is a flat `key → rate` map (payments/sec, schedules/sec,
+//! events/sec — higher is always better) captured by
+//! `bench --baseline-out BENCH_baseline.json` and committed to the
+//! repository. `bench --check BENCH_baseline.json --tolerance 0.25`
+//! re-measures the same workloads and fails when any rate drops more
+//! than the tolerated fraction below its baseline — printing how to
+//! refresh the baseline instead of silently shipping the slowdown.
+//!
+//! The workspace has no serde (offline shims only), so the baseline
+//! format is a deliberately rigid JSON subset emitted and parsed here:
+//! one `{"key": "...", "value": N}` object per line under `"metrics"`.
+
+use std::collections::BTreeMap;
+
+/// Schema stamp of `BENCH_baseline.json`.
+pub const BASELINE_SCHEMA_VERSION: u64 = 1;
+
+/// A captured set of rate metrics (key → rate, higher is better).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    /// Whether the rates were measured in `--quick` mode. Quick and full
+    /// workloads produce different rates, so a check against the wrong
+    /// mode is refused rather than misjudged.
+    pub quick: bool,
+    /// The rate metrics.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl Baseline {
+    /// Renders the committed-baseline JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"schema_version\": {BASELINE_SCHEMA_VERSION},\n"
+        ));
+        out.push_str("  \"kind\": \"bench-baseline\",\n");
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str("  \"metrics\": [\n");
+        for (i, (key, value)) in self.metrics.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"key\": \"{key}\", \"value\": {value:.1}}}{}\n",
+                if i + 1 < self.metrics.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a baseline rendered by [`Baseline::render`]. Tolerates
+    /// whitespace and field reordering within a metric line, nothing
+    /// fancier — the file is machine-written.
+    pub fn parse(json: &str) -> Result<Baseline, String> {
+        let mut baseline = Baseline::default();
+        let mut schema_seen = false;
+        for line in json.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if let Some(v) = scan_number(line, "\"schema_version\"") {
+                schema_seen = true;
+                if v as u64 != BASELINE_SCHEMA_VERSION {
+                    return Err(format!(
+                        "baseline schema_version {v} unsupported (expected \
+                         {BASELINE_SCHEMA_VERSION}); refresh the baseline"
+                    ));
+                }
+            }
+            if line.starts_with("\"quick\"") {
+                baseline.quick = line.contains("true");
+            }
+            if let Some(key) = scan_string(line, "\"key\"") {
+                let value = scan_number(line, "\"value\"")
+                    .ok_or_else(|| format!("metric line without a value: {line}"))?;
+                baseline.metrics.insert(key, value);
+            }
+        }
+        if !schema_seen {
+            return Err("not a bench baseline: no schema_version field".to_owned());
+        }
+        if baseline.metrics.is_empty() {
+            return Err("baseline holds no metrics".to_owned());
+        }
+        Ok(baseline)
+    }
+}
+
+/// Extracts the number following `"field":` on `line`, if present.
+fn scan_number(line: &str, field: &str) -> Option<f64> {
+    let at = line.find(field)?;
+    let rest = line[at + field.len()..].trim_start().strip_prefix(':')?;
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the quoted string following `"field":` on `line`, if present.
+fn scan_string(line: &str, field: &str) -> Option<String> {
+    let at = line.find(field)?;
+    let rest = line[at + field.len()..].trim_start().strip_prefix(':')?;
+    let rest = rest.trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
+/// One metric that fell beyond tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Metric key.
+    pub key: String,
+    /// The committed rate.
+    pub baseline: f64,
+    /// The re-measured rate.
+    pub current: f64,
+    /// `current / baseline` (< 1 − tolerance, or it would not be here).
+    pub ratio: f64,
+}
+
+/// The verdict of one check run.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Metrics that regressed beyond tolerance, worst first.
+    pub regressions: Vec<Regression>,
+    /// Baseline keys the current run did not measure — the workload set
+    /// changed, so the baseline is stale and must be refreshed.
+    pub missing: Vec<String>,
+    /// Current keys absent from the baseline (informational: new
+    /// workloads are not gated until the baseline is refreshed).
+    pub unbaselined: Vec<String>,
+}
+
+impl CheckReport {
+    /// True when the gate passes.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Compares `current` rates against `baseline`, tolerating a relative
+/// drop of `tolerance` (0.25 ⇒ fail below 75% of the baseline rate).
+pub fn check(
+    current: &BTreeMap<String, f64>,
+    baseline: &BTreeMap<String, f64>,
+    tolerance: f64,
+) -> CheckReport {
+    let mut report = CheckReport::default();
+    for (key, &base) in baseline {
+        match current.get(key) {
+            None => report.missing.push(key.clone()),
+            Some(&now) => {
+                let ratio = if base > 0.0 { now / base } else { 1.0 };
+                if ratio < 1.0 - tolerance {
+                    report.regressions.push(Regression {
+                        key: key.clone(),
+                        baseline: base,
+                        current: now,
+                        ratio,
+                    });
+                }
+            }
+        }
+    }
+    report
+        .regressions
+        .sort_by(|a, b| a.ratio.total_cmp(&b.ratio));
+    for key in current.keys() {
+        if !baseline.contains_key(key) {
+            report.unbaselined.push(key.clone());
+        }
+    }
+    report
+}
+
+/// The one-line instruction printed whenever the gate fails or the
+/// baseline is stale.
+pub fn refresh_instruction() -> &'static str {
+    "to refresh: cargo run --release -p xchain-bench --bin bench -- --quick \
+     --baseline-out BENCH_baseline.json   (commit the result)"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn baseline_round_trips_through_render_and_parse() {
+        let b = Baseline {
+            quick: true,
+            metrics: metrics(&[
+                ("explorer/e4_n1/t1/schedules_per_sec", 125_000.4),
+                ("sim/hub/t4/payments_per_sec", 88_000.0),
+            ]),
+        };
+        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert!(parsed.quick);
+        assert_eq!(parsed.metrics.len(), 2);
+        assert!((parsed.metrics["sim/hub/t4/payments_per_sec"] - 88_000.0).abs() < 1e-6);
+        assert!((parsed.metrics["explorer/e4_n1/t1/schedules_per_sec"] - 125_000.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_wrong_schema() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("not json at all").is_err());
+        let wrong = "{\n  \"schema_version\": 999,\n  \"metrics\": [\n  ]\n}\n";
+        let err = Baseline::parse(wrong).unwrap_err();
+        assert!(err.contains("999"), "{err}");
+    }
+
+    #[test]
+    fn gate_fails_on_a_2x_slowdown() {
+        // The acceptance criterion: an artificial 2× slowdown (half the
+        // rate) must trip a 25% tolerance gate.
+        let base = metrics(&[
+            ("explorer/e4_n2_lean/t4/schedules_per_sec", 200_000.0),
+            ("sim/hub/t1/payments_per_sec", 50_000.0),
+        ]);
+        let halved: BTreeMap<String, f64> =
+            base.iter().map(|(k, v)| (k.clone(), v / 2.0)).collect();
+        let report = check(&halved, &base, 0.25);
+        assert!(!report.ok());
+        assert_eq!(report.regressions.len(), 2);
+        assert!((report.regressions[0].ratio - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_tolerates_noise_within_tolerance_and_improvements() {
+        let base = metrics(&[("a", 100.0), ("b", 100.0)]);
+        let current = metrics(&[("a", 80.0), ("b", 160.0)]);
+        assert!(check(&current, &base, 0.25).ok());
+        // Just past tolerance fails.
+        let current = metrics(&[("a", 74.9), ("b", 100.0)]);
+        let report = check(&current, &base, 0.25);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].key, "a");
+    }
+
+    #[test]
+    fn stale_baseline_keys_fail_new_keys_inform() {
+        let base = metrics(&[("gone", 10.0), ("kept", 10.0)]);
+        let current = metrics(&[("kept", 10.0), ("new", 10.0)]);
+        let report = check(&current, &base, 0.25);
+        assert!(!report.ok(), "a stale baseline must force a refresh");
+        assert_eq!(report.missing, vec!["gone".to_string()]);
+        assert_eq!(report.unbaselined, vec!["new".to_string()]);
+    }
+}

@@ -32,4 +32,4 @@ pub mod weak;
 pub use msg::{PMsg, PromiseKind, SignedPromise, TmInput, TmInputKind};
 pub use timebounded::{ChainOutcome, ChainSetup, ClockPlan, CustomerOutcome};
 pub use timing::{SyncParams, TimeoutSchedule};
-pub use topology::{ChainKeys, ChainTopology, Role, ValuePlan};
+pub use topology::{ChainKeys, ChainTopology, Role, ValuePlan, VenueId, VenueRoute};

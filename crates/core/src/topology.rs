@@ -144,6 +144,77 @@ impl ChainTopology {
     }
 }
 
+/// Global identity of an escrow venue in a multi-payment network.
+///
+/// A single payment's chain names its escrows locally (`e_0 … e_{n-1}`,
+/// [`Role::Escrow`]); when many payments share infrastructure — a hub's
+/// collateral pool, a payment-channel edge of a routing tree — each local
+/// escrow maps onto one *venue* whose liquidity all payments crossing it
+/// contend for. Venue ids are dense per network, assigned by the traffic
+/// generator.
+pub type VenueId = u32;
+
+/// The global venues one chain instance's hops occupy: hop `i` (escrow
+/// `e_i` of the instance's own chain) locks its collateral at
+/// `venues[i]`.
+///
+/// This is the bridge between the Figure 1 chain (one payment, local
+/// escrow indices) and a shared-liquidity network (many payments, global
+/// collateral budgets): the liquidity book charges hop `i`'s locked value
+/// against `venues[i]`'s budget.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VenueRoute {
+    /// `venues[i]` is the global venue of the instance's escrow `e_i`.
+    pub venues: Vec<VenueId>,
+}
+
+impl VenueRoute {
+    /// A route through the given venues, in hop order.
+    pub fn new(venues: Vec<VenueId>) -> Self {
+        VenueRoute { venues }
+    }
+
+    /// The dedicated-path route: `n` venues `0..n` nobody else shares
+    /// (the paper's single-payment setting embedded in a network).
+    pub fn linear(n: usize) -> Self {
+        VenueRoute {
+            venues: (0..n as VenueId).collect(),
+        }
+    }
+
+    /// Number of hops the route covers.
+    pub fn hops(&self) -> usize {
+        self.venues.len()
+    }
+
+    /// The venue of hop `i`, if the route covers it.
+    pub fn venue(&self, hop: usize) -> Option<VenueId> {
+        self.venues.get(hop).copied()
+    }
+
+    /// The largest venue id on the route (`None` for an empty route).
+    pub fn max_venue(&self) -> Option<VenueId> {
+        self.venues.iter().copied().max()
+    }
+
+    /// The collateral this payment asks each venue to set aside, summed
+    /// per venue (a route may cross the same venue more than once) and
+    /// sorted by venue id: hop `i` locks `plan.amounts[i]` at
+    /// `venues[i]`. Hops beyond the plan (or routes shorter than the
+    /// plan) contribute nothing — callers validate lengths where it
+    /// matters.
+    pub fn demand(&self, plan: &ValuePlan) -> Vec<(VenueId, u64)> {
+        let mut by_venue: std::collections::BTreeMap<VenueId, u64> =
+            std::collections::BTreeMap::new();
+        for (hop, &venue) in self.venues.iter().enumerate() {
+            if let Some(asset) = plan.amounts.get(hop) {
+                *by_venue.entry(venue).or_insert(0) += asset.amount;
+            }
+        }
+        by_venue.into_iter().collect()
+    }
+}
+
 /// The agreed value vector: what each escrow's deal carries. The paper
 /// assumes values were agreed beforehand; commissions mean
 /// `v_0 ≥ v_1 ≥ … ≥ v_{n-1}`, possibly in different currencies.
@@ -329,6 +400,27 @@ mod tests {
         assert!(dot.contains("Bob"));
         assert!(dot.contains("Chloe1"));
         assert!(dot.contains("e1"));
+    }
+
+    #[test]
+    fn venue_routes_map_hops_to_global_escrows() {
+        let r = VenueRoute::linear(3);
+        assert_eq!(r.hops(), 3);
+        assert_eq!(r.venue(0), Some(0));
+        assert_eq!(r.venue(2), Some(2));
+        assert_eq!(r.venue(3), None);
+        assert_eq!(r.max_venue(), Some(2));
+        assert_eq!(VenueRoute::default().max_venue(), None);
+
+        // Demand is summed per venue and sorted by venue id — a route
+        // crossing venue 7 twice charges it twice.
+        let r = VenueRoute::new(vec![7, 2, 7]);
+        let plan = ValuePlan::uniform(3, 100);
+        assert_eq!(r.demand(&plan), vec![(2, 100), (7, 200)]);
+
+        // Hops beyond the plan contribute nothing.
+        let short_plan = ValuePlan::uniform(2, 50);
+        assert_eq!(r.demand(&short_plan), vec![(2, 50), (7, 50)]);
     }
 
     #[test]

@@ -249,7 +249,13 @@ impl ProtocolHarness for DealsHarness {
                     "arc_released" | "arc_returned" => -1,
                     _ => continue,
                 };
-                profile.push(e.real, sign * arcs[value as usize].asset.amount as i64);
+                // Arc k escrows hop k's value (`instance` adds one arc
+                // per plan hop), so the arc index is the hop index.
+                profile.push(
+                    e.real,
+                    value as u32,
+                    sign * arcs[value as usize].asset.amount as i64,
+                );
             }
         }
         profile

@@ -201,8 +201,9 @@ pub struct HarnessRun {
     pub peak_locked: u64,
     /// Events the engine dispatched.
     pub events: u64,
-    /// Arrival-shifted lock/unlock deltas (empty unless collected).
-    pub lock_profile: Vec<(SimTime, i64)>,
+    /// Arrival-shifted `(time, hop, delta)` lock/unlock events (empty
+    /// unless collected).
+    pub lock_profile: Vec<(SimTime, u32, i64)>,
 }
 
 /// Layers an instance's network faults over a base network model — the

@@ -301,9 +301,10 @@ impl ProtocolHarness for HtlcHarness {
         let mut profile = LockProfile::new();
         for e in &eng.trace().events {
             if let TraceKind::Mark { pid, label, .. } = e.kind {
-                let amount = match pid {
-                    CHAIN_A_PID => inst.offer_a.amount as i64,
-                    CHAIN_B_PID => inst.offer_b.amount as i64,
+                // Chain A is the swap's first hop, chain B its second.
+                let (hop, amount) = match pid {
+                    CHAIN_A_PID => (0, inst.offer_a.amount as i64),
+                    CHAIN_B_PID => (1, inst.offer_b.amount as i64),
                     _ => continue,
                 };
                 let delta = match label {
@@ -311,7 +312,7 @@ impl ProtocolHarness for HtlcHarness {
                     "htlc_claimed" | "htlc_reclaimed" => -amount,
                     _ => continue,
                 };
-                profile.push(e.real, delta);
+                profile.push(e.real, hop, delta);
             }
         }
         profile

@@ -207,7 +207,7 @@ impl ProtocolHarness for InterledgerHarness {
                             }
                             _ => continue,
                         };
-                        profile.push(e.real, delta);
+                        profile.push(e.real, value as u32, delta);
                     }
                 }
                 profile

@@ -21,7 +21,12 @@
 //!   variants of Thomas–Schwartz), and [`deals::DealsHarness`] (the
 //!   Herlihy–Liskov–Shrira certified commit protocol);
 //! * [`explore`] — schedule exploration generic over the harness, so the
-//!   E4-style exhaustive checker applies to every protocol.
+//!   E4-style exhaustive checker applies to every protocol;
+//! * [`liquidity`] — shared-liquidity accounting: finite per-venue
+//!   collateral budgets ([`liquidity::LiquidityBook`]) and the
+//!   [`liquidity::AdmissionPolicy`] that rejects or queues payments whose
+//!   collateral demand does not fit, making payments *contend* for escrow
+//!   capacity instead of running as independent instances.
 //!
 //! Fault plans degrade gracefully: a harness declares which Byzantine
 //! strategies apply to it ([`harness::ByzSupport`]); inapplicable knobs are
@@ -36,6 +41,7 @@ pub mod faults;
 pub mod harness;
 pub mod htlc;
 pub mod interledger;
+pub mod liquidity;
 pub mod outcome;
 pub mod timebounded;
 pub mod workload;
@@ -48,6 +54,7 @@ pub use harness::{
 };
 pub use htlc::HtlcHarness;
 pub use interledger::InterledgerHarness;
+pub use liquidity::{AdmissionPolicy, LiquidityBook, LiquidityConfig};
 pub use outcome::{LockProfile, ProtocolOutcome};
 pub use timebounded::TimeBoundedHarness;
 pub use workload::{ArrivalProcess, PaymentSpec, TopologyFamily, WorkloadConfig};

@@ -1,0 +1,379 @@
+//! Shared-liquidity accounting: finite collateral budgets per escrow
+//! venue, and the admission policies that turn over-committed venues into
+//! rejected or queued payments.
+//!
+//! The paper prices success guarantees in *locked value over time*; this
+//! module closes the loop by making that cost bind. Every escrow venue
+//! (see [`payment::VenueRoute`]) holds a finite collateral budget. A
+//! payment asks its route's venues to set aside its hop values up front
+//! ([`payment::VenueRoute::demand`]); the [`LiquidityBook`] admits it
+//! only while
+//! every venue can cover the request, otherwise the
+//! [`AdmissionPolicy`] decides between immediate rejection
+//! ([`crate::ProtocolOutcome::Rejected`]) and a bounded wait in the
+//! admission queue.
+//!
+//! The book keeps two parallel accounts per venue:
+//!
+//! * **reserved** — admission-time commitments: the sum of admitted
+//!   in-flight payments' per-venue peak demand. Admission checks run
+//!   against this account, so `reserved ≤ budget` is enforced *before*
+//!   any value locks.
+//! * **locked** — the audited ground truth: the venue's actual locked
+//!   value replayed from the harness [`crate::LockProfile`] streams.
+//!   Because every payment's locked value at a venue never exceeds its
+//!   reservation there, `locked ≤ reserved ≤ budget` must hold at every
+//!   instant — [`LiquidityBook::violations`] counts the moments it does
+//!   not, and a nonzero count fails the `exp10` experiment.
+
+use anta::time::{SimDuration, SimTime};
+use payment::VenueId;
+
+/// What the admission controller does when a payment's collateral demand
+/// does not fit its route's venues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// No admission control: every payment starts at its arrival time and
+    /// budgets are not enforced (the classic closed-world simulator; the
+    /// book still audits how much collateral the traffic *would* need).
+    Unbounded,
+    /// Refuse over-committed payments on the spot: the payment becomes
+    /// [`crate::ProtocolOutcome::Rejected`] and locks nothing.
+    Reject,
+    /// Hold over-committed payments at the admission gate until capacity
+    /// frees, up to a patience of `max_wait` measured from the payment's
+    /// arrival; payments the gate cannot admit by then are rejected. The
+    /// gate is FIFO: while a payment queues, later arrivals wait behind
+    /// it (head-of-line blocking, which also consumes *their* patience) —
+    /// deterministic, and faithful to a hub's single admission ledger.
+    Queue {
+        /// The payer's patience: longest time between arrival and start
+        /// before the payment is rejected instead.
+        max_wait: SimDuration,
+    },
+}
+
+impl AdmissionPolicy {
+    /// Short stable label for tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::Unbounded => "unbounded",
+            AdmissionPolicy::Reject => "reject",
+            AdmissionPolicy::Queue { .. } => "queue",
+        }
+    }
+
+    /// Whether this policy enforces venue budgets at admission.
+    pub fn bounded(&self) -> bool {
+        !matches!(self, AdmissionPolicy::Unbounded)
+    }
+
+    /// The longest admissible wait at the gate ([`SimDuration::ZERO`]
+    /// for [`AdmissionPolicy::Reject`]).
+    pub fn max_wait(&self) -> SimDuration {
+        match self {
+            AdmissionPolicy::Queue { max_wait } => *max_wait,
+            _ => SimDuration::ZERO,
+        }
+    }
+}
+
+/// One finite-liquidity regime: a per-venue collateral budget plus the
+/// policy applied when it is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiquidityConfig {
+    /// Collateral budget per venue (every venue of the family gets the
+    /// same budget; heterogeneous budgets can come later).
+    pub budget: u64,
+    /// What happens to payments that do not fit.
+    pub policy: AdmissionPolicy,
+}
+
+impl LiquidityConfig {
+    /// The classic unbounded-collateral regime.
+    pub const UNBOUNDED: LiquidityConfig = LiquidityConfig {
+        budget: u64::MAX,
+        policy: AdmissionPolicy::Unbounded,
+    };
+
+    /// Reject-on-full with the given per-venue budget.
+    pub fn reject(budget: u64) -> Self {
+        LiquidityConfig {
+            budget,
+            policy: AdmissionPolicy::Reject,
+        }
+    }
+
+    /// Queue-with-patience with the given per-venue budget.
+    pub fn queue(budget: u64, max_wait: SimDuration) -> Self {
+        LiquidityConfig {
+            budget,
+            policy: AdmissionPolicy::Queue { max_wait },
+        }
+    }
+}
+
+/// Per-venue collateral accounting for one simulation campaign.
+///
+/// All mutating calls must be fed in nondecreasing time order (the
+/// open-system runner's admission sweep is time-ordered by construction);
+/// [`LiquidityBook::apply_lock`] debug-asserts it.
+#[derive(Debug, Clone)]
+pub struct LiquidityBook {
+    budget: u64,
+    bounded: bool,
+    reserved: Vec<u64>,
+    locked: Vec<i64>,
+    peak_locked: Vec<i64>,
+    peak_reserved: Vec<u64>,
+    violations: usize,
+    /// Time of the last applied lock event (audit stream clock).
+    now: SimTime,
+    /// Aggregate locked value across venues, for the utilization
+    /// integral.
+    locked_total: i64,
+    /// ∫ locked_total dt in value·ticks.
+    locked_integral: u128,
+}
+
+impl LiquidityBook {
+    /// A fresh book over `venues` venues under `cfg`.
+    pub fn new(cfg: &LiquidityConfig, venues: usize) -> Self {
+        LiquidityBook {
+            budget: cfg.budget,
+            bounded: cfg.policy.bounded(),
+            reserved: vec![0; venues],
+            locked: vec![0; venues],
+            peak_locked: vec![0; venues],
+            peak_reserved: vec![0; venues],
+            violations: 0,
+            now: SimTime::ZERO,
+            locked_total: 0,
+            locked_integral: 0,
+        }
+    }
+
+    /// Number of venues the book covers.
+    pub fn venues(&self) -> usize {
+        self.reserved.len()
+    }
+
+    /// The per-venue budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    fn slot(&mut self, venue: VenueId) -> usize {
+        let i = venue as usize;
+        if i >= self.reserved.len() {
+            self.reserved.resize(i + 1, 0);
+            self.locked.resize(i + 1, 0);
+            self.peak_locked.resize(i + 1, 0);
+            self.peak_reserved.resize(i + 1, 0);
+        }
+        i
+    }
+
+    /// Whether every `(venue, amount)` of `demand` fits its venue's
+    /// remaining (unreserved) budget. Always true for an unbounded book.
+    pub fn fits(&self, demand: &[(VenueId, u64)]) -> bool {
+        if !self.bounded {
+            return true;
+        }
+        demand.iter().all(|&(venue, amount)| {
+            let already = self
+                .reserved
+                .get(venue as usize)
+                .copied()
+                .unwrap_or_default();
+            already.saturating_add(amount) <= self.budget
+        })
+    }
+
+    /// Sets `amount` of collateral aside at `venue`.
+    pub fn reserve(&mut self, venue: VenueId, amount: u64) {
+        let i = self.slot(venue);
+        self.reserved[i] += amount;
+        self.peak_reserved[i] = self.peak_reserved[i].max(self.reserved[i]);
+    }
+
+    /// Returns `amount` of reserved collateral at `venue`.
+    pub fn unreserve(&mut self, venue: VenueId, amount: u64) {
+        let i = self.slot(venue);
+        debug_assert!(self.reserved[i] >= amount, "unreserve exceeds reservation");
+        self.reserved[i] = self.reserved[i].saturating_sub(amount);
+    }
+
+    /// Replays one audited lock event: `delta` of actual value locked (+)
+    /// or released (−) at `venue`, at time `at`. Advances the utilization
+    /// integral and counts a budget violation whenever a bounded venue's
+    /// locked value exceeds its budget.
+    pub fn apply_lock(&mut self, at: SimTime, venue: VenueId, delta: i64) {
+        debug_assert!(at >= self.now, "lock events must be time-ordered");
+        let dt = at.saturating_since(self.now).ticks();
+        self.locked_integral += self.locked_total.max(0) as u128 * dt as u128;
+        self.now = at;
+
+        let i = self.slot(venue);
+        self.locked[i] += delta;
+        self.locked_total += delta;
+        self.peak_locked[i] = self.peak_locked[i].max(self.locked[i]);
+        if self.bounded && self.locked[i].max(0) as u64 > self.budget {
+            self.violations += 1;
+        }
+    }
+
+    /// Closes the utilization integral at the campaign horizon.
+    pub fn finish(&mut self, at: SimTime) {
+        if at > self.now {
+            let dt = at.saturating_since(self.now).ticks();
+            self.locked_integral += self.locked_total.max(0) as u128 * dt as u128;
+            self.now = at;
+        }
+    }
+
+    /// Times a bounded venue's audited locked value exceeded its budget —
+    /// the collateral-conservation assertion; must stay zero.
+    pub fn violations(&self) -> usize {
+        self.violations
+    }
+
+    /// True when every venue's locked value is back to zero and every
+    /// reservation has been returned — the end-of-campaign drain check.
+    pub fn drained(&self) -> bool {
+        self.locked.iter().all(|&l| l == 0) && self.reserved.iter().all(|&r| r == 0)
+    }
+
+    /// Currently locked value at `venue`.
+    pub fn locked_at(&self, venue: VenueId) -> i64 {
+        self.locked.get(venue as usize).copied().unwrap_or_default()
+    }
+
+    /// Currently reserved collateral at `venue`.
+    pub fn reserved_at(&self, venue: VenueId) -> u64 {
+        self.reserved
+            .get(venue as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// The largest audited locked value any single venue ever held.
+    pub fn peak_locked_venue(&self) -> u64 {
+        self.peak_locked
+            .iter()
+            .map(|&p| p.max(0) as u64)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The largest reservation level any single venue ever held.
+    pub fn peak_reserved_venue(&self) -> u64 {
+        self.peak_reserved.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Time-averaged utilization of the network's total collateral in
+    /// parts per million: `∫ locked dt / (horizon × budget × venues)`.
+    /// `None` when the horizon is empty or the budget unbounded.
+    pub fn utilization_ppm(&self, horizon: SimDuration) -> Option<u64> {
+        if !self.bounded || horizon.is_zero() || self.venues() == 0 || self.budget == 0 {
+            return None;
+        }
+        let capacity = self.budget as u128 * self.venues() as u128 * horizon.ticks() as u128;
+        Some((self.locked_integral.saturating_mul(1_000_000) / capacity) as u64)
+    }
+
+    /// Convenience: would this route+demand pair be admitted right now,
+    /// and if so, reserve it — a test-visible single-step admission.
+    pub fn try_admit(&mut self, demand: &[(VenueId, u64)]) -> bool {
+        if !self.fits(demand) {
+            return false;
+        }
+        for &(venue, amount) in demand {
+            self.reserve(venue, amount);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ticks: u64) -> SimTime {
+        SimTime::from_ticks(ticks)
+    }
+
+    #[test]
+    fn admission_enforces_per_venue_budgets() {
+        let mut book = LiquidityBook::new(&LiquidityConfig::reject(100), 3);
+        assert!(book.try_admit(&[(0, 60), (1, 60)]));
+        // Venue 0 has 40 left: a 50-unit request must bounce even though
+        // venue 2 is empty.
+        assert!(!book.try_admit(&[(0, 50), (2, 10)]));
+        assert!(book.try_admit(&[(0, 40), (2, 100)]));
+        assert_eq!(book.reserved_at(0), 100);
+        assert_eq!(book.peak_reserved_venue(), 100);
+        book.unreserve(0, 60);
+        assert!(book.try_admit(&[(0, 50)]));
+    }
+
+    #[test]
+    fn unbounded_book_admits_everything() {
+        let mut book = LiquidityBook::new(&LiquidityConfig::UNBOUNDED, 1);
+        assert!(book.try_admit(&[(0, u64::MAX / 2)]));
+        assert!(book.fits(&[(0, u64::MAX / 2)]));
+        assert_eq!(book.violations(), 0);
+        assert_eq!(book.utilization_ppm(SimDuration::from_secs(1)), None);
+    }
+
+    #[test]
+    fn audit_counts_budget_violations_and_drain() {
+        let mut book = LiquidityBook::new(&LiquidityConfig::reject(100), 2);
+        book.apply_lock(t(0), 0, 80);
+        assert_eq!(book.violations(), 0);
+        book.apply_lock(t(5), 0, 40); // 120 > 100
+        assert_eq!(book.violations(), 1);
+        assert!(!book.drained());
+        book.apply_lock(t(9), 0, -120);
+        assert!(book.drained());
+        assert_eq!(book.peak_locked_venue(), 120);
+        assert_eq!(book.locked_at(0), 0);
+    }
+
+    #[test]
+    fn utilization_integrates_locked_value_over_time() {
+        let mut book = LiquidityBook::new(&LiquidityConfig::reject(100), 1);
+        // 100 units locked for half of a 20-tick horizon over one
+        // 100-budget venue ⇒ 50% utilization.
+        book.apply_lock(t(0), 0, 100);
+        book.apply_lock(t(10), 0, -100);
+        book.finish(t(20));
+        assert_eq!(
+            book.utilization_ppm(SimDuration::from_ticks(20)),
+            Some(500_000)
+        );
+    }
+
+    #[test]
+    fn policy_labels_and_waits() {
+        assert_eq!(AdmissionPolicy::Unbounded.label(), "unbounded");
+        assert!(!AdmissionPolicy::Unbounded.bounded());
+        assert_eq!(AdmissionPolicy::Reject.max_wait(), SimDuration::ZERO);
+        let q = AdmissionPolicy::Queue {
+            max_wait: SimDuration::from_millis(5),
+        };
+        assert!(q.bounded());
+        assert_eq!(q.max_wait(), SimDuration::from_millis(5));
+        assert_eq!(q.label(), "queue");
+        assert_eq!(LiquidityConfig::UNBOUNDED.policy.label(), "unbounded");
+    }
+
+    #[test]
+    fn book_grows_to_unseen_venues() {
+        let mut book = LiquidityBook::new(&LiquidityConfig::reject(10), 0);
+        assert!(book.try_admit(&[(7, 10)]));
+        assert_eq!(book.venues(), 8);
+        assert_eq!(book.reserved_at(7), 10);
+        assert_eq!(book.reserved_at(3), 0);
+    }
+}

@@ -1,9 +1,12 @@
 //! The shared outcome vocabulary every protocol harness reports in.
 //!
-//! [`ProtocolOutcome`] is the four-way classification the simulator
+//! [`ProtocolOutcome`] is the five-way classification the simulator
 //! aggregates (`sim::metrics::InstanceOutcome` is a re-export of it), and
 //! [`LockProfile`] is the locked-value time series each harness extracts
-//! from its protocol-specific escrow marks.
+//! from its protocol-specific escrow marks. Since the shared-liquidity
+//! layer, every lock event names the **hop** (local escrow index) it
+//! occurred at, so the liquidity book can charge it against the right
+//! venue of the instance's [`payment::VenueRoute`].
 
 use anta::time::SimTime;
 
@@ -27,17 +30,24 @@ pub enum ProtocolOutcome {
     /// leave them. Must never happen for the time-bounded protocol; the
     /// baselines exhibit it under their documented defects.
     Violation,
+    /// The admission controller refused the payment before any value
+    /// locked: the escrows on its route could not set aside the requested
+    /// collateral within the policy's patience. Produced only by the
+    /// finite-liquidity simulator (`sim::run_open_with`), never by a
+    /// harness's `classify` — a rejected payment has no run to classify.
+    Rejected,
 }
 
-/// The locked-value event series of one run: `(time, delta)` pairs where
-/// `delta` is the signed change in simultaneously locked value. Times are
-/// run-relative; [`LockProfile::shifted`] rebases them onto the instance's
-/// arrival time for workload-wide concurrency accounting.
+/// The locked-value event series of one run: `(time, hop, delta)` triples
+/// where `hop` is the local escrow index the value moved at and `delta`
+/// is the signed change in simultaneously locked value. Times are
+/// run-relative; [`LockProfile::shifted`] rebases them onto the
+/// instance's arrival time for workload-wide concurrency accounting.
 #[derive(Debug, Clone, Default)]
 pub struct LockProfile {
-    /// Lock (+) and unlock (−) deltas in run-relative real time,
-    /// in event order.
-    pub deltas: Vec<(SimTime, i64)>,
+    /// Lock (+) and unlock (−) deltas in run-relative real time, in event
+    /// order, each tagged with the local escrow (hop) index it hit.
+    pub deltas: Vec<(SimTime, u32, i64)>,
 }
 
 impl LockProfile {
@@ -46,16 +56,17 @@ impl LockProfile {
         Self::default()
     }
 
-    /// Records one signed locked-value change at run-relative time `at`.
-    pub fn push(&mut self, at: SimTime, delta: i64) {
-        self.deltas.push((at, delta));
+    /// Records one signed locked-value change at run-relative time `at`,
+    /// against local escrow `hop`.
+    pub fn push(&mut self, at: SimTime, hop: u32, delta: i64) {
+        self.deltas.push((at, hop, delta));
     }
 
-    /// Peak value simultaneously locked over the run.
+    /// Peak value simultaneously locked over the run, across all hops.
     pub fn peak(&self) -> u64 {
         let mut locked = 0i64;
         let mut peak = 0i64;
-        for &(_, delta) in &self.deltas {
+        for &(_, _, delta) in &self.deltas {
             locked += delta;
             peak = peak.max(locked);
         }
@@ -63,10 +74,10 @@ impl LockProfile {
     }
 
     /// The deltas rebased onto absolute time by the instance's `arrival`.
-    pub fn shifted(&self, arrival: SimTime) -> Vec<(SimTime, i64)> {
+    pub fn shifted(&self, arrival: SimTime) -> Vec<(SimTime, u32, i64)> {
         self.deltas
             .iter()
-            .map(|&(t, delta)| (arrival + t.saturating_since(SimTime::ZERO), delta))
+            .map(|&(t, hop, delta)| (arrival + t.saturating_since(SimTime::ZERO), hop, delta))
             .collect()
     }
 
@@ -89,10 +100,10 @@ mod tests {
     fn peak_tracks_running_maximum() {
         let mut p = LockProfile::new();
         assert_eq!(p.peak(), 0);
-        p.push(t(0), 100);
-        p.push(t(5), 70);
-        p.push(t(10), -100);
-        p.push(t(20), -70);
+        p.push(t(0), 0, 100);
+        p.push(t(5), 1, 70);
+        p.push(t(10), 0, -100);
+        p.push(t(20), 1, -70);
         assert_eq!(p.peak(), 170);
         assert!(!p.is_empty());
     }
@@ -100,15 +111,15 @@ mod tests {
     #[test]
     fn peak_never_negative() {
         let mut p = LockProfile::new();
-        p.push(t(0), -50);
+        p.push(t(0), 0, -50);
         assert_eq!(p.peak(), 0);
     }
 
     #[test]
     fn shifted_rebases_times() {
         let mut p = LockProfile::new();
-        p.push(t(3), 10);
+        p.push(t(3), 2, 10);
         let arrival = SimTime::ZERO + SimDuration::from_ticks(100);
-        assert_eq!(p.shifted(arrival), vec![(t(103), 10)]);
+        assert_eq!(p.shifted(arrival), vec![(t(103), 2, 10)]);
     }
 }

@@ -179,7 +179,7 @@ pub(crate) fn chain_lock_events(eng: &Engine<PMsg>, setup: &ChainSetup) -> LockP
                 }
                 _ => continue,
             };
-            profile.push(e.real, delta);
+            profile.push(e.real, value as u32, delta);
         }
     }
     profile

@@ -22,7 +22,7 @@
 //! seed): the spec list is identical across runs and thread counts.
 
 use anta::time::{SimDuration, SimTime};
-use payment::{SyncParams, ValuePlan};
+use payment::{SyncParams, ValuePlan, VenueId, VenueRoute};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
@@ -65,6 +65,26 @@ impl TopologyFamily {
             TopologyFamily::HubAndSpoke { .. } => "hub",
             TopologyFamily::RandomTree { .. } => "tree",
             TopologyFamily::Packetized { .. } => "packetized",
+        }
+    }
+
+    /// Number of shared escrow venues the family's network exposes — the
+    /// venue-id space [`generate`] assigns routes from, and the
+    /// denominator of network-wide collateral budgets:
+    ///
+    /// * linear — all payments share the one `n`-escrow path (venues
+    ///   `0..n`);
+    /// * hub — one venue per spoke gateway (every payment enters through
+    ///   its sender's gateway and leaves through its receiver's);
+    /// * tree — one venue per tree edge (`nodes − 1`);
+    /// * packetized — one venue per (path, hop) cell: sibling paths are
+    ///   disjoint escrow chains, shared across packets.
+    pub fn venues(&self) -> usize {
+        match *self {
+            TopologyFamily::Linear { n } => n.max(1),
+            TopologyFamily::HubAndSpoke { spokes } => spokes.max(2),
+            TopologyFamily::RandomTree { nodes } => nodes.max(2) - 1,
+            TopologyFamily::Packetized { paths, hops } => paths.max(1) * hops.max(1),
         }
     }
 }
@@ -151,6 +171,10 @@ pub struct PaymentSpec {
     /// gateways this payment enters and leaves through, feeding the
     /// per-spoke load statistics.
     pub route: Option<(usize, usize)>,
+    /// The global escrow venues this payment's hops lock collateral at
+    /// (see [`TopologyFamily::venues`] for each family's venue layout).
+    /// Always `n` entries.
+    pub venues: VenueRoute,
 }
 
 /// Random routing tree with O(1) pairwise distance queries via depths and
@@ -173,23 +197,29 @@ impl RoutingTree {
         RoutingTree { parent, depth }
     }
 
-    /// Number of tree edges between `a` and `b`.
-    fn distance(&self, mut a: usize, mut b: usize) -> usize {
-        let mut d = 0;
+    /// The tree edges between `a` and `b`, in walk order from `a`. Each
+    /// edge is identified by its child endpoint (`1..nodes`), so edge ids
+    /// are stable across queries and dense in `1..nodes`.
+    fn path_edges(&self, mut a: usize, mut b: usize) -> Vec<usize> {
+        let mut up = Vec::new();
+        let mut down = Vec::new();
         while self.depth[a] > self.depth[b] {
+            up.push(a);
             a = self.parent[a];
-            d += 1;
         }
         while self.depth[b] > self.depth[a] {
+            down.push(b);
             b = self.parent[b];
-            d += 1;
         }
         while a != b {
+            up.push(a);
             a = self.parent[a];
+            down.push(b);
             b = self.parent[b];
-            d += 2;
         }
-        d
+        down.reverse();
+        up.extend(down);
+        up
     }
 }
 
@@ -256,7 +286,10 @@ pub fn generate(cfg: &WorkloadConfig) -> Vec<PaymentSpec> {
                 let n = hops.max(1);
                 let amount = rng.gen_range(cfg.amount.0..=cfg.amount.1);
                 let whole = ValuePlan::uniform(n, amount);
-                for part in whole.split(paths) {
+                for (j, part) in whole.split(paths).into_iter().enumerate() {
+                    // Each parallel path has its own escrow chain, shared
+                    // by every packet's j-th sub-payment.
+                    let venues = VenueRoute::new((0..n).map(|h| (j * n + h) as VenueId).collect());
                     specs.push(PaymentSpec {
                         id: specs.len() as u64,
                         family: cfg.family.label(),
@@ -267,17 +300,22 @@ pub fn generate(cfg: &WorkloadConfig) -> Vec<PaymentSpec> {
                         seed: rng.next_u64(),
                         packet: Some((packet_id, paths)),
                         route: None,
+                        venues,
                     });
                 }
                 packet_id += 1;
             }
             _ => {
                 let mut route = None;
-                let n = match cfg.family {
-                    TopologyFamily::Linear { n } => n.max(1),
+                let (n, venues) = match cfg.family {
+                    TopologyFamily::Linear { n } => {
+                        // Every payment crosses the same n-escrow path.
+                        (n.max(1), VenueRoute::linear(n.max(1)))
+                    }
                     TopologyFamily::HubAndSpoke { spokes } => {
                         // Distinct sender/receiver spokes; the route is
-                        // always spoke → hub → spoke (two escrows).
+                        // always spoke → hub → spoke (two escrows), each
+                        // hop locking at its gateway's venue.
                         let spokes = spokes.max(2);
                         let s = rng.gen_range(0..spokes);
                         let mut r = rng.gen_range(0..spokes - 1);
@@ -286,7 +324,7 @@ pub fn generate(cfg: &WorkloadConfig) -> Vec<PaymentSpec> {
                         }
                         debug_assert_ne!(s, r);
                         route = Some((s, r));
-                        2
+                        (2, VenueRoute::new(vec![s as VenueId, r as VenueId]))
                     }
                     TopologyFamily::RandomTree { nodes } => {
                         let tree = tree.as_ref().expect("tree family built one");
@@ -296,7 +334,16 @@ pub fn generate(cfg: &WorkloadConfig) -> Vec<PaymentSpec> {
                         if b >= a {
                             b += 1;
                         }
-                        tree.distance(a, b).clamp(1, MAX_TREE_HOPS)
+                        // Edge e(child) gets venue id child − 1, keeping
+                        // venue ids dense in 0..nodes−1. Routes longer
+                        // than MAX_TREE_HOPS keep their first hops.
+                        let mut edges = tree.path_edges(a, b);
+                        edges.truncate(MAX_TREE_HOPS);
+                        let venues = VenueRoute::new(
+                            edges.iter().map(|&child| (child - 1) as VenueId).collect(),
+                        );
+                        // a ≠ b, so the path has at least one edge.
+                        (edges.len(), venues)
                     }
                     TopologyFamily::Packetized { .. } => unreachable!("handled above"),
                 };
@@ -317,6 +364,7 @@ pub fn generate(cfg: &WorkloadConfig) -> Vec<PaymentSpec> {
                 } else {
                     ValuePlan::with_commission(n, amount, commission)
                 };
+                debug_assert_eq!(venues.hops(), n, "route covers every hop");
                 specs.push(PaymentSpec {
                     id: specs.len() as u64,
                     family: cfg.family.label(),
@@ -327,6 +375,7 @@ pub fn generate(cfg: &WorkloadConfig) -> Vec<PaymentSpec> {
                     seed: rng.next_u64(),
                     packet: None,
                     route,
+                    venues,
                 });
             }
         }
@@ -439,6 +488,62 @@ mod tests {
             8,
             "first burst holds 8 arrivals"
         );
+    }
+
+    #[test]
+    fn venue_routes_cover_every_hop_within_the_family_venue_space() {
+        for family in [
+            TopologyFamily::Linear { n: 3 },
+            TopologyFamily::HubAndSpoke { spokes: 10 },
+            TopologyFamily::RandomTree { nodes: 40 },
+            TopologyFamily::Packetized { paths: 4, hops: 2 },
+        ] {
+            let venue_space = family.venues();
+            for s in generate(&base(family)) {
+                assert_eq!(s.venues.hops(), s.n, "{}: one venue per hop", s.family);
+                assert!(
+                    s.venues.max_venue().unwrap() < venue_space as u32,
+                    "{}: venue ids stay inside the family's venue space",
+                    s.family
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hub_venues_are_the_spoke_gateways() {
+        for s in generate(&base(TopologyFamily::HubAndSpoke { spokes: 10 })) {
+            let (snd, rcv) = s.route.unwrap();
+            assert_eq!(s.venues.venues, vec![snd as u32, rcv as u32]);
+        }
+    }
+
+    #[test]
+    fn linear_venues_are_shared_by_all_payments() {
+        let specs = generate(&base(TopologyFamily::Linear { n: 3 }));
+        assert!(specs.iter().all(|s| s.venues == VenueRoute::linear(3)));
+    }
+
+    #[test]
+    fn tree_venues_are_distinct_edges_per_route() {
+        let specs = generate(&WorkloadConfig::new(
+            TopologyFamily::RandomTree { nodes: 40 },
+            256,
+            11,
+        ));
+        for s in &specs {
+            // A tree path never repeats an edge.
+            let mut seen = std::collections::BTreeSet::new();
+            assert!(s.venues.venues.iter().all(|v| seen.insert(*v)));
+        }
+        // Edges are genuinely shared across payments: fewer distinct
+        // venues than total hops.
+        let all: std::collections::BTreeSet<u32> = specs
+            .iter()
+            .flat_map(|s| s.venues.venues.iter().copied())
+            .collect();
+        let total_hops: usize = specs.iter().map(|s| s.n).sum();
+        assert!(all.len() < total_hops, "routes overlap on tree edges");
     }
 
     #[test]

@@ -1,0 +1,366 @@
+//! `exp10` — **E10: shared-liquidity frontier under offered load**.
+//!
+//! The paper prices success guarantees in locked collateral over time;
+//! E8/E9 measured that cost against *unbounded* escrows, so lock pressure
+//! never fed back into outcomes. E10 closes the loop: a hub-and-spoke
+//! network whose gateway escrows hold **finite collateral budgets** runs
+//! as an open system (`sim::run_open_with`) while the sweep raises the
+//! offered load and tightens the budget across every protocol harness.
+//! Success rate becomes a function of offered load — the
+//! utilization/success/goodput frontier — instead of a constant of the
+//! fault mix.
+//!
+//! Faults and drift are off: the axis under study is contention, and a
+//! faultless drift-free workload makes every admitted payment succeed, so
+//! `success = admitted` and the frontier is pure admission economics.
+//!
+//! Hard exit criteria:
+//!
+//! * **collateral conservation** — across every bounded cell of the
+//!   time-bounded protocol, the audited locked value never exceeds any
+//!   venue's budget and every venue drains to zero at the end;
+//! * **load monotonicity** — on the Reject frontier (fixed collateral,
+//!   no patience), every protocol's success rate is monotonically
+//!   non-increasing in offered load;
+//! * **the sweep bites** — the tightest budget at the highest load must
+//!   actually reject payments, or the frontier degenerates.
+//!
+//! Usage: `cargo run --release -p xchain-sim --bin exp10 --
+//! [--quick] [--threads N] [--seed S] [--payments N] [--out DIR]`.
+
+use anta::time::SimDuration;
+use experiments::table::{check, Table};
+use sim::prelude::*;
+use std::time::Instant;
+
+struct Args {
+    quick: bool,
+    threads: usize,
+    seed: u64,
+    /// Payments per grid cell (0 ⇒ the mode's default).
+    payments: usize,
+    /// Directory to write `EXP10_liquidity.json` into (empty ⇒ none).
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        threads: 0,
+        seed: 0xE10,
+        payments: 0,
+        out: String::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .expect("--threads needs a count")
+                    .parse()
+                    .expect("thread count");
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("seed");
+            }
+            "--payments" => {
+                args.payments = it
+                    .next()
+                    .expect("--payments needs a count")
+                    .parse()
+                    .expect("payment count");
+            }
+            "--out" => args.out = it.next().expect("--out needs a directory"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: exp10 [--quick] [--threads N] [--seed S] [--payments N] [--out DIR]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// One measured cell, kept for the JSON artifact.
+struct Cell {
+    protocol: &'static str,
+    policy: &'static str,
+    budget: u64,
+    offered_per_sec: u64,
+    offered: usize,
+    admitted: usize,
+    rejected: usize,
+    queued: usize,
+    success: usize,
+    violations: usize,
+    budget_violations: usize,
+    drained: bool,
+    utilization_ppm: u64,
+    goodput_per_sec: f64,
+}
+
+fn render_budget(b: u64) -> String {
+    if b == u64::MAX {
+        "inf".to_owned()
+    } else {
+        format!("{}k", b / 1_000)
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let per_cell = if args.payments > 0 {
+        args.payments
+    } else if args.quick {
+        300
+    } else {
+        2_000
+    };
+
+    // Offered-load axis: the same seeded traffic with compressed
+    // arrival gaps (ticks are µs, so 2 000 µs ⇒ 500 pay/s offered).
+    let loads: [(u64, u64); 3] = [(2_000, 500), (500, 2_000), (125, 8_000)];
+    // Liquidity axis: per-venue budgets over the 8 gateway venues, with
+    // the unbounded book as the E8/E9 baseline and a queueing variant
+    // to price patience.
+    let variants: [(&'static str, LiquidityConfig); 4] = [
+        ("unbounded", LiquidityConfig::UNBOUNDED),
+        ("reject", LiquidityConfig::reject(30_000)),
+        ("reject", LiquidityConfig::reject(15_000)),
+        (
+            "queue 20ms",
+            LiquidityConfig::queue(15_000, SimDuration::from_millis(20)),
+        ),
+    ];
+
+    let mut table = Table::new(
+        "E10 — shared-liquidity frontier: offered load × collateral budget × protocol \
+         (hub of 8 gateway venues, faultless, drift-free)",
+        &[
+            "protocol",
+            "policy",
+            "budget/venue",
+            "offered pay/s",
+            "payments",
+            "admitted",
+            "rejected",
+            "queued",
+            "success",
+            "latency p50/p99 (ms)",
+            "wait p99 (ms)",
+            "util",
+            "peak/venue",
+            "goodput val/s",
+            "colviol",
+        ],
+    );
+
+    let t_all = Instant::now();
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut tb_colviol = 0usize;
+    let mut tb_undrained = 0usize;
+    let mut monotone_ok = true;
+    let mut tightest_rejected = 0usize;
+    let mut total_instances = 0usize;
+
+    let protocols: [&'static str; 5] =
+        ["timebounded", "htlc", "ilp-untuned", "ilp-atomic", "deals"];
+    for protocol in protocols {
+        for (vi, (plabel, liq)) in variants.iter().enumerate() {
+            let mut prev_rate = f64::INFINITY;
+            for &(gap_us, offered_per_sec) in &loads {
+                let mut workload = WorkloadConfig::new(
+                    TopologyFamily::HubAndSpoke { spokes: 8 },
+                    per_cell,
+                    args.seed,
+                );
+                workload.arrivals = ArrivalProcess::Uniform {
+                    mean_gap: SimDuration::from_ticks(gap_us),
+                };
+                // Liquidity only: drift-free clocks keep every protocol's
+                // admitted payments successful.
+                workload.max_rho_ppm = (0, 0);
+                let cfg = SimConfig {
+                    threads: args.threads,
+                    lock_profile: false,
+                    ..SimConfig::new(workload)
+                };
+                let open = match protocol {
+                    "timebounded" => sim::run_open_with(&TimeBoundedHarness, &cfg, liq),
+                    "htlc" => sim::run_open_with(&HtlcHarness, &cfg, liq),
+                    "ilp-untuned" => sim::run_open_with(&InterledgerHarness::untuned(), &cfg, liq),
+                    "ilp-atomic" => sim::run_open_with(&InterledgerHarness::atomic(), &cfg, liq),
+                    "deals" => sim::run_open_with(&DealsHarness, &cfg, liq),
+                    _ => unreachable!(),
+                };
+                let f = open.sim.families.first().expect("one family per cell");
+                let l = &open.liquidity;
+                total_instances += open.sim.instances;
+
+                // The monotonicity gate runs on the Reject frontier: with
+                // fixed collateral and no patience, raising the offered
+                // load can only shed more payments. (A queueing gate
+                // absorbs load into waits, so its admission count may
+                // wobble by a payment or two across load levels.)
+                if matches!(liq.policy, AdmissionPolicy::Reject) {
+                    let rate = f.success.value().unwrap_or(0.0);
+                    if rate > prev_rate + 1e-12 {
+                        monotone_ok = false;
+                        eprintln!(
+                            "MONOTONICITY BROKEN: {protocol}/{plabel}/{} at {} pay/s: \
+                             {rate:.4} > {prev_rate:.4}",
+                            render_budget(liq.budget),
+                            offered_per_sec
+                        );
+                    }
+                    prev_rate = rate;
+                }
+                if protocol == "timebounded" && liq.policy.bounded() {
+                    tb_colviol += l.budget_violations;
+                    tb_undrained += usize::from(!l.drained);
+                }
+                if vi == 2 && offered_per_sec == loads[2].1 {
+                    tightest_rejected += l.rejected;
+                }
+
+                let lat = match &f.latency {
+                    None => "-".to_owned(),
+                    Some(s) => format!(
+                        "{:.1}/{:.1}",
+                        s.p50 as f64 / 1_000.0,
+                        s.p99 as f64 / 1_000.0
+                    ),
+                };
+                table.push(&[
+                    protocol.to_owned(),
+                    plabel.to_string(),
+                    render_budget(liq.budget),
+                    offered_per_sec.to_string(),
+                    l.offered.to_string(),
+                    l.admitted.to_string(),
+                    l.rejected.to_string(),
+                    l.queued.to_string(),
+                    f.success.render(),
+                    lat,
+                    l.wait
+                        .as_ref()
+                        .map(|w| format!("{:.1}", w.p99 as f64 / 1_000.0))
+                        .unwrap_or_else(|| "-".to_owned()),
+                    l.utilization_ppm
+                        .map(|u| format!("{:.1}%", u as f64 / 10_000.0))
+                        .unwrap_or_else(|| "-".to_owned()),
+                    l.peak_locked_venue.to_string(),
+                    format!("{:.0}", l.goodput_per_sec()),
+                    l.budget_violations.to_string(),
+                ]);
+                cells.push(Cell {
+                    protocol,
+                    policy: liq.policy.label(),
+                    budget: liq.budget,
+                    offered_per_sec,
+                    offered: l.offered,
+                    admitted: l.admitted,
+                    rejected: l.rejected,
+                    queued: l.queued,
+                    success: f.success.hits,
+                    violations: open.sim.violations,
+                    budget_violations: l.budget_violations,
+                    drained: l.drained,
+                    utilization_ppm: l.utilization_ppm.unwrap_or(0),
+                    goodput_per_sec: l.goodput_per_sec(),
+                });
+            }
+        }
+    }
+
+    println!("{}", table.render());
+    println!(
+        "instances: {total_instances} in {:.2} s ({} threads requested, {} cores)",
+        t_all.elapsed().as_secs_f64(),
+        args.threads,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    println!(
+        "time-bounded collateral conserved (locked <= budget, all venues drain): {} \
+         ({} violations, {} undrained cells)",
+        check(tb_colviol == 0 && tb_undrained == 0),
+        tb_colviol,
+        tb_undrained
+    );
+    println!(
+        "success monotonically non-increasing in offered load \
+         (every protocol, Reject frontier): {}",
+        check(monotone_ok)
+    );
+    println!(
+        "tightest budget at highest load sheds payments: {} ({} rejections)",
+        check(tightest_rejected > 0),
+        tightest_rejected
+    );
+    println!(
+        "Claims: finite collateral turns success into a function of offered load; \
+         queueing buys admissions with latency; the guaranteed protocol pays its \
+         locked-value cost without ever breaking the collateral budget."
+    );
+
+    if !args.out.is_empty() {
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"schema_version\": 1,\n");
+        json.push_str(&format!("  \"quick\": {},\n", args.quick));
+        json.push_str(&format!("  \"seed\": {},\n", args.seed));
+        json.push_str(&format!("  \"payments_per_cell\": {per_cell},\n"));
+        json.push_str("  \"cells\": [\n");
+        for (i, c) in cells.iter().enumerate() {
+            // Unbounded budgets are u64::MAX internally — not
+            // representable as a JSON double, so emit null.
+            let budget_json = if c.budget == u64::MAX {
+                "null".to_owned()
+            } else {
+                c.budget.to_string()
+            };
+            json.push_str(&format!(
+                "    {{\"protocol\": \"{}\", \"policy\": \"{}\", \"budget\": {}, \
+                 \"offered_per_sec\": {}, \"offered\": {}, \"admitted\": {}, \
+                 \"rejected\": {}, \"queued\": {}, \"success\": {}, \"violations\": {}, \
+                 \"budget_violations\": {}, \"drained\": {}, \"utilization_ppm\": {}, \
+                 \"goodput_per_sec\": {:.1}}}{}\n",
+                c.protocol,
+                c.policy,
+                budget_json,
+                c.offered_per_sec,
+                c.offered,
+                c.admitted,
+                c.rejected,
+                c.queued,
+                c.success,
+                c.violations,
+                c.budget_violations,
+                c.drained,
+                c.utilization_ppm,
+                c.goodput_per_sec,
+                if i + 1 < cells.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::create_dir_all(&args.out).expect("create --out directory");
+        let path = std::path::Path::new(&args.out).join("EXP10_liquidity.json");
+        std::fs::write(&path, &json).expect("write EXP10_liquidity.json");
+        println!("{}", path.display());
+    }
+
+    if tb_colviol > 0 || tb_undrained > 0 || !monotone_ok || tightest_rejected == 0 {
+        eprintln!("E10 exit criteria FAILED");
+        std::process::exit(1);
+    }
+}

@@ -8,7 +8,9 @@
 //! instance; any violation fails the process.
 //!
 //! Usage: `cargo run --release -p xchain-sim --bin exp8 --
-//! [--quick] [--threads N] [--seed S] [--payments N]`.
+//! [--quick] [--threads N] [--seed S] [--payments N] [--json FILE]`.
+//! `--json` writes the per-cell summary as a machine-readable artifact
+//! (the nightly CI uploads it).
 
 use anta::net::NetFaults;
 use anta::time::SimDuration;
@@ -22,6 +24,8 @@ struct Args {
     seed: u64,
     /// Payments per grid cell (0 ⇒ the mode's default).
     payments: usize,
+    /// File to write the per-cell JSON summary into (empty ⇒ none).
+    json: String,
 }
 
 fn parse_args() -> Args {
@@ -30,6 +34,7 @@ fn parse_args() -> Args {
         threads: 0,
         seed: 0xE8,
         payments: 0,
+        json: String::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -56,9 +61,12 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("payment count");
             }
+            "--json" => args.json = it.next().expect("--json needs a file"),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: exp8 [--quick] [--threads N] [--seed S] [--payments N]");
+                eprintln!(
+                    "usage: exp8 [--quick] [--threads N] [--seed S] [--payments N] [--json FILE]"
+                );
                 std::process::exit(2);
             }
         }
@@ -85,6 +93,18 @@ fn fault_levels() -> Vec<(&'static str, FaultPlan)> {
         ("byz", byz),
         ("byz+net", FaultPlan { net, ..byz }),
     ]
+}
+
+/// One cell of the `--json` artifact.
+struct JsonCell {
+    family: String,
+    rho: u64,
+    faults: String,
+    payments: usize,
+    success: usize,
+    refunds: usize,
+    stuck: usize,
+    violations: usize,
 }
 
 fn main() {
@@ -130,6 +150,7 @@ fn main() {
     let mut total_instances = 0usize;
     let mut total_violations = 0usize;
     let mut cell = 0u64;
+    let mut json_cells: Vec<JsonCell> = Vec::new();
     for family in families {
         for rho in drifts {
             for (flabel, faults) in fault_levels() {
@@ -151,6 +172,16 @@ fn main() {
                 total_instances += report.instances;
                 total_violations += report.violations;
                 let f = report.families.first().expect("one family per cell");
+                json_cells.push(JsonCell {
+                    family: f.family.to_owned(),
+                    rho,
+                    faults: flabel.to_owned(),
+                    payments: f.instances,
+                    success: f.success.hits,
+                    refunds: f.refunds,
+                    stuck: f.stuck,
+                    violations: f.violations,
+                });
                 let packets = match f.packets {
                     None => "-".to_owned(),
                     Some(p) => format!("{}/{}/{}", p.complete, p.partial, p.total),
@@ -205,6 +236,43 @@ fn main() {
         "Claims: no-fault cells succeed 100%; faults cost liveness, never \
          conservation; drift within the envelope costs nothing."
     );
+
+    if !args.json.is_empty() {
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"schema_version\": 1,\n");
+        json.push_str("  \"experiment\": \"exp8\",\n");
+        json.push_str(&format!("  \"quick\": {},\n", args.quick));
+        json.push_str(&format!("  \"seed\": {},\n", args.seed));
+        json.push_str(&format!("  \"payments_per_cell\": {per_cell},\n"));
+        json.push_str(&format!("  \"violations_total\": {total_violations},\n"));
+        json.push_str("  \"cells\": [\n");
+        for (i, c) in json_cells.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"family\": \"{}\", \"rho_ppm\": {}, \"faults\": \"{}\", \
+                 \"payments\": {}, \"success\": {}, \"refunds\": {}, \
+                 \"stuck\": {}, \"violations\": {}}}{}\n",
+                c.family,
+                c.rho,
+                c.faults,
+                c.payments,
+                c.success,
+                c.refunds,
+                c.stuck,
+                c.violations,
+                if i + 1 < json_cells.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        if let Some(dir) = std::path::Path::new(&args.json).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create --json directory");
+            }
+        }
+        std::fs::write(&args.json, &json).expect("write --json file");
+        println!("{}", args.json);
+    }
+
     if total_violations > 0 {
         std::process::exit(1);
     }

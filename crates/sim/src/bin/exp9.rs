@@ -19,7 +19,9 @@
 //! exactly that adversary.
 //!
 //! Usage: `cargo run --release -p xchain-sim --bin exp9 --
-//! [--quick] [--threads N] [--seed S] [--payments N]`.
+//! [--quick] [--threads N] [--seed S] [--payments N] [--json FILE]`.
+//! `--json` writes the per-cell comparison summary as a machine-readable
+//! artifact (the nightly CI uploads it).
 
 use anta::net::NetFaults;
 use anta::time::SimDuration;
@@ -33,6 +35,8 @@ struct Args {
     seed: u64,
     /// Payments per grid cell (0 ⇒ the mode's default).
     payments: usize,
+    /// File to write the per-cell JSON summary into (empty ⇒ none).
+    json: String,
 }
 
 fn parse_args() -> Args {
@@ -41,6 +45,7 @@ fn parse_args() -> Args {
         threads: 0,
         seed: 0xE9,
         payments: 0,
+        json: String::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -67,9 +72,12 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("payment count");
             }
+            "--json" => args.json = it.next().expect("--json needs a file"),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: exp9 [--quick] [--threads N] [--seed S] [--payments N]");
+                eprintln!(
+                    "usage: exp9 [--quick] [--threads N] [--seed S] [--payments N] [--json FILE]"
+                );
                 std::process::exit(2);
             }
         }
@@ -96,6 +104,18 @@ fn fault_levels() -> Vec<(&'static str, FaultPlan)> {
         ("byz", byz),
         ("byz+net", FaultPlan { net, ..byz }),
     ]
+}
+
+/// One cell of the `--json` artifact.
+struct JsonCell {
+    protocol: String,
+    family: String,
+    rho: u64,
+    faults: String,
+    payments: usize,
+    success: usize,
+    griefed: usize,
+    violations: usize,
 }
 
 /// Accumulated per-protocol tallies for the exit criteria.
@@ -167,6 +187,7 @@ fn main() {
     let mut deals = ProtocolTally::default();
     let mut total_instances = 0usize;
     let mut cell = 0u64;
+    let mut json_cells: Vec<JsonCell> = Vec::new();
     for family in families {
         for rho in drifts {
             for (flabel, faults) in fault_levels() {
@@ -192,6 +213,16 @@ fn main() {
                 let mut row =
                     |name: &str, tally: &mut ProtocolTally, report: SimReport, wall: f64| {
                         let f = report.families.first().expect("one family per cell");
+                        json_cells.push(JsonCell {
+                            protocol: name.to_owned(),
+                            family: f.family.to_owned(),
+                            rho,
+                            faults: flabel.to_owned(),
+                            payments: f.instances,
+                            success: f.success.hits,
+                            griefed: f.griefed,
+                            violations: f.violations,
+                        });
                         tally.instances += report.instances;
                         tally.violations += report.violations;
                         tally.griefed += report.griefed;
@@ -278,6 +309,41 @@ fn main() {
          with bounded refunds; HTLC griefs, untuned Interledger loses money, \
          atomic Interledger and certified deals abort honest runs."
     );
+
+    if !args.json.is_empty() {
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"schema_version\": 1,\n");
+        json.push_str("  \"experiment\": \"exp9\",\n");
+        json.push_str(&format!("  \"quick\": {},\n", args.quick));
+        json.push_str(&format!("  \"seed\": {},\n", args.seed));
+        json.push_str(&format!("  \"payments_per_cell\": {per_cell},\n"));
+        json.push_str("  \"cells\": [\n");
+        for (i, c) in json_cells.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"protocol\": \"{}\", \"family\": \"{}\", \
+                 \"rho_ppm\": {}, \"faults\": \"{}\", \"payments\": {}, \
+                 \"success\": {}, \"griefed\": {}, \"violations\": {}}}{}\n",
+                c.protocol,
+                c.family,
+                c.rho,
+                c.faults,
+                c.payments,
+                c.success,
+                c.griefed,
+                c.violations,
+                if i + 1 < json_cells.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        if let Some(dir) = std::path::Path::new(&args.json).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create --json directory");
+            }
+        }
+        std::fs::write(&args.json, &json).expect("write --json file");
+        println!("{}", args.json);
+    }
 
     // Every printed criterion is an exit criterion: the comparison is
     // meaningless if the guaranteed protocol breaks, if a baseline stops

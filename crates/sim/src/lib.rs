@@ -10,11 +10,11 @@
 //! * [`workload`] — parameterized topology families (the paper's linear
 //!   `n`-escrow path, Boros-style hub-and-spoke, random routing trees,
 //!   packetized payments split across parallel paths), arrival processes
-//!   (uniform / bursty), and per-instance [`payment::ValuePlan`] /
-//!   [`payment::SyncParams`] sampling from a seeded RNG (re-exported from
+//!   (uniform / bursty), and per-instance `payment::ValuePlan` /
+//!   `payment::SyncParams` sampling from a seeded RNG (re-exported from
 //!   [`protocol::workload`]);
 //! * [`faults`] — a [`faults::FaultPlan`] composing the
-//!   [`payment::byzantine`] strategies with clock-drift sampling and
+//!   `payment::byzantine` strategies with clock-drift sampling and
 //!   bounded message delay/drop injected at the `anta` network layer
 //!   (re-exported from [`protocol::faults`]);
 //! * [`metrics`] — per-instance outcome (success / refund / stuck /
@@ -30,11 +30,23 @@
 //! historical time-bounded entry point (a [`TimeBoundedHarness`]
 //! campaign), bit-identical to the pre-refactor simulator.
 //!
+//! Since the shared-liquidity layer ([`protocol::liquidity`]), the
+//! simulator also runs **open-system** campaigns:
+//! [`runner::run_open_with`] admits payments in arrival order against
+//! finite per-venue collateral budgets (a
+//! [`protocol::LiquidityBook`]), so over-committed escrows reject or
+//! queue payments ([`InstanceOutcome::Rejected`]) and success becomes a
+//! function of offered load. The [`OpenReport`] carries the admission
+//! and collateral audit ([`LiquidityStats`]) beside the usual outcome
+//! aggregation, and stays bit-identical across thread counts.
+//!
 //! The `exp8` binary sweeps success-rate × drift × faults across the
 //! families for the time-bounded protocol (E8); `exp9` runs the same grid
 //! through **all** protocol harnesses and prints the paper-style
-//! comparison table (E9). The workspace `bench` binary's `sim` section
-//! measures payments/sec per thread count into `BENCH_sim.json`, and its
+//! comparison table (E9); `exp10` sweeps offered load × collateral
+//! budget × protocol and prints the utilization/success/goodput frontier
+//! (E10). The workspace `bench` binary's `sim` section measures
+//! payments/sec per thread count into `BENCH_sim.json`, and its
 //! `protocols` section measures per-harness throughput into
 //! `BENCH_protocols.json`.
 //!
@@ -62,9 +74,13 @@ pub mod runner;
 pub mod workload;
 
 pub use faults::{ByzFault, FaultPlan, InstanceFaults};
-pub use metrics::{FamilyStats, InstanceOutcome, InstanceResult, PacketStats, SimReport};
+pub use metrics::{
+    FamilyStats, InstanceOutcome, InstanceResult, LiquidityStats, OpenReport, PacketStats,
+    SimReport,
+};
 pub use runner::{
-    run, run_instance, run_instance_with, run_specs, run_specs_with, run_with, SimConfig,
+    run, run_instance, run_instance_with, run_open, run_open_specs_with, run_open_with, run_specs,
+    run_specs_with, run_with, SimConfig,
 };
 pub use workload::{ArrivalProcess, PaymentSpec, TopologyFamily, WorkloadConfig};
 
@@ -72,21 +88,25 @@ pub use workload::{ArrivalProcess, PaymentSpec, TopologyFamily, WorkloadConfig};
 // so simulation campaigns can name harnesses without a separate import.
 pub use protocol;
 pub use protocol::{
-    DealsHarness, HtlcHarness, InterledgerHarness, ProtocolHarness, TimeBoundedHarness,
+    AdmissionPolicy, DealsHarness, HtlcHarness, InterledgerHarness, LiquidityBook, LiquidityConfig,
+    ProtocolHarness, TimeBoundedHarness,
 };
 
 /// One-stop imports for simulation campaigns.
 pub mod prelude {
     pub use crate::faults::{ByzFault, FaultPlan, InstanceFaults};
     pub use crate::metrics::{
-        FamilyStats, InstanceOutcome, InstanceResult, PacketStats, SimReport,
+        FamilyStats, InstanceOutcome, InstanceResult, LiquidityStats, OpenReport, PacketStats,
+        SimReport,
     };
     pub use crate::runner::{
-        run, run_instance, run_instance_with, run_specs, run_specs_with, run_with, SimConfig,
+        run, run_instance, run_instance_with, run_open, run_open_specs_with, run_open_with,
+        run_specs, run_specs_with, run_with, SimConfig,
     };
     pub use crate::workload::{ArrivalProcess, PaymentSpec, TopologyFamily, WorkloadConfig};
     pub use anta::net::NetFaults;
     pub use protocol::{
-        DealsHarness, HtlcHarness, InterledgerHarness, ProtocolHarness, TimeBoundedHarness,
+        AdmissionPolicy, DealsHarness, HtlcHarness, InterledgerHarness, LiquidityBook,
+        LiquidityConfig, ProtocolHarness, TimeBoundedHarness,
     };
 }

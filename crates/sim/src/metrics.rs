@@ -47,9 +47,10 @@ pub struct InstanceResult {
     pub packet: Option<(u64, usize)>,
     /// Hub spoke route `(sender, receiver)`, from the spec.
     pub route: Option<(usize, usize)>,
-    /// Lock/unlock deltas in arrival-shifted real time, for the
-    /// workload-wide concurrency profile (empty unless profiling is on).
-    pub lock_profile: Vec<(SimTime, i64)>,
+    /// `(time, hop, delta)` lock/unlock events in arrival-shifted real
+    /// time, for the workload-wide concurrency profile and the
+    /// shared-liquidity audit (empty unless profiling is on).
+    pub lock_profile: Vec<(SimTime, u32, i64)>,
 }
 
 /// Per-worker metrics buffer: owned by exactly one worker while the
@@ -89,6 +90,10 @@ pub struct FamilyStats {
     pub stuck: usize,
     /// Violation count — must be zero.
     pub violations: usize,
+    /// Payments the admission controller refused (finite-liquidity mode
+    /// only; always zero for closed-world campaigns). Rejected payments
+    /// count in the success denominator: they were offered, not served.
+    pub rejected: usize,
     /// Instances that griefed a compliant party (HTLC-style full-window
     /// capital stranding) — zero for the time-bounded protocol.
     pub griefed: usize,
@@ -130,6 +135,8 @@ pub struct SimReport {
     /// Total violations (sum over families) — the money-conservation
     /// assertion for the whole run.
     pub violations: usize,
+    /// Total admission rejections (sum over families).
+    pub rejected: usize,
     /// Total griefed instances (sum over families).
     pub griefed: usize,
     /// Peak value locked simultaneously across *all* concurrent instances
@@ -153,11 +160,12 @@ impl SimReport {
 
         let mut families = Vec::with_capacity(by_family.len());
         let mut violations = 0usize;
+        let mut rejected_total = 0usize;
         let mut griefed_total = 0usize;
         for (family, rs) in by_family {
             let mut success = Rate::default();
             let (mut refunds, mut stuck, mut viols, mut byz) = (0usize, 0usize, 0usize, 0usize);
-            let mut griefed = 0usize;
+            let (mut griefed, mut rejected) = (0usize, 0usize);
             let mut latencies: Vec<u64> = Vec::new();
             let mut peaks: Vec<u64> = Vec::with_capacity(rs.len());
             let mut packets: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
@@ -169,6 +177,7 @@ impl SimReport {
                     InstanceOutcome::Refund => refunds += 1,
                     InstanceOutcome::Stuck => stuck += 1,
                     InstanceOutcome::Violation => viols += 1,
+                    InstanceOutcome::Rejected => rejected += 1,
                 }
                 if r.griefed {
                     griefed += 1;
@@ -187,6 +196,7 @@ impl SimReport {
                 }
             }
             violations += viols;
+            rejected_total += rejected;
             griefed_total += griefed;
             let packet_stats = (!packets.is_empty()).then(|| {
                 let mut complete = 0;
@@ -212,6 +222,7 @@ impl SimReport {
                 refunds,
                 stuck,
                 violations: viols,
+                rejected,
                 griefed,
                 byzantine: byz,
                 latency: Summary::of(&latencies),
@@ -225,7 +236,7 @@ impl SimReport {
             let mut deltas: Vec<(SimTime, i64, i64)> = Vec::new();
             for b in &batches {
                 for r in &b.results {
-                    for &(t, dv) in &r.lock_profile {
+                    for &(t, _hop, dv) in &r.lock_profile {
                         deltas.push((t, dv, 0));
                     }
                     // In-flight interval: arrival-shifted [first, last] event.
@@ -257,6 +268,7 @@ impl SimReport {
             families,
             instances,
             violations,
+            rejected: rejected_total,
             griefed: griefed_total,
             peak_locked_global,
             peak_in_flight,
@@ -272,6 +284,83 @@ impl SimReport {
     pub fn conserved(&self) -> bool {
         self.violations == 0
     }
+}
+
+/// Liquidity-side statistics of one open-system campaign (see
+/// [`crate::run_open_with`]): what the admission controller did, how hard
+/// the collateral budgets were driven, and whether the accounting stayed
+/// sound.
+#[derive(Debug, Clone)]
+pub struct LiquidityStats {
+    /// Payments offered to the network (every generated instance).
+    pub offered: usize,
+    /// Payments the admission controller let in.
+    pub admitted: usize,
+    /// Payments refused (no capacity within the policy's patience).
+    pub rejected: usize,
+    /// Admitted payments that had to wait at the gate before starting.
+    pub queued: usize,
+    /// Gate-wait summary over the queued payments (ticks), if any queued.
+    pub wait: Option<Summary>,
+    /// Campaign horizon: time zero (campaign start) to the last audited
+    /// lock event or admission decision.
+    pub horizon: SimDuration,
+    /// Per-venue collateral budget the campaign ran under.
+    pub budget: u64,
+    /// Venues in the network.
+    pub venues: usize,
+    /// Largest audited locked value any single venue ever held.
+    pub peak_locked_venue: u64,
+    /// Largest reservation level any single venue ever held.
+    pub peak_reserved_venue: u64,
+    /// Time-averaged locked value over total network collateral, in ppm
+    /// (`None` for unbounded budgets).
+    pub utilization_ppm: Option<u64>,
+    /// Moments a venue's audited locked value exceeded its budget — the
+    /// collateral-conservation assertion; must be zero whenever the
+    /// policy is bounded.
+    pub budget_violations: usize,
+    /// Whether every venue's locked value returned to zero and every
+    /// reservation was returned by the end of the campaign.
+    pub drained: bool,
+    /// Value delivered to payees (sum of successful payments' final-hop
+    /// amounts).
+    pub goodput_value: u64,
+    /// Value offered (sum of all payments' final-hop amounts).
+    pub offered_value: u64,
+}
+
+impl LiquidityStats {
+    /// Delivered value per second of campaign horizon.
+    pub fn goodput_per_sec(&self) -> f64 {
+        let secs = self.horizon.ticks() as f64 / 1e6;
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.goodput_value as f64 / secs
+        }
+    }
+
+    /// Fraction of offered payments admitted, in `[0, 1]` (1.0 when
+    /// nothing was offered).
+    pub fn admission_rate(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            self.admitted as f64 / self.offered as f64
+        }
+    }
+}
+
+/// The full result of an open-system (finite-liquidity) campaign: the
+/// usual outcome aggregation plus the liquidity ledger.
+#[derive(Debug, Clone)]
+pub struct OpenReport {
+    /// Outcome/latency/locked aggregation, with admission rejections
+    /// folded in as [`InstanceOutcome::Rejected`].
+    pub sim: SimReport,
+    /// Admission and collateral accounting.
+    pub liquidity: LiquidityStats,
 }
 
 /// Latency percentile helper over a success-latency summary: renders
@@ -449,9 +538,9 @@ mod tests {
         let t = SimTime::from_ticks;
         let mut m = BatchMetrics::default();
         let mut r1 = res(0, "hub", InstanceOutcome::Success, 10, 100, None);
-        r1.lock_profile = vec![(t(0), 100), (t(10), -100)];
+        r1.lock_profile = vec![(t(0), 0, 100), (t(10), 0, -100)];
         let mut r2 = res(1, "hub", InstanceOutcome::Success, 10, 70, None);
-        r2.lock_profile = vec![(t(5), 70), (t(15), -70)];
+        r2.lock_profile = vec![(t(5), 0, 70), (t(15), 0, -70)];
         m.push(r1);
         m.push(r2);
         let report = SimReport::merge(vec![m], true);
@@ -461,9 +550,9 @@ mod tests {
         // double-count.
         let mut m2 = BatchMetrics::default();
         let mut r3 = res(0, "hub", InstanceOutcome::Success, 10, 100, None);
-        r3.lock_profile = vec![(t(0), 100), (t(10), -100)];
+        r3.lock_profile = vec![(t(0), 0, 100), (t(10), 0, -100)];
         let mut r4 = res(1, "hub", InstanceOutcome::Success, 10, 100, None);
-        r4.lock_profile = vec![(t(10), 100), (t(20), -100)];
+        r4.lock_profile = vec![(t(10), 0, 100), (t(20), 0, -100)];
         m2.push(r3);
         m2.push(r4);
         let report2 = SimReport::merge(vec![m2], true);

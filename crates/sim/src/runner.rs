@@ -19,11 +19,17 @@
 //! the same reports the pre-refactor simulator did, bit for bit.
 
 use crate::faults::FaultPlan;
-use crate::metrics::{BatchMetrics, InstanceResult, SimReport};
+use crate::metrics::{BatchMetrics, InstanceResult, LiquidityStats, OpenReport, SimReport};
 use crate::workload::{self, PaymentSpec, WorkloadConfig};
+use anta::time::SimTime;
 use experiments::parallel_map;
+use experiments::stats::Summary;
 use protocol::harness::{run_harness_instance, ProtocolHarness};
+use protocol::liquidity::{LiquidityBook, LiquidityConfig};
 use protocol::timebounded::TimeBoundedHarness;
+use protocol::ProtocolOutcome;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// One simulation campaign.
 #[derive(Debug, Clone, Copy)]
@@ -73,6 +79,19 @@ pub fn run_specs_with<H: ProtocolHarness>(
     specs: &[PaymentSpec],
     cfg: &SimConfig,
 ) -> SimReport {
+    let buffers = simulate_specs(harness, specs, cfg, cfg.lock_profile);
+    SimReport::merge(buffers, cfg.lock_profile)
+}
+
+/// The shared parallel phase: every instance simulated independently on
+/// the worker pool, per-batch buffers returned in spec order
+/// (bit-identical across thread counts).
+fn simulate_specs<H: ProtocolHarness>(
+    harness: &H,
+    specs: &[PaymentSpec],
+    cfg: &SimConfig,
+    lock_profile: bool,
+) -> Vec<BatchMetrics> {
     assert!(
         harness.supports(&cfg.workload),
         "{} does not support this workload ({:?}); gate on supports()",
@@ -80,7 +99,7 @@ pub fn run_specs_with<H: ProtocolHarness>(
         cfg.workload.family,
     );
     let batches: Vec<&[PaymentSpec]> = specs.chunks(cfg.batch.max(1)).collect();
-    let buffers: Vec<BatchMetrics> = parallel_map(&batches, cfg.threads, |chunk| {
+    parallel_map(&batches, cfg.threads, |chunk| {
         let mut metrics = BatchMetrics::with_capacity(chunk.len());
         let mut queue_high = 0usize;
         for spec in *chunk {
@@ -88,13 +107,12 @@ pub fn run_specs_with<H: ProtocolHarness>(
                 harness,
                 spec,
                 &cfg.faults,
-                cfg.lock_profile,
+                lock_profile,
                 &mut queue_high,
             ));
         }
         metrics
-    });
-    SimReport::merge(buffers, cfg.lock_profile)
+    })
 }
 
 /// Runs one payment instance end to end through `harness` and extracts its
@@ -145,6 +163,240 @@ pub fn run_instance(
     queue_high: &mut usize,
 ) -> InstanceResult {
     run_instance_with(&TimeBoundedHarness, spec, plan, lock_profile, queue_high)
+}
+
+/// One pending liquidity-book event: `(time, rank, seq, venue, amount)`
+/// behind a [`Reverse`] so the max-heap pops earliest first. Rank orders
+/// same-instant events soundly: actual unlocks (0) settle before
+/// reservation returns (1) before actual locks (2), so the audit never
+/// overstates a venue's simultaneous locked value and a reservation
+/// outlives its last lock. `seq` breaks remaining ties in admission
+/// order — the sweep is deterministic.
+type BookEvent = Reverse<(SimTime, u8, u64, u32, i64)>;
+
+/// Applies every pending event with time ≤ `until` to the book,
+/// advancing `horizon` past the last applied event.
+fn apply_until(
+    heap: &mut BinaryHeap<BookEvent>,
+    book: &mut LiquidityBook,
+    until: SimTime,
+    horizon: &mut SimTime,
+) {
+    while let Some(&Reverse((te, rank, _, venue, amount))) = heap.peek() {
+        if te > until {
+            break;
+        }
+        heap.pop();
+        if rank == 1 {
+            book.unreserve(venue, amount as u64);
+        } else {
+            book.apply_lock(te, venue, amount);
+        }
+        *horizon = (*horizon).max(te);
+    }
+}
+
+/// Generates the workload and runs it as an **open system** against
+/// finite escrow liquidity: payments are admitted in arrival order
+/// against per-venue collateral budgets, so success becomes a function of
+/// offered load, not only of faults and drift.
+///
+/// The sweep is two-phase. Phase one simulates every instance on the
+/// worker pool exactly as the closed-world runner does — each run is a
+/// pure function of its spec, so a payment admitted with delay `w` runs
+/// identically, just shifted by `w`, and the phase stays bit-identical
+/// across thread counts. Phase two replays the instances in arrival
+/// order through one [`LiquidityBook`]: each payment's collateral demand
+/// (`VenueRoute::demand`) is checked against its route's
+/// remaining budgets; fitting payments reserve their measured per-venue
+/// peak until their last lock event releases, over-committed payments
+/// are rejected ([`ProtocolOutcome::Rejected`]) or held at the FIFO gate
+/// per the [`protocol::AdmissionPolicy`]. The book simultaneously
+/// replays the admitted payments' actual lock events as an audit:
+/// `locked ≤ budget` must hold at every venue at every instant
+/// ([`LiquidityStats::budget_violations`] counts the exceptions) and
+/// every venue must drain to zero by the end
+/// ([`LiquidityStats::drained`]).
+///
+/// Phase two is sequential, so the whole open-system report — like the
+/// closed-world one — is **bit-identical across thread counts**.
+pub fn run_open_with<H: ProtocolHarness>(
+    harness: &H,
+    cfg: &SimConfig,
+    liq: &LiquidityConfig,
+) -> OpenReport {
+    let specs = workload::generate(&cfg.workload);
+    run_open_specs_with(harness, &specs, cfg, liq)
+}
+
+/// Open-system steady state over pre-generated specs (see
+/// [`run_open_with`]). `specs` must be in nondecreasing arrival order —
+/// [`workload::generate`] produces exactly that.
+pub fn run_open_specs_with<H: ProtocolHarness>(
+    harness: &H,
+    specs: &[PaymentSpec],
+    cfg: &SimConfig,
+    liq: &LiquidityConfig,
+) -> OpenReport {
+    debug_assert!(
+        specs.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+        "open-system admission needs arrival-ordered specs"
+    );
+    // Phase 1: parallel simulation, lock profiles always collected (the
+    // admission sweep is driven by them).
+    let buffers = simulate_specs(harness, specs, cfg, true);
+    let mut results: Vec<InstanceResult> = buffers.into_iter().flat_map(|b| b.results).collect();
+    assert_eq!(results.len(), specs.len(), "one result per spec");
+
+    // Phase 2: arrival-ordered admission sweep with carried liquidity
+    // state.
+    let policy = liq.policy;
+    let mut book = LiquidityBook::new(liq, cfg.workload.family.venues());
+    let mut heap: BinaryHeap<BookEvent> = BinaryHeap::new();
+    let mut seq = 0u64;
+    // The FIFO admission gate's clock: a queued payment advances it, so
+    // later arrivals wait behind (head-of-line) — deterministic and
+    // faithful to a hub's single admission ledger.
+    let mut gate_clock = SimTime::ZERO;
+    let (mut admitted, mut rejected, mut queued) = (0usize, 0usize, 0usize);
+    let mut waits: Vec<u64> = Vec::new();
+    let mut horizon_end = SimTime::ZERO;
+    let (mut goodput_value, mut offered_value) = (0u64, 0u64);
+
+    for (spec, r) in specs.iter().zip(results.iter_mut()) {
+        let delivered = spec.plan.amounts.last().map(|a| a.amount).unwrap_or(0);
+        offered_value += delivered;
+        let mut t_now = gate_clock.max(spec.arrival);
+        apply_until(&mut heap, &mut book, t_now, &mut horizon_end);
+
+        let admit_at = if !policy.bounded() {
+            Some(t_now)
+        } else {
+            // The payer's patience runs from *arrival*: time already
+            // spent blocked behind the gate's head counts against it.
+            let deadline = SimTime::from_ticks(
+                spec.arrival
+                    .ticks()
+                    .saturating_add(policy.max_wait().ticks()),
+            );
+            if t_now > deadline {
+                None
+            } else {
+                let demand = spec.venues.demand(&spec.plan);
+                loop {
+                    if book.fits(&demand) {
+                        break Some(t_now);
+                    }
+                    // Wait for the next release within patience, if any.
+                    match heap.peek() {
+                        Some(&Reverse((te, ..))) if te <= deadline => {
+                            apply_until(&mut heap, &mut book, te, &mut horizon_end);
+                            t_now = te;
+                        }
+                        _ => break None,
+                    }
+                }
+            }
+        };
+
+        match admit_at {
+            Some(t0) => {
+                admitted += 1;
+                gate_clock = gate_clock.max(t0);
+                horizon_end = horizon_end.max(t0);
+                let wait = t0.saturating_since(spec.arrival);
+                if !wait.is_zero() {
+                    queued += 1;
+                    waits.push(wait.ticks());
+                    // A delayed start shifts the whole (deterministic)
+                    // run by the wait, payer-visible latency included.
+                    for ev in r.lock_profile.iter_mut() {
+                        ev.0 += wait;
+                    }
+                    r.latency += wait;
+                }
+                // Schedule the audit stream and measure the per-venue
+                // footprint: peak locked (the reservation) and last
+                // event (the reservation's release time).
+                let mut per_venue: std::collections::BTreeMap<u32, (i64, i64, SimTime)> =
+                    std::collections::BTreeMap::new();
+                for &(t, hop, dv) in r.lock_profile.iter() {
+                    let Some(venue) = spec.venues.venue(hop as usize) else {
+                        continue;
+                    };
+                    let e = per_venue.entry(venue).or_insert((0, 0, t));
+                    e.0 += dv;
+                    e.1 = e.1.max(e.0);
+                    e.2 = e.2.max(t);
+                    let rank = if dv < 0 { 0 } else { 2 };
+                    heap.push(Reverse((t, rank, seq, venue, dv)));
+                    seq += 1;
+                }
+                if policy.bounded() {
+                    for (&venue, &(_, peak, last)) in &per_venue {
+                        if peak > 0 {
+                            book.reserve(venue, peak as u64);
+                            heap.push(Reverse((last, 1, seq, venue, peak)));
+                            seq += 1;
+                        }
+                    }
+                }
+                if r.outcome == ProtocolOutcome::Success {
+                    goodput_value += delivered;
+                }
+            }
+            None => {
+                rejected += 1;
+                gate_clock = gate_clock.max(t_now);
+                horizon_end = horizon_end.max(t_now);
+                // The payment never starts: no locks, no run, only the
+                // payer's wasted patience.
+                r.outcome = ProtocolOutcome::Rejected;
+                r.latency = policy.max_wait();
+                r.griefed = false;
+                r.peak_locked = 0;
+                r.events = 0;
+                r.lock_profile.clear();
+            }
+        }
+    }
+
+    // Drain the in-flight tail and close the utilization integral.
+    apply_until(&mut heap, &mut book, SimTime::MAX, &mut horizon_end);
+    book.finish(horizon_end);
+
+    let horizon = horizon_end.saturating_since(SimTime::ZERO);
+    let liquidity = LiquidityStats {
+        offered: specs.len(),
+        admitted,
+        rejected,
+        queued,
+        wait: Summary::of(&waits),
+        horizon,
+        budget: book.budget(),
+        venues: book.venues(),
+        peak_locked_venue: book.peak_locked_venue(),
+        peak_reserved_venue: book.peak_reserved_venue(),
+        utilization_ppm: book.utilization_ppm(horizon),
+        budget_violations: book.violations(),
+        drained: book.drained(),
+        goodput_value,
+        offered_value,
+    };
+    let mut batch = BatchMetrics::with_capacity(results.len());
+    for r in results {
+        batch.push(r);
+    }
+    OpenReport {
+        sim: SimReport::merge(vec![batch], true),
+        liquidity,
+    }
+}
+
+/// Open-system campaign of the time-bounded protocol (see
+/// [`run_open_with`]).
+pub fn run_open(cfg: &SimConfig, liq: &LiquidityConfig) -> OpenReport {
+    run_open_with(&TimeBoundedHarness, cfg, liq)
 }
 
 #[cfg(test)]
@@ -330,5 +582,116 @@ mod tests {
     fn unsupported_workload_panics_loudly() {
         let cfg = small(TopologyFamily::Packetized { paths: 3, hops: 2 }, 6, 1);
         let _ = run_with(&HtlcHarness, &cfg);
+    }
+
+    fn bursty_hub(payments: usize, seed: u64) -> SimConfig {
+        let mut cfg = small(TopologyFamily::HubAndSpoke { spokes: 4 }, payments, seed);
+        cfg.workload.arrivals = ArrivalProcess::Bursty {
+            burst: 16,
+            gap: SimDuration::from_millis(50),
+        };
+        cfg
+    }
+
+    #[test]
+    fn open_unbounded_matches_the_closed_world() {
+        let cfg = bursty_hub(64, 41);
+        let open = run_open(&cfg, &LiquidityConfig::UNBOUNDED);
+        let closed = run(&cfg);
+        assert_eq!(open.liquidity.offered, 64);
+        assert_eq!(open.liquidity.admitted, 64);
+        assert_eq!(open.liquidity.rejected, 0);
+        assert_eq!(open.liquidity.queued, 0);
+        assert_eq!(open.liquidity.budget_violations, 0);
+        assert_eq!(open.sim.rejected, 0);
+        let (a, b) = (&open.sim.families[0], &closed.families[0]);
+        assert_eq!(a.success.hits, b.success.hits);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(open.sim.peak_locked_global, closed.peak_locked_global);
+        // The per-venue audit sees real demand even without a budget.
+        assert!(open.liquidity.peak_locked_venue > 0);
+        assert!(open.liquidity.utilization_ppm.is_none(), "unbounded");
+    }
+
+    #[test]
+    fn reject_policy_sheds_load_and_conserves_collateral() {
+        let cfg = bursty_hub(96, 43);
+        // Each payment locks ≤ 10_000 at each of its two venues; a
+        // 16-burst over 4 spokes must overrun a 12_000 budget.
+        let liq = LiquidityConfig::reject(12_000);
+        let open = run_open(&cfg, &liq);
+        let l = &open.liquidity;
+        assert_eq!(l.offered, 96);
+        assert!(l.rejected > 0, "burst must overrun the budget");
+        assert_eq!(l.admitted + l.rejected, l.offered);
+        assert_eq!(l.queued, 0, "reject never waits");
+        assert_eq!(l.budget_violations, 0, "locked ≤ budget always");
+        assert!(l.drained, "all collateral returned");
+        assert!(l.peak_locked_venue <= l.budget);
+        assert!(l.utilization_ppm.unwrap() > 0);
+        // Faultless: every admitted payment succeeds, every refused one
+        // is Rejected.
+        let f = &open.sim.families[0];
+        assert_eq!(f.success.hits, l.admitted);
+        assert_eq!(f.rejected, l.rejected);
+        assert_eq!(open.sim.rejected, l.rejected);
+        assert!(l.goodput_value < l.offered_value);
+    }
+
+    #[test]
+    fn queue_policy_trades_waits_for_admissions() {
+        let cfg = bursty_hub(96, 43);
+        let reject = run_open(&cfg, &LiquidityConfig::reject(12_000));
+        let queue = run_open(
+            &cfg,
+            &LiquidityConfig::queue(12_000, SimDuration::from_millis(200)),
+        );
+        let (lr, lq) = (&reject.liquidity, &queue.liquidity);
+        assert!(
+            lq.admitted > lr.admitted,
+            "patience admits more: {} vs {}",
+            lq.admitted,
+            lr.admitted
+        );
+        assert!(lq.queued > 0, "some payments waited at the gate");
+        assert!(
+            lq.wait.as_ref().unwrap().max <= 200_000,
+            "no wait exceeds the payer's patience: {:?}",
+            lq.wait
+        );
+        assert_eq!(lq.budget_violations, 0);
+        assert!(lq.drained);
+        // Waiting shows up in payer-visible latency.
+        let (fr, fq) = (&reject.sim.families[0], &queue.sim.families[0]);
+        assert!(
+            fq.latency.as_ref().unwrap().max > fr.latency.as_ref().unwrap().max,
+            "queued starts stretch the latency tail"
+        );
+    }
+
+    #[test]
+    fn open_mode_success_is_monotone_in_offered_load() {
+        // Same traffic, compressed arrivals: success (= admission) rate
+        // must not increase with offered load under a fixed budget.
+        let rates: Vec<f64> = [2_000u64, 500, 125]
+            .iter()
+            .map(|&gap_us| {
+                let mut cfg = small(TopologyFamily::HubAndSpoke { spokes: 4 }, 128, 47);
+                cfg.workload.arrivals = ArrivalProcess::Uniform {
+                    mean_gap: SimDuration::from_ticks(gap_us),
+                };
+                let open = run_open(&cfg, &LiquidityConfig::reject(20_000));
+                assert_eq!(open.liquidity.budget_violations, 0);
+                open.liquidity.admission_rate()
+            })
+            .collect();
+        assert!(
+            rates.windows(2).all(|w| w[1] <= w[0]),
+            "admission rate must fall with load: {rates:?}"
+        );
+        assert!(
+            rates[2] < rates[0],
+            "an 16× load compression must actually bite: {rates:?}"
+        );
     }
 }

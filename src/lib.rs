@@ -20,11 +20,15 @@
 //! * [`protocol`] — the protocol abstraction layer: one
 //!   [`protocol::ProtocolHarness`] interface over the time-bounded
 //!   protocol and every baseline, with shared outcome vocabulary, shared
-//!   workload/fault models, and harness-generic schedule exploration.
+//!   workload/fault models, harness-generic schedule exploration, and
+//!   the shared-liquidity layer ([`protocol::LiquidityBook`],
+//!   [`protocol::AdmissionPolicy`]).
 //! * [`experiments`] — the harness regenerating every paper artefact.
 //! * [`sim`] — Monte Carlo traffic simulator: workload generation, fault
 //!   injection, success/latency/locked-value metrics at scale, generic
-//!   over the protocol harness.
+//!   over the protocol harness, with an open-system finite-liquidity
+//!   mode ([`sim::run_open_with`]) where success is a function of
+//!   offered load.
 pub use anta;
 pub use consensus;
 pub use deals;

@@ -1,12 +1,14 @@
 //! Workspace-level checks of the Monte-Carlo traffic simulator: the
 //! umbrella re-export works, reports are bit-identical across thread
-//! counts, the seed fully determines a campaign, and every topology
-//! family honours Theorem 1 when no faults are injected.
+//! counts, the seed fully determines a campaign, every topology family
+//! honours Theorem 1 when no faults are injected, and the open-system
+//! (finite-liquidity) mode keeps its collateral accounting sound.
 
 use crosschain::anta::net::NetFaults;
 use crosschain::anta::time::SimDuration;
 use crosschain::sim::prelude::*;
 use crosschain::sim::FamilyStats;
+use proptest::prelude::*;
 
 fn campaign(family: TopologyFamily, payments: usize, seed: u64) -> SimConfig {
     SimConfig {
@@ -110,4 +112,139 @@ fn hub_concurrency_is_visible_in_the_lock_profile() {
     assert!(load.n <= 8, "at most one entry per spoke");
     let total: f64 = load.mean * load.n as f64;
     assert_eq!(total.round() as usize, 2 * report.instances);
+}
+
+/// Digest of everything the open-system sweep adds on top of the closed
+/// report — compared bit-for-bit across thread counts.
+#[allow(clippy::type_complexity)]
+fn liquidity_digest(
+    r: &crosschain::sim::OpenReport,
+) -> (
+    usize,
+    usize,
+    usize,
+    Option<(u64, u64)>,
+    u64,
+    u64,
+    u64,
+    Option<u64>,
+    usize,
+    bool,
+    u64,
+) {
+    let l = &r.liquidity;
+    (
+        l.admitted,
+        l.rejected,
+        l.queued,
+        l.wait.as_ref().map(|w| (w.p50, w.max)),
+        l.horizon.ticks(),
+        l.peak_locked_venue,
+        l.peak_reserved_venue,
+        l.utilization_ppm,
+        l.budget_violations,
+        l.drained,
+        l.goodput_value,
+    )
+}
+
+#[test]
+fn open_system_report_identical_across_thread_counts() {
+    // Faults on, queueing on: the richest steady-state path must still be
+    // a pure function of the config, whatever the worker count.
+    let faulty = FaultPlan {
+        crash_permille: 100,
+        late_bob_permille: 50,
+        net: NetFaults {
+            drop_permille: 20,
+            delay_permille: 100,
+            extra_delay: SimDuration::from_millis(2),
+            delay_buckets: 4,
+        },
+        ..FaultPlan::NONE
+    };
+    let open_with_threads = |threads: usize| {
+        let mut cfg = SimConfig {
+            threads,
+            faults: faulty,
+            ..campaign(TopologyFamily::HubAndSpoke { spokes: 6 }, 128, 53)
+        };
+        cfg.workload.arrivals = ArrivalProcess::Bursty {
+            burst: 24,
+            gap: SimDuration::from_millis(40),
+        };
+        crosschain::sim::run_open(
+            &cfg,
+            &LiquidityConfig::queue(18_000, SimDuration::from_millis(30)),
+        )
+    };
+    let serial = open_with_threads(1);
+    let parallel = open_with_threads(4);
+    assert_eq!(liquidity_digest(&serial), liquidity_digest(&parallel));
+    assert_eq!(serial.sim.instances, parallel.sim.instances);
+    assert_eq!(serial.sim.rejected, parallel.sim.rejected);
+    assert_eq!(
+        serial.sim.peak_locked_global,
+        parallel.sim.peak_locked_global
+    );
+    for (a, b) in serial.sim.families.iter().zip(&parallel.sim.families) {
+        assert_eq!(digest(a), digest(b));
+        assert_eq!(a.rejected, b.rejected);
+    }
+    // The campaign actually exercised the admission path.
+    assert!(serial.liquidity.admitted > 0);
+    assert!(
+        serial.liquidity.rejected + serial.liquidity.queued > 0,
+        "bursts over a finite budget must contend"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Liquidity accounting soundness across random loads, budgets and
+    /// policies (faultless, so every escrow is compliant): the audited
+    /// locked value at each venue never exceeds its budget, and every
+    /// venue drains back to zero once the campaign ends.
+    #[test]
+    fn prop_locked_never_exceeds_budget_and_drains(
+        payments in 16usize..96,
+        seed in 0u64..10_000,
+        spokes in 3usize..9,
+        budget in 8_000u64..40_000,
+        patience_ms in 0u64..40,
+        burst in 1usize..24,
+    ) {
+        let mut cfg = SimConfig {
+            batch: 16,
+            ..SimConfig::new(WorkloadConfig::new(
+                TopologyFamily::HubAndSpoke { spokes },
+                payments,
+                seed,
+            ))
+        };
+        cfg.workload.arrivals = ArrivalProcess::Bursty {
+            burst,
+            gap: SimDuration::from_millis(10),
+        };
+        let liq = if patience_ms == 0 {
+            LiquidityConfig::reject(budget)
+        } else {
+            LiquidityConfig::queue(budget, SimDuration::from_millis(patience_ms))
+        };
+        let open = crosschain::sim::run_open(&cfg, &liq);
+        let l = &open.liquidity;
+        prop_assert_eq!(l.budget_violations, 0, "locked exceeded a venue budget");
+        prop_assert!(l.drained, "collateral not fully returned");
+        prop_assert!(l.peak_locked_venue <= budget, "audited peak above budget");
+        prop_assert!(l.peak_reserved_venue <= budget, "reservations above budget");
+        prop_assert_eq!(l.admitted + l.rejected, l.offered);
+        // Faultless: admitted ⇔ success, rejected instances carry no locks.
+        let f = &open.sim.families[0];
+        prop_assert_eq!(f.success.hits, l.admitted);
+        prop_assert_eq!(f.rejected, l.rejected);
+        if let Some(w) = &l.wait {
+            prop_assert!(w.max <= patience_ms * 1_000, "a wait exceeded the patience");
+        }
+    }
 }
