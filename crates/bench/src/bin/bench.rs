@@ -17,7 +17,12 @@
 //! * **protocols** — the same linear workload through every protocol
 //!   harness at 1/2/4 worker threads (payments/sec per protocol), written
 //!   to `BENCH_protocols.json` so CI tracks the cross-protocol
-//!   throughput trajectory alongside the other artifacts.
+//!   throughput trajectory alongside the other artifacts;
+//! * **open_system** — the sharded discrete-event open-system engine over
+//!   a single-shard hub and a 4-shard packetized workload at 1/2/4
+//!   worker threads (payments/sec plus `scaling_t4_over_t1` ratio rows),
+//!   written to `BENCH_open.json`; the ratio rows feed the regression
+//!   gate so a return to flat thread scaling fails CI.
 //!
 //! Usage: `cargo run --release -p xchain-bench --bin bench -- [--quick]
 //! [--out DIR] [--threads 1,2,4] [--seed S] [--baseline-out FILE]
@@ -75,6 +80,19 @@ struct ProtocolRow {
     threads: usize,
     payments: usize,
     success: usize,
+    violations: usize,
+    wall_ms: f64,
+    payments_per_sec: f64,
+}
+
+/// One open-system (finite-liquidity) engine measurement row.
+struct OpenRow {
+    workload: &'static str,
+    threads: usize,
+    payments: usize,
+    admitted: usize,
+    rejected: usize,
+    shards: usize,
     violations: usize,
     wall_ms: f64,
     payments_per_sec: f64,
@@ -356,6 +374,66 @@ fn main() {
         });
     }
 
+    // Open-system engine throughput: the sharded discrete-event engine
+    // over a single-shard hub (every route crosses the hub, so its
+    // contention genuinely serializes) and a 4-shard packetized workload
+    // (disjoint paths land on different workers), at 1/2/4 threads under
+    // a Queue admission policy. Reports are bit-identical across thread
+    // counts; the scaling_t4_over_t1 ratio rows are the CI signal that
+    // venue sharding keeps paying — a return to flat scaling on a
+    // multi-core runner fails the regression gate.
+    let open_payments = if args.quick { 2_000 } else { 8_000 };
+    let open_cases: [(&'static str, sim::TopologyFamily, u64); 2] = [
+        (
+            "open_hub_8spokes",
+            sim::TopologyFamily::HubAndSpoke { spokes: 8 },
+            30_000,
+        ),
+        (
+            "open_packetized_4x2",
+            sim::TopologyFamily::Packetized { paths: 4, hops: 2 },
+            9_000,
+        ),
+    ];
+    let mut open_rows: Vec<OpenRow> = Vec::new();
+    for &(label, family, budget) in &open_cases {
+        let mut open_workload = sim::WorkloadConfig::new(family, open_payments, args.seed);
+        open_workload.arrivals = sim::ArrivalProcess::Bursty {
+            burst: 32,
+            gap: anta::time::SimDuration::from_millis(20),
+        };
+        let open_specs = sim::workload::generate(&open_workload);
+        let liq = sim::LiquidityConfig::queue(budget, anta::time::SimDuration::from_millis(25));
+        for threads in [1usize, 2, 4] {
+            let cfg = sim::SimConfig {
+                faults: sim_faults,
+                threads,
+                ..sim::SimConfig::new(open_workload)
+            };
+            let t0 = Instant::now();
+            let report =
+                sim::run_open_specs_with(&sim::TimeBoundedHarness, &open_specs, &cfg, &liq);
+            let wall = t0.elapsed();
+            let l = &report.liquidity;
+            let row = OpenRow {
+                workload: label,
+                threads,
+                payments: l.offered,
+                admitted: l.admitted,
+                rejected: l.rejected,
+                shards: l.shards,
+                violations: l.budget_violations,
+                wall_ms: ms(wall),
+                payments_per_sec: l.offered as f64 / wall.as_secs_f64().max(1e-9),
+            };
+            eprintln!(
+                "open     {label:<20} threads={threads} payments={} admitted={} shards={} {:.1} ms ({:.0} payments/s)",
+                row.payments, row.admitted, row.shards, row.wall_ms, row.payments_per_sec
+            );
+            open_rows.push(row);
+        }
+    }
+
     // Hand-rolled JSON (no serde in the offline workspace).
     let mut json = String::new();
     json.push_str("{\n");
@@ -465,6 +543,39 @@ fn main() {
     }
     proto_json.push_str("  ]\n}\n");
 
+    // BENCH_open.json: open-system engine throughput + shard structure,
+    // its own artifact so the others stay schema-stable.
+    let mut open_json = String::new();
+    open_json.push_str("{\n");
+    open_json.push_str("  \"schema_version\": 1,\n");
+    open_json.push_str(&format!("  \"quick\": {},\n", args.quick));
+    open_json.push_str(&format!("  \"seed\": {},\n", args.seed));
+    open_json.push_str(&format!(
+        "  \"threads_available\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    open_json.push_str("  \"open_system\": [\n");
+    for (i, r) in open_rows.iter().enumerate() {
+        open_json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"threads\": {}, \"payments\": {}, \"admitted\": {}, \
+             \"rejected\": {}, \"shards\": {}, \"violations\": {}, \"wall_ms\": {:.3}, \
+             \"payments_per_sec\": {:.1}}}{}\n",
+            r.workload,
+            r.threads,
+            r.payments,
+            r.admitted,
+            r.rejected,
+            r.shards,
+            r.violations,
+            r.wall_ms,
+            r.payments_per_sec,
+            if i + 1 < open_rows.len() { "," } else { "" }
+        ));
+    }
+    open_json.push_str("  ]\n}\n");
+
     std::fs::create_dir_all(&args.out).expect("create --out directory");
     let path = std::path::Path::new(&args.out).join("BENCH_perf.json");
     write_json(&path, &json);
@@ -475,6 +586,9 @@ fn main() {
     let proto_path = std::path::Path::new(&args.out).join("BENCH_protocols.json");
     write_json(&proto_path, &proto_json);
     println!("{}", proto_path.display());
+    let open_path = std::path::Path::new(&args.out).join("BENCH_open.json");
+    write_json(&open_path, &open_json);
+    println!("{}", open_path.display());
 
     // The flat rate map the regression gate runs on (higher is better
     // everywhere). --handicap divides the rates here — and only here — so
@@ -503,6 +617,28 @@ fn main() {
             format!("protocol/{}/t{}/payments_per_sec", r.protocol, r.threads),
             r.payments_per_sec / args.handicap,
         );
+    }
+    for r in &open_rows {
+        rates.insert(
+            format!("open/{}/t{}/payments_per_sec", r.workload, r.threads),
+            r.payments_per_sec / args.handicap,
+        );
+    }
+    // Thread-scaling ratios: a drop below the baseline's ratio means
+    // venue sharding stopped paying (flat scaling). The handicap cancels
+    // in the quotient, so the raw rates are used.
+    for &(label, ..) in &open_cases {
+        let rate = |threads: usize| {
+            open_rows
+                .iter()
+                .find(|r| r.workload == label && r.threads == threads)
+                .map(|r| r.payments_per_sec)
+        };
+        if let (Some(t1), Some(t4)) = (rate(1), rate(4)) {
+            if t1 > 0.0 {
+                rates.insert(format!("open/{label}/scaling_t4_over_t1"), t4 / t1);
+            }
+        }
     }
 
     if let Some(baseline_out) = &args.baseline_out {

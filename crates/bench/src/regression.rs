@@ -177,7 +177,10 @@ pub fn check(
 /// baseline is stale.
 pub fn refresh_instruction() -> &'static str {
     "to refresh: cargo run --release -p xchain-bench --bin bench -- --quick \
-     --baseline-out BENCH_baseline.json   (commit the result)"
+     --baseline-out BENCH_baseline.json   (commit the result; capture on a \
+     multi-core box so the open/*/scaling_t4_over_t1 rows record real \
+     thread scaling — a 1-core capture pins them near 1.0 and the gate \
+     cannot catch a return to flat scaling)"
 }
 
 #[cfg(test)]

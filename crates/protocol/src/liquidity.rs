@@ -43,9 +43,12 @@ pub enum AdmissionPolicy {
     /// Hold over-committed payments at the admission gate until capacity
     /// frees, up to a patience of `max_wait` measured from the payment's
     /// arrival; payments the gate cannot admit by then are rejected. The
-    /// gate is FIFO: while a payment queues, later arrivals wait behind
-    /// it (head-of-line blocking, which also consumes *their* patience) —
-    /// deterministic, and faithful to a hub's single admission ledger.
+    /// gate is FIFO **per liquidity shard** (the connected component of
+    /// venues linked by route overlap): while a payment queues, later
+    /// arrivals *contending for the same shard* wait behind it
+    /// (head-of-line blocking, which also consumes *their* patience),
+    /// while traffic on disjoint venues is never blocked — deterministic,
+    /// and faithful to one admission ledger per liquidity domain.
     Queue {
         /// The payer's patience: longest time between arrival and start
         /// before the payment is rejected instead.
@@ -190,7 +193,23 @@ impl LiquidityBook {
         })
     }
 
+    /// Whether `demand` could fit this book even when completely empty —
+    /// `false` means the payment can *never* be admitted under this
+    /// budget, no matter how long it waits for releases.
+    pub fn could_ever_fit(&self, demand: &[(VenueId, u64)]) -> bool {
+        !self.bounded || demand.iter().all(|&(_, amount)| amount <= self.budget)
+    }
+
     /// Sets `amount` of collateral aside at `venue`.
+    ///
+    /// Admission controllers check [`LiquidityBook::fits`] against a
+    /// payment's *declared* demand, then reserve its *measured* lock
+    /// peak — a byzantine payment (thieving escrow, forged certificate)
+    /// can lock more than it declared, pushing a bounded book's
+    /// reservation past the budget. That is not an admission bug: the
+    /// gate was honest given what was knowable at the admission instant,
+    /// and the over-commitment is surfaced by the collateral audit
+    /// ([`LiquidityBook::apply_lock`] counts the budget violations).
     pub fn reserve(&mut self, venue: VenueId, amount: u64) {
         let i = self.slot(venue);
         self.reserved[i] += amount;
@@ -293,6 +312,56 @@ impl LiquidityBook {
         }
         true
     }
+
+    /// A shard-local view: a fresh book over the same venue-id space and
+    /// the same budget/policy, with no activity yet. Disjoint shards of a
+    /// sharded discrete-event run each mutate their own view and the
+    /// driver folds them back together with [`LiquidityBook::merge`].
+    pub fn shard_view(&self) -> LiquidityBook {
+        LiquidityBook {
+            budget: self.budget,
+            bounded: self.bounded,
+            reserved: vec![0; self.reserved.len()],
+            locked: vec![0; self.locked.len()],
+            peak_locked: vec![0; self.peak_locked.len()],
+            peak_reserved: vec![0; self.peak_reserved.len()],
+            violations: 0,
+            now: SimTime::ZERO,
+            locked_total: 0,
+            locked_integral: 0,
+        }
+    }
+
+    /// Folds a shard-local view back into this book.
+    ///
+    /// Sound only when the two books were driven over **disjoint venue
+    /// sets** (the sharded runner's invariant): per-venue accounts and
+    /// peaks merge element-wise, the utilization integrals add (the
+    /// integral of a sum over disjoint venues is the sum of integrals),
+    /// violation counts add, and the audit clock advances to the later
+    /// of the two. Debug builds assert the disjointness.
+    pub fn merge(&mut self, other: &LiquidityBook) {
+        debug_assert_eq!(self.budget, other.budget, "merging different budgets");
+        debug_assert_eq!(self.bounded, other.bounded, "merging different policies");
+        if other.venues() > self.venues() {
+            self.slot(other.venues() as VenueId - 1);
+        }
+        for i in 0..other.reserved.len() {
+            debug_assert!(
+                self.peak_locked[i] == 0 && self.peak_reserved[i] == 0
+                    || other.peak_locked[i] == 0 && other.peak_reserved[i] == 0,
+                "venue {i} was driven by both sides of a shard merge"
+            );
+            self.reserved[i] += other.reserved[i];
+            self.locked[i] += other.locked[i];
+            self.peak_locked[i] = self.peak_locked[i].max(other.peak_locked[i]);
+            self.peak_reserved[i] = self.peak_reserved[i].max(other.peak_reserved[i]);
+        }
+        self.violations += other.violations;
+        self.locked_total += other.locked_total;
+        self.locked_integral += other.locked_integral;
+        self.now = self.now.max(other.now);
+    }
 }
 
 #[cfg(test)]
@@ -366,6 +435,61 @@ mod tests {
         assert_eq!(q.max_wait(), SimDuration::from_millis(5));
         assert_eq!(q.label(), "queue");
         assert_eq!(LiquidityConfig::UNBOUNDED.policy.label(), "unbounded");
+    }
+
+    #[test]
+    fn could_ever_fit_is_a_budget_ceiling_check() {
+        let book = LiquidityBook::new(&LiquidityConfig::reject(100), 2);
+        assert!(book.could_ever_fit(&[(0, 100), (1, 1)]));
+        assert!(!book.could_ever_fit(&[(0, 101)]), "exceeds the raw budget");
+        let unbounded = LiquidityBook::new(&LiquidityConfig::UNBOUNDED, 1);
+        assert!(unbounded.could_ever_fit(&[(0, u64::MAX)]));
+    }
+
+    #[test]
+    fn shard_views_merge_back_into_one_book() {
+        let cfg = LiquidityConfig::reject(100);
+        let mut root = LiquidityBook::new(&cfg, 4);
+        // Two shards over disjoint venue pairs {0,1} and {2,3}.
+        let mut a = root.shard_view();
+        let mut b = root.shard_view();
+        assert!(a.try_admit(&[(0, 60), (1, 40)]));
+        a.apply_lock(t(0), 0, 60);
+        a.apply_lock(t(10), 0, -60);
+        a.unreserve(0, 60);
+        a.unreserve(1, 40);
+        a.finish(t(10));
+        assert!(b.try_admit(&[(2, 90)]));
+        b.apply_lock(t(5), 2, 90);
+        b.apply_lock(t(25), 2, -90);
+        b.unreserve(2, 90);
+        b.finish(t(25));
+        root.merge(&a);
+        root.merge(&b);
+        assert_eq!(root.peak_locked_venue(), 90);
+        assert_eq!(root.peak_reserved_venue(), 90);
+        assert_eq!(root.violations(), 0);
+        assert!(root.drained());
+        // Integral: 60×10 + 90×20 = 2 400 value·ticks over a 25-tick
+        // horizon of 4 venues × 100 budget = 10 000 capacity ⇒ 24%.
+        assert_eq!(
+            root.utilization_ppm(SimDuration::from_ticks(25)),
+            Some(240_000)
+        );
+    }
+
+    #[test]
+    fn merge_accumulates_violations_and_grows_the_venue_space() {
+        let cfg = LiquidityConfig::reject(50);
+        let mut root = LiquidityBook::new(&cfg, 1);
+        let mut shard = root.shard_view();
+        shard.apply_lock(t(0), 6, 80); // grows the view; 80 > 50: one violation
+        shard.apply_lock(t(4), 6, -80);
+        root.merge(&shard);
+        assert_eq!(root.venues(), 7);
+        assert_eq!(root.violations(), 1);
+        assert_eq!(root.peak_locked_venue(), 80);
+        assert!(root.drained());
     }
 
     #[test]

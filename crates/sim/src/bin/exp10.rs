@@ -14,6 +14,14 @@
 //! faultless drift-free workload makes every admitted payment succeed, so
 //! `success = admitted` and the frontier is pure admission economics.
 //!
+//! The open system is a discrete-event simulation sharded by venue
+//! (`sim::run_open_with`): arrivals, admission, queueing and patience
+//! expiry are in-band events against the collateral book. A hub
+//! workload couples every payment through the gateway venues, so each
+//! E10 cell is a single shard — the per-cell numbers are exactly the
+//! sequential event-order semantics, and the report stays bit-identical
+//! whatever `--threads` says.
+//!
 //! Hard exit criteria:
 //!
 //! * **collateral conservation** — across every bounded cell of the

@@ -1,0 +1,629 @@
+//! The sharded discrete-event open-system engine.
+//!
+//! The legacy open-system path simulated every payment in isolation and
+//! replayed the lock events through a sequential admission sweep
+//! afterwards, so contention was an accounting afterthought and the
+//! sweep serialized the whole campaign. This module replaces it with a
+//! single discrete-event simulation: arrivals, admission/queueing,
+//! lock/release and patience expiry are all in-band events against the
+//! carried [`LiquidityBook`], so payments genuinely interleave on shared
+//! escrows.
+//!
+//! Parallelism comes from **venue sharding**. Two payments can only
+//! contend when their routes share a venue, so the venue set is
+//! partitioned into connected components of the "routes overlap" graph
+//! (union-find over every spec's [`VenueRoute`]); each component is one
+//! *shard* with its own event heap, FIFO admission gate and
+//! [`LiquidityBook::shard_view`]. Shards share nothing, so they run on
+//! the worker pool ([`experiments::parallel_map`]) and merge
+//! deterministically — shard order is first-arrival order, per-spec
+//! results go back to spec order, and [`LiquidityBook::merge`] sums the
+//! disjoint per-venue columns — which keeps the report **bit-identical
+//! across thread counts**. A hub workload is one shard (every route
+//! crosses the hub: contention is genuinely sequential); packetized
+//! workloads split into one shard per path and scale near-linearly.
+//!
+//! Event ordering is total and payload-free: `(time, rank, seq)` with
+//! ranks unlock < unreserve < lock < arrival < expiry, and `seq` — push
+//! order within the shard — the *sole* remaining tiebreaker. Same-time
+//! same-rank events therefore pop in insertion order, never in
+//! venue/amount order (see `same_tick_same_rank_pops_in_insertion_order`).
+
+use crate::faults::FaultPlan;
+use crate::metrics::{BatchMetrics, InstanceResult, LiquidityStats, OpenReport, SimReport};
+use crate::runner::{run_instance_with, SimConfig};
+use crate::workload::PaymentSpec;
+use anta::time::SimTime;
+use experiments::parallel_map;
+use experiments::stats::Summary;
+use protocol::harness::{sample_instance_faults, ProtocolHarness};
+use protocol::liquidity::{AdmissionPolicy, LiquidityBook, LiquidityConfig};
+use protocol::ProtocolOutcome;
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+/// Same-instant event ranks: actual unlocks settle first (the audit never
+/// overstates a venue's simultaneous locked value), reservation returns
+/// free gate capacity next, then actual locks, then arrivals (so a
+/// release at time `t` is visible to a payment arriving at `t`), and a
+/// patience expiry loses to everything — a release at exactly the
+/// deadline still admits.
+pub(crate) const RANK_UNLOCK: u8 = 0;
+pub(crate) const RANK_UNRESERVE: u8 = 1;
+pub(crate) const RANK_LOCK: u8 = 2;
+const RANK_ARRIVAL: u8 = 3;
+const RANK_EXPIRY: u8 = 4;
+
+/// What a popped event does to its shard.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum EventKind {
+    /// Audited lock (`delta > 0`) or unlock (`delta < 0`) at a venue.
+    Book {
+        /// Global venue id.
+        venue: u32,
+        /// Signed locked-value delta.
+        delta: i64,
+    },
+    /// A reservation return at a venue (frees admission capacity).
+    Unreserve {
+        /// Global venue id.
+        venue: u32,
+        /// Reserved amount being returned.
+        amount: u64,
+    },
+    /// A payment (shard-local index) reaches the admission gate.
+    Arrival {
+        /// Index into the shard's member list.
+        local: u32,
+    },
+    /// A queued payment's patience runs out.
+    Expiry {
+        /// Index into the shard's member list.
+        local: u32,
+    },
+}
+
+/// One pending shard event. Ordering is **total on `(time, rank, seq)`
+/// and nothing else** — the payload is deliberately excluded, so
+/// same-time same-rank events pop in push order (`seq`), never in
+/// venue/amount order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Event {
+    pub(crate) time: SimTime,
+    pub(crate) rank: u8,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.rank, self.seq) == (other.time, other.rank, other.seq)
+    }
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time, self.rank, self.seq).cmp(&(other.time, other.rank, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Partitions the specs into venue-disjoint shards: union-find over each
+/// route's venues, then one shard per connected component, ordered by
+/// first arrival (specs are arrival-sorted, so the scan order is the
+/// arrival order). Returns each shard's spec indices, in spec order.
+pub(crate) fn shard_specs(specs: &[PaymentSpec], venues_hint: usize) -> Vec<Vec<usize>> {
+    let max_venue = specs
+        .iter()
+        .filter_map(|s| s.venues.max_venue())
+        .max()
+        .map(|v| v as usize + 1)
+        .unwrap_or(0);
+    let n = venues_hint.max(max_venue).max(1);
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut v: u32) -> u32 {
+        while parent[v as usize] != v {
+            // Path halving keeps the forest shallow without a rank array.
+            parent[v as usize] = parent[parent[v as usize] as usize];
+            v = parent[v as usize];
+        }
+        v
+    }
+    for spec in specs {
+        let mut venues = spec.venues.venues.iter();
+        if let Some(&first) = venues.next() {
+            let root = find(&mut parent, first);
+            for &v in venues {
+                let r = find(&mut parent, v);
+                if r != root {
+                    parent[r as usize] = root;
+                }
+            }
+        }
+    }
+    let mut shard_of_root: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let first = spec.venues.venues.first().copied().unwrap_or(0);
+        let root = find(&mut parent, first);
+        let shard = *shard_of_root.entry(root).or_insert_with(|| {
+            members.push(Vec::new());
+            members.len() - 1
+        });
+        members[shard].push(i);
+    }
+    members
+}
+
+/// Everything one shard reports back for the deterministic merge.
+pub(crate) struct ShardOutcome {
+    /// `(spec index, result)` for every member, in spec order.
+    pub(crate) results: Vec<(usize, InstanceResult)>,
+    /// The shard's liquidity columns (zeros outside its venues).
+    pub(crate) book: LiquidityBook,
+    pub(crate) admitted: usize,
+    pub(crate) rejected: usize,
+    pub(crate) queued: usize,
+    /// Gate waits of admitted queued payments (ticks).
+    pub(crate) waits: Vec<u64>,
+    /// Wasted waits of rejected payments (ticks).
+    pub(crate) rejected_waits: Vec<u64>,
+    /// Last event or decision instant in this shard.
+    pub(crate) horizon: SimTime,
+    pub(crate) goodput_value: u64,
+    pub(crate) offered_value: u64,
+}
+
+/// One shard's live simulation state: an event heap, the FIFO admission
+/// gate and a shard-local liquidity view.
+struct ShardSim<'a, H: ProtocolHarness> {
+    harness: &'a H,
+    specs: &'a [PaymentSpec],
+    /// Spec indices of this shard's payments, in arrival order.
+    members: &'a [usize],
+    plan: &'a FaultPlan,
+    policy: AdmissionPolicy,
+    book: LiquidityBook,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    /// FIFO admission gate: shard-local indices of waiting payments.
+    queue: VecDeque<u32>,
+    decided: Vec<bool>,
+    /// Per-member collateral demand (`VenueRoute::demand`).
+    demands: Vec<Vec<(u32, u64)>>,
+    results: Vec<Option<InstanceResult>>,
+    queue_high: usize,
+    admitted: usize,
+    rejected: usize,
+    queued: usize,
+    waits: Vec<u64>,
+    rejected_waits: Vec<u64>,
+    horizon: SimTime,
+    goodput_value: u64,
+    offered_value: u64,
+}
+
+/// The payee-visible value of a payment (its final-hop amount).
+fn delivered(spec: &PaymentSpec) -> u64 {
+    spec.plan.amounts.last().map(|a| a.amount).unwrap_or(0)
+}
+
+impl<'a, H: ProtocolHarness> ShardSim<'a, H> {
+    fn new(
+        harness: &'a H,
+        specs: &'a [PaymentSpec],
+        members: &'a [usize],
+        plan: &'a FaultPlan,
+        policy: AdmissionPolicy,
+        template: &LiquidityBook,
+    ) -> Self {
+        let mut sim = ShardSim {
+            harness,
+            specs,
+            members,
+            plan,
+            policy,
+            book: template.shard_view(),
+            heap: BinaryHeap::with_capacity(members.len() * 4),
+            seq: 0,
+            queue: VecDeque::new(),
+            decided: vec![false; members.len()],
+            demands: members
+                .iter()
+                .map(|&si| specs[si].venues.demand(&specs[si].plan))
+                .collect(),
+            results: members.iter().map(|_| None).collect(),
+            queue_high: 0,
+            admitted: 0,
+            rejected: 0,
+            queued: 0,
+            waits: Vec::new(),
+            rejected_waits: Vec::new(),
+            horizon: SimTime::ZERO,
+            goodput_value: 0,
+            offered_value: 0,
+        };
+        for (local, &si) in members.iter().enumerate() {
+            sim.push(
+                specs[si].arrival,
+                RANK_ARRIVAL,
+                EventKind::Arrival {
+                    local: local as u32,
+                },
+            );
+        }
+        sim
+    }
+
+    fn push(&mut self, time: SimTime, rank: u8, kind: EventKind) {
+        self.heap.push(Reverse(Event {
+            time,
+            rank,
+            seq: self.seq,
+            kind,
+        }));
+        self.seq += 1;
+    }
+
+    /// Drives the shard to quiescence and reports.
+    fn run(mut self) -> ShardOutcome {
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            match ev.kind {
+                EventKind::Book { venue, delta } => {
+                    self.book.apply_lock(ev.time, venue, delta);
+                    self.horizon = self.horizon.max(ev.time);
+                }
+                EventKind::Unreserve { venue, amount } => {
+                    self.book.unreserve(venue, amount);
+                    self.horizon = self.horizon.max(ev.time);
+                    // Capacity came back: the gate's head may now fit.
+                    self.drain_queue(ev.time);
+                }
+                EventKind::Arrival { local } => self.on_arrival(local, ev.time),
+                EventKind::Expiry { local } => self.on_expiry(local, ev.time),
+            }
+        }
+        debug_assert!(
+            self.queue.is_empty(),
+            "every queued payment decides by its expiry event"
+        );
+        self.book.finish(self.horizon);
+        ShardOutcome {
+            results: self
+                .members
+                .iter()
+                .zip(self.results)
+                .map(|(&si, r)| (si, r.expect("every member decided")))
+                .collect(),
+            book: self.book,
+            admitted: self.admitted,
+            rejected: self.rejected,
+            queued: self.queued,
+            waits: self.waits,
+            rejected_waits: self.rejected_waits,
+            horizon: self.horizon,
+            goodput_value: self.goodput_value,
+            offered_value: self.offered_value,
+        }
+    }
+
+    fn on_arrival(&mut self, local: u32, t: SimTime) {
+        let li = local as usize;
+        let spec = &self.specs[self.members[li]];
+        self.offered_value += delivered(spec);
+        if !self.policy.bounded() {
+            self.admit(local, t);
+            return;
+        }
+        // FIFO gate: an empty queue and a fitting demand admit on the
+        // spot; head-of-line blocking otherwise.
+        if self.queue.is_empty() && self.book.fits(&self.demands[li]) {
+            self.admit(local, t);
+            return;
+        }
+        // Queue only when waiting could ever help: the payer must have
+        // patience and the demand must fit an *idle* venue. A demand no
+        // budget can satisfy is refused on the spot with zero wasted wait.
+        let can_wait =
+            !self.policy.max_wait().is_zero() && self.book.could_ever_fit(&self.demands[li]);
+        if can_wait {
+            self.queue.push_back(local);
+            let deadline = SimTime::from_ticks(
+                spec.arrival
+                    .ticks()
+                    .saturating_add(self.policy.max_wait().ticks()),
+            );
+            self.push(deadline, RANK_EXPIRY, EventKind::Expiry { local });
+        } else {
+            self.reject(local, t);
+        }
+    }
+
+    fn on_expiry(&mut self, local: u32, t: SimTime) {
+        if self.decided[local as usize] {
+            return; // Admitted before the deadline: the expiry is stale.
+        }
+        self.queue.retain(|&q| q != local);
+        self.reject(local, t);
+        // An expired head unblocks the payments waiting behind it.
+        self.drain_queue(t);
+    }
+
+    /// Admits from the gate's head while capacity lasts (FIFO: a blocked
+    /// head blocks everyone behind it, whatever they demand).
+    fn drain_queue(&mut self, t: SimTime) {
+        while let Some(&head) = self.queue.front() {
+            if !self.book.fits(&self.demands[head as usize]) {
+                break;
+            }
+            self.queue.pop_front();
+            self.admit(head, t);
+        }
+    }
+
+    fn admit(&mut self, local: u32, t: SimTime) {
+        let li = local as usize;
+        self.decided[li] = true;
+        self.admitted += 1;
+        self.horizon = self.horizon.max(t);
+        let spec = &self.specs[self.members[li]];
+        let wait = t.saturating_since(spec.arrival);
+        let mut r = run_instance_with(self.harness, spec, self.plan, true, &mut self.queue_high);
+        if !wait.is_zero() {
+            self.queued += 1;
+            self.waits.push(wait.ticks());
+            // A delayed start shifts the whole (deterministic) run by the
+            // wait, payer-visible latency included.
+            for ev in r.lock_profile.iter_mut() {
+                ev.0 += wait;
+            }
+            r.latency += wait;
+        }
+        // Schedule the audit stream and measure the per-venue footprint:
+        // peak locked (the reservation) and last event (its release).
+        let mut per_venue: BTreeMap<u32, (i64, i64, SimTime)> = BTreeMap::new();
+        for &(te, hop, dv) in r.lock_profile.iter() {
+            let Some(venue) = spec.venues.venue(hop as usize) else {
+                continue;
+            };
+            let e = per_venue.entry(venue).or_insert((0, 0, te));
+            e.0 += dv;
+            e.1 = e.1.max(e.0);
+            e.2 = e.2.max(te);
+            let rank = if dv < 0 { RANK_UNLOCK } else { RANK_LOCK };
+            self.push(te, rank, EventKind::Book { venue, delta: dv });
+        }
+        if self.policy.bounded() {
+            for (&venue, &(_, peak, last)) in &per_venue {
+                if peak > 0 {
+                    self.book.reserve(venue, peak as u64);
+                    self.push(
+                        last,
+                        RANK_UNRESERVE,
+                        EventKind::Unreserve {
+                            venue,
+                            amount: peak as u64,
+                        },
+                    );
+                }
+            }
+        }
+        if r.outcome == ProtocolOutcome::Success {
+            self.goodput_value += delivered(spec);
+        }
+        self.results[li] = Some(r);
+    }
+
+    fn reject(&mut self, local: u32, t: SimTime) {
+        let li = local as usize;
+        self.decided[li] = true;
+        self.rejected += 1;
+        self.horizon = self.horizon.max(t);
+        let spec = &self.specs[self.members[li]];
+        // The payment never starts: no locks, no run, only the payer's
+        // *actual* wasted patience (zero for an on-the-spot refusal).
+        let wasted = t.saturating_since(spec.arrival).min(self.policy.max_wait());
+        self.rejected_waits.push(wasted.ticks());
+        self.results[li] = Some(InstanceResult {
+            id: spec.id,
+            family: spec.family,
+            outcome: ProtocolOutcome::Rejected,
+            griefed: false,
+            faults: sample_instance_faults(self.harness, spec, self.plan),
+            latency: wasted,
+            peak_locked: 0,
+            events: 0,
+            packet: spec.packet,
+            route: spec.route,
+            lock_profile: Vec::new(),
+        });
+    }
+}
+
+/// Open-system steady state over pre-generated specs: shards the venue
+/// set, runs one discrete-event simulation per shard on the worker pool,
+/// and merges deterministically (see the module docs; the public surface
+/// is [`crate::runner::run_open_specs_with`]).
+pub(crate) fn run_open_specs_des<H: ProtocolHarness>(
+    harness: &H,
+    specs: &[PaymentSpec],
+    cfg: &SimConfig,
+    liq: &LiquidityConfig,
+) -> OpenReport {
+    assert!(
+        harness.supports(&cfg.workload),
+        "{} does not support this workload ({:?}); gate on supports()",
+        harness.name(),
+        cfg.workload.family,
+    );
+    debug_assert!(
+        specs.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+        "open-system admission needs arrival-ordered specs"
+    );
+    let venues = cfg.workload.family.venues();
+    let members = shard_specs(specs, venues);
+    let template = LiquidityBook::new(liq, venues);
+    let outcomes: Vec<ShardOutcome> = parallel_map(&members, cfg.threads, |shard| {
+        ShardSim::new(harness, specs, shard, &cfg.faults, liq.policy, &template).run()
+    });
+
+    // Deterministic merge: shard outcomes arrive in shard order whatever
+    // the thread count, per-spec results go back to spec order, and the
+    // venue-disjoint book columns sum.
+    let mut book = template;
+    let mut per_spec: Vec<Option<InstanceResult>> = specs.iter().map(|_| None).collect();
+    let (mut admitted, mut rejected, mut queued) = (0usize, 0usize, 0usize);
+    let mut waits: Vec<u64> = Vec::new();
+    let mut rejected_waits: Vec<u64> = Vec::new();
+    let mut horizon_end = SimTime::ZERO;
+    let (mut goodput_value, mut offered_value) = (0u64, 0u64);
+    for shard in outcomes {
+        admitted += shard.admitted;
+        rejected += shard.rejected;
+        queued += shard.queued;
+        waits.extend(shard.waits);
+        rejected_waits.extend(shard.rejected_waits);
+        horizon_end = horizon_end.max(shard.horizon);
+        goodput_value += shard.goodput_value;
+        offered_value += shard.offered_value;
+        book.merge(&shard.book);
+        for (si, r) in shard.results {
+            debug_assert!(per_spec[si].is_none(), "spec {si} decided twice");
+            per_spec[si] = Some(r);
+        }
+    }
+    book.finish(horizon_end);
+
+    let horizon = horizon_end.saturating_since(SimTime::ZERO);
+    let liquidity = LiquidityStats {
+        offered: specs.len(),
+        admitted,
+        rejected,
+        queued,
+        wait: Summary::of(&waits),
+        rejected_wait: Summary::of(&rejected_waits),
+        shards: members.len(),
+        horizon,
+        budget: book.budget(),
+        venues: book.venues(),
+        peak_locked_venue: book.peak_locked_venue(),
+        peak_reserved_venue: book.peak_reserved_venue(),
+        utilization_ppm: book.utilization_ppm(horizon),
+        budget_violations: book.violations(),
+        drained: book.drained(),
+        goodput_value,
+        offered_value,
+    };
+    let mut batch = BatchMetrics::with_capacity(specs.len());
+    for r in per_spec {
+        batch.push(r.expect("every spec decided"));
+    }
+    OpenReport {
+        sim: SimReport::merge(vec![batch], true),
+        liquidity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{self, TopologyFamily, WorkloadConfig};
+
+    fn t(ticks: u64) -> SimTime {
+        SimTime::from_ticks(ticks)
+    }
+
+    /// Satellite regression: two venues releasing at the same tick pop in
+    /// insertion order — `seq` is the sole tiebreaker after `(time,
+    /// rank)`, the payload (venue, amount) never orders events.
+    #[test]
+    fn same_tick_same_rank_pops_in_insertion_order() {
+        let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        // Push venue 9 before venue 2: venue order would pop 2 first,
+        // insertion order must pop 9 first.
+        for (seq, venue) in [(0u64, 9u32), (1, 2)] {
+            heap.push(Reverse(Event {
+                time: t(100),
+                rank: RANK_UNLOCK,
+                seq,
+                kind: EventKind::Book {
+                    venue,
+                    delta: -(venue as i64),
+                },
+            }));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| heap.pop())
+            .map(|Reverse(ev)| match ev.kind {
+                EventKind::Book { venue, .. } => venue,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![9, 2], "insertion order, not venue order");
+    }
+
+    #[test]
+    fn event_order_is_time_then_rank_then_seq() {
+        let ev = |time, rank, seq| Event {
+            time: t(time),
+            rank,
+            seq,
+            kind: EventKind::Arrival { local: 0 },
+        };
+        assert!(ev(5, RANK_EXPIRY, 0) < ev(6, RANK_UNLOCK, 1));
+        assert!(ev(5, RANK_UNLOCK, 7) < ev(5, RANK_UNRESERVE, 0));
+        assert!(ev(5, RANK_LOCK, 3) < ev(5, RANK_LOCK, 4));
+        // Equality ignores the payload entirely.
+        let a = Event {
+            kind: EventKind::Book { venue: 1, delta: 5 },
+            ..ev(5, RANK_LOCK, 3)
+        };
+        assert_eq!(a, ev(5, RANK_LOCK, 3));
+    }
+
+    #[test]
+    fn hub_routes_collapse_to_one_shard() {
+        let specs = workload::generate(&WorkloadConfig::new(
+            TopologyFamily::HubAndSpoke { spokes: 6 },
+            32,
+            7,
+        ));
+        let members = shard_specs(&specs, 6);
+        assert_eq!(members.len(), 1, "every route crosses the hub");
+        assert_eq!(members[0].len(), 32);
+        assert!(members[0].windows(2).all(|w| w[0] < w[1]), "spec order");
+    }
+
+    #[test]
+    fn packetized_paths_shard_independently() {
+        let (paths, hops) = (4usize, 3usize);
+        let specs = workload::generate(&WorkloadConfig::new(
+            TopologyFamily::Packetized { paths, hops },
+            40,
+            11,
+        ));
+        let members = shard_specs(&specs, paths * hops);
+        assert_eq!(members.len(), paths, "one shard per disjoint path");
+        assert_eq!(members.iter().map(Vec::len).sum::<usize>(), specs.len());
+        // Shards are venue-disjoint.
+        let mut seen: Vec<Vec<u32>> = Vec::new();
+        for shard in &members {
+            let mut venues: Vec<u32> = shard
+                .iter()
+                .flat_map(|&si| specs[si].venues.venues.iter().copied())
+                .collect();
+            venues.sort_unstable();
+            venues.dedup();
+            for prior in &seen {
+                assert!(prior.iter().all(|v| !venues.contains(v)));
+            }
+            seen.push(venues);
+        }
+    }
+}

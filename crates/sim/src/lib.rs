@@ -32,13 +32,17 @@
 //!
 //! Since the shared-liquidity layer ([`protocol::liquidity`]), the
 //! simulator also runs **open-system** campaigns:
-//! [`runner::run_open_with`] admits payments in arrival order against
-//! finite per-venue collateral budgets (a
-//! [`protocol::LiquidityBook`]), so over-committed escrows reject or
-//! queue payments ([`InstanceOutcome::Rejected`]) and success becomes a
-//! function of offered load. The [`OpenReport`] carries the admission
-//! and collateral audit ([`LiquidityStats`]) beside the usual outcome
-//! aggregation, and stays bit-identical across thread counts.
+//! [`runner::run_open_with`] is a discrete-event simulation over a
+//! global event queue — arrivals, admission, queueing, lock/release
+//! replay and patience expiry are all in-band events executed in
+//! `(time, rank, seq)` order against the carried
+//! [`protocol::LiquidityBook`] — so over-committed escrows reject or
+//! queue payments ([`InstanceOutcome::Rejected`]) and success becomes
+//! a function of offered load. The event queue is **sharded by
+//! venue**: payments touching disjoint venue sets run on parallel
+//! workers and merge deterministically, keeping the [`OpenReport`]
+//! (with its admission and collateral audit, [`LiquidityStats`])
+//! bit-identical across thread counts.
 //!
 //! The `exp8` binary sweeps success-rate × drift × faults across the
 //! families for the time-bounded protocol (E8); `exp9` runs the same grid
@@ -46,9 +50,10 @@
 //! comparison table (E9); `exp10` sweeps offered load × collateral
 //! budget × protocol and prints the utilization/success/goodput frontier
 //! (E10). The workspace `bench` binary's `sim` section measures
-//! payments/sec per thread count into `BENCH_sim.json`, and its
+//! payments/sec per thread count into `BENCH_sim.json`, its
 //! `protocols` section measures per-harness throughput into
-//! `BENCH_protocols.json`.
+//! `BENCH_protocols.json`, and its `open` section measures the sharded
+//! open-system engine at 1/2/4 workers into `BENCH_open.json`.
 //!
 //! ```
 //! use sim::prelude::*;
@@ -68,6 +73,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod des;
 pub mod faults;
 pub mod metrics;
 pub mod runner;

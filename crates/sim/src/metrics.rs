@@ -300,8 +300,28 @@ pub struct LiquidityStats {
     pub rejected: usize,
     /// Admitted payments that had to wait at the gate before starting.
     pub queued: usize,
-    /// Gate-wait summary over the queued payments (ticks), if any queued.
+    /// Gate-wait summary over **admitted** queued payments only (ticks),
+    /// if any queued. Rejected payments' wasted waits are deliberately
+    /// kept out of this summary — mixing served and turned-away delays
+    /// would make the admitted-payment wait profile uninterpretable;
+    /// they are summarised separately in [`rejected_wait`].
+    ///
+    /// [`rejected_wait`]: LiquidityStats::rejected_wait
     pub wait: Option<Summary>,
+    /// Wasted-wait summary over **rejected** payments (ticks), if any
+    /// were rejected: how long each turned-away payer was held before the
+    /// refusal. Zero for payments refused on the spot (`Reject` policy,
+    /// or a demand no budget could ever satisfy); up to the policy's
+    /// patience for payments that queued and expired. This is the
+    /// payer-visible delay the admitted-only [`wait`] summary understates.
+    ///
+    /// [`wait`]: LiquidityStats::wait
+    pub rejected_wait: Option<Summary>,
+    /// Liquidity shards the discrete-event engine partitioned the venue
+    /// set into (connected components of routes sharing a venue). Shards
+    /// simulate independently on the worker pool; `1` means every route
+    /// contends on one component (e.g. any hub workload).
+    pub shards: usize,
     /// Campaign horizon: time zero (campaign start) to the last audited
     /// lock event or admission decision.
     pub horizon: SimDuration,

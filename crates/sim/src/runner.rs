@@ -19,17 +19,12 @@
 //! the same reports the pre-refactor simulator did, bit for bit.
 
 use crate::faults::FaultPlan;
-use crate::metrics::{BatchMetrics, InstanceResult, LiquidityStats, OpenReport, SimReport};
+use crate::metrics::{BatchMetrics, InstanceResult, OpenReport, SimReport};
 use crate::workload::{self, PaymentSpec, WorkloadConfig};
-use anta::time::SimTime;
 use experiments::parallel_map;
-use experiments::stats::Summary;
 use protocol::harness::{run_harness_instance, ProtocolHarness};
-use protocol::liquidity::{LiquidityBook, LiquidityConfig};
+use protocol::liquidity::LiquidityConfig;
 use protocol::timebounded::TimeBoundedHarness;
-use protocol::ProtocolOutcome;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// One simulation campaign.
 #[derive(Debug, Clone, Copy)]
@@ -165,61 +160,52 @@ pub fn run_instance(
     run_instance_with(&TimeBoundedHarness, spec, plan, lock_profile, queue_high)
 }
 
-/// One pending liquidity-book event: `(time, rank, seq, venue, amount)`
-/// behind a [`Reverse`] so the max-heap pops earliest first. Rank orders
-/// same-instant events soundly: actual unlocks (0) settle before
-/// reservation returns (1) before actual locks (2), so the audit never
-/// overstates a venue's simultaneous locked value and a reservation
-/// outlives its last lock. `seq` breaks remaining ties in admission
-/// order — the sweep is deterministic.
-type BookEvent = Reverse<(SimTime, u8, u64, u32, i64)>;
-
-/// Applies every pending event with time ≤ `until` to the book,
-/// advancing `horizon` past the last applied event.
-fn apply_until(
-    heap: &mut BinaryHeap<BookEvent>,
-    book: &mut LiquidityBook,
-    until: SimTime,
-    horizon: &mut SimTime,
-) {
-    while let Some(&Reverse((te, rank, _, venue, amount))) = heap.peek() {
-        if te > until {
-            break;
-        }
-        heap.pop();
-        if rank == 1 {
-            book.unreserve(venue, amount as u64);
-        } else {
-            book.apply_lock(te, venue, amount);
-        }
-        *horizon = (*horizon).max(te);
-    }
-}
-
 /// Generates the workload and runs it as an **open system** against
 /// finite escrow liquidity: payments are admitted in arrival order
 /// against per-venue collateral budgets, so success becomes a function of
 /// offered load, not only of faults and drift.
 ///
-/// The sweep is two-phase. Phase one simulates every instance on the
-/// worker pool exactly as the closed-world runner does — each run is a
-/// pure function of its spec, so a payment admitted with delay `w` runs
-/// identically, just shifted by `w`, and the phase stays bit-identical
-/// across thread counts. Phase two replays the instances in arrival
-/// order through one [`LiquidityBook`]: each payment's collateral demand
-/// (`VenueRoute::demand`) is checked against its route's
-/// remaining budgets; fitting payments reserve their measured per-venue
-/// peak until their last lock event releases, over-committed payments
-/// are rejected ([`ProtocolOutcome::Rejected`]) or held at the FIFO gate
-/// per the [`protocol::AdmissionPolicy`]. The book simultaneously
+/// The campaign is one **discrete-event simulation**: arrivals, FIFO
+/// admission/queueing, the lock/release audit stream and patience
+/// expiries are all processed in `(time, rank, seq)` order against the
+/// carried [`protocol::LiquidityBook`], so payments genuinely interleave
+/// on shared escrows — a payment admitted with delay `w` runs
+/// identically, shifted by `w` (each run is still a pure function of its
+/// spec). Parallelism comes from **venue sharding**: routes that can
+/// never contend (no shared venue, by union-find over every route) land
+/// in disjoint shards that simulate concurrently on the worker pool and
+/// merge deterministically, so the report — like the closed-world one —
+/// is **bit-identical across thread counts**. A hub workload is a single
+/// shard (every route crosses the hub: its contention is genuinely
+/// sequential), while packetized workloads split into one shard per path
+/// and scale near-linearly with the worker count.
+///
+/// Admission: each payment's collateral demand (`VenueRoute::demand`) is
+/// checked against its route's remaining budgets at arrival; fitting
+/// payments reserve their measured per-venue peak until their last lock
+/// event releases, over-committed payments are rejected
+/// ([`protocol::ProtocolOutcome::Rejected`]) or held at the shard's FIFO
+/// gate per the [`protocol::AdmissionPolicy`] — a blocked head consumes
+/// the patience of everyone queued behind it, and a demand no budget
+/// could ever satisfy is refused on the spot. The book simultaneously
 /// replays the admitted payments' actual lock events as an audit:
 /// `locked ≤ budget` must hold at every venue at every instant
 /// ([`LiquidityStats::budget_violations`] counts the exceptions) and
 /// every venue must drain to zero by the end
 /// ([`LiquidityStats::drained`]).
 ///
-/// Phase two is sequential, so the whole open-system report — like the
-/// closed-world one — is **bit-identical across thread counts**.
+/// Compared to the retired two-phase sweep (isolated simulation + a
+/// sequential admission replay): `Unbounded` and `Reject` campaigns are
+/// **identical** — decisions happen at arrival instants either way — but
+/// `Queue`-policy numbers may shift, because the gate is now FIFO *per
+/// liquidity shard* rather than one global head-of-line queue, and
+/// never-satisfiable demands are refused immediately (zero wasted wait)
+/// instead of draining the release heap first. Rejected payments record
+/// their *actual* wasted wait in [`LiquidityStats::rejected_wait`].
+///
+/// [`LiquidityStats::budget_violations`]: crate::metrics::LiquidityStats::budget_violations
+/// [`LiquidityStats::drained`]: crate::metrics::LiquidityStats::drained
+/// [`LiquidityStats::rejected_wait`]: crate::metrics::LiquidityStats::rejected_wait
 pub fn run_open_with<H: ProtocolHarness>(
     harness: &H,
     cfg: &SimConfig,
@@ -238,158 +224,234 @@ pub fn run_open_specs_with<H: ProtocolHarness>(
     cfg: &SimConfig,
     liq: &LiquidityConfig,
 ) -> OpenReport {
-    debug_assert!(
-        specs.windows(2).all(|w| w[0].arrival <= w[1].arrival),
-        "open-system admission needs arrival-ordered specs"
-    );
-    // Phase 1: parallel simulation, lock profiles always collected (the
-    // admission sweep is driven by them).
-    let buffers = simulate_specs(harness, specs, cfg, true);
-    let mut results: Vec<InstanceResult> = buffers.into_iter().flat_map(|b| b.results).collect();
-    assert_eq!(results.len(), specs.len(), "one result per spec");
+    crate::des::run_open_specs_des(harness, specs, cfg, liq)
+}
 
-    // Phase 2: arrival-ordered admission sweep with carried liquidity
-    // state.
-    let policy = liq.policy;
-    let mut book = LiquidityBook::new(liq, cfg.workload.family.venues());
-    let mut heap: BinaryHeap<BookEvent> = BinaryHeap::new();
-    let mut seq = 0u64;
-    // The FIFO admission gate's clock: a queued payment advances it, so
-    // later arrivals wait behind (head-of-line) — deterministic and
-    // faithful to a hub's single admission ledger.
-    let mut gate_clock = SimTime::ZERO;
-    let (mut admitted, mut rejected, mut queued) = (0usize, 0usize, 0usize);
-    let mut waits: Vec<u64> = Vec::new();
-    let mut horizon_end = SimTime::ZERO;
-    let (mut goodput_value, mut offered_value) = (0u64, 0u64);
+/// The retired two-phase open-system sweep, kept as a **differential
+/// oracle**: phase one simulates every instance in isolation on the
+/// worker pool, phase two replays the lock events through one sequential
+/// arrival-ordered admission sweep. `Unbounded` and `Reject` campaigns
+/// must match the sharded discrete-event engine bit for bit; `Queue`
+/// semantics legitimately differ (one global head-of-line gate here vs
+/// FIFO per venue shard there, and this oracle drains the release heap
+/// before refusing a never-satisfiable demand).
+#[cfg(test)]
+pub(crate) mod legacy {
+    use super::*;
+    use crate::des::{Event, EventKind, RANK_LOCK, RANK_UNLOCK, RANK_UNRESERVE};
+    use crate::metrics::LiquidityStats;
+    use anta::time::SimTime;
+    use experiments::stats::Summary;
+    use protocol::liquidity::LiquidityBook;
+    use protocol::ProtocolOutcome;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
 
-    for (spec, r) in specs.iter().zip(results.iter_mut()) {
-        let delivered = spec.plan.amounts.last().map(|a| a.amount).unwrap_or(0);
-        offered_value += delivered;
-        let mut t_now = gate_clock.max(spec.arrival);
-        apply_until(&mut heap, &mut book, t_now, &mut horizon_end);
-
-        let admit_at = if !policy.bounded() {
-            Some(t_now)
-        } else {
-            // The payer's patience runs from *arrival*: time already
-            // spent blocked behind the gate's head counts against it.
-            let deadline = SimTime::from_ticks(
-                spec.arrival
-                    .ticks()
-                    .saturating_add(policy.max_wait().ticks()),
-            );
-            if t_now > deadline {
-                None
-            } else {
-                let demand = spec.venues.demand(&spec.plan);
-                loop {
-                    if book.fits(&demand) {
-                        break Some(t_now);
-                    }
-                    // Wait for the next release within patience, if any.
-                    match heap.peek() {
-                        Some(&Reverse((te, ..))) if te <= deadline => {
-                            apply_until(&mut heap, &mut book, te, &mut horizon_end);
-                            t_now = te;
-                        }
-                        _ => break None,
-                    }
-                }
+    /// Applies every pending event with time ≤ `until` to the book,
+    /// advancing `horizon` past the last applied event. Same-instant
+    /// ties resolve on `(rank, seq)` — insertion order within a rank,
+    /// never venue/amount order ([`Event`]'s ordering is payload-free).
+    fn apply_until(
+        heap: &mut BinaryHeap<Reverse<Event>>,
+        book: &mut LiquidityBook,
+        until: SimTime,
+        horizon: &mut SimTime,
+    ) {
+        while let Some(&Reverse(ev)) = heap.peek() {
+            if ev.time > until {
+                break;
             }
-        };
-
-        match admit_at {
-            Some(t0) => {
-                admitted += 1;
-                gate_clock = gate_clock.max(t0);
-                horizon_end = horizon_end.max(t0);
-                let wait = t0.saturating_since(spec.arrival);
-                if !wait.is_zero() {
-                    queued += 1;
-                    waits.push(wait.ticks());
-                    // A delayed start shifts the whole (deterministic)
-                    // run by the wait, payer-visible latency included.
-                    for ev in r.lock_profile.iter_mut() {
-                        ev.0 += wait;
-                    }
-                    r.latency += wait;
-                }
-                // Schedule the audit stream and measure the per-venue
-                // footprint: peak locked (the reservation) and last
-                // event (the reservation's release time).
-                let mut per_venue: std::collections::BTreeMap<u32, (i64, i64, SimTime)> =
-                    std::collections::BTreeMap::new();
-                for &(t, hop, dv) in r.lock_profile.iter() {
-                    let Some(venue) = spec.venues.venue(hop as usize) else {
-                        continue;
-                    };
-                    let e = per_venue.entry(venue).or_insert((0, 0, t));
-                    e.0 += dv;
-                    e.1 = e.1.max(e.0);
-                    e.2 = e.2.max(t);
-                    let rank = if dv < 0 { 0 } else { 2 };
-                    heap.push(Reverse((t, rank, seq, venue, dv)));
-                    seq += 1;
-                }
-                if policy.bounded() {
-                    for (&venue, &(_, peak, last)) in &per_venue {
-                        if peak > 0 {
-                            book.reserve(venue, peak as u64);
-                            heap.push(Reverse((last, 1, seq, venue, peak)));
-                            seq += 1;
-                        }
-                    }
-                }
-                if r.outcome == ProtocolOutcome::Success {
-                    goodput_value += delivered;
-                }
+            heap.pop();
+            match ev.kind {
+                EventKind::Unreserve { venue, amount } => book.unreserve(venue, amount),
+                EventKind::Book { venue, delta } => book.apply_lock(ev.time, venue, delta),
+                _ => unreachable!("the two-phase sweep only schedules book events"),
             }
-            None => {
-                rejected += 1;
-                gate_clock = gate_clock.max(t_now);
-                horizon_end = horizon_end.max(t_now);
-                // The payment never starts: no locks, no run, only the
-                // payer's wasted patience.
-                r.outcome = ProtocolOutcome::Rejected;
-                r.latency = policy.max_wait();
-                r.griefed = false;
-                r.peak_locked = 0;
-                r.events = 0;
-                r.lock_profile.clear();
-            }
+            *horizon = (*horizon).max(ev.time);
         }
     }
 
-    // Drain the in-flight tail and close the utilization integral.
-    apply_until(&mut heap, &mut book, SimTime::MAX, &mut horizon_end);
-    book.finish(horizon_end);
+    /// The two-phase sweep (see the module docs).
+    pub(crate) fn run_open_specs_two_phase<H: ProtocolHarness>(
+        harness: &H,
+        specs: &[PaymentSpec],
+        cfg: &SimConfig,
+        liq: &LiquidityConfig,
+    ) -> OpenReport {
+        debug_assert!(
+            specs.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "open-system admission needs arrival-ordered specs"
+        );
+        // Phase 1: parallel simulation, lock profiles always collected
+        // (the admission sweep is driven by them).
+        let buffers = simulate_specs(harness, specs, cfg, true);
+        let mut results: Vec<InstanceResult> =
+            buffers.into_iter().flat_map(|b| b.results).collect();
+        assert_eq!(results.len(), specs.len(), "one result per spec");
 
-    let horizon = horizon_end.saturating_since(SimTime::ZERO);
-    let liquidity = LiquidityStats {
-        offered: specs.len(),
-        admitted,
-        rejected,
-        queued,
-        wait: Summary::of(&waits),
-        horizon,
-        budget: book.budget(),
-        venues: book.venues(),
-        peak_locked_venue: book.peak_locked_venue(),
-        peak_reserved_venue: book.peak_reserved_venue(),
-        utilization_ppm: book.utilization_ppm(horizon),
-        budget_violations: book.violations(),
-        drained: book.drained(),
-        goodput_value,
-        offered_value,
-    };
-    let mut batch = BatchMetrics::with_capacity(results.len());
-    for r in results {
-        batch.push(r);
-    }
-    OpenReport {
-        sim: SimReport::merge(vec![batch], true),
-        liquidity,
+        // Phase 2: arrival-ordered admission sweep with carried
+        // liquidity state.
+        let policy = liq.policy;
+        let mut book = LiquidityBook::new(liq, cfg.workload.family.venues());
+        let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        // The FIFO admission gate's clock: a queued payment advances it,
+        // so later arrivals wait behind (head-of-line) — deterministic
+        // and faithful to one global admission ledger.
+        let mut gate_clock = SimTime::ZERO;
+        let (mut admitted, mut rejected, mut queued) = (0usize, 0usize, 0usize);
+        let mut waits: Vec<u64> = Vec::new();
+        let mut rejected_waits: Vec<u64> = Vec::new();
+        let mut horizon_end = SimTime::ZERO;
+        let (mut goodput_value, mut offered_value) = (0u64, 0u64);
+
+        for (spec, r) in specs.iter().zip(results.iter_mut()) {
+            let delivered = spec.plan.amounts.last().map(|a| a.amount).unwrap_or(0);
+            offered_value += delivered;
+            let mut t_now = gate_clock.max(spec.arrival);
+            apply_until(&mut heap, &mut book, t_now, &mut horizon_end);
+
+            let admit_at = if !policy.bounded() {
+                Some(t_now)
+            } else {
+                // The payer's patience runs from *arrival*: time already
+                // spent blocked behind the gate's head counts against it.
+                let deadline = SimTime::from_ticks(
+                    spec.arrival
+                        .ticks()
+                        .saturating_add(policy.max_wait().ticks()),
+                );
+                if t_now > deadline {
+                    None
+                } else {
+                    let demand = spec.venues.demand(&spec.plan);
+                    loop {
+                        if book.fits(&demand) {
+                            break Some(t_now);
+                        }
+                        // Wait for the next release within patience.
+                        match heap.peek() {
+                            Some(&Reverse(ev)) if ev.time <= deadline => {
+                                apply_until(&mut heap, &mut book, ev.time, &mut horizon_end);
+                                t_now = ev.time;
+                            }
+                            _ => break None,
+                        }
+                    }
+                }
+            };
+
+            match admit_at {
+                Some(t0) => {
+                    admitted += 1;
+                    gate_clock = gate_clock.max(t0);
+                    horizon_end = horizon_end.max(t0);
+                    let wait = t0.saturating_since(spec.arrival);
+                    if !wait.is_zero() {
+                        queued += 1;
+                        waits.push(wait.ticks());
+                        // A delayed start shifts the whole run by the
+                        // wait, payer-visible latency included.
+                        for ev in r.lock_profile.iter_mut() {
+                            ev.0 += wait;
+                        }
+                        r.latency += wait;
+                    }
+                    // Schedule the audit stream and measure the
+                    // per-venue footprint: peak locked (the reservation)
+                    // and last event (the reservation's release time).
+                    let mut per_venue: std::collections::BTreeMap<u32, (i64, i64, SimTime)> =
+                        std::collections::BTreeMap::new();
+                    for &(t, hop, dv) in r.lock_profile.iter() {
+                        let Some(venue) = spec.venues.venue(hop as usize) else {
+                            continue;
+                        };
+                        let e = per_venue.entry(venue).or_insert((0, 0, t));
+                        e.0 += dv;
+                        e.1 = e.1.max(e.0);
+                        e.2 = e.2.max(t);
+                        let rank = if dv < 0 { RANK_UNLOCK } else { RANK_LOCK };
+                        heap.push(Reverse(Event {
+                            time: t,
+                            rank,
+                            seq,
+                            kind: EventKind::Book { venue, delta: dv },
+                        }));
+                        seq += 1;
+                    }
+                    if policy.bounded() {
+                        for (&venue, &(_, peak, last)) in &per_venue {
+                            if peak > 0 {
+                                book.reserve(venue, peak as u64);
+                                heap.push(Reverse(Event {
+                                    time: last,
+                                    rank: RANK_UNRESERVE,
+                                    seq,
+                                    kind: EventKind::Unreserve {
+                                        venue,
+                                        amount: peak as u64,
+                                    },
+                                }));
+                                seq += 1;
+                            }
+                        }
+                    }
+                    if r.outcome == ProtocolOutcome::Success {
+                        goodput_value += delivered;
+                    }
+                }
+                None => {
+                    rejected += 1;
+                    gate_clock = gate_clock.max(t_now);
+                    horizon_end = horizon_end.max(t_now);
+                    // The payment never starts: no locks, no run, only
+                    // the payer's *actual* wasted patience (clamped to
+                    // it — the gate's head can hold an arrival past its
+                    // own deadline).
+                    let wasted = t_now.saturating_since(spec.arrival).min(policy.max_wait());
+                    rejected_waits.push(wasted.ticks());
+                    r.outcome = ProtocolOutcome::Rejected;
+                    r.latency = wasted;
+                    r.griefed = false;
+                    r.peak_locked = 0;
+                    r.events = 0;
+                    r.lock_profile.clear();
+                }
+            }
+        }
+
+        // Drain the in-flight tail and close the utilization integral.
+        apply_until(&mut heap, &mut book, SimTime::MAX, &mut horizon_end);
+        book.finish(horizon_end);
+
+        let horizon = horizon_end.saturating_since(SimTime::ZERO);
+        let liquidity = LiquidityStats {
+            offered: specs.len(),
+            admitted,
+            rejected,
+            queued,
+            wait: Summary::of(&waits),
+            rejected_wait: Summary::of(&rejected_waits),
+            shards: 1,
+            horizon,
+            budget: book.budget(),
+            venues: book.venues(),
+            peak_locked_venue: book.peak_locked_venue(),
+            peak_reserved_venue: book.peak_reserved_venue(),
+            utilization_ppm: book.utilization_ppm(horizon),
+            budget_violations: book.violations(),
+            drained: book.drained(),
+            goodput_value,
+            offered_value,
+        };
+        let mut batch = BatchMetrics::with_capacity(results.len());
+        for r in results {
+            batch.push(r);
+        }
+        OpenReport {
+            sim: SimReport::merge(vec![batch], true),
+            liquidity,
+        }
     }
 }
 
@@ -666,6 +728,142 @@ mod tests {
         assert!(
             fq.latency.as_ref().unwrap().max > fr.latency.as_ref().unwrap().max,
             "queued starts stretch the latency tail"
+        );
+    }
+
+    /// The sharded discrete-event engine and the retired two-phase sweep
+    /// must agree **bit for bit** whenever no queueing feedback exists:
+    /// `Unbounded` (every payment admitted at its arrival) and `Reject`
+    /// (admission decided at arrival instants only) — including across
+    /// multiple shards (packetized) and under injected faults.
+    #[test]
+    fn des_engine_matches_the_two_phase_oracle_exactly() {
+        let plan = FaultPlan {
+            crash_permille: 120,
+            late_bob_permille: 60,
+            ..FaultPlan::NONE
+        };
+        let cases = [
+            (
+                TopologyFamily::HubAndSpoke { spokes: 4 },
+                LiquidityConfig::UNBOUNDED,
+            ),
+            (
+                TopologyFamily::HubAndSpoke { spokes: 4 },
+                LiquidityConfig::reject(12_000),
+            ),
+            (
+                TopologyFamily::Packetized { paths: 3, hops: 2 },
+                LiquidityConfig::reject(9_000),
+            ),
+        ];
+        for (family, liq) in cases {
+            let mut cfg = small(family, 96, 43);
+            cfg.faults = plan;
+            cfg.workload.arrivals = ArrivalProcess::Bursty {
+                burst: 16,
+                gap: SimDuration::from_millis(50),
+            };
+            let specs = workload::generate(&cfg.workload);
+            let a = run_open_specs_with(&TimeBoundedHarness, &specs, &cfg, &liq);
+            let b = legacy::run_open_specs_two_phase(&TimeBoundedHarness, &specs, &cfg, &liq);
+            let (la, lb) = (&a.liquidity, &b.liquidity);
+            let ctx = format!("{family:?} under {}", liq.policy.label());
+            assert_eq!(
+                (la.offered, la.admitted, la.rejected, la.queued),
+                (lb.offered, lb.admitted, lb.rejected, lb.queued),
+                "{ctx}"
+            );
+            assert_eq!(la.wait, lb.wait, "{ctx}");
+            assert_eq!(la.rejected_wait, lb.rejected_wait, "{ctx}");
+            assert_eq!(la.horizon, lb.horizon, "{ctx}");
+            assert_eq!(
+                (la.peak_locked_venue, la.peak_reserved_venue),
+                (lb.peak_locked_venue, lb.peak_reserved_venue),
+                "{ctx}"
+            );
+            assert_eq!(la.utilization_ppm, lb.utilization_ppm, "{ctx}");
+            assert_eq!(
+                (la.budget_violations, la.drained),
+                (lb.budget_violations, lb.drained),
+                "{ctx}"
+            );
+            assert_eq!(
+                (la.goodput_value, la.offered_value),
+                (lb.goodput_value, lb.offered_value),
+                "{ctx}"
+            );
+            assert_eq!(a.sim.instances, b.sim.instances, "{ctx}");
+            assert_eq!(a.sim.rejected, b.sim.rejected, "{ctx}");
+            assert_eq!(a.sim.peak_locked_global, b.sim.peak_locked_global, "{ctx}");
+            assert_eq!(a.sim.peak_in_flight, b.sim.peak_in_flight, "{ctx}");
+            for (fa, fb) in a.sim.families.iter().zip(&b.sim.families) {
+                assert_eq!(fa.success.hits, fb.success.hits, "{ctx}");
+                assert_eq!(
+                    (fa.refunds, fa.stuck, fa.violations, fa.rejected, fa.griefed),
+                    (fb.refunds, fb.stuck, fb.violations, fb.rejected, fb.griefed),
+                    "{ctx}"
+                );
+                assert_eq!(fa.latency, fb.latency, "{ctx}");
+                assert_eq!(fa.peak_locked, fb.peak_locked, "{ctx}");
+            }
+        }
+    }
+
+    /// Satellite pin: a rejected payment records its *actual* wasted
+    /// wait, never a blanket full-patience charge.
+    #[test]
+    fn rejected_payments_record_actual_wasted_wait_not_full_patience() {
+        // A budget below every demand: the gate turns payments away on
+        // the spot, so their recorded wait must be zero even under a
+        // generous patience (the retired sweep charged the full patience
+        // for every rejection).
+        let cfg = bursty_hub(32, 51);
+        let starved = run_open(
+            &cfg,
+            &LiquidityConfig::queue(50, SimDuration::from_millis(40)),
+        );
+        let l = &starved.liquidity;
+        assert_eq!(l.admitted, 0, "nothing fits a 50-unit budget");
+        assert_eq!(l.rejected, 32);
+        let rw = l.rejected_wait.as_ref().unwrap();
+        assert_eq!((rw.min, rw.max), (0, 0), "turned away instantly");
+        assert!(l.wait.is_none(), "no admitted payment ever queued");
+
+        // With a workable budget, a queue-policy rejection only happens
+        // at its patience expiry: the wasted wait is exactly the
+        // patience, not more.
+        let tight = run_open(
+            &cfg,
+            &LiquidityConfig::queue(12_000, SimDuration::from_millis(2)),
+        );
+        let lt = &tight.liquidity;
+        assert!(lt.rejected > 0, "a 16-burst must overrun 12_000 in 2ms");
+        let rw = lt.rejected_wait.as_ref().unwrap();
+        assert_eq!(
+            (rw.min, rw.max),
+            (2_000, 2_000),
+            "an expiry consumes exactly the patience"
+        );
+
+        // The two-phase oracle, post-fix, clamps a rejection's wait to
+        // the time actually spent blocked — early turn-aways keep their
+        // shorter wait.
+        let specs = workload::generate(&cfg.workload);
+        let oracle = legacy::run_open_specs_two_phase(
+            &TimeBoundedHarness,
+            &specs,
+            &cfg,
+            &LiquidityConfig::queue(12_000, SimDuration::from_millis(2)),
+        );
+        let lo = &oracle.liquidity;
+        assert!(lo.rejected > 0);
+        let rw = lo.rejected_wait.as_ref().unwrap();
+        assert!(rw.max <= 2_000, "never above the patience: {rw:?}");
+        assert!(
+            rw.min < 2_000,
+            "some payer was refused before its deadline and keeps its \
+             actual wait: {rw:?}"
         );
     }
 

@@ -114,37 +114,43 @@ fn hub_concurrency_is_visible_in_the_lock_profile() {
     assert_eq!(total.round() as usize, 2 * report.instances);
 }
 
-/// Digest of everything the open-system sweep adds on top of the closed
+/// Digest of everything the open-system engine adds on top of the closed
 /// report — compared bit-for-bit across thread counts.
 #[allow(clippy::type_complexity)]
 fn liquidity_digest(
     r: &crosschain::sim::OpenReport,
 ) -> (
-    usize,
-    usize,
-    usize,
-    Option<(u64, u64)>,
-    u64,
-    u64,
-    u64,
-    Option<u64>,
-    usize,
-    bool,
-    u64,
+    // Admission side: counts, wait summaries, shard structure.
+    (
+        usize,
+        usize,
+        usize,
+        Option<(u64, u64)>,
+        Option<(u64, u64)>,
+        usize,
+    ),
+    // Book side: horizon, peaks, utilization, soundness, goodput.
+    (u64, u64, u64, Option<u64>, usize, bool, u64),
 ) {
     let l = &r.liquidity;
     (
-        l.admitted,
-        l.rejected,
-        l.queued,
-        l.wait.as_ref().map(|w| (w.p50, w.max)),
-        l.horizon.ticks(),
-        l.peak_locked_venue,
-        l.peak_reserved_venue,
-        l.utilization_ppm,
-        l.budget_violations,
-        l.drained,
-        l.goodput_value,
+        (
+            l.admitted,
+            l.rejected,
+            l.queued,
+            l.wait.as_ref().map(|w| (w.p50, w.max)),
+            l.rejected_wait.as_ref().map(|w| (w.p50, w.max)),
+            l.shards,
+        ),
+        (
+            l.horizon.ticks(),
+            l.peak_locked_venue,
+            l.peak_reserved_venue,
+            l.utilization_ppm,
+            l.budget_violations,
+            l.drained,
+            l.goodput_value,
+        ),
     )
 }
 
@@ -199,6 +205,52 @@ fn open_system_report_identical_across_thread_counts() {
     );
 }
 
+#[test]
+fn multi_shard_open_report_identical_across_thread_counts() {
+    // A packetized workload splits into one liquidity shard per disjoint
+    // path, so the shards genuinely run on different workers at 4
+    // threads — the merged report must still be bit-identical.
+    let faulty = FaultPlan {
+        crash_permille: 80,
+        net: NetFaults {
+            drop_permille: 20,
+            delay_permille: 80,
+            extra_delay: SimDuration::from_millis(2),
+            delay_buckets: 4,
+        },
+        ..FaultPlan::NONE
+    };
+    let open_with_threads = |threads: usize| {
+        let mut cfg = SimConfig {
+            threads,
+            faults: faulty,
+            ..campaign(TopologyFamily::Packetized { paths: 4, hops: 2 }, 120, 61)
+        };
+        cfg.workload.arrivals = ArrivalProcess::Bursty {
+            burst: 20,
+            gap: SimDuration::from_millis(30),
+        };
+        crosschain::sim::run_open(
+            &cfg,
+            &LiquidityConfig::queue(9_000, SimDuration::from_millis(25)),
+        )
+    };
+    let serial = open_with_threads(1);
+    let parallel = open_with_threads(4);
+    assert_eq!(liquidity_digest(&serial), liquidity_digest(&parallel));
+    assert_eq!(serial.liquidity.shards, 4, "one shard per disjoint path");
+    assert_eq!(serial.sim.instances, parallel.sim.instances);
+    assert_eq!(
+        serial.sim.peak_locked_global,
+        parallel.sim.peak_locked_global
+    );
+    for (a, b) in serial.sim.families.iter().zip(&parallel.sim.families) {
+        assert_eq!(digest(a), digest(b));
+        assert_eq!(a.rejected, b.rejected);
+    }
+    assert!(serial.liquidity.admitted > 0);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
@@ -245,6 +297,55 @@ proptest! {
         prop_assert_eq!(f.rejected, l.rejected);
         if let Some(w) = &l.wait {
             prop_assert!(w.max <= patience_ms * 1_000, "a wait exceeded the patience");
+        }
+        if let Some(w) = &l.rejected_wait {
+            prop_assert!(
+                w.max <= patience_ms * 1_000,
+                "a rejection wasted more than the patience"
+            );
+        }
+    }
+
+    /// Finite-budget admission soundness on the sharded engine (Reject
+    /// policy, faultless), across multi-shard packetized topologies: the
+    /// engine never admits a payment whose demand exceeds a venue's
+    /// remaining budget at its admission instant. Faultless payments
+    /// lock no more than they declare, so `peak_reserved_venue` (the
+    /// high-water mark over every admission) staying within the budget
+    /// proves the gate held at each individual admission instant.
+    #[test]
+    fn prop_reject_admissions_never_oversubscribe_a_venue(
+        payments in 16usize..80,
+        seed in 0u64..10_000,
+        paths in 2usize..5,
+        hops in 2usize..4,
+        budget in 2_000u64..30_000,
+        burst in 1usize..16,
+    ) {
+        let mut cfg = SimConfig {
+            batch: 16,
+            ..SimConfig::new(WorkloadConfig::new(
+                TopologyFamily::Packetized { paths, hops },
+                payments,
+                seed,
+            ))
+        };
+        cfg.workload.arrivals = ArrivalProcess::Bursty {
+            burst,
+            gap: SimDuration::from_millis(8),
+        };
+        let open = crosschain::sim::run_open(&cfg, &LiquidityConfig::reject(budget));
+        let l = &open.liquidity;
+        prop_assert_eq!(l.shards, paths, "one shard per disjoint path");
+        prop_assert_eq!(l.budget_violations, 0, "locked exceeded a venue budget");
+        prop_assert!(l.drained, "collateral not fully returned");
+        prop_assert!(l.peak_reserved_venue <= budget, "reservations above budget");
+        prop_assert!(l.peak_locked_venue <= budget, "audited peak above budget");
+        prop_assert_eq!(l.admitted + l.rejected, l.offered);
+        prop_assert_eq!(l.queued, 0, "reject never queues");
+        prop_assert!(l.wait.is_none(), "reject admits only at arrival");
+        if let Some(w) = &l.rejected_wait {
+            prop_assert_eq!(w.max, 0, "reject refuses on the spot");
         }
     }
 }
