@@ -14,6 +14,11 @@
 //! * **sim** — the Monte-Carlo traffic simulator (`xchain-sim`) driving a
 //!   hub-and-spoke workload at 1/2/4(/8) worker threads (wall time,
 //!   payments/sec), written to its own `BENCH_sim.json`;
+//! * **campaign** — the streaming checkpoint/resume campaign runner
+//!   (`sim::campaign`) over the hub workload at 1/4 worker threads
+//!   (payments/sec, written into `BENCH_sim.json`'s `campaign` array),
+//!   asserting the campaign report digest is thread-count-invariant;
+//!   epoch folding should cost ~nothing over the plain runner;
 //! * **protocols** — the same linear workload through every protocol
 //!   harness at 1/2/4 worker threads (payments/sec per protocol), written
 //!   to `BENCH_protocols.json` so CI tracks the cross-protocol
@@ -315,6 +320,53 @@ fn main() {
         sim_rows.push(row);
     }
 
+    // Streaming-campaign throughput: the checkpointing epoch runner
+    // (sim::campaign) over the same hub workload and fault mix, at 1 and
+    // 4 worker threads. Epoch folding must cost ~nothing over the plain
+    // runner, and the digests double as a cross-thread determinism check.
+    let campaign_payments = if args.quick { 2_000u64 } else { 10_000 };
+    let mut campaign_rows: Vec<SimRow> = Vec::new();
+    {
+        let mut digests: Vec<String> = Vec::new();
+        for threads in [1usize, 4] {
+            let cfg = sim::campaign::CampaignConfig {
+                threads,
+                faults: sim_faults,
+                ..sim::campaign::CampaignConfig::new(
+                    sim_workload,
+                    campaign_payments,
+                    (campaign_payments / 4) as usize,
+                )
+            };
+            let mut runner = sim::campaign::CampaignRunner::new(sim::TimeBoundedHarness, cfg);
+            let t0 = Instant::now();
+            runner
+                .run_to_end(None, None, |_| {})
+                .expect("no checkpoint I/O");
+            let wall = t0.elapsed();
+            let report = runner.report();
+            digests.push(report.digest.clone());
+            let row = SimRow {
+                workload: "campaign_hub_16spokes",
+                threads,
+                payments: report.tally.instances as usize,
+                success: report.tally.success as usize,
+                violations: report.tally.violations as usize,
+                wall_ms: ms(wall),
+                payments_per_sec: report.tally.instances as f64 / wall.as_secs_f64().max(1e-9),
+            };
+            eprintln!(
+                "campaign {:<11} threads={threads} payments={} success={} {:.1} ms ({:.0} payments/s)",
+                row.workload, row.payments, row.success, row.wall_ms, row.payments_per_sec
+            );
+            campaign_rows.push(row);
+        }
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "campaign report digests diverged across thread counts: {digests:?}"
+        );
+    }
+
     // Protocol-harness throughput: one seeded linear workload through
     // every harness, re-run at 1/2/4 worker threads. Reports are
     // bit-identical across thread counts per harness; rows differ in wall
@@ -511,6 +563,22 @@ fn main() {
             if i + 1 < sim_rows.len() { "," } else { "" }
         ));
     }
+    sim_json.push_str("  ],\n");
+    sim_json.push_str("  \"campaign\": [\n");
+    for (i, r) in campaign_rows.iter().enumerate() {
+        sim_json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"threads\": {}, \"payments\": {}, \"success\": {}, \
+             \"violations\": {}, \"wall_ms\": {:.3}, \"payments_per_sec\": {:.1}}}{}\n",
+            r.workload,
+            r.threads,
+            r.payments,
+            r.success,
+            r.violations,
+            r.wall_ms,
+            r.payments_per_sec,
+            if i + 1 < campaign_rows.len() { "," } else { "" }
+        ));
+    }
     sim_json.push_str("  ]\n}\n");
 
     // BENCH_protocols.json: per-protocol throughput trajectory, next to
@@ -615,6 +683,12 @@ fn main() {
     for r in &protocol_rows {
         rates.insert(
             format!("protocol/{}/t{}/payments_per_sec", r.protocol, r.threads),
+            r.payments_per_sec / args.handicap,
+        );
+    }
+    for r in &campaign_rows {
+        rates.insert(
+            format!("campaign/{}/t{}/payments_per_sec", r.workload, r.threads),
             r.payments_per_sec / args.handicap,
         );
     }

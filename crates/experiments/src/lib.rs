@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod digest;
 pub mod e1;
 pub mod e2;
 pub mod e3;
@@ -41,4 +42,4 @@ pub mod table;
 // crates (`xchain-sim`'s Monte-Carlo runner, future sweep harnesses) depend
 // on it as a normal dependency rather than re-growing their own thread
 // pools or taking a dev-dependency cycle through the umbrella crate.
-pub use sweep::{grid, parallel_map};
+pub use sweep::{grid, parallel_map, try_parallel_map, ItemPanic};

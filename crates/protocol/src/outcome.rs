@@ -36,6 +36,13 @@ pub enum ProtocolOutcome {
     /// finite-liquidity simulator (`sim::run_open_with`), never by a
     /// harness's `classify` — a rejected payment has no run to classify.
     Rejected,
+    /// The harness itself panicked while running this instance — twice,
+    /// because panic-isolated workers retry once before giving up. The
+    /// instance is counted (never silently dropped) but measured nothing:
+    /// a `Failed` row carries zero latency, zero locked value and no lock
+    /// profile. Produced only by the simulator's panic isolation
+    /// (`sim`'s isolated instance runner), never by a `classify`.
+    Failed,
 }
 
 /// The locked-value event series of one run: `(time, hop, delta)` triples

@@ -34,10 +34,21 @@
 //!   actually reject payments, or the frontier degenerates.
 //!
 //! Usage: `cargo run --release -p xchain-sim --bin exp10 --
-//! [--quick] [--threads N] [--seed S] [--payments N] [--out DIR]`.
+//! [--quick] [--threads N] [--seed S] [--payments N] [--json FILE | --out DIR]`.
+//! `--json FILE` names the artifact directly (the flag every experiment
+//! binary now shares); `--out DIR` is the historical spelling and writes
+//! `DIR/EXP10_liquidity.json`.
+//!
+//! **Campaign mode** (`--campaign N`): stream `N` payments through the
+//! open-system engine in crash-safe epochs — each epoch an independent
+//! admission timeline against fresh per-venue budgets (`--budget`), the
+//! campaign carrying the cumulative collateral audit and wait sketches
+//! across checkpoints (`--resume PATH`, `--stop-after-epoch K`; see
+//! README "Campaigns & recovery").
 
 use anta::time::SimDuration;
 use experiments::table::{check, Table};
+use sim::campaign::{peak_rss_mb, CampaignConfig, CampaignRunner};
 use sim::prelude::*;
 use std::time::Instant;
 
@@ -49,6 +60,20 @@ struct Args {
     payments: usize,
     /// Directory to write `EXP10_liquidity.json` into (empty ⇒ none).
     out: String,
+    /// File to write the JSON artifact into (empty ⇒ use `out`).
+    json: String,
+    /// Total payments for campaign mode (0 ⇒ grid mode).
+    campaign: u64,
+    /// Payments per campaign epoch.
+    epoch: usize,
+    /// Per-venue collateral budget for campaign mode (0 ⇒ unbounded).
+    budget: u64,
+    /// Checkpoint path (write after every epoch; resume if it exists).
+    resume: String,
+    /// Exit cleanly once this epoch index completes (campaign mode).
+    stop_after_epoch: Option<u64>,
+    /// Fail the process if peak RSS exceeds this many MiB (campaign mode).
+    max_rss_mb: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -58,43 +83,138 @@ fn parse_args() -> Args {
         seed: 0xE10,
         payments: 0,
         out: String::new(),
+        json: String::new(),
+        campaign: 0,
+        epoch: 50_000,
+        budget: 30_000,
+        resume: String::new(),
+        stop_after_epoch: None,
+        max_rss_mb: None,
     };
     let mut it = std::env::args().skip(1);
+    let need = |flag: &str, it: &mut dyn Iterator<Item = String>| -> String {
+        it.next().unwrap_or_else(|| panic!("{flag} needs a value"))
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => args.quick = true,
-            "--threads" => {
-                args.threads = it
-                    .next()
-                    .expect("--threads needs a count")
-                    .parse()
-                    .expect("thread count");
-            }
-            "--seed" => {
-                args.seed = it
-                    .next()
-                    .expect("--seed needs a value")
-                    .parse()
-                    .expect("seed");
-            }
+            "--threads" => args.threads = need("--threads", &mut it).parse().expect("thread count"),
+            "--seed" => args.seed = need("--seed", &mut it).parse().expect("seed"),
             "--payments" => {
-                args.payments = it
-                    .next()
-                    .expect("--payments needs a count")
-                    .parse()
-                    .expect("payment count");
+                args.payments = need("--payments", &mut it).parse().expect("payment count")
             }
-            "--out" => args.out = it.next().expect("--out needs a directory"),
+            "--out" => args.out = need("--out", &mut it),
+            "--json" => args.json = need("--json", &mut it),
+            "--campaign" => {
+                args.campaign = need("--campaign", &mut it).parse().expect("campaign size")
+            }
+            "--epoch" => args.epoch = need("--epoch", &mut it).parse().expect("epoch size"),
+            "--budget" => args.budget = need("--budget", &mut it).parse().expect("budget"),
+            "--resume" | "--checkpoint" => args.resume = need("--resume", &mut it),
+            "--stop-after-epoch" => {
+                args.stop_after_epoch = Some(
+                    need("--stop-after-epoch", &mut it)
+                        .parse()
+                        .expect("epoch index"),
+                )
+            }
+            "--max-rss-mb" => {
+                args.max_rss_mb = Some(need("--max-rss-mb", &mut it).parse().expect("MiB limit"))
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: exp10 [--quick] [--threads N] [--seed S] [--payments N] [--out DIR]"
+                    "usage: exp10 [--quick] [--threads N] [--seed S] [--payments N]\n\
+                     \x20             [--json FILE | --out DIR]\n\
+                     campaign mode: exp10 --campaign N [--epoch M] [--budget B] [--resume CKPT]\n\
+                     \x20              [--stop-after-epoch K] [--max-rss-mb M] [--json FILE]"
                 );
                 std::process::exit(2);
             }
         }
     }
     args
+}
+
+/// Campaign mode: a streamed open-system hub campaign under finite
+/// per-venue collateral with a 20 ms queueing gate.
+fn run_campaign(args: &Args) {
+    let mut workload = WorkloadConfig::new(TopologyFamily::HubAndSpoke { spokes: 8 }, 0, args.seed);
+    workload.max_rho_ppm = (0, 0);
+    let liq = if args.budget == 0 {
+        LiquidityConfig::UNBOUNDED
+    } else {
+        LiquidityConfig::queue(args.budget, SimDuration::from_millis(20))
+    };
+    let cfg = CampaignConfig {
+        threads: args.threads,
+        liquidity: Some(liq),
+        ..CampaignConfig::new(workload, args.campaign, args.epoch)
+    };
+    let ckpt = (!args.resume.is_empty()).then(|| std::path::PathBuf::from(&args.resume));
+    let mut runner = CampaignRunner::resume_or_new(
+        TimeBoundedHarness,
+        cfg,
+        ckpt.as_deref().unwrap_or(std::path::Path::new("")),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot resume campaign: {e}");
+        std::process::exit(1);
+    });
+    if runner.next_epoch() > 0 {
+        eprintln!(
+            "resumed from checkpoint at epoch {}/{}",
+            runner.next_epoch(),
+            cfg.epochs()
+        );
+    }
+    runner
+        .run_to_end(ckpt.as_deref(), args.stop_after_epoch, |e| {
+            eprintln!("epoch {}/{} done ({} rows)", e.epoch + 1, e.epochs, e.rows)
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("checkpoint write failed: {e}");
+            std::process::exit(1);
+        });
+    let report = runner.report();
+    print!("{}", report.render());
+    let rss = peak_rss_mb();
+    if !args.json.is_empty() {
+        let extra = [(
+            "peak_rss_mb",
+            rss.map(|m| m.to_string())
+                .unwrap_or_else(|| "null".to_owned()),
+        )];
+        if let Some(dir) = std::path::Path::new(&args.json).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create --json directory");
+            }
+        }
+        std::fs::write(&args.json, report.to_json("exp10", &extra)).expect("write --json file");
+        println!("{}", args.json);
+    }
+    let audit = report
+        .tally
+        .liquidity
+        .as_ref()
+        .expect("open campaign carries a liquidity tally");
+    let audit_ok = audit.budget_violations == 0 && audit.drained_all;
+    println!(
+        "collateral conserved across all epochs (locked <= budget, venues drain): {}",
+        check(audit_ok)
+    );
+    if let (Some(limit), Some(peak)) = (args.max_rss_mb, rss) {
+        println!(
+            "RSS gate: peak {peak} MiB {} limit {limit} MiB",
+            if peak <= limit { "within" } else { "EXCEEDS" }
+        );
+        if peak > limit {
+            std::process::exit(1);
+        }
+    }
+    if !audit_ok || report.tally.violations > 0 || report.tally.failed > 0 {
+        std::process::exit(1);
+    }
 }
 
 /// One measured cell, kept for the JSON artifact.
@@ -125,6 +245,10 @@ fn render_budget(b: u64) -> String {
 
 fn main() {
     let args = parse_args();
+    if args.campaign > 0 {
+        run_campaign(&args);
+        return;
+    }
     let per_cell = if args.payments > 0 {
         args.payments
     } else if args.quick {
@@ -321,10 +445,15 @@ fn main() {
          locked-value cost without ever breaking the collateral budget."
     );
 
-    if !args.out.is_empty() {
+    if !args.out.is_empty() || !args.json.is_empty() {
+        let config_digest = experiments::digest::hex16(experiments::digest::fnv1a64(
+            format!("exp10 seed={} per_cell={}", args.seed, per_cell).as_bytes(),
+        ));
         let mut json = String::new();
         json.push_str("{\n");
         json.push_str("  \"schema_version\": 1,\n");
+        json.push_str("  \"experiment\": \"exp10\",\n");
+        json.push_str(&format!("  \"config_digest\": \"{config_digest}\",\n"));
         json.push_str(&format!("  \"quick\": {},\n", args.quick));
         json.push_str(&format!("  \"seed\": {},\n", args.seed));
         json.push_str(&format!("  \"payments_per_cell\": {per_cell},\n"));
@@ -361,9 +490,18 @@ fn main() {
             ));
         }
         json.push_str("  ]\n}\n");
-        std::fs::create_dir_all(&args.out).expect("create --out directory");
-        let path = std::path::Path::new(&args.out).join("EXP10_liquidity.json");
-        std::fs::write(&path, &json).expect("write EXP10_liquidity.json");
+        let path = if !args.json.is_empty() {
+            if let Some(dir) = std::path::Path::new(&args.json).parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).expect("create --json directory");
+                }
+            }
+            std::path::PathBuf::from(&args.json)
+        } else {
+            std::fs::create_dir_all(&args.out).expect("create --out directory");
+            std::path::Path::new(&args.out).join("EXP10_liquidity.json")
+        };
+        std::fs::write(&path, &json).expect("write JSON artifact");
         println!("{}", path.display());
     }
 

@@ -11,10 +11,18 @@
 //! [--quick] [--threads N] [--seed S] [--payments N] [--json FILE]`.
 //! `--json` writes the per-cell summary as a machine-readable artifact
 //! (the nightly CI uploads it).
+//!
+//! **Campaign mode** (`--campaign N`): instead of the grid, stream `N`
+//! payments of one `--family` through the crash-safe
+//! [`sim::campaign::CampaignRunner`] in `--epoch`-sized epochs, with
+//! `--resume PATH` checkpoint/resume (see README "Campaigns & recovery"),
+//! `--stop-after-epoch K` to exit cleanly mid-campaign, and
+//! `--max-rss-mb M` as the constant-memory gate the nightly enforces.
 
 use anta::net::NetFaults;
 use anta::time::SimDuration;
 use experiments::table::{check, Table};
+use sim::campaign::{peak_rss_mb, CampaignConfig, CampaignRunner};
 use sim::prelude::*;
 use std::time::Instant;
 
@@ -26,6 +34,18 @@ struct Args {
     payments: usize,
     /// File to write the per-cell JSON summary into (empty ⇒ none).
     json: String,
+    /// Total payments for campaign mode (0 ⇒ grid mode).
+    campaign: u64,
+    /// Payments per campaign epoch.
+    epoch: usize,
+    /// Campaign family label.
+    family: String,
+    /// Checkpoint path (write after every epoch; resume if it exists).
+    resume: String,
+    /// Exit cleanly once this epoch index completes (campaign mode).
+    stop_after_epoch: Option<u64>,
+    /// Fail the process if peak RSS exceeds this many MiB (campaign mode).
+    max_rss_mb: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -35,43 +55,152 @@ fn parse_args() -> Args {
         seed: 0xE8,
         payments: 0,
         json: String::new(),
+        campaign: 0,
+        epoch: 50_000,
+        family: "linear".to_owned(),
+        resume: String::new(),
+        stop_after_epoch: None,
+        max_rss_mb: None,
     };
     let mut it = std::env::args().skip(1);
+    let need = |flag: &str, it: &mut dyn Iterator<Item = String>| -> String {
+        it.next().unwrap_or_else(|| panic!("{flag} needs a value"))
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => args.quick = true,
-            "--threads" => {
-                args.threads = it
-                    .next()
-                    .expect("--threads needs a count")
-                    .parse()
-                    .expect("thread count");
-            }
-            "--seed" => {
-                args.seed = it
-                    .next()
-                    .expect("--seed needs a value")
-                    .parse()
-                    .expect("seed");
-            }
+            "--threads" => args.threads = need("--threads", &mut it).parse().expect("thread count"),
+            "--seed" => args.seed = need("--seed", &mut it).parse().expect("seed"),
             "--payments" => {
-                args.payments = it
-                    .next()
-                    .expect("--payments needs a count")
-                    .parse()
-                    .expect("payment count");
+                args.payments = need("--payments", &mut it).parse().expect("payment count")
             }
-            "--json" => args.json = it.next().expect("--json needs a file"),
+            "--json" => args.json = need("--json", &mut it),
+            "--campaign" => {
+                args.campaign = need("--campaign", &mut it).parse().expect("campaign size")
+            }
+            "--epoch" => args.epoch = need("--epoch", &mut it).parse().expect("epoch size"),
+            "--family" => args.family = need("--family", &mut it),
+            "--resume" | "--checkpoint" => args.resume = need("--resume", &mut it),
+            "--stop-after-epoch" => {
+                args.stop_after_epoch = Some(
+                    need("--stop-after-epoch", &mut it)
+                        .parse()
+                        .expect("epoch index"),
+                )
+            }
+            "--max-rss-mb" => {
+                args.max_rss_mb = Some(need("--max-rss-mb", &mut it).parse().expect("MiB limit"))
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: exp8 [--quick] [--threads N] [--seed S] [--payments N] [--json FILE]"
+                    "usage: exp8 [--quick] [--threads N] [--seed S] [--payments N] [--json FILE]\n\
+                     campaign mode: exp8 --campaign N [--epoch M] [--family F] [--resume CKPT]\n\
+                     \x20              [--stop-after-epoch K] [--max-rss-mb M] [--json FILE]"
                 );
                 std::process::exit(2);
             }
         }
     }
     args
+}
+
+fn family_by_label(label: &str) -> TopologyFamily {
+    match label {
+        "linear" => TopologyFamily::Linear { n: 4 },
+        "hub" => TopologyFamily::HubAndSpoke { spokes: 16 },
+        "tree" => TopologyFamily::RandomTree { nodes: 48 },
+        "packet" => TopologyFamily::Packetized { paths: 4, hops: 2 },
+        other => {
+            eprintln!("unknown --family {other} (want linear|hub|tree|packet)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Campaign mode: stream `--campaign N` payments through the
+/// checkpointing runner and render/emit the campaign report.
+fn run_campaign(args: &Args) {
+    let workload = WorkloadConfig::new(family_by_label(&args.family), 0, args.seed);
+    let cfg = CampaignConfig {
+        threads: args.threads,
+        ..CampaignConfig::new(workload, args.campaign, args.epoch)
+    };
+    let ckpt = (!args.resume.is_empty()).then(|| std::path::PathBuf::from(&args.resume));
+    let mut runner = CampaignRunner::resume_or_new(
+        TimeBoundedHarness,
+        cfg,
+        ckpt.as_deref().unwrap_or(std::path::Path::new("")),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot resume campaign: {e}");
+        std::process::exit(1);
+    });
+    let resumed_at = runner.next_epoch();
+    if resumed_at > 0 {
+        eprintln!(
+            "resumed from checkpoint at epoch {resumed_at}/{}",
+            cfg.epochs()
+        );
+    }
+    let t0 = Instant::now();
+    runner
+        .run_to_end(ckpt.as_deref(), args.stop_after_epoch, |e| {
+            eprintln!(
+                "epoch {}/{} done ({} rows, {} total)",
+                e.epoch + 1,
+                e.epochs,
+                e.rows,
+                e.total_rows
+            )
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("checkpoint write failed: {e}");
+            std::process::exit(1);
+        });
+    let wall = t0.elapsed();
+    let report = runner.report();
+    print!("{}", report.render());
+    let rss = peak_rss_mb();
+    println!(
+        "wall: {:.2} s ({:.0} pay/s)  peak RSS: {}",
+        wall.as_secs_f64(),
+        (report.tally.instances.saturating_sub(0)) as f64 / wall.as_secs_f64().max(1e-9),
+        rss.map(|m| format!("{m} MiB"))
+            .unwrap_or_else(|| "n/a".to_owned())
+    );
+    if !args.json.is_empty() {
+        let extra = [(
+            "peak_rss_mb",
+            rss.map(|m| m.to_string())
+                .unwrap_or_else(|| "null".to_owned()),
+        )];
+        write_json_file(&args.json, &report.to_json("exp8", &extra));
+        println!("{}", args.json);
+    }
+    let conserved = report.tally.violations == 0;
+    println!("money conserved in every instance: {}", check(conserved));
+    if let (Some(limit), Some(peak)) = (args.max_rss_mb, rss) {
+        println!(
+            "RSS gate: peak {peak} MiB {} limit {limit} MiB",
+            if peak <= limit { "within" } else { "EXCEEDS" }
+        );
+        if peak > limit {
+            std::process::exit(1);
+        }
+    }
+    if !conserved || report.tally.failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn write_json_file(path: &str, json: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create --json directory");
+        }
+    }
+    std::fs::write(path, json).expect("write --json file");
 }
 
 fn fault_levels() -> Vec<(&'static str, FaultPlan)> {
@@ -109,6 +238,10 @@ struct JsonCell {
 
 fn main() {
     let args = parse_args();
+    if args.campaign > 0 {
+        run_campaign(&args);
+        return;
+    }
     let per_cell = if args.payments > 0 {
         args.payments
     } else if args.quick {
@@ -239,9 +372,13 @@ fn main() {
 
     if !args.json.is_empty() {
         let mut json = String::new();
+        let config_digest = experiments::digest::hex16(experiments::digest::fnv1a64(
+            format!("exp8 seed={} per_cell={}", args.seed, per_cell).as_bytes(),
+        ));
         json.push_str("{\n");
         json.push_str("  \"schema_version\": 1,\n");
         json.push_str("  \"experiment\": \"exp8\",\n");
+        json.push_str(&format!("  \"config_digest\": \"{config_digest}\",\n"));
         json.push_str(&format!("  \"quick\": {},\n", args.quick));
         json.push_str(&format!("  \"seed\": {},\n", args.seed));
         json.push_str(&format!("  \"payments_per_cell\": {per_cell},\n"));
@@ -264,12 +401,7 @@ fn main() {
             ));
         }
         json.push_str("  ]\n}\n");
-        if let Some(dir) = std::path::Path::new(&args.json).parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir).expect("create --json directory");
-            }
-        }
-        std::fs::write(&args.json, &json).expect("write --json file");
+        write_json_file(&args.json, &json);
         println!("{}", args.json);
     }
 

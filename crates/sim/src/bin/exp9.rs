@@ -22,10 +22,17 @@
 //! [--quick] [--threads N] [--seed S] [--payments N] [--json FILE]`.
 //! `--json` writes the per-cell comparison summary as a machine-readable
 //! artifact (the nightly CI uploads it).
+//!
+//! **Campaign mode** (`--campaign N --protocol P`): stream `N` payments
+//! of one `--family` through one protocol harness via the crash-safe
+//! [`sim::campaign::CampaignRunner`], with `--resume PATH`
+//! checkpoint/resume and `--stop-after-epoch K` (see README "Campaigns &
+//! recovery").
 
 use anta::net::NetFaults;
 use anta::time::SimDuration;
 use experiments::table::{check, Table};
+use sim::campaign::{peak_rss_mb, CampaignConfig, CampaignRunner};
 use sim::prelude::*;
 use std::time::Instant;
 
@@ -37,6 +44,18 @@ struct Args {
     payments: usize,
     /// File to write the per-cell JSON summary into (empty ⇒ none).
     json: String,
+    /// Total payments for campaign mode (0 ⇒ grid mode).
+    campaign: u64,
+    /// Payments per campaign epoch.
+    epoch: usize,
+    /// Campaign family label.
+    family: String,
+    /// Campaign protocol harness.
+    protocol: String,
+    /// Checkpoint path (write after every epoch; resume if it exists).
+    resume: String,
+    /// Exit cleanly once this epoch index completes (campaign mode).
+    stop_after_epoch: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -46,43 +65,146 @@ fn parse_args() -> Args {
         seed: 0xE9,
         payments: 0,
         json: String::new(),
+        campaign: 0,
+        epoch: 50_000,
+        family: "linear".to_owned(),
+        protocol: "timebounded".to_owned(),
+        resume: String::new(),
+        stop_after_epoch: None,
     };
     let mut it = std::env::args().skip(1);
+    let need = |flag: &str, it: &mut dyn Iterator<Item = String>| -> String {
+        it.next().unwrap_or_else(|| panic!("{flag} needs a value"))
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => args.quick = true,
-            "--threads" => {
-                args.threads = it
-                    .next()
-                    .expect("--threads needs a count")
-                    .parse()
-                    .expect("thread count");
-            }
-            "--seed" => {
-                args.seed = it
-                    .next()
-                    .expect("--seed needs a value")
-                    .parse()
-                    .expect("seed");
-            }
+            "--threads" => args.threads = need("--threads", &mut it).parse().expect("thread count"),
+            "--seed" => args.seed = need("--seed", &mut it).parse().expect("seed"),
             "--payments" => {
-                args.payments = it
-                    .next()
-                    .expect("--payments needs a count")
-                    .parse()
-                    .expect("payment count");
+                args.payments = need("--payments", &mut it).parse().expect("payment count")
             }
-            "--json" => args.json = it.next().expect("--json needs a file"),
+            "--json" => args.json = need("--json", &mut it),
+            "--campaign" => {
+                args.campaign = need("--campaign", &mut it).parse().expect("campaign size")
+            }
+            "--epoch" => args.epoch = need("--epoch", &mut it).parse().expect("epoch size"),
+            "--family" => args.family = need("--family", &mut it),
+            "--protocol" => args.protocol = need("--protocol", &mut it),
+            "--resume" | "--checkpoint" => args.resume = need("--resume", &mut it),
+            "--stop-after-epoch" => {
+                args.stop_after_epoch = Some(
+                    need("--stop-after-epoch", &mut it)
+                        .parse()
+                        .expect("epoch index"),
+                )
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: exp9 [--quick] [--threads N] [--seed S] [--payments N] [--json FILE]"
+                    "usage: exp9 [--quick] [--threads N] [--seed S] [--payments N] [--json FILE]\n\
+                     campaign mode: exp9 --campaign N --protocol P [--epoch M] [--family F]\n\
+                     \x20              [--resume CKPT] [--stop-after-epoch K] [--json FILE]"
                 );
                 std::process::exit(2);
             }
         }
     }
     args
+}
+
+fn campaign_family(label: &str) -> TopologyFamily {
+    match label {
+        "linear" => TopologyFamily::Linear { n: 4 },
+        "hub" => TopologyFamily::HubAndSpoke { spokes: 16 },
+        "tree" => TopologyFamily::RandomTree { nodes: 48 },
+        "packet" => TopologyFamily::Packetized { paths: 4, hops: 2 },
+        other => {
+            eprintln!("unknown --family {other} (want linear|hub|tree|packet)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Campaign mode over one concrete harness (the checkpoint digest is
+/// keyed by `harness.name()`, so each protocol's campaign is its own
+/// resume lineage).
+fn run_campaign_with<H: ProtocolHarness>(harness: H, args: &Args) {
+    let workload = WorkloadConfig::new(campaign_family(&args.family), 0, args.seed);
+    if !harness.supports(&workload) {
+        eprintln!(
+            "{} does not support the {} family; pick another --protocol/--family",
+            harness.name(),
+            args.family
+        );
+        std::process::exit(2);
+    }
+    let cfg = CampaignConfig {
+        threads: args.threads,
+        ..CampaignConfig::new(workload, args.campaign, args.epoch)
+    };
+    let ckpt = (!args.resume.is_empty()).then(|| std::path::PathBuf::from(&args.resume));
+    let mut runner = CampaignRunner::resume_or_new(
+        harness,
+        cfg,
+        ckpt.as_deref().unwrap_or(std::path::Path::new("")),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot resume campaign: {e}");
+        std::process::exit(1);
+    });
+    if runner.next_epoch() > 0 {
+        eprintln!(
+            "resumed from checkpoint at epoch {}/{}",
+            runner.next_epoch(),
+            cfg.epochs()
+        );
+    }
+    runner
+        .run_to_end(ckpt.as_deref(), args.stop_after_epoch, |e| {
+            eprintln!("epoch {}/{} done ({} rows)", e.epoch + 1, e.epochs, e.rows)
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("checkpoint write failed: {e}");
+            std::process::exit(1);
+        });
+    let report = runner.report();
+    print!("{}", report.render());
+    if !args.json.is_empty() {
+        let rss = peak_rss_mb();
+        let extra = [(
+            "peak_rss_mb",
+            rss.map(|m| m.to_string())
+                .unwrap_or_else(|| "null".to_owned()),
+        )];
+        if let Some(dir) = std::path::Path::new(&args.json).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create --json directory");
+            }
+        }
+        std::fs::write(&args.json, report.to_json("exp9", &extra)).expect("write --json file");
+        println!("{}", args.json);
+    }
+    if report.tally.failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn run_campaign(args: &Args) {
+    match args.protocol.as_str() {
+        "timebounded" => run_campaign_with(TimeBoundedHarness, args),
+        "htlc" => run_campaign_with(HtlcHarness, args),
+        "ilp-untuned" => run_campaign_with(InterledgerHarness::untuned(), args),
+        "ilp-atomic" => run_campaign_with(InterledgerHarness::atomic(), args),
+        "deals" => run_campaign_with(DealsHarness, args),
+        other => {
+            eprintln!(
+                "unknown --protocol {other} \
+                 (want timebounded|htlc|ilp-untuned|ilp-atomic|deals)"
+            );
+            std::process::exit(2);
+        }
+    }
 }
 
 fn fault_levels() -> Vec<(&'static str, FaultPlan)> {
@@ -144,6 +266,10 @@ fn run_protocol_cell<H: ProtocolHarness>(
 
 fn main() {
     let args = parse_args();
+    if args.campaign > 0 {
+        run_campaign(&args);
+        return;
+    }
     let per_cell = if args.payments > 0 {
         args.payments
     } else if args.quick {
@@ -312,9 +438,13 @@ fn main() {
 
     if !args.json.is_empty() {
         let mut json = String::new();
+        let config_digest = experiments::digest::hex16(experiments::digest::fnv1a64(
+            format!("exp9 seed={} per_cell={}", args.seed, per_cell).as_bytes(),
+        ));
         json.push_str("{\n");
         json.push_str("  \"schema_version\": 1,\n");
         json.push_str("  \"experiment\": \"exp9\",\n");
+        json.push_str(&format!("  \"config_digest\": \"{config_digest}\",\n"));
         json.push_str(&format!("  \"quick\": {},\n", args.quick));
         json.push_str(&format!("  \"seed\": {},\n", args.seed));
         json.push_str(&format!("  \"payments_per_cell\": {per_cell},\n"));

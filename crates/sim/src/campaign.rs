@@ -1,0 +1,989 @@
+//! Crash-safe streaming campaigns: epoch-chunked workloads, constant
+//! memory, atomic checkpoints, bit-identical resume.
+//!
+//! A *campaign* runs a huge seeded workload (millions to tens of millions
+//! of payments) that no single [`crate::run_with`] call should hold in
+//! memory or be allowed to lose to a crash. [`CampaignRunner`] chunks the
+//! workload into **epochs** — each a self-contained seeded
+//! [`WorkloadConfig`] derived from the campaign seed and the epoch index
+//! — and folds every epoch's per-instance rows into a
+//! [`CampaignTally`] of exact counters and constant-memory
+//! [`MergeableSketch`]es instead of collected `Vec`s. Memory is bounded
+//! by one epoch, never by the campaign.
+//!
+//! ## Checkpoint format
+//!
+//! After each epoch the runner can write a checkpoint — a small text
+//! file, schema-versioned and CRC-guarded, written to `<path>.tmp` and
+//! **renamed into place** so a SIGKILL at any instant leaves either the
+//! previous checkpoint or the new one, never a torn file:
+//!
+//! ```text
+//! xchain-campaign-checkpoint v1
+//! crc32 <8 hex chars over the payload below>
+//! config <16 hex chars: FNV-1a of the canonical campaign config>
+//! next_epoch <e> ... (counters, failed seeds, sketch dumps)
+//! ```
+//!
+//! [`CampaignRunner::resume`] verifies the magic, schema version, CRC and
+//! config digest before adopting the carried state; a config digest
+//! mismatch (different workload, faults, liquidity, totals or harness)
+//! refuses to resume rather than silently fusing incompatible campaigns.
+//! Thread count and batch size are deliberately **not** part of the
+//! digest: they are performance knobs, and the workspace invariant is
+//! that they never change a report.
+//!
+//! ## Resume is bit-identical
+//!
+//! Every epoch is a pure function of `(config, epoch index)` and the
+//! tally fold is exact integer arithmetic plus order-independent sketch
+//! merges, so a campaign killed after any epoch and resumed from its
+//! checkpoint produces a final report — and report digest — **bit
+//! identical** to an uninterrupted run, at any thread count
+//! (`tests/campaign.rs` proves this for linear and packetized families at
+//! 1 and 4 threads).
+//!
+//! ## Open-system campaigns
+//!
+//! With [`CampaignConfig::liquidity`] set, each epoch runs through the
+//! sharded discrete-event engine against a fresh [`LiquidityBook`] with
+//! the configured budgets (epochs are independent admission timelines),
+//! and the checkpoint carries the book's cumulative audit state across
+//! epochs — budget violations, drain flags, per-venue peaks, value
+//! goodput and the wait sketches ([`LiquidityTally`]).
+//!
+//! [`LiquidityBook`]: protocol::liquidity::LiquidityBook
+
+use crate::des;
+use crate::faults::FaultPlan;
+use crate::metrics::{InstanceOutcome, InstanceResult};
+use crate::runner::{run_instance_isolated, SimConfig};
+use crate::sketch::MergeableSketch;
+use crate::workload::{self, PaymentSpec, WorkloadConfig};
+use experiments::digest::{crc32, fnv1a64, hex16};
+use experiments::parallel_map;
+use experiments::stats::Summary;
+use protocol::harness::ProtocolHarness;
+use protocol::liquidity::LiquidityConfig;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Checkpoint schema version; bumped on any wire-format change.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+const MAGIC: &str = "xchain-campaign-checkpoint";
+/// At most this many poisoned seeds are carried in the report (sorted;
+/// enough to replay, bounded so a catastrophically broken harness cannot
+/// grow the "constant-memory" state).
+const FAILED_SEEDS_CAP: usize = 16;
+
+/// One streaming campaign: the workload template, its scale, and how to
+/// run it.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Workload template: family, arrival process, amount/commission/drift
+    /// envelopes and the campaign seed. The `payments` field is ignored —
+    /// scale comes from `total_payments`, and each epoch derives its own
+    /// seeded copy.
+    pub workload: WorkloadConfig,
+    /// Payments the whole campaign offers (the last epoch is short when
+    /// `epoch_payments` does not divide it; packetized families may
+    /// overshoot by at most `paths − 1` rows per epoch, exactly as
+    /// [`workload::generate`] documents).
+    pub total_payments: u64,
+    /// Payments per epoch — the campaign's memory high-water mark and its
+    /// checkpoint granularity.
+    pub epoch_payments: usize,
+    /// Fault distribution applied to every instance.
+    pub faults: FaultPlan,
+    /// Worker threads (0 ⇒ all cores). Not part of the config digest:
+    /// reports are bit-identical across thread counts.
+    pub threads: usize,
+    /// Instances per worker batch (perf knob, also digest-exempt).
+    pub batch: usize,
+    /// `Some` runs every epoch as an open system against finite per-venue
+    /// collateral (see the module docs); `None` is the closed world.
+    pub liquidity: Option<LiquidityConfig>,
+}
+
+impl CampaignConfig {
+    /// A closed-world campaign of `total_payments` over `workload`, in
+    /// epochs of `epoch_payments`, fault-free, all cores.
+    pub fn new(workload: WorkloadConfig, total_payments: u64, epoch_payments: usize) -> Self {
+        CampaignConfig {
+            workload,
+            total_payments,
+            epoch_payments,
+            faults: FaultPlan::NONE,
+            threads: 0,
+            batch: 64,
+            liquidity: None,
+        }
+    }
+
+    /// Number of epochs the campaign runs.
+    pub fn epochs(&self) -> u64 {
+        self.total_payments
+            .div_ceil(self.epoch_payments.max(1) as u64)
+    }
+
+    /// The self-contained seeded workload of epoch `e`: the template with
+    /// the epoch's payment count and a seed derived from `(campaign seed,
+    /// e)` — regenerable at resume time with no carried RNG state.
+    pub fn epoch_workload(&self, e: u64) -> WorkloadConfig {
+        let remaining = self
+            .total_payments
+            .saturating_sub(e * self.epoch_payments as u64);
+        let payments = (self.epoch_payments as u64).min(remaining) as usize;
+        let mut wl = self.workload;
+        wl.payments = payments;
+        wl.seed = self
+            .workload
+            .seed
+            .wrapping_add((e + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        wl
+    }
+
+    fn sim_config(&self, wl: WorkloadConfig) -> SimConfig {
+        SimConfig {
+            workload: wl,
+            faults: self.faults,
+            threads: self.threads,
+            batch: self.batch,
+            lock_profile: false,
+        }
+    }
+
+    /// FNV-1a digest of the canonical campaign identity under `harness`:
+    /// everything that changes what the campaign *computes* (workload
+    /// template, scale, epoch size, faults, liquidity, harness), nothing
+    /// that only changes how fast (threads, batch).
+    pub fn digest(&self, harness_name: &str) -> u64 {
+        let mut wl = self.workload;
+        wl.payments = 0; // template: scale lives in total/epoch
+        let canon = format!(
+            "campaign harness={} workload={:?} total={} epoch={} faults={:?} liquidity={:?}",
+            harness_name, wl, self.total_payments, self.epoch_payments, self.faults, self.liquidity
+        );
+        fnv1a64(canon.as_bytes())
+    }
+}
+
+/// Cumulative liquidity-side state of an open-system campaign — the
+/// carried [`LiquidityBook`] audit rolled up across epochs (each epoch is
+/// an independent admission timeline against fresh budgets; the campaign
+/// carries the cumulative audit, not live reservations).
+///
+/// [`LiquidityBook`]: protocol::liquidity::LiquidityBook
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiquidityTally {
+    /// Payments offered / admitted / rejected / queued, summed.
+    pub offered: u64,
+    /// Admitted payments.
+    pub admitted: u64,
+    /// Rejected payments.
+    pub rejected: u64,
+    /// Admitted payments that waited at the gate.
+    pub queued: u64,
+    /// `locked > budget` audit violations, summed — must stay zero.
+    pub budget_violations: u64,
+    /// True while every epoch's venues drained to zero.
+    pub drained_all: bool,
+    /// Highest single-venue locked peak seen in any epoch.
+    pub peak_locked_venue: u64,
+    /// Highest single-venue reserved peak seen in any epoch.
+    pub peak_reserved_venue: u64,
+    /// Value delivered by successful payments, summed.
+    pub goodput_value: u128,
+    /// Value offered, summed.
+    pub offered_value: u128,
+    /// Sum of epoch horizons (ticks of simulated time, end to end).
+    pub horizon_ticks: u128,
+    /// Gate-wait sketch over admitted queued payments (ticks).
+    pub wait: MergeableSketch,
+    /// Wasted-wait sketch over rejected payments (ticks).
+    pub rejected_wait: MergeableSketch,
+}
+
+impl Default for LiquidityTally {
+    fn default() -> Self {
+        LiquidityTally {
+            offered: 0,
+            admitted: 0,
+            rejected: 0,
+            queued: 0,
+            budget_violations: 0,
+            drained_all: true,
+            peak_locked_venue: 0,
+            peak_reserved_venue: 0,
+            goodput_value: 0,
+            offered_value: 0,
+            horizon_ticks: 0,
+            wait: MergeableSketch::new(),
+            rejected_wait: MergeableSketch::new(),
+        }
+    }
+}
+
+impl LiquidityTally {
+    fn fold_epoch(&mut self, raw: &des::OpenRaw) {
+        let l = &raw.liquidity;
+        self.offered += l.offered as u64;
+        self.admitted += l.admitted as u64;
+        self.rejected += l.rejected as u64;
+        self.queued += l.queued as u64;
+        self.budget_violations += l.budget_violations as u64;
+        self.drained_all &= l.drained;
+        self.peak_locked_venue = self.peak_locked_venue.max(l.peak_locked_venue);
+        self.peak_reserved_venue = self.peak_reserved_venue.max(l.peak_reserved_venue);
+        self.goodput_value += l.goodput_value as u128;
+        self.offered_value += l.offered_value as u128;
+        self.horizon_ticks += l.horizon.ticks() as u128;
+        for &w in &raw.waits {
+            self.wait.record(w);
+        }
+        for &w in &raw.rejected_waits {
+            self.rejected_wait.record(w);
+        }
+    }
+}
+
+/// The campaign's whole aggregated state: exact outcome counters plus
+/// constant-memory sketches. This — not a `Vec` of instances — is what
+/// the checkpoint persists and the final report renders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignTally {
+    /// Rows simulated (≥ `total_payments` only through the documented
+    /// packetized overshoot).
+    pub instances: u64,
+    /// Successful payments.
+    pub success: u64,
+    /// Clean refunds.
+    pub refunds: u64,
+    /// Stuck instances (liveness lost).
+    pub stuck: u64,
+    /// Money-conservation violations — the campaign's core gate.
+    pub violations: u64,
+    /// Admission rejections (open-system mode only).
+    pub rejected: u64,
+    /// Panic-isolated instances ([`InstanceOutcome::Failed`]): the
+    /// harness died twice on these. Their seeds are in `failed_seeds`.
+    pub failed: u64,
+    /// Instances that griefed a compliant party.
+    pub griefed: u64,
+    /// Instances with a Byzantine substitution.
+    pub byzantine: u64,
+    /// Engine events dispatched, summed.
+    pub events: u128,
+    /// Latency sketch over successful payments (ticks).
+    pub latency: MergeableSketch,
+    /// Peak-locked-value sketch across instances.
+    pub peak_locked: MergeableSketch,
+    /// Seeds of up to 16 poisoned instances, sorted —
+    /// enough to replay the panic under a debugger.
+    pub failed_seeds: Vec<u64>,
+    /// Liquidity-side tally (open-system campaigns only).
+    pub liquidity: Option<LiquidityTally>,
+}
+
+impl CampaignTally {
+    fn new(open: bool) -> Self {
+        CampaignTally {
+            instances: 0,
+            success: 0,
+            refunds: 0,
+            stuck: 0,
+            violations: 0,
+            rejected: 0,
+            failed: 0,
+            griefed: 0,
+            byzantine: 0,
+            events: 0,
+            latency: MergeableSketch::new(),
+            peak_locked: MergeableSketch::new(),
+            failed_seeds: Vec::new(),
+            liquidity: open.then(LiquidityTally::default),
+        }
+    }
+
+    fn fold_row(&mut self, spec: &PaymentSpec, r: &InstanceResult) {
+        self.instances += 1;
+        match r.outcome {
+            InstanceOutcome::Success => {
+                self.success += 1;
+                self.latency.record(r.latency.ticks());
+            }
+            InstanceOutcome::Refund => self.refunds += 1,
+            InstanceOutcome::Stuck => self.stuck += 1,
+            InstanceOutcome::Violation => self.violations += 1,
+            InstanceOutcome::Rejected => self.rejected += 1,
+            InstanceOutcome::Failed => {
+                self.failed += 1;
+                if self.failed_seeds.len() < FAILED_SEEDS_CAP {
+                    self.failed_seeds.push(spec.seed);
+                }
+            }
+        }
+        if r.griefed {
+            self.griefed += 1;
+        }
+        if r.faults.byz != crate::faults::ByzFault::None {
+            self.byzantine += 1;
+        }
+        self.peak_locked.record(r.peak_locked);
+        self.events += r.events as u128;
+    }
+
+    /// Folds a per-worker partial tally in. All fields merge by exact
+    /// commutative arithmetic (sketch merges included), so the combined
+    /// tally is independent of worker count and merge order; only
+    /// `failed_seeds` needs the sort-and-cap below to stay canonical.
+    fn absorb(&mut self, part: CampaignTally) {
+        self.instances += part.instances;
+        self.success += part.success;
+        self.refunds += part.refunds;
+        self.stuck += part.stuck;
+        self.violations += part.violations;
+        self.rejected += part.rejected;
+        self.failed += part.failed;
+        self.griefed += part.griefed;
+        self.byzantine += part.byzantine;
+        self.events += part.events;
+        self.latency.merge(&part.latency);
+        self.peak_locked.merge(&part.peak_locked);
+        self.failed_seeds.extend(part.failed_seeds);
+        self.failed_seeds.sort_unstable();
+        self.failed_seeds.dedup();
+        self.failed_seeds.truncate(FAILED_SEEDS_CAP);
+    }
+
+    /// Latency summary view (sketch-backed: `p50`/`p99` within the
+    /// documented 1/64 overshoot, the rest exact).
+    pub fn latency_summary(&self) -> Option<Summary> {
+        self.latency.summary()
+    }
+
+    /// Peak-locked summary view (same sketch guarantees).
+    pub fn peak_locked_summary(&self) -> Option<Summary> {
+        self.peak_locked.summary()
+    }
+}
+
+/// Progress of one completed epoch, for log lines.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochSummary {
+    /// The epoch that just completed (0-based).
+    pub epoch: u64,
+    /// Total epochs in the campaign.
+    pub epochs: u64,
+    /// Rows simulated in this epoch.
+    pub rows: u64,
+    /// Cumulative rows simulated so far.
+    pub total_rows: u64,
+}
+
+/// The runner: steps a campaign epoch by epoch, checkpointing after each
+/// (see the module docs for the format and the resume guarantee).
+///
+/// ```no_run
+/// use sim::campaign::{CampaignConfig, CampaignRunner};
+/// use sim::workload::{TopologyFamily, WorkloadConfig};
+/// use sim::TimeBoundedHarness;
+///
+/// let wl = WorkloadConfig::new(TopologyFamily::Linear { n: 4 }, 0, 42);
+/// let cfg = CampaignConfig::new(wl, 1_000_000, 50_000);
+/// let ckpt = std::path::Path::new("campaign.ckpt");
+/// let mut runner = CampaignRunner::resume_or_new(TimeBoundedHarness, cfg, ckpt)
+///     .expect("checkpoint readable");
+/// runner.run_to_end(Some(ckpt), None, |e| eprintln!("epoch {}/{}", e.epoch + 1, e.epochs))
+///     .expect("checkpoint writable");
+/// println!("{}", runner.report().render());
+/// ```
+pub struct CampaignRunner<H> {
+    harness: H,
+    cfg: CampaignConfig,
+    next_epoch: u64,
+    tally: CampaignTally,
+}
+
+impl<H: ProtocolHarness> CampaignRunner<H> {
+    /// A fresh campaign at epoch 0.
+    ///
+    /// Panics if `harness` does not support the workload family or the
+    /// scale parameters are zero.
+    pub fn new(harness: H, cfg: CampaignConfig) -> Self {
+        assert!(cfg.total_payments > 0, "empty campaign");
+        assert!(cfg.epoch_payments > 0, "zero-payment epochs never finish");
+        assert!(
+            harness.supports(&cfg.workload),
+            "{} does not support this workload ({:?}); gate on supports()",
+            harness.name(),
+            cfg.workload.family,
+        );
+        let open = cfg.liquidity.is_some();
+        CampaignRunner {
+            harness,
+            cfg,
+            next_epoch: 0,
+            tally: CampaignTally::new(open),
+        }
+    }
+
+    /// Resumes from `path`, or starts fresh when no checkpoint exists yet
+    /// (the state a campaign killed before its first epoch completed is
+    /// in). A checkpoint that exists but fails validation is an error,
+    /// never silently discarded.
+    pub fn resume_or_new(harness: H, cfg: CampaignConfig, path: &Path) -> io::Result<Self> {
+        if path.exists() {
+            Self::resume(harness, cfg, path)
+        } else {
+            Ok(Self::new(harness, cfg))
+        }
+    }
+
+    /// Resumes a campaign from the checkpoint at `path`, verifying magic,
+    /// schema version, CRC and config digest (see the module docs).
+    pub fn resume(harness: H, cfg: CampaignConfig, path: &Path) -> io::Result<Self> {
+        let text = fs::read_to_string(path)?;
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or("");
+        let expect_header = format!("{MAGIC} v{CHECKPOINT_SCHEMA_VERSION}");
+        if header != expect_header {
+            return Err(bad(format!(
+                "checkpoint header {header:?}, expected {expect_header:?}"
+            )));
+        }
+        let crc_line = lines.next().unwrap_or("");
+        let crc_hex = crc_line
+            .strip_prefix("crc32 ")
+            .ok_or_else(|| bad(format!("missing crc32 line, got {crc_line:?}")))?;
+        let stored_crc = u32::from_str_radix(crc_hex, 16)
+            .map_err(|e| bad(format!("unparseable crc32 {crc_hex:?}: {e}")))?;
+        let payload_start = text
+            .find("crc32 ")
+            .and_then(|i| text[i..].find('\n').map(|j| i + j + 1))
+            .ok_or_else(|| bad("checkpoint has no payload".to_owned()))?;
+        let payload = &text[payload_start..];
+        let actual_crc = crc32(payload.as_bytes());
+        if actual_crc != stored_crc {
+            return Err(bad(format!(
+                "checkpoint CRC mismatch: stored {stored_crc:08x}, computed {actual_crc:08x} \
+                 (torn or corrupted file)"
+            )));
+        }
+        let mut runner = Self::new(harness, cfg);
+        let (next_epoch, tally) =
+            parse_payload(payload, runner.cfg.digest(runner.harness.name())).map_err(bad)?;
+        if next_epoch > runner.cfg.epochs() {
+            return Err(bad(format!(
+                "checkpoint is at epoch {next_epoch} of a {}-epoch campaign",
+                runner.cfg.epochs()
+            )));
+        }
+        runner.next_epoch = next_epoch;
+        runner.tally = tally;
+        Ok(runner)
+    }
+
+    /// The campaign configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.cfg
+    }
+
+    /// Epochs completed so far (also the next epoch index to run).
+    pub fn next_epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
+    /// True once every epoch has been folded in.
+    pub fn is_done(&self) -> bool {
+        self.next_epoch >= self.cfg.epochs()
+    }
+
+    /// Runs the next epoch and folds it into the tally.
+    ///
+    /// Panics when the campaign [`is_done`](Self::is_done).
+    pub fn step(&mut self) -> EpochSummary {
+        assert!(!self.is_done(), "campaign already complete");
+        let e = self.next_epoch;
+        let wl = self.cfg.epoch_workload(e);
+        let sim_cfg = self.cfg.sim_config(wl);
+        let specs = workload::generate(&wl);
+        let rows = specs.len() as u64;
+        match self.cfg.liquidity {
+            None => {
+                // Closed world: per-worker partial tallies over spec
+                // chunks, merged in chunk order (bit-identical across
+                // thread counts — and any order, the merge commutes).
+                let chunks: Vec<&[PaymentSpec]> = specs.chunks(self.cfg.batch.max(1)).collect();
+                let harness = &self.harness;
+                let faults = &self.cfg.faults;
+                let parts: Vec<CampaignTally> = parallel_map(&chunks, self.cfg.threads, |chunk| {
+                    let mut part = CampaignTally::new(false);
+                    let mut queue_high = 0usize;
+                    for spec in *chunk {
+                        let r =
+                            run_instance_isolated(harness, spec, faults, false, &mut queue_high);
+                        part.fold_row(spec, &r);
+                    }
+                    part
+                });
+                for part in parts {
+                    self.tally.absorb(part);
+                }
+            }
+            Some(liq) => {
+                // Open system: the sharded DES engine runs the epoch and
+                // the rows + raw waits fold into the carried tally.
+                let raw = des::run_open_specs_raw(&self.harness, &specs, &sim_cfg, &liq);
+                for (spec, r) in specs.iter().zip(&raw.results) {
+                    self.tally.fold_row(spec, r);
+                }
+                self.tally
+                    .liquidity
+                    .as_mut()
+                    .expect("open campaign has a liquidity tally")
+                    .fold_epoch(&raw);
+            }
+        }
+        self.next_epoch += 1;
+        EpochSummary {
+            epoch: e,
+            epochs: self.cfg.epochs(),
+            rows,
+            total_rows: self.tally.instances,
+        }
+    }
+
+    /// Steps to completion. After every epoch: `progress` is called and,
+    /// when `checkpoint` is given, the checkpoint is atomically rewritten.
+    /// `stop_after_epoch: Some(k)` returns early once epoch index `k` has
+    /// completed (0-based) — the programmatic stand-in for a kill between
+    /// epochs, used by the resume smoke tests.
+    pub fn run_to_end<F: FnMut(&EpochSummary)>(
+        &mut self,
+        checkpoint: Option<&Path>,
+        stop_after_epoch: Option<u64>,
+        mut progress: F,
+    ) -> io::Result<()> {
+        while !self.is_done() {
+            let summary = self.step();
+            if let Some(path) = checkpoint {
+                self.checkpoint_to(path)?;
+            }
+            progress(&summary);
+            if let Some(k) = stop_after_epoch {
+                if summary.epoch >= k {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The campaign's aggregated state.
+    pub fn tally(&self) -> &CampaignTally {
+        &self.tally
+    }
+
+    /// Atomically writes the checkpoint: full state to `<path>.tmp`,
+    /// fsync, rename into place.
+    pub fn checkpoint_to(&self, path: &Path) -> io::Result<()> {
+        let payload = self.state_payload();
+        let mut text = format!("{MAGIC} v{CHECKPOINT_SCHEMA_VERSION}\n");
+        text.push_str(&format!("crc32 {:08x}\n", crc32(payload.as_bytes())));
+        text.push_str(&payload);
+        let tmp = path.with_extension("ckpt-tmp");
+        {
+            use std::io::Write;
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)
+    }
+
+    /// The final report (meaningful any time, canonical when
+    /// [`is_done`](Self::is_done)).
+    pub fn report(&self) -> CampaignReport {
+        CampaignReport {
+            harness: self.harness.name(),
+            family: self.cfg.workload.family.label(),
+            epochs_run: self.next_epoch,
+            epochs: self.cfg.epochs(),
+            config_digest: hex16(self.cfg.digest(self.harness.name())),
+            digest: hex16(fnv1a64(self.state_payload().as_bytes())),
+            tally: self.tally.clone(),
+        }
+    }
+
+    /// The checkpoint payload: every carried bit of campaign state, in a
+    /// canonical line format. Doubles as the report-digest preimage, so
+    /// "same payload" and "same report" are the same statement.
+    fn state_payload(&self) -> String {
+        let t = &self.tally;
+        let mut p = String::new();
+        p.push_str(&format!(
+            "config {}\n",
+            hex16(self.cfg.digest(self.harness.name()))
+        ));
+        p.push_str(&format!("next_epoch {}\n", self.next_epoch));
+        p.push_str(&format!("instances {}\n", t.instances));
+        p.push_str(&format!(
+            "counts {} {} {} {} {} {} {} {}\n",
+            t.success,
+            t.refunds,
+            t.stuck,
+            t.violations,
+            t.rejected,
+            t.failed,
+            t.griefed,
+            t.byzantine
+        ));
+        p.push_str(&format!("events {}\n", t.events));
+        p.push_str(&format!(
+            "failed_seeds {}{}\n",
+            t.failed_seeds.len(),
+            t.failed_seeds
+                .iter()
+                .map(|s| format!(" {s}"))
+                .collect::<String>()
+        ));
+        p.push_str(&format!("latency {}\n", t.latency.encode()));
+        p.push_str(&format!("peak_locked {}\n", t.peak_locked.encode()));
+        match &t.liquidity {
+            None => p.push_str("liquidity 0\n"),
+            Some(l) => {
+                p.push_str("liquidity 1\n");
+                p.push_str(&format!(
+                    "lq_counts {} {} {} {}\n",
+                    l.offered, l.admitted, l.rejected, l.queued
+                ));
+                p.push_str(&format!(
+                    "lq_audit {} {} {} {}\n",
+                    l.budget_violations,
+                    u8::from(l.drained_all),
+                    l.peak_locked_venue,
+                    l.peak_reserved_venue
+                ));
+                p.push_str(&format!(
+                    "lq_value {} {} {}\n",
+                    l.goodput_value, l.offered_value, l.horizon_ticks
+                ));
+                p.push_str(&format!("lq_wait {}\n", l.wait.encode()));
+                p.push_str(&format!("lq_rejected_wait {}\n", l.rejected_wait.encode()));
+            }
+        }
+        p
+    }
+}
+
+/// Parses a CRC-verified checkpoint payload; `expected_config` is the
+/// resuming configuration's digest.
+fn parse_payload(payload: &str, expected_config: u64) -> Result<(u64, CampaignTally), String> {
+    let mut lines = payload.lines();
+    let mut next = |key: &str| -> Result<String, String> {
+        let line = lines
+            .next()
+            .ok_or_else(|| format!("checkpoint truncated before {key}"))?;
+        line.strip_prefix(key)
+            .map(|r| r.trim_start().to_owned())
+            .ok_or_else(|| format!("expected {key} line, got {line:?}"))
+    };
+    let config = next("config")?;
+    if config != hex16(expected_config) {
+        return Err(format!(
+            "checkpoint was written by a different campaign config \
+             (checkpoint {config}, this config {}); refusing to resume",
+            hex16(expected_config)
+        ));
+    }
+    let next_epoch: u64 = next("next_epoch")?
+        .parse()
+        .map_err(|e| format!("next_epoch: {e}"))?;
+    let instances: u64 = next("instances")?
+        .parse()
+        .map_err(|e| format!("instances: {e}"))?;
+    let counts_line = next("counts")?;
+    let counts: Vec<u64> = counts_line
+        .split_ascii_whitespace()
+        .map(|f| f.parse::<u64>().map_err(|e| format!("counts: {e}")))
+        .collect::<Result<_, _>>()?;
+    if counts.len() != 8 {
+        return Err(format!("counts line has {} fields, want 8", counts.len()));
+    }
+    let events: u128 = next("events")?
+        .parse()
+        .map_err(|e| format!("events: {e}"))?;
+    let seeds_line = next("failed_seeds")?;
+    let mut seed_fields = seeds_line.split_ascii_whitespace();
+    let nseeds: usize = seed_fields
+        .next()
+        .ok_or("failed_seeds missing count")?
+        .parse()
+        .map_err(|e| format!("failed_seeds count: {e}"))?;
+    let failed_seeds: Vec<u64> = seed_fields
+        .map(|f| f.parse::<u64>().map_err(|e| format!("failed seed: {e}")))
+        .collect::<Result<_, _>>()?;
+    if failed_seeds.len() != nseeds {
+        return Err(format!(
+            "failed_seeds header says {nseeds}, found {}",
+            failed_seeds.len()
+        ));
+    }
+    let latency =
+        MergeableSketch::decode(&next("latency")?).map_err(|e| format!("latency: {e}"))?;
+    let peak_locked =
+        MergeableSketch::decode(&next("peak_locked")?).map_err(|e| format!("peak_locked: {e}"))?;
+    let liquidity = match next("liquidity")?.as_str() {
+        "0" => None,
+        "1" => {
+            let lc: Vec<u64> = next("lq_counts")?
+                .split_ascii_whitespace()
+                .map(|f| f.parse::<u64>().map_err(|e| format!("lq_counts: {e}")))
+                .collect::<Result<_, _>>()?;
+            let la: Vec<u64> = next("lq_audit")?
+                .split_ascii_whitespace()
+                .map(|f| f.parse::<u64>().map_err(|e| format!("lq_audit: {e}")))
+                .collect::<Result<_, _>>()?;
+            let lv: Vec<u128> = next("lq_value")?
+                .split_ascii_whitespace()
+                .map(|f| f.parse::<u128>().map_err(|e| format!("lq_value: {e}")))
+                .collect::<Result<_, _>>()?;
+            if lc.len() != 4 || la.len() != 4 || lv.len() != 3 {
+                return Err("liquidity lines have wrong field counts".to_owned());
+            }
+            Some(LiquidityTally {
+                offered: lc[0],
+                admitted: lc[1],
+                rejected: lc[2],
+                queued: lc[3],
+                budget_violations: la[0],
+                drained_all: la[1] != 0,
+                peak_locked_venue: la[2],
+                peak_reserved_venue: la[3],
+                goodput_value: lv[0],
+                offered_value: lv[1],
+                horizon_ticks: lv[2],
+                wait: MergeableSketch::decode(&next("lq_wait")?)
+                    .map_err(|e| format!("lq_wait: {e}"))?,
+                rejected_wait: MergeableSketch::decode(&next("lq_rejected_wait")?)
+                    .map_err(|e| format!("lq_rejected_wait: {e}"))?,
+            })
+        }
+        other => return Err(format!("liquidity flag {other:?}")),
+    };
+    if lines.next().is_some() {
+        return Err("trailing lines after checkpoint payload".to_owned());
+    }
+    let tally = CampaignTally {
+        instances,
+        success: counts[0],
+        refunds: counts[1],
+        stuck: counts[2],
+        violations: counts[3],
+        rejected: counts[4],
+        failed: counts[5],
+        griefed: counts[6],
+        byzantine: counts[7],
+        events,
+        latency,
+        peak_locked,
+        failed_seeds,
+        liquidity,
+    };
+    Ok((next_epoch, tally))
+}
+
+/// The campaign's final aggregates plus its canonical digest — two runs
+/// (interrupted or not, any thread count) with equal `digest` carry
+/// byte-identical campaign state.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Harness name.
+    pub harness: &'static str,
+    /// Workload family label.
+    pub family: &'static str,
+    /// Epochs folded into this report.
+    pub epochs_run: u64,
+    /// Epochs the campaign has in total.
+    pub epochs: u64,
+    /// Canonical config digest (hex), matching the checkpoint's.
+    pub config_digest: String,
+    /// FNV-1a digest (hex) of the full canonical campaign state.
+    pub digest: String,
+    /// The aggregates themselves.
+    pub tally: CampaignTally,
+}
+
+impl CampaignReport {
+    /// Renders the human-readable report block.
+    pub fn render(&self) -> String {
+        let t = &self.tally;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "campaign: {} over {} — epoch {}/{} — {} rows\n",
+            self.harness, self.family, self.epochs_run, self.epochs, t.instances
+        ));
+        let pct = |n: u64| {
+            if t.instances == 0 {
+                0.0
+            } else {
+                100.0 * n as f64 / t.instances as f64
+            }
+        };
+        out.push_str(&format!(
+            "outcomes: success {} ({:.1}%) refund {} stuck {} violation {} rejected {} \
+             failed {} | griefed {} byzantine {}\n",
+            t.success,
+            pct(t.success),
+            t.refunds,
+            t.stuck,
+            t.violations,
+            t.rejected,
+            t.failed,
+            t.griefed,
+            t.byzantine
+        ));
+        if !t.failed_seeds.is_empty() {
+            out.push_str(&format!("failed seeds: {:?}\n", t.failed_seeds));
+        }
+        let sketch_line = |name: &str, s: &MergeableSketch| match s.summary() {
+            None => format!("{name}: (no samples)\n"),
+            Some(sm) => format!(
+                "{name}: n={} min={} mean={:.1} p50~{} p99~{} max={} (sketch: ≤1/64 over)\n",
+                sm.n, sm.min, sm.mean, sm.p50, sm.p99, sm.max
+            ),
+        };
+        out.push_str(&sketch_line("latency(ticks)", &t.latency));
+        out.push_str(&sketch_line("peak_locked", &t.peak_locked));
+        if let Some(l) = &t.liquidity {
+            out.push_str(&format!(
+                "liquidity: offered {} admitted {} rejected {} queued {} | \
+                 budget violations {} drained {} | peak locked/venue {} reserved {} | \
+                 goodput {}/{}\n",
+                l.offered,
+                l.admitted,
+                l.rejected,
+                l.queued,
+                l.budget_violations,
+                if l.drained_all { "yes" } else { "NO" },
+                l.peak_locked_venue,
+                l.peak_reserved_venue,
+                l.goodput_value,
+                l.offered_value
+            ));
+            out.push_str(&sketch_line("gate wait(ticks)", &l.wait));
+            out.push_str(&sketch_line("rejected wait(ticks)", &l.rejected_wait));
+        }
+        out.push_str(&format!(
+            "config {}  report digest {}\n",
+            self.config_digest, self.digest
+        ));
+        out
+    }
+
+    /// Renders the machine-readable campaign artifact the nightly CI
+    /// uploads. `experiment` names the producing binary (`"exp8"`…);
+    /// `extra` appends binary-specific top-level fields (already
+    /// JSON-encoded values).
+    pub fn to_json(&self, experiment: &str, extra: &[(&str, String)]) -> String {
+        let t = &self.tally;
+        let sketch_json = |s: &MergeableSketch| {
+            match s.summary() {
+            None => "null".to_owned(),
+            Some(sm) => format!(
+                "{{\"n\": {}, \"min\": {}, \"mean\": {:.3}, \"p50\": {}, \"p99\": {}, \"max\": {}}}",
+                sm.n, sm.min, sm.mean, sm.p50, sm.p99, sm.max
+            ),
+        }
+        };
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"schema_version\": 1,\n");
+        json.push_str(&format!("  \"experiment\": \"{experiment}-campaign\",\n"));
+        json.push_str(&format!("  \"harness\": \"{}\",\n", self.harness));
+        json.push_str(&format!("  \"family\": \"{}\",\n", self.family));
+        json.push_str(&format!(
+            "  \"config_digest\": \"{}\",\n",
+            self.config_digest
+        ));
+        json.push_str(&format!("  \"report_digest\": \"{}\",\n", self.digest));
+        json.push_str(&format!("  \"epochs_run\": {},\n", self.epochs_run));
+        json.push_str(&format!("  \"epochs\": {},\n", self.epochs));
+        json.push_str(&format!("  \"instances\": {},\n", t.instances));
+        json.push_str(&format!(
+            "  \"outcomes\": {{\"success\": {}, \"refunds\": {}, \"stuck\": {}, \
+             \"violations\": {}, \"rejected\": {}, \"failed\": {}, \"griefed\": {}, \
+             \"byzantine\": {}}},\n",
+            t.success,
+            t.refunds,
+            t.stuck,
+            t.violations,
+            t.rejected,
+            t.failed,
+            t.griefed,
+            t.byzantine
+        ));
+        json.push_str(&format!("  \"events\": {},\n", t.events));
+        json.push_str(&format!(
+            "  \"failed_seeds\": [{}],\n",
+            t.failed_seeds
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        json.push_str(&format!(
+            "  \"latency_ticks\": {},\n",
+            sketch_json(&t.latency)
+        ));
+        json.push_str(&format!(
+            "  \"peak_locked\": {},\n",
+            sketch_json(&t.peak_locked)
+        ));
+        match &t.liquidity {
+            None => json.push_str("  \"liquidity\": null"),
+            Some(l) => json.push_str(&format!(
+                "  \"liquidity\": {{\"offered\": {}, \"admitted\": {}, \"rejected\": {}, \
+                 \"queued\": {}, \"budget_violations\": {}, \"drained_all\": {}, \
+                 \"peak_locked_venue\": {}, \"peak_reserved_venue\": {}, \
+                 \"goodput_value\": {}, \"offered_value\": {}, \
+                 \"wait_ticks\": {}, \"rejected_wait_ticks\": {}}}",
+                l.offered,
+                l.admitted,
+                l.rejected,
+                l.queued,
+                l.budget_violations,
+                l.drained_all,
+                l.peak_locked_venue,
+                l.peak_reserved_venue,
+                l.goodput_value,
+                l.offered_value,
+                sketch_json(&l.wait),
+                sketch_json(&l.rejected_wait)
+            )),
+        }
+        for (k, v) in extra {
+            json.push_str(&format!(",\n  \"{k}\": {v}"));
+        }
+        json.push_str("\n}\n");
+        json
+    }
+}
+
+/// Peak resident-set size of this process in MiB (Linux `VmHWM`), `None`
+/// where `/proc` is unavailable. The nightly bounded-RSS gate reads this
+/// after a 1M-payment campaign: constant-memory metrics are a claim about
+/// this number.
+pub fn peak_rss_mb() -> Option<u64> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb / 1024);
+        }
+    }
+    None
+}

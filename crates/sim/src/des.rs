@@ -31,7 +31,7 @@
 
 use crate::faults::FaultPlan;
 use crate::metrics::{BatchMetrics, InstanceResult, LiquidityStats, OpenReport, SimReport};
-use crate::runner::{run_instance_with, SimConfig};
+use crate::runner::{run_instance_isolated, SimConfig};
 use crate::workload::PaymentSpec;
 use anta::time::SimTime;
 use experiments::parallel_map;
@@ -375,7 +375,8 @@ impl<'a, H: ProtocolHarness> ShardSim<'a, H> {
         self.horizon = self.horizon.max(t);
         let spec = &self.specs[self.members[li]];
         let wait = t.saturating_since(spec.arrival);
-        let mut r = run_instance_with(self.harness, spec, self.plan, true, &mut self.queue_high);
+        let mut r =
+            run_instance_isolated(self.harness, spec, self.plan, true, &mut self.queue_high);
         if !wait.is_zero() {
             self.queued += 1;
             self.waits.push(wait.ticks());
@@ -457,6 +458,39 @@ pub(crate) fn run_open_specs_des<H: ProtocolHarness>(
     cfg: &SimConfig,
     liq: &LiquidityConfig,
 ) -> OpenReport {
+    let raw = run_open_specs_raw(harness, specs, cfg, liq);
+    let mut batch = BatchMetrics::with_capacity(raw.results.len());
+    for r in raw.results {
+        batch.push(r);
+    }
+    OpenReport {
+        sim: SimReport::merge(vec![batch], true),
+        liquidity: raw.liquidity,
+    }
+}
+
+/// The unaggregated outcome of one open-system run: spec-ordered rows,
+/// the liquidity stats, and the raw wait samples the stats summarized —
+/// the campaign layer folds all of these into its streaming sketches
+/// instead of materializing a [`SimReport`] per epoch.
+pub(crate) struct OpenRaw {
+    /// Per-instance rows, in spec order.
+    pub results: Vec<InstanceResult>,
+    /// The epoch's liquidity-side statistics.
+    pub liquidity: LiquidityStats,
+    /// Gate waits of admitted-but-queued payments (ticks), merge order.
+    pub waits: Vec<u64>,
+    /// Wasted waits of rejected payments (ticks), merge order.
+    pub rejected_waits: Vec<u64>,
+}
+
+/// The engine behind [`run_open_specs_des`] (see [`OpenRaw`]).
+pub(crate) fn run_open_specs_raw<H: ProtocolHarness>(
+    harness: &H,
+    specs: &[PaymentSpec],
+    cfg: &SimConfig,
+    liq: &LiquidityConfig,
+) -> OpenRaw {
     assert!(
         harness.supports(&cfg.workload),
         "{} does not support this workload ({:?}); gate on supports()",
@@ -521,13 +555,15 @@ pub(crate) fn run_open_specs_des<H: ProtocolHarness>(
         goodput_value,
         offered_value,
     };
-    let mut batch = BatchMetrics::with_capacity(specs.len());
-    for r in per_spec {
-        batch.push(r.expect("every spec decided"));
-    }
-    OpenReport {
-        sim: SimReport::merge(vec![batch], true),
+    let results: Vec<InstanceResult> = per_spec
+        .into_iter()
+        .map(|r| r.expect("every spec decided"))
+        .collect();
+    OpenRaw {
+        results,
         liquidity,
+        waits,
+        rejected_waits,
     }
 }
 

@@ -73,12 +73,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 mod des;
 pub mod faults;
 pub mod metrics;
 pub mod runner;
+pub mod sketch;
 pub mod workload;
 
+pub use campaign::{CampaignConfig, CampaignReport, CampaignRunner, CampaignTally};
 pub use faults::{ByzFault, FaultPlan, InstanceFaults};
 pub use metrics::{
     FamilyStats, InstanceOutcome, InstanceResult, LiquidityStats, OpenReport, PacketStats,
@@ -88,6 +91,7 @@ pub use runner::{
     run, run_instance, run_instance_with, run_open, run_open_specs_with, run_open_with, run_specs,
     run_specs_with, run_with, SimConfig,
 };
+pub use sketch::MergeableSketch;
 pub use workload::{ArrivalProcess, PaymentSpec, TopologyFamily, WorkloadConfig};
 
 // The protocol abstraction layer the runner is generic over, re-exported

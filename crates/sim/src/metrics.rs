@@ -94,6 +94,10 @@ pub struct FamilyStats {
     /// only; always zero for closed-world campaigns). Rejected payments
     /// count in the success denominator: they were offered, not served.
     pub rejected: usize,
+    /// Instances whose harness panicked twice under the runner's panic
+    /// isolation ([`InstanceOutcome::Failed`]): counted here so a poisoned
+    /// instance is never silently dropped, but measured nothing.
+    pub failed: usize,
     /// Instances that griefed a compliant party (HTLC-style full-window
     /// capital stranding) — zero for the time-bounded protocol.
     pub griefed: usize,
@@ -137,6 +141,9 @@ pub struct SimReport {
     pub violations: usize,
     /// Total admission rejections (sum over families).
     pub rejected: usize,
+    /// Total panic-isolated instances (sum over families) — must be zero
+    /// unless a harness is genuinely broken.
+    pub failed: usize,
     /// Total griefed instances (sum over families).
     pub griefed: usize,
     /// Peak value locked simultaneously across *all* concurrent instances
@@ -162,10 +169,11 @@ impl SimReport {
         let mut violations = 0usize;
         let mut rejected_total = 0usize;
         let mut griefed_total = 0usize;
+        let mut failed_total = 0usize;
         for (family, rs) in by_family {
             let mut success = Rate::default();
             let (mut refunds, mut stuck, mut viols, mut byz) = (0usize, 0usize, 0usize, 0usize);
-            let (mut griefed, mut rejected) = (0usize, 0usize);
+            let (mut griefed, mut rejected, mut failed) = (0usize, 0usize, 0usize);
             let mut latencies: Vec<u64> = Vec::new();
             let mut peaks: Vec<u64> = Vec::with_capacity(rs.len());
             let mut packets: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
@@ -178,6 +186,7 @@ impl SimReport {
                     InstanceOutcome::Stuck => stuck += 1,
                     InstanceOutcome::Violation => viols += 1,
                     InstanceOutcome::Rejected => rejected += 1,
+                    InstanceOutcome::Failed => failed += 1,
                 }
                 if r.griefed {
                     griefed += 1;
@@ -198,6 +207,7 @@ impl SimReport {
             violations += viols;
             rejected_total += rejected;
             griefed_total += griefed;
+            failed_total += failed;
             let packet_stats = (!packets.is_empty()).then(|| {
                 let mut complete = 0;
                 let mut partial = 0;
@@ -223,6 +233,7 @@ impl SimReport {
                 stuck,
                 violations: viols,
                 rejected,
+                failed,
                 griefed,
                 byzantine: byz,
                 latency: Summary::of(&latencies),
@@ -269,6 +280,7 @@ impl SimReport {
             instances,
             violations,
             rejected: rejected_total,
+            failed: failed_total,
             griefed: griefed_total,
             peak_locked_global,
             peak_in_flight,

@@ -98,7 +98,7 @@ fn simulate_specs<H: ProtocolHarness>(
         let mut metrics = BatchMetrics::with_capacity(chunk.len());
         let mut queue_high = 0usize;
         for spec in *chunk {
-            metrics.push(run_instance_with(
+            metrics.push(run_instance_isolated(
                 harness,
                 spec,
                 &cfg.faults,
@@ -108,6 +108,55 @@ fn simulate_specs<H: ProtocolHarness>(
         }
         metrics
     })
+}
+
+/// [`run_instance_with`] under panic isolation: a harness that panics is
+/// retried **once** (transient poison heals), and a second panic degrades
+/// the instance to a counted [`InstanceOutcome::Failed`] row instead of
+/// tearing down the whole campaign. The failing instance is identified by
+/// its spec (`spec.id` is kept on the row; `spec.seed` names the seed to
+/// replay the poison under a debugger); the campaign layer surfaces those
+/// seeds in its report.
+///
+/// Everything the run would have measured is zeroed on the `Failed` row:
+/// no latency, no locked value, no lock profile, no fault attribution —
+/// the instance existed, ran twice, and died both times. `queue_high` is
+/// reset before each attempt so a poisoned engine cannot leak a bogus
+/// high-water mark into the next instance's pre-sizing.
+///
+/// [`InstanceOutcome::Failed`]: crate::metrics::InstanceOutcome::Failed
+pub fn run_instance_isolated<H: ProtocolHarness>(
+    harness: &H,
+    spec: &PaymentSpec,
+    plan: &FaultPlan,
+    lock_profile: bool,
+    queue_high: &mut usize,
+) -> InstanceResult {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let entry_high = *queue_high;
+    for _attempt in 0..2 {
+        *queue_high = entry_high;
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            run_instance_with(harness, spec, plan, lock_profile, queue_high)
+        }));
+        if let Ok(result) = r {
+            return result;
+        }
+    }
+    *queue_high = entry_high;
+    InstanceResult {
+        id: spec.id,
+        family: spec.family,
+        outcome: protocol::ProtocolOutcome::Failed,
+        griefed: false,
+        faults: crate::faults::InstanceFaults::NONE,
+        latency: anta::time::SimDuration::ZERO,
+        peak_locked: 0,
+        events: 0,
+        packet: spec.packet,
+        route: spec.route,
+        lock_profile: Vec::new(),
+    }
 }
 
 /// Runs one payment instance end to end through `harness` and extracts its

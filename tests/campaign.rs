@@ -1,0 +1,292 @@
+//! Crash-safety of streaming campaigns: a campaign checkpointed after
+//! epoch `k`, dropped (the programmatic stand-in for SIGKILL between
+//! epochs — the checkpoint file is all that survives either way), and
+//! resumed from disk must produce a report **bit-identical** to an
+//! uninterrupted run, at any thread count. Plus: checkpoint corruption
+//! and config drift are refused, sketch merges are order-independent,
+//! and sketch quantiles stay within their documented 1/64 envelope of
+//! the exact percentiles.
+
+use crosschain::anta::time::SimDuration;
+use crosschain::sim::campaign::{CampaignConfig, CampaignRunner};
+use crosschain::sim::prelude::*;
+use crosschain::sim::MergeableSketch;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// A scratch path unique to this test; removed on drop so parallel test
+/// binaries never collide.
+struct ScratchCkpt(PathBuf);
+
+impl ScratchCkpt {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "xchain-campaign-test-{}-{tag}.ckpt",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        ScratchCkpt(path)
+    }
+}
+
+impl Drop for ScratchCkpt {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+        std::fs::remove_file(self.0.with_extension("ckpt-tmp")).ok();
+    }
+}
+
+fn cfg(family: TopologyFamily, threads: usize) -> CampaignConfig {
+    let mut workload = WorkloadConfig::new(family, 0, 0xC0FFEE);
+    workload.max_rho_ppm = (0, 50_000);
+    CampaignConfig {
+        threads,
+        faults: FaultPlan {
+            crash_permille: 80,
+            late_bob_permille: 40,
+            ..FaultPlan::NONE
+        },
+        ..CampaignConfig::new(workload, 2_000, 450)
+    }
+}
+
+/// One-shot digest vs. kill-at-epoch-k + resume digest, every k.
+fn assert_resume_bit_identical(family: TopologyFamily, threads: usize, tag: &str) {
+    let mut oneshot = CampaignRunner::new(TimeBoundedHarness, cfg(family, threads));
+    oneshot.run_to_end(None, None, |_| {}).unwrap();
+    let expect = oneshot.report();
+    assert!(expect.tally.instances >= 2_000);
+    assert_eq!(expect.tally.violations, 0);
+
+    let epochs = cfg(family, threads).epochs();
+    for k in 0..epochs {
+        let ckpt = ScratchCkpt::new(&format!("{tag}-k{k}"));
+        let mut first = CampaignRunner::new(TimeBoundedHarness, cfg(family, threads));
+        first.run_to_end(Some(&ckpt.0), Some(k), |_| {}).unwrap();
+        assert_eq!(first.next_epoch(), k + 1);
+        drop(first); // the "kill": only the checkpoint survives
+
+        let mut resumed =
+            CampaignRunner::resume(TimeBoundedHarness, cfg(family, threads), &ckpt.0).unwrap();
+        assert_eq!(resumed.next_epoch(), k + 1, "resume at the right epoch");
+        resumed.run_to_end(Some(&ckpt.0), None, |_| {}).unwrap();
+        let got = resumed.report();
+        assert_eq!(
+            got.digest, expect.digest,
+            "family {family:?} threads {threads}: resume after epoch {k} diverged"
+        );
+        assert_eq!(got.tally, expect.tally);
+    }
+}
+
+#[test]
+fn kill_and_resume_bit_identical_linear_single_thread() {
+    assert_resume_bit_identical(TopologyFamily::Linear { n: 4 }, 1, "lin1");
+}
+
+#[test]
+fn kill_and_resume_bit_identical_linear_four_threads() {
+    assert_resume_bit_identical(TopologyFamily::Linear { n: 4 }, 4, "lin4");
+}
+
+#[test]
+fn kill_and_resume_bit_identical_packetized_single_thread() {
+    assert_resume_bit_identical(TopologyFamily::Packetized { paths: 3, hops: 2 }, 1, "pkt1");
+}
+
+#[test]
+fn kill_and_resume_bit_identical_packetized_four_threads() {
+    assert_resume_bit_identical(TopologyFamily::Packetized { paths: 3, hops: 2 }, 4, "pkt4");
+}
+
+/// A checkpoint written at 4 threads resumes at 1 thread (and vice
+/// versa) to the same digest: thread count is excluded from the config
+/// digest by design.
+#[test]
+fn resume_across_thread_counts_is_bit_identical() {
+    let family = TopologyFamily::HubAndSpoke { spokes: 8 };
+    let mut oneshot = CampaignRunner::new(TimeBoundedHarness, cfg(family, 1));
+    oneshot.run_to_end(None, None, |_| {}).unwrap();
+
+    let ckpt = ScratchCkpt::new("xthread");
+    let mut first = CampaignRunner::new(TimeBoundedHarness, cfg(family, 4));
+    first.run_to_end(Some(&ckpt.0), Some(1), |_| {}).unwrap();
+    drop(first);
+    let mut resumed = CampaignRunner::resume(TimeBoundedHarness, cfg(family, 1), &ckpt.0).unwrap();
+    resumed.run_to_end(None, None, |_| {}).unwrap();
+    assert_eq!(resumed.report().digest, oneshot.report().digest);
+}
+
+/// Open-system campaigns (finite collateral, queueing gate) carry the
+/// cumulative liquidity audit through the checkpoint bit-identically.
+#[test]
+fn open_system_campaign_resumes_bit_identical() {
+    let open_cfg = || {
+        let mut workload = WorkloadConfig::new(TopologyFamily::HubAndSpoke { spokes: 8 }, 0, 0xE10);
+        workload.max_rho_ppm = (0, 0);
+        CampaignConfig {
+            liquidity: Some(LiquidityConfig::queue(15_000, SimDuration::from_millis(20))),
+            ..CampaignConfig::new(workload, 1_200, 400)
+        }
+    };
+    let mut oneshot = CampaignRunner::new(TimeBoundedHarness, open_cfg());
+    oneshot.run_to_end(None, None, |_| {}).unwrap();
+    let expect = oneshot.report();
+    let l = expect.tally.liquidity.as_ref().expect("liquidity tally");
+    assert!(l.rejected > 0, "budget must bite for the test to mean much");
+    assert_eq!(l.budget_violations, 0);
+    assert!(l.drained_all);
+
+    let ckpt = ScratchCkpt::new("open");
+    let mut first = CampaignRunner::new(TimeBoundedHarness, open_cfg());
+    first.run_to_end(Some(&ckpt.0), Some(0), |_| {}).unwrap();
+    drop(first);
+    let mut resumed = CampaignRunner::resume(TimeBoundedHarness, open_cfg(), &ckpt.0).unwrap();
+    resumed.run_to_end(None, None, |_| {}).unwrap();
+    let got = resumed.report();
+    assert_eq!(got.digest, expect.digest);
+    assert_eq!(got.tally, expect.tally);
+}
+
+/// A flipped byte anywhere in the payload must be caught by the CRC —
+/// a corrupt checkpoint is an error, never a silent fresh start.
+#[test]
+fn corrupt_checkpoint_is_refused() {
+    let family = TopologyFamily::Linear { n: 4 };
+    let ckpt = ScratchCkpt::new("corrupt");
+    let mut runner = CampaignRunner::new(TimeBoundedHarness, cfg(family, 1));
+    runner.run_to_end(Some(&ckpt.0), Some(0), |_| {}).unwrap();
+    drop(runner);
+
+    let mut bytes = std::fs::read(&ckpt.0).unwrap();
+    let i = bytes.len() - 2; // inside the final payload line
+    bytes[i] = bytes[i].wrapping_add(1);
+    std::fs::write(&ckpt.0, &bytes).unwrap();
+    let err = CampaignRunner::resume(TimeBoundedHarness, cfg(family, 1), &ckpt.0)
+        .err()
+        .expect("corrupted checkpoint must not resume");
+    assert!(err.to_string().contains("CRC"), "unexpected error: {err}");
+}
+
+/// A checkpoint from a different campaign config (here: another seed)
+/// must be refused by the config digest even though its CRC is fine.
+#[test]
+fn checkpoint_from_different_config_is_refused() {
+    let family = TopologyFamily::Linear { n: 4 };
+    let ckpt = ScratchCkpt::new("mismatch");
+    let mut runner = CampaignRunner::new(TimeBoundedHarness, cfg(family, 1));
+    runner.run_to_end(Some(&ckpt.0), Some(0), |_| {}).unwrap();
+    drop(runner);
+
+    let mut other = cfg(family, 1);
+    other.workload.seed ^= 1;
+    let err = CampaignRunner::resume(TimeBoundedHarness, other, &ckpt.0)
+        .err()
+        .expect("foreign checkpoint must not resume");
+    assert!(
+        err.to_string().contains("different campaign config"),
+        "unexpected error: {err}"
+    );
+    // But resume_or_new with a *matching* config still works.
+    let resumed =
+        CampaignRunner::resume_or_new(TimeBoundedHarness, cfg(family, 1), &ckpt.0).unwrap();
+    assert_eq!(resumed.next_epoch(), 1);
+}
+
+/// resume_or_new falls back to a fresh campaign only when the file does
+/// not exist at all.
+#[test]
+fn resume_or_new_starts_fresh_without_checkpoint() {
+    let ckpt = ScratchCkpt::new("fresh");
+    let runner = CampaignRunner::resume_or_new(
+        TimeBoundedHarness,
+        cfg(TopologyFamily::Linear { n: 4 }, 1),
+        &ckpt.0,
+    )
+    .unwrap();
+    assert_eq!(runner.next_epoch(), 0);
+    assert_eq!(runner.tally().instances, 0);
+}
+
+/// Sketch p50/p99 vs. the exact nearest-rank percentiles of the same
+/// rows: the sketch may overshoot by at most 1/64th (one sub-bucket),
+/// never undershoot. Exercised on a real workload's latency profile.
+#[test]
+fn sketch_quantiles_match_exact_percentiles_within_bound() {
+    let campaign = cfg(TopologyFamily::Linear { n: 4 }, 1);
+    let wl = campaign.epoch_workload(0);
+    let specs = crosschain::sim::workload::generate(&wl);
+    let report = crosschain::sim::run_specs_with(
+        &TimeBoundedHarness,
+        &specs,
+        &SimConfig {
+            faults: campaign.faults,
+            threads: 1,
+            ..SimConfig::new(wl)
+        },
+    );
+    let exact = report.families[0]
+        .latency
+        .as_ref()
+        .expect("successful payments exist")
+        .clone();
+
+    let mut runner = CampaignRunner::new(TimeBoundedHarness, campaign);
+    runner.run_to_end(None, Some(0), |_| {}).unwrap();
+    let sketch = runner.tally().latency_summary().expect("non-empty sketch");
+
+    assert_eq!(sketch.n, exact.n);
+    assert_eq!(sketch.min, exact.min);
+    assert_eq!(sketch.max, exact.max);
+    for (name, got, want) in [
+        ("p50", sketch.p50, exact.p50),
+        ("p99", sketch.p99, exact.p99),
+    ] {
+        assert!(
+            got >= want && got <= want + want / 64 + 1,
+            "{name}: sketch {got} outside [{want}, {want} + 1/64]"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Merging per-chunk sketches in ANY order yields bit-identical
+    /// state (and therefore identical quantiles) to feeding the samples
+    /// sequentially — the property the cross-thread and cross-resume
+    /// determinism of campaign reports rests on.
+    #[test]
+    fn prop_sketch_merge_is_order_independent(
+        samples in proptest::collection::vec(0u64..2_000_000, 1..400),
+        chunk in 1usize..37,
+        rot in 0usize..31,
+    ) {
+        let mut sequential = MergeableSketch::new();
+        for &v in &samples {
+            sequential.record(v);
+        }
+        let mut parts: Vec<MergeableSketch> = samples
+            .chunks(chunk)
+            .map(|c| {
+                let mut s = MergeableSketch::new();
+                for &v in c {
+                    s.record(v);
+                }
+                s
+            })
+            .collect();
+        // Rotate + reverse: an arbitrary permutation of the merge order.
+        let r = rot % parts.len();
+        parts.rotate_left(r);
+        parts.reverse();
+        let mut merged = MergeableSketch::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(merged.encode(), sequential.encode());
+        for p in [0u32, 25, 50, 90, 99, 100] {
+            prop_assert_eq!(merged.quantile(p), sequential.quantile(p));
+        }
+    }
+}
