@@ -36,6 +36,7 @@ use crate::process::Message;
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use telemetry::{Event, NullSink, TelemetrySink};
 
 /// Budget for an exploration.
 #[derive(Debug, Clone, Copy)]
@@ -132,6 +133,10 @@ struct SubtreeOutcome {
     runs: usize,
     violations: Vec<Violation>,
     exhausted: bool,
+    /// Wall-clock seconds the subtree's DFS took on its worker.
+    /// Observability-only — it feeds the `subtree` telemetry event and
+    /// never the report.
+    wall_s: f64,
 }
 
 /// Tracks engine scaffolding sizes across runs so rebuilt engines can be
@@ -160,6 +165,7 @@ fn explore_subtree<M: Message>(
     budget: &AtomicUsize,
     max_runs: usize,
 ) -> SubtreeOutcome {
+    let started = std::time::Instant::now();
     let mut path: Vec<usize> = prefix.to_vec();
     let mut runs = 0usize;
     let mut violations = Vec::new();
@@ -171,6 +177,7 @@ fn explore_subtree<M: Message>(
                 runs,
                 violations,
                 exhausted: false,
+                wall_s: started.elapsed().as_secs_f64(),
             };
         }
         let oracle = Rc::new(RefCell::new(ReplayOracle::new(path.clone())));
@@ -191,6 +198,7 @@ fn explore_subtree<M: Message>(
                 runs,
                 violations,
                 exhausted: false,
+                wall_s: started.elapsed().as_secs_f64(),
             };
         }
         let next = oracle.borrow().next_path();
@@ -203,10 +211,30 @@ fn explore_subtree<M: Message>(
                     runs,
                     violations,
                     exhausted: true,
+                    wall_s: started.elapsed().as_secs_f64(),
                 }
             }
         }
     }
+}
+
+/// Renders one `subtree` telemetry event: which frontier slot, how many
+/// runs/violations it contributed, whether it exhausted, and its
+/// worker-side throughput.
+fn subtree_event(index: usize, prefix_len: usize, out: &SubtreeOutcome) -> Event {
+    let runs_per_sec = if out.wall_s > 0.0 {
+        out.runs as f64 / out.wall_s
+    } else {
+        0.0
+    };
+    Event::new("subtree")
+        .with_u64("index", index as u64)
+        .with_u64("prefix_len", prefix_len as u64)
+        .with_u64("runs", out.runs as u64)
+        .with_u64("violations", out.violations.len() as u64)
+        .with_bool("exhausted", out.exhausted)
+        .with_f64("wall_s", out.wall_s)
+        .with_f64("runs_per_sec", runs_per_sec)
 }
 
 /// Exhaustively explores the schedule tree of a simulation, serially.
@@ -255,6 +283,31 @@ where
     B: Fn(Box<dyn Oracle>) -> Engine<M> + Sync,
     C: Fn(&Engine<M>, &RunReport) -> Result<(), String> + Sync,
 {
+    explore_parallel_with(build, check, cfg, &mut NullSink)
+}
+
+/// [`explore_parallel`] with a telemetry sink attached.
+///
+/// Emits one `frontier` event after the discovery phase (split depth,
+/// frontier size, how many nodes were complete leaves vs subtrees, and
+/// whether discovery stayed within budget) and one `subtree` event per
+/// subtree work item — runs, violations, exhaustion and worker-side
+/// throughput — **in frontier (= serial DFS) order** after the
+/// deterministic merge, whatever thread interleaving executed them. The
+/// sink is only touched from the calling thread, and only wall-clock
+/// fields depend on the machine: the report is the same object
+/// [`explore_parallel`] returns.
+pub fn explore_parallel_with<M, B, C>(
+    build: B,
+    check: C,
+    cfg: ExploreConfig,
+    sink: &mut dyn TelemetrySink,
+) -> ExploreReport
+where
+    M: Message,
+    B: Fn(Box<dyn Oracle>) -> Engine<M> + Sync,
+    C: Fn(&Engine<M>, &RunReport) -> Result<(), String> + Sync,
+{
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -267,6 +320,17 @@ where
         let mut b = &build;
         let mut c = &check;
         let out = explore_subtree(&mut b, &mut c, &[], &budget, cfg.max_runs);
+        // Serial fallback: the whole tree is one subtree rooted at the
+        // empty prefix; the frontier event records the degenerate split.
+        sink.emit(
+            &Event::new("frontier")
+                .with_u64("split_depth", 0)
+                .with_u64("frontier", 1)
+                .with_u64("leaves", 0)
+                .with_u64("subtrees", 1)
+                .with_bool("discovery_complete", true),
+        );
+        sink.emit(&subtree_event(0, 0, &out));
         return ExploreReport {
             runs: out.runs,
             exhausted: out.exhausted,
@@ -362,10 +426,20 @@ where
     .expect("explorer worker panicked");
 
     // Phase 3 — deterministic merge in frontier (= serial DFS) order.
+    // Telemetry piggybacks on the same order: the frontier summary first,
+    // then one `subtree` event per work item as it merges.
     let mut per_item: Vec<Option<SubtreeOutcome>> = items.iter().map(|_| None).collect();
     for (idx, out) in gathered {
         per_item[idx] = Some(out);
     }
+    sink.emit(
+        &Event::new("frontier")
+            .with_u64("split_depth", cfg.split_depth as u64)
+            .with_u64("frontier", items.len() as u64)
+            .with_u64("leaves", (items.len() - subtrees.len()) as u64)
+            .with_u64("subtrees", subtrees.len() as u64)
+            .with_bool("discovery_complete", discovery_complete),
+    );
     let mut runs = 0usize;
     let mut exhausted = discovery_complete;
     let mut violations = Vec::new();
@@ -375,8 +449,9 @@ where
                 runs += 1;
                 violations.extend(violation);
             }
-            FrontierItem::Subtree(_) => {
+            FrontierItem::Subtree(prefix) => {
                 let out = per_item[i].take().expect("every subtree visited");
+                sink.emit(&subtree_event(i, prefix.len(), &out));
                 runs += out.runs;
                 violations.extend(out.violations);
                 exhausted &= out.exhausted;
@@ -557,6 +632,42 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The instrumented explorer returns the same report as the plain one
+    /// and emits `frontier` + `subtree` events in frontier order, with
+    /// run counts that add up to the report's.
+    #[test]
+    fn instrumented_explorer_emits_frontier_ordered_events() {
+        let mut ring = telemetry::RingSink::new(64);
+        let par = explore_parallel_with(
+            build_race,
+            |_, _| Ok(()),
+            ExploreConfig {
+                threads: 4,
+                split_depth: 1,
+                ..Default::default()
+            },
+            &mut ring,
+        );
+        assert!(par.exhausted);
+        assert_eq!(par.runs, 4);
+        let events: Vec<_> = ring.events().collect();
+        assert_eq!(events[0].kind(), "frontier");
+        assert_eq!(events[0].u64_field("split_depth"), Some(1));
+        assert_eq!(events[0].bool_field("discovery_complete"), Some(true));
+        let subtrees: Vec<_> = events.iter().filter(|e| e.kind() == "subtree").collect();
+        assert_eq!(events[0].u64_field("subtrees"), Some(subtrees.len() as u64));
+        let leaves = events[0].u64_field("leaves").unwrap();
+        let indices: Vec<u64> = subtrees
+            .iter()
+            .map(|e| e.u64_field("index").unwrap())
+            .collect();
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        assert_eq!(indices, sorted, "subtree events in frontier order");
+        let subtree_runs: u64 = subtrees.iter().map(|e| e.u64_field("runs").unwrap()).sum();
+        assert_eq!(subtree_runs + leaves, par.runs as u64);
     }
 
     #[test]

@@ -87,7 +87,8 @@ pub mod prelude {
     pub use crate::clock::DriftClock;
     pub use crate::engine::{Engine, EngineConfig, RunReport};
     pub use crate::explore::{
-        explore, explore_parallel, replay, ExploreConfig, ExploreLimits, ExploreReport,
+        explore, explore_parallel, explore_parallel_with, replay, ExploreConfig, ExploreLimits,
+        ExploreReport,
     };
     pub use crate::net::{
         AdversarialNet, Delivery, EnvelopeMeta, FaultyNet, NetFaults, NetModel, PartialSyncNet,

@@ -367,6 +367,99 @@ fn main() {
         );
     }
 
+    // Telemetry overhead: the same single-threaded workload three ways,
+    // interleaved best-of-N — the uninstrumented parallel runner
+    // (generation + simulation, no campaign layer), the campaign runner
+    // draining to a NullSink (the "telemetry enabled but unobserved"
+    // path every campaign now runs), and the campaign runner writing a
+    // real JSONL file. NullSink within 5% of the bare runner is the
+    // documented budget; the ratio keys feed the regression gate (ratios
+    // are hardware-independent, so the committed baseline stays
+    // meaningful across runners) so creeping instrumentation cost fails
+    // CI. The digests double as proof the JSONL sink observes without
+    // perturbing.
+    let telem_reps = if args.quick { 5 } else { 7 };
+    let telem_path =
+        std::env::temp_dir().join(format!("bench-telemetry-{}.jsonl", std::process::id()));
+    let mut telem_rows: Vec<SimRow> = Vec::new();
+    {
+        let telem_cfg = sim::campaign::CampaignConfig {
+            threads: 1,
+            faults: sim_faults,
+            ..sim::campaign::CampaignConfig::new(
+                sim_workload,
+                campaign_payments,
+                (campaign_payments / 4) as usize,
+            )
+        };
+        let plain_cfg = sim::SimConfig {
+            faults: sim_faults,
+            threads: 1,
+            lock_profile: false,
+            ..sim::SimConfig::new(sim::WorkloadConfig {
+                payments: campaign_payments as usize,
+                ..sim_workload
+            })
+        };
+        let mut best = [std::time::Duration::MAX; 3];
+        let mut digests: Vec<String> = Vec::new();
+        for _ in 0..telem_reps {
+            let t0 = Instant::now();
+            let specs = sim::workload::generate(&plain_cfg.workload);
+            let plain = sim::run_specs_with(&sim::TimeBoundedHarness, &specs, &plain_cfg);
+            assert_eq!(plain.instances as u64, campaign_payments);
+            best[0] = best[0].min(t0.elapsed());
+
+            let mut runner = sim::campaign::CampaignRunner::new(sim::TimeBoundedHarness, telem_cfg);
+            let t0 = Instant::now();
+            runner
+                .run_to_end(None, None, |_| {})
+                .expect("no checkpoint I/O");
+            best[1] = best[1].min(t0.elapsed());
+            digests.push(runner.report().digest.clone());
+
+            let mut runner = sim::campaign::CampaignRunner::new(sim::TimeBoundedHarness, telem_cfg);
+            let mut sink = telemetry::JsonlSink::create(&telem_path).expect("temp telemetry file");
+            let t0 = Instant::now();
+            runner
+                .run_to_end_with_telemetry(None, None, &mut sink, 1, |_| {})
+                .expect("no checkpoint I/O");
+            best[2] = best[2].min(t0.elapsed());
+            assert_eq!(sink.io_errors(), 0, "telemetry writes failed");
+            digests.push(runner.report().digest.clone());
+        }
+        let _ = std::fs::remove_file(&telem_path);
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "campaign report digests diverged across telemetry sinks: {digests:?}"
+        );
+        for (mode, wall) in [
+            ("plain", best[0]),
+            ("null_sink", best[1]),
+            ("jsonl_sink", best[2]),
+        ] {
+            let row = SimRow {
+                workload: mode,
+                threads: 1,
+                payments: campaign_payments as usize,
+                success: 0,
+                violations: 0,
+                wall_ms: ms(wall),
+                payments_per_sec: campaign_payments as f64 / wall.as_secs_f64().max(1e-9),
+            };
+            eprintln!(
+                "telemetry {:<11} threads=1 payments={} {:.1} ms ({:.0} payments/s)",
+                row.workload, row.payments, row.wall_ms, row.payments_per_sec
+            );
+            telem_rows.push(row);
+        }
+        let overhead = (best[1].as_secs_f64() / best[0].as_secs_f64().max(1e-9) - 1.0) * 100.0;
+        eprintln!(
+            "telemetry NullSink overhead vs uninstrumented runner: {overhead:+.1}% \
+             (budget: <5%)"
+        );
+    }
+
     // Protocol-harness throughput: one seeded linear workload through
     // every harness, re-run at 1/2/4 worker threads. Reports are
     // bit-identical across thread counts per harness; rows differ in wall
@@ -579,6 +672,20 @@ fn main() {
             if i + 1 < campaign_rows.len() { "," } else { "" }
         ));
     }
+    sim_json.push_str("  ],\n");
+    sim_json.push_str("  \"telemetry\": [\n");
+    for (i, r) in telem_rows.iter().enumerate() {
+        sim_json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"payments\": {}, \
+             \"wall_ms\": {:.3}, \"payments_per_sec\": {:.1}}}{}\n",
+            r.workload,
+            r.threads,
+            r.payments,
+            r.wall_ms,
+            r.payments_per_sec,
+            if i + 1 < telem_rows.len() { "," } else { "" }
+        ));
+    }
     sim_json.push_str("  ]\n}\n");
 
     // BENCH_protocols.json: per-protocol throughput trajectory, next to
@@ -697,6 +804,33 @@ fn main() {
             format!("open/{}/t{}/payments_per_sec", r.workload, r.threads),
             r.payments_per_sec / args.handicap,
         );
+    }
+    // Telemetry-overhead ratios: NullSink rate over the uninstrumented
+    // runner (~1.0; a drop means the always-on instrumentation got
+    // expensive) and JSONL rate over NullSink (~1.0; a drop means the
+    // file sink started costing real time). The handicap cancels in the
+    // quotients, so the raw rates are used.
+    {
+        let rate = |mode: &str| {
+            telem_rows
+                .iter()
+                .find(|r| r.workload == mode)
+                .map(|r| r.payments_per_sec)
+        };
+        if let (Some(plain), Some(null), Some(jsonl)) =
+            (rate("plain"), rate("null_sink"), rate("jsonl_sink"))
+        {
+            if plain > 0.0 && null > 0.0 {
+                rates.insert(
+                    "telemetry_overhead/null_over_plain".to_owned(),
+                    null / plain,
+                );
+                rates.insert(
+                    "telemetry_overhead/jsonl_over_null".to_owned(),
+                    jsonl / null,
+                );
+            }
+        }
     }
     // Thread-scaling ratios: a drop below the baseline's ratio means
     // venue sharding stopped paying (flat scaling). The handicap cancels

@@ -1,0 +1,45 @@
+//! `telemetry_check` — CI validator for `--telemetry` JSONL artifacts.
+//!
+//! Reads each file argument, runs
+//! [`xchain_bench::telemetry_check::validate`] over it, and exits
+//! non-zero on the first structurally broken stream: bad or
+//! version-skewed header, unparsable line, progress ids running
+//! backwards, or (unless `--no-venues`) an empty per-venue series. CI
+//! points it at the stream `exp10 --quick --telemetry FILE` wrote, so a
+//! schema drift between the emitters and the consumers fails the build
+//! instead of silently producing unreadable artifacts.
+//!
+//! Usage: `telemetry_check [--no-venues] FILE...`
+
+fn main() {
+    let mut require_venues = true;
+    let mut files: Vec<String> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--no-venues" => require_venues = false,
+            other if other.starts_with("--") => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: telemetry_check [--no-venues] FILE...");
+                std::process::exit(2);
+            }
+            _ => files.push(a),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: telemetry_check [--no-venues] FILE...");
+        std::process::exit(2);
+    }
+    for file in &files {
+        let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+            eprintln!("{file}: cannot read: {e}");
+            std::process::exit(1);
+        });
+        match xchain_bench::telemetry_check::validate(&text, require_venues) {
+            Ok(summary) => println!("{file}: OK — {summary}"),
+            Err(e) => {
+                eprintln!("{file}: INVALID — {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -19,6 +19,11 @@
 //! The [`regression`] module is the CI gate behind `bench --check`: a
 //! committed `BENCH_baseline.json` of rate metrics, a tolerant parser for
 //! it, and the comparison that fails the build when a rate regresses
-//! beyond tolerance.
+//! beyond tolerance. The [`telemetry_check`] module (and the
+//! `telemetry_check` binary) is the companion gate for the `--telemetry`
+//! JSONL artifacts the experiment binaries write: CI validates the
+//! stream's schema version, progress-id monotonicity and per-venue
+//! series so emitters and consumers cannot silently drift apart.
 
 pub mod regression;
+pub mod telemetry_check;

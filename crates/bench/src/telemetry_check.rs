@@ -1,0 +1,172 @@
+//! Validator for the `--telemetry` JSONL artifacts the experiment
+//! binaries write.
+//!
+//! CI runs the `telemetry_check` binary over the stream produced by
+//! `exp10 --quick --telemetry FILE` and fails the build when the
+//! artifact is structurally broken: a missing or version-skewed header,
+//! progress ids (`epoch` / `cell`) that run backwards, or an empty
+//! per-venue series. The checks are deliberately structural — they
+//! assert the *shape* every downstream consumer relies on, not the
+//! measured values, so the gate never flakes on timing noise.
+
+use std::fmt;
+
+/// What a valid stream contained, for the one-line CLI summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TelemetrySummary {
+    /// Events after the header line.
+    pub events: usize,
+    /// Campaign `epoch` progress events.
+    pub epochs: usize,
+    /// Grid `cell` progress events.
+    pub cells: usize,
+    /// Per-venue series points (`venue` + `venue_des` events).
+    pub venue_points: usize,
+}
+
+impl fmt::Display for TelemetrySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} events ({} epochs, {} cells, {} venue points)",
+            self.events, self.epochs, self.cells, self.venue_points
+        )
+    }
+}
+
+/// Validates one telemetry JSONL stream.
+///
+/// Always checked: the header parses with the supported schema version
+/// (delegated to [`telemetry::parse_jsonl`]), every line parses, at
+/// least one `epoch` or `cell` progress event exists, `epoch` ids are
+/// strictly increasing, `cell` ids are non-decreasing (cross-protocol
+/// sweeps emit one event per protocol within the same cell), and every
+/// venue event carries a venue id. With `require_venues`, the stream
+/// must also contain a non-empty per-venue series — true of every
+/// open-system artifact; pass `false` for closed-campaign streams,
+/// which have no liquidity book to sample.
+pub fn validate(text: &str, require_venues: bool) -> Result<TelemetrySummary, String> {
+    let events = telemetry::parse_jsonl(text)?;
+    let mut summary = TelemetrySummary {
+        events: events.len(),
+        ..TelemetrySummary::default()
+    };
+    let mut last_epoch: Option<u64> = None;
+    let mut last_cell: Option<u64> = None;
+    for (i, e) in events.iter().enumerate() {
+        // Lines are 1-based and the header is line 1.
+        let line = i + 2;
+        match e.kind() {
+            "epoch" => {
+                let id = e
+                    .u64_field("epoch")
+                    .ok_or(format!("line {line}: epoch event without epoch id"))?;
+                if let Some(prev) = last_epoch {
+                    if id <= prev {
+                        return Err(format!(
+                            "line {line}: epoch id {id} not strictly increasing (after {prev})"
+                        ));
+                    }
+                }
+                last_epoch = Some(id);
+                summary.epochs += 1;
+            }
+            "cell" => {
+                let id = e
+                    .u64_field("cell")
+                    .ok_or(format!("line {line}: cell event without cell id"))?;
+                if let Some(prev) = last_cell {
+                    if id < prev {
+                        return Err(format!(
+                            "line {line}: cell id {id} ran backwards (after {prev})"
+                        ));
+                    }
+                }
+                last_cell = Some(id);
+                summary.cells += 1;
+            }
+            "venue" | "venue_des" => {
+                e.u64_field("venue")
+                    .ok_or_else(|| format!("line {line}: {} event without venue id", e.kind()))?;
+                summary.venue_points += 1;
+            }
+            _ => {}
+        }
+    }
+    if summary.epochs == 0 && summary.cells == 0 {
+        return Err("no epoch or cell progress events in stream".to_owned());
+    }
+    if require_venues && summary.venue_points == 0 {
+        return Err("no per-venue series in stream (expected venue/venue_des events)".to_owned());
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::Event;
+
+    fn stream(events: &[Event]) -> String {
+        let mut text = Event::header().to_json();
+        text.push('\n');
+        for e in events {
+            text.push_str(&e.to_json());
+            text.push('\n');
+        }
+        text
+    }
+
+    fn epoch(id: u64) -> Event {
+        Event::new("epoch").with_u64("epoch", id)
+    }
+
+    fn cell(id: u64) -> Event {
+        Event::new("cell").with_u64("cell", id)
+    }
+
+    fn venue(id: u64) -> Event {
+        Event::new("venue")
+            .with_u64("venue", id)
+            .with_i64("locked", 0)
+    }
+
+    #[test]
+    fn accepts_well_formed_open_stream() {
+        let text = stream(&[cell(1), venue(0), venue(1), cell(2), venue(0)]);
+        let s = validate(&text, true).unwrap();
+        assert_eq!(s.cells, 2);
+        assert_eq!(s.venue_points, 3);
+    }
+
+    #[test]
+    fn accepts_equal_cell_ids_but_not_backwards() {
+        let ok = stream(&[cell(1), cell(1), cell(2)]);
+        assert!(validate(&ok, false).is_ok());
+        let bad = stream(&[cell(2), cell(1)]);
+        assert!(validate(&bad, false).unwrap_err().contains("backwards"));
+    }
+
+    #[test]
+    fn rejects_non_increasing_epochs() {
+        let bad = stream(&[epoch(0), epoch(0)]);
+        assert!(validate(&bad, false)
+            .unwrap_err()
+            .contains("strictly increasing"));
+    }
+
+    #[test]
+    fn rejects_missing_venue_series_when_required() {
+        let text = stream(&[epoch(0), epoch(1)]);
+        assert!(validate(&text, false).is_ok());
+        assert!(validate(&text, true).unwrap_err().contains("venue"));
+    }
+
+    #[test]
+    fn rejects_missing_progress_and_bad_header() {
+        let empty = stream(&[venue(0)]);
+        assert!(validate(&empty, true).unwrap_err().contains("progress"));
+        assert!(validate("", true).is_err());
+        assert!(validate("{\"kind\":\"cell\",\"cell\":1}\n", true).is_err());
+    }
+}

@@ -54,7 +54,7 @@ pub use harness::{
 };
 pub use htlc::HtlcHarness;
 pub use interledger::InterledgerHarness;
-pub use liquidity::{AdmissionPolicy, LiquidityBook, LiquidityConfig};
+pub use liquidity::{AdmissionPolicy, LiquidityBook, LiquidityConfig, VenueSample};
 pub use outcome::{LockProfile, ProtocolOutcome};
 pub use timebounded::TimeBoundedHarness;
 pub use workload::{ArrivalProcess, PaymentSpec, TopologyFamily, WorkloadConfig};

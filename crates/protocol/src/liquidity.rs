@@ -28,6 +28,57 @@
 
 use anta::time::{SimDuration, SimTime};
 use payment::VenueId;
+use telemetry::{Event, TelemetrySink};
+
+/// One venue's account state at a sampling instant — the unit of the
+/// telemetry venue series the campaign layer emits on epoch boundaries.
+///
+/// `utilization_ppm` is **peak-based** (the venue's highest audited
+/// locked value against its budget, in parts per million): the book
+/// tracks the time-integral of locked value only network-wide, so the
+/// per-venue series reports the peak, which is exact per venue and
+/// deterministic. `None` when the book is unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VenueSample {
+    /// The venue this sample describes.
+    pub venue: VenueId,
+    /// Currently locked value (0 once drained).
+    pub locked: i64,
+    /// Currently reserved collateral (0 once drained).
+    pub reserved: u64,
+    /// Highest audited locked value the venue ever held.
+    pub peak_locked: u64,
+    /// Highest reservation level the venue ever held.
+    pub peak_reserved: u64,
+    /// `peak_locked / budget` in ppm; `None` for an unbounded book.
+    pub utilization_ppm: Option<u64>,
+    /// True when the venue holds no locked value and no reservations.
+    pub drained: bool,
+}
+
+impl VenueSample {
+    /// Renders the sample as one `venue` telemetry event, with the
+    /// caller's `scope` fields (e.g. the epoch index) prepended so
+    /// consumers can stitch per-epoch samples into a time series. The
+    /// `utilization_ppm` field is omitted when the book is unbounded.
+    pub fn to_event(&self, scope: &[(&str, u64)]) -> Event {
+        let mut e = Event::new("venue");
+        for (k, v) in scope {
+            e = e.with_u64(k, *v);
+        }
+        e = e
+            .with_u64("venue", self.venue as u64)
+            .with_i64("locked", self.locked)
+            .with_u64("reserved", self.reserved)
+            .with_u64("peak_locked", self.peak_locked)
+            .with_u64("peak_reserved", self.peak_reserved)
+            .with_bool("drained", self.drained);
+        if let Some(util) = self.utilization_ppm {
+            e = e.with_u64("utilization_ppm", util);
+        }
+        e
+    }
+}
 
 /// What the admission controller does when a payment's collateral demand
 /// does not fit its route's venues.
@@ -301,6 +352,39 @@ impl LiquidityBook {
         Some((self.locked_integral.saturating_mul(1_000_000) / capacity) as u64)
     }
 
+    /// Snapshots every venue's account, in venue-id order — fully
+    /// deterministic, since the book's state is (see
+    /// [`LiquidityBook::merge`]). This is the sampling API the campaign
+    /// layer reads on epoch boundaries to build per-venue utilization
+    /// and drain time-series.
+    pub fn venue_samples(&self) -> Vec<VenueSample> {
+        (0..self.venues())
+            .map(|i| {
+                let peak_locked = self.peak_locked[i].max(0) as u64;
+                VenueSample {
+                    venue: i as VenueId,
+                    locked: self.locked[i],
+                    reserved: self.reserved[i],
+                    peak_locked,
+                    peak_reserved: self.peak_reserved[i],
+                    utilization_ppm: (self.bounded && self.budget > 0)
+                        .then(|| ((peak_locked as u128 * 1_000_000) / self.budget as u128) as u64),
+                    drained: self.locked[i] == 0 && self.reserved[i] == 0,
+                }
+            })
+            .collect()
+    }
+
+    /// Emits one `venue` telemetry event per venue (in venue-id order)
+    /// carrying the [`VenueSample`] fields; `scope` fields (e.g. the
+    /// epoch index) are prepended to every event so consumers can stitch
+    /// the per-epoch samples into a time series.
+    pub fn emit_venue_series(&self, scope: &[(&str, u64)], sink: &mut dyn TelemetrySink) {
+        for s in self.venue_samples() {
+            sink.emit(&s.to_event(scope));
+        }
+    }
+
     /// Convenience: would this route+demand pair be admitted right now,
     /// and if so, reserve it — a test-visible single-step admission.
     pub fn try_admit(&mut self, demand: &[(VenueId, u64)]) -> bool {
@@ -490,6 +574,38 @@ mod tests {
         assert_eq!(root.violations(), 1);
         assert_eq!(root.peak_locked_venue(), 80);
         assert!(root.drained());
+    }
+
+    #[test]
+    fn venue_samples_track_peaks_utilization_and_drain() {
+        let mut book = LiquidityBook::new(&LiquidityConfig::reject(100), 2);
+        assert!(book.try_admit(&[(0, 60)]));
+        book.apply_lock(t(0), 0, 60);
+        book.apply_lock(t(8), 0, -60);
+        book.unreserve(0, 60);
+        let samples = book.venue_samples();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].venue, 0);
+        assert_eq!(samples[0].peak_locked, 60);
+        assert_eq!(samples[0].peak_reserved, 60);
+        assert_eq!(samples[0].utilization_ppm, Some(600_000));
+        assert!(samples[0].drained);
+        assert_eq!(samples[1].peak_locked, 0);
+        assert!(samples[1].drained);
+
+        // The event series mirrors the samples, scoped by epoch.
+        let mut ring = telemetry::RingSink::new(8);
+        book.emit_venue_series(&[("epoch", 4)], &mut ring);
+        assert_eq!(ring.len(), 2);
+        let first = ring.events().next().unwrap();
+        assert_eq!(first.kind(), "venue");
+        assert_eq!(first.u64_field("epoch"), Some(4));
+        assert_eq!(first.u64_field("peak_locked"), Some(60));
+        assert_eq!(first.bool_field("drained"), Some(true));
+
+        // An unbounded book has no utilization to report.
+        let free = LiquidityBook::new(&LiquidityConfig::UNBOUNDED, 1);
+        assert_eq!(free.venue_samples()[0].utilization_ppm, None);
     }
 
     #[test]

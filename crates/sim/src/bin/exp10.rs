@@ -48,7 +48,7 @@
 
 use anta::time::SimDuration;
 use experiments::table::{check, Table};
-use sim::campaign::{peak_rss_mb, CampaignConfig, CampaignRunner};
+use sim::campaign::{peak_rss_mb, telemetry_sink, CampaignConfig, CampaignRunner};
 use sim::prelude::*;
 use std::time::Instant;
 
@@ -74,6 +74,10 @@ struct Args {
     stop_after_epoch: Option<u64>,
     /// Fail the process if peak RSS exceeds this many MiB (campaign mode).
     max_rss_mb: Option<u64>,
+    /// Telemetry JSONL file (empty ⇒ NullSink).
+    telemetry: String,
+    /// Emit campaign telemetry every N epochs.
+    telemetry_interval: u64,
 }
 
 fn parse_args() -> Args {
@@ -90,6 +94,8 @@ fn parse_args() -> Args {
         resume: String::new(),
         stop_after_epoch: None,
         max_rss_mb: None,
+        telemetry: String::new(),
+        telemetry_interval: 1,
     };
     let mut it = std::env::args().skip(1);
     let need = |flag: &str, it: &mut dyn Iterator<Item = String>| -> String {
@@ -121,11 +127,18 @@ fn parse_args() -> Args {
             "--max-rss-mb" => {
                 args.max_rss_mb = Some(need("--max-rss-mb", &mut it).parse().expect("MiB limit"))
             }
+            "--telemetry" => args.telemetry = need("--telemetry", &mut it),
+            "--telemetry-interval" => {
+                args.telemetry_interval = need("--telemetry-interval", &mut it)
+                    .parse()
+                    .expect("interval")
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: exp10 [--quick] [--threads N] [--seed S] [--payments N]\n\
-                     \x20             [--json FILE | --out DIR]\n\
+                     \x20             [--json FILE | --out DIR] [--telemetry FILE] \
+                     [--telemetry-interval N]\n\
                      campaign mode: exp10 --campaign N [--epoch M] [--budget B] [--resume CKPT]\n\
                      \x20              [--stop-after-epoch K] [--max-rss-mb M] [--json FILE]"
                 );
@@ -168,23 +181,38 @@ fn run_campaign(args: &Args) {
             cfg.epochs()
         );
     }
+    let mut sink = telemetry_sink(&args.telemetry).unwrap_or_else(|e| {
+        eprintln!("cannot open --telemetry {}: {e}", args.telemetry);
+        std::process::exit(1);
+    });
+    let mut last_rss = None;
     runner
-        .run_to_end(ckpt.as_deref(), args.stop_after_epoch, |e| {
-            eprintln!("epoch {}/{} done ({} rows)", e.epoch + 1, e.epochs, e.rows)
-        })
+        .run_to_end_with_telemetry(
+            ckpt.as_deref(),
+            args.stop_after_epoch,
+            sink.as_mut(),
+            args.telemetry_interval,
+            |e| {
+                last_rss = e.peak_rss_mb;
+                eprintln!("{}", e.progress_line());
+            },
+        )
         .unwrap_or_else(|e| {
             eprintln!("checkpoint write failed: {e}");
             std::process::exit(1);
         });
     let report = runner.report();
     print!("{}", report.render());
-    let rss = peak_rss_mb();
+    let rss = last_rss.or_else(peak_rss_mb);
     if !args.json.is_empty() {
-        let extra = [(
-            "peak_rss_mb",
-            rss.map(|m| m.to_string())
-                .unwrap_or_else(|| "null".to_owned()),
-        )];
+        let extra = [
+            (
+                "peak_rss_mb",
+                rss.map(|m| m.to_string())
+                    .unwrap_or_else(|| "null".to_owned()),
+            ),
+            ("phase_ms", runner.profile().to_json_object()),
+        ];
         if let Some(dir) = std::path::Path::new(&args.json).parent() {
             if !dir.as_os_str().is_empty() {
                 std::fs::create_dir_all(dir).expect("create --json directory");
@@ -296,6 +324,11 @@ fn main() {
     );
 
     let t_all = Instant::now();
+    let mut sink = telemetry_sink(&args.telemetry).unwrap_or_else(|e| {
+        eprintln!("cannot open --telemetry {}: {e}", args.telemetry);
+        std::process::exit(1);
+    });
+    let mut cell_id = 0u64;
     let mut cells: Vec<Cell> = Vec::new();
     let mut tb_colviol = 0usize;
     let mut tb_undrained = 0usize;
@@ -325,17 +358,44 @@ fn main() {
                     lock_profile: false,
                     ..SimConfig::new(workload)
                 };
-                let open = match protocol {
-                    "timebounded" => sim::run_open_with(&TimeBoundedHarness, &cfg, liq),
-                    "htlc" => sim::run_open_with(&HtlcHarness, &cfg, liq),
-                    "ilp-untuned" => sim::run_open_with(&InterledgerHarness::untuned(), &cfg, liq),
-                    "ilp-atomic" => sim::run_open_with(&InterledgerHarness::atomic(), &cfg, liq),
-                    "deals" => sim::run_open_with(&DealsHarness, &cfg, liq),
+                let (open, ot) = match protocol {
+                    "timebounded" => sim::run_open_with_telemetry(&TimeBoundedHarness, &cfg, liq),
+                    "htlc" => sim::run_open_with_telemetry(&HtlcHarness, &cfg, liq),
+                    "ilp-untuned" => {
+                        sim::run_open_with_telemetry(&InterledgerHarness::untuned(), &cfg, liq)
+                    }
+                    "ilp-atomic" => {
+                        sim::run_open_with_telemetry(&InterledgerHarness::atomic(), &cfg, liq)
+                    }
+                    "deals" => sim::run_open_with_telemetry(&DealsHarness, &cfg, liq),
                     _ => unreachable!(),
                 };
                 let f = open.sim.families.first().expect("one family per cell");
                 let l = &open.liquidity;
                 total_instances += open.sim.instances;
+
+                cell_id += 1;
+                let mut cell_event = telemetry::Event::new("cell")
+                    .with_u64("cell", cell_id)
+                    .with_str("protocol", protocol)
+                    .with_str("policy", liq.policy.label())
+                    .with_u64("offered_per_sec", offered_per_sec)
+                    .with_u64("offered", l.offered as u64)
+                    .with_u64("admitted", l.admitted as u64)
+                    .with_u64("rejected", l.rejected as u64)
+                    .with_u64("queued", l.queued as u64)
+                    .with_u64("success", f.success.hits as u64)
+                    .with_u64("violations", open.sim.violations as u64)
+                    .with_u64("budget_violations", l.budget_violations as u64)
+                    .with_bool("drained", l.drained)
+                    .with_f64("goodput_per_sec", l.goodput_per_sec());
+                // Unbounded budgets are u64::MAX internally — omit the
+                // field rather than emit a sentinel.
+                if liq.budget != u64::MAX {
+                    cell_event = cell_event.with_u64("budget", liq.budget);
+                }
+                sink.emit(&cell_event);
+                ot.emit(&[("cell", cell_id)], sink.as_mut());
 
                 // The monotonicity gate runs on the Reject frontier: with
                 // fixed collateral and no patience, raising the offered
@@ -411,6 +471,10 @@ fn main() {
                 });
             }
         }
+    }
+
+    if let Err(e) = sink.flush() {
+        eprintln!("telemetry flush failed: {e}");
     }
 
     println!("{}", table.render());

@@ -22,7 +22,7 @@
 use anta::net::NetFaults;
 use anta::time::SimDuration;
 use experiments::table::{check, Table};
-use sim::campaign::{peak_rss_mb, CampaignConfig, CampaignRunner};
+use sim::campaign::{peak_rss_mb, telemetry_sink, CampaignConfig, CampaignRunner};
 use sim::prelude::*;
 use std::time::Instant;
 
@@ -46,6 +46,10 @@ struct Args {
     stop_after_epoch: Option<u64>,
     /// Fail the process if peak RSS exceeds this many MiB (campaign mode).
     max_rss_mb: Option<u64>,
+    /// JSONL telemetry file (empty ⇒ no telemetry).
+    telemetry: String,
+    /// Emit campaign epoch events every N epochs.
+    telemetry_interval: u64,
 }
 
 fn parse_args() -> Args {
@@ -61,6 +65,8 @@ fn parse_args() -> Args {
         resume: String::new(),
         stop_after_epoch: None,
         max_rss_mb: None,
+        telemetry: String::new(),
+        telemetry_interval: 1,
     };
     let mut it = std::env::args().skip(1);
     let need = |flag: &str, it: &mut dyn Iterator<Item = String>| -> String {
@@ -91,10 +97,17 @@ fn parse_args() -> Args {
             "--max-rss-mb" => {
                 args.max_rss_mb = Some(need("--max-rss-mb", &mut it).parse().expect("MiB limit"))
             }
+            "--telemetry" => args.telemetry = need("--telemetry", &mut it),
+            "--telemetry-interval" => {
+                args.telemetry_interval = need("--telemetry-interval", &mut it)
+                    .parse()
+                    .expect("epoch interval")
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: exp8 [--quick] [--threads N] [--seed S] [--payments N] [--json FILE]\n\
+                     \x20      [--telemetry FILE] [--telemetry-interval N]\n\
                      campaign mode: exp8 --campaign N [--epoch M] [--family F] [--resume CKPT]\n\
                      \x20              [--stop-after-epoch K] [--max-rss-mb M] [--json FILE]"
                 );
@@ -143,17 +156,23 @@ fn run_campaign(args: &Args) {
             cfg.epochs()
         );
     }
+    let mut sink = telemetry_sink(&args.telemetry).unwrap_or_else(|e| {
+        eprintln!("cannot open --telemetry {}: {e}", args.telemetry);
+        std::process::exit(1);
+    });
     let t0 = Instant::now();
+    let mut last_rss = None;
     runner
-        .run_to_end(ckpt.as_deref(), args.stop_after_epoch, |e| {
-            eprintln!(
-                "epoch {}/{} done ({} rows, {} total)",
-                e.epoch + 1,
-                e.epochs,
-                e.rows,
-                e.total_rows
-            )
-        })
+        .run_to_end_with_telemetry(
+            ckpt.as_deref(),
+            args.stop_after_epoch,
+            sink.as_mut(),
+            args.telemetry_interval,
+            |e| {
+                last_rss = e.peak_rss_mb;
+                eprintln!("{}", e.progress_line());
+            },
+        )
         .unwrap_or_else(|e| {
             eprintln!("checkpoint write failed: {e}");
             std::process::exit(1);
@@ -161,7 +180,7 @@ fn run_campaign(args: &Args) {
     let wall = t0.elapsed();
     let report = runner.report();
     print!("{}", report.render());
-    let rss = peak_rss_mb();
+    let rss = last_rss.or_else(peak_rss_mb);
     println!(
         "wall: {:.2} s ({:.0} pay/s)  peak RSS: {}",
         wall.as_secs_f64(),
@@ -170,11 +189,14 @@ fn run_campaign(args: &Args) {
             .unwrap_or_else(|| "n/a".to_owned())
     );
     if !args.json.is_empty() {
-        let extra = [(
-            "peak_rss_mb",
-            rss.map(|m| m.to_string())
-                .unwrap_or_else(|| "null".to_owned()),
-        )];
+        let extra = [
+            (
+                "peak_rss_mb",
+                rss.map(|m| m.to_string())
+                    .unwrap_or_else(|| "null".to_owned()),
+            ),
+            ("phase_ms", runner.profile().to_json_object()),
+        ];
         write_json_file(&args.json, &report.to_json("exp8", &extra));
         println!("{}", args.json);
     }
@@ -280,6 +302,10 @@ fn main() {
     );
 
     let t_all = Instant::now();
+    let mut sink = telemetry_sink(&args.telemetry).unwrap_or_else(|e| {
+        eprintln!("cannot open --telemetry {}: {e}", args.telemetry);
+        std::process::exit(1);
+    });
     let mut total_instances = 0usize;
     let mut total_violations = 0usize;
     let mut cell = 0u64;
@@ -315,6 +341,23 @@ fn main() {
                     stuck: f.stuck,
                     violations: f.violations,
                 });
+                sink.emit(
+                    &telemetry::Event::new("cell")
+                        .with_u64("cell", cell)
+                        .with_str("family", f.family)
+                        .with_u64("rho_ppm", rho)
+                        .with_str("faults", flabel)
+                        .with_u64("payments", f.instances as u64)
+                        .with_u64("success", f.success.hits as u64)
+                        .with_u64("refunds", f.refunds as u64)
+                        .with_u64("stuck", f.stuck as u64)
+                        .with_u64("violations", f.violations as u64)
+                        .with_f64("wall_s", wall.as_secs_f64())
+                        .with_f64(
+                            "payments_per_sec",
+                            report.instances as f64 / wall.as_secs_f64().max(1e-9),
+                        ),
+                );
                 let packets = match f.packets {
                     None => "-".to_owned(),
                     Some(p) => format!("{}/{}/{}", p.complete, p.partial, p.total),
@@ -350,6 +393,10 @@ fn main() {
                 ]);
             }
         }
+    }
+
+    if let Err(e) = sink.flush() {
+        eprintln!("telemetry flush failed: {e}");
     }
 
     println!("{}", table.render());

@@ -32,7 +32,7 @@
 use anta::net::NetFaults;
 use anta::time::SimDuration;
 use experiments::table::{check, Table};
-use sim::campaign::{peak_rss_mb, CampaignConfig, CampaignRunner};
+use sim::campaign::{peak_rss_mb, telemetry_sink, CampaignConfig, CampaignRunner};
 use sim::prelude::*;
 use std::time::Instant;
 
@@ -56,6 +56,10 @@ struct Args {
     resume: String,
     /// Exit cleanly once this epoch index completes (campaign mode).
     stop_after_epoch: Option<u64>,
+    /// Telemetry JSONL file (empty ⇒ NullSink).
+    telemetry: String,
+    /// Emit campaign telemetry every N epochs.
+    telemetry_interval: u64,
 }
 
 fn parse_args() -> Args {
@@ -71,6 +75,8 @@ fn parse_args() -> Args {
         protocol: "timebounded".to_owned(),
         resume: String::new(),
         stop_after_epoch: None,
+        telemetry: String::new(),
+        telemetry_interval: 1,
     };
     let mut it = std::env::args().skip(1);
     let need = |flag: &str, it: &mut dyn Iterator<Item = String>| -> String {
@@ -99,10 +105,17 @@ fn parse_args() -> Args {
                         .expect("epoch index"),
                 )
             }
+            "--telemetry" => args.telemetry = need("--telemetry", &mut it),
+            "--telemetry-interval" => {
+                args.telemetry_interval = need("--telemetry-interval", &mut it)
+                    .parse()
+                    .expect("interval")
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: exp9 [--quick] [--threads N] [--seed S] [--payments N] [--json FILE]\n\
+                     \x20      [--telemetry FILE] [--telemetry-interval N]\n\
                      campaign mode: exp9 --campaign N --protocol P [--epoch M] [--family F]\n\
                      \x20              [--resume CKPT] [--stop-after-epoch K] [--json FILE]"
                 );
@@ -160,10 +173,22 @@ fn run_campaign_with<H: ProtocolHarness>(harness: H, args: &Args) {
             cfg.epochs()
         );
     }
+    let mut sink = telemetry_sink(&args.telemetry).unwrap_or_else(|e| {
+        eprintln!("cannot open --telemetry {}: {e}", args.telemetry);
+        std::process::exit(1);
+    });
+    let mut last_rss = None;
     runner
-        .run_to_end(ckpt.as_deref(), args.stop_after_epoch, |e| {
-            eprintln!("epoch {}/{} done ({} rows)", e.epoch + 1, e.epochs, e.rows)
-        })
+        .run_to_end_with_telemetry(
+            ckpt.as_deref(),
+            args.stop_after_epoch,
+            sink.as_mut(),
+            args.telemetry_interval,
+            |e| {
+                last_rss = e.peak_rss_mb;
+                eprintln!("{}", e.progress_line());
+            },
+        )
         .unwrap_or_else(|e| {
             eprintln!("checkpoint write failed: {e}");
             std::process::exit(1);
@@ -171,12 +196,15 @@ fn run_campaign_with<H: ProtocolHarness>(harness: H, args: &Args) {
     let report = runner.report();
     print!("{}", report.render());
     if !args.json.is_empty() {
-        let rss = peak_rss_mb();
-        let extra = [(
-            "peak_rss_mb",
-            rss.map(|m| m.to_string())
-                .unwrap_or_else(|| "null".to_owned()),
-        )];
+        let rss = last_rss.or_else(peak_rss_mb);
+        let extra = [
+            (
+                "peak_rss_mb",
+                rss.map(|m| m.to_string())
+                    .unwrap_or_else(|| "null".to_owned()),
+            ),
+            ("phase_ms", runner.profile().to_json_object()),
+        ];
         if let Some(dir) = std::path::Path::new(&args.json).parent() {
             if !dir.as_os_str().is_empty() {
                 std::fs::create_dir_all(dir).expect("create --json directory");
@@ -306,6 +334,10 @@ fn main() {
     );
 
     let t_all = Instant::now();
+    let mut sink = telemetry_sink(&args.telemetry).unwrap_or_else(|e| {
+        eprintln!("cannot open --telemetry {}: {e}", args.telemetry);
+        std::process::exit(1);
+    });
     let mut tb = ProtocolTally::default();
     let mut htlc = ProtocolTally::default();
     let mut untuned = ProtocolTally::default();
@@ -336,53 +368,69 @@ fn main() {
                 // Each protocol's report for the identical cell. The
                 // closure keeps row formatting and tallying uniform
                 // without erasing the harness types.
-                let mut row =
-                    |name: &str, tally: &mut ProtocolTally, report: SimReport, wall: f64| {
-                        let f = report.families.first().expect("one family per cell");
-                        json_cells.push(JsonCell {
-                            protocol: name.to_owned(),
-                            family: f.family.to_owned(),
-                            rho,
-                            faults: flabel.to_owned(),
-                            payments: f.instances,
-                            success: f.success.hits,
-                            griefed: f.griefed,
-                            violations: f.violations,
-                        });
-                        tally.instances += report.instances;
-                        tally.violations += report.violations;
-                        tally.griefed += report.griefed;
-                        if faulty_cell {
-                            tally.faulty_cell_violations += report.violations;
-                        }
-                        total_instances += report.instances;
-                        let lat = match &f.latency {
-                            None => "-".to_owned(),
-                            Some(s) => format!(
-                                "{:.1}/{:.1}",
-                                s.p50 as f64 / 1_000.0,
-                                s.p99 as f64 / 1_000.0
-                            ),
-                        };
-                        table.push(&[
-                            name.to_owned(),
-                            f.family.to_owned(),
-                            rho.to_string(),
-                            flabel.to_owned(),
-                            f.instances.to_string(),
-                            f.success.render(),
-                            f.griefed.to_string(),
-                            f.refunds.to_string(),
-                            f.stuck.to_string(),
-                            f.violations.to_string(),
-                            lat,
-                            f.peak_locked
-                                .as_ref()
-                                .map(|s| s.p99.to_string())
-                                .unwrap_or_else(|| "-".to_owned()),
-                            format!("{:.0}", report.instances as f64 / wall.max(1e-9)),
-                        ]);
+                let mut row = |name: &str,
+                               tally: &mut ProtocolTally,
+                               report: SimReport,
+                               wall: f64| {
+                    let f = report.families.first().expect("one family per cell");
+                    json_cells.push(JsonCell {
+                        protocol: name.to_owned(),
+                        family: f.family.to_owned(),
+                        rho,
+                        faults: flabel.to_owned(),
+                        payments: f.instances,
+                        success: f.success.hits,
+                        griefed: f.griefed,
+                        violations: f.violations,
+                    });
+                    sink.emit(
+                        &telemetry::Event::new("cell")
+                            .with_u64("cell", cell)
+                            .with_str("protocol", name)
+                            .with_str("family", f.family)
+                            .with_u64("rho_ppm", rho)
+                            .with_str("faults", flabel)
+                            .with_u64("payments", f.instances as u64)
+                            .with_u64("success", f.success.hits as u64)
+                            .with_u64("griefed", f.griefed as u64)
+                            .with_u64("violations", f.violations as u64)
+                            .with_f64("wall_s", wall)
+                            .with_f64("payments_per_sec", report.instances as f64 / wall.max(1e-9)),
+                    );
+                    tally.instances += report.instances;
+                    tally.violations += report.violations;
+                    tally.griefed += report.griefed;
+                    if faulty_cell {
+                        tally.faulty_cell_violations += report.violations;
+                    }
+                    total_instances += report.instances;
+                    let lat = match &f.latency {
+                        None => "-".to_owned(),
+                        Some(s) => format!(
+                            "{:.1}/{:.1}",
+                            s.p50 as f64 / 1_000.0,
+                            s.p99 as f64 / 1_000.0
+                        ),
                     };
+                    table.push(&[
+                        name.to_owned(),
+                        f.family.to_owned(),
+                        rho.to_string(),
+                        flabel.to_owned(),
+                        f.instances.to_string(),
+                        f.success.render(),
+                        f.griefed.to_string(),
+                        f.refunds.to_string(),
+                        f.stuck.to_string(),
+                        f.violations.to_string(),
+                        lat,
+                        f.peak_locked
+                            .as_ref()
+                            .map(|s| s.p99.to_string())
+                            .unwrap_or_else(|| "-".to_owned()),
+                        format!("{:.0}", report.instances as f64 / wall.max(1e-9)),
+                    ]);
+                };
 
                 let (r, w) = run_protocol_cell(&TimeBoundedHarness, &specs, &cfg);
                 row("timebounded", &mut tb, r, w);
@@ -398,6 +446,10 @@ fn main() {
                 row("deals", &mut deals, r, w);
             }
         }
+    }
+
+    if let Err(e) = sink.flush() {
+        eprintln!("telemetry flush failed: {e}");
     }
 
     println!("{}", table.render());

@@ -56,7 +56,7 @@
 
 use crate::des;
 use crate::faults::FaultPlan;
-use crate::metrics::{InstanceOutcome, InstanceResult};
+use crate::metrics::{InstanceOutcome, InstanceResult, OpenTelemetry};
 use crate::runner::{run_instance_isolated, SimConfig};
 use crate::sketch::MergeableSketch;
 use crate::workload::{self, PaymentSpec, WorkloadConfig};
@@ -68,6 +68,7 @@ use protocol::liquidity::LiquidityConfig;
 use std::fs;
 use std::io;
 use std::path::Path;
+use telemetry::{MetricsRegistry, NullSink, PhaseProfile, TelemetrySink};
 
 /// Checkpoint schema version; bumped on any wire-format change.
 pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
@@ -360,12 +361,27 @@ impl CampaignTally {
     /// Latency summary view (sketch-backed: `p50`/`p99` within the
     /// documented 1/64 overshoot, the rest exact).
     pub fn latency_summary(&self) -> Option<Summary> {
-        self.latency.summary()
+        self.latency.summary().map(summary_from_sketch)
     }
 
     /// Peak-locked summary view (same sketch guarantees).
     pub fn peak_locked_summary(&self) -> Option<Summary> {
-        self.peak_locked.summary()
+        self.peak_locked.summary().map(summary_from_sketch)
+    }
+}
+
+/// Bridges the telemetry crate's sketch summary into the workspace's
+/// exact-stats [`Summary`] shape, field for field (`stddev` reads 0; the
+/// sketch does not track second moments).
+fn summary_from_sketch(s: telemetry::SketchSummary) -> Summary {
+    Summary {
+        n: s.n,
+        min: s.min,
+        max: s.max,
+        mean: s.mean,
+        stddev: s.stddev,
+        p50: s.p50,
+        p99: s.p99,
     }
 }
 
@@ -380,6 +396,106 @@ pub struct EpochSummary {
     pub rows: u64,
     /// Cumulative rows simulated so far.
     pub total_rows: u64,
+}
+
+/// Everything one completed epoch reports: progress, throughput,
+/// cumulative outcome counters, peak memory and the ETA. This is the
+/// payload of the `epoch` telemetry event and of the standardized
+/// [`progress_line`] every exp binary prints. The wall-clock and memory
+/// fields are observability-only — they never reach a checkpoint, a
+/// report digest or any other digest preimage.
+///
+/// [`progress_line`]: EpochEvent::progress_line
+#[derive(Debug, Clone, Copy)]
+pub struct EpochEvent {
+    /// The epoch that just completed (0-based).
+    pub epoch: u64,
+    /// Total epochs in the campaign.
+    pub epochs: u64,
+    /// Rows simulated in this epoch.
+    pub rows: u64,
+    /// Cumulative rows simulated so far.
+    pub total_rows: u64,
+    /// Wall-clock seconds this epoch took (step only, checkpoint
+    /// excluded).
+    pub epoch_wall_s: f64,
+    /// This epoch's rows over its wall time (0 when unmeasurable).
+    pub payments_per_sec: f64,
+    /// Cumulative successful payments.
+    pub success: u64,
+    /// Cumulative clean refunds.
+    pub refunds: u64,
+    /// Cumulative stuck instances.
+    pub stuck: u64,
+    /// Cumulative conservation violations.
+    pub violations: u64,
+    /// Cumulative admission rejections.
+    pub rejected: u64,
+    /// Cumulative panic-isolated instances.
+    pub failed: u64,
+    /// Peak RSS of the process so far ([`peak_rss_mb`]; Linux-only,
+    /// `None` elsewhere).
+    pub peak_rss_mb: Option<u64>,
+    /// Estimated seconds to campaign completion, from the mean epoch
+    /// wall time observed so far in this process.
+    pub eta_s: f64,
+}
+
+impl EpochEvent {
+    /// The digest-safe progress subset (the legacy callback payload).
+    pub fn summary(&self) -> EpochSummary {
+        EpochSummary {
+            epoch: self.epoch,
+            epochs: self.epochs,
+            rows: self.rows,
+            total_rows: self.total_rows,
+        }
+    }
+
+    /// The standardized one-line progress render every campaign binary
+    /// prints (to stderr; stdout stays machine-readable):
+    ///
+    /// ```text
+    /// epoch 3/20 — 50000 rows (150000 total) — 81243 payments/s — rss 74 MiB — eta 42s
+    /// ```
+    pub fn progress_line(&self) -> String {
+        let rss = match self.peak_rss_mb {
+            Some(mb) => format!("{mb} MiB"),
+            None => "n/a".to_owned(),
+        };
+        format!(
+            "epoch {}/{} — {} rows ({} total) — {:.0} payments/s — rss {} — eta {:.0}s",
+            self.epoch + 1,
+            self.epochs,
+            self.rows,
+            self.total_rows,
+            self.payments_per_sec,
+            rss,
+            self.eta_s
+        )
+    }
+
+    /// Renders the `epoch` telemetry event.
+    pub fn to_event(&self) -> telemetry::Event {
+        let mut e = telemetry::Event::new("epoch")
+            .with_u64("epoch", self.epoch)
+            .with_u64("epochs", self.epochs)
+            .with_u64("rows", self.rows)
+            .with_u64("total_rows", self.total_rows)
+            .with_f64("epoch_wall_s", self.epoch_wall_s)
+            .with_f64("payments_per_sec", self.payments_per_sec)
+            .with_u64("success", self.success)
+            .with_u64("refunds", self.refunds)
+            .with_u64("stuck", self.stuck)
+            .with_u64("violations", self.violations)
+            .with_u64("rejected", self.rejected)
+            .with_u64("failed", self.failed)
+            .with_f64("eta_s", self.eta_s);
+        if let Some(mb) = self.peak_rss_mb {
+            e = e.with_u64("peak_rss_mb", mb);
+        }
+        e
+    }
 }
 
 /// The runner: steps a campaign epoch by epoch, checkpointing after each
@@ -404,6 +520,16 @@ pub struct CampaignRunner<H> {
     cfg: CampaignConfig,
     next_epoch: u64,
     tally: CampaignTally,
+    /// Scoped phase timers (generation / simulation / merge / checkpoint).
+    /// Observability-only: never checkpointed, never in any digest.
+    profile: PhaseProfile,
+    /// Metrics registry: per-worker shards merged in chunk order each
+    /// epoch, plus orchestrator-side counters and gauges. Same
+    /// disclaimer as `profile`.
+    registry: MetricsRegistry,
+    /// The last open-system epoch's per-venue telemetry sidecar, for the
+    /// epoch-boundary venue series.
+    last_open: Option<OpenTelemetry>,
 }
 
 impl<H: ProtocolHarness> CampaignRunner<H> {
@@ -426,6 +552,9 @@ impl<H: ProtocolHarness> CampaignRunner<H> {
             cfg,
             next_epoch: 0,
             tally: CampaignTally::new(open),
+            profile: PhaseProfile::new(),
+            registry: MetricsRegistry::new(),
+            last_open: None,
         }
     }
 
@@ -509,34 +638,64 @@ impl<H: ProtocolHarness> CampaignRunner<H> {
         let e = self.next_epoch;
         let wl = self.cfg.epoch_workload(e);
         let sim_cfg = self.cfg.sim_config(wl);
-        let specs = workload::generate(&wl);
+        let specs = {
+            let _t = self.profile.time("generation");
+            workload::generate(&wl)
+        };
         let rows = specs.len() as u64;
         match self.cfg.liquidity {
             None => {
                 // Closed world: per-worker partial tallies over spec
                 // chunks, merged in chunk order (bit-identical across
                 // thread counts — and any order, the merge commutes).
+                // Each worker also fills a per-chunk metrics-registry
+                // shard; those merge in the same chunk order, so the
+                // registry is as thread-count-independent as the tally.
                 let chunks: Vec<&[PaymentSpec]> = specs.chunks(self.cfg.batch.max(1)).collect();
                 let harness = &self.harness;
                 let faults = &self.cfg.faults;
-                let parts: Vec<CampaignTally> = parallel_map(&chunks, self.cfg.threads, |chunk| {
-                    let mut part = CampaignTally::new(false);
-                    let mut queue_high = 0usize;
-                    for spec in *chunk {
-                        let r =
-                            run_instance_isolated(harness, spec, faults, false, &mut queue_high);
-                        part.fold_row(spec, &r);
-                    }
-                    part
-                });
-                for part in parts {
+                let parts: Vec<(CampaignTally, MetricsRegistry)> = {
+                    let _t = self.profile.time("simulation");
+                    parallel_map(&chunks, self.cfg.threads, |chunk| {
+                        let mut part = CampaignTally::new(false);
+                        let mut shard = MetricsRegistry::new();
+                        let mut queue_high = 0usize;
+                        for spec in *chunk {
+                            let r = run_instance_isolated(
+                                harness,
+                                spec,
+                                faults,
+                                false,
+                                &mut queue_high,
+                            );
+                            part.fold_row(spec, &r);
+                        }
+                        shard.counter_add("rows", chunk.len() as u64);
+                        shard.counter_add("engine_events", part.events as u64);
+                        shard.histogram_record("chunk_queue_high", queue_high as u64);
+                        (part, shard)
+                    })
+                };
+                let _t = self.profile.time("merge");
+                let mut shards = Vec::with_capacity(parts.len());
+                for (part, shard) in parts {
                     self.tally.absorb(part);
+                    shards.push(shard);
                 }
+                self.registry
+                    .merge_from(&MetricsRegistry::merge_shards(&shards));
+                self.last_open = None;
             }
             Some(liq) => {
                 // Open system: the sharded DES engine runs the epoch and
-                // the rows + raw waits fold into the carried tally.
-                let raw = des::run_open_specs_raw(&self.harness, &specs, &sim_cfg, &liq);
+                // the rows + raw waits fold into the carried tally; the
+                // per-venue sidecar is kept for the epoch-boundary venue
+                // series.
+                let raw = {
+                    let _t = self.profile.time("simulation");
+                    des::run_open_specs_raw(&self.harness, &specs, &sim_cfg, &liq)
+                };
+                let _t = self.profile.time("merge");
                 for (spec, r) in specs.iter().zip(&raw.results) {
                     self.tally.fold_row(spec, r);
                 }
@@ -545,6 +704,15 @@ impl<H: ProtocolHarness> CampaignRunner<H> {
                     .as_mut()
                     .expect("open campaign has a liquidity tally")
                     .fold_epoch(&raw);
+                self.registry.counter_add("rows", rows);
+                self.registry
+                    .counter_add("admitted", raw.liquidity.admitted as u64);
+                self.registry
+                    .counter_add("rejected", raw.liquidity.rejected as u64);
+                self.last_open = Some(OpenTelemetry {
+                    venues: raw.venues,
+                    venue_events: raw.venue_events,
+                });
             }
         }
         self.next_epoch += 1;
@@ -561,30 +729,124 @@ impl<H: ProtocolHarness> CampaignRunner<H> {
     /// `stop_after_epoch: Some(k)` returns early once epoch index `k` has
     /// completed (0-based) — the programmatic stand-in for a kill between
     /// epochs, used by the resume smoke tests.
+    ///
+    /// Thin adapter over [`run_to_end_with_telemetry`] with a
+    /// [`NullSink`]: the legacy callback API, kept for callers that only
+    /// want the digest-safe [`EpochSummary`].
+    ///
+    /// [`run_to_end_with_telemetry`]: Self::run_to_end_with_telemetry
     pub fn run_to_end<F: FnMut(&EpochSummary)>(
         &mut self,
         checkpoint: Option<&Path>,
         stop_after_epoch: Option<u64>,
         mut progress: F,
     ) -> io::Result<()> {
+        self.run_to_end_with_telemetry(checkpoint, stop_after_epoch, &mut NullSink, 1, |e| {
+            progress(&e.summary())
+        })
+    }
+
+    /// [`run_to_end`](Self::run_to_end) with a telemetry sink attached.
+    ///
+    /// After every epoch the runner builds an [`EpochEvent`] (throughput,
+    /// cumulative outcomes, peak RSS, ETA) and hands it to `progress`;
+    /// every `interval`-th epoch (and always the last) the event — plus,
+    /// for open-system campaigns, the per-venue `venue` / `venue_des`
+    /// series scoped by `epoch` — is emitted into `sink`. When the loop
+    /// ends, the registry snapshot and the `phase_profile` event follow,
+    /// and the sink is flushed.
+    ///
+    /// The sink lives on this (orchestrating) thread only and every event
+    /// is rendered from already-merged state, so any sink — including a
+    /// buffered JSONL file sink — observes the exact same values at any
+    /// thread count, and no sink can change a digest.
+    pub fn run_to_end_with_telemetry<F: FnMut(&EpochEvent)>(
+        &mut self,
+        checkpoint: Option<&Path>,
+        stop_after_epoch: Option<u64>,
+        sink: &mut dyn TelemetrySink,
+        interval: u64,
+        mut progress: F,
+    ) -> io::Result<()> {
+        let interval = interval.max(1);
+        let mut wall_total = 0.0f64;
+        let mut epochs_timed = 0u64;
         while !self.is_done() {
+            let t0 = std::time::Instant::now();
             let summary = self.step();
+            let wall = t0.elapsed().as_secs_f64();
+            wall_total += wall;
+            epochs_timed += 1;
             if let Some(path) = checkpoint {
+                let _t = self.profile.time("checkpoint");
                 self.checkpoint_to(path)?;
             }
-            progress(&summary);
-            if let Some(k) = stop_after_epoch {
-                if summary.epoch >= k {
-                    break;
+            let rss = peak_rss_mb();
+            if let Some(mb) = rss {
+                self.registry.gauge_set("peak_rss_mb", mb as i64);
+            }
+            let remaining = summary.epochs.saturating_sub(summary.epoch + 1);
+            let t = &self.tally;
+            let event = EpochEvent {
+                epoch: summary.epoch,
+                epochs: summary.epochs,
+                rows: summary.rows,
+                total_rows: summary.total_rows,
+                epoch_wall_s: wall,
+                payments_per_sec: if wall > 0.0 {
+                    summary.rows as f64 / wall
+                } else {
+                    0.0
+                },
+                success: t.success,
+                refunds: t.refunds,
+                stuck: t.stuck,
+                violations: t.violations,
+                rejected: t.rejected,
+                failed: t.failed,
+                peak_rss_mb: rss,
+                eta_s: (wall_total / epochs_timed as f64) * remaining as f64,
+            };
+            let stopping = stop_after_epoch.is_some_and(|k| summary.epoch >= k);
+            if (summary.epoch + 1) % interval == 0 || self.is_done() || stopping {
+                sink.emit(&event.to_event());
+                if let Some(open) = &self.last_open {
+                    open.emit(&[("epoch", summary.epoch)], sink);
                 }
             }
+            progress(&event);
+            if stopping {
+                break;
+            }
         }
-        Ok(())
+        for e in self.registry.snapshot_events(&[]) {
+            sink.emit(&e);
+        }
+        sink.emit(&self.profile.to_event());
+        sink.flush()
     }
 
     /// The campaign's aggregated state.
     pub fn tally(&self) -> &CampaignTally {
         &self.tally
+    }
+
+    /// The scoped phase timers (generation / simulation / merge /
+    /// checkpoint write) accumulated by this process. Observability-only.
+    pub fn profile(&self) -> &PhaseProfile {
+        &self.profile
+    }
+
+    /// The metrics registry accumulated by this process (per-worker
+    /// shards merged in chunk order plus orchestrator gauges).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The last open-system epoch's per-venue telemetry sidecar (`None`
+    /// for closed campaigns or before the first epoch).
+    pub fn open_telemetry(&self) -> Option<&OpenTelemetry> {
+        self.last_open.as_ref()
     }
 
     /// Atomically writes the checkpoint: full state to `<path>.tmp`,
@@ -973,10 +1235,34 @@ impl CampaignReport {
     }
 }
 
-/// Peak resident-set size of this process in MiB (Linux `VmHWM`), `None`
-/// where `/proc` is unavailable. The nightly bounded-RSS gate reads this
-/// after a 1M-payment campaign: constant-memory metrics are a claim about
-/// this number.
+/// Opens the `--telemetry FILE` sink the experiment binaries share: a
+/// buffered JSONL file sink at `path` (parent directories created as
+/// needed), or a no-op [`NullSink`] when `path` is empty. Boxed so the
+/// binaries hold either variant behind one type.
+pub fn telemetry_sink(path: &str) -> io::Result<Box<dyn TelemetrySink>> {
+    if path.is_empty() {
+        return Ok(Box::new(NullSink));
+    }
+    if let Some(dir) = Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir)?;
+        }
+    }
+    Ok(Box::new(telemetry::JsonlSink::create(Path::new(path))?))
+}
+
+/// Peak resident-set size of this process in MiB, or `None` where it
+/// cannot be measured.
+///
+/// **Linux-only by construction**: the value is the `VmHWM` ("high-water
+/// mark") line of `/proc/self/status`, so on any platform without that
+/// procfs file — macOS, Windows, BSDs — this returns `None` cleanly and
+/// every consumer renders `n/a` instead. The campaign runner is the one
+/// place that reads it: the value flows into [`EpochEvent::peak_rss_mb`]
+/// and the `peak_rss_mb` registry gauge, which is where the exp binaries
+/// take it from (they no longer parse procfs themselves). The nightly
+/// bounded-RSS gate reads it after a 1M-payment campaign:
+/// constant-memory metrics are a claim about this number.
 pub fn peak_rss_mb() -> Option<u64> {
     let status = fs::read_to_string("/proc/self/status").ok()?;
     for line in status.lines() {

@@ -30,7 +30,9 @@
 //! venue/amount order (see `same_tick_same_rank_pops_in_insertion_order`).
 
 use crate::faults::FaultPlan;
-use crate::metrics::{BatchMetrics, InstanceResult, LiquidityStats, OpenReport, SimReport};
+use crate::metrics::{
+    BatchMetrics, InstanceResult, LiquidityStats, OpenReport, OpenTelemetry, SimReport, VenueEvents,
+};
 use crate::runner::{run_instance_isolated, SimConfig};
 use crate::workload::PaymentSpec;
 use anta::time::SimTime;
@@ -179,6 +181,8 @@ pub(crate) struct ShardOutcome {
     pub(crate) horizon: SimTime,
     pub(crate) goodput_value: u64,
     pub(crate) offered_value: u64,
+    /// Per-venue activity counters (this shard's venues only).
+    pub(crate) venue_events: BTreeMap<u32, VenueEvents>,
 }
 
 /// One shard's live simulation state: an event heap, the FIFO admission
@@ -208,6 +212,9 @@ struct ShardSim<'a, H: ProtocolHarness> {
     horizon: SimTime,
     goodput_value: u64,
     offered_value: u64,
+    /// Per-venue activity counters, keyed by global venue id. Shards are
+    /// venue-disjoint, so the post-run merge is a plain union.
+    venue_events: BTreeMap<u32, VenueEvents>,
 }
 
 /// The payee-visible value of a payment (its final-hop amount).
@@ -249,6 +256,7 @@ impl<'a, H: ProtocolHarness> ShardSim<'a, H> {
             horizon: SimTime::ZERO,
             goodput_value: 0,
             offered_value: 0,
+            venue_events: BTreeMap::new(),
         };
         for (local, &si) in members.iter().enumerate() {
             sim.push(
@@ -278,6 +286,12 @@ impl<'a, H: ProtocolHarness> ShardSim<'a, H> {
             match ev.kind {
                 EventKind::Book { venue, delta } => {
                     self.book.apply_lock(ev.time, venue, delta);
+                    let ve = self.venue_events.entry(venue).or_default();
+                    if delta < 0 {
+                        ve.releases += 1;
+                    } else {
+                        ve.locks += 1;
+                    }
                     self.horizon = self.horizon.max(ev.time);
                 }
                 EventKind::Unreserve { venue, amount } => {
@@ -311,6 +325,7 @@ impl<'a, H: ProtocolHarness> ShardSim<'a, H> {
             horizon: self.horizon,
             goodput_value: self.goodput_value,
             offered_value: self.offered_value,
+            venue_events: self.venue_events,
         }
     }
 
@@ -375,6 +390,13 @@ impl<'a, H: ProtocolHarness> ShardSim<'a, H> {
         self.horizon = self.horizon.max(t);
         let spec = &self.specs[self.members[li]];
         let wait = t.saturating_since(spec.arrival);
+        for &(venue, _) in &self.demands[li] {
+            let ve = self.venue_events.entry(venue).or_default();
+            ve.admitted += 1;
+            if !wait.is_zero() {
+                ve.queued += 1;
+            }
+        }
         let mut r =
             run_instance_isolated(self.harness, spec, self.plan, true, &mut self.queue_high);
         if !wait.is_zero() {
@@ -431,6 +453,13 @@ impl<'a, H: ProtocolHarness> ShardSim<'a, H> {
         // The payment never starts: no locks, no run, only the payer's
         // *actual* wasted patience (zero for an on-the-spot refusal).
         let wasted = t.saturating_since(spec.arrival).min(self.policy.max_wait());
+        for &(venue, _) in &self.demands[li] {
+            let ve = self.venue_events.entry(venue).or_default();
+            ve.rejected += 1;
+            if !wasted.is_zero() {
+                ve.expired += 1;
+            }
+        }
         self.rejected_waits.push(wasted.ticks());
         self.results[li] = Some(InstanceResult {
             id: spec.id,
@@ -458,15 +487,33 @@ pub(crate) fn run_open_specs_des<H: ProtocolHarness>(
     cfg: &SimConfig,
     liq: &LiquidityConfig,
 ) -> OpenReport {
+    run_open_specs_des_telemetry(harness, specs, cfg, liq).0
+}
+
+/// [`run_open_specs_des`] plus the per-venue telemetry sidecar (the
+/// public surface is [`crate::runner::run_open_specs_with_telemetry`]).
+/// The sidecar is derived from the same merged shard outcomes as the
+/// report, so it costs nothing extra and matches it bit-for-bit.
+pub(crate) fn run_open_specs_des_telemetry<H: ProtocolHarness>(
+    harness: &H,
+    specs: &[PaymentSpec],
+    cfg: &SimConfig,
+    liq: &LiquidityConfig,
+) -> (OpenReport, OpenTelemetry) {
     let raw = run_open_specs_raw(harness, specs, cfg, liq);
+    let telemetry = OpenTelemetry {
+        venues: raw.venues.clone(),
+        venue_events: raw.venue_events.clone(),
+    };
     let mut batch = BatchMetrics::with_capacity(raw.results.len());
     for r in raw.results {
         batch.push(r);
     }
-    OpenReport {
+    let report = OpenReport {
         sim: SimReport::merge(vec![batch], true),
         liquidity: raw.liquidity,
-    }
+    };
+    (report, telemetry)
 }
 
 /// The unaggregated outcome of one open-system run: spec-ordered rows,
@@ -482,6 +529,11 @@ pub(crate) struct OpenRaw {
     pub waits: Vec<u64>,
     /// Wasted waits of rejected payments (ticks), merge order.
     pub rejected_waits: Vec<u64>,
+    /// Per-venue end-of-run samples (venue-id order) — the raw material
+    /// of the campaign's per-epoch venue time-series.
+    pub venues: Vec<protocol::VenueSample>,
+    /// Per-venue DES activity counters (venue-id order).
+    pub venue_events: Vec<(u32, VenueEvents)>,
 }
 
 /// The engine behind [`run_open_specs_des`] (see [`OpenRaw`]).
@@ -518,6 +570,7 @@ pub(crate) fn run_open_specs_raw<H: ProtocolHarness>(
     let mut rejected_waits: Vec<u64> = Vec::new();
     let mut horizon_end = SimTime::ZERO;
     let (mut goodput_value, mut offered_value) = (0u64, 0u64);
+    let mut venue_events: BTreeMap<u32, VenueEvents> = BTreeMap::new();
     for shard in outcomes {
         admitted += shard.admitted;
         rejected += shard.rejected;
@@ -527,6 +580,9 @@ pub(crate) fn run_open_specs_raw<H: ProtocolHarness>(
         horizon_end = horizon_end.max(shard.horizon);
         goodput_value += shard.goodput_value;
         offered_value += shard.offered_value;
+        for (venue, ev) in shard.venue_events {
+            venue_events.entry(venue).or_default().absorb(&ev);
+        }
         book.merge(&shard.book);
         for (si, r) in shard.results {
             debug_assert!(per_spec[si].is_none(), "spec {si} decided twice");
@@ -559,11 +615,14 @@ pub(crate) fn run_open_specs_raw<H: ProtocolHarness>(
         .into_iter()
         .map(|r| r.expect("every spec decided"))
         .collect();
+    let venues_series = book.venue_samples();
     OpenRaw {
         results,
         liquidity,
         waits,
         rejected_waits,
+        venues: venues_series,
+        venue_events: venue_events.into_iter().collect(),
     }
 }
 

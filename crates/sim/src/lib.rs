@@ -81,14 +81,17 @@ pub mod runner;
 pub mod sketch;
 pub mod workload;
 
-pub use campaign::{CampaignConfig, CampaignReport, CampaignRunner, CampaignTally};
+pub use campaign::{
+    CampaignConfig, CampaignReport, CampaignRunner, CampaignTally, EpochEvent, EpochSummary,
+};
 pub use faults::{ByzFault, FaultPlan, InstanceFaults};
 pub use metrics::{
-    FamilyStats, InstanceOutcome, InstanceResult, LiquidityStats, OpenReport, PacketStats,
-    SimReport,
+    FamilyStats, InstanceOutcome, InstanceResult, LiquidityStats, OpenReport, OpenTelemetry,
+    PacketStats, SimReport, VenueEvents,
 };
 pub use runner::{
-    run, run_instance, run_instance_with, run_open, run_open_specs_with, run_open_with, run_specs,
+    run, run_instance, run_instance_with, run_open, run_open_specs_with,
+    run_open_specs_with_telemetry, run_open_with, run_open_with_telemetry, run_specs,
     run_specs_with, run_with, SimConfig,
 };
 pub use sketch::MergeableSketch;
@@ -106,12 +109,13 @@ pub use protocol::{
 pub mod prelude {
     pub use crate::faults::{ByzFault, FaultPlan, InstanceFaults};
     pub use crate::metrics::{
-        FamilyStats, InstanceOutcome, InstanceResult, LiquidityStats, OpenReport, PacketStats,
-        SimReport,
+        FamilyStats, InstanceOutcome, InstanceResult, LiquidityStats, OpenReport, OpenTelemetry,
+        PacketStats, SimReport, VenueEvents,
     };
     pub use crate::runner::{
-        run, run_instance, run_instance_with, run_open, run_open_specs_with, run_open_with,
-        run_specs, run_specs_with, run_with, SimConfig,
+        run, run_instance, run_instance_with, run_open, run_open_specs_with,
+        run_open_specs_with_telemetry, run_open_with, run_open_with_telemetry, run_specs,
+        run_specs_with, run_with, SimConfig,
     };
     pub use crate::workload::{ArrivalProcess, PaymentSpec, TopologyFamily, WorkloadConfig};
     pub use anta::net::NetFaults;

@@ -395,6 +395,84 @@ pub struct OpenReport {
     pub liquidity: LiquidityStats,
 }
 
+/// Per-venue activity counters collected by the discrete-event engine.
+///
+/// Each liquidity shard counts its own venues during the run; shards are
+/// venue-disjoint, so the post-run merge (in shard order) is a plain union
+/// and the counters are bit-identical at any worker count. A payment
+/// touching `k` venues contributes to all `k` rows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VenueEvents {
+    /// Payments admitted whose route demands collateral at this venue.
+    pub admitted: u64,
+    /// Payments rejected whose route demands collateral at this venue.
+    pub rejected: u64,
+    /// Admitted payments that waited at the gate before starting here.
+    pub queued: u64,
+    /// Rejected payments that queued here and ran out of patience.
+    pub expired: u64,
+    /// Audited lock events (locked value increased) at this venue.
+    pub locks: u64,
+    /// Audited release events (locked value decreased) at this venue.
+    pub releases: u64,
+}
+
+impl VenueEvents {
+    /// Fold another counter set into this one (element-wise add).
+    pub fn absorb(&mut self, other: &VenueEvents) {
+        self.admitted += other.admitted;
+        self.rejected += other.rejected;
+        self.queued += other.queued;
+        self.expired += other.expired;
+        self.locks += other.locks;
+        self.releases += other.releases;
+    }
+}
+
+/// Deterministic telemetry sidecar of one open-system run: the per-venue
+/// end-state samples and DES activity counters, in venue-id order.
+///
+/// Produced next to the [`OpenReport`] by
+/// [`crate::runner::run_open_specs_with_telemetry`] and by the campaign
+/// runner on every open-system epoch. The sidecar is derived from the same
+/// merged shard outcomes as the report, so it is bit-identical across
+/// thread counts — and it never feeds back into any digest preimage.
+#[derive(Debug, Clone, Default)]
+pub struct OpenTelemetry {
+    /// Per-venue end-of-run samples (utilization, peaks, drain), in
+    /// venue-id order. See [`protocol::liquidity::VenueSample`].
+    pub venues: Vec<protocol::VenueSample>,
+    /// Per-venue DES counters, in venue-id order.
+    pub venue_events: Vec<(u32, VenueEvents)>,
+}
+
+impl OpenTelemetry {
+    /// Emit the sidecar as structured events: one `venue` event per sample
+    /// (see [`protocol::liquidity::LiquidityBook::emit_venue_series`] for
+    /// the schema) and one `venue_des` event per counter row, each
+    /// prefixed with the caller's `scope` fields (e.g. `epoch`, `cell`).
+    pub fn emit(&self, scope: &[(&str, u64)], sink: &mut dyn telemetry::TelemetrySink) {
+        for sample in &self.venues {
+            sink.emit(&sample.to_event(scope));
+        }
+        for (venue, ev) in &self.venue_events {
+            let mut e = telemetry::Event::new("venue_des");
+            for (k, v) in scope {
+                e = e.with_u64(k, *v);
+            }
+            sink.emit(
+                &e.with_u64("venue", u64::from(*venue))
+                    .with_u64("admitted", ev.admitted)
+                    .with_u64("rejected", ev.rejected)
+                    .with_u64("queued", ev.queued)
+                    .with_u64("expired", ev.expired)
+                    .with_u64("locks", ev.locks)
+                    .with_u64("releases", ev.releases),
+            );
+        }
+    }
+}
+
 /// Latency percentile helper over a success-latency summary: renders
 /// `p50/p99/max` in milliseconds.
 pub fn render_latency_ms(s: &Option<Summary>) -> String {

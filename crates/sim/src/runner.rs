@@ -19,7 +19,7 @@
 //! the same reports the pre-refactor simulator did, bit for bit.
 
 use crate::faults::FaultPlan;
-use crate::metrics::{BatchMetrics, InstanceResult, OpenReport, SimReport};
+use crate::metrics::{BatchMetrics, InstanceResult, OpenReport, OpenTelemetry, SimReport};
 use crate::workload::{self, PaymentSpec, WorkloadConfig};
 use experiments::parallel_map;
 use protocol::harness::{run_harness_instance, ProtocolHarness};
@@ -274,6 +274,33 @@ pub fn run_open_specs_with<H: ProtocolHarness>(
     liq: &LiquidityConfig,
 ) -> OpenReport {
     crate::des::run_open_specs_des(harness, specs, cfg, liq)
+}
+
+/// [`run_open_specs_with`] plus the deterministic per-venue telemetry
+/// sidecar ([`crate::metrics::OpenTelemetry`]): end-of-run venue samples
+/// and DES activity counters, derived from the same merged shard
+/// outcomes as the report. The sidecar adds no simulation work and is
+/// bit-identical across thread counts; it exists so grid binaries (e.g.
+/// `exp10 --telemetry`) can emit venue series per cell without the
+/// campaign layer.
+pub fn run_open_specs_with_telemetry<H: ProtocolHarness>(
+    harness: &H,
+    specs: &[PaymentSpec],
+    cfg: &SimConfig,
+    liq: &LiquidityConfig,
+) -> (OpenReport, OpenTelemetry) {
+    crate::des::run_open_specs_des_telemetry(harness, specs, cfg, liq)
+}
+
+/// [`run_open_with`] plus the per-venue telemetry sidecar (see
+/// [`run_open_specs_with_telemetry`]).
+pub fn run_open_with_telemetry<H: ProtocolHarness>(
+    harness: &H,
+    cfg: &SimConfig,
+    liq: &LiquidityConfig,
+) -> (OpenReport, OpenTelemetry) {
+    let specs = workload::generate(&cfg.workload);
+    run_open_specs_with_telemetry(harness, &specs, cfg, liq)
 }
 
 /// The retired two-phase open-system sweep, kept as a **differential

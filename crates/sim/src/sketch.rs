@@ -1,374 +1,13 @@
-//! Constant-memory streaming aggregates: a fixed-comb quantile sketch
-//! whose merge is bit-identical in any order.
+//! Constant-memory streaming aggregates — re-exported from the
+//! dependency-free `telemetry` crate, where the sketch moved so every
+//! layer (explorer, liquidity book, campaigns, bench) can share it.
 //!
-//! Long campaigns cannot afford the collected `Vec<u64>` per metric that
-//! [`experiments::stats::Summary`] needs — 10M payments × a few columns
-//! is gigabytes. [`MergeableSketch`] replaces the vector with a
-//! **fixed-comb log-scaled histogram** (~30 KiB, independent of sample
-//! count) that also carries the exact online aggregates: count, sum
-//! (hence mean), min and max.
-//!
-//! ## Why a fixed comb and not P²
-//!
-//! The workspace invariant is that every report is **bit-identical across
-//! thread counts**. P²-style adaptive estimators interpolate, so merging
-//! two of them depends on merge order. A fixed comb has no state other
-//! than bucket counts over a predetermined grid: merging is element-wise
-//! integer addition — commutative and associative — so per-worker and
-//! per-shard sketches collapse to the same bytes whatever the thread
-//! count or merge tree. Determinism is bought with a quantifiable
-//! resolution loss (below), never with ordering sensitivity.
-//!
-//! ## Error bound
-//!
-//! Values below 64 map to their own bucket (exact). A value `v ≥ 64` with
-//! `2^e ≤ v < 2^(e+1)` lands in a bucket of width `2^(e-6)`; quantiles
-//! report the bucket's **upper edge**, so a reported percentile is never
-//! below the exact nearest-rank percentile and overshoots it by less than
-//! `1/64` (≈ 1.6%) relative. `min`/`max`/`count`/`mean` are exact, and
-//! quantiles are clamped into `[min, max]`.
+//! The type, its wire format ([`MergeableSketch::encode`]) and its
+//! guarantees (element-wise merge, bit-identical in any order, ≤ 1/64
+//! relative quantile overshoot) are unchanged; existing
+//! `sim::sketch::MergeableSketch` paths keep working. See
+//! [`telemetry::sketch`] for the full documentation;
+//! `tests/campaign.rs` still property-tests merge order-independence
+//! through this path.
 
-use experiments::stats::Summary;
-
-/// Sub-bucket resolution: 2^6 = 64 buckets per octave ⇒ ≤ 1/64 relative
-/// quantile overshoot.
-const LOG_SUB: u32 = 6;
-const SUB: u64 = 1 << LOG_SUB;
-/// Buckets: `SUB` exact small values + 64−LOG_SUB octaves × SUB each.
-const NUM_BUCKETS: usize = (SUB + (63 - LOG_SUB as u64) * SUB + SUB) as usize;
-
-/// Bucket index of `v` (total, monotone in `v`).
-fn bucket_of(v: u64) -> usize {
-    if v < SUB {
-        v as usize
-    } else {
-        let e = 63 - v.leading_zeros();
-        ((e - LOG_SUB) as u64 * SUB + (v >> (e - LOG_SUB))) as usize
-    }
-}
-
-/// The largest value mapping to bucket `b` (inverse of [`bucket_of`] at
-/// the bucket's upper edge).
-fn bucket_top(b: usize) -> u64 {
-    let b = b as u64;
-    if b < SUB {
-        b
-    } else {
-        let e = LOG_SUB + (b / SUB) as u32 - 1;
-        let m = b - (e - LOG_SUB) as u64 * SUB;
-        (m << (e - LOG_SUB)) | ((1u64 << (e - LOG_SUB)) - 1)
-    }
-}
-
-/// A mergeable constant-memory quantile sketch over `u64` samples, plus
-/// the exact online count/sum/min/max (see the module docs for the
-/// resolution guarantee).
-///
-/// [`merge`](MergeableSketch::merge) is element-wise addition of bucket
-/// counts: per-worker sketches built from any partition of the sample
-/// stream, merged in any order, are **bit-identical** to one sketch fed
-/// sequentially — the property the campaign layer's thread-count
-/// determinism rests on.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct MergeableSketch {
-    counts: Vec<u64>,
-    count: u64,
-    sum: u128,
-    min: u64,
-    max: u64,
-}
-
-impl Default for MergeableSketch {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl MergeableSketch {
-    /// An empty sketch.
-    pub fn new() -> Self {
-        MergeableSketch {
-            counts: vec![0; NUM_BUCKETS],
-            count: 0,
-            sum: 0,
-            min: u64::MAX,
-            max: 0,
-        }
-    }
-
-    /// Records one sample.
-    pub fn record(&mut self, v: u64) {
-        self.counts[bucket_of(v)] += 1;
-        self.count += 1;
-        self.sum += v as u128;
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
-    }
-
-    /// Folds `other` in. Addition of bucket counts and exact aggregates:
-    /// commutative, associative, and lossless, so any merge tree over any
-    /// partition of the samples yields identical bytes.
-    pub fn merge(&mut self, other: &MergeableSketch) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum += other.sum;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
-    }
-
-    /// Samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// True when nothing was recorded.
-    pub fn is_empty(&self) -> bool {
-        self.count == 0
-    }
-
-    /// Exact smallest sample (`None` when empty).
-    pub fn min(&self) -> Option<u64> {
-        (self.count > 0).then_some(self.min)
-    }
-
-    /// Exact largest sample (`None` when empty).
-    pub fn max(&self) -> Option<u64> {
-        (self.count > 0).then_some(self.max)
-    }
-
-    /// Exact arithmetic mean (`None` when empty).
-    pub fn mean(&self) -> Option<f64> {
-        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
-    }
-
-    /// Exact sum of all samples.
-    pub fn sum(&self) -> u128 {
-        self.sum
-    }
-
-    /// Nearest-rank percentile estimate, `p ∈ [0, 100]`; `None` when
-    /// empty. Matches [`experiments::stats::percentile`]'s rank
-    /// convention; the reported value is the containing bucket's upper
-    /// edge clamped into `[min, max]` — never below the exact percentile,
-    /// less than 1/64 above it.
-    pub fn quantile(&self, p: u32) -> Option<u64> {
-        assert!(p <= 100);
-        if self.count == 0 {
-            return None;
-        }
-        if p == 0 {
-            return Some(self.min);
-        }
-        let rank = (p as u128 * self.count as u128).div_ceil(100).max(1);
-        let mut cum = 0u128;
-        for (b, &c) in self.counts.iter().enumerate() {
-            cum += c as u128;
-            if cum >= rank {
-                return Some(bucket_top(b).clamp(self.min, self.max));
-            }
-        }
-        Some(self.max)
-    }
-
-    /// The `(n, min, max, mean, p50, p99)` view the report tables print,
-    /// shaped as a [`Summary`] (`stddev` is not tracked by the sketch and
-    /// reads 0). `None` when empty.
-    pub fn summary(&self) -> Option<Summary> {
-        (self.count > 0).then(|| Summary {
-            n: self.count as usize,
-            min: self.min,
-            max: self.max,
-            mean: self.sum as f64 / self.count as f64,
-            stddev: 0.0,
-            p50: self.quantile(50).unwrap_or(0),
-            p99: self.quantile(99).unwrap_or(0),
-        })
-    }
-
-    /// Encodes the full sketch state as one line of the checkpoint wire
-    /// format: `count sum min max k b1:c1 … bk:ck` (sparse — only
-    /// non-zero buckets). Lossless: `decode(encode(s)) == s`.
-    pub fn encode(&self) -> String {
-        let mut out = String::new();
-        let nz = self.counts.iter().filter(|&&c| c > 0).count();
-        out.push_str(&format!(
-            "{} {} {} {} {}",
-            self.count, self.sum, self.min, self.max, nz
-        ));
-        for (b, &c) in self.counts.iter().enumerate() {
-            if c > 0 {
-                out.push_str(&format!(" {b}:{c}"));
-            }
-        }
-        out
-    }
-
-    /// Parses a line produced by [`encode`](MergeableSketch::encode).
-    pub fn decode(line: &str) -> Result<MergeableSketch, String> {
-        let mut it = line.split_ascii_whitespace();
-        let mut field = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("sketch line truncated before {name}"))
-        };
-        let count: u64 = field("count")?.parse().map_err(|e| format!("count: {e}"))?;
-        let sum: u128 = field("sum")?.parse().map_err(|e| format!("sum: {e}"))?;
-        let min: u64 = field("min")?.parse().map_err(|e| format!("min: {e}"))?;
-        let max: u64 = field("max")?.parse().map_err(|e| format!("max: {e}"))?;
-        let nz: usize = field("nz")?.parse().map_err(|e| format!("nz: {e}"))?;
-        let mut s = MergeableSketch::new();
-        s.count = count;
-        s.sum = sum;
-        s.min = if count == 0 { u64::MAX } else { min };
-        s.max = max;
-        let mut total = 0u128;
-        for _ in 0..nz {
-            let pair = field("bucket")?;
-            let (b, c) = pair
-                .split_once(':')
-                .ok_or_else(|| format!("malformed bucket pair {pair:?}"))?;
-            let b: usize = b.parse().map_err(|e| format!("bucket index: {e}"))?;
-            let c: u64 = c.parse().map_err(|e| format!("bucket count: {e}"))?;
-            if b >= NUM_BUCKETS {
-                return Err(format!("bucket index {b} out of range"));
-            }
-            s.counts[b] = c;
-            total += c as u128;
-        }
-        if it.next().is_some() {
-            return Err("trailing fields after sketch buckets".to_owned());
-        }
-        if total != count as u128 {
-            return Err(format!("bucket counts sum to {total}, header says {count}"));
-        }
-        Ok(s)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use experiments::stats::percentile;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-
-    #[test]
-    fn small_values_are_exact() {
-        let mut s = MergeableSketch::new();
-        for v in 0..SUB {
-            s.record(v);
-        }
-        for p in [0u32, 10, 50, 90, 99, 100] {
-            let mut sorted: Vec<u64> = (0..SUB).collect();
-            sorted.sort_unstable();
-            assert_eq!(s.quantile(p), Some(percentile(&sorted, p)), "p{p}");
-        }
-        assert_eq!(s.min(), Some(0));
-        assert_eq!(s.max(), Some(SUB - 1));
-        assert_eq!(s.count(), SUB);
-    }
-
-    #[test]
-    fn bucket_top_inverts_bucket_of() {
-        for v in [0u64, 1, 63, 64, 65, 127, 128, 1_000, 1 << 20, u64::MAX] {
-            let b = bucket_of(v);
-            let top = bucket_top(b);
-            assert!(top >= v, "top {top} < value {v}");
-            assert_eq!(bucket_of(top), b, "top stays in its bucket (v={v})");
-            if top < u64::MAX {
-                assert!(bucket_of(top + 1) > b, "top is the upper edge (v={v})");
-            }
-        }
-        // Buckets are monotone and contiguous.
-        let mut last = 0usize;
-        for e in 0..=63u32 {
-            let v = 1u64 << e;
-            let b = bucket_of(v);
-            assert!(b >= last);
-            last = b;
-        }
-        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
-    }
-
-    #[test]
-    fn quantile_overshoot_is_bounded() {
-        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
-        let samples: Vec<u64> = (0..10_000)
-            .map(|_| rng.gen_range(0..5_000_000u64))
-            .collect();
-        let mut sorted = samples.clone();
-        sorted.sort_unstable();
-        let mut s = MergeableSketch::new();
-        for &v in &samples {
-            s.record(v);
-        }
-        for p in [1u32, 10, 25, 50, 75, 90, 99, 100] {
-            let exact = percentile(&sorted, p);
-            let est = s.quantile(p).unwrap();
-            assert!(est >= exact, "p{p}: est {est} < exact {exact}");
-            assert!(
-                (est - exact) as f64 <= exact as f64 / 64.0 + 1.0,
-                "p{p}: est {est} overshoots exact {exact} beyond 1/64"
-            );
-        }
-        assert_eq!(s.min(), sorted.first().copied());
-        assert_eq!(s.max(), sorted.last().copied());
-        let exact_mean = sorted.iter().map(|&x| x as f64).sum::<f64>() / sorted.len() as f64;
-        assert!((s.mean().unwrap() - exact_mean).abs() < 1e-6);
-    }
-
-    #[test]
-    fn merge_equals_sequential_feed() {
-        let mut rng = StdRng::seed_from_u64(7);
-        let samples: Vec<u64> = (0..5_000).map(|_| rng.gen_range(0..1_000_000u64)).collect();
-        let mut whole = MergeableSketch::new();
-        for &v in &samples {
-            whole.record(v);
-        }
-        // Partition into uneven chunks, merge in reverse order.
-        let mut parts: Vec<MergeableSketch> = Vec::new();
-        for chunk in samples.chunks(777) {
-            let mut s = MergeableSketch::new();
-            for &v in chunk {
-                s.record(v);
-            }
-            parts.push(s);
-        }
-        let mut merged = MergeableSketch::new();
-        for p in parts.iter().rev() {
-            merged.merge(p);
-        }
-        assert_eq!(merged, whole, "merge is order-independent and lossless");
-    }
-
-    #[test]
-    fn encode_decode_roundtrip() {
-        let mut s = MergeableSketch::new();
-        for v in [0u64, 1, 63, 64, 1_000_000, u64::MAX, 42, 42, 42] {
-            s.record(v);
-        }
-        let line = s.encode();
-        let back = MergeableSketch::decode(&line).expect("decodes");
-        assert_eq!(back, s);
-        // Empty sketch round-trips too.
-        let e = MergeableSketch::new();
-        assert_eq!(MergeableSketch::decode(&e.encode()).unwrap(), e);
-        assert!(MergeableSketch::decode("1 2 3").is_err(), "truncated");
-        assert!(
-            MergeableSketch::decode("2 10 5 5 1 0:1").is_err(),
-            "count mismatch"
-        );
-    }
-
-    #[test]
-    fn empty_sketch_has_no_stats() {
-        let s = MergeableSketch::new();
-        assert!(s.is_empty());
-        assert_eq!(s.quantile(50), None);
-        assert_eq!(s.min(), None);
-        assert_eq!(s.max(), None);
-        assert_eq!(s.mean(), None);
-        assert_eq!(s.summary(), None);
-    }
-}
+pub use telemetry::sketch::{MergeableSketch, SketchSummary};

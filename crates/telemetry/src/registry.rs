@@ -1,0 +1,193 @@
+//! The metrics registry: counters, gauges and sketch-backed histograms,
+//! sharded per worker and merged deterministically.
+//!
+//! A [`MetricsRegistry`] is both the registry and a shard of one: each
+//! parallel worker records into its own private registry, and the
+//! orchestrating thread folds the shards together **in input order**
+//! ([`MetricsRegistry::merge_shards`]). Counters and histograms merge by
+//! commutative addition, so their merged value is independent of worker
+//! count; gauges are last-write-wins in shard input order, which is
+//! itself deterministic (shards are indexed by input position, never by
+//! completion time). Enabling metrics therefore never changes a report
+//! digest — the registry observes the same deterministic data the
+//! reports are built from.
+
+use crate::event::Event;
+use crate::sketch::MergeableSketch;
+use std::collections::BTreeMap;
+
+/// A set of named metrics: monotone counters, last-value gauges, and
+/// [`MergeableSketch`]-backed histograms. Doubles as a per-worker shard
+/// (see the module docs for the merge discipline).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, MergeableSketch>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (created at 0).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge to `v`.
+    pub fn gauge_set(&mut self, name: &str, v: i64) {
+        self.gauges.insert(name.to_owned(), v);
+    }
+
+    /// Records one sample into the named histogram (created empty).
+    pub fn histogram_record(&mut self, name: &str, v: u64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(v);
+    }
+
+    /// A mutable handle to the named histogram, for bulk recording.
+    pub fn histogram(&mut self, name: &str) -> &mut MergeableSketch {
+        self.histograms.entry(name.to_owned()).or_default()
+    }
+
+    /// Counter value (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value (`None` when never set).
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Read access to the named histogram, if any sample was recorded.
+    pub fn histogram_ref(&self, name: &str) -> Option<&MergeableSketch> {
+        self.histograms.get(name)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds one shard in: counters add, histograms merge (both
+    /// commutative), gauges take `shard`'s value (last-write-wins —
+    /// order-sensitive, which is why shards merge in input order).
+    pub fn merge_from(&mut self, shard: &MetricsRegistry) {
+        for (k, v) in &shard.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &shard.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, s) in &shard.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(s);
+        }
+    }
+
+    /// Merges per-worker shards **in input order** into one registry —
+    /// the deterministic reduction every parallel recording site uses.
+    pub fn merge_shards(shards: &[MetricsRegistry]) -> MetricsRegistry {
+        let mut merged = MetricsRegistry::new();
+        for shard in shards {
+            merged.merge_from(shard);
+        }
+        merged
+    }
+
+    /// Renders the registry as telemetry events, one per metric, in
+    /// sorted-name order (deterministic): `counter`, `gauge` and
+    /// `histogram` kinds. `scope_fields` is prepended to every event
+    /// (e.g. the epoch index).
+    pub fn snapshot_events(&self, scope: &[(&str, u64)]) -> Vec<Event> {
+        let scoped = |kind: &str, name: &str| {
+            let mut e = Event::new(kind);
+            for (k, v) in scope {
+                e = e.with_u64(k, *v);
+            }
+            e.with_str("name", name)
+        };
+        let mut out = Vec::new();
+        for (k, v) in &self.counters {
+            out.push(scoped("counter", k).with_u64("value", *v));
+        }
+        for (k, v) in &self.gauges {
+            out.push(scoped("gauge", k).with_i64("value", *v));
+        }
+        for (k, s) in &self.histograms {
+            let mut e = scoped("histogram", k).with_u64("n", s.count());
+            if let Some(sm) = s.summary() {
+                e = e
+                    .with_u64("min", sm.min)
+                    .with_u64("max", sm.max)
+                    .with_f64("mean", sm.mean)
+                    .with_u64("p50", sm.p50)
+                    .with_u64("p99", sm.p99);
+            }
+            out.push(e);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(i: u64) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("admitted", 10 * (i + 1));
+        m.gauge_set("depth", i as i64);
+        for v in 0..50 {
+            m.histogram_record("wait", v * (i + 1));
+        }
+        m
+    }
+
+    #[test]
+    fn merge_is_input_order_deterministic() {
+        let shards: Vec<MetricsRegistry> = (0..4).map(shard).collect();
+        let a = MetricsRegistry::merge_shards(&shards);
+        let b = MetricsRegistry::merge_shards(&shards);
+        assert_eq!(a, b, "same input order ⇒ identical registries");
+        assert_eq!(a.counter("admitted"), 10 + 20 + 30 + 40);
+        assert_eq!(a.gauge("depth"), Some(3), "gauge takes the last shard");
+        assert_eq!(a.histogram_ref("wait").unwrap().count(), 200);
+
+        // Counters and histograms are order-independent; only the gauge
+        // (by design last-write-wins) observes the permutation.
+        let mut rev = shards.clone();
+        rev.reverse();
+        let c = MetricsRegistry::merge_shards(&rev);
+        assert_eq!(c.counter("admitted"), a.counter("admitted"));
+        assert_eq!(
+            c.histogram_ref("wait").unwrap(),
+            a.histogram_ref("wait").unwrap()
+        );
+        assert_eq!(c.gauge("depth"), Some(0));
+    }
+
+    #[test]
+    fn snapshot_events_are_sorted_and_scoped() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("z_last", 1);
+        m.counter_add("a_first", 2);
+        m.gauge_set("rss_mb", 87);
+        m.histogram_record("lat", 5);
+        let events = m.snapshot_events(&[("epoch", 3)]);
+        let names: Vec<&str> = events
+            .iter()
+            .map(|e| e.str_field("name").unwrap())
+            .collect();
+        assert_eq!(names, vec!["a_first", "z_last", "rss_mb", "lat"]);
+        for e in &events {
+            assert_eq!(e.u64_field("epoch"), Some(3));
+        }
+        assert_eq!(events[3].u64_field("p50"), Some(5));
+    }
+}
