@@ -31,6 +31,7 @@
 use crate::process::{Ctx, Message, Pid, Process, TimerId};
 use crate::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::Arc;
 
 /// Index of a state within an automaton.
@@ -403,6 +404,23 @@ pub struct AutomatonProcess<M> {
     /// in, so timers from abandoned states are ignored.
     epoch: u64,
     halted: bool,
+}
+
+/// Manual impl: the spec holds guard/payload closures, which are shared
+/// immutable configuration — identified by the spec name, elided otherwise
+/// (see the [`Process`] fingerprinting contract). All mutable state (control
+/// state, store, pending queue, epoch, halted) is rendered.
+impl<M: Message> fmt::Debug for AutomatonProcess<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AutomatonProcess")
+            .field("spec", &self.spec.name)
+            .field("state", &self.state)
+            .field("store", &self.store)
+            .field("pending", &self.pending)
+            .field("epoch", &self.epoch)
+            .field("halted", &self.halted)
+            .finish()
+    }
 }
 
 impl<M: Message> AutomatonProcess<M> {

@@ -19,8 +19,9 @@
 //! the same oracle; all randomness flows through [`Oracle`].
 
 use crate::clock::DriftClock;
+use crate::fingerprint::{debug_digest, Fnv64};
 use crate::net::{Delivery, EnvelopeMeta, NetModel};
-use crate::oracle::Oracle;
+use crate::oracle::{ChoiceTag, FixedOracle, Oracle};
 use crate::process::{Ctx, Effect, Message, Pid, Process, TimerId};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceKind, TraceMode};
@@ -45,6 +46,25 @@ pub struct EngineConfig {
     /// exhaustive exploration and sweeps, where only counters, marks and
     /// halts are read back.
     pub trace_mode: TraceMode,
+    /// Dead-branch elision for the reduced schedule explorer.
+    ///
+    /// A delivery to a process that has already **halted** is a no-op: the
+    /// engine discards the event before the handler or the trace sees it.
+    /// The delay bucket chosen for such a message (and the σ bucket of a
+    /// handler *all* of whose sends are dead) therefore decides nothing the
+    /// run can observe — except the real time at which the dead event is
+    /// popped, which only moves `RunReport::end_time`/`events` for the dead
+    /// tail of the run. With this flag on, those choices are pinned to the
+    /// worst case (the same convention as `buckets = 1`) instead of being
+    /// drawn from the oracle, so an exploring oracle never logs — and the
+    /// explorer never branches on — choices whose subtrees are pairwise
+    /// identical.
+    ///
+    /// Off by default: pinning removes oracle draws, so seeded Monte-Carlo
+    /// runs would see a shifted choice stream. Checkers that read
+    /// `end_time`/`events` of post-halt tails, or that distinguish runs
+    /// truncated *inside* a dead tail, should not enable it.
+    pub prune_dead_sends: bool,
 }
 
 impl Default for EngineConfig {
@@ -55,6 +75,7 @@ impl Default for EngineConfig {
             sigma_max: SimDuration::ZERO,
             sigma_buckets: 1,
             trace_mode: TraceMode::Full,
+            prune_dead_sends: false,
         }
     }
 }
@@ -91,6 +112,13 @@ struct Event<M> {
     at: SimTime,
     seq: u64,
     kind: EventKind<M>,
+    /// Content hash of `kind` (pids, timer id, payload digest — **not**
+    /// `seq`), computed once at push time. Zero unless fingerprinting is
+    /// enabled. Excluding `seq` lets two schedules that created the same
+    /// in-flight messages in a different order converge to equal state
+    /// fingerprints; the queue fold preserves `(at, seq)` order, so equal
+    /// hashes still imply the same future dispatch order of equal events.
+    ehash: u64,
 }
 
 impl<M> PartialEq for Event<M> {
@@ -110,6 +138,27 @@ impl<M> Ord for Event<M> {
     }
 }
 
+/// State-fingerprinting machinery, present only after
+/// [`Engine::enable_fingerprints`]. Kept out of the hot path entirely when
+/// absent.
+struct FpState {
+    /// Seen-set probe installed by the reduced explorer: called with the
+    /// state fingerprint after every dispatched event; returning `true`
+    /// means "this state is already covered — stop the run".
+    probe: Option<Box<dyn FnMut(u64) -> bool>>,
+    /// Cached per-process [`Process::fp_digest`] values; only the dispatched
+    /// pid's entry is recomputed per event.
+    proc_digests: Vec<u64>,
+    /// Events dispatched so far (dead deliveries included).
+    dispatched: u64,
+    /// Scratch buffer for sorting the in-flight event set by `(at, seq)`.
+    scratch: Vec<(SimTime, u64, u64)>,
+    /// Scratch buffer for [`Process::fp_times`] residues.
+    times_scratch: Vec<SimTime>,
+    /// Set when the probe cut the run short.
+    deduped: bool,
+}
+
 /// The simulator.
 pub struct Engine<M: Message> {
     procs: Vec<ProcSlot<M>>,
@@ -126,6 +175,10 @@ pub struct Engine<M: Message> {
     fx_buf: Vec<Effect<M>>,
     /// High-water mark of the event queue, for pre-sizing repeated runs.
     queue_high: usize,
+    /// Fingerprinting state (reduced explorer); `None` ⇒ zero overhead.
+    fp: Option<FpState>,
+    /// Choices elided under [`EngineConfig::prune_dead_sends`].
+    dead_branch_prunes: u64,
 }
 
 impl<M: Message> Engine<M> {
@@ -144,6 +197,8 @@ impl<M: Message> Engine<M> {
             started: false,
             fx_buf: Vec::new(),
             queue_high: 0,
+            fp: None,
+            dead_branch_prunes: 0,
         }
     }
 
@@ -217,17 +272,261 @@ impl<M: Message> Engine<M> {
         self.trace.reserve(trace_events);
     }
 
+    /// Turns on state fingerprinting (and the trace's rolling observable
+    /// digest). Must be called before the first `run()`.
+    ///
+    /// # What the fingerprint covers, and why it is sound
+    ///
+    /// After every dispatched event the engine folds into one 64-bit FNV-1a
+    /// digest everything the run's *future* is a function of:
+    ///
+    /// * **per-process state** — each process's [`Process::fp_digest`]
+    ///   (default: its `Debug` rendering; cached, recomputed only for the
+    ///   pid the event touched) plus its engine-side `halted` flag, plus
+    ///   any [`Process::fp_times`] instants folded as signed residues
+    ///   against the process's *current* local clock;
+    /// * **in-flight events** — every queued `(at, seq, content-hash)`
+    ///   triple, folded in `(at, seq)` order as `(at − now, content-hash)`.
+    ///   The content hash excludes `seq` (so differently-ordered histories
+    ///   can converge) but the fold order *is* the dispatch order,
+    ///   including `seq` tie-breaks among equal times — two states with
+    ///   equal folds dispatch equal events in the same order. Message
+    ///   payloads enter via their `Debug` digest; timers via `(pid, id)`;
+    /// * **the observable trace** — counters (sent / delivered / per-pid
+    ///   delivered / dropped) plus the rolling
+    ///   [`Trace::obs_digest`](crate::trace::Trace::obs_digest) over
+    ///   time-free, payload-free events — so two states are only identified
+    ///   when checkers running over their traces see the same event
+    ///   structure (see `obs_digest` for what "time-free" demands of
+    ///   checkers);
+    /// * **dispatch count** — so `RunReport::events`-derived caps behave
+    ///   monotonically across merged prefixes.
+    ///
+    /// # Clock residues: the fingerprint is time-abstract
+    ///
+    /// Nothing above folds an *absolute* time. Times enter only where the
+    /// run's **future** reads them, and only as offsets from the current
+    /// clocks ("clock residues"): queued events as `at − now`, live
+    /// process-held timeout anchors via [`Process::fp_times`] as residues
+    /// against that process's local clock. Process behaviour is itself a
+    /// function of exactly those residues: handlers read time only through
+    /// `ctx.now()` comparisons against stored instants and relative timers,
+    /// local clocks are affine in real time with per-run-constant
+    /// parameters, and queued timers are clamped to `≥ now` at creation.
+    /// So two states with equal residue structure — the same configuration
+    /// reached earlier or later, e.g. down different σ delay choices —
+    /// fingerprint identically and deduplicate, and their futures unfold
+    /// event-for-event alike (shifted in time). Two deliberate caveats,
+    /// both validated per instance by the differential mode
+    /// ([`crate::explore`]):
+    ///
+    /// * **past timestamps are abstracted away.** Merged runs agree on the
+    ///   *order* of halts and marks but may disagree on their timestamps,
+    ///   so a checker combined with deduplication must be *time-robust*:
+    ///   its verdict may read event or stored times only through predicates
+    ///   that hold (or fail) uniformly across all schedules of the
+    ///   instance — e.g. the Definition 1 `T` bound, which the timeout
+    ///   calculus guarantees for every delay the explorer can choose. A
+    ///   checker thresholding on raw timestamps could have a near-threshold
+    ///   run pruned as a duplicate of one on the other side;
+    /// * **[`EngineConfig::max_real_time`]** — a run near the horizon has
+    ///   less slack than its earlier twin. Explorer horizons are sized as a
+    ///   many-multiples-of-worst-deadline backstop that quiescent runs
+    ///   never reach (same documented-caveat class as
+    ///   [`EngineConfig::prune_dead_sends`]); a run truncated by the
+    ///   horizon reports `truncated` and fails verdicts loudly rather than
+    ///   silently.
+    ///
+    /// Deliberately **excluded**:
+    ///
+    /// * `self.now` — by design, per the residue scheme above;
+    /// * clock drift/offset parameters — constant per run and identical
+    ///   across all schedules of one instance (exploration never varies
+    ///   them mid-tree);
+    /// * network-model and oracle internals — the explorer's networks
+    ///   ([`crate::net::SyncNet`]-style) are stateless per message; a
+    ///   stateful net (e.g. per-mille fault counters) would need its own
+    ///   digest term before it could be deduplicated soundly.
+    ///
+    /// Collisions: this is a 64-bit hash — a collision wrongly prunes a
+    /// schedule. At the ≤10⁷ states per instance the explorer visits, the
+    /// birthday bound puts the collision probability around 10⁻⁵ per
+    /// instance; the differential mode ([`crate::explore`]) exists to catch
+    /// exactly such discrepancies on instances small enough to enumerate.
+    pub fn enable_fingerprints(&mut self) {
+        assert!(!self.started, "enable_fingerprints() before run()");
+        if self.fp.is_none() {
+            self.trace.enable_digest();
+            self.fp = Some(FpState {
+                probe: None,
+                proc_digests: Vec::new(),
+                dispatched: 0,
+                scratch: Vec::new(),
+                times_scratch: Vec::new(),
+                deduped: false,
+            });
+        }
+    }
+
+    /// Installs the seen-set probe consulted after every dispatched event
+    /// (requires [`Engine::enable_fingerprints`]). Returning `true` from the
+    /// probe stops the run; [`Engine::was_deduped`] reports the cut.
+    pub fn set_fingerprint_probe(&mut self, probe: Box<dyn FnMut(u64) -> bool>) {
+        let fp = self
+            .fp
+            .as_mut()
+            .expect("set_fingerprint_probe requires enable_fingerprints()");
+        fp.probe = Some(probe);
+    }
+
+    /// Sets [`EngineConfig::prune_dead_sends`] after construction — the
+    /// reduced explorer flips it on engines built by mode-agnostic `build`
+    /// closures. Must be called before the first `run()`.
+    pub fn set_prune_dead_sends(&mut self, on: bool) {
+        assert!(!self.started, "set_prune_dead_sends() before run()");
+        self.cfg.prune_dead_sends = on;
+    }
+
+    /// True if the last `run()` was cut short by the fingerprint probe.
+    pub fn was_deduped(&self) -> bool {
+        self.fp.as_ref().is_some_and(|fp| fp.deduped)
+    }
+
+    /// Oracle choices elided by [`EngineConfig::prune_dead_sends`] so far.
+    pub fn dead_branch_prunes(&self) -> u64 {
+        self.dead_branch_prunes
+    }
+
+    /// The current state fingerprint, when fingerprinting is enabled.
+    pub fn state_fingerprint(&mut self) -> Option<u64> {
+        if self.fp.is_some() {
+            self.refresh_proc_digests();
+            Some(self.compute_fingerprint())
+        } else {
+            None
+        }
+    }
+
+    /// Content hash of an event, independent of its queue sequence number.
+    fn event_hash(kind: &EventKind<M>) -> u64 {
+        let mut h = Fnv64::new();
+        match kind {
+            EventKind::Start(pid) => {
+                h.write_u64(1);
+                h.write_usize(*pid);
+            }
+            EventKind::Deliver { from, to, msg } => {
+                h.write_u64(2);
+                h.write_usize(*from);
+                h.write_usize(*to);
+                h.write_u64(debug_digest(msg));
+            }
+            EventKind::Timer { pid, id } => {
+                h.write_u64(3);
+                h.write_usize(*pid);
+                h.write_u64(*id);
+            }
+        }
+        h.finish()
+    }
+
+    /// The process an event's dispatch can mutate.
+    fn target_pid(kind: &EventKind<M>) -> Pid {
+        match kind {
+            EventKind::Start(pid) => *pid,
+            EventKind::Deliver { to, .. } => *to,
+            EventKind::Timer { pid, .. } => *pid,
+        }
+    }
+
+    /// (Re)fills the per-process digest cache for newly added processes.
+    fn refresh_proc_digests(&mut self) {
+        let Self {
+            ref mut fp,
+            ref procs,
+            ..
+        } = *self;
+        if let Some(fp) = fp.as_mut() {
+            if fp.proc_digests.len() != procs.len() {
+                fp.proc_digests = procs.iter().map(|s| s.proc.fp_digest()).collect();
+            }
+        }
+    }
+
+    /// Folds the full state fingerprint; see [`Engine::enable_fingerprints`]
+    /// for the coverage contract. Requires `self.fp` to be populated.
+    fn compute_fingerprint(&mut self) -> u64 {
+        let Self {
+            ref mut fp,
+            ref procs,
+            ref queue,
+            ref trace,
+            now,
+            ..
+        } = *self;
+        let fp = fp.as_mut().expect("fingerprinting enabled");
+        let mut h = Fnv64::new();
+        h.write_u64(fp.dispatched);
+        h.write_usize(trace.sent_count());
+        h.write_usize(trace.delivered_total());
+        h.write_usize(trace.dropped_count());
+        for pid in 0..procs.len() {
+            h.write_usize(trace.delivered_count(pid));
+        }
+        h.write_u64(trace.obs_digest().unwrap_or(0));
+        for (slot, digest) in procs.iter().zip(&fp.proc_digests) {
+            h.write_bool(slot.halted);
+            h.write_u64(*digest);
+            fp.times_scratch.clear();
+            slot.proc.fp_times(&mut fp.times_scratch);
+            if !fp.times_scratch.is_empty() {
+                let local = slot.clock.local_at(now);
+                h.write_usize(fp.times_scratch.len());
+                for &t in fp.times_scratch.iter() {
+                    // Signed residue: keeps "how far past the instant we
+                    // already are" distinct from "how far before it we are".
+                    h.write_i64(t.ticks() as i64 - local.ticks() as i64);
+                }
+            }
+        }
+        fp.scratch.clear();
+        for Reverse(ev) in queue.iter() {
+            fp.scratch.push((ev.at, ev.seq, ev.ehash));
+        }
+        fp.scratch.sort_unstable();
+        for &(at, _seq, ehash) in fp.scratch.iter() {
+            // Offset from the current instant, not the absolute time: two
+            // states that are uniform time-translations of each other must
+            // fold identically (every queued `at` is ≥ `now`).
+            h.write_u64(at.ticks() - now.ticks());
+            h.write_u64(ehash);
+        }
+        h.finish()
+    }
+
     fn push_event(&mut self, at: SimTime, kind: EventKind<M>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event { at, seq, kind }));
+        let ehash = if self.fp.is_some() {
+            Self::event_hash(&kind)
+        } else {
+            0
+        };
+        self.queue.push(Reverse(Event {
+            at,
+            seq,
+            kind,
+            ehash,
+        }));
         self.queue_high = self.queue_high.max(self.queue.len());
     }
 
-    /// Runs to quiescence (or horizon / event cap).
+    /// Runs to quiescence (or horizon / event cap / fingerprint-probe cut —
+    /// see [`Engine::was_deduped`]).
     pub fn run(&mut self) -> RunReport {
         if !self.started {
             self.started = true;
+            self.refresh_proc_digests();
             for pid in 0..self.procs.len() {
                 self.push_event(SimTime::ZERO, EventKind::Start(pid));
             }
@@ -245,7 +544,24 @@ impl<M: Message> Engine<M> {
             debug_assert!(ev.at >= self.now, "time went backwards");
             self.now = ev.at;
             events += 1;
+            let fp_pid = self.fp.as_ref().map(|_| Self::target_pid(&ev.kind));
             self.dispatch(ev.kind);
+            if let Some(pid) = fp_pid {
+                let digest = self.procs[pid].proc.fp_digest();
+                let fp = self.fp.as_mut().expect("fp present");
+                fp.dispatched += 1;
+                fp.proc_digests[pid] = digest;
+                let state = self.compute_fingerprint();
+                let fp = self.fp.as_mut().expect("fp present");
+                let hit = match fp.probe.as_mut() {
+                    Some(probe) => probe(state),
+                    None => false,
+                };
+                if hit {
+                    fp.deduped = true;
+                    break;
+                }
+            }
         }
         let all_halted = self.procs.iter().all(|p| p.halted);
         RunReport {
@@ -302,9 +618,23 @@ impl<M: Message> Engine<M> {
         // Charge the grey-state computation time once per handler that
         // sends; timers and marks are bookkeeping on the transition itself.
         let has_sends = effects.iter().any(|e| matches!(e, Effect::Send { .. }));
+        let prune = self.cfg.prune_dead_sends;
+        // Under dead-branch elision, a handler whose every send is addressed
+        // to an already-halted process gets its σ draw pinned too: the draw
+        // would only shift dead delivery times.
+        let live_sends = !prune
+            || effects
+                .iter()
+                .any(|e| matches!(e, Effect::Send { to, .. } if !self.procs[*to].halted));
         let compute = if has_sends && !self.cfg.sigma_max.is_zero() {
-            let idx = self.oracle.choose(self.cfg.sigma_buckets.max(1)) as u64;
-            let buckets = self.cfg.sigma_buckets.max(1) as u64;
+            let buckets = self.cfg.sigma_buckets.max(1);
+            let idx = if live_sends {
+                self.oracle.choose_for(buckets, ChoiceTag::sigma(pid))
+            } else {
+                self.dead_branch_prunes += 1;
+                buckets - 1
+            } as u64;
+            let buckets = buckets as u64;
             if buckets == 1 {
                 self.cfg.sigma_max
             } else {
@@ -325,7 +655,18 @@ impl<M: Message> Engine<M> {
                         seq,
                     };
                     self.trace.record_sent(sent_at, pid, to, &msg);
-                    match self.net.route(&meta, &msg, self.oracle.as_mut()) {
+                    let delivery = if prune && self.procs[to].halted {
+                        // Delivery to a halted process is a no-op; route
+                        // with a pinned worst-case oracle so no branchable
+                        // choice is consumed (see
+                        // `EngineConfig::prune_dead_sends`).
+                        self.dead_branch_prunes += 1;
+                        let mut pinned = FixedOracle::maximal();
+                        self.net.route(&meta, &msg, &mut pinned)
+                    } else {
+                        self.net.route(&meta, &msg, self.oracle.as_mut())
+                    };
+                    match delivery {
                         Delivery::At(t) => {
                             let at = t.max(sent_at);
                             self.push_event(at, EventKind::Deliver { from: pid, to, msg });
@@ -696,6 +1037,124 @@ mod tests {
                 .unwrap()
                 .got_after_halt
         );
+    }
+
+    #[test]
+    fn fingerprints_deterministic_and_translation_invariant() {
+        let fp_of = |seed| {
+            let mut eng = ping_pong_engine(seed, SimDuration::from_ticks(7));
+            eng.enable_fingerprints();
+            eng.run();
+            eng.state_fingerprint().unwrap()
+        };
+        assert_eq!(fp_of(5), fp_of(5), "equal schedules, equal fingerprints");
+        // Seeds 5 and 6 run the same ping-pong sequence under different
+        // delays: the quiescent states are time-translations of each other,
+        // and the clock-residue fingerprint deliberately identifies them.
+        assert_eq!(fp_of(5), fp_of(6), "translated runs, equal fingerprints");
+        // A run cut mid-way is structurally different (fewer dispatches, a
+        // message still in flight): different fingerprint.
+        let mut cut = ping_pong_engine(5, SimDuration::from_ticks(7));
+        cut.enable_fingerprints();
+        let mut calls = 0u32;
+        cut.set_fingerprint_probe(Box::new(move |_| {
+            calls += 1;
+            calls >= 3
+        }));
+        cut.run();
+        assert_ne!(
+            cut.state_fingerprint().unwrap(),
+            fp_of(5),
+            "different progress, different fingerprints"
+        );
+    }
+
+    #[test]
+    fn fingerprinting_does_not_change_the_run() {
+        let mut plain = ping_pong_engine(3, SimDuration::from_ticks(7));
+        let mut fped = ping_pong_engine(3, SimDuration::from_ticks(7));
+        fped.enable_fingerprints();
+        assert_eq!(plain.run(), fped.run());
+        assert_eq!(plain.trace().sent_count(), fped.trace().sent_count());
+    }
+
+    #[test]
+    fn fingerprint_probe_cuts_run_short() {
+        let mut eng = ping_pong_engine(1, SimDuration::ZERO);
+        eng.enable_fingerprints();
+        let mut calls = 0u32;
+        eng.set_fingerprint_probe(Box::new(move |_| {
+            calls += 1;
+            calls >= 3
+        }));
+        let r = eng.run();
+        assert!(eng.was_deduped());
+        assert_eq!(r.events, 3, "cut after the third dispatch");
+        assert!(!r.quiescent);
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn prune_dead_sends_elides_choices_for_halted_recipients() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        struct CountingOracle(Rc<Cell<usize>>);
+        impl Oracle for CountingOracle {
+            fn choose(&mut self, _options: usize) -> usize {
+                self.0.set(self.0.get() + 1);
+                0
+            }
+        }
+
+        #[derive(Debug, Clone, Default)]
+        struct HaltsAtStart;
+        impl Process<u32> for HaltsAtStart {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                ctx.halt();
+            }
+            fn on_message(&mut self, _f: Pid, _m: u32, _c: &mut Ctx<u32>) {}
+            fn on_timer(&mut self, _id: TimerId, _c: &mut Ctx<u32>) {}
+            impl_process_boilerplate!(u32);
+        }
+        #[derive(Debug, Clone, Default)]
+        struct SendsToDead;
+        impl Process<u32> for SendsToDead {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                ctx.send(0, 9);
+            }
+            fn on_message(&mut self, _f: Pid, _m: u32, _c: &mut Ctx<u32>) {}
+            fn on_timer(&mut self, _id: TimerId, _c: &mut Ctx<u32>) {}
+            impl_process_boilerplate!(u32);
+        }
+
+        let run_one = |prune: bool| {
+            let draws = Rc::new(Cell::new(0));
+            let mut eng = Engine::<u32>::new(
+                // 4 delay buckets: routing a live message draws once.
+                Box::new(SyncNet::new(SimDuration::from_ticks(10), 4)),
+                Box::new(CountingOracle(draws.clone())),
+                EngineConfig {
+                    sigma_max: SimDuration::from_ticks(8),
+                    sigma_buckets: 2,
+                    prune_dead_sends: prune,
+                    ..Default::default()
+                },
+            );
+            // Pid 0 halts before pid 1's start sends to it (Start events
+            // dispatch in registration order at equal time).
+            eng.add_process(Box::new(HaltsAtStart), DriftClock::perfect());
+            eng.add_process(Box::new(SendsToDead), DriftClock::perfect());
+            let r = eng.run();
+            assert!(r.quiescent);
+            assert_eq!(eng.trace().sent_count(), 1);
+            assert_eq!(eng.trace().delivered_total(), 0, "recipient halted");
+            (draws.get(), eng.dead_branch_prunes())
+        };
+        // Unpruned: one σ draw + one delay draw. Pruned: both elided (the
+        // handler's only send is dead), counted as two prunes.
+        assert_eq!(run_one(false), (2, 0));
+        assert_eq!(run_one(true), (0, 2));
     }
 
     #[test]

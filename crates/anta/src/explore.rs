@@ -16,32 +16,94 @@
 //! hit). Because runs are deterministic given the oracle, path enumeration
 //! is exactly schedule enumeration — no state snapshotting is needed.
 //!
+//! ## Reduced exploration ([`ExploreMode::Reduced`])
+//!
+//! Full enumeration scales as the product of branching degrees — ~4k leaves
+//! for a 2-party chain at one σ bucket, ~10⁷ already at four. The reduced
+//! mode prunes the tree without losing any distinct behaviour, using two
+//! mechanisms whose soundness arguments live on the engine:
+//!
+//! * **state-hash deduplication** — the engine fingerprints its complete
+//!   state after every event ([`Engine::enable_fingerprints`]); when a run
+//!   re-enters a state any schedule has already left (first fresh choice
+//!   made, i.e. [`ReplayOracle::replay_done`]), the run is cut and the whole
+//!   choice subtree below the convergence point is skipped. This is where
+//!   partial-order reduction lives in this engine: event *dispatch order* is
+//!   already determinised by `(time, seq)`, so there are no raw interleaving
+//!   choices to commute — instead, independent choices (a delay bucket here,
+//!   a σ draw there) that land on the same global state are recognised *as*
+//!   the same state and explored once. Two delay buckets that quantise to
+//!   the same tick, or a fast-bucket/slow-σ pair meeting a slow-bucket/
+//!   fast-σ pair, collapse exactly as commuting actions do in classic DPOR.
+//!   The fingerprint is *time-abstract* (clock residues — queued events as
+//!   offsets from `now`, live timeout anchors as residues against their
+//!   local clock, past timestamps not at all), so schedules that reach the
+//!   same configuration earlier or later also merge; the matching
+//!   time-robustness contract on checkers lives on
+//!   [`Engine::enable_fingerprints`];
+//! * **dead-branch elision** — choices that only affect messages addressed
+//!   to already-halted processes decide nothing observable; with
+//!   [`ExploreConfig::prune_dead_sends`] the engine pins them instead of
+//!   branching
+//!   ([`EngineConfig::prune_dead_sends`](crate::engine::EngineConfig::prune_dead_sends)
+//!   documents the independence argument and its `end_time` caveat).
+//!
+//! Budget semantics: [`ExploreLimits::max_runs`] / [`ExploreConfig::max_runs`]
+//! count **executed** schedules — runs cut by the deduplicator are refunded,
+//! so the same budget buys the same number of complete, checked runs in both
+//! modes. Deduplicated cuts are reported separately
+//! ([`ExploreReport::dedup_hits`]).
+//!
+//! Correctness insurance: [`explore_differential`] runs full and reduced
+//! exploration back to back and compares exhaustion, verdict, and the
+//! *distinct violation set* (reduced mode executes one representative per
+//! converged state, so it reports each distinct violation at least once but
+//! not once per schedule).
+//!
 //! ## Parallel exploration
 //!
 //! Schedules are independent runs, so the tree is embarrassingly parallel
-//! once partitioned. [`explore_parallel`] first enumerates the choice tree
-//! down to a configurable *split depth* (each frontier node discovered with
-//! one run, its leftmost leaf), then farms the resulting disjoint subtree
-//! prefixes to scoped worker threads over a work-stealing cursor — the same
-//! no-unsafe pattern as the experiment sweeps. Every worker runs the plain
-//! serial DFS restricted to its prefix, so when the tree is exhausted the
-//! result is **bit-identical** to the serial explorer: same run count, same
-//! violations, merged back in lexicographic (serial DFS) order. When the
-//! run budget intervenes, the run *count* still matches the serial explorer
-//! but which schedules got visited may differ between thread counts.
+//! once partitioned. In full mode, [`explore_parallel`] first enumerates the
+//! choice tree down to a configurable *split depth* (each frontier node
+//! discovered with one run, its leftmost leaf), then farms the resulting
+//! disjoint subtree prefixes to scoped worker threads over a work-stealing
+//! cursor — the same no-unsafe pattern as the experiment sweeps. Every
+//! worker runs the plain serial DFS restricted to its prefix, so when the
+//! tree is exhausted the result is **bit-identical** to the serial explorer:
+//! same run count, same violations, merged back in lexicographic (serial
+//! DFS) order. When the run budget intervenes, the run *count* still matches
+//! the serial explorer but which schedules got visited may differ between
+//! thread counts.
+//!
+//! Reduced mode makes subtree sizes wildly uneven (a subtree can collapse
+//! to a single deduplicated cut), so it replaces the fixed frontier with a
+//! shared work queue plus **dynamic re-splitting**: whenever a worker
+//! notices an idle peer, it donates the unvisited sibling subtrees at the
+//! shallowest still-open level of its own DFS position and deepens its own
+//! prefix ([`ExploreReport::resplits`] counts donations). Deduplication
+//! uses per-worker local caches backed by a sharded global seen-set, so the
+//! hot path takes at most one shard lock per fresh state. Reduced-mode
+//! reports are deterministic in verdict (exhaustion, distinct violations)
+//! but — unlike full mode — *which* representative schedule reaches a state
+//! first depends on thread timing; violations are merged in path order.
 
 use crate::engine::{Engine, RunReport};
 use crate::oracle::{Oracle, ReplayOracle};
 use crate::process::Message;
 use std::cell::RefCell;
+use std::collections::{BTreeSet, HashSet};
 use std::rc::Rc;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use telemetry::{Event, NullSink, TelemetrySink};
 
 /// Budget for an exploration.
 #[derive(Debug, Clone, Copy)]
 pub struct ExploreLimits {
-    /// Maximum number of complete runs (tree leaves) to execute.
+    /// Maximum number of complete runs (tree leaves) to **execute**. Runs
+    /// cut short by state-hash deduplication do not count against this
+    /// budget (their slot is refunded), so the limit means the same thing
+    /// in full and reduced modes: how many complete schedules get checked.
     pub max_runs: usize,
 }
 
@@ -53,21 +115,44 @@ impl Default for ExploreLimits {
     }
 }
 
+/// Exploration strategy: every schedule, or one representative per
+/// distinct behaviour (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExploreMode {
+    /// Enumerate every leaf of the choice tree. Bit-reproducible across
+    /// thread counts; the reference reduced mode is checked against.
+    #[default]
+    Full,
+    /// State-hash deduplication + dead-branch elision + dynamic
+    /// re-splitting. Same exhaustion verdict and distinct violation set as
+    /// [`ExploreMode::Full`], at a fraction of the executed runs.
+    Reduced,
+}
+
 /// Configuration for [`explore_parallel`].
 #[derive(Debug, Clone, Copy)]
 pub struct ExploreConfig {
-    /// Maximum number of complete runs (tree leaves) to execute, across
-    /// all threads.
+    /// Maximum number of complete runs (tree leaves) to **execute**, across
+    /// all threads; deduplicated cuts are refunded (see
+    /// [`ExploreLimits::max_runs`]).
     pub max_runs: usize,
     /// Worker threads. `0` ⇒ all available cores; `1` ⇒ the serial
     /// explorer, unchanged.
     pub threads: usize,
-    /// Choice-tree depth at which the tree is split into per-worker
-    /// subtrees. Small depths give few, large subtrees (poor balance);
-    /// large depths make the serial discovery phase enumerate more
-    /// frontier nodes (one run each). With `b`-way branching expect about
-    /// `b^split_depth` subtrees; the default suits 2-bucket instances.
+    /// Full mode only: choice-tree depth at which the tree is split into
+    /// per-worker subtrees. Small depths give few, large subtrees (poor
+    /// balance); large depths make the serial discovery phase enumerate
+    /// more frontier nodes (one run each). With `b`-way branching expect
+    /// about `b^split_depth` subtrees; the default suits 2-bucket
+    /// instances. Reduced mode ignores it and re-splits dynamically.
     pub split_depth: usize,
+    /// Exploration strategy.
+    pub mode: ExploreMode,
+    /// Reduced mode only: additionally pin choices that only affect
+    /// messages to already-halted processes
+    /// ([`EngineConfig::prune_dead_sends`](crate::engine::EngineConfig::prune_dead_sends)).
+    /// Ignored in full mode (full enumeration is the unpruned reference).
+    pub prune_dead_sends: bool,
 }
 
 impl Default for ExploreConfig {
@@ -76,6 +161,8 @@ impl Default for ExploreConfig {
             max_runs: ExploreLimits::default().max_runs,
             threads: 1,
             split_depth: 4,
+            mode: ExploreMode::Full,
+            prune_dead_sends: false,
         }
     }
 }
@@ -88,12 +175,25 @@ impl ExploreConfig {
             ..Self::default()
         }
     }
+
+    /// Reduced exploration with dead-branch elision on — the configuration
+    /// E4 uses for instances full enumeration cannot exhaust.
+    pub fn reduced(threads: usize) -> Self {
+        ExploreConfig {
+            mode: ExploreMode::Reduced,
+            prune_dead_sends: true,
+            ..Self::with_threads(threads)
+        }
+    }
 }
 
 /// A safety violation found on one schedule.
 #[derive(Debug, Clone)]
 pub struct Violation {
-    /// The oracle choice path reproducing the failing schedule.
+    /// The oracle choice path reproducing the failing schedule. Paths from
+    /// reduced explorations with [`ExploreConfig::prune_dead_sends`] must
+    /// be replayed with [`replay_pruned`] (elided choices are absent from
+    /// the path).
     pub path: Vec<usize>,
     /// Checker-provided description.
     pub message: String,
@@ -102,18 +202,61 @@ pub struct Violation {
 /// Outcome of an exploration.
 #[derive(Debug, Clone)]
 pub struct ExploreReport {
-    /// Complete runs executed.
+    /// Complete runs executed (checked). Deduplicated cuts excluded.
     pub runs: usize,
     /// True when the entire choice tree was covered within budget.
     pub exhausted: bool,
-    /// All violations found (one per failing schedule).
+    /// All violations found (one per failing executed schedule).
     pub violations: Vec<Violation>,
+    /// Reduced mode: runs cut short because they re-entered a state some
+    /// schedule had already covered (each cut skips a whole subtree).
+    pub dedup_hits: usize,
+    /// Reduced mode: oracle choices elided as dead branches
+    /// (see [`ExploreConfig::prune_dead_sends`]).
+    pub dead_branch_prunes: u64,
+    /// Reduced mode: dynamic re-splits (work donations to idle workers).
+    pub resplits: usize,
+    /// Set by [`explore_differential`]: the executed-run count of the full
+    /// enumeration this reduced report was checked against, enabling
+    /// [`ExploreReport::reduction_ratio`].
+    pub full_tree_runs: Option<usize>,
 }
 
 impl ExploreReport {
     /// True when every explored schedule satisfied the checker.
     pub fn all_ok(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// Executed runs over the full tree's leaf count — the fraction of the
+    /// schedule space the reduced exploration had to execute (≤ 1; lower
+    /// is better). Available when the full count is known
+    /// ([`ExploreReport::full_tree_runs`], set by [`explore_differential`]).
+    pub fn reduction_ratio(&self) -> Option<f64> {
+        self.full_tree_runs
+            .filter(|&full| full > 0)
+            .map(|full| self.runs as f64 / full as f64)
+    }
+
+    /// Fraction of attempted runs cut by deduplication — a full-count-free
+    /// proxy for the reduction on instances too big to enumerate fully.
+    /// Each cut skips an entire subtree, so the true reduction ratio is
+    /// much stronger than `1 − prune_rate`.
+    pub fn prune_rate(&self) -> f64 {
+        let attempted = self.runs + self.dedup_hits;
+        if attempted == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / attempted as f64
+        }
+    }
+
+    /// The distinct violation messages, order-free — the set differential
+    /// mode compares across full and reduced explorations (reduced mode
+    /// executes one representative per converged state, so per-schedule
+    /// violation *counts* differ by design).
+    pub fn distinct_violation_messages(&self) -> BTreeSet<&str> {
+        self.violations.iter().map(|v| v.message.as_str()).collect()
     }
 }
 
@@ -124,6 +267,10 @@ struct SharedOracle(Rc<RefCell<ReplayOracle>>);
 impl Oracle for SharedOracle {
     fn choose(&mut self, options: usize) -> usize {
         self.0.borrow_mut().choose(options)
+    }
+
+    fn choose_for(&mut self, options: usize, tag: crate::oracle::ChoiceTag) -> usize {
+        self.0.borrow_mut().choose_for(options, tag)
     }
 }
 
@@ -245,7 +392,8 @@ fn subtree_event(index: usize, prefix_len: usize, out: &SubtreeOutcome) -> Event
 ///   `Err(description)` to record a violation for that schedule.
 ///
 /// See [`explore_parallel`] for the multi-threaded variant; this function
-/// remains the `threads = 1` reference it is checked against.
+/// remains the `threads = 1` full-enumeration reference both the parallel
+/// and the reduced explorers are checked against.
 pub fn explore<M: Message>(
     mut build: impl FnMut(Box<dyn Oracle>) -> Engine<M>,
     mut check: impl FnMut(&Engine<M>, &RunReport) -> Result<(), String>,
@@ -257,7 +405,371 @@ pub fn explore<M: Message>(
         runs: out.runs,
         exhausted: out.exhausted,
         violations: out.violations,
+        dedup_hits: 0,
+        dead_branch_prunes: 0,
+        resplits: 0,
+        full_tree_runs: None,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Reduced exploration
+// ---------------------------------------------------------------------------
+
+/// Global seen-set cap: past this many distinct fingerprints the set stops
+/// growing (probes keep answering for known states but fresh states are no
+/// longer recorded — still sound, just less reduction). Bounds worst-case
+/// memory to a few hundred MB.
+const SEEN_CAP: usize = 1 << 23;
+
+/// Sharded global fingerprint set. Workers consult their local cache first;
+/// a fresh state costs one shard lock.
+struct Seen {
+    shards: Vec<Mutex<HashSet<u64>>>,
+    count: AtomicUsize,
+    full: AtomicBool,
+}
+
+impl Seen {
+    fn new(shards: usize) -> Self {
+        Seen {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashSet::new()))
+                .collect(),
+            count: AtomicUsize::new(0),
+            full: AtomicBool::new(false),
+        }
+    }
+
+    fn shard(&self, fp: u64) -> &Mutex<HashSet<u64>> {
+        &self.shards[(fp as usize) % self.shards.len()]
+    }
+
+    /// Records `fp` and reports whether it was already known (globally or in
+    /// the worker's local cache). At capacity it degrades to lookups only.
+    fn probe_insert(&self, fp: u64, local: &mut HashSet<u64>) -> bool {
+        if local.contains(&fp) {
+            return true;
+        }
+        if self.full.load(Ordering::Relaxed) {
+            return self.shard(fp).lock().expect("seen shard").contains(&fp);
+        }
+        local.insert(fp);
+        let fresh = self.shard(fp).lock().expect("seen shard").insert(fp);
+        if fresh && self.count.fetch_add(1, Ordering::Relaxed) + 1 >= SEEN_CAP {
+            self.full.store(true, Ordering::Relaxed);
+        }
+        !fresh
+    }
+}
+
+/// Shared work queue of subtree prefixes for the reduced explorer.
+/// Seeded with the root prefix; grows by donation (dynamic re-splits).
+struct WorkQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    /// Workers currently parked waiting for work — the cheap "does anyone
+    /// need a donation" signal read on the hot path.
+    idle_hint: AtomicUsize,
+}
+
+struct QueueState {
+    items: Vec<Vec<usize>>,
+    idle: usize,
+    shutdown: bool,
+}
+
+impl WorkQueue {
+    fn new(seed: Vec<Vec<usize>>) -> Self {
+        WorkQueue {
+            state: Mutex::new(QueueState {
+                items: seed,
+                idle: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            idle_hint: AtomicUsize::new(0),
+        }
+    }
+
+    /// Pops a work item, parking until one arrives. Returns `None` once all
+    /// `workers` are idle with an empty queue (global completion) or after
+    /// [`WorkQueue::shutdown`].
+    fn pop(&self, workers: usize) -> Option<Vec<usize>> {
+        let mut st = self.state.lock().expect("work queue");
+        loop {
+            if st.shutdown {
+                return None;
+            }
+            if let Some(p) = st.items.pop() {
+                return Some(p);
+            }
+            st.idle += 1;
+            if st.idle == workers {
+                st.shutdown = true;
+                self.cv.notify_all();
+                return None;
+            }
+            self.idle_hint.fetch_add(1, Ordering::Relaxed);
+            st = self.cv.wait(st).expect("work queue");
+            self.idle_hint.fetch_sub(1, Ordering::Relaxed);
+            st.idle -= 1;
+        }
+    }
+
+    fn push_many(&self, donated: Vec<Vec<usize>>) {
+        let mut st = self.state.lock().expect("work queue");
+        st.items.extend(donated);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn shutdown(&self) {
+        self.state.lock().expect("work queue").shutdown = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Per-worker tallies from the reduced explorer.
+#[derive(Default)]
+struct ReducedTotals {
+    runs: usize,
+    dedup_hits: usize,
+    dead_prunes: u64,
+    resplits: usize,
+    violations: Vec<Violation>,
+    wall_s: f64,
+}
+
+/// One reduced-mode worker: drains the work queue, DFS-ing each subtree
+/// with dedup probes armed and donating sibling subtrees to idle peers.
+#[allow(clippy::too_many_arguments)]
+fn reduced_worker<M, B, C>(
+    build: &B,
+    check: &C,
+    q: &WorkQueue,
+    workers: usize,
+    seen: &Arc<Seen>,
+    budget: &AtomicUsize,
+    max_runs: usize,
+    budget_hit: &AtomicBool,
+    prune_dead: bool,
+) -> ReducedTotals
+where
+    M: Message,
+    B: Fn(Box<dyn Oracle>) -> Engine<M>,
+    C: Fn(&Engine<M>, &RunReport) -> Result<(), String>,
+{
+    let started = std::time::Instant::now();
+    let mut totals = ReducedTotals::default();
+    // States this worker has already recorded — probed lock-free before
+    // the sharded global set. Shared across all this worker's runs.
+    let local: Rc<RefCell<HashSet<u64>>> = Rc::new(RefCell::new(HashSet::new()));
+    let mut sizing = Sizing::default();
+    'items: while let Some(item) = q.pop(workers) {
+        let mut prefix_len = item.len();
+        let mut path = item;
+        loop {
+            // Reserve an executed-run slot; refunded if the run dedups.
+            let slot = budget.fetch_add(1, Ordering::Relaxed);
+            if slot >= max_runs {
+                budget_hit.store(true, Ordering::Relaxed);
+                q.shutdown();
+                break 'items;
+            }
+            let oracle = Rc::new(RefCell::new(ReplayOracle::new(path.clone())));
+            let mut engine = build(Box::new(SharedOracle(oracle.clone())));
+            if prune_dead {
+                engine.set_prune_dead_sends(true);
+            }
+            engine.enable_fingerprints();
+            {
+                // Probe armed only once the run has left replayed
+                // territory: states visited *while replaying* were inserted
+                // by the runs that opened this branch, and pruning on them
+                // would wrongly discard the branch being opened.
+                let orc = oracle.clone();
+                let local = local.clone();
+                let seen = seen.clone();
+                engine.set_fingerprint_probe(Box::new(move |fp| {
+                    if !orc.borrow().replay_done() {
+                        return false;
+                    }
+                    seen.probe_insert(fp, &mut local.borrow_mut())
+                }));
+            }
+            engine.reserve_capacity(sizing.queue, sizing.trace);
+            let report = engine.run();
+            sizing.observe(&engine);
+            totals.dead_prunes += engine.dead_branch_prunes();
+            if engine.was_deduped() {
+                budget.fetch_sub(1, Ordering::Relaxed);
+                totals.dedup_hits += 1;
+            } else {
+                totals.runs += 1;
+                if let Err(message) = check(&engine, &report) {
+                    let taken: Vec<usize> = oracle.borrow().log.iter().map(|&(c, _)| c).collect();
+                    totals.violations.push(Violation {
+                        path: taken,
+                        message,
+                    });
+                }
+            }
+            // The truncated log of a deduplicated run prunes exactly the
+            // subtree below the convergence point: every schedule with this
+            // log as prefix passes through the already-covered state.
+            let next = oracle.borrow().next_path();
+            let mut p = match next {
+                Some(p) if p.len() > prefix_len => p,
+                _ => break,
+            };
+            // Dynamic re-split: a parked peer means the queue is dry —
+            // donate every unvisited sibling at the shallowest still-open
+            // level of our position and deepen our own prefix past it.
+            if q.idle_hint.load(Ordering::Relaxed) > 0 {
+                let log = oracle.borrow().log.clone();
+                let mut donated: Vec<Vec<usize>> = Vec::new();
+                for i in prefix_len..p.len() {
+                    let options = log[i].1;
+                    if p[i] + 1 < options {
+                        for c in p[i] + 1..options {
+                            let mut d = p[..i].to_vec();
+                            d.push(c);
+                            donated.push(d);
+                        }
+                        prefix_len = i + 1;
+                        break;
+                    }
+                }
+                if !donated.is_empty() {
+                    totals.resplits += 1;
+                    q.push_many(donated);
+                }
+            }
+            std::mem::swap(&mut path, &mut p);
+        }
+    }
+    totals.wall_s = started.elapsed().as_secs_f64();
+    totals
+}
+
+/// Reduced exploration over `threads` workers; emits `dpor` telemetry.
+fn explore_reduced_with<M, B, C>(
+    build: &B,
+    check: &C,
+    cfg: ExploreConfig,
+    threads: usize,
+    sink: &mut dyn TelemetrySink,
+) -> ExploreReport
+where
+    M: Message,
+    B: Fn(Box<dyn Oracle>) -> Engine<M> + Sync,
+    C: Fn(&Engine<M>, &RunReport) -> Result<(), String> + Sync,
+{
+    let started = std::time::Instant::now();
+    let workers = threads.max(1);
+    let seen = Arc::new(Seen::new(if workers > 1 { 64 } else { 1 }));
+    let q = WorkQueue::new(vec![Vec::new()]);
+    let budget = AtomicUsize::new(0);
+    let budget_hit = AtomicBool::new(false);
+    let per_worker: Vec<ReducedTotals> = if workers == 1 {
+        vec![reduced_worker(
+            build,
+            check,
+            &q,
+            1,
+            &seen,
+            &budget,
+            cfg.max_runs,
+            &budget_hit,
+            cfg.prune_dead_sends,
+        )]
+    } else {
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let q = &q;
+                    let seen = &seen;
+                    let budget = &budget;
+                    let budget_hit = &budget_hit;
+                    scope.spawn(move |_| {
+                        reduced_worker(
+                            build,
+                            check,
+                            q,
+                            workers,
+                            seen,
+                            budget,
+                            cfg.max_runs,
+                            budget_hit,
+                            cfg.prune_dead_sends,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reduced explorer worker panicked"))
+                .collect()
+        })
+        .expect("reduced explorer worker panicked")
+    };
+
+    let mut report = ExploreReport {
+        runs: 0,
+        exhausted: !budget_hit.load(Ordering::Relaxed),
+        violations: Vec::new(),
+        dedup_hits: 0,
+        dead_branch_prunes: 0,
+        resplits: 0,
+        full_tree_runs: None,
+    };
+    for (i, t) in per_worker.iter().enumerate() {
+        report.runs += t.runs;
+        report.dedup_hits += t.dedup_hits;
+        report.dead_branch_prunes += t.dead_prunes;
+        report.resplits += t.resplits;
+        sink.emit(
+            &Event::new("dpor_worker")
+                .with_u64("index", i as u64)
+                .with_u64("runs", t.runs as u64)
+                .with_u64("dedup_hits", t.dedup_hits as u64)
+                .with_u64("resplits", t.resplits as u64)
+                .with_f64("wall_s", t.wall_s),
+        );
+    }
+    for t in per_worker {
+        report.violations.extend(t.violations);
+    }
+    // Which worker executed a violating representative first is timing-
+    // dependent; path order makes the merged report deterministic in
+    // content for a fixed set of executed schedules.
+    report
+        .violations
+        .sort_by(|a, b| a.path.cmp(&b.path).then_with(|| a.message.cmp(&b.message)));
+    let wall_s = started.elapsed().as_secs_f64();
+    let attempted = report.runs + report.dedup_hits;
+    sink.emit(
+        &Event::new("dpor")
+            .with_u64("threads", workers as u64)
+            .with_u64("runs", report.runs as u64)
+            .with_u64("dedup_hits", report.dedup_hits as u64)
+            .with_u64("dead_branch_prunes", report.dead_branch_prunes)
+            .with_u64("resplits", report.resplits as u64)
+            .with_u64("violations", report.violations.len() as u64)
+            .with_bool("exhausted", report.exhausted)
+            .with_f64("prune_rate", report.prune_rate())
+            .with_f64("wall_s", wall_s)
+            .with_f64(
+                "sched_per_sec",
+                if wall_s > 0.0 {
+                    attempted as f64 / wall_s
+                } else {
+                    0.0
+                },
+            ),
+    );
+    report
 }
 
 /// One frontier node of the split tree: either a complete schedule shorter
@@ -268,15 +780,18 @@ enum FrontierItem {
     Subtree(Vec<usize>),
 }
 
-/// Exhaustively explores the schedule tree using `cfg.threads` worker
-/// threads (see the module docs for the partitioning scheme).
+/// Explores the schedule tree using `cfg.threads` worker threads, with the
+/// strategy selected by `cfg.mode` (see the module docs).
 ///
-/// Identical in observable behaviour to [`explore`] whenever the tree is
-/// exhausted within budget: same `runs`, same `exhausted`, and the same
-/// violations in the same (serial DFS) order, regardless of thread count.
-/// `build` and `check` must be thread-safe (`Sync`) because workers invoke
-/// them concurrently; runs themselves stay single-threaded and
-/// deterministic.
+/// In [`ExploreMode::Full`], identical in observable behaviour to
+/// [`explore`] whenever the tree is exhausted within budget: same `runs`,
+/// same `exhausted`, and the same violations in the same (serial DFS)
+/// order, regardless of thread count. In [`ExploreMode::Reduced`], the
+/// exhaustion verdict and the distinct violation set match full
+/// enumeration; executed-run counts and representative paths don't (that is
+/// the point). `build` and `check` must be thread-safe (`Sync`) because
+/// workers invoke them concurrently; runs themselves stay single-threaded
+/// and deterministic.
 pub fn explore_parallel<M, B, C>(build: B, check: C, cfg: ExploreConfig) -> ExploreReport
 where
     M: Message,
@@ -288,15 +803,17 @@ where
 
 /// [`explore_parallel`] with a telemetry sink attached.
 ///
-/// Emits one `frontier` event after the discovery phase (split depth,
-/// frontier size, how many nodes were complete leaves vs subtrees, and
-/// whether discovery stayed within budget) and one `subtree` event per
+/// Full mode emits one `frontier` event after the discovery phase (split
+/// depth, frontier size, how many nodes were complete leaves vs subtrees,
+/// and whether discovery stayed within budget) and one `subtree` event per
 /// subtree work item — runs, violations, exhaustion and worker-side
 /// throughput — **in frontier (= serial DFS) order** after the
-/// deterministic merge, whatever thread interleaving executed them. The
-/// sink is only touched from the calling thread, and only wall-clock
-/// fields depend on the machine: the report is the same object
-/// [`explore_parallel`] returns.
+/// deterministic merge, whatever thread interleaving executed them.
+/// Reduced mode emits one `dpor_worker` event per worker (in worker-index
+/// order) and a closing `dpor` summary (runs, dedup hits, dead-branch
+/// prunes, re-splits, prune rate). In both modes the sink is only touched
+/// from the calling thread, and only wall-clock fields depend on the
+/// machine: the report is the same object [`explore_parallel`] returns.
 pub fn explore_parallel_with<M, B, C>(
     build: B,
     check: C,
@@ -315,6 +832,9 @@ where
     } else {
         cfg.threads
     };
+    if cfg.mode == ExploreMode::Reduced {
+        return explore_reduced_with(&build, &check, cfg, threads, sink);
+    }
     let budget = AtomicUsize::new(0);
     if threads <= 1 {
         let mut b = &build;
@@ -335,6 +855,10 @@ where
             runs: out.runs,
             exhausted: out.exhausted,
             violations: out.violations,
+            dedup_hits: 0,
+            dead_branch_prunes: 0,
+            resplits: 0,
+            full_tree_runs: None,
         };
     }
 
@@ -462,17 +986,144 @@ where
         runs,
         exhausted,
         violations,
+        dedup_hits: 0,
+        dead_branch_prunes: 0,
+        resplits: 0,
+        full_tree_runs: None,
+    }
+}
+
+/// Result of [`explore_differential`]: full enumeration vs reduced
+/// exploration of the same instance, with the equivalence verdict.
+#[derive(Debug, Clone)]
+pub struct DifferentialReport {
+    /// The full-enumeration reference report.
+    pub full: ExploreReport,
+    /// The reduced report, with
+    /// [`full_tree_runs`](ExploreReport::full_tree_runs) filled in (so
+    /// [`ExploreReport::reduction_ratio`] is available).
+    pub reduced: ExploreReport,
+    /// `None` when the modes agree; otherwise a description of the first
+    /// discrepancy (exhaustion verdict, overall verdict, or distinct
+    /// violation sets).
+    pub mismatch: Option<String>,
+}
+
+impl DifferentialReport {
+    /// True when the reduced exploration matched the full reference.
+    pub fn agree(&self) -> bool {
+        self.mismatch.is_none()
+    }
+}
+
+/// Runs full enumeration and reduced exploration back to back and compares
+/// them: when the full reference exhausts, the reduced pass must too (its
+/// executed leaves are a subset), with the same overall pass/fail and the
+/// same *distinct violation set* (reduced mode executes one representative
+/// per converged state, so per-schedule counts differ by design). A
+/// budget-limited full reference makes the reports incomparable and never
+/// a mismatch. This is the correctness gate for the reduction — CI runs it
+/// on every instance the full explorer can exhaust.
+pub fn explore_differential<M, B, C>(
+    build: B,
+    check: C,
+    cfg: ExploreConfig,
+    sink: &mut dyn TelemetrySink,
+) -> DifferentialReport
+where
+    M: Message,
+    B: Fn(Box<dyn Oracle>) -> Engine<M> + Sync,
+    C: Fn(&Engine<M>, &RunReport) -> Result<(), String> + Sync,
+{
+    let full = explore_parallel_with(
+        &build,
+        &check,
+        ExploreConfig {
+            mode: ExploreMode::Full,
+            ..cfg
+        },
+        sink,
+    );
+    let mut reduced = explore_parallel_with(
+        &build,
+        &check,
+        ExploreConfig {
+            mode: ExploreMode::Reduced,
+            ..cfg
+        },
+        sink,
+    );
+    if full.exhausted {
+        reduced.full_tree_runs = Some(full.runs);
+    }
+    let mismatch = if !full.exhausted {
+        // The reference is incomplete: the visited schedule sets are
+        // incomparable. (Reduced may legitimately exhaust a tree full
+        // enumeration cannot within the same executed-run budget — that is
+        // the reduction working, not a discrepancy.)
+        None
+    } else if !reduced.exhausted {
+        // Reduced executes a subset of the full leaves, so with the same
+        // budget it must exhaust whenever full does.
+        Some(format!(
+            "full exhausted in {} runs but reduced hit the budget at {}",
+            full.runs, reduced.runs
+        ))
+    } else if full.all_ok() != reduced.all_ok() {
+        Some(format!(
+            "verdict differs: full all_ok={} reduced all_ok={}",
+            full.all_ok(),
+            reduced.all_ok()
+        ))
+    } else if full.distinct_violation_messages() != reduced.distinct_violation_messages() {
+        Some(format!(
+            "distinct violation sets differ: full={:?} reduced={:?}",
+            full.distinct_violation_messages(),
+            reduced.distinct_violation_messages()
+        ))
+    } else {
+        None
+    };
+    DifferentialReport {
+        full,
+        reduced,
+        mismatch,
     }
 }
 
 /// Re-runs a single schedule (e.g. a violating path from a previous
 /// exploration) and returns the engine for inspection.
+///
+/// Paths recorded under [`ExploreConfig::prune_dead_sends`] omit the elided
+/// choices — replay those with [`replay_pruned`] so the choice indices line
+/// up.
 pub fn replay<M: Message>(
+    build: impl FnMut(Box<dyn Oracle>) -> Engine<M>,
+    path: &[usize],
+) -> (Engine<M>, RunReport) {
+    replay_inner(build, path, false)
+}
+
+/// [`replay`] with [`EngineConfig::prune_dead_sends`](crate::engine::EngineConfig::prune_dead_sends)
+/// enabled — required for paths recorded by a reduced exploration that had
+/// [`ExploreConfig::prune_dead_sends`] on.
+pub fn replay_pruned<M: Message>(
+    build: impl FnMut(Box<dyn Oracle>) -> Engine<M>,
+    path: &[usize],
+) -> (Engine<M>, RunReport) {
+    replay_inner(build, path, true)
+}
+
+fn replay_inner<M: Message>(
     mut build: impl FnMut(Box<dyn Oracle>) -> Engine<M>,
     path: &[usize],
+    prune_dead: bool,
 ) -> (Engine<M>, RunReport) {
     let oracle = Rc::new(RefCell::new(ReplayOracle::new(path.to_vec())));
     let mut engine = build(Box::new(SharedOracle(oracle)));
+    if prune_dead {
+        engine.set_prune_dead_sends(true);
+    }
     let report = engine.run();
     (engine, report)
 }
@@ -529,6 +1180,30 @@ mod tests {
         eng
     }
 
+    /// Like `build_race`, but the 1-tick delay span quantised into 4
+    /// buckets makes buckets 0–2 collide on the same tick — converging
+    /// schedules the reduced explorer must deduplicate.
+    fn build_race_colliding(oracle: Box<dyn Oracle>) -> Engine<u32> {
+        let mut eng = Engine::new(
+            Box::new(SyncNet::new(SimDuration::from_ticks(1), 4)),
+            oracle,
+            EngineConfig::default(),
+        );
+        eng.add_process(Box::new(Judge::default()), DriftClock::perfect());
+        eng.add_process(Box::new(Racer { judge: 0 }), DriftClock::perfect());
+        eng.add_process(Box::new(Racer { judge: 0 }), DriftClock::perfect());
+        eng
+    }
+
+    fn racer2_wins_check(eng: &Engine<u32>, _r: &RunReport) -> Result<(), String> {
+        let judge = eng.process_as::<Judge>(0).unwrap();
+        if judge.first == Some(2) {
+            Err("racer 2 won".to_owned())
+        } else {
+            Ok(())
+        }
+    }
+
     #[test]
     fn explorer_finds_both_race_outcomes() {
         let mut winners = std::collections::HashSet::new();
@@ -551,18 +1226,7 @@ mod tests {
 
     #[test]
     fn explorer_reports_violations_with_replayable_paths() {
-        let report = explore(
-            build_race,
-            |eng, _| {
-                let judge = eng.process_as::<Judge>(0).unwrap();
-                if judge.first == Some(2) {
-                    Err("racer 2 won".to_owned())
-                } else {
-                    Ok(())
-                }
-            },
-            ExploreLimits::default(),
-        );
+        let report = explore(build_race, racer2_wins_check, ExploreLimits::default());
         assert!(report.exhausted);
         assert!(!report.all_ok());
         assert!(!report.violations.is_empty());
@@ -586,31 +1250,13 @@ mod tests {
     /// beyond the tree).
     #[test]
     fn parallel_matches_serial_on_race() {
-        let serial = explore(
-            build_race,
-            |eng, _| {
-                let judge = eng.process_as::<Judge>(0).unwrap();
-                if judge.first == Some(2) {
-                    Err("racer 2 won".to_owned())
-                } else {
-                    Ok(())
-                }
-            },
-            ExploreLimits::default(),
-        );
+        let serial = explore(build_race, racer2_wins_check, ExploreLimits::default());
         assert!(serial.exhausted);
         for threads in [2usize, 4, 8] {
             for split_depth in [0usize, 1, 2, 16] {
                 let par = explore_parallel(
                     build_race,
-                    |eng, _| {
-                        let judge = eng.process_as::<Judge>(0).unwrap();
-                        if judge.first == Some(2) {
-                            Err("racer 2 won".to_owned())
-                        } else {
-                            Ok(())
-                        }
-                    },
+                    racer2_wins_check,
                     ExploreConfig {
                         threads,
                         split_depth,
@@ -679,6 +1325,7 @@ mod tests {
                 max_runs: 2,
                 threads: 4,
                 split_depth: 1,
+                ..Default::default()
             },
         );
         assert_eq!(par.runs, 2);
@@ -711,5 +1358,214 @@ mod tests {
         );
         assert!(report.exhausted);
         assert_eq!(report.runs, 1);
+    }
+
+    // -- reduced exploration ------------------------------------------------
+
+    #[test]
+    fn reduced_deduplicates_colliding_schedules() {
+        // 2 racers × 4 buckets = 16 full schedules, but buckets 0–2 collide
+        // on the same delivery tick: only 2 distinct delays per racer → 4
+        // delay pairs, and the time-abstract fingerprint identifies every
+        // pair with the same *winner* (delivery order is all the judge
+        // observes). 2 distinct behaviours; the reduced explorer must
+        // execute exactly those and cut the rest.
+        let full = explore(
+            build_race_colliding,
+            |_, _| Ok(()),
+            ExploreLimits::default(),
+        );
+        assert!(full.exhausted);
+        assert_eq!(full.runs, 16);
+        let winners = std::sync::Mutex::new(std::collections::HashSet::new());
+        let reduced = explore_parallel(
+            build_race_colliding,
+            |eng, _| {
+                let judge = eng.process_as::<Judge>(0).unwrap();
+                winners.lock().unwrap().insert(judge.first);
+                Ok(())
+            },
+            ExploreConfig {
+                mode: ExploreMode::Reduced,
+                ..Default::default()
+            },
+        );
+        assert!(reduced.exhausted);
+        assert!(reduced.all_ok());
+        assert_eq!(reduced.runs, 2, "one representative per distinct behaviour");
+        assert_eq!(reduced.dedup_hits, 8, "pruned subtrees, counted at the cut");
+        let winners = winners.lock().unwrap();
+        assert!(winners.contains(&Some(1)), "racer 1 outcome preserved");
+        assert!(winners.contains(&Some(2)), "racer 2 outcome preserved");
+    }
+
+    #[test]
+    fn reduced_finds_the_seeded_violation() {
+        // Regression guard: the known "racer 2 wins" violation must survive
+        // reduction, serial and parallel, and its path must replay.
+        for threads in [1usize, 4] {
+            let reduced = explore_parallel(
+                build_race_colliding,
+                racer2_wins_check,
+                ExploreConfig {
+                    mode: ExploreMode::Reduced,
+                    prune_dead_sends: true,
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert!(reduced.exhausted, "t={threads}");
+            assert!(!reduced.all_ok(), "t={threads}");
+            assert_eq!(
+                reduced.distinct_violation_messages(),
+                ["racer 2 won"].into_iter().collect(),
+                "t={threads}"
+            );
+            for v in &reduced.violations {
+                let (eng, _) = replay_pruned(build_race_colliding, &v.path);
+                let judge = eng.process_as::<Judge>(0).unwrap();
+                assert_eq!(judge.first, Some(2), "t={threads}: path must replay");
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_matches_full_across_threads() {
+        for build in [build_race, build_race_colliding] {
+            let full = explore(build, racer2_wins_check, ExploreLimits::default());
+            assert!(full.exhausted);
+            for threads in [1usize, 2, 4] {
+                let reduced = explore_parallel(
+                    build,
+                    racer2_wins_check,
+                    ExploreConfig {
+                        mode: ExploreMode::Reduced,
+                        threads,
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(reduced.exhausted, full.exhausted, "t={threads}");
+                assert_eq!(reduced.all_ok(), full.all_ok(), "t={threads}");
+                assert_eq!(
+                    reduced.distinct_violation_messages(),
+                    full.distinct_violation_messages(),
+                    "t={threads}"
+                );
+                assert!(reduced.runs <= full.runs, "t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_respects_run_budget_counting_executed_only() {
+        let reduced = explore_parallel(
+            build_race_colliding,
+            |_, _| Ok(()),
+            ExploreConfig {
+                max_runs: 2,
+                mode: ExploreMode::Reduced,
+                ..Default::default()
+            },
+        );
+        assert!(!reduced.exhausted);
+        assert_eq!(reduced.runs, 2, "budget counts executed schedules");
+    }
+
+    #[test]
+    fn differential_agrees_and_reports_reduction() {
+        let mut ring = telemetry::RingSink::new(256);
+        let diff = explore_differential(
+            build_race_colliding,
+            racer2_wins_check,
+            ExploreConfig::default(),
+            &mut ring,
+        );
+        assert!(diff.agree(), "{:?}", diff.mismatch);
+        assert!(diff.full.exhausted && diff.reduced.exhausted);
+        assert_eq!(diff.reduced.full_tree_runs, Some(16));
+        let ratio = diff.reduced.reduction_ratio().unwrap();
+        assert!(ratio <= 0.25 + 1e-9, "4/16 executed, got {ratio}");
+        assert!(diff.reduced.prune_rate() > 0.0);
+        // The reduced pass emitted dpor telemetry.
+        let kinds: Vec<_> = ring.events().map(|e| e.kind().to_owned()).collect();
+        assert!(kinds.iter().any(|k| k == "dpor"), "{kinds:?}");
+        assert!(kinds.iter().any(|k| k == "dpor_worker"), "{kinds:?}");
+    }
+
+    #[test]
+    fn reduced_with_dead_send_elision_prunes_choices() {
+        // A judge that halts after the first arrival: the second racer's
+        // delivery is dead, so its delay choice is elided under
+        // prune_dead_sends and the tree shrinks further.
+        #[derive(Debug, Clone, Default)]
+        struct HaltingJudge {
+            first: Option<Pid>,
+        }
+        impl Process<u32> for HaltingJudge {
+            fn on_start(&mut self, _ctx: &mut Ctx<u32>) {}
+            fn on_message(&mut self, from: Pid, _m: u32, ctx: &mut Ctx<u32>) {
+                if self.first.is_none() {
+                    self.first = Some(from);
+                    ctx.mark("winner", from as i64);
+                    ctx.halt();
+                }
+            }
+            fn on_timer(&mut self, _i: TimerId, _c: &mut Ctx<u32>) {}
+            impl_process_boilerplate!(u32);
+        }
+        // Racers send only after a timer, so the judge's halt can precede
+        // the *send* of the loser's message on some schedules.
+        #[derive(Debug, Clone)]
+        struct TimedRacer {
+            judge: Pid,
+            delay: u64,
+        }
+        impl Process<u32> for TimedRacer {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                ctx.set_timer_after(0, SimDuration::from_ticks(self.delay));
+            }
+            fn on_message(&mut self, _f: Pid, _m: u32, _c: &mut Ctx<u32>) {}
+            fn on_timer(&mut self, _i: TimerId, ctx: &mut Ctx<u32>) {
+                ctx.send(self.judge, 1);
+            }
+            impl_process_boilerplate!(u32);
+        }
+        let build = |oracle: Box<dyn Oracle>| {
+            let mut eng = Engine::new(
+                Box::new(SyncNet::new(SimDuration::from_ticks(100), 2)),
+                oracle,
+                EngineConfig::default(),
+            );
+            eng.add_process(Box::new(HaltingJudge::default()), DriftClock::perfect());
+            eng.add_process(
+                Box::new(TimedRacer { judge: 0, delay: 1 }),
+                DriftClock::perfect(),
+            );
+            eng.add_process(
+                Box::new(TimedRacer {
+                    judge: 0,
+                    delay: 500,
+                }),
+                DriftClock::perfect(),
+            );
+            eng
+        };
+        let full = explore(build, |_, _| Ok(()), ExploreLimits::default());
+        assert!(full.exhausted);
+        let reduced = explore_parallel(
+            build,
+            |_, _| Ok(()),
+            ExploreConfig {
+                mode: ExploreMode::Reduced,
+                prune_dead_sends: true,
+                ..Default::default()
+            },
+        );
+        assert!(reduced.exhausted);
+        assert!(
+            reduced.dead_branch_prunes > 0,
+            "the late racer's dead delivery must be elided"
+        );
+        assert!(reduced.runs < full.runs);
     }
 }

@@ -1,0 +1,141 @@
+//! State fingerprinting for the reduced schedule explorer.
+//!
+//! The exhaustive explorer ([`crate::explore`]) enumerates oracle-choice
+//! paths; many paths converge to the same engine state (a message that took
+//! the fast bucket and a slow σ draw can land exactly where a slow bucket
+//! and a fast draw would have). [`crate::engine::Engine::enable_fingerprints`]
+//! folds everything the run's *future* can depend on into a 64-bit FNV-1a
+//! digest after every dispatched event, so the explorer can cut a run short
+//! the moment it re-enters territory another schedule already covered.
+//!
+//! What the digest covers — and why each piece is needed — is documented on
+//! [`crate::engine::Engine::enable_fingerprints`]; this module only provides
+//! the hasher: a tiny allocation-free FNV-1a accumulator that doubles as a
+//! [`std::fmt::Write`] target, so a process's `Debug` rendering can be
+//! streamed straight into the digest without ever materialising the string.
+
+use std::fmt;
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// Incremental 64-bit FNV-1a hasher.
+///
+/// Deliberately *not* [`std::hash::Hasher`]: fingerprints are compared
+/// across runs, threads and (via violation paths) processes, so the digest
+/// must be a fixed function of the bytes fed in — never of `RandomState`
+/// seeds or platform defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// Feeds one `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds one `usize`.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds one `i64`.
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds one `bool`.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_bytes(&[v as u8]);
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Write for Fnv64 {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.write_bytes(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Digest of a value's `Debug` rendering, streamed (no allocation).
+pub fn debug_digest<T: fmt::Debug + ?Sized>(value: &T) -> u64 {
+    use fmt::Write as _;
+    let mut h = Fnv64::new();
+    let _ = write!(h, "{value:?}");
+    h.finish()
+}
+
+/// One FNV-1a mixing step over a single `u64` — handy for chaining digests
+/// without constructing a hasher.
+pub fn mix(acc: u64, v: u64) -> u64 {
+    let mut h = Fnv64(acc);
+    h.write_u64(v);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        let mut a = Fnv64::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv64::new();
+        b.write_u64(1);
+        b.write_u64(2);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv64::new();
+        c.write_u64(2);
+        c.write_u64(1);
+        assert_ne!(a.finish(), c.finish(), "order matters");
+    }
+
+    #[test]
+    fn debug_digest_streams_rendering() {
+        #[derive(Debug)]
+        struct S {
+            #[allow(dead_code)] // read only through the Debug rendering
+            x: u32,
+        }
+        assert_eq!(debug_digest(&S { x: 1 }), debug_digest(&S { x: 1 }));
+        assert_ne!(debug_digest(&S { x: 1 }), debug_digest(&S { x: 2 }));
+    }
+
+    #[test]
+    fn mix_chains() {
+        let a = mix(mix(FNV_OFFSET, 1), 2);
+        let mut h = Fnv64::new();
+        h.write_u64(1);
+        h.write_u64(2);
+        assert_eq!(a, h.finish());
+        assert_ne!(mix(FNV_OFFSET, 1), mix(FNV_OFFSET, 2));
+    }
+}

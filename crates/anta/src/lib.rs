@@ -73,6 +73,7 @@ pub mod automaton;
 pub mod clock;
 pub mod engine;
 pub mod explore;
+pub mod fingerprint;
 pub mod net;
 pub mod oracle;
 pub mod process;
@@ -87,14 +88,18 @@ pub mod prelude {
     pub use crate::clock::DriftClock;
     pub use crate::engine::{Engine, EngineConfig, RunReport};
     pub use crate::explore::{
-        explore, explore_parallel, explore_parallel_with, replay, ExploreConfig, ExploreLimits,
-        ExploreReport,
+        explore, explore_differential, explore_parallel, explore_parallel_with, replay,
+        replay_pruned, DifferentialReport, ExploreConfig, ExploreLimits, ExploreMode,
+        ExploreReport, Violation,
     };
+    pub use crate::fingerprint::{debug_digest, Fnv64};
     pub use crate::net::{
         AdversarialNet, Delivery, EnvelopeMeta, FaultyNet, NetFaults, NetModel, PartialSyncNet,
         PreGstPolicy, SyncNet,
     };
-    pub use crate::oracle::{FixedOracle, Oracle, RandomOracle, ReplayOracle};
+    pub use crate::oracle::{
+        ChoiceKind, ChoiceTag, FixedOracle, Oracle, RandomOracle, ReplayOracle,
+    };
     pub use crate::process::{Ctx, Effect, Message, Pid, Process, TimerId};
     pub use crate::time::{SimDuration, SimTime, MILLI, SECOND};
     pub use crate::trace::{Trace, TraceEvent, TraceKind, TraceMode};

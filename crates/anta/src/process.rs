@@ -127,7 +127,15 @@ impl<M> Ctx<M> {
 }
 
 /// A participant in the simulated network.
-pub trait Process<M>: 'static {
+///
+/// `Debug` is a supertrait because the reduced schedule explorer
+/// fingerprints engine states: a process's protocol-relevant state is
+/// digested from its `Debug` rendering (see
+/// [`crate::engine::Engine::enable_fingerprints`]). The rendering must
+/// therefore cover every field that can influence the process's future
+/// behaviour; shared immutable configuration (specs, key registries) may be
+/// elided from manual impls, mutable state may not.
+pub trait Process<M>: std::fmt::Debug + 'static {
     /// Invoked once at simulation start (time 0 on the local clock modulo
     /// offset). ANTA automata use this to leave their initial grey states.
     fn on_start(&mut self, ctx: &mut Ctx<M>);
@@ -144,6 +152,39 @@ pub trait Process<M>: 'static {
     /// Clones the process into a fresh box — required by the schedule
     /// explorer, which forks simulations at choice points.
     fn box_clone(&self) -> Box<dyn Process<M>>;
+
+    /// Digest of the process's **time-free** mutable state, folded into the
+    /// engine's state fingerprint. Default: the full `Debug` rendering.
+    ///
+    /// Override (together with [`Process::fp_times`]) when the process
+    /// stores absolute local-clock instants (`ctx.now()` snapshots). The
+    /// override must digest every behaviour-bearing field **except** those
+    /// instants (including an `is_some()` flag for optional ones), and then
+    /// for each instant either:
+    ///
+    /// * push it to `fp_times`, in a fixed order, if the process's *future*
+    ///   behaviour still reads it (a live `now ≥ u + d` timeout race). The
+    ///   engine folds it as a residue against the current local clock, so
+    ///   states with the same pending-timeout structure reached earlier or
+    ///   later fingerprint identically and deduplicate; or
+    /// * omit it entirely if it is kept only for post-run checkers (a
+    ///   recorded "when did I pay" instant). Past times are deliberately
+    ///   abstracted out of the fingerprint — see the time-robust checker
+    ///   contract on
+    ///   [`Engine::enable_fingerprints`](crate::engine::Engine::enable_fingerprints).
+    ///
+    /// Keeping an absolute instant in the default `Debug` digest is always
+    /// *sound* (extra distinctions never merge states wrongly); it only
+    /// forfeits reduction.
+    fn fp_digest(&self) -> u64 {
+        crate::fingerprint::debug_digest(self)
+    }
+
+    /// Absolute local-clock instants this process's **future** behaviour
+    /// still reads, pushed in a fixed order; folded into the state
+    /// fingerprint as residues against the local clock. See
+    /// [`Process::fp_digest`] for the override contract. Default: none.
+    fn fp_times(&self, _out: &mut Vec<SimTime>) {}
 }
 
 impl<M: 'static> Clone for Box<dyn Process<M>> {

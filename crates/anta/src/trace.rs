@@ -6,6 +6,7 @@
 //! and process states; the trace is the executable counterpart of the
 //! paper's "upon termination / eventually" quantifiers.
 
+use crate::fingerprint::Fnv64;
 use crate::process::Pid;
 use crate::time::SimTime;
 
@@ -112,6 +113,10 @@ pub struct Trace<M> {
     /// Real time of the most recently recorded event (including events
     /// skipped by `CountersOnly`).
     end: SimTime,
+    /// Rolling digest of every recorded event (kind, pids, times, mark
+    /// labels/values) in order, maintained only when the engine enabled
+    /// state fingerprinting. `None` ⇒ disabled (zero overhead).
+    obs_digest: Option<Fnv64>,
 }
 
 impl<M> Default for Trace<M> {
@@ -124,6 +129,7 @@ impl<M> Default for Trace<M> {
             dropped: 0,
             delivered_to: Vec::new(),
             end: SimTime::ZERO,
+            obs_digest: None,
         }
     }
 }
@@ -155,6 +161,76 @@ impl<M> Trace<M> {
         }
     }
 
+    /// Turns on the rolling observable digest (reduced-explorer support).
+    /// Must be called before any event is recorded.
+    pub(crate) fn enable_digest(&mut self) {
+        debug_assert!(self.events.is_empty() && self.end == SimTime::ZERO);
+        self.obs_digest = Some(Fnv64::new());
+    }
+
+    /// The rolling digest of recorded events, when enabled. Covers kind,
+    /// pids and mark labels/values — the *time-free* part of everything the
+    /// outcome extractors read from a counters-only trace. Deliberately
+    /// **not** covered here:
+    ///
+    /// * **event timestamps** — folding times (even relative ones) would
+    ///   make the state fingerprint distinguish runs that differ only in
+    ///   *when* the same events happened, defeating deduplication across
+    ///   σ-delay choices. Merged runs therefore agree on the order of
+    ///   events but not on their timestamps: a checker combined with
+    ///   state-hash deduplication must be *time-robust* — its verdict may
+    ///   read trace times only through predicates that hold (or fail)
+    ///   uniformly across all schedules of the instance (see
+    ///   [`Engine::enable_fingerprints`](crate::engine::Engine::enable_fingerprints)
+    ///   for the full contract, and the differential explorer mode that
+    ///   validates it per instance);
+    /// * **stored message payloads** — in-flight payloads are digested by
+    ///   the engine's queue hash; checkers that read payload bytes out of a
+    ///   `Full` trace must not be combined with state-hash deduplication.
+    pub fn obs_digest(&self) -> Option<u64> {
+        self.obs_digest.map(|h| h.finish())
+    }
+
+    fn digest_event(&mut self, kind: &TraceKind<M>) {
+        let Some(h) = self.obs_digest.as_mut() else {
+            return;
+        };
+        match kind {
+            TraceKind::Sent { from, to, .. } => {
+                h.write_u64(1);
+                h.write_usize(*from);
+                h.write_usize(*to);
+            }
+            TraceKind::Delivered { from, to, .. } => {
+                h.write_u64(2);
+                h.write_usize(*from);
+                h.write_usize(*to);
+            }
+            TraceKind::Dropped { from, to, .. } => {
+                h.write_u64(3);
+                h.write_usize(*from);
+                h.write_usize(*to);
+            }
+            TraceKind::TimerFired { pid, id } => {
+                h.write_u64(4);
+                h.write_usize(*pid);
+                h.write_u64(*id);
+            }
+            TraceKind::Halted { pid, .. } => {
+                h.write_u64(5);
+                h.write_usize(*pid);
+            }
+            TraceKind::Mark {
+                pid, label, value, ..
+            } => {
+                h.write_u64(6);
+                h.write_usize(*pid);
+                h.write_bytes(label.as_bytes());
+                h.write_i64(*value);
+            }
+        }
+    }
+
     pub(crate) fn push(&mut self, real: SimTime, kind: TraceKind<M>) {
         match &kind {
             TraceKind::Sent { .. } => self.sent += 1,
@@ -162,6 +238,7 @@ impl<M> Trace<M> {
             TraceKind::Dropped { .. } => self.dropped += 1,
             _ => {}
         }
+        self.digest_event(&kind);
         self.end = real;
         self.events.push(TraceEvent { real, kind });
     }

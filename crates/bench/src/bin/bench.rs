@@ -59,6 +59,24 @@ struct ExplorerRow {
     schedules_per_sec: f64,
 }
 
+/// One reduced-explorer (DPOR) measurement row.
+struct DporRow {
+    instance: &'static str,
+    threads: usize,
+    runs: usize,
+    dedup_hits: usize,
+    resplits: usize,
+    exhausted: bool,
+    violations: usize,
+    wall_ms: f64,
+    /// Attempted schedules (executed + deduplicated cuts) per second — the
+    /// explorer's raw pace through the tree.
+    schedules_per_sec: f64,
+    /// Full-tree leaves over executed runs (higher is better); `None` when
+    /// the instance's full tree size is unknown.
+    reduction_factor: Option<f64>,
+}
+
 /// One engine-throughput measurement row.
 struct EngineRow {
     workload: &'static str,
@@ -226,6 +244,56 @@ fn main() {
                 row.runs, row.exhausted, row.wall_ms, row.schedules_per_sec
             );
             explorer_rows.push(row);
+        }
+    }
+
+    // Reduced (DPOR) explorer: state-hash dedup + dead-branch elision +
+    // dynamic re-splitting. Full-tree sizes are known for the lean
+    // (σ-pinned) instances, giving an exact reduction factor; n = 2 runs
+    // full and DPOR side by side (the `explorer` rows above cover full
+    // mode), n = 3 is DPOR-only at a tree full enumeration takes minutes
+    // on. The scaling_t4_over_t1 keys are the signal that dynamic
+    // re-splitting keeps workers busy (≈ 1.0 on a single-core runner).
+    let mut dpor_instances: Vec<(&'static str, usize, usize, usize, Option<usize>)> =
+        vec![("e4_n2_dpor", 2, 1, 200_000, Some(4096))];
+    if !args.quick {
+        dpor_instances.push(("e4_n3_dpor", 3, 1, 1_000_000, Some(262_144)));
+    }
+    let mut dpor_rows: Vec<DporRow> = Vec::new();
+    for &(label, n, sigma_buckets, max_runs, full_tree) in &dpor_instances {
+        for &threads in &args.threads {
+            let t0 = Instant::now();
+            let r = experiments::e4::explore_instance_dpor(n, threads, max_runs, sigma_buckets);
+            let wall = t0.elapsed();
+            let attempted = r.runs + r.dedup_hits;
+            let row = DporRow {
+                instance: label,
+                threads,
+                runs: r.runs,
+                dedup_hits: r.dedup_hits,
+                resplits: r.resplits,
+                exhausted: r.exhausted,
+                violations: r.violations.len(),
+                wall_ms: ms(wall),
+                schedules_per_sec: attempted as f64 / wall.as_secs_f64().max(1e-9),
+                reduction_factor: full_tree
+                    .filter(|_| r.exhausted && r.runs > 0)
+                    .map(|full| full as f64 / r.runs as f64),
+            };
+            eprintln!(
+                "dpor     {label:<11} threads={threads} runs={} dedup={} resplits={} \
+                 exhausted={} {:.1} ms ({:.0} schedules/s{})",
+                row.runs,
+                row.dedup_hits,
+                row.resplits,
+                row.exhausted,
+                row.wall_ms,
+                row.schedules_per_sec,
+                row.reduction_factor
+                    .map(|f| format!(", {f:.2}x reduction"))
+                    .unwrap_or_default()
+            );
+            dpor_rows.push(row);
         }
     }
 
@@ -613,6 +681,28 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"explorer_dpor\": [\n");
+    for (i, r) in dpor_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"instance\": \"{}\", \"threads\": {}, \"runs\": {}, \"dedup_hits\": {}, \
+             \"resplits\": {}, \"exhausted\": {}, \"violations\": {}, \"wall_ms\": {:.3}, \
+             \"schedules_per_sec\": {:.1}, \"reduction_factor\": {}}}{}\n",
+            r.instance,
+            r.threads,
+            r.runs,
+            r.dedup_hits,
+            r.resplits,
+            r.exhausted,
+            r.violations,
+            r.wall_ms,
+            r.schedules_per_sec,
+            r.reduction_factor
+                .map(|f| format!("{f:.4}"))
+                .unwrap_or_else(|| "null".to_owned()),
+            if i + 1 < dpor_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"engine\": [\n");
     for (i, r) in engine_rows.iter().enumerate() {
         json.push_str(&format!(
@@ -775,6 +865,22 @@ fn main() {
             r.schedules_per_sec / args.handicap,
         );
     }
+    for r in &dpor_rows {
+        rates.insert(
+            format!(
+                "explorer_dpor/{}/t{}/schedules_per_sec",
+                r.instance, r.threads
+            ),
+            r.schedules_per_sec / args.handicap,
+        );
+        // The reduction factor is a ratio, not a wall-clock rate: the
+        // handicap (and machine speed) cancel out of it. Gate only the
+        // serial row — executed-run counts at t > 1 can vary a little with
+        // which worker reaches a converging state first.
+        if let (1, Some(f)) = (r.threads, r.reduction_factor) {
+            rates.insert(format!("explorer_dpor/{}/reduction_factor", r.instance), f);
+        }
+    }
     for r in &engine_rows {
         rates.insert(
             format!("engine/{}/{}/events_per_sec", r.workload, r.trace_mode),
@@ -845,6 +951,21 @@ fn main() {
         if let (Some(t1), Some(t4)) = (rate(1), rate(4)) {
             if t1 > 0.0 {
                 rates.insert(format!("open/{label}/scaling_t4_over_t1"), t4 / t1);
+            }
+        }
+    }
+    // Reduced-explorer thread scaling: the signal that dynamic re-splitting
+    // keeps workers fed. The handicap cancels in the quotient.
+    for &(label, ..) in &dpor_instances {
+        let rate = |threads: usize| {
+            dpor_rows
+                .iter()
+                .find(|r| r.instance == label && r.threads == threads)
+                .map(|r| r.schedules_per_sec)
+        };
+        if let (Some(t1), Some(t4)) = (rate(1), rate(4)) {
+            if t1 > 0.0 {
+                rates.insert(format!("explorer_dpor/{label}/scaling_t4_over_t1"), t4 / t1);
             }
         }
     }

@@ -22,14 +22,16 @@ pub struct TelemetrySummary {
     pub cells: usize,
     /// Per-venue series points (`venue` + `venue_des` events).
     pub venue_points: usize,
+    /// Reduced-explorer progress events (`dpor` + `dpor_worker`).
+    pub dpor_events: usize,
 }
 
 impl fmt::Display for TelemetrySummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} events ({} epochs, {} cells, {} venue points)",
-            self.events, self.epochs, self.cells, self.venue_points
+            "{} events ({} epochs, {} cells, {} venue points, {} dpor)",
+            self.events, self.epochs, self.cells, self.venue_points, self.dpor_events
         )
     }
 }
@@ -38,10 +40,12 @@ impl fmt::Display for TelemetrySummary {
 ///
 /// Always checked: the header parses with the supported schema version
 /// (delegated to [`telemetry::parse_jsonl`]), every line parses, at
-/// least one `epoch` or `cell` progress event exists, `epoch` ids are
-/// strictly increasing, `cell` ids are non-decreasing (cross-protocol
-/// sweeps emit one event per protocol within the same cell), and every
-/// venue event carries a venue id. With `require_venues`, the stream
+/// least one `epoch`, `cell`, `dpor` or `dpor_worker` progress event
+/// exists, `epoch` ids are strictly increasing, `cell` ids are
+/// non-decreasing (cross-protocol sweeps emit one event per protocol
+/// within the same cell), every `dpor`/`dpor_worker` event carries a
+/// `runs` count (the reduced-explorer streams from `exp4 --telemetry`),
+/// and every venue event carries a venue id. With `require_venues`, the stream
 /// must also contain a non-empty per-venue series — true of every
 /// open-system artifact; pass `false` for closed-campaign streams,
 /// which have no liquidity book to sample.
@@ -90,11 +94,16 @@ pub fn validate(text: &str, require_venues: bool) -> Result<TelemetrySummary, St
                     .ok_or_else(|| format!("line {line}: {} event without venue id", e.kind()))?;
                 summary.venue_points += 1;
             }
+            "dpor" | "dpor_worker" => {
+                e.u64_field("runs")
+                    .ok_or_else(|| format!("line {line}: {} event without runs count", e.kind()))?;
+                summary.dpor_events += 1;
+            }
             _ => {}
         }
     }
-    if summary.epochs == 0 && summary.cells == 0 {
-        return Err("no epoch or cell progress events in stream".to_owned());
+    if summary.epochs == 0 && summary.cells == 0 && summary.dpor_events == 0 {
+        return Err("no epoch, cell or dpor progress events in stream".to_owned());
     }
     if require_venues && summary.venue_points == 0 {
         return Err("no per-venue series in stream (expected venue/venue_des events)".to_owned());
@@ -160,6 +169,23 @@ mod tests {
         let text = stream(&[epoch(0), epoch(1)]);
         assert!(validate(&text, false).is_ok());
         assert!(validate(&text, true).unwrap_err().contains("venue"));
+    }
+
+    #[test]
+    fn accepts_dpor_streams_as_progress() {
+        let worker = Event::new("dpor_worker")
+            .with_u64("index", 0)
+            .with_u64("runs", 42);
+        let summary = Event::new("dpor")
+            .with_u64("threads", 1)
+            .with_u64("runs", 42)
+            .with_u64("dedup_hits", 7);
+        let text = stream(&[worker, summary]);
+        let s = validate(&text, false).unwrap();
+        assert_eq!(s.dpor_events, 2);
+
+        let bad = stream(&[Event::new("dpor").with_u64("threads", 1)]);
+        assert!(validate(&bad, false).unwrap_err().contains("runs"));
     }
 
     #[test]

@@ -54,6 +54,20 @@ pub struct Config<V> {
     pub validity: Arc<dyn Fn(&V) -> bool + Send + Sync>,
 }
 
+/// Manual impl: the external validity predicate is a closure and is elided
+/// — configuration is immutable, so nothing behaviour-relevant to the
+/// engine's fingerprinting contract is lost.
+impl<V> std::fmt::Debug for Config<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Config")
+            .field("instance", &self.instance)
+            .field("members", &self.members)
+            .field("f", &self.f)
+            .field("base_timeout", &self.base_timeout)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<V> Config<V> {
     /// Quorum size `2f+1`.
     pub fn quorum(&self) -> usize {
@@ -145,6 +159,27 @@ pub struct NotaryCore<V> {
     precommitted_rounds: Vec<u32>,
     decided: Option<(u32, V)>,
     decision_broadcast: bool,
+}
+
+/// Manual impl for the engine's fingerprinting contract: all mutable
+/// protocol state is rendered; `cfg`, `signer`, and `pki` are shared
+/// immutable configuration (and hold closures/secret keys) so they are
+/// elided — secrets must never reach a Debug rendering.
+impl<V: ConsensusValue> std::fmt::Debug for NotaryCore<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NotaryCore")
+            .field("input", &self.input)
+            .field("round", &self.round)
+            .field("locked", &self.locked)
+            .field("proposals", &self.proposals)
+            .field("prevotes", &self.prevotes)
+            .field("precommits", &self.precommits)
+            .field("prevoted_rounds", &self.prevoted_rounds)
+            .field("precommitted_rounds", &self.precommitted_rounds)
+            .field("decided", &self.decided)
+            .field("decision_broadcast", &self.decision_broadcast)
+            .finish()
+    }
 }
 
 impl<V: ConsensusValue> NotaryCore<V> {

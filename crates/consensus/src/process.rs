@@ -20,6 +20,18 @@ pub struct NotaryProcess<V> {
     decision: Option<(u32, V, Vec<Signature>)>,
 }
 
+/// Manual impl: mutable state (`core`, `decision`) rendered in full, the
+/// static peer list included for context.
+impl<V: ConsensusValue> std::fmt::Debug for NotaryProcess<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NotaryProcess")
+            .field("core", &self.core)
+            .field("peers", &self.peers)
+            .field("decision", &self.decision)
+            .finish()
+    }
+}
+
 impl<V: ConsensusValue> NotaryProcess<V> {
     /// Wraps a core; `peers` are the engine pids of the other members.
     pub fn new(core: NotaryCore<V>, peers: Vec<Pid>) -> Self {
@@ -119,6 +131,20 @@ pub struct EquivocatorNotary<V> {
     value_a: V,
     value_b: V,
     rounds: u32,
+}
+
+/// Manual impl: the equivocator is stateless after `on_start`; its static
+/// configuration is rendered except the signer (secret key material).
+impl<V: ConsensusValue> std::fmt::Debug for EquivocatorNotary<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EquivocatorNotary")
+            .field("instance", &self.instance)
+            .field("peers", &self.peers)
+            .field("value_a", &self.value_a)
+            .field("value_b", &self.value_b)
+            .field("rounds", &self.rounds)
+            .finish()
+    }
 }
 
 impl<V: ConsensusValue> EquivocatorNotary<V> {

@@ -20,6 +20,7 @@ use xcrypto::{PaymentId, Pki, Receipt, Signer};
 /// Wraps any process and crashes it (silently drops all events) once the
 /// local clock passes `at`. Models fail-stop at an arbitrary protocol
 /// step.
+#[derive(Debug)]
 pub struct CrashAfter {
     inner: Box<dyn Process<PMsg>>,
     at: SimDuration,
@@ -85,7 +86,7 @@ impl Process<PMsg> for CrashAfter {
 /// receiving `P(a_{n-1})` before sending the certificate — past the
 /// escrow's deadline if `delay` exceeds it. A late Bob is not abiding, so
 /// CS2 does not protect him; the tests assert everyone else stays whole.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct LateBob {
     escrow: Pid,
     signer: Signer,
@@ -138,7 +139,7 @@ impl Process<PMsg> for LateBob {
 /// A connector that tries to fabricate χ (signing it herself) instead of
 /// paying downstream — the classic theft attempt, defeated by
 /// authentication.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct ForgingChloe {
     up_escrow: Pid,
     signer: Signer,
@@ -186,7 +187,7 @@ impl Process<PMsg> for ForgingChloe {
 /// trusted party. The paper's trust model is explicit that the victim's
 /// customer security is forfeit (she trusted this escrow); the tests
 /// assert the *other* hops stay safe.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct ThievingEscrow {
     up: Pid,
     signer: Signer,
@@ -247,7 +248,7 @@ impl Process<PMsg> for ThievingEscrow {
 /// Weak protocol: a customer who forges abort requests *in other
 /// customers' names*. Authentication makes these inert; her own (honest)
 /// abort right is unaffected.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct ImpersonatingAborter {
     tm_pids: Vec<Pid>,
     signer: Signer,

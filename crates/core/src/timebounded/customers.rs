@@ -41,7 +41,7 @@ pub enum CustomerOutcome {
 }
 
 /// Alice — customer `c_0`.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct AliceProcess {
     escrow: Pid,
     escrow_key: KeyId,
@@ -166,10 +166,24 @@ impl Process<PMsg> for AliceProcess {
     fn box_clone(&self) -> Box<dyn Process<PMsg>> {
         Box::new(self.clone())
     }
+
+    /// Mutable state only — the wiring (pids, keys, bounds) is per-run
+    /// constant. `sent_money_at` is excluded entirely: her future behaviour
+    /// never reads it (it exists for the post-run `T`-clause check, which
+    /// the timeout calculus guarantees uniformly across schedules — the
+    /// time-robust checker contract on `Engine::enable_fingerprints`).
+    fn fp_digest(&self) -> u64 {
+        anta::fingerprint::debug_digest(&(
+            self.sent_money,
+            self.sent_money_at.is_some(),
+            self.outcome,
+            &self.receipt,
+        ))
+    }
 }
 
 /// Chloe_i — connector `c_i` (`0 < i < n`).
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct ChloeProcess {
     index: usize,
     up_escrow: Pid,
@@ -348,7 +362,7 @@ impl Process<PMsg> for ChloeProcess {
 }
 
 /// Bob — customer `c_n`.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct BobProcess {
     escrow: Pid,
     escrow_key: KeyId,

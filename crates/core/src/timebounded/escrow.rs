@@ -43,7 +43,7 @@ pub enum EscrowState {
 const TIMER_CHI: TimerId = 1;
 
 /// The executable escrow.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct EscrowProcess {
     /// Chain index `i` of this escrow `e_i`.
     index: usize,
@@ -244,6 +244,22 @@ impl Process<PMsg> for EscrowProcess {
     fn box_clone(&self) -> Box<dyn Process<PMsg>> {
         Box::new(self.clone())
     }
+
+    /// Digests the mutable state only — the wiring (pids, keys, bounds,
+    /// payment id) is per-run constant, and `u` goes through
+    /// [`Process::fp_times`] so the `now ≥ u + a_i` race fingerprints as a
+    /// clock residue rather than an absolute instant.
+    fn fp_digest(&self) -> u64 {
+        anta::fingerprint::debug_digest(&(&self.ledger, self.state, self.deal, self.u.is_some()))
+    }
+
+    /// `u` is future-relevant only while the `now ≥ u + a_i` race is live;
+    /// once resolved it is a past time, abstracted out of the fingerprint.
+    fn fp_times(&self, out: &mut Vec<SimTime>) {
+        if self.state == EscrowState::AwaitChi {
+            out.extend(self.u);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -311,7 +327,7 @@ mod tests {
 
     /// A scripted customer that sends a canned sequence of messages at
     /// fixed local times and records everything it receives.
-    #[derive(Clone)]
+    #[derive(Debug, Clone)]
     struct Script {
         sends: Vec<(u64 /*local µs*/, Pid, PMsg)>,
         received: Vec<PMsg>,

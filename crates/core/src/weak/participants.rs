@@ -120,7 +120,7 @@ const TIMER_ABORT: TimerId = 2;
 
 /// A customer in the weak protocol (role-dispatched: Alice/Chloe stage
 /// money, Bob sends acceptance).
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct WeakCustomer {
     /// Customer index `0..=n` (`n` ⇒ Bob).
     index: usize,
@@ -273,7 +273,7 @@ impl Process<PMsg> for WeakCustomer {
 
 /// An escrow in the weak protocol: locks on the customer's instruction,
 /// reports to the manager, settles on the certificate.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct WeakEscrow {
     index: usize,
     up: Pid,

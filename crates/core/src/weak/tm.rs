@@ -105,7 +105,7 @@ impl Evidence {
 }
 
 /// A single trusted transaction manager.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct TrustedTm {
     signer: Signer,
     pki: Arc<Pki>,
@@ -229,7 +229,7 @@ impl Process<PMsg> for TrustedTm {
 /// verdict as input. When consensus decides, the notary signs a decision
 /// certificate *share*; participants accept once `2f+1` distinct shares
 /// verify (see `CertCollector`).
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct NotaryTm {
     signer: Signer,
     pki: Arc<Pki>,

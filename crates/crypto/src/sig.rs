@@ -97,6 +97,17 @@ pub struct Pki {
     base_seed: u64,
 }
 
+impl std::fmt::Debug for Pki {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the key secrets — only the universe seed and how many
+        // keys are registered.
+        f.debug_struct("Pki")
+            .field("base_seed", &self.base_seed)
+            .field("keys", &self.secrets.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Pki {
     /// Creates an empty PKI seeded deterministically; `seed` separates
     /// independent simulation universes so signatures from one run cannot

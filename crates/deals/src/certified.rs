@@ -32,7 +32,7 @@ pub fn abort_payload(deal_id: &PaymentId) -> Vec<u8> {
 
 /// The certified blockchain: orders votes, certifies one verdict, and
 /// keeps a hash-linked public log of everything it saw.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct CertifiedChain {
     deal_id: PaymentId,
     pki: StdArc<Pki>,
@@ -130,7 +130,7 @@ impl Process<DMsg> for CertifiedChain {
 
 /// An arc escrow under the certified protocol: no deadline — it settles
 /// exclusively on the CBC verdict.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct CertifiedEscrow {
     arc: usize,
     asset: ledger::Asset,
@@ -233,7 +233,7 @@ const TIMER_PATIENCE: TimerId = 5;
 /// A party under the certified protocol: deposits, votes commit to the
 /// CBC once everything is escrowed, and (optionally) votes abort when its
 /// patience runs out.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct CertifiedParty {
     me: Party,
     signer: Signer,

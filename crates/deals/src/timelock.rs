@@ -117,7 +117,7 @@ impl DealInstance {
 const TIMER_DEADLINE: TimerId = 1;
 
 /// The escrow (asset chain) for one arc under the timelock protocol.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct TimelockEscrow {
     arc: usize,
     asset: ledger::Asset,
@@ -253,7 +253,7 @@ impl Process<DMsg> for TimelockEscrow {
 }
 
 /// A compliant party under the timelock protocol.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct TimelockParty {
     me: Party,
     signer: Signer,

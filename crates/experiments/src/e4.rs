@@ -12,8 +12,8 @@
 use crate::table::{check, Table};
 use anta::automaton::AutomatonProcess;
 use anta::clock::DriftClock;
-use anta::engine::{Engine, EngineConfig};
-use anta::explore::{explore_parallel, ExploreConfig};
+use anta::engine::{Engine, EngineConfig, RunReport};
+use anta::explore::{explore_differential, explore_parallel, DifferentialReport, ExploreConfig};
 use anta::net::SyncNet;
 use anta::oracle::{FixedOracle, Oracle};
 use anta::trace::{TraceKind, TraceMode};
@@ -22,6 +22,7 @@ use payment::timebounded::fig2::{all_specs, Fig2Params};
 use payment::timebounded::{ChainOutcome, ChainSetup, ClockPlan};
 use payment::{ChainKeys, ChainTopology, SyncParams, TimeoutSchedule, ValuePlan};
 use std::sync::Arc;
+use telemetry::TelemetrySink;
 
 /// Builds the declarative Figure 2 parameters matching a `ChainSetup`-like
 /// configuration (fresh keys from the same seed recipe).
@@ -110,6 +111,121 @@ pub fn explore_instance_opts(
     max_runs: usize,
     sigma_buckets: usize,
 ) -> anta::explore::ExploreReport {
+    let (build, chk) = instance_closures(n, sigma_buckets);
+    explore_parallel(
+        build,
+        chk,
+        ExploreConfig {
+            max_runs,
+            threads,
+            split_depth: 4,
+            ..Default::default()
+        },
+    )
+}
+
+/// [`explore_instance_opts`] with a telemetry sink attached: full mode
+/// emits one `frontier` event plus per-`subtree` throughput events.
+pub fn explore_instance_opts_with(
+    n: usize,
+    threads: usize,
+    max_runs: usize,
+    sigma_buckets: usize,
+    sink: &mut dyn TelemetrySink,
+) -> anta::explore::ExploreReport {
+    let (build, chk) = instance_closures(n, sigma_buckets);
+    anta::explore::explore_parallel_with(
+        build,
+        chk,
+        ExploreConfig {
+            max_runs,
+            threads,
+            split_depth: 4,
+            ..Default::default()
+        },
+        sink,
+    )
+}
+
+/// Reduced (DPOR-style) exploration of the same instance: state-hash
+/// deduplication plus dead-branch elision, with dynamic re-splitting across
+/// `threads` workers. Same exhaustion verdict and distinct violation set as
+/// [`explore_instance_opts`] (checked by [`explore_instance_differential`]
+/// and CI), at a fraction of the executed runs — this is what makes n = 3
+/// at σ ≥ 2 buckets and n = 4 at σ = 1 exhaustible.
+pub fn explore_instance_dpor(
+    n: usize,
+    threads: usize,
+    max_runs: usize,
+    sigma_buckets: usize,
+) -> anta::explore::ExploreReport {
+    explore_instance_dpor_with(
+        n,
+        threads,
+        max_runs,
+        sigma_buckets,
+        &mut telemetry::NullSink,
+    )
+}
+
+/// [`explore_instance_dpor`] with a telemetry sink attached: the reduced
+/// explorer emits one `dpor_worker` event per worker and a closing `dpor`
+/// summary (the stream the nightly uploads and `telemetry_check` gates).
+pub fn explore_instance_dpor_with(
+    n: usize,
+    threads: usize,
+    max_runs: usize,
+    sigma_buckets: usize,
+    sink: &mut dyn TelemetrySink,
+) -> anta::explore::ExploreReport {
+    let (build, chk) = instance_closures(n, sigma_buckets);
+    anta::explore::explore_parallel_with(
+        build,
+        chk,
+        ExploreConfig {
+            max_runs,
+            ..ExploreConfig::reduced(threads)
+        },
+        sink,
+    )
+}
+
+/// Runs full and reduced exploration of the instance back to back and
+/// compares verdicts — the differential correctness gate for the reduction
+/// (see [`anta::explore::explore_differential`]). Telemetry from both
+/// passes lands in `sink`.
+pub fn explore_instance_differential(
+    n: usize,
+    threads: usize,
+    max_runs: usize,
+    sigma_buckets: usize,
+    sink: &mut dyn TelemetrySink,
+) -> DifferentialReport {
+    let (build, chk) = instance_closures(n, sigma_buckets);
+    explore_differential(
+        build,
+        chk,
+        ExploreConfig {
+            max_runs,
+            prune_dead_sends: true,
+            ..ExploreConfig::with_threads(threads)
+        },
+        sink,
+    )
+}
+
+/// The build/check closure pair shared by all E4 exploration entry points:
+/// an `n`-escrow chain over a 2-bucket synchronous network with the given σ
+/// quantisation, checked against the Definition 1 safety clauses plus
+/// strong liveness (Bob paid on every synchronous schedule).
+#[allow(clippy::type_complexity)]
+fn instance_closures(
+    n: usize,
+    sigma_buckets: usize,
+) -> (
+    impl Fn(Box<dyn Oracle>) -> Engine<PMsg> + Sync,
+    impl Fn(&Engine<PMsg>, &RunReport) -> Result<(), String> + Sync,
+) {
     let setup = Arc::new(ChainSetup::new(
         n,
         ValuePlan::uniform(n, 100),
@@ -118,7 +234,7 @@ pub fn explore_instance_opts(
     ));
     let build_setup = setup.clone();
     let check_setup = setup;
-    explore_parallel(
+    (
         move |oracle: Box<dyn Oracle>| {
             let cfg = EngineConfig {
                 trace_mode: TraceMode::CountersOnly,
@@ -137,7 +253,7 @@ pub fn explore_instance_opts(
                 |_| None,
             )
         },
-        move |eng, report| {
+        move |eng: &Engine<PMsg>, report: &RunReport| {
             let o = ChainOutcome::extract(eng, &check_setup, report.quiescent);
             let v = payment::properties::check_definition1(
                 &o,
@@ -151,11 +267,6 @@ pub fn explore_instance_opts(
                 return Err("strong liveness failed on a synchronous schedule".into());
             }
             Ok(())
-        },
-        ExploreConfig {
-            max_runs,
-            threads,
-            split_depth: 4,
         },
     )
 }

@@ -70,7 +70,7 @@ pub enum HMsg {
 
 /// A chain process: executes HTLC operations on its own clock and
 /// broadcasts resulting events to the watchers.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct ChainProcess {
     chain: HtlcChain,
     watchers: Vec<Pid>,
@@ -158,7 +158,7 @@ impl Process<HMsg> for ChainProcess {
 const TIMER_RECLAIM: TimerId = 1;
 
 /// Alice (initiator): locks on chain A with `2T`, claims on chain B.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct SwapInitiator {
     key: KeyId,
     counterparty: KeyId,
@@ -272,7 +272,7 @@ impl Process<HMsg> for SwapInitiator {
 
 /// Bob (responder): counter-locks on chain B with `T < 2T`, learns `s`
 /// from Alice's claim, replays it on chain A.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct SwapResponder {
     key: KeyId,
     counterparty: KeyId,
@@ -450,6 +450,7 @@ mod tests {
                     b"never-revealed".to_vec(),
                     SimTime::from_millis(2 * t),
                 );
+                #[derive(Debug)]
                 struct LockOnly(SwapInitiator);
                 impl Clone for LockOnly {
                     fn clone(&self) -> Self {

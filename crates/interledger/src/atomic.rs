@@ -27,7 +27,7 @@ const DEADLINE_TIMER: TimerId = 99;
 /// A transaction manager with a receipt deadline (the atomic-mode notary,
 /// collapsed to a single trusted process; the committee version composes
 /// the same rule with the consensus crate exactly as `NotaryTm` does).
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct DeadlineTm {
     signer: Signer,
     pki: Arc<Pki>,

@@ -10,8 +10,11 @@ use crate::faults::InstanceFaults;
 use crate::harness::ProtocolHarness;
 use crate::outcome::ProtocolOutcome;
 use crate::workload::PaymentSpec;
-use anta::explore::{explore_parallel, ExploreConfig, ExploreReport};
+use anta::explore::{
+    explore_differential, explore_parallel, DifferentialReport, ExploreConfig, ExploreReport,
+};
 use anta::trace::TraceMode;
+use telemetry::TelemetrySink;
 
 /// Explores every schedule of one payment instance under `harness`,
 /// reporting a violation for each schedule whose run the harness
@@ -46,6 +49,36 @@ where
     )
 }
 
+/// [`explore_harness`] in differential mode: full enumeration and reduced
+/// (DPOR-style) exploration of the same instance, with the equivalence
+/// verdict (see [`anta::explore::explore_differential`]). `cfg.mode` is
+/// overridden per pass; telemetry from both passes lands in `sink`.
+pub fn explore_harness_differential<H>(
+    harness: &H,
+    spec: &PaymentSpec,
+    faults: &InstanceFaults,
+    cfg: ExploreConfig,
+    sink: &mut dyn TelemetrySink,
+) -> DifferentialReport
+where
+    H: ProtocolHarness,
+    H::Instance: Sync,
+{
+    let inst = harness.instance(spec, faults);
+    explore_differential(
+        |oracle| harness.build_engine(&inst, spec, oracle, TraceMode::CountersOnly),
+        |eng, report| match harness.classify(eng, &inst, spec, report.quiescent, report.truncated) {
+            ProtocolOutcome::Violation => Err(format!(
+                "{}: conservation/safety violation on this schedule",
+                harness.name()
+            )),
+            _ => Ok(()),
+        },
+        cfg,
+        sink,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,6 +105,7 @@ mod tests {
                 max_runs: 5_000,
                 threads: 2,
                 split_depth: 2,
+                ..Default::default()
             },
         );
         assert!(report.runs > 1, "a 1-hop chain still has schedule choice");
@@ -89,10 +123,50 @@ mod tests {
                 max_runs: 2_000,
                 threads: 1,
                 split_depth: 2,
+                ..Default::default()
             },
         );
         assert!(report.runs >= 1);
         assert!(report.all_ok(), "{:?}", report.violations.first());
+    }
+
+    #[test]
+    fn timebounded_differential_full_vs_reduced_agrees() {
+        // The 16-bucket chain tree dwarfs any unit-test budget, so the full
+        // reference stays budget-limited here — the differential must not
+        // flag that as a mismatch (exhaustive comparisons run in the anta
+        // tests, the E4 instances and CI). Both passes stay violation-free.
+        let spec = one_spec(3);
+        let diff = explore_harness_differential(
+            &TimeBoundedHarness,
+            &spec,
+            &InstanceFaults::NONE,
+            ExploreConfig {
+                max_runs: 2_000,
+                prune_dead_sends: true,
+                ..Default::default()
+            },
+            &mut telemetry::NullSink,
+        );
+        assert!(diff.agree(), "{:?}", diff.mismatch);
+        assert!(diff.full.all_ok(), "{:?}", diff.full.violations.first());
+        assert!(
+            diff.reduced.all_ok(),
+            "{:?}",
+            diff.reduced.violations.first()
+        );
+        // The time-abstract fingerprint collapses the chain tree to a
+        // handful of representatives: the reduced side exhausts well inside
+        // the budget that leaves the full side truncated. (Budget semantics
+        // — executed runs only, dedup cuts refunded — are pinned by the
+        // anta explorer tests.)
+        assert!(diff.reduced.exhausted, "reduced side exhausts the tree");
+        assert!(
+            diff.reduced.runs < 2_000,
+            "representatives, not schedules: {}",
+            diff.reduced.runs
+        );
+        assert!(diff.reduced.dedup_hits > 0, "cuts were taken");
     }
 
     #[test]
@@ -107,6 +181,7 @@ mod tests {
             max_runs: 1_000,
             threads: 1,
             split_depth: 2,
+            ..Default::default()
         };
         let a = explore_harness(&TimeBoundedHarness, &spec, &faults, cfg);
         let b = explore_harness(&TimeBoundedHarness, &spec, &faults, cfg);

@@ -322,6 +322,7 @@ impl ProtocolHarness for HtlcHarness {
 /// An initiator who locks on chain A and then abandons the swap: she
 /// tracks her own contract (to reclaim at `2T`) but never claims Bob's
 /// counter-lock — the crash-fault interpretation for Alice.
+#[derive(Debug)]
 struct LockOnlyInitiator(SwapInitiator);
 
 impl Clone for LockOnlyInitiator {

@@ -4,7 +4,8 @@
 use crosschain::anta::clock::DriftClock;
 use crosschain::anta::engine::{Engine, EngineConfig};
 use crosschain::anta::explore::{
-    explore, explore_parallel, replay, ExploreConfig, ExploreLimits, ExploreReport,
+    explore, explore_parallel, replay, replay_pruned, ExploreConfig, ExploreLimits, ExploreMode,
+    ExploreReport,
 };
 use crosschain::anta::net::SyncNet;
 use crosschain::anta::oracle::Oracle;
@@ -14,6 +15,7 @@ use crosschain::payment::properties::{check_definition1, check_definition2, Comp
 use crosschain::payment::timebounded::{ChainOutcome, ChainSetup, ClockPlan};
 use crosschain::payment::weak::{TmKind, WeakOutcome, WeakSetup};
 use crosschain::payment::{SyncParams, ValuePlan};
+use crosschain::telemetry::NullSink;
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -201,11 +203,112 @@ proptest! {
             let par = explore_parallel(
                 |oracle| build_race(racers, buckets, oracle),
                 checker,
-                ExploreConfig { max_runs: 1_000_000, threads, split_depth },
+                ExploreConfig { max_runs: 1_000_000, threads, split_depth, ..Default::default() },
             );
             prop_assert_eq!(key(&par), key(&serial));
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// DPOR-style reduced exploration reports the same exhaustion verdict,
+    /// the same overall pass/fail, and the same distinct violation set as
+    /// full enumeration, on random small race instances, serial and with 4
+    /// workers. (Executed-run counts legitimately differ — that is the
+    /// reduction.)
+    #[test]
+    fn reduced_explorer_equivalent_to_full_on_races(
+        racers in 2usize..4,
+        buckets in 1usize..5,
+        prune_dead in any::<bool>(),
+    ) {
+        let checker = |eng: &Engine<u32>, _: &crosschain::anta::engine::RunReport| {
+            let judge = eng.process_as::<Judge>(0).unwrap();
+            if judge.first == Some(racers) {
+                Err(format!("racer {racers} won"))
+            } else {
+                Ok(())
+            }
+        };
+        let full = explore(
+            |oracle| build_race(racers, buckets, oracle),
+            checker,
+            ExploreLimits::default(),
+        );
+        prop_assert!(full.exhausted);
+        for threads in [1usize, 4] {
+            let reduced = explore_parallel(
+                |oracle| build_race(racers, buckets, oracle),
+                checker,
+                ExploreConfig {
+                    mode: ExploreMode::Reduced,
+                    prune_dead_sends: prune_dead,
+                    threads,
+                    ..Default::default()
+                },
+            );
+            prop_assert!(reduced.exhausted);
+            prop_assert_eq!(reduced.all_ok(), full.all_ok());
+            prop_assert_eq!(
+                reduced.distinct_violation_messages(),
+                full.distinct_violation_messages(),
+                "threads = {}", threads
+            );
+            prop_assert!(reduced.runs <= full.runs);
+        }
+    }
+}
+
+/// Seeded regression: a known-violating instance (last racer can win on
+/// some schedule) whose violation DPOR must keep finding, with a path that
+/// replays to the same failure.
+#[test]
+fn reduced_explorer_finds_known_violation_and_path_replays() {
+    let checker = |eng: &Engine<u32>, _: &crosschain::anta::engine::RunReport| {
+        let judge = eng.process_as::<Judge>(0).unwrap();
+        if judge.first == Some(3) {
+            Err("racer 3 won".to_owned())
+        } else {
+            Ok(())
+        }
+    };
+    for threads in [1usize, 4] {
+        let reduced = explore_parallel(
+            |oracle| build_race(3, 3, oracle),
+            checker,
+            ExploreConfig {
+                max_runs: 200_000,
+                ..ExploreConfig::reduced(threads)
+            },
+        );
+        assert!(reduced.exhausted, "threads = {threads}");
+        assert!(!reduced.all_ok(), "threads = {threads}: violation lost");
+        for v in &reduced.violations {
+            let (eng, _) = replay_pruned(|oracle| build_race(3, 3, oracle), &v.path);
+            let judge = eng.process_as::<Judge>(0).unwrap();
+            assert_eq!(judge.first, Some(3), "threads = {threads}: stale path");
+        }
+    }
+}
+
+/// Differential full-vs-reduced check on the E4 payment instance the CI
+/// gate uses, at its smallest size.
+#[test]
+fn differential_full_vs_reduced_on_e4_small_instance() {
+    let diff =
+        crosschain::experiments::e4::explore_instance_differential(1, 1, 200_000, 1, &mut NullSink);
+    assert!(diff.agree(), "{:?}", diff.mismatch);
+    assert!(diff.full.exhausted);
+    let ratio = diff
+        .reduced
+        .reduction_ratio()
+        .expect("full count known after exhaustion");
+    assert!(ratio <= 1.0);
 }
 
 #[test]
