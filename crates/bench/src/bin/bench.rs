@@ -27,7 +27,13 @@
 //!   a single-shard hub and a 4-shard packetized workload at 1/2/4
 //!   worker threads (payments/sec plus `scaling_t4_over_t1` ratio rows),
 //!   written to `BENCH_open.json`; the ratio rows feed the regression
-//!   gate so a return to flat thread scaling fails CI.
+//!   gate so a return to flat thread scaling fails CI;
+//! * **routing** — routed vs static open-system admission over a
+//!   1k-venue scale-free network at 1/2/4 worker threads (payments/sec
+//!   per mode — the cost of admission-time pathfinding over the live
+//!   book), plus the raw pathfinder rate (`routing/pathfind_per_sec`),
+//!   written to `BENCH_routing.json`; routed reports are asserted
+//!   identical across thread counts while measuring.
 //!
 //! Usage: `cargo run --release -p xchain-bench --bin bench -- [--quick]
 //! [--out DIR] [--threads 1,2,4] [--seed S] [--baseline-out FILE]
@@ -117,6 +123,16 @@ struct OpenRow {
     rejected: usize,
     shards: usize,
     violations: usize,
+    wall_ms: f64,
+    payments_per_sec: f64,
+}
+
+/// One routed-vs-static open-system measurement row.
+struct RoutingRow {
+    mode: &'static str,
+    threads: usize,
+    payments: usize,
+    admitted: usize,
     wall_ms: f64,
     payments_per_sec: f64,
 }
@@ -647,6 +663,129 @@ fn main() {
         }
     }
 
+    // Routed vs static open-system admission over a 1k-venue scale-free
+    // network: the same specs once through the admission-time pathfinder
+    // (single shard — the router sees the whole book) and once over their
+    // generation-time shortest paths (venue-sharded). The routed rows
+    // price what dynamic routing costs per admitted payment; the
+    // cross-thread admitted counts double as a determinism assertion.
+    let routing_payments = if args.quick { 1_000 } else { 4_000 };
+    let mut routing_workload = sim::WorkloadConfig::new(
+        sim::TopologyFamily::ScaleFree {
+            venues: 1_024,
+            attach: 2,
+        },
+        routing_payments,
+        args.seed,
+    );
+    routing_workload.amount = (100, 2_000);
+    routing_workload.max_commission = 0;
+    routing_workload.arrivals = sim::ArrivalProcess::Bursty {
+        burst: 32,
+        gap: anta::time::SimDuration::from_millis(20),
+    };
+    let routing_specs = sim::workload::generate(&routing_workload);
+    let routing_liq = sim::LiquidityConfig::queue(2_500, anta::time::SimDuration::from_millis(25));
+    let routing_cfg = sim::RoutingConfig::with_rebalance(anta::time::SimDuration::from_millis(10));
+    let mut routing_rows: Vec<RoutingRow> = Vec::new();
+    for mode in ["routed_1k", "static_1k"] {
+        let mut admitted_seen: Option<usize> = None;
+        for threads in [1usize, 2, 4] {
+            let cfg = sim::SimConfig {
+                faults: sim_faults,
+                threads,
+                ..sim::SimConfig::new(routing_workload)
+            };
+            let t0 = Instant::now();
+            let report = if mode == "routed_1k" {
+                sim::run_open_specs_routed_with(
+                    &sim::TimeBoundedHarness,
+                    &routing_specs,
+                    &cfg,
+                    &routing_liq,
+                    &routing_cfg,
+                )
+            } else {
+                sim::run_open_specs_with(
+                    &sim::TimeBoundedHarness,
+                    &routing_specs,
+                    &cfg,
+                    &routing_liq,
+                )
+            };
+            let wall = t0.elapsed();
+            let l = &report.liquidity;
+            match admitted_seen {
+                None => admitted_seen = Some(l.admitted),
+                Some(prev) => assert_eq!(
+                    prev, l.admitted,
+                    "{mode} admitted count diverged across thread counts"
+                ),
+            }
+            let row = RoutingRow {
+                mode,
+                threads,
+                payments: l.offered,
+                admitted: l.admitted,
+                wall_ms: ms(wall),
+                payments_per_sec: l.offered as f64 / wall.as_secs_f64().max(1e-9),
+            };
+            eprintln!(
+                "routing  {mode:<11} threads={threads} payments={} admitted={} {:.1} ms ({:.0} payments/s)",
+                row.payments, row.admitted, row.wall_ms, row.payments_per_sec
+            );
+            routing_rows.push(row);
+        }
+    }
+
+    // Raw pathfinder rate: repeated cheapest-feasible-path searches over
+    // the same 1k-venue graph against a partially loaded book, endpoints
+    // cycled deterministically. This isolates the per-search cost the
+    // routed rows pay at every admission.
+    let pathfind_calls = if args.quick { 20_000u64 } else { 100_000 };
+    let (pathfind_wall_ms, pathfind_per_sec) = {
+        let g = sim::VenueGraph::generate(
+            sim::GraphFamily::ScaleFree {
+                venues: 1_024,
+                attach: 2,
+            },
+            args.seed,
+        );
+        let mut book = sim::LiquidityBook::new(&routing_liq, g.venues());
+        // Pre-load a third of the venues so feasibility pruning is real.
+        let mut x = args.seed | 1;
+        for v in 0..g.venues() as u32 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if x % 3 == 0 {
+                book.reserve(v, x % 2_500);
+            }
+        }
+        let mut router = sim::Router::new();
+        let nodes = g.nodes() as u64;
+        let mut found = 0u64;
+        let t0 = Instant::now();
+        for i in 0..pathfind_calls {
+            let src = (i * 2_654_435_761 % nodes) as u32;
+            let dst = ((i * 40_503 + nodes / 2) % nodes) as u32;
+            if src != dst && router.route(&g, src, dst, 500, 8, &book).is_some() {
+                found += 1;
+            }
+        }
+        let wall = t0.elapsed();
+        assert!(found > 0, "pathfinder found no routes at all");
+        eprintln!(
+            "routing  pathfind    calls={pathfind_calls} found={found} {:.1} ms ({:.0} paths/s)",
+            ms(wall),
+            pathfind_calls as f64 / wall.as_secs_f64().max(1e-9)
+        );
+        (
+            ms(wall),
+            pathfind_calls as f64 / wall.as_secs_f64().max(1e-9),
+        )
+    };
+
     // Hand-rolled JSON (no serde in the offline workspace).
     let mut json = String::new();
     json.push_str("{\n");
@@ -841,6 +980,40 @@ fn main() {
     }
     open_json.push_str("  ]\n}\n");
 
+    // BENCH_routing.json: routed-vs-static admission throughput and the
+    // raw pathfinder rate, its own artifact like the rest.
+    let mut routing_json = String::new();
+    routing_json.push_str("{\n");
+    routing_json.push_str("  \"schema_version\": 1,\n");
+    routing_json.push_str(&format!("  \"quick\": {},\n", args.quick));
+    routing_json.push_str(&format!("  \"seed\": {},\n", args.seed));
+    routing_json.push_str(&format!(
+        "  \"threads_available\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    routing_json.push_str("  \"routing\": [\n");
+    for (i, r) in routing_rows.iter().enumerate() {
+        routing_json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"payments\": {}, \"admitted\": {}, \
+             \"wall_ms\": {:.3}, \"payments_per_sec\": {:.1}}}{}\n",
+            r.mode,
+            r.threads,
+            r.payments,
+            r.admitted,
+            r.wall_ms,
+            r.payments_per_sec,
+            if i + 1 < routing_rows.len() { "," } else { "" }
+        ));
+    }
+    routing_json.push_str("  ],\n");
+    routing_json.push_str(&format!(
+        "  \"pathfind\": {{\"calls\": {pathfind_calls}, \"wall_ms\": {pathfind_wall_ms:.3}, \
+         \"paths_per_sec\": {pathfind_per_sec:.1}}}\n"
+    ));
+    routing_json.push_str("}\n");
+
     std::fs::create_dir_all(&args.out).expect("create --out directory");
     let path = std::path::Path::new(&args.out).join("BENCH_perf.json");
     write_json(&path, &json);
@@ -854,6 +1027,9 @@ fn main() {
     let open_path = std::path::Path::new(&args.out).join("BENCH_open.json");
     write_json(&open_path, &open_json);
     println!("{}", open_path.display());
+    let routing_path = std::path::Path::new(&args.out).join("BENCH_routing.json");
+    write_json(&routing_path, &routing_json);
+    println!("{}", routing_path.display());
 
     // The flat rate map the regression gate runs on (higher is better
     // everywhere). --handicap divides the rates here — and only here — so
@@ -911,6 +1087,16 @@ fn main() {
             r.payments_per_sec / args.handicap,
         );
     }
+    for r in &routing_rows {
+        rates.insert(
+            format!("routing/{}/t{}/payments_per_sec", r.mode, r.threads),
+            r.payments_per_sec / args.handicap,
+        );
+    }
+    rates.insert(
+        "routing/pathfind_per_sec".to_owned(),
+        pathfind_per_sec / args.handicap,
+    );
     // Telemetry-overhead ratios: NullSink rate over the uninstrumented
     // runner (~1.0; a drop means the always-on instrumentation got
     // expensive) and JSONL rate over NullSink (~1.0; a drop means the

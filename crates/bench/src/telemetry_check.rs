@@ -24,14 +24,24 @@ pub struct TelemetrySummary {
     pub venue_points: usize,
     /// Reduced-explorer progress events (`dpor` + `dpor_worker`).
     pub dpor_events: usize,
+    /// Pathfinder counter events (`route`).
+    pub route_events: usize,
+    /// Rebalancing counter events (`rebalance`).
+    pub rebalance_events: usize,
 }
 
 impl fmt::Display for TelemetrySummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} events ({} epochs, {} cells, {} venue points, {} dpor)",
-            self.events, self.epochs, self.cells, self.venue_points, self.dpor_events
+            "{} events ({} epochs, {} cells, {} venue points, {} dpor, {} route, {} rebalance)",
+            self.events,
+            self.epochs,
+            self.cells,
+            self.venue_points,
+            self.dpor_events,
+            self.route_events,
+            self.rebalance_events
         )
     }
 }
@@ -39,18 +49,44 @@ impl fmt::Display for TelemetrySummary {
 /// Validates one telemetry JSONL stream.
 ///
 /// Always checked: the header parses with the supported schema version
-/// (delegated to [`telemetry::parse_jsonl`]), every line parses, at
-/// least one `epoch`, `cell`, `dpor` or `dpor_worker` progress event
-/// exists, `epoch` ids are strictly increasing, `cell` ids are
-/// non-decreasing (cross-protocol sweeps emit one event per protocol
-/// within the same cell), every `dpor`/`dpor_worker` event carries a
-/// `runs` count (the reduced-explorer streams from `exp4 --telemetry`),
-/// and every venue event carries a venue id. With `require_venues`, the stream
-/// must also contain a non-empty per-venue series — true of every
-/// open-system artifact; pass `false` for closed-campaign streams,
-/// which have no liquidity book to sample.
+/// (delegated to [`telemetry::parse_jsonl_with_header`]), every line
+/// parses, at least one `epoch`, `cell`, `dpor` or `dpor_worker`
+/// progress event exists, `epoch` ids are strictly increasing, `cell`
+/// ids are non-decreasing (cross-protocol sweeps emit one event per
+/// protocol within the same cell), every `dpor`/`dpor_worker` event
+/// carries a `runs` count (the reduced-explorer streams from `exp4
+/// --telemetry`), every venue event carries a venue id, every `route`
+/// event a `routed` count and every `rebalance` event a `count`.
+///
+/// Which event *series* the stream must contain is **data-driven from
+/// the header**: a `requires` string field (comma-separated tokens, e.g.
+/// `"venues,route,rebalance"`) declares what the producer promises, and
+/// validation fails when a promised series is absent — so new producers
+/// (like `exp11`'s routing events) gate themselves without growing this
+/// binary another flag. Recognized tokens: `venues` (per-venue series),
+/// `route`, `rebalance`. The legacy `require_venues` knob is OR-ed with
+/// the header's `venues` token for streams written before headers
+/// carried requirements.
 pub fn validate(text: &str, require_venues: bool) -> Result<TelemetrySummary, String> {
-    let events = telemetry::parse_jsonl(text)?;
+    let (header, events) = telemetry::parse_jsonl_with_header(text)?;
+    let mut need_venues = require_venues;
+    let mut need_route = false;
+    let mut need_rebalance = false;
+    if let Some(requires) = header.str_field("requires") {
+        for token in requires.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            match token {
+                "venues" => need_venues = true,
+                "route" => need_route = true,
+                "rebalance" => need_rebalance = true,
+                other => {
+                    return Err(format!(
+                        "header requires unknown event series {other:?} \
+                         (this build knows venues, route, rebalance)"
+                    ))
+                }
+            }
+        }
+    }
     let mut summary = TelemetrySummary {
         events: events.len(),
         ..TelemetrySummary::default()
@@ -99,14 +135,30 @@ pub fn validate(text: &str, require_venues: bool) -> Result<TelemetrySummary, St
                     .ok_or_else(|| format!("line {line}: {} event without runs count", e.kind()))?;
                 summary.dpor_events += 1;
             }
+            "route" => {
+                e.u64_field("routed")
+                    .ok_or(format!("line {line}: route event without routed count"))?;
+                summary.route_events += 1;
+            }
+            "rebalance" => {
+                e.u64_field("count")
+                    .ok_or(format!("line {line}: rebalance event without count"))?;
+                summary.rebalance_events += 1;
+            }
             _ => {}
         }
     }
     if summary.epochs == 0 && summary.cells == 0 && summary.dpor_events == 0 {
         return Err("no epoch, cell or dpor progress events in stream".to_owned());
     }
-    if require_venues && summary.venue_points == 0 {
+    if need_venues && summary.venue_points == 0 {
         return Err("no per-venue series in stream (expected venue/venue_des events)".to_owned());
+    }
+    if need_route && summary.route_events == 0 {
+        return Err("header requires route events but the stream has none".to_owned());
+    }
+    if need_rebalance && summary.rebalance_events == 0 {
+        return Err("header requires rebalance events but the stream has none".to_owned());
     }
     Ok(summary)
 }
@@ -186,6 +238,61 @@ mod tests {
 
         let bad = stream(&[Event::new("dpor").with_u64("threads", 1)]);
         assert!(validate(&bad, false).unwrap_err().contains("runs"));
+    }
+
+    /// The header's `requires` field drives which series must be
+    /// present: the same events pass or fail depending only on what the
+    /// producer promised.
+    #[test]
+    fn header_requires_tokens_drive_series_requirements() {
+        let route = Event::new("route")
+            .with_u64("cell", 1)
+            .with_u64("routed", 9);
+        let rebalance = Event::new("rebalance")
+            .with_u64("cell", 1)
+            .with_u64("count", 3);
+        let with_header = |requires: &str, events: &[Event]| {
+            let mut text = Event::header().with_str("requires", requires).to_json();
+            text.push('\n');
+            for e in events {
+                text.push_str(&e.to_json());
+                text.push('\n');
+            }
+            text
+        };
+
+        let ok = with_header(
+            "venues,route,rebalance",
+            &[cell(1), venue(0), route.clone(), rebalance.clone()],
+        );
+        let s = validate(&ok, false).unwrap();
+        assert_eq!((s.route_events, s.rebalance_events), (1, 1));
+
+        // A promised series that never shows up fails, even though the
+        // legacy flag is off.
+        let missing_route = with_header("venues,route", &[cell(1), venue(0)]);
+        assert!(validate(&missing_route, false)
+            .unwrap_err()
+            .contains("route"));
+        let missing_venues = with_header("venues", &[cell(1)]);
+        assert!(validate(&missing_venues, false)
+            .unwrap_err()
+            .contains("venue"));
+        // Unknown tokens are a producer bug, not a silent pass.
+        let unknown = with_header("quux", &[cell(1)]);
+        assert!(validate(&unknown, false).unwrap_err().contains("quux"));
+    }
+
+    /// Route and rebalance events must carry their counter field even
+    /// when the header demands nothing.
+    #[test]
+    fn route_and_rebalance_events_need_their_counters() {
+        let bad_route = stream(&[cell(1), Event::new("route").with_u64("cell", 1)]);
+        assert!(validate(&bad_route, false).unwrap_err().contains("routed"));
+        let bad_rebalance = stream(&[cell(1), Event::new("rebalance").with_u64("cell", 1)]);
+        assert!(validate(&bad_rebalance, false)
+            .unwrap_err()
+            .contains("count"));
     }
 
     #[test]

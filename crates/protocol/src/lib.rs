@@ -42,6 +42,7 @@ pub mod harness;
 pub mod htlc;
 pub mod interledger;
 pub mod liquidity;
+pub mod network;
 pub mod outcome;
 pub mod timebounded;
 pub mod workload;
@@ -55,6 +56,7 @@ pub use harness::{
 pub use htlc::HtlcHarness;
 pub use interledger::InterledgerHarness;
 pub use liquidity::{AdmissionPolicy, LiquidityBook, LiquidityConfig, VenueSample};
+pub use network::{GraphFamily, Router, RoutingConfig, VenueGraph, MAX_NET_HOPS};
 pub use outcome::{LockProfile, ProtocolOutcome};
 pub use timebounded::TimeBoundedHarness;
 pub use workload::{ArrivalProcess, PaymentSpec, TopologyFamily, WorkloadConfig};

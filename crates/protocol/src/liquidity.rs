@@ -25,6 +25,15 @@
 //!   reservation there, `locked ≤ reserved ≤ budget` must hold at every
 //!   instant — [`LiquidityBook::violations`] counts the moments it does
 //!   not, and a nonzero count fails the `exp10` experiment.
+//!
+//! Routed open-system runs (see `protocol::network`) add a third
+//! account, **spent**: liquidity a *successful* payment permanently
+//! moved through a venue ([`LiquidityBook::consume`]). Spent liquidity
+//! counts against the budget in [`LiquidityBook::fits`] — a drained
+//! venue stays drained and the pathfinder routes around it — until a
+//! rebalancing flow calls [`LiquidityBook::restore_all`]. Non-routed
+//! runs never consume, so the account stays zero and admission behaves
+//! exactly as before.
 
 use anta::time::{SimDuration, SimTime};
 use payment::VenueId;
@@ -177,6 +186,9 @@ pub struct LiquidityBook {
     budget: u64,
     bounded: bool,
     reserved: Vec<u64>,
+    /// Liquidity consumed by settled routed payments; see
+    /// [`LiquidityBook::consume`]. Always zero in non-routed runs.
+    spent: Vec<u64>,
     locked: Vec<i64>,
     peak_locked: Vec<i64>,
     peak_reserved: Vec<u64>,
@@ -197,6 +209,7 @@ impl LiquidityBook {
             budget: cfg.budget,
             bounded: cfg.policy.bounded(),
             reserved: vec![0; venues],
+            spent: vec![0; venues],
             locked: vec![0; venues],
             peak_locked: vec![0; venues],
             peak_reserved: vec![0; venues],
@@ -221,6 +234,7 @@ impl LiquidityBook {
         let i = venue as usize;
         if i >= self.reserved.len() {
             self.reserved.resize(i + 1, 0);
+            self.spent.resize(i + 1, 0);
             self.locked.resize(i + 1, 0);
             self.peak_locked.resize(i + 1, 0);
             self.peak_reserved.resize(i + 1, 0);
@@ -229,18 +243,17 @@ impl LiquidityBook {
     }
 
     /// Whether every `(venue, amount)` of `demand` fits its venue's
-    /// remaining (unreserved) budget. Always true for an unbounded book.
+    /// remaining (unreserved, unspent) budget. Always true for an
+    /// unbounded book.
     pub fn fits(&self, demand: &[(VenueId, u64)]) -> bool {
         if !self.bounded {
             return true;
         }
         demand.iter().all(|&(venue, amount)| {
-            let already = self
-                .reserved
-                .get(venue as usize)
-                .copied()
-                .unwrap_or_default();
-            already.saturating_add(amount) <= self.budget
+            let i = venue as usize;
+            let already = self.reserved.get(i).copied().unwrap_or_default();
+            let spent = self.spent.get(i).copied().unwrap_or_default();
+            already.saturating_add(spent).saturating_add(amount) <= self.budget
         })
     }
 
@@ -272,6 +285,42 @@ impl LiquidityBook {
         let i = self.slot(venue);
         debug_assert!(self.reserved[i] >= amount, "unreserve exceeds reservation");
         self.reserved[i] = self.reserved[i].saturating_sub(amount);
+    }
+
+    /// Marks `amount` of `venue`'s budget as *spent*: liquidity a settled
+    /// routed payment moved through the venue. Spent liquidity counts
+    /// against the budget in [`LiquidityBook::fits`] until a rebalancing
+    /// flow returns it via [`LiquidityBook::restore_all`]. The routed DES
+    /// calls this when a payment's reservation is released after a
+    /// successful run — the reservation converts into spend, so the
+    /// venue's usable budget does not bounce back on settlement.
+    pub fn consume(&mut self, venue: VenueId, amount: u64) {
+        let i = self.slot(venue);
+        self.spent[i] = self.spent[i].saturating_add(amount);
+    }
+
+    /// Liquidity spent at `venue` since the last rebalance.
+    pub fn spent_at(&self, venue: VenueId) -> u64 {
+        self.spent.get(venue as usize).copied().unwrap_or_default()
+    }
+
+    /// The venue's committed load — reserved plus spent — which is the
+    /// scarcity signal the pathfinder minimises when it ranks candidate
+    /// routes of equal hop count.
+    pub fn load_at(&self, venue: VenueId) -> u64 {
+        self.reserved_at(venue).saturating_add(self.spent_at(venue))
+    }
+
+    /// A network-wide rebalancing flow: every venue's spent liquidity is
+    /// restored (the circular flow tops drained venues back up). Returns
+    /// the total value restored across venues.
+    pub fn restore_all(&mut self) -> u64 {
+        let mut restored = 0u64;
+        for s in &mut self.spent {
+            restored = restored.saturating_add(*s);
+            *s = 0;
+        }
+        restored
     }
 
     /// Replays one audited lock event: `delta` of actual value locked (+)
@@ -406,6 +455,7 @@ impl LiquidityBook {
             budget: self.budget,
             bounded: self.bounded,
             reserved: vec![0; self.reserved.len()],
+            spent: vec![0; self.spent.len()],
             locked: vec![0; self.locked.len()],
             peak_locked: vec![0; self.peak_locked.len()],
             peak_reserved: vec![0; self.peak_reserved.len()],
@@ -437,6 +487,7 @@ impl LiquidityBook {
                 "venue {i} was driven by both sides of a shard merge"
             );
             self.reserved[i] += other.reserved[i];
+            self.spent[i] += other.spent[i];
             self.locked[i] += other.locked[i];
             self.peak_locked[i] = self.peak_locked[i].max(other.peak_locked[i]);
             self.peak_reserved[i] = self.peak_reserved[i].max(other.peak_reserved[i]);
@@ -606,6 +657,39 @@ mod tests {
         // An unbounded book has no utilization to report.
         let free = LiquidityBook::new(&LiquidityConfig::UNBOUNDED, 1);
         assert_eq!(free.venue_samples()[0].utilization_ppm, None);
+    }
+
+    #[test]
+    fn spent_liquidity_drains_the_budget_until_restored() {
+        let mut book = LiquidityBook::new(&LiquidityConfig::reject(100), 2);
+        assert!(book.try_admit(&[(0, 70)]));
+        // Settlement converts the reservation into spend: the budget
+        // stays consumed even though nothing is reserved any more.
+        book.unreserve(0, 70);
+        book.consume(0, 70);
+        assert_eq!(book.spent_at(0), 70);
+        assert_eq!(book.load_at(0), 70);
+        assert!(!book.fits(&[(0, 40)]));
+        assert!(book.fits(&[(0, 30), (1, 100)]));
+        assert!(book.could_ever_fit(&[(0, 100)]), "rebalancing can restore");
+        assert!(book.drained(), "spend is not outstanding collateral");
+        // A rebalancing flow returns the spent value network-wide.
+        assert_eq!(book.restore_all(), 70);
+        assert_eq!(book.spent_at(0), 0);
+        assert!(book.fits(&[(0, 100)]));
+    }
+
+    #[test]
+    fn merge_sums_spent_liquidity() {
+        let cfg = LiquidityConfig::reject(100);
+        let mut root = LiquidityBook::new(&cfg, 2);
+        let mut shard = root.shard_view();
+        assert!(shard.try_admit(&[(1, 50)]));
+        shard.unreserve(1, 50);
+        shard.consume(1, 50);
+        root.merge(&shard);
+        assert_eq!(root.spent_at(1), 50);
+        assert!(!root.fits(&[(1, 60)]));
     }
 
     #[test]

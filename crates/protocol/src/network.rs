@@ -1,0 +1,714 @@
+//! Random venue networks and liquidity-aware dynamic routing.
+//!
+//! The paper proves its success guarantee on a fixed payment path; this
+//! module asks whether the guarantee survives *realistic routing*:
+//! thousands of shared venues whose balances drain and recover under
+//! load. It provides
+//!
+//! * [`VenueGraph`] — seeded, deterministic generators for two standard
+//!   random-network families: scale-free graphs grown by
+//!   Barabási–Albert-style preferential attachment
+//!   ([`GraphFamily::ScaleFree`]) and small-world graphs built by
+//!   Watts–Strogatz ring rewiring ([`GraphFamily::SmallWorld`]). Every
+//!   *edge* of the graph is one escrow venue (its id is the edge index),
+//!   so a path between two nodes is a [`VenueRoute`];
+//! * [`Router`] — a bounded-hop cheapest-feasible-path search that
+//!   consults the live [`LiquidityBook`] at the admission instant, so
+//!   payments route *around* drained venues, plus
+//!   [`Router::route_multi`] which maps a split payment onto
+//!   venue-disjoint parallel paths;
+//! * [`RoutingConfig`] — the knobs a routed open-system run carries: hop
+//!   cap, split width and the rebalancing period (`SimDuration::ZERO`
+//!   disables rebalancing).
+//!
+//! Everything here is deterministic given `(family, seed)`: graph
+//! generation draws from a salted [`StdRng`] and the pathfinder's
+//! tie-breaking is a total order (see [`Router::route`]), which is what
+//! lets routed open-system reports stay bit-identical across thread
+//! counts.
+
+use anta::time::SimDuration;
+use payment::{VenueId, VenueRoute};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::liquidity::LiquidityBook;
+
+/// Hop cap for routed payments: endpoint pairs are sampled so a path of
+/// at most this many venues exists on the empty network, and the
+/// pathfinder never returns a longer one.
+pub const MAX_NET_HOPS: usize = 8;
+
+/// Which random-network family to generate, with its size knobs. The
+/// venue count ([`GraphFamily::venues`]) is exact — generators produce
+/// precisely that many edges — so liquidity books and reports can be
+/// sized without building the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphFamily {
+    /// Scale-free graph grown by preferential attachment: starting from
+    /// a triangle, each new node attaches `attach` edges to existing
+    /// nodes sampled proportionally to their current degree
+    /// (Barabási–Albert). Produces hub-dominated degree distributions —
+    /// the payment-network shape where a few venues carry most routes.
+    ScaleFree {
+        /// Exact number of venues (edges) to generate; floored at 3.
+        venues: usize,
+        /// Edges each new node attaches with; clamped to `1..=3`.
+        attach: usize,
+    },
+    /// Small-world graph by Watts–Strogatz rewiring: a ring of `nodes`
+    /// nodes where each connects to its two nearest clockwise
+    /// neighbours (distance 1 and 2, so exactly `2 × nodes` edges),
+    /// then each edge's far endpoint is rewired to a uniform random
+    /// node with probability `rewire_permille / 1000` (self-loops and
+    /// duplicate edges are re-drawn a bounded number of times, then
+    /// kept in place).
+    SmallWorld {
+        /// Ring size; floored at 6. The venue count is `2 × nodes`.
+        nodes: usize,
+        /// Rewiring probability in parts per thousand.
+        rewire_permille: u64,
+    },
+}
+
+impl GraphFamily {
+    /// Short stable label for tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GraphFamily::ScaleFree { .. } => "scalefree",
+            GraphFamily::SmallWorld { .. } => "smallworld",
+        }
+    }
+
+    /// The exact number of venues (edges) [`VenueGraph::generate`]
+    /// produces for this family.
+    pub fn venues(&self) -> usize {
+        match self {
+            GraphFamily::ScaleFree { venues, .. } => (*venues).max(3),
+            GraphFamily::SmallWorld { nodes, .. } => 2 * (*nodes).max(6),
+        }
+    }
+}
+
+/// An undirected venue network: nodes are chains/participants, each edge
+/// is one escrow venue whose id is its index in edge order. Generated
+/// deterministically from `(family, seed)`; adjacency lists are sorted
+/// ascending by `(neighbour, venue)`, which the pathfinder's
+/// deterministic scan order relies on.
+#[derive(Debug, Clone)]
+pub struct VenueGraph {
+    nodes: usize,
+    edges: Vec<(u32, u32)>,
+    adj: Vec<Vec<(u32, VenueId)>>,
+}
+
+impl VenueGraph {
+    /// Generates the family's network from the given seed. Both
+    /// generators guarantee every node has degree ≥ 2 and the edge
+    /// count equals [`GraphFamily::venues`] exactly.
+    pub fn generate(family: GraphFamily, seed: u64) -> VenueGraph {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5C3_9D71_6A0F_44D9);
+        let edges = match family {
+            GraphFamily::ScaleFree { venues, attach } => {
+                let venues = venues.max(3);
+                let attach = attach.clamp(1, 3);
+                // Seed triangle, then preferential attachment: the pool
+                // holds every edge endpoint, so sampling it uniformly is
+                // degree-proportional sampling.
+                let mut edges: Vec<(u32, u32)> = vec![(0, 1), (1, 2), (2, 0)];
+                let mut pool: Vec<u32> = vec![0, 1, 1, 2, 2, 0];
+                let mut next_node: u32 = 3;
+                while edges.len() < venues {
+                    let u = next_node;
+                    next_node += 1;
+                    let want = attach.min(venues - edges.len()).min(next_node as usize - 1);
+                    let mut targets: Vec<u32> = Vec::with_capacity(want);
+                    while targets.len() < want {
+                        let t = pool[rng.gen_range(0..pool.len())];
+                        if t != u && !targets.contains(&t) {
+                            targets.push(t);
+                        }
+                    }
+                    for t in targets {
+                        edges.push((u, t));
+                        pool.push(u);
+                        pool.push(t);
+                    }
+                }
+                edges
+            }
+            GraphFamily::SmallWorld {
+                nodes,
+                rewire_permille,
+            } => {
+                let n = nodes.max(6);
+                let mut edges: Vec<(u32, u32)> = Vec::with_capacity(2 * n);
+                for i in 0..n as u32 {
+                    edges.push((i, (i + 1) % n as u32));
+                }
+                for i in 0..n as u32 {
+                    edges.push((i, (i + 2) % n as u32));
+                }
+                let norm = |a: u32, b: u32| if a < b { (a, b) } else { (b, a) };
+                let mut present: std::collections::BTreeSet<(u32, u32)> =
+                    edges.iter().map(|&(a, b)| norm(a, b)).collect();
+                for edge in &mut edges {
+                    if rng.gen_range(0..1000u64) >= rewire_permille {
+                        continue;
+                    }
+                    let (u, old) = *edge;
+                    // Rewire the far endpoint; bounded re-draws keep the
+                    // generator total even on dense rings.
+                    for _ in 0..8 {
+                        let t = rng.gen_range(0..n) as u32;
+                        if t != u && !present.contains(&norm(u, t)) {
+                            present.remove(&norm(u, old));
+                            present.insert(norm(u, t));
+                            *edge = (u, t);
+                            break;
+                        }
+                    }
+                }
+                edges
+            }
+        };
+        let nodes = edges
+            .iter()
+            .map(|&(a, b)| a.max(b) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut adj: Vec<Vec<(u32, VenueId)>> = vec![Vec::new(); nodes];
+        for (id, &(a, b)) in edges.iter().enumerate() {
+            adj[a as usize].push((b, id as VenueId));
+            adj[b as usize].push((a, id as VenueId));
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        VenueGraph { nodes, edges, adj }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of venues (edges).
+    pub fn venues(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The two endpoints of a venue (edge).
+    pub fn endpoints(&self, venue: VenueId) -> (u32, u32) {
+        self.edges[venue as usize]
+    }
+
+    /// The node's adjacency list, sorted ascending by
+    /// `(neighbour, venue)`.
+    pub fn neighbors(&self, node: u32) -> &[(u32, VenueId)] {
+        &self.adj[node as usize]
+    }
+
+    /// The node's degree (parallel edges counted separately).
+    pub fn degree(&self, node: u32) -> usize {
+        self.adj[node as usize].len()
+    }
+}
+
+/// The knobs of a routed open-system run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutingConfig {
+    /// Longest admissible path, in venues; [`MAX_NET_HOPS`] is the
+    /// conventional cap (workload endpoint sampling guarantees a path
+    /// within it exists on the empty network).
+    pub max_hops: usize,
+    /// Widest split the router may try when no single path fits: the
+    /// payment is divided over `2..=max_split` venue-disjoint paths.
+    /// `1` disables splitting.
+    pub max_split: usize,
+    /// Period of the circular rebalancing flow that restores spent
+    /// venue liquidity; [`SimDuration::ZERO`] disables rebalancing.
+    pub rebalance_period: SimDuration,
+}
+
+impl RoutingConfig {
+    /// The conventional configuration: [`MAX_NET_HOPS`], two-way
+    /// splitting, no rebalancing.
+    pub fn new() -> Self {
+        RoutingConfig {
+            max_hops: MAX_NET_HOPS,
+            max_split: 2,
+            rebalance_period: SimDuration::ZERO,
+        }
+    }
+
+    /// Same knobs with the given rebalancing period.
+    pub fn with_rebalance(period: SimDuration) -> Self {
+        RoutingConfig {
+            rebalance_period: period,
+            ..RoutingConfig::new()
+        }
+    }
+}
+
+impl Default for RoutingConfig {
+    fn default() -> Self {
+        RoutingConfig::new()
+    }
+}
+
+/// Label entry of the layered shortest-path scratch; `stamp` versioning
+/// makes reuse O(1) — no per-call clearing.
+const UNSET: u32 = u32::MAX;
+
+/// Bounded-hop cheapest-feasible-path search with reusable scratch.
+///
+/// The router runs a layered relaxation (Bellman–Ford over path length):
+/// layer `k` holds the cheapest feasible walk of exactly `k` hops from
+/// the source to each node, and the search stops at the first layer that
+/// reaches the destination. An edge is *feasible* when the liquidity
+/// book can cover the payment's per-hop amount at that venue right now
+/// ([`LiquidityBook::fits`]); its *cost* is the venue's committed load
+/// ([`LiquidityBook::load_at`]), so among feasible routes the search
+/// prefers idle venues.
+///
+/// # Deterministic tie-breaking contract
+///
+/// Routed reports must be bit-identical across thread counts, so route
+/// choice is a pure function of `(graph, book, src, dst, amount)` under
+/// a total preference order:
+///
+/// 1. **fewest hops** — the search examines layers in increasing path
+///    length and returns at the first layer containing the destination;
+/// 2. **minimal total committed load** — within a layer, labels keep the
+///    cheapest predecessor (sum of [`LiquidityBook::load_at`] over the
+///    path's venues);
+/// 3. **scan order** — exact cost ties keep the *first* label found by
+///    the deterministic relaxation sweep: source-layer nodes in
+///    ascending node id, each adjacency list in ascending
+///    `(neighbour, venue)` order, and strictly-better-only updates.
+///
+/// Rule 3 makes the choice independent of anything but the inputs —
+/// no hashing, no iteration-order dependence — which is what the
+/// 1-vs-4-thread digest tests pin.
+#[derive(Debug, Default)]
+pub struct Router {
+    cost: Vec<u64>,
+    prev_node: Vec<u32>,
+    prev_venue: Vec<u32>,
+    stamp: Vec<u64>,
+    tick: u64,
+    nodes: usize,
+    layers: usize,
+}
+
+impl Router {
+    /// A router with empty scratch; arrays are sized lazily on first
+    /// use and reused across calls.
+    pub fn new() -> Self {
+        Router::default()
+    }
+
+    fn ensure(&mut self, nodes: usize, layers: usize) {
+        if nodes > self.nodes || layers > self.layers {
+            self.nodes = nodes.max(self.nodes);
+            self.layers = layers.max(self.layers);
+            let len = self.nodes * self.layers;
+            self.cost = vec![0; len];
+            self.prev_node = vec![UNSET; len];
+            self.prev_venue = vec![UNSET; len];
+            self.stamp = vec![0; len];
+        }
+    }
+
+    /// The layered relaxation core. `book == None` means "empty
+    /// network" (every edge feasible at zero cost), which is how static
+    /// shortest paths are computed at workload-generation time.
+    #[allow(clippy::too_many_arguments)]
+    fn search(
+        &mut self,
+        g: &VenueGraph,
+        src: u32,
+        dst: u32,
+        amount: u64,
+        max_hops: usize,
+        book: Option<&LiquidityBook>,
+        banned: &[bool],
+    ) -> Option<VenueRoute> {
+        let nodes = g.nodes();
+        if src == dst || max_hops == 0 || src as usize >= nodes || dst as usize >= nodes {
+            return None;
+        }
+        self.ensure(nodes, max_hops + 1);
+        self.tick += 1;
+        let t = self.tick;
+        let stride = self.nodes;
+        self.stamp[src as usize] = t;
+        self.cost[src as usize] = 0;
+        for k in 0..max_hops {
+            let mut layer_alive = false;
+            for u in 0..nodes {
+                let iu = k * stride + u;
+                if self.stamp[iu] != t {
+                    continue;
+                }
+                let cu = self.cost[iu];
+                for &(nbr, venue) in g.neighbors(u as u32) {
+                    if banned.get(venue as usize).copied().unwrap_or(false) {
+                        continue;
+                    }
+                    let step = match book {
+                        Some(b) => {
+                            if !b.fits(&[(venue, amount)]) {
+                                continue;
+                            }
+                            b.load_at(venue)
+                        }
+                        None => 0,
+                    };
+                    let iv = (k + 1) * stride + nbr as usize;
+                    let nc = cu.saturating_add(step);
+                    if self.stamp[iv] != t || nc < self.cost[iv] {
+                        self.stamp[iv] = t;
+                        self.cost[iv] = nc;
+                        self.prev_node[iv] = u as u32;
+                        self.prev_venue[iv] = venue;
+                        layer_alive = true;
+                    }
+                }
+            }
+            let id = (k + 1) * stride + dst as usize;
+            if self.stamp[id] == t {
+                let mut venues = Vec::with_capacity(k + 1);
+                let mut node = dst as usize;
+                let mut layer = k + 1;
+                while layer > 0 {
+                    let i = layer * stride + node;
+                    venues.push(self.prev_venue[i]);
+                    node = self.prev_node[i] as usize;
+                    layer -= 1;
+                }
+                venues.reverse();
+                return Some(VenueRoute::new(venues));
+            }
+            if !layer_alive {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// The cheapest feasible path from `src` to `dst` for a payment
+    /// carrying `amount` per hop, under the tie-breaking contract above.
+    /// `None` when no path of at most `max_hops` venues fits the book at
+    /// this instant. The returned route's *aggregate* demand is verified
+    /// against the book (a minimal-cost walk can revisit a venue; such
+    /// walks are rejected rather than over-admitted).
+    pub fn route(
+        &mut self,
+        g: &VenueGraph,
+        src: u32,
+        dst: u32,
+        amount: u64,
+        max_hops: usize,
+        book: &LiquidityBook,
+    ) -> Option<VenueRoute> {
+        let path = self.search(g, src, dst, amount, max_hops, Some(book), &[])?;
+        let mut demand: Vec<(VenueId, u64)> = Vec::with_capacity(path.hops());
+        for &v in &path.venues {
+            match demand.iter_mut().find(|(dv, _)| *dv == v) {
+                Some((_, a)) => *a += amount,
+                None => demand.push((v, amount)),
+            }
+        }
+        book.fits(&demand).then_some(path)
+    }
+
+    /// Splits the payment over `parts` venue-disjoint feasible paths:
+    /// path `j` carries `amount / parts` per hop (the remainder goes to
+    /// the first paths, mirroring `ValuePlan`-style splitting), and each
+    /// path is found by the same search with every earlier path's venues
+    /// banned. Returns `(path, per-hop share)` pairs, or `None` when any
+    /// share cannot be routed — splitting is all-or-nothing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn route_multi(
+        &mut self,
+        g: &VenueGraph,
+        src: u32,
+        dst: u32,
+        amount: u64,
+        parts: usize,
+        max_hops: usize,
+        book: &LiquidityBook,
+    ) -> Option<Vec<(VenueRoute, u64)>> {
+        if parts < 2 || amount < parts as u64 {
+            return None;
+        }
+        let base = amount / parts as u64;
+        let rem = (amount % parts as u64) as usize;
+        let mut banned = vec![false; g.venues()];
+        let mut out = Vec::with_capacity(parts);
+        for j in 0..parts {
+            let share = base + u64::from(j < rem);
+            let path = self.search(g, src, dst, share, max_hops, Some(book), &banned)?;
+            for &v in &path.venues {
+                if std::mem::replace(&mut banned[v as usize], true) {
+                    // The walk revisited a venue — reject the split.
+                    return None;
+                }
+            }
+            out.push((path, share));
+        }
+        Some(out)
+    }
+
+    /// The static shortest path on the empty network (every edge
+    /// feasible, zero cost): hop-count-minimal, tie-broken by the same
+    /// deterministic scan order. This is the route the workload
+    /// generator pins into [`crate::workload::PaymentSpec::venues`] as
+    /// the static-routing baseline.
+    pub fn shortest(
+        &mut self,
+        g: &VenueGraph,
+        src: u32,
+        dst: u32,
+        max_hops: usize,
+    ) -> Option<VenueRoute> {
+        self.search(g, src, dst, 0, max_hops, None, &[])
+    }
+
+    /// Fills `out` with every node reachable from `src` within
+    /// `max_hops` edges, excluding `src` itself, sorted ascending — the
+    /// workload generator's fallback when a uniformly sampled endpoint
+    /// pair is further apart than the hop cap.
+    pub fn reachable(&mut self, g: &VenueGraph, src: u32, max_hops: usize, out: &mut Vec<u32>) {
+        out.clear();
+        let nodes = g.nodes();
+        if src as usize >= nodes {
+            return;
+        }
+        self.ensure(nodes, 1);
+        self.tick += 1;
+        let t = self.tick;
+        self.stamp[src as usize] = t;
+        let mut frontier = vec![src];
+        let mut next = Vec::new();
+        for _ in 0..max_hops {
+            for &u in &frontier {
+                for &(nbr, _) in g.neighbors(u) {
+                    if self.stamp[nbr as usize] != t {
+                        self.stamp[nbr as usize] = t;
+                        out.push(nbr);
+                        next.push(nbr);
+                    }
+                }
+            }
+            frontier.clear();
+            std::mem::swap(&mut frontier, &mut next);
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        out.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::liquidity::LiquidityConfig;
+
+    fn scalefree(venues: usize, seed: u64) -> VenueGraph {
+        VenueGraph::generate(GraphFamily::ScaleFree { venues, attach: 2 }, seed)
+    }
+
+    fn smallworld(nodes: usize, seed: u64) -> VenueGraph {
+        VenueGraph::generate(
+            GraphFamily::SmallWorld {
+                nodes,
+                rewire_permille: 100,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn generators_hit_exact_venue_counts_and_min_degree() {
+        for seed in [1u64, 7, 42] {
+            for venues in [3usize, 64, 257, 1000] {
+                let fam = GraphFamily::ScaleFree { venues, attach: 2 };
+                let g = VenueGraph::generate(fam, seed);
+                assert_eq!(g.venues(), fam.venues());
+                assert_eq!(g.venues(), venues.max(3));
+                assert!((0..g.nodes()).all(|n| g.degree(n as u32) >= 1));
+            }
+            for nodes in [6usize, 128, 500] {
+                let fam = GraphFamily::SmallWorld {
+                    nodes,
+                    rewire_permille: 100,
+                };
+                let g = VenueGraph::generate(fam, seed);
+                assert_eq!(g.venues(), fam.venues());
+                assert_eq!(g.venues(), 2 * nodes);
+                assert!((0..g.nodes()).all(|n| g.degree(n as u32) >= 2));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let a = scalefree(200, 9);
+        let b = scalefree(200, 9);
+        assert_eq!(a.edges, b.edges);
+        let c = scalefree(200, 10);
+        assert_ne!(a.edges, c.edges, "different seeds, different graphs");
+        let w1 = smallworld(100, 5);
+        let w2 = smallworld(100, 5);
+        assert_eq!(w1.edges, w2.edges);
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_mirrors_edges() {
+        let g = smallworld(50, 3);
+        for n in 0..g.nodes() as u32 {
+            let adj = g.neighbors(n);
+            assert!(adj.windows(2).all(|w| w[0] <= w[1]));
+            for &(nbr, venue) in adj {
+                let (a, b) = g.endpoints(venue);
+                assert!((a, b) == (n, nbr) || (a, b) == (nbr, n));
+            }
+        }
+    }
+
+    /// A 4-cycle with one budget-exhausted edge: the router must take
+    /// the long way around.
+    #[test]
+    fn router_avoids_drained_venues() {
+        // Square 0-1-2-3: venue 0 = (0,1), 1 = (1,2), 2 = (2,3), 3 = (3,0).
+        let g = VenueGraph {
+            nodes: 4,
+            edges: vec![(0, 1), (1, 2), (2, 3), (3, 0)],
+            adj: {
+                let mut adj = vec![Vec::new(); 4];
+                for (id, &(a, b)) in [(0u32, 1u32), (1, 2), (2, 3), (3, 0)].iter().enumerate() {
+                    adj[a as usize].push((b, id as VenueId));
+                    adj[b as usize].push((a, id as VenueId));
+                }
+                for l in &mut adj {
+                    l.sort_unstable();
+                }
+                adj
+            },
+        };
+        let mut book = LiquidityBook::new(&LiquidityConfig::reject(100), 4);
+        let mut router = Router::new();
+        // Empty book: 0 → 2 has two 2-hop paths; scan order picks the
+        // one through node 1 (venues 0, 1).
+        let p = router.route(&g, 0, 2, 10, 4, &book).unwrap();
+        assert_eq!(p.venues, vec![0, 1]);
+        // Drain venue 0: the router must go the other way (venues 3, 2).
+        book.reserve(0, 95);
+        let p = router.route(&g, 0, 2, 10, 4, &book).unwrap();
+        assert_eq!(p.venues, vec![3, 2]);
+        // Drain that side too: no feasible path remains.
+        book.reserve(2, 95);
+        assert!(router.route(&g, 0, 2, 10, 4, &book).is_none());
+        // Spent liquidity blocks identically until restored.
+        book.unreserve(2, 95);
+        book.consume(2, 95);
+        assert!(router.route(&g, 0, 2, 10, 4, &book).is_none());
+        book.restore_all();
+        assert!(router.route(&g, 0, 2, 10, 4, &book).is_some());
+    }
+
+    #[test]
+    fn equal_cost_ties_break_by_scan_order_and_load_breaks_ties_first() {
+        let g = VenueGraph {
+            nodes: 4,
+            edges: vec![(0, 1), (1, 2), (2, 3), (3, 0)],
+            adj: {
+                let mut adj = vec![Vec::new(); 4];
+                for (id, &(a, b)) in [(0u32, 1u32), (1, 2), (2, 3), (3, 0)].iter().enumerate() {
+                    adj[a as usize].push((b, id as VenueId));
+                    adj[b as usize].push((a, id as VenueId));
+                }
+                for l in &mut adj {
+                    l.sort_unstable();
+                }
+                adj
+            },
+        };
+        let mut book = LiquidityBook::new(&LiquidityConfig::reject(100), 4);
+        let mut router = Router::new();
+        // Load venue 0 lightly: still feasible, but the idle side
+        // (venues 3, 2) is now strictly cheaper and must win.
+        book.reserve(0, 10);
+        let p = router.route(&g, 0, 2, 10, 4, &book).unwrap();
+        assert_eq!(p.venues, vec![3, 2]);
+    }
+
+    #[test]
+    fn route_multi_returns_disjoint_paths_covering_the_amount() {
+        let g = smallworld(40, 11);
+        let book = LiquidityBook::new(&LiquidityConfig::reject(1000), g.venues());
+        let mut router = Router::new();
+        let parts = router
+            .route_multi(&g, 0, 5, 101, 2, MAX_NET_HOPS, &book)
+            .expect("two disjoint paths exist on a ring lattice");
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].1 + parts[1].1, 101);
+        assert!(parts[0].1 == 51 && parts[1].1 == 50);
+        let mut seen = std::collections::BTreeSet::new();
+        for (path, _) in &parts {
+            assert!(path.hops() <= MAX_NET_HOPS);
+            for &v in &path.venues {
+                assert!(seen.insert(v), "venue {v} appears in two split paths");
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_and_reachable_respect_the_hop_cap() {
+        let g = smallworld(60, 2);
+        let mut router = Router::new();
+        let mut reach = Vec::new();
+        router.reachable(&g, 0, 2, &mut reach);
+        for &b in &reach {
+            let p = router.shortest(&g, 0, b, 2).expect("reachable within cap");
+            assert!(p.hops() <= 2);
+            // The path really connects 0 to b along graph edges.
+            let mut at = 0u32;
+            for &v in &p.venues {
+                let (x, y) = g.endpoints(v);
+                at = if x == at { y } else { x };
+            }
+            assert_eq!(at, b);
+        }
+        // Nodes outside the 2-hop ball are not reachable within it.
+        let ball: std::collections::BTreeSet<u32> = reach.iter().copied().collect();
+        for b in 0..g.nodes() as u32 {
+            if b != 0 && !ball.contains(&b) {
+                assert!(router.shortest(&g, 0, b, 2).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn routes_are_stable_across_router_instances() {
+        // The scratch is stamp-versioned; a fresh router must agree with
+        // a heavily reused one.
+        let g = scalefree(300, 4);
+        let book = LiquidityBook::new(&LiquidityConfig::reject(500), g.venues());
+        let mut warm = Router::new();
+        for i in 0..50u32 {
+            let _ = warm.route(&g, i % 7, (i % 11) + 1, 10, MAX_NET_HOPS, &book);
+        }
+        for (a, b) in [(0u32, 9u32), (3, 17), (5, 40)] {
+            let mut fresh = Router::new();
+            assert_eq!(
+                warm.route(&g, a, b, 10, MAX_NET_HOPS, &book),
+                fresh.route(&g, a, b, 10, MAX_NET_HOPS, &book)
+            );
+        }
+    }
+}

@@ -16,15 +16,23 @@
 //! * [`TopologyFamily::Packetized`] — packetized payments (Dubovitskaya et
 //!   al., arXiv:2103.02056): one logical value plan split across `paths`
 //!   parallel sub-payments via [`ValuePlan::split`]; the packet completes
-//!   only when every sub-payment does.
+//!   only when every sub-payment does;
+//! * [`TopologyFamily::ScaleFree`] / [`TopologyFamily::SmallWorld`] —
+//!   payments between random endpoint pairs of a seeded random venue
+//!   network (see [`crate::network`]); each spec carries its endpoints
+//!   plus the *static* shortest path as its route, which a routed
+//!   open-system run may replace at admission time.
 //!
 //! Generation is a pure function of [`WorkloadConfig`] (including its
 //! seed): the spec list is identical across runs and thread counts.
 
 use anta::time::{SimDuration, SimTime};
-use payment::{SyncParams, ValuePlan, VenueId, VenueRoute};
+use payment::{SyncParams, VenueId};
+pub use payment::{ValuePlan, VenueRoute};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
+
+use crate::network::{GraphFamily, Router, VenueGraph, MAX_NET_HOPS};
 
 /// The shape of the escrow paths a workload's payments traverse.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +63,24 @@ pub enum TopologyFamily {
         /// Escrows per sub-payment path.
         hops: usize,
     },
+    /// Payments between random endpoints of a scale-free venue network
+    /// ([`crate::network::GraphFamily::ScaleFree`]); each payment's
+    /// static route is the deterministic shortest path within
+    /// [`MAX_NET_HOPS`].
+    ScaleFree {
+        /// Exact venue (edge) count; floored at 3.
+        venues: usize,
+        /// Preferential-attachment edges per new node.
+        attach: usize,
+    },
+    /// Payments between random endpoints of a small-world venue network
+    /// ([`crate::network::GraphFamily::SmallWorld`]).
+    SmallWorld {
+        /// Ring size; the venue count is `2 × nodes` (floored at 6).
+        nodes: usize,
+        /// Rewiring probability in parts per thousand.
+        rewire_permille: u64,
+    },
 }
 
 impl TopologyFamily {
@@ -65,6 +91,8 @@ impl TopologyFamily {
             TopologyFamily::HubAndSpoke { .. } => "hub",
             TopologyFamily::RandomTree { .. } => "tree",
             TopologyFamily::Packetized { .. } => "packetized",
+            TopologyFamily::ScaleFree { .. } => "scalefree",
+            TopologyFamily::SmallWorld { .. } => "smallworld",
         }
     }
 
@@ -78,13 +106,40 @@ impl TopologyFamily {
     ///   its sender's gateway and leaves through its receiver's);
     /// * tree — one venue per tree edge (`nodes − 1`);
     /// * packetized — one venue per (path, hop) cell: sibling paths are
-    ///   disjoint escrow chains, shared across packets.
+    ///   disjoint escrow chains, shared across packets;
+    /// * scalefree / smallworld — one venue per network edge, exactly
+    ///   [`GraphFamily::venues`].
     pub fn venues(&self) -> usize {
         match *self {
             TopologyFamily::Linear { n } => n.max(1),
             TopologyFamily::HubAndSpoke { spokes } => spokes.max(2),
             TopologyFamily::RandomTree { nodes } => nodes.max(2) - 1,
             TopologyFamily::Packetized { paths, hops } => paths.max(1) * hops.max(1),
+            TopologyFamily::ScaleFree { .. } | TopologyFamily::SmallWorld { .. } => {
+                self.graph().expect("network family").venues()
+            }
+        }
+    }
+
+    /// The random-network family behind this topology, for the two
+    /// network-backed variants; `None` for the fixed-shape families.
+    /// Both workload generation and the routed DES build their
+    /// [`VenueGraph`] from this plus the workload seed, so the static
+    /// routes in the specs and the live routing table describe the same
+    /// network.
+    pub fn graph(&self) -> Option<GraphFamily> {
+        match *self {
+            TopologyFamily::ScaleFree { venues, attach } => {
+                Some(GraphFamily::ScaleFree { venues, attach })
+            }
+            TopologyFamily::SmallWorld {
+                nodes,
+                rewire_permille,
+            } => Some(GraphFamily::SmallWorld {
+                nodes,
+                rewire_permille,
+            }),
+            _ => None,
         }
     }
 }
@@ -173,8 +228,15 @@ pub struct PaymentSpec {
     pub route: Option<(usize, usize)>,
     /// The global escrow venues this payment's hops lock collateral at
     /// (see [`TopologyFamily::venues`] for each family's venue layout).
-    /// Always `n` entries.
+    /// Always `n` entries. For network families this is the *static*
+    /// shortest path between the endpoints; a routed open-system run
+    /// may substitute a liquidity-aware path at admission time.
     pub venues: VenueRoute,
+    /// `(source node, destination node)` on the venue network, for
+    /// network families ([`TopologyFamily::ScaleFree`] /
+    /// [`TopologyFamily::SmallWorld`]) — what admission-time
+    /// pathfinding routes between. `None` elsewhere.
+    pub endpoints: Option<(u32, u32)>,
 }
 
 /// Random routing tree with O(1) pairwise distance queries via depths and
@@ -251,6 +313,15 @@ pub fn generate(cfg: &WorkloadConfig) -> Vec<PaymentSpec> {
         TopologyFamily::RandomTree { nodes } => Some(RoutingTree::sample(nodes, &mut rng)),
         _ => None,
     };
+    // Network families build their venue graph once, up front, from the
+    // workload seed — the same construction the routed DES uses, so the
+    // static routes below and the live routing table agree on topology.
+    let graph = cfg
+        .family
+        .graph()
+        .map(|family| VenueGraph::generate(family, cfg.seed));
+    let mut router = Router::new();
+    let mut reach_buf: Vec<u32> = Vec::new();
 
     let mut specs: Vec<PaymentSpec> = Vec::with_capacity(cfg.payments);
     let mut clock = SimTime::ZERO;
@@ -301,12 +372,14 @@ pub fn generate(cfg: &WorkloadConfig) -> Vec<PaymentSpec> {
                         packet: Some((packet_id, paths)),
                         route: None,
                         venues,
+                        endpoints: None,
                     });
                 }
                 packet_id += 1;
             }
             _ => {
                 let mut route = None;
+                let mut endpoints = None;
                 let (n, venues) = match cfg.family {
                     TopologyFamily::Linear { n } => {
                         // Every payment crosses the same n-escrow path.
@@ -345,10 +418,38 @@ pub fn generate(cfg: &WorkloadConfig) -> Vec<PaymentSpec> {
                         // a ≠ b, so the path has at least one edge.
                         (edges.len(), venues)
                     }
+                    TopologyFamily::ScaleFree { .. } | TopologyFamily::SmallWorld { .. } => {
+                        let g = graph.as_ref().expect("network family built a graph");
+                        let nodes = g.nodes();
+                        let a = rng.gen_range(0..nodes) as u32;
+                        let mut b = rng.gen_range(0..nodes - 1) as u32;
+                        if b >= a {
+                            b += 1;
+                        }
+                        let path = match router.shortest(g, a, b, MAX_NET_HOPS) {
+                            Some(p) => p,
+                            None => {
+                                // b is further than the hop cap; redraw it
+                                // from the cap-reachable ball (non-empty:
+                                // every node has neighbours).
+                                router.reachable(g, a, MAX_NET_HOPS, &mut reach_buf);
+                                let b2 = reach_buf[rng.gen_range(0..reach_buf.len())];
+                                b = b2;
+                                router
+                                    .shortest(g, a, b2, MAX_NET_HOPS)
+                                    .expect("node drawn from the reachable ball")
+                            }
+                        };
+                        endpoints = Some((a, b));
+                        (path.hops(), path)
+                    }
                     TopologyFamily::Packetized { .. } => unreachable!("handled above"),
                 };
                 let amount = rng.gen_range(cfg.amount.0..=cfg.amount.1);
-                let commission = if cfg.max_commission == 0 || n == 1 {
+                // Network families keep uniform plans: admission-time
+                // routing re-shapes the plan per chosen path, which only
+                // preserves value conservation without commissions.
+                let commission = if cfg.max_commission == 0 || n == 1 || endpoints.is_some() {
                     0
                 } else {
                     // Keep the last hop's value positive.
@@ -376,6 +477,7 @@ pub fn generate(cfg: &WorkloadConfig) -> Vec<PaymentSpec> {
                     packet: None,
                     route,
                     venues,
+                    endpoints,
                 });
             }
         }
@@ -544,6 +646,47 @@ mod tests {
             .collect();
         let total_hops: usize = specs.iter().map(|s| s.n).sum();
         assert!(all.len() < total_hops, "routes overlap on tree edges");
+    }
+
+    #[test]
+    fn network_families_pin_static_shortest_paths_and_endpoints() {
+        for family in [
+            TopologyFamily::ScaleFree {
+                venues: 256,
+                attach: 2,
+            },
+            TopologyFamily::SmallWorld {
+                nodes: 128,
+                rewire_permille: 100,
+            },
+        ] {
+            let graph = VenueGraph::generate(family.graph().unwrap(), 7);
+            let mut router = Router::new();
+            let specs = generate(&base(family));
+            assert_eq!(specs.len(), 64);
+            for s in &specs {
+                assert!((1..=MAX_NET_HOPS).contains(&s.n));
+                assert_eq!(s.venues.hops(), s.n);
+                assert!(s.venues.max_venue().unwrap() < family.venues() as u32);
+                let (a, b) = s.endpoints.expect("network specs carry endpoints");
+                assert_ne!(a, b);
+                // The pinned route is exactly the deterministic static
+                // shortest path on the same (family, seed) graph.
+                let expect = router.shortest(&graph, a, b, MAX_NET_HOPS).unwrap();
+                assert_eq!(s.venues, expect, "{}: static route mismatch", s.family);
+                // Network plans are uniform (commission-free) so routing
+                // can re-shape them per path.
+                let v0 = s.plan.amounts[0].amount;
+                assert!(s.plan.amounts.iter().all(|x| x.amount == v0));
+            }
+            // Distinct endpoint pairs actually occur.
+            let pairs: std::collections::BTreeSet<(u32, u32)> =
+                specs.iter().filter_map(|s| s.endpoints).collect();
+            assert!(pairs.len() > 8, "endpoint pairs vary: {}", pairs.len());
+            // Non-network families carry no endpoints.
+            let linear = generate(&base(TopologyFamily::Linear { n: 2 }));
+            assert!(linear.iter().all(|s| s.endpoints.is_none()));
+        }
     }
 
     #[test]

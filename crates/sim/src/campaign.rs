@@ -105,6 +105,11 @@ pub struct CampaignConfig {
     /// `Some` runs every epoch as an open system against finite per-venue
     /// collateral (see the module docs); `None` is the closed world.
     pub liquidity: Option<LiquidityConfig>,
+    /// `Some` switches open-system epochs of network families to
+    /// liquidity-aware dynamic routing with optional rebalancing (see
+    /// [`crate::run_open_specs_routed_with`]). Ignored for non-network
+    /// families and closed-world campaigns.
+    pub routing: Option<protocol::RoutingConfig>,
 }
 
 impl CampaignConfig {
@@ -119,6 +124,7 @@ impl CampaignConfig {
             threads: 0,
             batch: 64,
             liquidity: None,
+            routing: None,
         }
     }
 
@@ -162,10 +168,15 @@ impl CampaignConfig {
     pub fn digest(&self, harness_name: &str) -> u64 {
         let mut wl = self.workload;
         wl.payments = 0; // template: scale lives in total/epoch
-        let canon = format!(
+        let mut canon = format!(
             "campaign harness={} workload={:?} total={} epoch={} faults={:?} liquidity={:?}",
             harness_name, wl, self.total_payments, self.epoch_payments, self.faults, self.liquidity
         );
+        // Appended only when set, so pre-routing checkpoints keep their
+        // digests and remain resumable.
+        if let Some(routing) = &self.routing {
+            canon.push_str(&format!(" routing={routing:?}"));
+        }
         fnv1a64(canon.as_bytes())
     }
 }
@@ -693,7 +704,13 @@ impl<H: ProtocolHarness> CampaignRunner<H> {
                 // series.
                 let raw = {
                     let _t = self.profile.time("simulation");
-                    des::run_open_specs_raw(&self.harness, &specs, &sim_cfg, &liq)
+                    des::run_open_specs_raw(
+                        &self.harness,
+                        &specs,
+                        &sim_cfg,
+                        &liq,
+                        self.cfg.routing.as_ref(),
+                    )
                 };
                 let _t = self.profile.time("merge");
                 for (spec, r) in specs.iter().zip(&raw.results) {
@@ -709,9 +726,14 @@ impl<H: ProtocolHarness> CampaignRunner<H> {
                     .counter_add("admitted", raw.liquidity.admitted as u64);
                 self.registry
                     .counter_add("rejected", raw.liquidity.rejected as u64);
+                if let Some(rs) = &raw.routing {
+                    self.registry.counter_add("routed", rs.routed);
+                    self.registry.counter_add("rebalances", rs.rebalances);
+                }
                 self.last_open = Some(OpenTelemetry {
                     venues: raw.venues,
                     venue_events: raw.venue_events,
+                    routing: raw.routing,
                 });
             }
         }
@@ -1249,6 +1271,31 @@ pub fn telemetry_sink(path: &str) -> io::Result<Box<dyn TelemetrySink>> {
         }
     }
     Ok(Box::new(telemetry::JsonlSink::create(Path::new(path))?))
+}
+
+/// [`telemetry_sink`] with a header that *promises* event series: the
+/// comma-separated `requires` tokens (e.g. `"venues,route,rebalance"`)
+/// land in the stream header, and `telemetry_check` fails validation
+/// when a promised series is absent — producers gate their own streams
+/// without the validator growing a flag per experiment. An empty `path`
+/// still yields a [`NullSink`].
+pub fn telemetry_sink_with_requires(
+    path: &str,
+    requires: &str,
+) -> io::Result<Box<dyn TelemetrySink>> {
+    if path.is_empty() {
+        return Ok(Box::new(NullSink));
+    }
+    if let Some(dir) = Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir)?;
+        }
+    }
+    let header = telemetry::Event::header().with_str("requires", requires);
+    Ok(Box::new(telemetry::JsonlSink::create_with_header(
+        Path::new(path),
+        &header,
+    )?))
 }
 
 /// Peak resident-set size of this process in MiB, or `None` where it

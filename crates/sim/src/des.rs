@@ -24,37 +24,56 @@
 //! workloads split into one shard per path and scale near-linearly.
 //!
 //! Event ordering is total and payload-free: `(time, rank, seq)` with
-//! ranks unlock < unreserve < lock < arrival < expiry, and `seq` — push
-//! order within the shard — the *sole* remaining tiebreaker. Same-time
-//! same-rank events therefore pop in insertion order, never in
-//! venue/amount order (see `same_tick_same_rank_pops_in_insertion_order`).
+//! ranks unlock < unreserve < rebalance < lock < arrival < expiry, and
+//! `seq` — push order within the shard — the *sole* remaining
+//! tiebreaker. Same-time same-rank events therefore pop in insertion
+//! order, never in venue/amount order (see
+//! `same_tick_same_rank_pops_in_insertion_order`).
+//!
+//! **Routed mode.** For the network families
+//! ([`TopologyFamily::ScaleFree`] / [`TopologyFamily::SmallWorld`],
+//! see `crate::workload`), passing a [`RoutingConfig`] switches
+//! admission from the spec's pinned static route to live pathfinding:
+//! each arrival asks a [`Router`] for the cheapest feasible path (then
+//! for a venue-disjoint split) against the *current* book, so payments
+//! route around drained venues. Successful payments *consume* spent
+//! liquidity at their venues; an optional periodic [`EventKind::
+//! Rebalance`] event models circular rebalancing flows that restore it.
+//! Dynamic routes destroy venue-disjointness, so a routed run is one
+//! shard — trivially bit-identical across thread counts, with the
+//! router's deterministic tie-breaking keeping route choice a pure
+//! function of the inputs.
 
 use crate::faults::FaultPlan;
 use crate::metrics::{
-    BatchMetrics, InstanceResult, LiquidityStats, OpenReport, OpenTelemetry, SimReport, VenueEvents,
+    BatchMetrics, InstanceResult, LiquidityStats, OpenReport, OpenTelemetry, RoutingStats,
+    SimReport, VenueEvents,
 };
 use crate::runner::{run_instance_isolated, SimConfig};
-use crate::workload::PaymentSpec;
-use anta::time::SimTime;
+use crate::workload::{PaymentSpec, ValuePlan, VenueRoute};
+use anta::time::{SimDuration, SimTime};
 use experiments::parallel_map;
 use experiments::stats::Summary;
 use protocol::harness::{sample_instance_faults, ProtocolHarness};
 use protocol::liquidity::{AdmissionPolicy, LiquidityBook, LiquidityConfig};
+use protocol::network::{GraphFamily, Router, RoutingConfig, VenueGraph};
 use protocol::ProtocolOutcome;
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 /// Same-instant event ranks: actual unlocks settle first (the audit never
 /// overstates a venue's simultaneous locked value), reservation returns
-/// free gate capacity next, then actual locks, then arrivals (so a
-/// release at time `t` is visible to a payment arriving at `t`), and a
-/// patience expiry loses to everything — a release at exactly the
-/// deadline still admits.
+/// free gate capacity next, then rebalancing flows (a restore at `t`
+/// sees every release that settled at `t`), then actual locks, then
+/// arrivals (so a release at time `t` is visible to a payment arriving
+/// at `t`), and a patience expiry loses to everything — a release at
+/// exactly the deadline still admits.
 pub(crate) const RANK_UNLOCK: u8 = 0;
 pub(crate) const RANK_UNRESERVE: u8 = 1;
-pub(crate) const RANK_LOCK: u8 = 2;
-const RANK_ARRIVAL: u8 = 3;
-const RANK_EXPIRY: u8 = 4;
+pub(crate) const RANK_REBALANCE: u8 = 2;
+pub(crate) const RANK_LOCK: u8 = 3;
+const RANK_ARRIVAL: u8 = 4;
+const RANK_EXPIRY: u8 = 5;
 
 /// What a popped event does to its shard.
 #[derive(Debug, Clone, Copy)]
@@ -72,6 +91,11 @@ pub(crate) enum EventKind {
         venue: u32,
         /// Reserved amount being returned.
         amount: u64,
+        /// Liquidity permanently spent at the venue when the reservation
+        /// settles (a routed payment that *succeeded* moved value off the
+        /// venue; zero for failures and for non-routed runs, which model
+        /// collateral as returning intact).
+        consume: u64,
     },
     /// A payment (shard-local index) reaches the admission gate.
     Arrival {
@@ -83,6 +107,10 @@ pub(crate) enum EventKind {
         /// Index into the shard's member list.
         local: u32,
     },
+    /// A periodic circular rebalancing flow: restores every venue's spent
+    /// liquidity and reschedules itself one period later (routed mode
+    /// only, and only while undecided payments remain).
+    Rebalance,
 }
 
 /// One pending shard event. Ordering is **total on `(time, rank, seq)`
@@ -183,6 +211,34 @@ pub(crate) struct ShardOutcome {
     pub(crate) offered_value: u64,
     /// Per-venue activity counters (this shard's venues only).
     pub(crate) venue_events: BTreeMap<u32, VenueEvents>,
+    /// Pathfinder counters (routed mode only).
+    pub(crate) routing: Option<RoutingStats>,
+}
+
+/// The live-routing side of a shard: the venue network, the pathfinder
+/// scratch, the knobs, and the countdown that stops rebalancing from
+/// rescheduling forever once every payment has decided.
+struct RoutedState {
+    graph: VenueGraph,
+    router: Router,
+    cfg: RoutingConfig,
+    /// Payments not yet admitted or rejected.
+    undecided: usize,
+    stats: RoutingStats,
+}
+
+impl RoutedState {
+    fn new(family: GraphFamily, seed: u64, cfg: RoutingConfig, undecided: usize) -> Self {
+        RoutedState {
+            // Same family + same seed as workload generation: the router
+            // sees exactly the network the specs' endpoints were drawn on.
+            graph: VenueGraph::generate(family, seed),
+            router: Router::new(),
+            cfg,
+            undecided,
+            stats: RoutingStats::default(),
+        }
+    }
 }
 
 /// One shard's live simulation state: an event heap, the FIFO admission
@@ -215,6 +271,8 @@ struct ShardSim<'a, H: ProtocolHarness> {
     /// Per-venue activity counters, keyed by global venue id. Shards are
     /// venue-disjoint, so the post-run merge is a plain union.
     venue_events: BTreeMap<u32, VenueEvents>,
+    /// Live-routing state (`None` for static-route runs).
+    routed: Option<RoutedState>,
 }
 
 /// The payee-visible value of a payment (its final-hop amount).
@@ -230,6 +288,7 @@ impl<'a, H: ProtocolHarness> ShardSim<'a, H> {
         plan: &'a FaultPlan,
         policy: AdmissionPolicy,
         template: &LiquidityBook,
+        routed: Option<RoutedState>,
     ) -> Self {
         let mut sim = ShardSim {
             harness,
@@ -257,6 +316,7 @@ impl<'a, H: ProtocolHarness> ShardSim<'a, H> {
             goodput_value: 0,
             offered_value: 0,
             venue_events: BTreeMap::new(),
+            routed,
         };
         for (local, &si) in members.iter().enumerate() {
             sim.push(
@@ -266,6 +326,16 @@ impl<'a, H: ProtocolHarness> ShardSim<'a, H> {
                     local: local as u32,
                 },
             );
+        }
+        if let Some(rt) = &sim.routed {
+            let period = rt.cfg.rebalance_period;
+            if !period.is_zero() {
+                sim.push(
+                    SimTime::from_ticks(period.ticks()),
+                    RANK_REBALANCE,
+                    EventKind::Rebalance,
+                );
+            }
         }
         sim
     }
@@ -294,14 +364,25 @@ impl<'a, H: ProtocolHarness> ShardSim<'a, H> {
                     }
                     self.horizon = self.horizon.max(ev.time);
                 }
-                EventKind::Unreserve { venue, amount } => {
+                EventKind::Unreserve {
+                    venue,
+                    amount,
+                    consume,
+                } => {
                     self.book.unreserve(venue, amount);
+                    if consume > 0 {
+                        // The payment moved value off this venue: its
+                        // liquidity stays spent until a rebalancing flow
+                        // restores it.
+                        self.book.consume(venue, consume);
+                    }
                     self.horizon = self.horizon.max(ev.time);
                     // Capacity came back: the gate's head may now fit.
                     self.drain_queue(ev.time);
                 }
                 EventKind::Arrival { local } => self.on_arrival(local, ev.time),
                 EventKind::Expiry { local } => self.on_expiry(local, ev.time),
+                EventKind::Rebalance => self.on_rebalance(ev.time),
             }
         }
         debug_assert!(
@@ -326,6 +407,7 @@ impl<'a, H: ProtocolHarness> ShardSim<'a, H> {
             goodput_value: self.goodput_value,
             offered_value: self.offered_value,
             venue_events: self.venue_events,
+            routing: self.routed.as_ref().map(|rt| rt.stats),
         }
     }
 
@@ -333,6 +415,10 @@ impl<'a, H: ProtocolHarness> ShardSim<'a, H> {
         let li = local as usize;
         let spec = &self.specs[self.members[li]];
         self.offered_value += delivered(spec);
+        if self.routed.is_some() {
+            self.on_arrival_routed(local, t);
+            return;
+        }
         if !self.policy.bounded() {
             self.admit(local, t);
             return;
@@ -361,6 +447,258 @@ impl<'a, H: ProtocolHarness> ShardSim<'a, H> {
         }
     }
 
+    /// Routed admission: ask the pathfinder instead of checking the
+    /// spec's static demand. FIFO fairness is kept — a non-empty gate
+    /// means the head gets the next shot at the book, not this arrival.
+    fn on_arrival_routed(&mut self, local: u32, t: SimTime) {
+        let li = local as usize;
+        if self.queue.is_empty() {
+            if let Some(paths) = self.try_route(li, true) {
+                self.admit_routed(local, t, paths);
+                return;
+            }
+        }
+        let spec = &self.specs[self.members[li]];
+        let amount = delivered(spec);
+        let rt = self.routed.as_ref().expect("routed arrival");
+        let min_share = amount.div_ceil(rt.cfg.max_split.max(1) as u64);
+        let rebalancing = !rt.cfg.rebalance_period.is_zero();
+        // Waiting can only help when capacity can come back — a
+        // reservation return (bounded gate) or a rebalancing flow — and
+        // when even the smallest split share could ever fit a venue.
+        let can_wait = !self.policy.max_wait().is_zero()
+            && (self.policy.bounded() || rebalancing)
+            && self.book.could_ever_fit(&[(0, min_share)]);
+        if can_wait {
+            self.queue.push_back(local);
+            let deadline = SimTime::from_ticks(
+                spec.arrival
+                    .ticks()
+                    .saturating_add(self.policy.max_wait().ticks()),
+            );
+            self.push(deadline, RANK_EXPIRY, EventKind::Expiry { local });
+        } else {
+            self.reject(local, t);
+        }
+    }
+
+    /// One rebalancing flow: restore every venue's spent liquidity, give
+    /// the gate's head a fresh shot, and reschedule one period later —
+    /// but only while undecided payments remain, so the heap drains once
+    /// the campaign is over. The horizon is deliberately *not* advanced:
+    /// rebalancing is background plumbing, not payment activity.
+    fn on_rebalance(&mut self, t: SimTime) {
+        let period = match &self.routed {
+            Some(rt) if !rt.cfg.rebalance_period.is_zero() && rt.undecided > 0 => {
+                rt.cfg.rebalance_period
+            }
+            _ => return,
+        };
+        let restored = self.book.restore_all();
+        if let Some(rt) = self.routed.as_mut() {
+            rt.stats.rebalances += 1;
+            rt.stats.restored_value += restored;
+        }
+        self.drain_queue(t);
+        self.push(
+            SimTime::from_ticks(t.ticks().saturating_add(period.ticks())),
+            RANK_REBALANCE,
+            EventKind::Rebalance,
+        );
+    }
+
+    /// Asks the router for a feasible admission: a single cheapest path
+    /// first, then venue-disjoint splits of increasing width. Returns
+    /// `(path, per-hop share)` legs, or `None` when nothing fits right
+    /// now. `at_arrival` distinguishes a payment's first attempt (counted
+    /// as `no_path` on failure) from gate re-polls (not counted).
+    fn try_route(&mut self, li: usize, at_arrival: bool) -> Option<Vec<(VenueRoute, u64)>> {
+        let specs = self.specs;
+        let spec = &specs[self.members[li]];
+        let (src, dst) = spec.endpoints.expect("routed specs carry endpoints");
+        let amount = delivered(spec);
+        let rt = self.routed.as_mut().expect("routed mode");
+        rt.stats.pathfind_calls += 1;
+        if let Some(path) =
+            rt.router
+                .route(&rt.graph, src, dst, amount, rt.cfg.max_hops, &self.book)
+        {
+            return Some(vec![(path, amount)]);
+        }
+        for parts in 2..=rt.cfg.max_split {
+            rt.stats.pathfind_calls += 1;
+            if let Some(paths) = rt.router.route_multi(
+                &rt.graph,
+                src,
+                dst,
+                amount,
+                parts,
+                rt.cfg.max_hops,
+                &self.book,
+            ) {
+                return Some(paths);
+            }
+        }
+        if at_arrival {
+            rt.stats.no_path += 1;
+        }
+        None
+    }
+
+    /// Runs an admitted routed payment: one deterministic instance per
+    /// leg (leg 0 keeps the spec's seed, so a single-path admission
+    /// replays the exact static-route faults), merged into one result —
+    /// Success only when every leg succeeds, worst outcome otherwise.
+    /// Only then are the book events scheduled, because the settlement's
+    /// `consume` depends on the merged outcome.
+    fn admit_routed(&mut self, local: u32, t: SimTime, paths: Vec<(VenueRoute, u64)>) {
+        let li = local as usize;
+        self.decided[li] = true;
+        self.admitted += 1;
+        self.horizon = self.horizon.max(t);
+        self.note_decided();
+        let specs = self.specs;
+        let spec = &specs[self.members[li]];
+        let wait = t.saturating_since(spec.arrival);
+        {
+            let rt = self.routed.as_mut().expect("routed admission");
+            rt.stats.routed += 1;
+            if paths.len() > 1 {
+                rt.stats.split += 1;
+            } else if paths[0].0 != spec.venues {
+                rt.stats.rerouted += 1;
+            }
+        }
+        // Per-leg salted seeds keep legs independent; salt 0 for leg 0.
+        const SPLIT_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+        let harness = self.harness;
+        let plan = self.plan;
+        let mut runs: Vec<(VenueRoute, InstanceResult)> = Vec::with_capacity(paths.len());
+        for (j, (path, share)) in paths.into_iter().enumerate() {
+            let sub = PaymentSpec {
+                id: spec.id,
+                family: spec.family,
+                arrival: spec.arrival,
+                n: path.hops(),
+                plan: ValuePlan::uniform(path.hops(), share),
+                params: spec.params,
+                seed: spec.seed ^ SPLIT_SEED_SALT.wrapping_mul(j as u64),
+                packet: spec.packet,
+                route: spec.route,
+                venues: path,
+                endpoints: spec.endpoints,
+            };
+            let r = run_instance_isolated(harness, &sub, plan, true, &mut self.queue_high);
+            runs.push((sub.venues, r));
+        }
+        // Merge: conjunction of legs. Latency is the slowest leg, peaks
+        // and event counts sum, lock events concatenate with each leg's
+        // hops offset past the previous legs' (matching the combined
+        // route below, so the venue lookup stays a plain index).
+        fn severity(o: ProtocolOutcome) -> u8 {
+            match o {
+                ProtocolOutcome::Violation => 4,
+                ProtocolOutcome::Failed => 3,
+                ProtocolOutcome::Stuck => 2,
+                ProtocolOutcome::Refund => 1,
+                _ => 0,
+            }
+        }
+        let faults = runs[0].1.faults;
+        let mut outcome = ProtocolOutcome::Success;
+        let mut griefed = false;
+        let mut latency = SimDuration::ZERO;
+        let mut peak_locked = 0u64;
+        let mut events = 0u64;
+        let mut lock_profile: Vec<(SimTime, u32, i64)> = Vec::new();
+        let mut all_venues: Vec<u32> = Vec::new();
+        for (path, r) in &runs {
+            if severity(r.outcome) > severity(outcome) {
+                outcome = r.outcome;
+            }
+            griefed |= r.griefed;
+            latency = latency.max(r.latency);
+            peak_locked += r.peak_locked;
+            events += r.events;
+            let offset = all_venues.len() as u32;
+            for &(te, hop, dv) in &r.lock_profile {
+                lock_profile.push((te, hop + offset, dv));
+            }
+            all_venues.extend(path.venues.iter().copied());
+        }
+        let route_all = VenueRoute::new(all_venues);
+        if !wait.is_zero() {
+            self.queued += 1;
+            self.waits.push(wait.ticks());
+            for ev in lock_profile.iter_mut() {
+                ev.0 += wait;
+            }
+            latency += wait;
+        }
+        // Schedule the audit stream and measure the per-venue footprint,
+        // exactly as static admission does.
+        let mut per_venue: BTreeMap<u32, (i64, i64, SimTime)> = BTreeMap::new();
+        for &(te, hop, dv) in lock_profile.iter() {
+            let Some(venue) = route_all.venue(hop as usize) else {
+                continue;
+            };
+            let e = per_venue.entry(venue).or_insert((0, 0, te));
+            e.0 += dv;
+            e.1 = e.1.max(e.0);
+            e.2 = e.2.max(te);
+            let rank = if dv < 0 { RANK_UNLOCK } else { RANK_LOCK };
+            self.push(te, rank, EventKind::Book { venue, delta: dv });
+        }
+        let success = outcome == ProtocolOutcome::Success;
+        for &venue in per_venue.keys() {
+            let ve = self.venue_events.entry(venue).or_default();
+            ve.admitted += 1;
+            if !wait.is_zero() {
+                ve.queued += 1;
+            }
+        }
+        if self.policy.bounded() {
+            for (&venue, &(_, peak, last)) in &per_venue {
+                if peak > 0 {
+                    self.book.reserve(venue, peak as u64);
+                    self.push(
+                        last,
+                        RANK_UNRESERVE,
+                        EventKind::Unreserve {
+                            venue,
+                            amount: peak as u64,
+                            consume: if success { peak as u64 } else { 0 },
+                        },
+                    );
+                }
+            }
+        }
+        if success {
+            self.goodput_value += delivered(spec);
+        }
+        self.results[li] = Some(InstanceResult {
+            id: spec.id,
+            family: spec.family,
+            outcome,
+            griefed,
+            faults,
+            latency,
+            peak_locked,
+            events,
+            packet: spec.packet,
+            route: spec.route,
+            lock_profile,
+        });
+    }
+
+    /// Routed mode tracks how many payments are still undecided so the
+    /// rebalance event knows when to stop rescheduling itself.
+    fn note_decided(&mut self) {
+        if let Some(rt) = self.routed.as_mut() {
+            rt.undecided -= 1;
+        }
+    }
+
     fn on_expiry(&mut self, local: u32, t: SimTime) {
         if self.decided[local as usize] {
             return; // Admitted before the deadline: the expiry is stale.
@@ -372,8 +710,22 @@ impl<'a, H: ProtocolHarness> ShardSim<'a, H> {
     }
 
     /// Admits from the gate's head while capacity lasts (FIFO: a blocked
-    /// head blocks everyone behind it, whatever they demand).
+    /// head blocks everyone behind it, whatever they demand). In routed
+    /// mode the head's shot is a fresh pathfinding attempt against the
+    /// current book rather than its static demand.
     fn drain_queue(&mut self, t: SimTime) {
+        if self.routed.is_some() {
+            while let Some(&head) = self.queue.front() {
+                match self.try_route(head as usize, false) {
+                    Some(paths) => {
+                        self.queue.pop_front();
+                        self.admit_routed(head, t, paths);
+                    }
+                    None => break,
+                }
+            }
+            return;
+        }
         while let Some(&head) = self.queue.front() {
             if !self.book.fits(&self.demands[head as usize]) {
                 break;
@@ -388,6 +740,7 @@ impl<'a, H: ProtocolHarness> ShardSim<'a, H> {
         self.decided[li] = true;
         self.admitted += 1;
         self.horizon = self.horizon.max(t);
+        self.note_decided();
         let spec = &self.specs[self.members[li]];
         let wait = t.saturating_since(spec.arrival);
         for &(venue, _) in &self.demands[li] {
@@ -433,6 +786,7 @@ impl<'a, H: ProtocolHarness> ShardSim<'a, H> {
                         EventKind::Unreserve {
                             venue,
                             amount: peak as u64,
+                            consume: 0,
                         },
                     );
                 }
@@ -449,6 +803,7 @@ impl<'a, H: ProtocolHarness> ShardSim<'a, H> {
         self.decided[li] = true;
         self.rejected += 1;
         self.horizon = self.horizon.max(t);
+        self.note_decided();
         let spec = &self.specs[self.members[li]];
         // The payment never starts: no locks, no run, only the payer's
         // *actual* wasted patience (zero for an on-the-spot refusal).
@@ -486,8 +841,9 @@ pub(crate) fn run_open_specs_des<H: ProtocolHarness>(
     specs: &[PaymentSpec],
     cfg: &SimConfig,
     liq: &LiquidityConfig,
+    routing: Option<&RoutingConfig>,
 ) -> OpenReport {
-    run_open_specs_des_telemetry(harness, specs, cfg, liq).0
+    run_open_specs_des_telemetry(harness, specs, cfg, liq, routing).0
 }
 
 /// [`run_open_specs_des`] plus the per-venue telemetry sidecar (the
@@ -499,11 +855,13 @@ pub(crate) fn run_open_specs_des_telemetry<H: ProtocolHarness>(
     specs: &[PaymentSpec],
     cfg: &SimConfig,
     liq: &LiquidityConfig,
+    routing: Option<&RoutingConfig>,
 ) -> (OpenReport, OpenTelemetry) {
-    let raw = run_open_specs_raw(harness, specs, cfg, liq);
+    let raw = run_open_specs_raw(harness, specs, cfg, liq, routing);
     let telemetry = OpenTelemetry {
         venues: raw.venues.clone(),
         venue_events: raw.venue_events.clone(),
+        routing: raw.routing,
     };
     let mut batch = BatchMetrics::with_capacity(raw.results.len());
     for r in raw.results {
@@ -512,6 +870,7 @@ pub(crate) fn run_open_specs_des_telemetry<H: ProtocolHarness>(
     let report = OpenReport {
         sim: SimReport::merge(vec![batch], true),
         liquidity: raw.liquidity,
+        routing: raw.routing,
     };
     (report, telemetry)
 }
@@ -534,14 +893,24 @@ pub(crate) struct OpenRaw {
     pub venues: Vec<protocol::VenueSample>,
     /// Per-venue DES activity counters (venue-id order).
     pub venue_events: Vec<(u32, VenueEvents)>,
+    /// Pathfinder counters (routed runs only).
+    pub routing: Option<RoutingStats>,
 }
 
 /// The engine behind [`run_open_specs_des`] (see [`OpenRaw`]).
+///
+/// `routing` switches on liquidity-aware admission-time pathfinding; it
+/// only takes effect for workloads whose family carries a venue network
+/// ([`crate::workload::TopologyFamily::graph`]). A routed run is a
+/// single shard: dynamic routes may touch any venue, so venue-disjoint
+/// sharding is impossible — and a single shard is trivially
+/// bit-identical across thread counts.
 pub(crate) fn run_open_specs_raw<H: ProtocolHarness>(
     harness: &H,
     specs: &[PaymentSpec],
     cfg: &SimConfig,
     liq: &LiquidityConfig,
+    routing: Option<&RoutingConfig>,
 ) -> OpenRaw {
     assert!(
         harness.supports(&cfg.workload),
@@ -554,10 +923,27 @@ pub(crate) fn run_open_specs_raw<H: ProtocolHarness>(
         "open-system admission needs arrival-ordered specs"
     );
     let venues = cfg.workload.family.venues();
-    let members = shard_specs(specs, venues);
+    let routed_cfg: Option<(RoutingConfig, GraphFamily)> =
+        routing.and_then(|rc| cfg.workload.family.graph().map(|fam| (*rc, fam)));
+    let members = if routed_cfg.is_some() {
+        vec![(0..specs.len()).collect::<Vec<usize>>()]
+    } else {
+        shard_specs(specs, venues)
+    };
     let template = LiquidityBook::new(liq, venues);
+    let seed = cfg.workload.seed;
     let outcomes: Vec<ShardOutcome> = parallel_map(&members, cfg.threads, |shard| {
-        ShardSim::new(harness, specs, shard, &cfg.faults, liq.policy, &template).run()
+        let routed = routed_cfg.map(|(rc, fam)| RoutedState::new(fam, seed, rc, shard.len()));
+        ShardSim::new(
+            harness,
+            specs,
+            shard,
+            &cfg.faults,
+            liq.policy,
+            &template,
+            routed,
+        )
+        .run()
     });
 
     // Deterministic merge: shard outcomes arrive in shard order whatever
@@ -571,6 +957,7 @@ pub(crate) fn run_open_specs_raw<H: ProtocolHarness>(
     let mut horizon_end = SimTime::ZERO;
     let (mut goodput_value, mut offered_value) = (0u64, 0u64);
     let mut venue_events: BTreeMap<u32, VenueEvents> = BTreeMap::new();
+    let mut routing_stats: Option<RoutingStats> = routed_cfg.map(|_| RoutingStats::default());
     for shard in outcomes {
         admitted += shard.admitted;
         rejected += shard.rejected;
@@ -582,6 +969,9 @@ pub(crate) fn run_open_specs_raw<H: ProtocolHarness>(
         offered_value += shard.offered_value;
         for (venue, ev) in shard.venue_events {
             venue_events.entry(venue).or_default().absorb(&ev);
+        }
+        if let (Some(acc), Some(rs)) = (routing_stats.as_mut(), shard.routing.as_ref()) {
+            acc.absorb(rs);
         }
         book.merge(&shard.book);
         for (si, r) in shard.results {
@@ -623,6 +1013,7 @@ pub(crate) fn run_open_specs_raw<H: ProtocolHarness>(
         rejected_waits,
         venues: venues_series,
         venue_events: venue_events.into_iter().collect(),
+        routing: routing_stats,
     }
 }
 

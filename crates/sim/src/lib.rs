@@ -44,16 +44,30 @@
 //! (with its admission and collateral audit, [`LiquidityStats`])
 //! bit-identical across thread counts.
 //!
+//! For the **network families** ([`TopologyFamily::ScaleFree`] /
+//! [`TopologyFamily::SmallWorld`] — random venue graphs instead of fixed
+//! routes), [`runner::run_open_specs_routed_with`] switches admission to
+//! **liquidity-aware dynamic routing**: every arrival is routed by a
+//! deterministic bounded-hop pathfinder ([`protocol::Router`]) over the
+//! live book, splitting across venue-disjoint paths when one path cannot
+//! carry the value, with optional periodic rebalancing flows restoring
+//! spent liquidity ([`protocol::RoutingConfig`]). Routed reports carry
+//! [`metrics::RoutingStats`] and stay bit-identical across threads.
+//!
 //! The `exp8` binary sweeps success-rate × drift × faults across the
 //! families for the time-bounded protocol (E8); `exp9` runs the same grid
 //! through **all** protocol harnesses and prints the paper-style
 //! comparison table (E9); `exp10` sweeps offered load × collateral
 //! budget × protocol and prints the utilization/success/goodput frontier
-//! (E10). The workspace `bench` binary's `sim` section measures
+//! (E10); `exp11` sweeps success/goodput vs network size × rebalancing
+//! period × protocol with dynamic routing against the static baseline
+//! (E11). The workspace `bench` binary's `sim` section measures
 //! payments/sec per thread count into `BENCH_sim.json`, its
 //! `protocols` section measures per-harness throughput into
-//! `BENCH_protocols.json`, and its `open` section measures the sharded
-//! open-system engine at 1/2/4 workers into `BENCH_open.json`.
+//! `BENCH_protocols.json`, its `open` section measures the sharded
+//! open-system engine at 1/2/4 workers into `BENCH_open.json`, and its
+//! `routing` section measures routed-vs-static throughput and
+//! pathfinding rate into `BENCH_routing.json`.
 //!
 //! ```
 //! use sim::prelude::*;
@@ -87,10 +101,11 @@ pub use campaign::{
 pub use faults::{ByzFault, FaultPlan, InstanceFaults};
 pub use metrics::{
     FamilyStats, InstanceOutcome, InstanceResult, LiquidityStats, OpenReport, OpenTelemetry,
-    PacketStats, SimReport, VenueEvents,
+    PacketStats, RoutingStats, SimReport, VenueEvents,
 };
 pub use runner::{
-    run, run_instance, run_instance_with, run_open, run_open_specs_with,
+    run, run_instance, run_instance_with, run_open, run_open_routed_with,
+    run_open_specs_routed_with, run_open_specs_routed_with_telemetry, run_open_specs_with,
     run_open_specs_with_telemetry, run_open_with, run_open_with_telemetry, run_specs,
     run_specs_with, run_with, SimConfig,
 };
@@ -101,8 +116,8 @@ pub use workload::{ArrivalProcess, PaymentSpec, TopologyFamily, WorkloadConfig};
 // so simulation campaigns can name harnesses without a separate import.
 pub use protocol;
 pub use protocol::{
-    AdmissionPolicy, DealsHarness, HtlcHarness, InterledgerHarness, LiquidityBook, LiquidityConfig,
-    ProtocolHarness, TimeBoundedHarness,
+    AdmissionPolicy, DealsHarness, GraphFamily, HtlcHarness, InterledgerHarness, LiquidityBook,
+    LiquidityConfig, ProtocolHarness, Router, RoutingConfig, TimeBoundedHarness, VenueGraph,
 };
 
 /// One-stop imports for simulation campaigns.
@@ -110,17 +125,18 @@ pub mod prelude {
     pub use crate::faults::{ByzFault, FaultPlan, InstanceFaults};
     pub use crate::metrics::{
         FamilyStats, InstanceOutcome, InstanceResult, LiquidityStats, OpenReport, OpenTelemetry,
-        PacketStats, SimReport, VenueEvents,
+        PacketStats, RoutingStats, SimReport, VenueEvents,
     };
     pub use crate::runner::{
-        run, run_instance, run_instance_with, run_open, run_open_specs_with,
+        run, run_instance, run_instance_with, run_open, run_open_routed_with,
+        run_open_specs_routed_with, run_open_specs_routed_with_telemetry, run_open_specs_with,
         run_open_specs_with_telemetry, run_open_with, run_open_with_telemetry, run_specs,
         run_specs_with, run_with, SimConfig,
     };
     pub use crate::workload::{ArrivalProcess, PaymentSpec, TopologyFamily, WorkloadConfig};
     pub use anta::net::NetFaults;
     pub use protocol::{
-        AdmissionPolicy, DealsHarness, HtlcHarness, InterledgerHarness, LiquidityBook,
-        LiquidityConfig, ProtocolHarness, TimeBoundedHarness,
+        AdmissionPolicy, DealsHarness, GraphFamily, HtlcHarness, InterledgerHarness, LiquidityBook,
+        LiquidityConfig, ProtocolHarness, Router, RoutingConfig, TimeBoundedHarness, VenueGraph,
     };
 }

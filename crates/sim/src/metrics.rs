@@ -384,6 +384,42 @@ impl LiquidityStats {
     }
 }
 
+/// What the admission-time pathfinder did over one routed open-system
+/// run (see [`protocol::network::Router`]). `None`/absent for static
+/// (non-routed) runs; deterministic like everything else in the report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoutingStats {
+    /// Payments admitted over a dynamically chosen path.
+    pub routed: u64,
+    /// Routed payments whose chosen single path differs from the spec's
+    /// static shortest path — liquidity genuinely diverted them.
+    pub rerouted: u64,
+    /// Routed payments admitted over ≥ 2 venue-disjoint split paths.
+    pub split: u64,
+    /// Admission attempts for which no feasible path (single or split)
+    /// existed at that instant.
+    pub no_path: u64,
+    /// Pathfinder invocations (single-path and split searches).
+    pub pathfind_calls: u64,
+    /// Rebalancing flows executed.
+    pub rebalances: u64,
+    /// Total spent liquidity the rebalancing flows restored.
+    pub restored_value: u64,
+}
+
+impl RoutingStats {
+    /// Fold another counter set into this one (element-wise add).
+    pub fn absorb(&mut self, other: &RoutingStats) {
+        self.routed += other.routed;
+        self.rerouted += other.rerouted;
+        self.split += other.split;
+        self.no_path += other.no_path;
+        self.pathfind_calls += other.pathfind_calls;
+        self.rebalances += other.rebalances;
+        self.restored_value += other.restored_value;
+    }
+}
+
 /// The full result of an open-system (finite-liquidity) campaign: the
 /// usual outcome aggregation plus the liquidity ledger.
 #[derive(Debug, Clone)]
@@ -393,6 +429,8 @@ pub struct OpenReport {
     pub sim: SimReport,
     /// Admission and collateral accounting.
     pub liquidity: LiquidityStats,
+    /// Pathfinder counters, for routed runs only.
+    pub routing: Option<RoutingStats>,
 }
 
 /// Per-venue activity counters collected by the discrete-event engine.
@@ -444,13 +482,17 @@ pub struct OpenTelemetry {
     pub venues: Vec<protocol::VenueSample>,
     /// Per-venue DES counters, in venue-id order.
     pub venue_events: Vec<(u32, VenueEvents)>,
+    /// Pathfinder counters, for routed runs only.
+    pub routing: Option<RoutingStats>,
 }
 
 impl OpenTelemetry {
     /// Emit the sidecar as structured events: one `venue` event per sample
     /// (see [`protocol::liquidity::LiquidityBook::emit_venue_series`] for
-    /// the schema) and one `venue_des` event per counter row, each
-    /// prefixed with the caller's `scope` fields (e.g. `epoch`, `cell`).
+    /// the schema), one `venue_des` event per counter row, and — for
+    /// routed runs — the `route`/`rebalance` events of
+    /// [`OpenTelemetry::emit_routing`], each prefixed with the caller's
+    /// `scope` fields (e.g. `epoch`, `cell`).
     pub fn emit(&self, scope: &[(&str, u64)], sink: &mut dyn telemetry::TelemetrySink) {
         for sample in &self.venues {
             sink.emit(&sample.to_event(scope));
@@ -470,6 +512,39 @@ impl OpenTelemetry {
                     .with_u64("releases", ev.releases),
             );
         }
+        self.emit_routing(scope, sink);
+    }
+
+    /// Emit only the routing counters (no per-venue series): one `route`
+    /// event carrying the pathfinder counters and one `rebalance` event
+    /// carrying the rebalancing totals. No-op for non-routed runs. The
+    /// grid experiments call this per cell and reserve the full
+    /// per-venue series for a subset of cells, keeping stream sizes sane
+    /// on 4k-venue networks.
+    pub fn emit_routing(&self, scope: &[(&str, u64)], sink: &mut dyn telemetry::TelemetrySink) {
+        let Some(rs) = &self.routing else {
+            return;
+        };
+        let scoped = |kind: &str| {
+            let mut e = telemetry::Event::new(kind);
+            for (k, v) in scope {
+                e = e.with_u64(k, *v);
+            }
+            e
+        };
+        sink.emit(
+            &scoped("route")
+                .with_u64("routed", rs.routed)
+                .with_u64("rerouted", rs.rerouted)
+                .with_u64("split", rs.split)
+                .with_u64("no_path", rs.no_path)
+                .with_u64("pathfind_calls", rs.pathfind_calls),
+        );
+        sink.emit(
+            &scoped("rebalance")
+                .with_u64("count", rs.rebalances)
+                .with_u64("restored_value", rs.restored_value),
+        );
     }
 }
 

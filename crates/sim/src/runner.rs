@@ -273,7 +273,7 @@ pub fn run_open_specs_with<H: ProtocolHarness>(
     cfg: &SimConfig,
     liq: &LiquidityConfig,
 ) -> OpenReport {
-    crate::des::run_open_specs_des(harness, specs, cfg, liq)
+    crate::des::run_open_specs_des(harness, specs, cfg, liq, None)
 }
 
 /// [`run_open_specs_with`] plus the deterministic per-venue telemetry
@@ -289,7 +289,7 @@ pub fn run_open_specs_with_telemetry<H: ProtocolHarness>(
     cfg: &SimConfig,
     liq: &LiquidityConfig,
 ) -> (OpenReport, OpenTelemetry) {
-    crate::des::run_open_specs_des_telemetry(harness, specs, cfg, liq)
+    crate::des::run_open_specs_des_telemetry(harness, specs, cfg, liq, None)
 }
 
 /// [`run_open_with`] plus the per-venue telemetry sidecar (see
@@ -301,6 +301,49 @@ pub fn run_open_with_telemetry<H: ProtocolHarness>(
 ) -> (OpenReport, OpenTelemetry) {
     let specs = workload::generate(&cfg.workload);
     run_open_specs_with_telemetry(harness, &specs, cfg, liq)
+}
+
+/// Open-system steady state with **liquidity-aware dynamic routing**
+/// (network families only — [`workload::TopologyFamily::ScaleFree`] /
+/// [`workload::TopologyFamily::SmallWorld`]): each arrival is routed by
+/// a [`protocol::Router`] over the live book instead of its pinned
+/// static path, optionally splitting across venue-disjoint paths and
+/// with periodic rebalancing flows restoring spent liquidity (see
+/// [`protocol::RoutingConfig`]). For non-network families the `routing`
+/// knobs are ignored and the run is identical to [`run_open_specs_with`].
+/// Routed reports are bit-identical across thread counts — a routed run
+/// is one shard, and route choice is deterministic by construction.
+pub fn run_open_specs_routed_with<H: ProtocolHarness>(
+    harness: &H,
+    specs: &[PaymentSpec],
+    cfg: &SimConfig,
+    liq: &LiquidityConfig,
+    routing: &protocol::RoutingConfig,
+) -> OpenReport {
+    crate::des::run_open_specs_des(harness, specs, cfg, liq, Some(routing))
+}
+
+/// [`run_open_specs_routed_with`] plus the telemetry sidecar, whose
+/// `routing` counters mirror the report's.
+pub fn run_open_specs_routed_with_telemetry<H: ProtocolHarness>(
+    harness: &H,
+    specs: &[PaymentSpec],
+    cfg: &SimConfig,
+    liq: &LiquidityConfig,
+    routing: &protocol::RoutingConfig,
+) -> (OpenReport, OpenTelemetry) {
+    crate::des::run_open_specs_des_telemetry(harness, specs, cfg, liq, Some(routing))
+}
+
+/// [`run_open_specs_routed_with`] over freshly generated specs.
+pub fn run_open_routed_with<H: ProtocolHarness>(
+    harness: &H,
+    cfg: &SimConfig,
+    liq: &LiquidityConfig,
+    routing: &protocol::RoutingConfig,
+) -> OpenReport {
+    let specs = workload::generate(&cfg.workload);
+    run_open_specs_routed_with(harness, &specs, cfg, liq, routing)
 }
 
 /// The retired two-phase open-system sweep, kept as a **differential
@@ -339,7 +382,7 @@ pub(crate) mod legacy {
             }
             heap.pop();
             match ev.kind {
-                EventKind::Unreserve { venue, amount } => book.unreserve(venue, amount),
+                EventKind::Unreserve { venue, amount, .. } => book.unreserve(venue, amount),
                 EventKind::Book { venue, delta } => book.apply_lock(ev.time, venue, delta),
                 _ => unreachable!("the two-phase sweep only schedules book events"),
             }
@@ -466,6 +509,7 @@ pub(crate) mod legacy {
                                     kind: EventKind::Unreserve {
                                         venue,
                                         amount: peak as u64,
+                                        consume: 0,
                                     },
                                 }));
                                 seq += 1;
@@ -527,6 +571,7 @@ pub(crate) mod legacy {
         OpenReport {
             sim: SimReport::merge(vec![batch], true),
             liquidity,
+            routing: None,
         }
     }
 }

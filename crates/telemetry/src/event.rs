@@ -237,6 +237,13 @@ fn push_json_string(out: &mut String, s: &str) {
 /// the leading header's schema version. Returns the events **after** the
 /// header.
 pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    parse_jsonl_with_header(text).map(|(_, events)| events)
+}
+
+/// [`parse_jsonl`], but also returns the verified header event itself —
+/// for validators driven by header metadata (e.g. a `requires` field
+/// declaring which event series the stream promises to carry).
+pub fn parse_jsonl_with_header(text: &str) -> Result<(Event, Vec<Event>), String> {
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
     let header_line = lines.next().ok_or("empty telemetry stream")?;
     let header = Event::parse(header_line).map_err(|e| format!("header: {e}"))?;
@@ -259,7 +266,7 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
     for (i, line) in lines.enumerate() {
         events.push(Event::parse(line).map_err(|e| format!("line {}: {e}", i + 2))?);
     }
-    Ok(events)
+    Ok((header, events))
 }
 
 /// Byte-level cursor over one JSON line.

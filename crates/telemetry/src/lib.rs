@@ -39,7 +39,7 @@ pub mod sink;
 pub mod sketch;
 pub mod timer;
 
-pub use event::{parse_jsonl, Event, FieldValue, EVENT_SCHEMA_VERSION};
+pub use event::{parse_jsonl, parse_jsonl_with_header, Event, FieldValue, EVENT_SCHEMA_VERSION};
 pub use registry::MetricsRegistry;
 pub use sink::{JsonlSink, NullSink, RingSink, TelemetrySink};
 pub use sketch::{MergeableSketch, SketchSummary};

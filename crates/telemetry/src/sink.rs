@@ -113,15 +113,31 @@ impl JsonlSink {
         Ok(Self::from_writer(Box::new(file)))
     }
 
+    /// [`create`](Self::create), but the first line is the given header
+    /// event instead of the plain [`Event::header`] — for producers that
+    /// annotate the stream (e.g. a `requires` field declaring which
+    /// event series validators must find). The header should extend
+    /// `Event::header()` so the schema version stays on the wire.
+    pub fn create_with_header(path: &Path, header: &Event) -> io::Result<Self> {
+        let file = fs::File::create(path)?;
+        Ok(Self::from_writer_with_header(Box::new(file), header))
+    }
+
     /// Wraps any writer (tests use a `Vec<u8>` buffer); writes the
     /// schema header line immediately.
     pub fn from_writer(w: Box<dyn Write>) -> Self {
+        Self::from_writer_with_header(w, &Event::header())
+    }
+
+    /// [`from_writer`](Self::from_writer) with a caller-built header
+    /// line (see [`create_with_header`](Self::create_with_header)).
+    pub fn from_writer_with_header(w: Box<dyn Write>, header: &Event) -> Self {
         let mut sink = JsonlSink {
             out: io::BufWriter::new(w),
             lines: 0,
             io_errors: 0,
         };
-        sink.emit(&Event::header());
+        sink.emit(header);
         sink
     }
 
